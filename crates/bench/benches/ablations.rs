@@ -1,0 +1,52 @@
+//! Ablation benches: CMM, buffer count, launch order, CPU adapters.
+use bench::{ablations, work, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr::{Codec, MgardConfig, PipelineOptions};
+use hpdr_pipeline::compress_pipelined;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", ablations(&scale));
+    let spec = scale.spec(&hpdr_sim::spec::v100());
+    let (input, meta) = scale.nyx(13);
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    for (name, opts) in [
+        ("cmm_on", scale.fixed()),
+        (
+            "cmm_off",
+            PipelineOptions {
+                cmm: false,
+                ..scale.fixed()
+            },
+        ),
+        (
+            "three_buffers",
+            PipelineOptions {
+                two_buffers: false,
+                ..scale.fixed()
+            },
+        ),
+    ] {
+        c.bench_function(&format!("ablation/{name}"), |b| {
+            b.iter(|| {
+                compress_pipelined(
+                    &spec,
+                    work(),
+                    Arc::clone(&reducer),
+                    Arc::clone(&input),
+                    &meta,
+                    &opts,
+                )
+                .unwrap()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

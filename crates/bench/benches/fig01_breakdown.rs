@@ -1,0 +1,35 @@
+//! Fig. 1 bench: non-optimized pipeline time breakdown. Prints the figure
+//! table once, then times the unoptimized MGARD-GPU-style pipeline.
+use bench::{fig01, work, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr::{Codec, MgardConfig, PipelineOptions};
+use hpdr_pipeline::compress_pipelined;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", fig01(&scale));
+    let spec = scale.spec(&hpdr_sim::spec::v100());
+    let (input, meta) = scale.nyx(1);
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    c.bench_function("fig01/unoptimized_mgard_pipeline", |b| {
+        b.iter(|| {
+            compress_pipelined(
+                &spec,
+                work(),
+                Arc::clone(&reducer),
+                Arc::clone(&input),
+                &meta,
+                &PipelineOptions::baseline_unoptimized(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 10 bench: chunk-size strategies. Prints the figure, then times
+//! the adaptive pipeline.
+use bench::{fig10, work, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr::{Codec, MgardConfig};
+use hpdr_pipeline::compress_pipelined;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", fig10(&scale));
+    let spec = scale.spec(&hpdr_sim::spec::v100());
+    let (input, meta) = scale.nyx(2);
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    c.bench_function("fig10/adaptive_pipeline", |b| {
+        b.iter(|| {
+            compress_pipelined(
+                &spec,
+                work(),
+                Arc::clone(&reducer),
+                Arc::clone(&input),
+                &meta,
+                &scale.adaptive(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

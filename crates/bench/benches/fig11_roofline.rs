@@ -1,0 +1,21 @@
+//! Fig. 11 bench: roofline profiling and fitting.
+use bench::{fig11, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr_pipeline::{default_sweep, fit, profile_kernel};
+use hpdr_sim::KernelClass;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", fig11(&scale));
+    let spec = scale.spec(&hpdr_sim::spec::v100());
+    c.bench_function("fig11/profile_and_fit", |b| {
+        b.iter(|| fit(&profile_kernel(&spec, KernelClass::Mgard, &default_sweep()), 0.9))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

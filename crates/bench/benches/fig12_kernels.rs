@@ -1,0 +1,29 @@
+//! Fig. 12 bench: portable kernel throughput on five processors. Prints
+//! the figure, then times the three kernels on the CPU adapter (the row
+//! measured in wall time).
+use bench::{fig12, kernel_throughput, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr::{Codec, CpuParallelAdapter, MgardConfig, ZfpConfig};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", fig12(&scale));
+    let (input, meta) = scale.nyx(6);
+    let adapter = CpuParallelAdapter::with_defaults();
+    for (name, codec) in [
+        ("mgard", Codec::Mgard(MgardConfig::relative(1e-2))),
+        ("zfp", Codec::Zfp(ZfpConfig::fixed_rate(16))),
+        ("huffman", Codec::Huffman),
+    ] {
+        c.bench_function(&format!("fig12/cpu_kernel_{name}"), |b| {
+            b.iter(|| kernel_throughput(&adapter, codec, &input, &meta))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

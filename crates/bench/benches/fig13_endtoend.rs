@@ -1,0 +1,40 @@
+//! Fig. 13 bench: None vs Fixed vs Adaptive end-to-end pipelines.
+use bench::{fig13, work, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr::{Codec, MgardConfig, PipelineOptions};
+use hpdr_pipeline::compress_pipelined;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", fig13(&scale));
+    let spec = scale.spec(&hpdr_sim::spec::v100());
+    let (input, meta) = scale.nyx(7);
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    for (name, opts) in [
+        ("none", PipelineOptions::unpipelined()),
+        ("fixed", scale.fixed()),
+        ("adaptive", scale.adaptive()),
+    ] {
+        c.bench_function(&format!("fig13/mgard_{name}"), |b| {
+            b.iter(|| {
+                compress_pipelined(
+                    &spec,
+                    work(),
+                    Arc::clone(&reducer),
+                    Arc::clone(&input),
+                    &meta,
+                    &opts,
+                )
+                .unwrap()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

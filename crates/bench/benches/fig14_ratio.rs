@@ -1,0 +1,22 @@
+//! Fig. 14 bench: compression-ratio cost of chunking.
+use bench::{fig14, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr::{Codec, MgardConfig, SerialAdapter};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", fig14(&scale));
+    let (input, meta) = scale.nyx(8);
+    let adapter = SerialAdapter::new();
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-4)).reducer();
+    c.bench_function("fig14/whole_array_compress", |b| {
+        b.iter(|| reducer.compress(&adapter, &input, &meta).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

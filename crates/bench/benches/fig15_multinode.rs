@@ -1,0 +1,29 @@
+//! Fig. 15 bench: multi-node aggregate reduction throughput.
+use bench::{fig15, profile, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr::{Codec, MgardConfig};
+use hpdr_io::summit;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", fig15(&scale));
+    let sys = summit();
+    let adaptive = scale.adaptive();
+    c.bench_function("fig15/summit_profile_measurement", |b| {
+        b.iter(|| {
+            profile(
+                &scale,
+                &sys,
+                Codec::Mgard(MgardConfig::relative(1e-2)),
+                Some(&adaptive),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

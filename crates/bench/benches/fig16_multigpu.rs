@@ -1,0 +1,36 @@
+//! Fig. 16 bench: multi-GPU scalability with and without the CMM.
+use bench::{fig16, work, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr::{Codec, MgardConfig};
+use hpdr_pipeline::compress_multi_gpu;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", fig16(&scale));
+    let spec = scale.spec(&hpdr_sim::spec::v100());
+    let (input, meta) = scale.nyx(10);
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    c.bench_function("fig16/six_gpu_node_compress", |b| {
+        b.iter(|| {
+            let inputs: Vec<_> = (0..6).map(|_| Arc::clone(&input)).collect();
+            compress_multi_gpu(
+                &spec,
+                6,
+                work(),
+                Arc::clone(&reducer),
+                inputs,
+                &meta,
+                &scale.fixed(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

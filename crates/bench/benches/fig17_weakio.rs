@@ -1,0 +1,33 @@
+//! Fig. 17 bench: weak-scaling I/O acceleration.
+use bench::{fig17, profile, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr::{Codec, MgardConfig};
+use hpdr_io::{summit, write_cost};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", fig17(&scale));
+    let sys = summit();
+    let adaptive = scale.adaptive();
+    let p = profile(
+        &scale,
+        &sys,
+        Codec::Mgard(MgardConfig::relative(1e-2)),
+        Some(&adaptive),
+    );
+    c.bench_function("fig17/weak_scaling_cost_model", |b| {
+        b.iter(|| {
+            (64..=512usize)
+                .step_by(64)
+                .map(|n| write_cost(&sys, n, 7_500_000_000, Some(&p)).total())
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 18 bench: strong-scaling I/O on Frontier.
+use bench::{fig18, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpdr_io::{frontier, strong_scaling_write};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::bench();
+    println!("{}", fig18(&scale));
+    let sys = frontier();
+    c.bench_function("fig18/strong_scaling_sweep", |b| {
+        b.iter(|| {
+            [512usize, 1024, 2048]
+                .iter()
+                .map(|&n| strong_scaling_write(&sys, n, 32 << 40, None).total())
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

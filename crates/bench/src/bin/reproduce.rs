@@ -1,0 +1,61 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin reproduce -- all
+//! cargo run --release -p bench --bin reproduce -- fig13 fig16
+//! cargo run --release -p bench --bin reproduce -- --large all
+//! ```
+
+use bench::{ablations, fig01, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18};
+use bench::{table1, table2, table3, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--large") {
+        Scale::large()
+    } else if args.iter().any(|a| a == "--bench-scale") {
+        Scale::bench()
+    } else {
+        Scale::report()
+    };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+        vec![
+            "table1", "table2", "table3", "fig1", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16", "fig17", "fig18", "ablations",
+        ]
+    } else {
+        targets
+    };
+    println!(
+        "HPDR experiment reproduction (scale factor 1/{}, data: NYX {}^3 ...)\n",
+        scale.factor, scale.nyx_side
+    );
+    for t in targets {
+        let section = match t {
+            "table1" => table1(),
+            "table2" => table2(),
+            "table3" => table3(&scale),
+            "fig1" | "fig01" => fig01(&scale),
+            "fig10" => fig10(&scale),
+            "fig11" => fig11(&scale),
+            "fig12" => fig12(&scale),
+            "fig13" => fig13(&scale),
+            "fig14" => fig14(&scale),
+            "fig15" => fig15(&scale),
+            "fig16" => fig16(&scale),
+            "fig17" => fig17(&scale),
+            "fig18" => fig18(&scale),
+            "ablations" => ablations(&scale),
+            other => {
+                eprintln!("unknown target '{other}'");
+                continue;
+            }
+        };
+        println!("{section}");
+    }
+}

@@ -1,0 +1,1 @@
+// Shim crate: example binaries live in /examples at the workspace root.

@@ -1,0 +1,20 @@
+//! # hpdr-baselines — comparator reduction pipelines
+//!
+//! The non-HPDR compressors the paper evaluates against (§VI-A):
+//!
+//! * [`szlike`] — "cuSZ v0.6" analogue: dual-quant Lorenzo prediction +
+//!   Huffman with escape-coded outliers (guaranteed error bound);
+//! * [`lz4like`] — "nvCOMP-LZ4 v2.2" analogue: greedy hash-table LZ77
+//!   (lossless, ~1.1× on float data);
+//!
+//! plus the MGARD-GPU / ZFP-CUDA comparators, which reuse the portable
+//! kernels but run them through the *non-optimized* pipeline (no
+//! transfer overlap, per-call allocations) — see
+//! `hpdr-pipeline::runner::PipelineMode::None` with CMM disabled.
+
+pub mod lorenzo;
+pub mod lz4like;
+pub mod szlike;
+
+pub use lz4like::{lz_compress, lz_decompress, Lz4Reducer};
+pub use szlike::{SzConfig, SzReducer};

@@ -1,0 +1,146 @@
+//! Lorenzo prediction on pre-quantized integers (the cuSZ "dual-quant"
+//! scheme): quantize first (`q = round(v / 2eb)`), then take the
+//! n-dimensional Lorenzo difference on exact integers. The integer delta
+//! is fully parallel both ways — the inverse is one inclusive prefix-sum
+//! per axis — which is precisely the trick that made SZ GPU-friendly.
+
+use hpdr_core::Shape;
+
+/// Forward n-dimensional Lorenzo difference, in place.
+/// `delta[x] = Σ_{S ⊆ dims, S≠∅} (-1)^{|S|+1} q[x - 1_S]` subtracted from
+/// `q[x]`; computed as one backward-difference pass per axis.
+pub fn lorenzo_forward(q: &mut [i64], shape: &Shape) {
+    let dims = shape.dims().to_vec();
+    let strides = shape.strides();
+    for d in 0..dims.len() {
+        backward_diff_axis(q, &dims, &strides, d);
+    }
+}
+
+/// Inverse n-dimensional Lorenzo: one inclusive prefix-sum per axis (in
+/// reverse axis order; the per-axis operators commute, but we mirror the
+/// forward order for clarity).
+pub fn lorenzo_inverse(q: &mut [i64], shape: &Shape) {
+    let dims = shape.dims().to_vec();
+    let strides = shape.strides();
+    for d in (0..dims.len()).rev() {
+        prefix_sum_axis(q, &dims, &strides, d);
+    }
+}
+
+fn for_each_line(
+    dims: &[usize],
+    strides: &[usize],
+    axis: usize,
+    mut f: impl FnMut(usize /* base */, usize /* stride */, usize /* len */),
+) {
+    let nd = dims.len();
+    let lines: usize = dims.iter().product::<usize>() / dims[axis];
+    for line in 0..lines {
+        let mut rem = line;
+        let mut base = 0usize;
+        for d in (0..nd).rev() {
+            if d == axis {
+                continue;
+            }
+            base += (rem % dims[d]) * strides[d];
+            rem /= dims[d];
+        }
+        f(base, strides[axis], dims[axis]);
+    }
+}
+
+fn backward_diff_axis(q: &mut [i64], dims: &[usize], strides: &[usize], axis: usize) {
+    for_each_line(dims, strides, axis, |base, stride, len| {
+        // Walk from the end so each read sees the original value.
+        for i in (1..len).rev() {
+            let cur = base + i * stride;
+            let prev = base + (i - 1) * stride;
+            q[cur] = q[cur].wrapping_sub(q[prev]);
+        }
+    });
+}
+
+fn prefix_sum_axis(q: &mut [i64], dims: &[usize], strides: &[usize], axis: usize) {
+    for_each_line(dims, strides, axis, |base, stride, len| {
+        for i in 1..len {
+            let cur = base + i * stride;
+            let prev = base + (i - 1) * stride;
+            q[cur] = q[cur].wrapping_add(q[prev]);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(shape: &Shape, data: Vec<i64>) {
+        let mut q = data.clone();
+        lorenzo_forward(&mut q, shape);
+        lorenzo_inverse(&mut q, shape);
+        assert_eq!(q, data);
+    }
+
+    #[test]
+    fn roundtrip_1d_2d_3d() {
+        roundtrip(&Shape::new(&[17]), (0..17).map(|i| i * i - 40).collect());
+        roundtrip(
+            &Shape::new(&[6, 9]),
+            (0..54).map(|i| (i * 31 % 100) - 50).collect(),
+        );
+        roundtrip(
+            &Shape::new(&[4, 5, 6]),
+            (0..120).map(|i| (i * 7919 % 1000) - 500).collect(),
+        );
+    }
+
+    #[test]
+    fn constant_field_deltas_are_zero_except_origin() {
+        let shape = Shape::new(&[5, 5]);
+        let mut q = vec![42i64; 25];
+        lorenzo_forward(&mut q, &shape);
+        assert_eq!(q[0], 42);
+        assert!(q[1..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn linear_ramp_produces_small_deltas() {
+        let shape = Shape::new(&[8, 8]);
+        let mut q: Vec<i64> = (0..64).map(|f| (f / 8 + f % 8) as i64).collect();
+        lorenzo_forward(&mut q, &shape);
+        // 2D Lorenzo annihilates bilinear fields away from the borders.
+        for i in 1..8 {
+            for j in 1..8 {
+                assert_eq!(q[i * 8 + j], 0, "interior delta at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_matches_inclusion_exclusion_2d() {
+        let shape = Shape::new(&[3, 4]);
+        let data: Vec<i64> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8];
+        let mut q = data.clone();
+        lorenzo_forward(&mut q, &shape);
+        let at = |i: isize, j: isize| -> i64 {
+            if i < 0 || j < 0 {
+                0
+            } else {
+                data[(i * 4 + j) as usize]
+            }
+        };
+        for i in 0..3isize {
+            for j in 0..4isize {
+                let expect = at(i, j) - at(i - 1, j) - at(i, j - 1) + at(i - 1, j - 1);
+                assert_eq!(q[(i * 4 + j) as usize], expect, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn wrapping_does_not_panic_on_extremes() {
+        let shape = Shape::new(&[4]);
+        roundtrip(&shape, vec![i64::MAX, i64::MIN, 0, -1]);
+    }
+}

@@ -1,0 +1,298 @@
+//! SZ-style error-bounded compressor (the cuSZ comparator, paper §VI-A):
+//! dual-quant Lorenzo prediction + Huffman, with outlier escapes.
+//!
+//! Guarantees `|v − v'| ≤ eb` by construction: values are quantized to
+//! `q = round(v / 2eb)` *before* prediction, and the integer Lorenzo
+//! transform is exact.
+
+use crate::lorenzo::{lorenzo_forward, lorenzo_inverse};
+use hpdr_core::{
+    ArrayMeta, ByteReader, ByteWriter, DType, DeviceAdapter, Float, HpdrError, KernelClass,
+    Reducer, Result, Shape,
+};
+use hpdr_huffman::HuffmanConfig;
+
+const MAGIC: u32 = 0x535A_4C4B; // "SZLK"
+
+/// SZ-like configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SzConfig {
+    /// Error bound relative to the data range.
+    pub rel_bound: f64,
+    pub dict_size: u32,
+}
+
+impl SzConfig {
+    pub fn relative(rel_bound: f64) -> SzConfig {
+        SzConfig {
+            rel_bound,
+            dict_size: 4096,
+        }
+    }
+}
+
+fn compress_typed<T: Float>(
+    adapter: &dyn DeviceAdapter,
+    data: &[T],
+    shape: &Shape,
+    cfg: &SzConfig,
+) -> Result<Vec<u8>> {
+    if cfg.rel_bound <= 0.0 || !cfg.rel_bound.is_finite() {
+        return Err(HpdrError::invalid("relative bound must be positive"));
+    }
+    for &v in data {
+        if !v.is_finite() {
+            return Err(HpdrError::invalid("non-finite value in SZ input"));
+        }
+    }
+    let (mn, mx) = hpdr_kernels::min_max(adapter, data);
+    let range = (mx.to_f64() - mn.to_f64()).max(f64::MIN_POSITIVE);
+    let abs_eb = cfg.rel_bound * range;
+    if range / abs_eb > 1e17 {
+        return Err(HpdrError::unsupported("error bound too tight for i64 quantization"));
+    }
+
+    // Dual-quant: pre-quantize, then exact integer Lorenzo.
+    let twoe = 2.0 * abs_eb;
+    let mut q: Vec<i64> = data.iter().map(|v| (v.to_f64() / twoe).round() as i64).collect();
+    lorenzo_forward(&mut q, shape);
+
+    // Symbolize with escape-coded outliers.
+    let radius = (cfg.dict_size / 2) as i64;
+    let escape = cfg.dict_size - 1;
+    let mut symbols = Vec::with_capacity(q.len());
+    let mut outliers: Vec<(u64, i64)> = Vec::new();
+    for (i, &d) in q.iter().enumerate() {
+        let s = d + radius;
+        if s >= 0 && (s as u32) < escape {
+            symbols.push(s as u32);
+        } else {
+            symbols.push(escape);
+            outliers.push((i as u64, d));
+        }
+    }
+    let encoded = hpdr_huffman::compress_u32(
+        adapter,
+        &symbols,
+        &HuffmanConfig {
+            dict_size: cfg.dict_size,
+            chunk_elems: 1 << 16,
+        },
+    )?;
+    adapter.charge(KernelClass::Lorenzo, (data.len() * T::BYTES) as u64);
+
+    let mut w = ByteWriter::with_capacity(encoded.len() + 64);
+    w.put_u32(MAGIC);
+    w.put_u8(T::DTYPE.tag());
+    w.put_u8(shape.ndims() as u8);
+    for &d in shape.dims() {
+        w.put_u64(d as u64);
+    }
+    w.put_f64(abs_eb);
+    w.put_u32(cfg.dict_size);
+    w.put_u64(outliers.len() as u64);
+    for &(idx, d) in &outliers {
+        w.put_u64(idx);
+        w.put_i64(d);
+    }
+    w.put_block(&encoded);
+    Ok(w.into_vec())
+}
+
+fn decompress_typed<T: Float>(
+    adapter: &dyn DeviceAdapter,
+    stream: &[u8],
+) -> Result<(Vec<T>, Shape)> {
+    let mut r = ByteReader::new(stream);
+    if r.get_u32()? != MAGIC {
+        return Err(HpdrError::corrupt("bad SZ-like magic"));
+    }
+    if r.get_u8()? != T::DTYPE.tag() {
+        return Err(HpdrError::invalid("dtype mismatch"));
+    }
+    let nd = r.get_u8()? as usize;
+    if !(1..=4).contains(&nd) {
+        return Err(HpdrError::corrupt("bad rank"));
+    }
+    let mut dims = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        dims.push(r.get_u64()? as usize);
+    }
+    let shape = Shape::try_new(&dims)?;
+    let abs_eb = r.get_f64()?;
+    if abs_eb <= 0.0 || !abs_eb.is_finite() {
+        return Err(HpdrError::corrupt("bad error bound"));
+    }
+    let dict_size = r.get_u32()?;
+    if dict_size < 16 {
+        return Err(HpdrError::corrupt("bad dict size"));
+    }
+    let n_out = r.get_u64()? as usize;
+    if n_out > shape.num_elements() {
+        return Err(HpdrError::corrupt("too many outliers"));
+    }
+    let mut outliers = Vec::with_capacity(n_out);
+    for _ in 0..n_out {
+        let idx = r.get_u64()?;
+        if idx as usize >= shape.num_elements() {
+            return Err(HpdrError::corrupt("outlier index out of range"));
+        }
+        outliers.push((idx, r.get_i64()?));
+    }
+    let encoded = r.get_block()?;
+    r.expect_exhausted()?;
+    let symbols = hpdr_huffman::decompress_u32(adapter, encoded)?;
+    if symbols.len() != shape.num_elements() {
+        return Err(HpdrError::corrupt("symbol count mismatch"));
+    }
+
+    let radius = (dict_size / 2) as i64;
+    let escape = dict_size - 1;
+    let mut q: Vec<i64> = symbols
+        .iter()
+        .map(|&s| if s == escape { 0 } else { s as i64 - radius })
+        .collect();
+    for &(idx, d) in &outliers {
+        q[idx as usize] = d;
+    }
+    lorenzo_inverse(&mut q, &shape);
+    let twoe = 2.0 * abs_eb;
+    adapter.charge(KernelClass::Lorenzo, (q.len() * T::BYTES) as u64);
+    Ok((q.iter().map(|&v| T::from_f64(v as f64 * twoe)).collect(), shape))
+}
+
+/// SZ-like (cuSZ analogue) as a byte-level reduction pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct SzReducer(pub SzConfig);
+
+impl Reducer for SzReducer {
+    fn name(&self) -> &'static str {
+        "cusz-like"
+    }
+
+    fn kernel_class(&self) -> KernelClass {
+        KernelClass::Lorenzo
+    }
+
+    fn is_lossless(&self) -> bool {
+        false
+    }
+
+    fn compress(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        bytes: &[u8],
+        meta: &ArrayMeta,
+    ) -> Result<Vec<u8>> {
+        if bytes.len() != meta.num_bytes() {
+            return Err(HpdrError::invalid("byte length does not match metadata"));
+        }
+        match meta.dtype {
+            DType::F32 => compress_typed(adapter, &f32::bytes_to_vec(bytes), &meta.shape, &self.0),
+            DType::F64 => compress_typed(adapter, &f64::bytes_to_vec(bytes), &meta.shape, &self.0),
+        }
+    }
+
+    fn decompress(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        stream: &[u8],
+    ) -> Result<(Vec<u8>, ArrayMeta)> {
+        let tag = *stream
+            .get(4)
+            .ok_or_else(|| HpdrError::corrupt("stream too short"))?;
+        match DType::from_tag(tag).ok_or_else(|| HpdrError::corrupt("unknown dtype"))? {
+            DType::F32 => {
+                let (v, shape) = decompress_typed::<f32>(adapter, stream)?;
+                Ok((f32::slice_to_bytes(&v), ArrayMeta::new(DType::F32, shape)))
+            }
+            DType::F64 => {
+                let (v, shape) = decompress_typed::<f64>(adapter, stream)?;
+                Ok((f64::slice_to_bytes(&v), ArrayMeta::new(DType::F64, shape)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::{CpuParallelAdapter, SerialAdapter};
+
+    fn smooth(n: usize) -> Vec<f32> {
+        (0..n * n)
+            .map(|i| {
+                let (x, y) = ((i / n) as f32 / n as f32, (i % n) as f32 / n as f32);
+                (5.0 * x).sin() + (3.0 * y).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn error_bound_guaranteed() {
+        let adapter = CpuParallelAdapter::new(4);
+        let data = smooth(48);
+        let shape = Shape::new(&[48, 48]);
+        for rel in [1e-2f64, 1e-4] {
+            let c = compress_typed(&adapter, &data, &shape, &SzConfig::relative(rel)).unwrap();
+            let (out, _) = decompress_typed::<f32>(&adapter, &c).unwrap();
+            let range = 4.0f64; // ~[-2, 2]
+            let err = data
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| (a - b).abs() as f64)
+                .fold(0.0, f64::max);
+            assert!(err <= rel * range, "rel={rel} err={err}");
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let adapter = SerialAdapter::new();
+        let data = smooth(64);
+        let shape = Shape::new(&[64, 64]);
+        let c = compress_typed(&adapter, &data, &shape, &SzConfig::relative(1e-3)).unwrap();
+        let ratio = (data.len() * 4) as f64 / c.len() as f64;
+        assert!(ratio > 4.0, "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn reducer_roundtrip_and_corruption() {
+        let adapter = SerialAdapter::new();
+        let data = smooth(20);
+        let meta = ArrayMeta::new(DType::F32, Shape::new(&[20, 20]));
+        let r = SzReducer(SzConfig::relative(1e-3));
+        let stream = r.compress(&adapter, &f32::slice_to_bytes(&data), &meta).unwrap();
+        let (bytes, meta2) = r.decompress(&adapter, &stream).unwrap();
+        assert_eq!(meta2, meta);
+        assert_eq!(bytes.len(), data.len() * 4);
+        for cut in [0usize, 3, 11, stream.len() - 1] {
+            assert!(r.decompress(&adapter, &stream[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn outlier_heavy_data_still_bounded() {
+        let adapter = SerialAdapter::new();
+        // Spiky data: every 7th value is a huge spike → lots of escapes.
+        let data: Vec<f64> = (0..500)
+            .map(|i| if i % 7 == 0 { 1e6 } else { (i as f64 * 0.1).sin() })
+            .collect();
+        let shape = Shape::new(&[500]);
+        let c = compress_typed(&adapter, &data, &shape, &SzConfig::relative(1e-4)).unwrap();
+        let (out, _) = decompress_typed::<f64>(&adapter, &c).unwrap();
+        let range = 1e6 + 1.0;
+        let err = data.iter().zip(&out).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err <= 1e-4 * range, "err {err}");
+    }
+
+    #[test]
+    fn rejects_bad_config_and_nan() {
+        let adapter = SerialAdapter::new();
+        let shape = Shape::new(&[4]);
+        assert!(compress_typed(&adapter, &[1.0f32; 4], &shape, &SzConfig::relative(0.0)).is_err());
+        assert!(
+            compress_typed(&adapter, &[f32::NAN; 4], &shape, &SzConfig::relative(1e-3)).is_err()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared across the HPDR crates.
+
+use std::fmt;
+
+/// Errors produced by HPDR codecs, adapters and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HpdrError {
+    /// The input stream is truncated, has a bad magic/version, or fails a
+    /// structural invariant. Decoders must return this instead of panicking.
+    CorruptStream(String),
+    /// A requested feature/parameter combination is not supported.
+    Unsupported(String),
+    /// An argument is out of range or inconsistent (e.g. shape/data mismatch).
+    InvalidArgument(String),
+    /// An underlying (real) I/O error while reading or writing files.
+    Io(String),
+}
+
+impl HpdrError {
+    pub fn corrupt(msg: impl Into<String>) -> HpdrError {
+        HpdrError::CorruptStream(msg.into())
+    }
+    pub fn unsupported(msg: impl Into<String>) -> HpdrError {
+        HpdrError::Unsupported(msg.into())
+    }
+    pub fn invalid(msg: impl Into<String>) -> HpdrError {
+        HpdrError::InvalidArgument(msg.into())
+    }
+}
+
+impl fmt::Display for HpdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HpdrError::CorruptStream(m) => write!(f, "corrupt stream: {m}"),
+            HpdrError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            HpdrError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            HpdrError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HpdrError {}
+
+impl From<std::io::Error> for HpdrError {
+    fn from(e: std::io::Error) -> Self {
+        HpdrError::Io(e.to_string())
+    }
+}
+
+/// Result alias used throughout HPDR.
+pub type Result<T> = std::result::Result<T, HpdrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(HpdrError::corrupt("x").to_string().contains("corrupt"));
+        assert!(HpdrError::unsupported("x").to_string().contains("unsupported"));
+        assert!(HpdrError::invalid("x").to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let e: HpdrError = std::io::Error::other("boom").into();
+        assert!(matches!(e, HpdrError::Io(_)));
+    }
+}

@@ -1,0 +1,256 @@
+//! Scalar abstraction over the two floating-point element types the paper's
+//! datasets use (FP32 and FP64, Table III).
+
+use std::fmt::Debug;
+
+/// Element data type of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    F32,
+    F64,
+}
+
+impl DType {
+    pub fn size(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F64 => 8,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        }
+    }
+
+    pub fn from_tag(tag: u8) -> Option<DType> {
+        match tag {
+            0 => Some(DType::F32),
+            1 => Some(DType::F64),
+            _ => None,
+        }
+    }
+
+    pub fn tag(self) -> u8 {
+        match self {
+            DType::F32 => 0,
+            DType::F64 => 1,
+        }
+    }
+}
+
+/// Floating-point scalar usable by the portable kernels.
+pub trait Float:
+    Copy + Clone + Send + Sync + PartialOrd + PartialEq + Debug + Default + 'static
+{
+    /// Same-width unsigned integer type for bit-level codecs.
+    type Bits: Copy + Send + Sync + Debug + Eq;
+
+    const DTYPE: DType;
+    const BYTES: usize;
+    /// Number of mantissa bits (excluding the implicit leading 1).
+    const MANTISSA_BITS: u32;
+    const ZERO: Self;
+    const ONE: Self;
+
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn to_bits_u64(self) -> u64;
+    fn from_bits_u64(bits: u64) -> Self;
+    fn abs(self) -> Self;
+    fn maxf(self, other: Self) -> Self;
+    fn minf(self, other: Self) -> Self;
+    fn is_finite(self) -> bool;
+    /// IEEE-754 exponent via frexp-style decomposition: returns e such that
+    /// `|self| < 2^e` and `|self| >= 2^(e-1)` for normal values.
+    fn exponent(self) -> i32;
+
+    fn write_le(self, out: &mut Vec<u8>);
+    fn read_le(bytes: &[u8]) -> Self;
+
+    /// View a typed slice as raw little-endian bytes (copy).
+    fn slice_to_bytes(data: &[Self]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() * Self::BYTES);
+        for &v in data {
+            v.write_le(&mut out);
+        }
+        out
+    }
+
+    /// Parse raw little-endian bytes into a typed vector.
+    fn bytes_to_vec(bytes: &[u8]) -> Vec<Self> {
+        assert_eq!(bytes.len() % Self::BYTES, 0, "byte length not a multiple of element size");
+        bytes
+            .chunks_exact(Self::BYTES)
+            .map(|c| Self::read_le(c))
+            .collect()
+    }
+}
+
+impl Float for f32 {
+    type Bits = u32;
+    const DTYPE: DType = DType::F32;
+    const BYTES: usize = 4;
+    const MANTISSA_BITS: u32 = 23;
+    const ZERO: f32 = 0.0;
+    const ONE: f32 = 1.0;
+
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    fn from_bits_u64(bits: u64) -> f32 {
+        f32::from_bits(bits as u32)
+    }
+    fn abs(self) -> f32 {
+        f32::abs(self)
+    }
+    fn maxf(self, other: f32) -> f32 {
+        f32::max(self, other)
+    }
+    fn minf(self, other: f32) -> f32 {
+        f32::min(self, other)
+    }
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    fn exponent(self) -> i32 {
+        frexp_exp(self as f64)
+    }
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_le(bytes: &[u8]) -> f32 {
+        f32::from_le_bytes(bytes[..4].try_into().unwrap())
+    }
+}
+
+impl Float for f64 {
+    type Bits = u64;
+    const DTYPE: DType = DType::F64;
+    const BYTES: usize = 8;
+    const MANTISSA_BITS: u32 = 52;
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_bits_u64(bits: u64) -> f64 {
+        f64::from_bits(bits)
+    }
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    fn maxf(self, other: f64) -> f64 {
+        f64::max(self, other)
+    }
+    fn minf(self, other: f64) -> f64 {
+        f64::min(self, other)
+    }
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    fn exponent(self) -> i32 {
+        frexp_exp(self)
+    }
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_le(bytes: &[u8]) -> f64 {
+        f64::from_le_bytes(bytes[..8].try_into().unwrap())
+    }
+}
+
+/// frexp-style exponent: smallest e with |v| < 2^e (0 for v == 0).
+fn frexp_exp(v: f64) -> i32 {
+    if v == 0.0 || !v.is_finite() {
+        return 0;
+    }
+    // log2-based frexp; exact because ilogb on normal doubles is exact.
+    let a = v.abs();
+    let mut e = a.log2().floor() as i32 + 1;
+    // Guard against rounding at exact powers of two.
+    while 2f64.powi(e - 1) > a {
+        e -= 1;
+    }
+    while 2f64.powi(e) <= a {
+        e += 1;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_roundtrip_tags() {
+        for d in [DType::F32, DType::F64] {
+            assert_eq!(DType::from_tag(d.tag()), Some(d));
+        }
+        assert_eq!(DType::from_tag(9), None);
+    }
+
+    #[test]
+    fn le_roundtrip_f32() {
+        let mut buf = Vec::new();
+        1.5f32.write_le(&mut buf);
+        assert_eq!(f32::read_le(&buf), 1.5);
+    }
+
+    #[test]
+    fn le_roundtrip_f64() {
+        let mut buf = Vec::new();
+        (-0.125f64).write_le(&mut buf);
+        assert_eq!(f64::read_le(&buf), -0.125);
+    }
+
+    #[test]
+    fn slice_bytes_roundtrip() {
+        let data = vec![1.0f32, -2.5, 0.0, 3.25e10];
+        let bytes = f32::slice_to_bytes(&data);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(f32::bytes_to_vec(&bytes), data);
+    }
+
+    #[test]
+    fn exponent_matches_frexp_semantics() {
+        // |v| in [2^(e-1), 2^e)
+        for (v, e) in [(1.0f64, 1), (0.5, 0), (0.75, 0), (2.0, 2), (3.9, 2), (4.0, 3)] {
+            assert_eq!(v.exponent(), e, "v={v}");
+            assert_eq!((-v).exponent(), e, "v={v}");
+        }
+        assert_eq!(0.0f64.exponent(), 0);
+    }
+
+    #[test]
+    fn exponent_bounds_value() {
+        for &v in &[1e-20f64, 3.7e-5, 0.1, 1.0, 123.456, 7.9e18] {
+            let e = v.exponent();
+            assert!(v.abs() < 2f64.powi(e));
+            assert!(v.abs() >= 2f64.powi(e - 1));
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let v = -123.456f64;
+        assert_eq!(f64::from_bits_u64(v.to_bits_u64()), v);
+        let w = 9.5f32;
+        assert_eq!(f32::from_bits_u64(w.to_bits_u64()), w);
+    }
+}

@@ -1,0 +1,143 @@
+//! Worker-pool primitives used by the CPU device adapters.
+//!
+//! Work distribution is a chunked atomic-counter loop over scoped threads —
+//! the OpenMP `schedule(dynamic, grain)` analogue. Scoped threads keep the
+//! API borrow-friendly (bodies may capture locals by reference).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers to use by default (logical cores).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Dynamic-schedule parallel for: invoke `body(i)` for every `i in 0..n`
+/// using up to `threads` workers, pulling `grain` indices at a time.
+pub fn parallel_for(threads: usize, n: usize, grain: usize, body: &(dyn Fn(usize) + Sync)) {
+    let grain = grain.max(1);
+    if n == 0 {
+        return;
+    }
+    let workers = threads.clamp(1, n.div_ceil(grain));
+    if workers == 1 {
+        for i in 0..n {
+            body(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let start = next.fetch_add(grain, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + grain).min(n);
+                for i in start..end {
+                    body(i);
+                }
+            });
+        }
+    })
+    .expect("worker panicked in parallel_for");
+}
+
+/// Parallel for with per-worker scratch buffers (the GEM "staging" memory).
+/// Each group id `0..groups` is executed exactly once by some worker; the
+/// scratch is exclusive to the worker for the duration of the group body,
+/// mirroring GPU shared memory / per-core cache staging (paper Table II).
+pub fn parallel_for_with_scratch(
+    threads: usize,
+    groups: usize,
+    scratch_bytes: usize,
+    body: &(dyn Fn(usize, &mut [u8]) + Sync),
+) {
+    if groups == 0 {
+        return;
+    }
+    let workers = threads.clamp(1, groups);
+    if workers == 1 {
+        let mut scratch = vec![0u8; scratch_bytes];
+        for g in 0..groups {
+            scratch.fill(0);
+            body(g, &mut scratch);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| {
+                let mut scratch = vec![0u8; scratch_bytes];
+                loop {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    if g >= groups {
+                        break;
+                    }
+                    scratch.fill(0);
+                    body(g, &mut scratch);
+                }
+            });
+        }
+    })
+    .expect("worker panicked in parallel_for_with_scratch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_all_indices_once() {
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(4, 1000, 7, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_items_is_noop() {
+        parallel_for(4, 0, 1, &|_| panic!("must not be called"));
+        parallel_for_with_scratch(4, 0, 16, &|_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let sum = AtomicU64::new(0);
+        parallel_for(1, 10, 100, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn scratch_is_zeroed_per_group() {
+        let bad = AtomicU64::new(0);
+        parallel_for_with_scratch(3, 50, 8, &|g, scratch| {
+            if scratch.iter().any(|&b| b != 0) {
+                bad.fetch_add(1, Ordering::Relaxed);
+            }
+            scratch.fill(g as u8 + 1);
+        });
+        assert_eq!(bad.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn groups_each_run_once() {
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_with_scratch(8, 64, 4, &|g, _| {
+            hits[g].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! The portable reduction-algorithm interface.
+//!
+//! A [`Reducer`] is one full reduction pipeline (MGARD-X, ZFP-X,
+//! Huffman-X, or a comparator baseline) operating on raw little-endian
+//! array bytes. The byte-level interface is what the HDEM pipeline, the
+//! I/O layer and the benchmark harness program against — it lets one
+//! pipeline implementation drive every codec and dtype.
+
+use crate::adapter::DeviceAdapter;
+use crate::error::Result;
+use crate::shape::ArrayMeta;
+use hpdr_sim::KernelClass;
+
+/// A reduction algorithm over raw array bytes.
+pub trait Reducer: Send + Sync {
+    /// Short stable identifier (also stored in containers).
+    fn name(&self) -> &'static str;
+
+    /// Cost-model class for the device simulator.
+    fn kernel_class(&self) -> KernelClass;
+
+    /// Whether reconstruction is bit-exact (lossless).
+    fn is_lossless(&self) -> bool;
+
+    /// Compress the little-endian bytes of the array described by `meta`.
+    fn compress(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        bytes: &[u8],
+        meta: &ArrayMeta,
+    ) -> Result<Vec<u8>>;
+
+    /// Decompress a stream produced by [`Reducer::compress`], returning
+    /// raw little-endian bytes and the array metadata.
+    fn decompress(&self, adapter: &dyn DeviceAdapter, stream: &[u8]) -> Result<(Vec<u8>, ArrayMeta)>;
+}

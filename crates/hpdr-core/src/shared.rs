@@ -1,0 +1,133 @@
+//! Unsynchronized shared slices for disjoint parallel writes.
+//!
+//! Many HPDR kernels have the classic HPC structure "every group writes a
+//! disjoint, statically-determined index set of one output array". Rust's
+//! borrow checker cannot see the disjointness across closure invocations,
+//! so we provide a thin unsafe cell with debug-mode bounds checking. The
+//! *caller* promises disjointness; every use site in this workspace
+//! documents why its index sets are disjoint.
+
+use std::marker::PhantomData;
+
+/// A `Send + Sync` view over a mutable slice allowing unsynchronized
+/// element writes from multiple threads.
+///
+/// # Safety contract
+/// Concurrent callers must write disjoint index sets. Reads of an index
+/// concurrently written by another thread are data races and forbidden.
+#[derive(Clone, Copy)]
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    pub fn new(slice: &'a mut [T]) -> SharedSlice<'a, T> {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write one element.
+    ///
+    /// # Safety
+    /// `i < len`, and no other thread concurrently accesses index `i`.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.len, "SharedSlice write out of bounds: {i} >= {}", self.len);
+        unsafe { self.ptr.add(i).write(v) };
+    }
+
+    /// Read one element.
+    ///
+    /// # Safety
+    /// `i < len`, and no other thread concurrently writes index `i`.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len, "SharedSlice read out of bounds: {i} >= {}", self.len);
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Mutable sub-slice.
+    ///
+    /// # Safety
+    /// The range must be in bounds and not concurrently accessed elsewhere.
+    #[inline]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &'a mut [T] {
+        debug_assert!(start + len <= self.len, "SharedSlice range out of bounds");
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut data = vec![0u64; 1000];
+        let shared = SharedSlice::new(&mut data);
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move |_| {
+                    // Each thread writes indices ≡ t (mod 4): disjoint.
+                    let mut i = t;
+                    while i < 1000 {
+                        unsafe { shared.write(i, i as u64) };
+                        i += 4;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn slice_mut_chunks() {
+        let mut data = vec![0u32; 12];
+        let shared = SharedSlice::new(&mut data);
+        crossbeam::thread::scope(|s| {
+            for c in 0..3 {
+                s.spawn(move |_| {
+                    let chunk = unsafe { shared.slice_mut(c * 4, 4) };
+                    chunk.fill(c as u32 + 1);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn read_back() {
+        let mut data = vec![5u8; 3];
+        let shared = SharedSlice::new(&mut data);
+        unsafe {
+            shared.write(1, 9);
+            assert_eq!(shared.read(1), 9);
+            assert_eq!(shared.read(0), 5);
+        }
+        assert_eq!(shared.len(), 3);
+        assert!(!shared.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! The three evaluation datasets (paper Table III), as seeded synthetic
+//! analogues with the same dimensionality, dtype and smoothness
+//! character. Default sizes are scaled down for laptop-scale runs; the
+//! paper-scale shapes are available through the `scale` parameter.
+//!
+//! | Dataset | Field   | Paper dims            | Type | Size    |
+//! |---------|---------|-----------------------|------|---------|
+//! | NYX     | density | 512×512×512           | FP32 | 536.8MB |
+//! | XGC     | e_f     | 8×33×1117528×37       | FP64 | 87.3GB  |
+//! | E3SM    | PSL     | 2880×240×960          | FP32 | 2.7GB   |
+
+use crate::field::{smooth_field, FieldSpec};
+use hpdr_core::{DType, Shape};
+
+/// A generated dataset: raw little-endian bytes plus metadata.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub name: &'static str,
+    pub field: &'static str,
+    pub dtype: DType,
+    pub shape: Shape,
+    /// Raw values; `f32` datasets are stored as f32 bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl Dataset {
+    pub fn num_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn as_f32(&self) -> Vec<f32> {
+        assert_eq!(self.dtype, DType::F32);
+        self.bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    pub fn as_f64(&self) -> Vec<f64> {
+        assert_eq!(self.dtype, DType::F64);
+        self.bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+}
+
+fn f32_bytes(vals: impl Iterator<Item = f32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn f64_bytes(vals: impl Iterator<Item = f64>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// NYX cosmology baryon density: log-normal field (densities are strictly
+/// positive with long high tails), FP32, cubic grid.
+///
+/// `side = 512` reproduces the paper's shape; the default laptop scale is
+/// `side = 64`.
+pub fn nyx_density(side: usize, seed: u64) -> Dataset {
+    let shape = Shape::new(&[side, side, side]);
+    let g = smooth_field(
+        &shape,
+        &FieldSpec {
+            modes: 28,
+            slope: 2.2,
+            max_wavenumber: 5.0,
+            seed,
+        },
+    );
+    // Log-normal: exp of Gaussian-ish field, scaled to a mean density ~1.
+    let bytes = f32_bytes(g.iter().map(|&v| (2.2 * v).exp() as f32));
+    Dataset {
+        name: "NYX",
+        field: "density",
+        dtype: DType::F32,
+        shape,
+        bytes,
+    }
+}
+
+/// XGC gyrokinetic particle distribution `e_f`: 4D FP64
+/// (planes × poloidal × mesh-nodes × velocity). The mesh-node axis is
+/// scaled by `mesh_nodes` (paper: 1,117,528; default laptop scale
+/// ~2,000). Smooth in velocity space, rougher across mesh nodes.
+pub fn xgc_ef(mesh_nodes: usize, seed: u64) -> Dataset {
+    let shape = Shape::new(&[8, 33, mesh_nodes, 37]);
+    let g = smooth_field(
+        &shape,
+        &FieldSpec {
+            modes: 24,
+            slope: 2.0,
+            max_wavenumber: 6.0,
+            seed,
+        },
+    );
+    // Distribution functions are non-negative with a Maxwellian-like bulk.
+    let bytes = f64_bytes(g.iter().map(|&v| (1.5 * v).exp()));
+    Dataset {
+        name: "XGC",
+        field: "e_f",
+        dtype: DType::F64,
+        shape,
+        bytes,
+    }
+}
+
+/// E3SM sea-level pressure `PSL`: (time × lat × lon) FP32, very smooth
+/// large-scale structure around ~101 kPa.
+///
+/// `time = 2880, lat = 240, lon = 960` reproduces the paper's shape; the
+/// default laptop scale is `(48, 60, 120)`.
+pub fn e3sm_psl(time: usize, lat: usize, lon: usize, seed: u64) -> Dataset {
+    let shape = Shape::new(&[time, lat, lon]);
+    let g = smooth_field(
+        &shape,
+        &FieldSpec {
+            modes: 20,
+            slope: 3.0,
+            max_wavenumber: 3.0,
+            seed,
+        },
+    );
+    let bytes = f32_bytes(g.iter().map(|&v| 101_325.0 + 2_000.0 * v as f32));
+    Dataset {
+        name: "E3SM",
+        field: "PSL",
+        dtype: DType::F32,
+        shape,
+        bytes,
+    }
+}
+
+/// Laptop-scale default instances of the three Table III datasets.
+pub fn default_suite(seed: u64) -> Vec<Dataset> {
+    vec![
+        nyx_density(48, seed),
+        xgc_ef(160, seed + 1),
+        e3sm_psl(32, 48, 96, seed + 2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nyx_has_table_iii_shape_character() {
+        let d = nyx_density(32, 1);
+        assert_eq!(d.dtype, DType::F32);
+        assert_eq!(d.shape.dims(), &[32, 32, 32]);
+        assert_eq!(d.num_bytes(), 32 * 32 * 32 * 4);
+        let vals = d.as_f32();
+        assert!(vals.iter().all(|&v| v > 0.0), "densities are positive");
+    }
+
+    #[test]
+    fn xgc_is_4d_f64() {
+        let d = xgc_ef(100, 1);
+        assert_eq!(d.dtype, DType::F64);
+        assert_eq!(d.shape.dims(), &[8, 33, 100, 37]);
+        let vals = d.as_f64();
+        assert!(vals.iter().all(|&v| v.is_finite() && v > 0.0));
+    }
+
+    #[test]
+    fn e3sm_is_pressure_like() {
+        let d = e3sm_psl(10, 20, 30, 1);
+        assert_eq!(d.shape.dims(), &[10, 20, 30]);
+        let vals = d.as_f32();
+        for &v in &vals {
+            assert!((90_000.0..115_000.0).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(nyx_density(16, 7).bytes, nyx_density(16, 7).bytes);
+        assert_ne!(nyx_density(16, 7).bytes, nyx_density(16, 8).bytes);
+    }
+
+    #[test]
+    fn default_suite_has_three_table_iii_entries() {
+        let suite = default_suite(0);
+        let names: Vec<&str> = suite.iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["NYX", "XGC", "E3SM"]);
+    }
+
+    #[test]
+    fn paper_scale_shapes_supported() {
+        // Construct shape descriptors only (don't allocate 87 GB!).
+        let shape = Shape::new(&[8, 33, 1_117_528, 37]);
+        assert_eq!(shape.num_elements() * 8, 87_328_108_032); // ≈ 87.3 GB
+        let nyx = Shape::new(&[512, 512, 512]);
+        assert_eq!(nyx.num_elements() * 4, 536_870_912); // ≈ 536.8 MB
+        let e3sm = Shape::new(&[2880, 240, 960]);
+        assert_eq!(e3sm.num_elements() * 4, 2_654_208_000); // ≈ 2.7 GB
+    }
+}

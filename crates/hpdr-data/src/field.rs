@@ -1,0 +1,178 @@
+//! Smooth random field synthesis.
+//!
+//! Scientific fields (cosmology densities, plasma distributions, climate
+//! pressure) are spatially correlated with power-law spectra. We
+//! synthesize them as sums of random Fourier modes with amplitudes
+//! `~ |k|^{-p}` — the spectral slope `p` controls smoothness and hence
+//! compressibility, which is the property the paper's compression-ratio
+//! trends depend on.
+
+use hpdr_core::Shape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a random-mode field.
+#[derive(Debug, Clone)]
+pub struct FieldSpec {
+    /// Number of Fourier modes.
+    pub modes: usize,
+    /// Spectral slope `p` (larger = smoother).
+    pub slope: f64,
+    /// Maximum wavenumber per axis (cycles across the domain).
+    pub max_wavenumber: f64,
+    pub seed: u64,
+}
+
+impl Default for FieldSpec {
+    fn default() -> Self {
+        FieldSpec {
+            modes: 24,
+            slope: 1.8,
+            max_wavenumber: 12.0,
+            seed: 0x48_50_44_52, // "HPDR"
+        }
+    }
+}
+
+struct Mode {
+    /// Wave vector in radians per unit coordinate (normalized domain).
+    k: [f64; 4],
+    phase: f64,
+    amp: f64,
+}
+
+/// Generate a smooth field over `shape`, values roughly in `[-1, 1]`.
+pub fn smooth_field(shape: &Shape, spec: &FieldSpec) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let nd = shape.ndims();
+    let modes: Vec<Mode> = (0..spec.modes)
+        .map(|_| {
+            let mut k = [0.0f64; 4];
+            let mut norm: f64 = 0.0;
+            for kd in k.iter_mut().take(nd) {
+                let w: f64 = rng.gen_range(-spec.max_wavenumber..=spec.max_wavenumber);
+                *kd = w * std::f64::consts::TAU;
+                norm += w * w;
+            }
+            let norm = norm.sqrt().max(0.5);
+            Mode {
+                k,
+                phase: rng.gen_range(0.0..std::f64::consts::TAU),
+                amp: norm.powf(-spec.slope),
+            }
+        })
+        .collect();
+    let amp_total: f64 = modes.iter().map(|m| m.amp).sum::<f64>().max(1e-12);
+
+    let dims = shape.dims();
+    let n = shape.num_elements();
+    let strides = shape.strides();
+    let mut out = vec![0.0f64; n];
+    for (flat, slot) in out.iter_mut().enumerate() {
+        let mut x = [0.0f64; 4];
+        let mut rem = flat;
+        for d in 0..nd {
+            let idx = rem / strides[d];
+            rem %= strides[d];
+            x[d] = idx as f64 / dims[d] as f64;
+        }
+        let mut v = 0.0;
+        for m in &modes {
+            let mut arg = m.phase;
+            for (kd, xd) in m.k[..nd].iter().zip(&x[..nd]) {
+                arg += kd * xd;
+            }
+            v += m.amp * arg.sin();
+        }
+        *slot = v / amp_total * 2.0;
+    }
+    out
+}
+
+/// Add white noise of the given amplitude (reduces compressibility —
+/// useful for ratio-vs-error sweeps).
+pub fn add_noise(data: &mut [f64], amplitude: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in data {
+        *v += rng.gen_range(-amplitude..=amplitude);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let shape = Shape::new(&[16, 16]);
+        let a = smooth_field(&shape, &FieldSpec::default());
+        let b = smooth_field(&shape, &FieldSpec::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let shape = Shape::new(&[16, 16]);
+        let a = smooth_field(&shape, &FieldSpec::default());
+        let b = smooth_field(
+            &shape,
+            &FieldSpec {
+                seed: 999,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn values_are_bounded_and_finite() {
+        let shape = Shape::new(&[10, 10, 10]);
+        let f = smooth_field(&shape, &FieldSpec::default());
+        for &v in &f {
+            assert!(v.is_finite());
+            assert!(v.abs() <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn smoother_slope_gives_smaller_gradients() {
+        let shape = Shape::new(&[256]);
+        let rough = smooth_field(
+            &shape,
+            &FieldSpec {
+                slope: 0.4,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let smooth = smooth_field(
+            &shape,
+            &FieldSpec {
+                slope: 3.0,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let tv = |d: &[f64]| -> f64 {
+            let range = d.iter().cloned().fold(f64::MIN, f64::max)
+                - d.iter().cloned().fold(f64::MAX, f64::min);
+            d.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / range.max(1e-12)
+        };
+        assert!(tv(&smooth) < tv(&rough), "{} !< {}", tv(&smooth), tv(&rough));
+    }
+
+    #[test]
+    fn noise_changes_data() {
+        let shape = Shape::new(&[64]);
+        let mut f = smooth_field(&shape, &FieldSpec::default());
+        let orig = f.clone();
+        add_noise(&mut f, 0.1, 42);
+        assert_ne!(f, orig);
+        let max_delta = f
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_delta <= 0.1);
+    }
+}

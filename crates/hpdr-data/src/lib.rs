@@ -1,0 +1,14 @@
+//! # hpdr-data — synthetic evaluation datasets
+//!
+//! Seeded synthetic analogues of the paper's Table III datasets (NYX
+//! density, XGC e_f, E3SM PSL). The paper's originals are production
+//! simulation outputs we cannot redistribute; these generators match
+//! their dimensionality, dtype, positivity and smoothness character, so
+//! compression-ratio *trends* (who compresses better, how ratio scales
+//! with error bound) are preserved even though absolute ratios differ.
+
+pub mod datasets;
+pub mod field;
+
+pub use datasets::{default_suite, e3sm_psl, nyx_density, xgc_ef, Dataset};
+pub use field::{add_noise, smooth_field, FieldSpec};

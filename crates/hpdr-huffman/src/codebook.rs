@@ -1,0 +1,504 @@
+//! Two-phase treeless Huffman codebook generation (paper Alg. 2 line 5,
+//! following Ostadzadeh et al.'s two-phase parallel algorithm):
+//!
+//! * **Phase 1** computes optimal code *lengths* directly from the sorted
+//!   frequency array (no explicit tree walk at assignment time);
+//! * **Phase 2** assigns *canonical* codewords from the lengths alone.
+//!
+//! Canonical codes make the codebook self-describing from `(symbol,
+//! length)` pairs only — the property that keeps HPDR streams portable
+//! across architectures (any device can rebuild the identical decoder).
+
+use hpdr_core::{HpdrError, Result};
+use hpdr_kernels::radix_sort_by_key;
+
+/// Longest codeword we accept. Depth `L` requires a total input count of
+/// at least Fibonacci(L+2), so 64 is unreachable for physical inputs; we
+/// enforce it defensively for corrupt streams.
+pub const MAX_CODE_LEN: u32 = 64;
+
+/// One symbol's canonical code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Code {
+    /// Codeword bits, *bit-reversed* so an LSB-first bit writer emits the
+    /// canonical code MSB-first.
+    pub bits_rev: u64,
+    /// Code length in bits (0 = symbol does not occur).
+    pub len: u32,
+}
+
+/// A canonical Huffman codebook over symbols `0..dict_size`.
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    dict_size: u32,
+    /// Per-symbol canonical codes.
+    codes: Vec<Code>,
+    /// Decoder tables: symbols sorted by (len, symbol).
+    sorted_symbols: Vec<u32>,
+    /// count[l] = number of codes of length l (index 0 unused).
+    length_count: Vec<u32>,
+    /// first_code[l] = canonical value of the first code of length l.
+    first_code: Vec<u64>,
+    /// sym_base[l] = index into `sorted_symbols` of the first symbol of
+    /// length l.
+    sym_base: Vec<u32>,
+    max_len: u32,
+}
+
+fn reverse_bits(v: u64, nbits: u32) -> u64 {
+    if nbits == 0 {
+        return 0;
+    }
+    v.reverse_bits() >> (64 - nbits)
+}
+
+/// Phase 1: optimal code lengths from frequencies via the two-queue
+/// method over the frequency-sorted leaves. O(n log n) in the sort,
+/// O(n) in the merge.
+#[allow(clippy::explicit_counter_loop)] // `internal_tail` is the arena tail, not a counter
+fn code_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u32)> {
+    let n = freqs.len();
+    match n {
+        0 => return Vec::new(),
+        1 => return vec![(freqs[0].0, 1)],
+        _ => {}
+    }
+    // Sort (freq, symbol) ascending; stable tie-break on symbol keeps the
+    // codebook deterministic across platforms.
+    let mut pairs: Vec<(u64, u32)> = freqs.iter().map(|&(s, f)| (f, s)).collect();
+    radix_sort_by_key(&mut pairs);
+
+    // Node arena: leaves 0..n, internal nodes appended after.
+    let total_nodes = 2 * n - 1;
+    let mut weight = vec![0u64; total_nodes];
+    let mut parent = vec![usize::MAX; total_nodes];
+    for (i, &(f, _)) in pairs.iter().enumerate() {
+        weight[i] = f;
+    }
+    // Two queues: leaves (by index, already sorted) and internal nodes
+    // (created in nondecreasing weight order).
+    let mut leaf = 0usize;
+    let mut internal_head = n;
+    let mut internal_tail = n;
+    let pick = |leaf: &mut usize,
+                    internal_head: &mut usize,
+                    internal_tail: usize,
+                    weight: &[u64]|
+     -> usize {
+        let leaf_ok = *leaf < n;
+        let int_ok = *internal_head < internal_tail;
+        let take_leaf = match (leaf_ok, int_ok) {
+            (true, true) => weight[*leaf] <= weight[*internal_head],
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => unreachable!("ran out of nodes"),
+        };
+        if take_leaf {
+            *leaf += 1;
+            *leaf - 1
+        } else {
+            *internal_head += 1;
+            *internal_head - 1
+        }
+    };
+    for _ in 0..n - 1 {
+        let a = pick(&mut leaf, &mut internal_head, internal_tail, &weight);
+        let b = pick(&mut leaf, &mut internal_head, internal_tail, &weight);
+        let idx = internal_tail;
+        internal_tail += 1;
+        weight[idx] = weight[a] + weight[b];
+        parent[a] = idx;
+        parent[b] = idx;
+    }
+    // Depth of each leaf = code length.
+    let mut out = Vec::with_capacity(n);
+    for (i, &(_, sym)) in pairs.iter().enumerate() {
+        let mut d = 0u32;
+        let mut node = i;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            d += 1;
+        }
+        out.push((sym, d.max(1)));
+    }
+    out
+}
+
+impl Codebook {
+    /// Build a codebook from per-symbol frequencies (`freqs.len()` =
+    /// dictionary size). Symbols with zero frequency get no code.
+    pub fn from_frequencies(freqs: &[u64]) -> Result<Codebook> {
+        let dict_size = freqs.len() as u32;
+        // Alg. 2 line 4: filter non-zero frequencies.
+        let nonzero: Vec<(u32, u64)> = freqs
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(s, &f)| (s as u32, f))
+            .collect();
+        let lengths = code_lengths(&nonzero);
+        Self::from_lengths_inner(dict_size, &lengths)
+    }
+
+    /// Rebuild a codebook from `(symbol, length)` pairs (decoder side).
+    pub fn from_lengths(dict_size: u32, lengths: &[(u32, u32)]) -> Result<Codebook> {
+        Self::from_lengths_inner(dict_size, lengths)
+    }
+
+    fn from_lengths_inner(dict_size: u32, lengths: &[(u32, u32)]) -> Result<Codebook> {
+        let max_len = lengths.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        if max_len > MAX_CODE_LEN {
+            return Err(HpdrError::corrupt(format!(
+                "Huffman code length {max_len} exceeds {MAX_CODE_LEN}"
+            )));
+        }
+        let mut codes = vec![Code::default(); dict_size as usize];
+        // Phase 2: canonical assignment. Symbols sorted by (length, symbol).
+        let mut sorted: Vec<(u32, u32)> = lengths.to_vec();
+        sorted.sort_unstable_by_key(|&(sym, len)| (len, sym));
+        let mut length_count = vec![0u32; max_len as usize + 1];
+        for &(sym, len) in &sorted {
+            if len == 0 || len > MAX_CODE_LEN {
+                return Err(HpdrError::corrupt("zero or oversized code length"));
+            }
+            if sym >= dict_size {
+                return Err(HpdrError::corrupt(format!(
+                    "symbol {sym} outside dictionary of {dict_size}"
+                )));
+            }
+            length_count[len as usize] += 1;
+        }
+        // Kraft check: sum 2^-l must be <= 1 for decodability (== 1 for a
+        // complete code; single-symbol books are incomplete but valid).
+        let mut kraft: u128 = 0;
+        for (l, &c) in length_count.iter().enumerate().skip(1) {
+            kraft += (c as u128) << (MAX_CODE_LEN as usize + 1 - l);
+        }
+        if kraft > 1u128 << (MAX_CODE_LEN as usize + 1) {
+            return Err(HpdrError::corrupt("code lengths violate Kraft inequality"));
+        }
+
+        let mut first_code = vec![0u64; max_len as usize + 1];
+        let mut sym_base = vec![0u32; max_len as usize + 1];
+        let mut code = 0u64;
+        let mut base = 0u32;
+        for l in 1..=max_len as usize {
+            code = (code + length_count[l - 1] as u64) << 1;
+            first_code[l] = code;
+            sym_base[l] = base;
+            base += length_count[l];
+            // `code` tracks the first code of length l; advance by the
+            // codes of this length for the next iteration's shift.
+        }
+        // Assign codes in (len, sym) order.
+        let mut next = first_code.clone();
+        let mut sorted_symbols = Vec::with_capacity(sorted.len());
+        for &(sym, len) in &sorted {
+            let c = next[len as usize];
+            next[len as usize] += 1;
+            if len < 64 && c >= (1u64 << len) {
+                return Err(HpdrError::corrupt("canonical code overflow"));
+            }
+            codes[sym as usize] = Code {
+                bits_rev: reverse_bits(c, len),
+                len,
+            };
+            sorted_symbols.push(sym);
+        }
+        Ok(Codebook {
+            dict_size,
+            codes,
+            sorted_symbols,
+            length_count,
+            first_code,
+            sym_base,
+            max_len,
+        })
+    }
+
+    pub fn dict_size(&self) -> u32 {
+        self.dict_size
+    }
+
+    pub fn max_len(&self) -> u32 {
+        self.max_len
+    }
+
+    /// The code for `symbol` (len 0 if the symbol never occurs).
+    #[inline]
+    pub fn code(&self, symbol: u32) -> Code {
+        self.codes[symbol as usize]
+    }
+
+    /// Number of distinct coded symbols.
+    pub fn num_coded(&self) -> usize {
+        self.sorted_symbols.len()
+    }
+
+    /// `(symbol, length)` pairs for serialization, in canonical order.
+    pub fn length_pairs(&self) -> Vec<(u32, u32)> {
+        self.sorted_symbols
+            .iter()
+            .map(|&s| (s, self.codes[s as usize].len))
+            .collect()
+    }
+
+    /// Decode one symbol from an MSB-first canonical bit source. `next`
+    /// yields successive bits. Returns the symbol.
+    #[inline]
+    pub fn decode_one(&self, mut next: impl FnMut() -> Result<bool>) -> Result<u32> {
+        let mut code: u64 = 0;
+        for len in 1..=self.max_len {
+            code = (code << 1) | next()? as u64;
+            let l = len as usize;
+            let count = self.length_count[l] as u64;
+            if count > 0 && code >= self.first_code[l] && code < self.first_code[l] + count {
+                let idx = self.sym_base[l] as u64 + (code - self.first_code[l]);
+                return Ok(self.sorted_symbols[idx as usize]);
+            }
+        }
+        Err(HpdrError::corrupt("invalid Huffman codeword"))
+    }
+
+    /// Build an accelerated decode table over `width`-bit prefixes.
+    pub fn decode_table(&self, width: u32) -> DecodeTable {
+        DecodeTable::new(self, width)
+    }
+
+    /// Expected encoded size in bits for the given frequency table.
+    pub fn encoded_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(s, &f)| f * self.codes[s].len as u64)
+            .sum()
+    }
+}
+
+/// Lookup-table decoder: a table of `2^width` entries maps every
+/// possible `width`-bit window (LSB-first, as read off the stream) to the
+/// decoded symbol and its code length. Codes longer than `width` fall
+/// back to the bit-by-bit canonical decoder. With the typical skewed
+/// quantizer distributions, ≥ 99% of symbols decode in one table probe.
+#[derive(Debug, Clone)]
+pub struct DecodeTable {
+    width: u32,
+    /// entry = (symbol, code_len); code_len == 0 marks "fall back".
+    entries: Vec<(u32, u8)>,
+}
+
+impl DecodeTable {
+    fn new(book: &Codebook, width: u32) -> DecodeTable {
+        let width = width.clamp(1, 16).min(book.max_len().max(1));
+        let mut entries = vec![(0u32, 0u8); 1usize << width];
+        for sym in 0..book.dict_size() {
+            let code = book.code(sym);
+            if code.len == 0 || code.len > width {
+                continue;
+            }
+            // The stream is written LSB-first with the canonical code
+            // bit-reversed, so a window's low `len` bits equal bits_rev.
+            let step = 1u64 << code.len;
+            let mut w = code.bits_rev;
+            while w < (1u64 << width) {
+                entries[w as usize] = (sym, code.len as u8);
+                w += step;
+            }
+        }
+        DecodeTable { width, entries }
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Probe the table with a `width`-bit window. Returns
+    /// `Some((symbol, bits_consumed))` on a hit.
+    #[inline]
+    pub fn probe(&self, window: u64) -> Option<(u32, u32)> {
+        let (sym, len) = self.entries[(window & ((1u64 << self.width) - 1)) as usize];
+        (len != 0).then_some((sym, len as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book(freqs: &[u64]) -> Codebook {
+        Codebook::from_frequencies(freqs).unwrap()
+    }
+
+    #[test]
+    fn lengths_are_optimal_for_classic_example() {
+        // Freqs 1,1,2,3,5 — known optimal lengths 3,3,3,2,1 (or equivalent).
+        let b = book(&[1, 1, 2, 3, 5]);
+        let total: u64 = b.encoded_bits(&[1, 1, 2, 3, 5]);
+        // Optimal weighted length: 1*3+1*3+2*3+3*2+5*1 = 23? Check against
+        // entropy-optimal Huffman cost computed by hand: merging
+        // (1,1)->2, (2,2)->4, (3,4)->7, (5,7)->12: cost = 2+4+7+12 = 25.
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn kraft_equality_for_complete_codes() {
+        let freqs: Vec<u64> = (1..=64).map(|i| i * i).collect();
+        let b = book(&freqs);
+        let mut kraft = 0.0f64;
+        for s in 0..64u32 {
+            let c = b.code(s);
+            assert!(c.len > 0);
+            kraft += 2f64.powi(-(c.len as i32));
+        }
+        assert!((kraft - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_frequent_symbols_get_shorter_codes() {
+        let b = book(&[1000, 1, 500, 1, 250]);
+        assert!(b.code(0).len <= b.code(2).len);
+        assert!(b.code(2).len <= b.code(4).len);
+        assert!(b.code(4).len <= b.code(1).len);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let b = book(&[0, 42, 0]);
+        assert_eq!(b.code(1).len, 1);
+        assert_eq!(b.code(0).len, 0);
+        assert_eq!(b.num_coded(), 1);
+    }
+
+    #[test]
+    fn empty_frequencies_build_empty_book() {
+        let b = book(&[0, 0, 0]);
+        assert_eq!(b.num_coded(), 0);
+        assert_eq!(b.max_len(), 0);
+    }
+
+    #[test]
+    fn codes_are_prefix_free() {
+        let freqs: Vec<u64> = (0..100).map(|i| (i % 7) + 1).collect();
+        let b = book(&freqs);
+        let canon = |s: u32| {
+            let c = b.code(s);
+            (reverse_bits(c.bits_rev, c.len), c.len)
+        };
+        for a in 0..100u32 {
+            for bsym in 0..100u32 {
+                if a == bsym {
+                    continue;
+                }
+                let (ca, la) = canon(a);
+                let (cb, lb) = canon(bsym);
+                if la == 0 || lb == 0 {
+                    continue;
+                }
+                if la <= lb {
+                    assert_ne!(ca, cb >> (lb - la), "code {a} prefixes {bsym}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_lengths() {
+        let freqs: Vec<u64> = (0..50).map(|i| if i % 3 == 0 { 0 } else { i + 1 }).collect();
+        let b = book(&freqs);
+        let b2 = Codebook::from_lengths(50, &b.length_pairs()).unwrap();
+        for s in 0..50u32 {
+            assert_eq!(b.code(s), b2.code(s), "symbol {s}");
+        }
+    }
+
+    #[test]
+    fn decode_one_inverts_encode() {
+        use hpdr_kernels::{BitReader, BitWriter};
+        let freqs = [7u64, 1, 3, 12, 5, 0, 2];
+        let b = book(&freqs);
+        let symbols = [3u32, 0, 4, 2, 3, 6, 1, 3, 0, 0, 4];
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            let c = b.code(s);
+            w.write_bits(c.bits_rev, c.len);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            let got = b.decode_one(|| r.read_bit()).unwrap();
+            assert_eq!(got, s);
+        }
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        // Kraft violation: three codes of length 1.
+        assert!(Codebook::from_lengths(3, &[(0, 1), (1, 1), (2, 1)]).is_err());
+        // Symbol out of dictionary.
+        assert!(Codebook::from_lengths(2, &[(5, 1)]).is_err());
+        // Zero length.
+        assert!(Codebook::from_lengths(2, &[(0, 0)]).is_err());
+        // Oversized length.
+        assert!(Codebook::from_lengths(2, &[(0, 99)]).is_err());
+    }
+
+    #[test]
+    fn decode_table_agrees_with_bitwise_decoder() {
+        use hpdr_kernels::{BitReader, BitWriter};
+        let freqs: Vec<u64> = (0..200u64).map(|i| (i % 13) * (i % 7) + 1).collect();
+        let b = book(&freqs);
+        let table = b.decode_table(10);
+        let symbols: Vec<u32> = (0..5000u32).map(|i| (i * 31) % 200).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            let c = b.code(s);
+            w.write_bits(c.bits_rev, c.len);
+        }
+        let total = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::with_bit_limit(&bytes, total).unwrap();
+        for &expect in &symbols {
+            // Try the table with a peeked window first.
+            let pos = r.bit_pos();
+            let avail = (r.remaining_bits()).min(table.width() as u64) as u32;
+            let window = r.read_bits(avail).unwrap();
+            r.seek(pos).unwrap();
+            let got = match table.probe(window) {
+                Some((sym, used)) if used as u64 <= total - pos => {
+                    r.seek(pos + used as u64).unwrap();
+                    sym
+                }
+                _ => b.decode_one(|| r.read_bit()).unwrap(),
+            };
+            assert_eq!(got, expect);
+        }
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn decode_table_flags_long_codes_as_fallback() {
+        // Highly skewed book: some codes exceed a narrow table width.
+        let freqs: Vec<u64> = (0..32u64).map(|i| 1u64 << i).collect();
+        let b = book(&freqs);
+        let table = b.decode_table(4);
+        assert_eq!(table.width(), 4);
+        let mut hits = 0;
+        for w in 0..16u64 {
+            if table.probe(w).is_some() {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "short codes must populate the table");
+        // The most frequent symbol (shortest code) hits on many windows.
+        let c = b.code(31);
+        assert!(c.len <= 2);
+    }
+
+    #[test]
+    fn reverse_bits_helper() {
+        assert_eq!(reverse_bits(0b110, 3), 0b011);
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0, 0), 0);
+        assert_eq!(reverse_bits(u64::MAX, 64), u64::MAX);
+    }
+}

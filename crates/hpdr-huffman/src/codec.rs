@@ -1,0 +1,327 @@
+//! Huffman-X compression pipeline (paper Algorithm 2 / Fig. 6):
+//!
+//! ```text
+//! Histogram(Global) → Sort → Filter → GenCodebook(Global)
+//!   → Encode(Locality) → Serialize(Global)
+//! ```
+//!
+//! The encoded stream is chunked: every `chunk_elems` symbols start at a
+//! recorded bit offset, so decoding parallelizes across chunks (the
+//! coarse-grained scheme of Tian et al.'s GPU Huffman, ref \[40\]).
+
+use crate::codebook::Codebook;
+use hpdr_core::{ByteReader, ByteWriter, DeviceAdapter, HpdrError, KernelClass, Locality, Result};
+use hpdr_kernels::bitstream::BitReader;
+use hpdr_kernels::{exclusive_scan, histogram_u32, pack_bits};
+
+const MAGIC: u32 = 0x4855_4631; // "HUF1"
+
+/// Huffman-X configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HuffmanConfig {
+    /// Dictionary size: symbols must lie in `0..dict_size`.
+    pub dict_size: u32,
+    /// Symbols per decode chunk (decode parallelism granularity).
+    pub chunk_elems: usize,
+}
+
+impl Default for HuffmanConfig {
+    fn default() -> Self {
+        HuffmanConfig {
+            dict_size: 4096,
+            chunk_elems: 1 << 16,
+        }
+    }
+}
+
+impl HuffmanConfig {
+    pub fn config_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.dict_size);
+        w.put_u64(self.chunk_elems as u64);
+        w.into_vec()
+    }
+}
+
+/// Compress a symbol stream. All `keys` must be `< cfg.dict_size`.
+#[allow(clippy::needless_range_loop)] // indexed writes into the shared slice
+pub fn compress_u32(
+    adapter: &dyn DeviceAdapter,
+    keys: &[u32],
+    cfg: &HuffmanConfig,
+) -> Result<Vec<u8>> {
+    if cfg.dict_size == 0 {
+        return Err(HpdrError::invalid("dict_size must be positive"));
+    }
+    // Alg. 2 line 2: Global histogram.
+    let (freqs, overflow) = histogram_u32(adapter, keys, cfg.dict_size as usize);
+    if overflow > 0 {
+        return Err(HpdrError::invalid(format!(
+            "{overflow} symbols outside dictionary of {}",
+            cfg.dict_size
+        )));
+    }
+    // Lines 3–5: sort, filter, two-phase codebook generation.
+    let book = Codebook::from_frequencies(&freqs)?;
+
+    // Line 6: Encode via the Locality abstraction — each element encodes
+    // independently; blocks of elements map to groups for locality.
+    let n = keys.len();
+    let mut codes: Vec<(u64, u32)> = vec![(0, 0); n];
+    if n > 0 {
+        let block = 1usize << 14;
+        let blocks = n.div_ceil(block);
+        let codes_sh = hpdr_core::SharedSlice::new(&mut codes);
+        Locality::new(blocks).run(adapter, &|b, _| {
+            let lo = b * block;
+            let hi = (lo + block).min(n);
+            for i in lo..hi {
+                let c = book.code(keys[i]);
+                debug_assert!(c.len > 0, "uncoded symbol in input");
+                // Safety: blocks write disjoint ranges.
+                unsafe { codes_sh.write(i, (c.bits_rev, c.len)) };
+            }
+        });
+    }
+
+    // Line 7: Serialize (Global): scan lengths → offsets → parallel pack.
+    let lengths: Vec<u64> = codes.iter().map(|&(_, l)| l as u64).collect();
+    let offsets = exclusive_scan(adapter, &lengths);
+    let payload = pack_bits(adapter, &codes, &offsets);
+    let total_bits = *offsets.last().unwrap();
+
+    // Chunk table for parallel decode.
+    let chunk = cfg.chunk_elems.max(1);
+    let chunk_offsets: Vec<u64> = (0..n).step_by(chunk).map(|i| offsets[i]).collect();
+
+    // Charge the whole Huffman kernel once against the device cost model.
+    adapter.charge(KernelClass::Huffman, (n * 4) as u64);
+
+    // Container.
+    let mut w = ByteWriter::with_capacity(payload.len() + 64);
+    w.put_u32(MAGIC);
+    w.put_u32(cfg.dict_size);
+    w.put_u64(n as u64);
+    w.put_u64(chunk as u64);
+    w.put_u64(total_bits);
+    let pairs = book.length_pairs();
+    w.put_u32(pairs.len() as u32);
+    for (sym, len) in pairs {
+        w.put_u32(sym);
+        w.put_u8(len as u8);
+    }
+    w.put_u32(chunk_offsets.len() as u32);
+    for off in chunk_offsets {
+        w.put_u64(off);
+    }
+    w.put_block(&payload);
+    Ok(w.into_vec())
+}
+
+/// Decompress a Huffman-X stream produced by [`compress_u32`].
+pub fn decompress_u32(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<Vec<u32>> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_u32()? != MAGIC {
+        return Err(HpdrError::corrupt("bad Huffman magic"));
+    }
+    let dict_size = r.get_u32()?;
+    let n = r.get_u64()? as usize;
+    let chunk = r.get_u64()? as usize;
+    let total_bits = r.get_u64()?;
+    if chunk == 0 {
+        return Err(HpdrError::corrupt("zero chunk size"));
+    }
+    let num_pairs = r.get_u32()? as usize;
+    if num_pairs > dict_size as usize {
+        return Err(HpdrError::corrupt("more codes than dictionary entries"));
+    }
+    let mut pairs = Vec::with_capacity(num_pairs);
+    for _ in 0..num_pairs {
+        let sym = r.get_u32()?;
+        let len = r.get_u8()? as u32;
+        pairs.push((sym, len));
+    }
+    let book = Codebook::from_lengths(dict_size, &pairs)?;
+    let num_chunks = r.get_u32()? as usize;
+    let expected_chunks = n.div_ceil(chunk);
+    if num_chunks != expected_chunks {
+        return Err(HpdrError::corrupt(format!(
+            "chunk table has {num_chunks} entries, expected {expected_chunks}"
+        )));
+    }
+    let mut chunk_offsets = Vec::with_capacity(num_chunks);
+    for _ in 0..num_chunks {
+        chunk_offsets.push(r.get_u64()?);
+    }
+    let payload = r.get_block()?;
+    r.expect_exhausted()?;
+    if total_bits > payload.len() as u64 * 8 {
+        return Err(HpdrError::corrupt("payload shorter than declared bit length"));
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Parallel chunk decode via the Locality abstraction, with a
+    // lookup-table fast path for short codes. Any codeword error inside a
+    // worker is collected and surfaced after the join.
+    let table = book.decode_table(12);
+    let mut out = vec![0u32; n];
+    let errors = std::sync::Mutex::new(Vec::new());
+    {
+        let out_sh = hpdr_core::SharedSlice::new(&mut out);
+        Locality::new(num_chunks).run(adapter, &|c, _| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let mut br = match BitReader::with_bit_limit(payload, total_bits) {
+                Ok(b) => b,
+                Err(e) => {
+                    errors.lock().unwrap().push(e);
+                    return;
+                }
+            };
+            if let Err(e) = br.seek(chunk_offsets[c]) {
+                errors.lock().unwrap().push(e);
+                return;
+            }
+            for i in lo..hi {
+                // Fast path: probe a full-width window in the table.
+                let pos = br.bit_pos();
+                let width = table.width() as u64;
+                let mut sym = None;
+                if br.remaining_bits() >= width {
+                    if let Ok(window) = br.read_bits(table.width()) {
+                        if let Some((s, used)) = table.probe(window) {
+                            if br.seek(pos + used as u64).is_ok() {
+                                sym = Some(s);
+                            }
+                        }
+                    }
+                    if sym.is_none() && br.seek(pos).is_err() {
+                        errors.lock().unwrap().push(hpdr_core::HpdrError::corrupt(
+                            "bit seek failed during decode",
+                        ));
+                        return;
+                    }
+                }
+                let decoded = match sym {
+                    Some(s) => Ok(s),
+                    None => book.decode_one(|| br.read_bit()),
+                };
+                match decoded {
+                    // Safety: chunks write disjoint ranges.
+                    Ok(sym) => unsafe { out_sh.write(i, sym) },
+                    Err(e) => {
+                        errors.lock().unwrap().push(e);
+                        return;
+                    }
+                }
+            }
+        });
+    }
+    if let Some(e) = errors.into_inner().unwrap().into_iter().next() {
+        return Err(e);
+    }
+    adapter.charge(KernelClass::Huffman, (n * 4) as u64);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::{CpuParallelAdapter, SerialAdapter};
+
+    fn roundtrip(keys: &[u32], cfg: &HuffmanConfig) {
+        let a = CpuParallelAdapter::new(4);
+        let compressed = compress_u32(&a, keys, cfg).unwrap();
+        let out = decompress_u32(&a, &compressed).unwrap();
+        assert_eq!(out, keys);
+    }
+
+    #[test]
+    fn roundtrip_skewed_distribution() {
+        let keys: Vec<u32> = (0..100_000u32)
+            .map(|i| {
+                // Geometric-ish skew around 2048 (a quantizer's zero bin).
+                let r = i.wrapping_mul(2654435761) >> 16;
+                2048 + (r % 64) as u32 * if i % 2 == 0 { 1 } else { 0 }
+            })
+            .collect();
+        roundtrip(&keys, &HuffmanConfig::default());
+    }
+
+    #[test]
+    fn roundtrip_uniform_and_tiny() {
+        let cfg = HuffmanConfig {
+            dict_size: 257,
+            chunk_elems: 100,
+        };
+        let keys: Vec<u32> = (0..10_000u32).map(|i| i % 257).collect();
+        roundtrip(&keys, &cfg);
+        roundtrip(&[0], &cfg);
+        roundtrip(&[5, 5, 5, 5], &cfg);
+        roundtrip(&[], &cfg);
+    }
+
+    #[test]
+    fn serial_and_parallel_streams_identical() {
+        // Portability: the bytes must not depend on the adapter.
+        let keys: Vec<u32> = (0..50_000u32).map(|i| (i * 7) % 300).collect();
+        let cfg = HuffmanConfig::default();
+        let serial = compress_u32(&SerialAdapter::new(), &keys, &cfg).unwrap();
+        let parallel = compress_u32(&CpuParallelAdapter::new(8), &keys, &cfg).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cross_adapter_decode() {
+        let keys: Vec<u32> = (0..20_000u32).map(|i| (i * 31) % 1000).collect();
+        let cfg = HuffmanConfig::default();
+        let stream = compress_u32(&CpuParallelAdapter::new(4), &keys, &cfg).unwrap();
+        let out = decompress_u32(&SerialAdapter::new(), &stream).unwrap();
+        assert_eq!(out, keys);
+    }
+
+    #[test]
+    fn compresses_skewed_data() {
+        let a = SerialAdapter::new();
+        let keys = vec![7u32; 100_000]; // maximally skewed
+        let stream = compress_u32(&a, &keys, &HuffmanConfig::default()).unwrap();
+        // 100k symbols at ~1 bit ≈ 12.5 KB plus headers — far below raw.
+        assert!(stream.len() < 20_000, "got {}", stream.len());
+    }
+
+    #[test]
+    fn out_of_dict_symbol_rejected() {
+        let a = SerialAdapter::new();
+        let cfg = HuffmanConfig {
+            dict_size: 16,
+            chunk_elems: 8,
+        };
+        assert!(compress_u32(&a, &[3, 99], &cfg).is_err());
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let a = SerialAdapter::new();
+        let keys: Vec<u32> = (0..1000u32).map(|i| i % 50).collect();
+        let good = compress_u32(&a, &keys, &HuffmanConfig::default()).unwrap();
+        // Truncations at every length must return Err, never panic.
+        for cut in [0, 1, 4, 10, good.len() / 2, good.len() - 1] {
+            assert!(decompress_u32(&a, &good[..cut]).is_err(), "cut={cut}");
+        }
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(decompress_u32(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let a = SerialAdapter::new();
+        let keys = vec![1u32, 2, 3];
+        let mut stream = compress_u32(&a, &keys, &HuffmanConfig::default()).unwrap();
+        stream.push(0xAB);
+        assert!(decompress_u32(&a, &stream).is_err());
+    }
+}

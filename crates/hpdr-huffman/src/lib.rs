@@ -1,0 +1,19 @@
+//! # hpdr-huffman — Huffman-X
+//!
+//! Portable parallel Huffman entropy codec built on the HPDR abstractions
+//! (paper §IV-B, Algorithm 2). The pipeline is: Global histogram → sort →
+//! filter → two-phase treeless canonical codebook generation → Locality
+//! encode → Global serialize (scan + atomic-OR bit packing). Decoding is
+//! chunk-parallel via recorded bit offsets.
+//!
+//! Streams are canonical and little-endian, so data compressed on any
+//! adapter decompresses bit-identically on any other — the portability
+//! property HPDR is built around.
+
+pub mod codebook;
+pub mod codec;
+
+pub use codebook::{Code, Codebook, MAX_CODE_LEN};
+pub use codec::{compress_u32, decompress_u32, HuffmanConfig};
+pub mod reducer;
+pub use reducer::ByteHuffmanReducer;

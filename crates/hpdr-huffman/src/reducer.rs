@@ -1,0 +1,125 @@
+//! [`Reducer`] implementation for Huffman-X as a standalone lossless
+//! byte compressor (dictionary = the 256 byte values).
+
+use crate::codec::{compress_u32, decompress_u32, HuffmanConfig};
+use hpdr_core::{
+    ArrayMeta, ByteReader, ByteWriter, DType, DeviceAdapter, HpdrError, KernelClass, Reducer,
+    Result, Shape,
+};
+
+const MAGIC: u32 = 0x4855_4658; // "HUFX"
+
+/// Huffman-X over raw bytes (paper: "Huffman-X provides lossless
+/// compression").
+#[derive(Debug, Clone, Copy)]
+pub struct ByteHuffmanReducer {
+    pub chunk_elems: usize,
+}
+
+impl Default for ByteHuffmanReducer {
+    fn default() -> Self {
+        ByteHuffmanReducer {
+            chunk_elems: 1 << 16,
+        }
+    }
+}
+
+impl Reducer for ByteHuffmanReducer {
+    fn name(&self) -> &'static str {
+        "huffman-x"
+    }
+
+    fn kernel_class(&self) -> KernelClass {
+        KernelClass::Huffman
+    }
+
+    fn is_lossless(&self) -> bool {
+        true
+    }
+
+    fn compress(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        bytes: &[u8],
+        meta: &ArrayMeta,
+    ) -> Result<Vec<u8>> {
+        if bytes.len() != meta.num_bytes() {
+            return Err(HpdrError::invalid("byte length does not match metadata"));
+        }
+        let keys: Vec<u32> = bytes.iter().map(|&b| b as u32).collect();
+        let cfg = HuffmanConfig {
+            dict_size: 256,
+            chunk_elems: self.chunk_elems,
+        };
+        let encoded = compress_u32(adapter, &keys, &cfg)?;
+        let mut w = ByteWriter::with_capacity(encoded.len() + 64);
+        w.put_u32(MAGIC);
+        w.put_u8(meta.dtype.tag());
+        w.put_u8(meta.shape.ndims() as u8);
+        for &d in meta.shape.dims() {
+            w.put_u64(d as u64);
+        }
+        w.put_block(&encoded);
+        Ok(w.into_vec())
+    }
+
+    fn decompress(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        stream: &[u8],
+    ) -> Result<(Vec<u8>, ArrayMeta)> {
+        let mut r = ByteReader::new(stream);
+        if r.get_u32()? != MAGIC {
+            return Err(HpdrError::corrupt("bad Huffman-X container magic"));
+        }
+        let dtype = DType::from_tag(r.get_u8()?)
+            .ok_or_else(|| HpdrError::corrupt("unknown dtype tag"))?;
+        let nd = r.get_u8()? as usize;
+        if !(1..=4).contains(&nd) {
+            return Err(HpdrError::corrupt("bad rank"));
+        }
+        let mut dims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            dims.push(r.get_u64()? as usize);
+        }
+        let shape = Shape::try_new(&dims)?;
+        let encoded = r.get_block()?;
+        r.expect_exhausted()?;
+        let keys = decompress_u32(adapter, encoded)?;
+        let meta = ArrayMeta::new(dtype, shape);
+        if keys.len() != meta.num_bytes() {
+            return Err(HpdrError::corrupt("decoded length mismatch"));
+        }
+        Ok((keys.into_iter().map(|k| k as u8).collect(), meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::SerialAdapter;
+
+    #[test]
+    fn lossless_byte_roundtrip() {
+        let adapter = SerialAdapter::new();
+        let data: Vec<f32> = (0..500).map(|i| ((i / 7) as f32) * 0.5).collect();
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let meta = ArrayMeta::new(DType::F32, Shape::new(&[500]));
+        let r = ByteHuffmanReducer::default();
+        assert!(r.is_lossless());
+        let stream = r.compress(&adapter, &bytes, &meta).unwrap();
+        let (out, meta2) = r.decompress(&adapter, &stream).unwrap();
+        assert_eq!(out, bytes);
+        assert_eq!(meta2, meta);
+    }
+
+    #[test]
+    fn repetitive_bytes_compress() {
+        let adapter = SerialAdapter::new();
+        let bytes = vec![42u8; 40_000];
+        let meta = ArrayMeta::new(DType::F32, Shape::new(&[10_000]));
+        let r = ByteHuffmanReducer::default();
+        let stream = r.compress(&adapter, &bytes, &meta).unwrap();
+        assert!(stream.len() < bytes.len() / 4);
+    }
+}

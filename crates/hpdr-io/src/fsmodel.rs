@@ -1,0 +1,129 @@
+//! Shared-bandwidth parallel-filesystem model.
+//!
+//! Leadership-class filesystems deliver an aggregate peak bandwidth
+//! (Summit GPFS: 2.5 TB/s; Frontier Lustre: 9.4 TB/s, paper §VI-B) that
+//! writers share; each writer is additionally limited by its own NIC/OST
+//! path. Metadata operations add a fixed per-block cost. This analytic
+//! model captures exactly the mechanisms the weak/strong-scaling I/O
+//! figures depend on: few writers → per-writer-bound; many writers →
+//! aggregate-peak-bound; reduction shrinks bytes but adds compute time.
+
+use hpdr_sim::Ns;
+
+/// Parallel filesystem description (bandwidths in GB/s = bytes/ns).
+#[derive(Debug, Clone, Copy)]
+pub struct Filesystem {
+    pub name: &'static str,
+    /// Aggregate peak bandwidth.
+    pub peak_gbps: f64,
+    /// Per-writer (aggregator) sustained bandwidth.
+    pub per_writer_gbps: f64,
+    /// Fixed metadata/open cost per written or read block.
+    pub metadata_op: Ns,
+    /// Read-path efficiency relative to write (page-cache-less reads on
+    /// these systems are typically slightly slower).
+    pub read_efficiency: f64,
+}
+
+impl Filesystem {
+    /// Effective aggregate bandwidth with `writers` concurrent writers.
+    pub fn effective_gbps(&self, writers: usize) -> f64 {
+        (self.per_writer_gbps * writers as f64).min(self.peak_gbps)
+    }
+
+    /// Time to write `bytes` from `writers` aggregators in `blocks`
+    /// metadata blocks.
+    pub fn write_time(&self, bytes: u64, writers: usize, blocks: u64) -> Ns {
+        assert!(writers > 0, "need at least one writer");
+        let bw = self.effective_gbps(writers);
+        let xfer = (bytes as f64 / bw).round() as u64;
+        // Metadata ops are issued concurrently by writers.
+        let md = self.metadata_op.0 * blocks.div_ceil(writers as u64);
+        Ns(xfer + md)
+    }
+
+    /// Time to read `bytes` with `readers` concurrent readers.
+    pub fn read_time(&self, bytes: u64, readers: usize, blocks: u64) -> Ns {
+        assert!(readers > 0, "need at least one reader");
+        let bw = self.effective_gbps(readers) * self.read_efficiency;
+        let xfer = (bytes as f64 / bw).round() as u64;
+        let md = self.metadata_op.0 * blocks.div_ceil(readers as u64);
+        Ns(xfer + md)
+    }
+}
+
+/// Summit's GPFS (Alpine): 2.5 TB/s peak.
+pub fn summit_gpfs() -> Filesystem {
+    Filesystem {
+        name: "GPFS",
+        peak_gbps: 2500.0,
+        per_writer_gbps: 12.5,
+        metadata_op: Ns::from_micros(400),
+        read_efficiency: 0.85,
+    }
+}
+
+/// Frontier's Lustre (Orion): 9.4 TB/s peak.
+pub fn frontier_lustre() -> Filesystem {
+    Filesystem {
+        name: "Lustre",
+        peak_gbps: 9400.0,
+        per_writer_gbps: 6.0,
+        metadata_op: Ns::from_micros(300),
+        read_efficiency: 0.8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn few_writers_are_writer_bound() {
+        let fs = summit_gpfs();
+        assert!((fs.effective_gbps(10) - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_writers_hit_the_peak() {
+        let fs = summit_gpfs();
+        assert!((fs.effective_gbps(10_000) - 2500.0).abs() < 1e-9);
+        let fr = frontier_lustre();
+        assert!((fr.effective_gbps(100_000) - 9400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_time_scales_down_with_writers_then_plateaus() {
+        let fs = summit_gpfs();
+        let gb: u64 = 1 << 30;
+        let t1 = fs.write_time(100 * gb, 16, 16);
+        let t2 = fs.write_time(100 * gb, 128, 128);
+        let t3 = fs.write_time(100 * gb, 4096, 4096);
+        assert!(t2 < t1);
+        // Past saturation (200 writers × 12.5 = peak): more writers
+        // barely help.
+        let ratio = t2.0 as f64 / t3.0 as f64;
+        assert!(ratio < 1.7, "ratio {ratio}");
+    }
+
+    #[test]
+    fn reads_slower_than_writes_at_same_scale() {
+        let fs = frontier_lustre();
+        let bytes = 10u64 << 30;
+        assert!(fs.read_time(bytes, 100, 100) > fs.write_time(bytes, 100, 100));
+    }
+
+    #[test]
+    fn metadata_cost_counts_per_writer_batch() {
+        let fs = Filesystem {
+            name: "t",
+            peak_gbps: 1000.0,
+            per_writer_gbps: 1000.0,
+            metadata_op: Ns(1000),
+            read_efficiency: 1.0,
+        };
+        // 8 blocks over 2 writers → 4 sequential metadata ops.
+        let t = fs.write_time(0, 2, 8);
+        assert_eq!(t, Ns(4000));
+    }
+}

@@ -1,0 +1,24 @@
+//! # hpdr-io — parallel I/O substrate
+//!
+//! The paper integrates HPDR with the ADIOS2 I/O library and evaluates on
+//! Summit (GPFS) and Frontier (Lustre) at up to 1,024 nodes. This crate
+//! provides:
+//!
+//! * [`bp`] — a real BP5-like self-describing file format (metadata index
+//!   + aggregator subfiles), exercised end-to-end by the test suite;
+//! * [`fsmodel`] — the shared-bandwidth parallel-filesystem model with
+//!   Summit/Frontier presets;
+//! * [`cluster`] — system descriptions, per-codec profiles measured on
+//!   the virtual-time pipeline, and the weak/strong-scaling write/read
+//!   experiments of Figs. 15, 17 and 18.
+
+pub mod bp;
+pub mod cluster;
+pub mod fsmodel;
+
+pub use bp::{BlockInfo, BpReader, BpWriter};
+pub use cluster::{
+    aggregate_reduction_gbps, frontier, measure_codec_profile, read_cost, strong_scaling_read,
+    strong_scaling_write, summit, write_cost, Aggregation, CodecProfile, IoCost, SystemSpec,
+};
+pub use fsmodel::{frontier_lustre, summit_gpfs, Filesystem};

@@ -1,0 +1,255 @@
+//! Word-based bit streams.
+//!
+//! Bits are packed LSB-first into little-endian `u64` words, so streams
+//! are byte-portable across architectures. Used by the Huffman serializer
+//! and the ZFP bit-plane codec.
+
+use hpdr_core::{HpdrError, Result};
+
+/// Append-only bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    /// Total number of bits written.
+    bitlen: u64,
+}
+
+impl BitWriter {
+    pub fn new() -> BitWriter {
+        BitWriter {
+            words: Vec::new(),
+            bitlen: 0,
+        }
+    }
+
+    pub fn with_bit_capacity(bits: usize) -> BitWriter {
+        BitWriter {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            bitlen: 0,
+        }
+    }
+
+    /// Append the low `nbits` bits of `value` (LSB first). `nbits <= 64`.
+    pub fn write_bits(&mut self, value: u64, nbits: u32) {
+        debug_assert!(nbits <= 64);
+        if nbits == 0 {
+            return;
+        }
+        let value = if nbits == 64 {
+            value
+        } else {
+            value & ((1u64 << nbits) - 1)
+        };
+        let word = (self.bitlen / 64) as usize;
+        let off = (self.bitlen % 64) as u32;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= value << off;
+        let spill = off + nbits;
+        if spill > 64 {
+            self.words.push(value >> (64 - off));
+        }
+        self.bitlen += nbits as u64;
+    }
+
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    pub fn bit_len(&self) -> u64 {
+        self.bitlen
+    }
+
+    /// Serialize to bytes (little-endian words, trimmed to ⌈bits/8⌉).
+    pub fn into_bytes(self) -> Vec<u8> {
+        let nbytes = (self.bitlen as usize).div_ceil(8);
+        let mut out = Vec::with_capacity(nbytes);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.truncate(nbytes);
+        out
+    }
+
+    /// The underlying words (padded with zero bits at the tail).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Bounds-checked bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Current bit position.
+    pos: u64,
+    /// Total bits available.
+    limit: u64,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            bytes,
+            pos: 0,
+            limit: bytes.len() as u64 * 8,
+        }
+    }
+
+    /// Restrict the stream to the first `bits` bits.
+    pub fn with_bit_limit(bytes: &'a [u8], bits: u64) -> Result<BitReader<'a>> {
+        if bits > bytes.len() as u64 * 8 {
+            return Err(HpdrError::corrupt(format!(
+                "bit limit {bits} exceeds buffer of {} bits",
+                bytes.len() * 8
+            )));
+        }
+        Ok(BitReader {
+            bytes,
+            pos: 0,
+            limit: bits,
+        })
+    }
+
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    pub fn remaining_bits(&self) -> u64 {
+        self.limit - self.pos
+    }
+
+    /// Jump to an absolute bit offset.
+    pub fn seek(&mut self, bitpos: u64) -> Result<()> {
+        if bitpos > self.limit {
+            return Err(HpdrError::corrupt("bit seek past end of stream"));
+        }
+        self.pos = bitpos;
+        Ok(())
+    }
+
+    #[inline]
+    fn byte(&self, i: u64) -> u64 {
+        // In-bounds by construction of the callers.
+        self.bytes[i as usize] as u64
+    }
+
+    /// Read `nbits` bits (LSB first). `nbits <= 64`.
+    pub fn read_bits(&mut self, nbits: u32) -> Result<u64> {
+        debug_assert!(nbits <= 64);
+        if nbits == 0 {
+            return Ok(0);
+        }
+        if self.pos + nbits as u64 > self.limit {
+            return Err(HpdrError::corrupt(format!(
+                "bit stream underflow: need {nbits} bits at {} of {}",
+                self.pos, self.limit
+            )));
+        }
+        let mut out: u64 = 0;
+        let mut got: u32 = 0;
+        let mut pos = self.pos;
+        while got < nbits {
+            let byte_idx = pos / 8;
+            let bit_off = (pos % 8) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(nbits - got); // take <= 8
+            let chunk = (self.byte(byte_idx) >> bit_off) & ((1u64 << take) - 1);
+            out |= chunk << got;
+            got += take;
+            pos += take as u64;
+        }
+        self.pos = pos;
+        Ok(out)
+    }
+
+    pub fn read_bit(&mut self) -> Result<bool> {
+        Ok(self.read_bits(1)? != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFFFF_FFFF_FFFF_FFFF, 64);
+        w.write_bits(0, 0);
+        w.write_bit(true);
+        w.write_bits(0x1234_5678, 31);
+        let total = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::with_bit_limit(&bytes, total).unwrap();
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(31).unwrap(), 0x1234_5678);
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn masks_high_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 4); // only low 4 bits kept
+        w.write_bits(0, 4);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x0F]);
+    }
+
+    #[test]
+    fn underflow_is_error() {
+        let bytes = [0xAAu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAA);
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn bit_limit_enforced() {
+        let bytes = [0xFFu8, 0xFF];
+        let mut r = BitReader::with_bit_limit(&bytes, 10).unwrap();
+        assert_eq!(r.read_bits(10).unwrap(), 0x3FF);
+        assert!(r.read_bit().is_err());
+        assert!(BitReader::with_bit_limit(&bytes, 17).is_err());
+    }
+
+    #[test]
+    fn seek_and_reread() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF, 32);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        r.seek(16).unwrap();
+        assert_eq!(r.read_bits(16).unwrap(), 0xDEAD);
+        r.seek(0).unwrap();
+        assert_eq!(r.read_bits(16).unwrap(), 0xBEEF);
+        assert!(r.seek(33).is_err());
+    }
+
+    #[test]
+    fn word_boundary_crossing() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x7, 3);
+        w.write_bits(0xABCD_EF01_2345_6789, 64); // crosses a word boundary
+        let total = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::with_bit_limit(&bytes, total).unwrap();
+        assert_eq!(r.read_bits(3).unwrap(), 0x7);
+        assert_eq!(r.read_bits(64).unwrap(), 0xABCD_EF01_2345_6789);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        let bytes = w.into_bytes();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert!(r.read_bit().is_err());
+    }
+}

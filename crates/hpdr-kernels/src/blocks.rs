@@ -1,0 +1,180 @@
+//! N-dimensional block decomposition for the Locality abstraction
+//! (paper Fig. 3a — customizable block sizes over 1–4D domains).
+
+use hpdr_core::Shape;
+
+/// A grid of fixed-size blocks tiling an n-dimensional array.
+#[derive(Debug, Clone)]
+pub struct BlockGrid {
+    shape: Shape,
+    block: Vec<usize>,
+    /// Blocks along each dimension.
+    counts: Vec<usize>,
+}
+
+impl BlockGrid {
+    pub fn new(shape: &Shape, block_dims: &[usize]) -> BlockGrid {
+        assert_eq!(shape.ndims(), block_dims.len(), "block rank mismatch");
+        assert!(block_dims.iter().all(|&b| b > 0), "zero block dim");
+        let counts = shape
+            .dims()
+            .iter()
+            .zip(block_dims)
+            .map(|(&d, &b)| d.div_ceil(b))
+            .collect();
+        BlockGrid {
+            shape: shape.clone(),
+            block: block_dims.to_vec(),
+            counts,
+        }
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.counts.iter().product()
+    }
+
+    pub fn block_dims(&self) -> &[usize] {
+        &self.block
+    }
+
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Elements in one full block.
+    pub fn block_elements(&self) -> usize {
+        self.block.iter().product()
+    }
+
+    /// Origin (multi-index) of block `b`.
+    pub fn origin(&self, b: usize) -> Vec<usize> {
+        debug_assert!(b < self.num_blocks());
+        let mut rem = b;
+        let mut origin = vec![0usize; self.counts.len()];
+        for k in (0..self.counts.len()).rev() {
+            origin[k] = (rem % self.counts[k]) * self.block[k];
+            rem /= self.counts[k];
+        }
+        origin
+    }
+
+    /// Gather block `b` into `out` (length = block_elements), replicating
+    /// edge values for partial blocks (ZFP-style padding).
+    pub fn gather<T: Copy>(&self, data: &[T], b: usize, out: &mut [T]) {
+        debug_assert_eq!(out.len(), self.block_elements());
+        let origin = self.origin(b);
+        let dims = self.shape.dims();
+        let strides = self.shape.strides();
+        let nd = dims.len();
+        let mut local = vec![0usize; nd];
+        for (slot, item) in out.iter_mut().enumerate() {
+            // Decode local multi-index within the block (row-major).
+            let mut rem = slot;
+            for k in (0..nd).rev() {
+                local[k] = rem % self.block[k];
+                rem /= self.block[k];
+            }
+            let mut flat = 0usize;
+            for k in 0..nd {
+                // Clamp to the array edge: replicate padding.
+                let idx = (origin[k] + local[k]).min(dims[k] - 1);
+                flat += idx * strides[k];
+            }
+            *item = data[flat];
+        }
+    }
+
+    /// Scatter block `b` from `src` back into `data`, skipping padded
+    /// (out-of-domain) lanes.
+    pub fn scatter<T: Copy>(&self, data: &mut [T], b: usize, src: &[T]) {
+        debug_assert_eq!(src.len(), self.block_elements());
+        let origin = self.origin(b);
+        let dims = self.shape.dims();
+        let strides = self.shape.strides();
+        let nd = dims.len();
+        let mut local = vec![0usize; nd];
+        'slot: for (slot, &v) in src.iter().enumerate() {
+            let mut rem = slot;
+            for k in (0..nd).rev() {
+                local[k] = rem % self.block[k];
+                rem /= self.block[k];
+            }
+            let mut flat = 0usize;
+            for k in 0..nd {
+                let idx = origin[k] + local[k];
+                if idx >= dims[k] {
+                    continue 'slot; // padded lane
+                }
+                flat += idx * strides[k];
+            }
+            data[flat] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_origins_2d() {
+        let g = BlockGrid::new(&Shape::new(&[5, 6]), &[4, 4]);
+        assert_eq!(g.num_blocks(), 4); // 2x2 blocks
+        assert_eq!(g.origin(0), vec![0, 0]);
+        assert_eq!(g.origin(1), vec![0, 4]);
+        assert_eq!(g.origin(2), vec![4, 0]);
+        assert_eq!(g.origin(3), vec![4, 4]);
+        assert_eq!(g.block_elements(), 16);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_exact_fit() {
+        let shape = Shape::new(&[8, 8]);
+        let g = BlockGrid::new(&shape, &[4, 4]);
+        let data: Vec<u32> = (0..64).collect();
+        let mut rebuilt = vec![0u32; 64];
+        let mut block = vec![0u32; 16];
+        for b in 0..g.num_blocks() {
+            g.gather(&data, b, &mut block);
+            g.scatter(&mut rebuilt, b, &block);
+        }
+        assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_partial_blocks() {
+        let shape = Shape::new(&[5, 7, 3]);
+        let g = BlockGrid::new(&shape, &[4, 4, 4]);
+        let n = shape.num_elements();
+        let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let mut rebuilt = vec![-1.0f32; n];
+        let mut block = vec![0f32; g.block_elements()];
+        for b in 0..g.num_blocks() {
+            g.gather(&data, b, &mut block);
+            g.scatter(&mut rebuilt, b, &block);
+        }
+        assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn padding_replicates_edge() {
+        let shape = Shape::new(&[3]);
+        let g = BlockGrid::new(&shape, &[4]);
+        let data = [10.0f64, 20.0, 30.0];
+        let mut block = [0f64; 4];
+        g.gather(&data, 0, &mut block);
+        assert_eq!(block, [10.0, 20.0, 30.0, 30.0]);
+    }
+
+    #[test]
+    fn block_content_is_row_major_window() {
+        let shape = Shape::new(&[4, 4]);
+        let g = BlockGrid::new(&shape, &[2, 2]);
+        let data: Vec<u32> = (0..16).collect();
+        let mut block = vec![0u32; 4];
+        g.gather(&data, 1, &mut block); // origin (0, 2)
+        assert_eq!(block, vec![2, 3, 6, 7]);
+        g.gather(&data, 2, &mut block); // origin (2, 0)
+        assert_eq!(block, vec![8, 9, 12, 13]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Device-parallel histogram (paper §IV-B, citing the replication-based
+//! GPU histogram of Gómez-Luna et al.).
+//!
+//! Each group accumulates a private sub-histogram over its chunk (no
+//! atomics on the hot path), then a reduction stage sums the replicas —
+//! the whole thing expressed on the Global abstraction's DEM stages.
+
+use hpdr_core::{DeviceAdapter, SharedSlice};
+
+/// Count occurrences of each key in `0..bins`. Keys `>= bins` are counted
+/// in the `overflow` slot returned alongside the histogram (callers treat
+/// those as outliers).
+pub fn histogram_u32(adapter: &dyn DeviceAdapter, keys: &[u32], bins: usize) -> (Vec<u64>, u64) {
+    let n = keys.len();
+    if n == 0 {
+        return (vec![0; bins], 0);
+    }
+    let replicas = adapter.info().threads.clamp(1, 64);
+    let chunk = n.div_ceil(replicas);
+
+    // Stage 1: private replica histograms (disjoint rows).
+    let mut private = vec![0u64; replicas * (bins + 1)];
+    {
+        let private_sh = SharedSlice::new(&mut private);
+        adapter.dem(replicas, &|r| {
+            let lo = (r * chunk).min(n);
+            let hi = ((r + 1) * chunk).min(n);
+            // Safety: replica r writes only its own row.
+            let row = unsafe { private_sh.slice_mut(r * (bins + 1), bins + 1) };
+            for &k in &keys[lo..hi] {
+                let slot = (k as usize).min(bins);
+                row[slot] += 1;
+            }
+        });
+    }
+
+    // Stage 2: column-wise reduction of replicas.
+    let mut hist = vec![0u64; bins];
+    let mut overflow = 0u64;
+    {
+        let hist_sh = SharedSlice::new(&mut hist);
+        adapter.dem(bins, &|b| {
+            let mut acc = 0u64;
+            for r in 0..replicas {
+                acc += private[r * (bins + 1) + b];
+            }
+            // Safety: each bin id writes only its own slot.
+            unsafe { hist_sh.write(b, acc) };
+        });
+    }
+    for r in 0..replicas {
+        overflow += private[r * (bins + 1) + bins];
+    }
+    (hist, overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::{CpuParallelAdapter, SerialAdapter};
+
+    fn reference(keys: &[u32], bins: usize) -> (Vec<u64>, u64) {
+        let mut h = vec![0u64; bins];
+        let mut over = 0;
+        for &k in keys {
+            if (k as usize) < bins {
+                h[k as usize] += 1;
+            } else {
+                over += 1;
+            }
+        }
+        (h, over)
+    }
+
+    #[test]
+    fn matches_reference_parallel() {
+        let adapter = CpuParallelAdapter::new(4);
+        let keys: Vec<u32> = (0..200_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 300)
+            .collect();
+        assert_eq!(histogram_u32(&adapter, &keys, 256), reference(&keys, 256));
+    }
+
+    #[test]
+    fn matches_reference_serial() {
+        let adapter = SerialAdapter::new();
+        let keys = vec![0u32, 1, 1, 2, 2, 2, 255, 256, 1000];
+        assert_eq!(histogram_u32(&adapter, &keys, 256), reference(&keys, 256));
+    }
+
+    #[test]
+    fn empty_input() {
+        let adapter = SerialAdapter::new();
+        let (h, over) = histogram_u32(&adapter, &[], 16);
+        assert_eq!(h, vec![0; 16]);
+        assert_eq!(over, 0);
+    }
+
+    #[test]
+    fn counts_sum_to_input_length() {
+        let adapter = CpuParallelAdapter::new(8);
+        let keys: Vec<u32> = (0..77_777u32).map(|i| i % 501).collect();
+        let (h, over) = histogram_u32(&adapter, &keys, 128);
+        assert_eq!(h.iter().sum::<u64>() + over, keys.len() as u64);
+    }
+}

@@ -1,0 +1,30 @@
+//! # hpdr-kernels — shared device primitives
+//!
+//! The reduction pipelines (Huffman-X, ZFP-X, MGARD-X) share a small set
+//! of data-parallel building blocks, each expressed against the
+//! [`hpdr_core::DeviceAdapter`] trait so they run unchanged on every
+//! adapter:
+//!
+//! * [`scan`] — exclusive/inclusive prefix sums (serialization offsets);
+//! * [`histogram`] — replicated-private-copy histograms;
+//! * [`sort`] — radix and device-parallel sorts;
+//! * [`reduce`] — min/max/sum/max-abs-diff reductions;
+//! * [`bitstream`] — portable LSB-first bit streams;
+//! * [`pack`] — parallel variable-length bit packing (atomic-OR scheme);
+//! * [`blocks`] — n-dimensional block gather/scatter with edge padding.
+
+pub mod bitstream;
+pub mod blocks;
+pub mod histogram;
+pub mod pack;
+pub mod reduce;
+pub mod scan;
+pub mod sort;
+
+pub use bitstream::{BitReader, BitWriter};
+pub use blocks::BlockGrid;
+pub use histogram::histogram_u32;
+pub use pack::pack_bits;
+pub use reduce::{max_abs, max_abs_diff, min_max, sum_f64};
+pub use scan::{exclusive_scan, exclusive_scan_serial, inclusive_scan_serial};
+pub use sort::{parallel_sort_u64, radix_sort_by_key};

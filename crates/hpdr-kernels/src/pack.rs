@@ -1,0 +1,113 @@
+//! Parallel bit packing ("condense" / serialization stage, paper Fig. 6).
+//!
+//! Every item owns a variable-length code; an exclusive scan of the code
+//! lengths yields each item's destination bit offset; all items then write
+//! concurrently. Boundary words are shared between neighbouring items, so
+//! writes use atomic OR — the standard GPU serialization scheme.
+
+use hpdr_core::DeviceAdapter;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pack `codes[i] = (bits, nbits)` at bit offsets `offsets[i]`
+/// (`offsets.len() == codes.len() + 1`, from an exclusive scan of the
+/// lengths). Returns the packed little-endian byte stream of
+/// `offsets.last()` bits.
+pub fn pack_bits(adapter: &dyn DeviceAdapter, codes: &[(u64, u32)], offsets: &[u64]) -> Vec<u8> {
+    assert_eq!(offsets.len(), codes.len() + 1, "offsets must be scan(lengths)");
+    let total_bits = *offsets.last().unwrap();
+    let nwords = (total_bits as usize).div_ceil(64);
+    let words: Vec<AtomicU64> = (0..nwords).map(|_| AtomicU64::new(0)).collect();
+
+    adapter.dem(codes.len(), &|i| {
+        let (value, nbits) = codes[i];
+        if nbits == 0 {
+            return;
+        }
+        debug_assert!(nbits <= 64);
+        debug_assert_eq!(offsets[i] + nbits as u64, offsets[i + 1]);
+        let value = if nbits == 64 {
+            value
+        } else {
+            value & ((1u64 << nbits) - 1)
+        };
+        let word = (offsets[i] / 64) as usize;
+        let off = (offsets[i] % 64) as u32;
+        words[word].fetch_or(value << off, Ordering::Relaxed);
+        if off + nbits > 64 {
+            words[word + 1].fetch_or(value >> (64 - off), Ordering::Relaxed);
+        }
+    });
+
+    let nbytes = (total_bits as usize).div_ceil(8);
+    let mut out = Vec::with_capacity(nbytes);
+    for w in &words {
+        out.extend_from_slice(&w.load(Ordering::Relaxed).to_le_bytes());
+    }
+    out.truncate(nbytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::{BitReader, BitWriter};
+    use crate::scan::exclusive_scan_serial;
+    use hpdr_core::{CpuParallelAdapter, SerialAdapter};
+
+    fn offsets_of(codes: &[(u64, u32)]) -> Vec<u64> {
+        exclusive_scan_serial(&codes.iter().map(|&(_, n)| n as u64).collect::<Vec<_>>())
+    }
+
+    fn serial_reference(codes: &[(u64, u32)]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        for &(v, n) in codes {
+            w.write_bits(v, n);
+        }
+        w.into_bytes()
+    }
+
+    #[test]
+    fn matches_serial_bitwriter() {
+        let adapter = CpuParallelAdapter::new(4);
+        let codes: Vec<(u64, u32)> = (0..10_000u64)
+            .map(|i| {
+                let nbits = (i % 33 + 1) as u32;
+                (i.wrapping_mul(0x9E3779B97F4A7C15), nbits)
+            })
+            .collect();
+        let offsets = offsets_of(&codes);
+        assert_eq!(pack_bits(&adapter, &codes, &offsets), serial_reference(&codes));
+    }
+
+    #[test]
+    fn zero_length_codes_allowed() {
+        let adapter = SerialAdapter::new();
+        let codes = vec![(0b1u64, 1u32), (0, 0), (0b11, 2)];
+        let offsets = offsets_of(&codes);
+        let packed = pack_bits(&adapter, &codes, &offsets);
+        let mut r = BitReader::new(&packed);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+    }
+
+    #[test]
+    fn empty_input() {
+        let adapter = SerialAdapter::new();
+        assert!(pack_bits(&adapter, &[], &[0]).is_empty());
+    }
+
+    #[test]
+    fn full_width_codes() {
+        let adapter = CpuParallelAdapter::new(2);
+        let codes = vec![(u64::MAX, 64u32), (0x1234_5678_9ABC_DEF0, 64), (1, 1)];
+        let offsets = offsets_of(&codes);
+        assert_eq!(pack_bits(&adapter, &codes, &offsets), serial_reference(&codes));
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must be scan")]
+    fn mismatched_offsets_panics() {
+        let adapter = SerialAdapter::new();
+        pack_bits(&adapter, &[(1, 1)], &[0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Prefix scans (exclusive / inclusive), serial and device-parallel.
+//!
+//! Parallel serialization in compression pipelines needs scans to turn
+//! per-item bit lengths into write offsets (paper §IV-B). The parallel
+//! variant is the classic three-phase chunk scan lowered onto DEM stages.
+
+use hpdr_core::{DeviceAdapter, SharedSlice};
+
+/// Serial exclusive prefix sum. Returns a vector of `input.len() + 1`
+/// entries; the last entry is the total.
+pub fn exclusive_scan_serial(input: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(input.len() + 1);
+    let mut acc = 0u64;
+    out.push(0);
+    for &v in input {
+        acc += v;
+        out.push(acc);
+    }
+    out
+}
+
+/// Device-parallel exclusive prefix sum with the same output convention
+/// as [`exclusive_scan_serial`].
+#[allow(clippy::needless_range_loop)] // indexed writes into the shared slice
+pub fn exclusive_scan(adapter: &dyn DeviceAdapter, input: &[u64]) -> Vec<u64> {
+    let n = input.len();
+    if n == 0 {
+        return vec![0];
+    }
+    let chunk = 1usize << 14;
+    let chunks = n.div_ceil(chunk);
+    if chunks <= 1 {
+        return exclusive_scan_serial(input);
+    }
+
+    // Phase 1 (DEM): per-chunk sums.
+    let mut sums = vec![0u64; chunks];
+    {
+        let sums_sh = SharedSlice::new(&mut sums);
+        adapter.dem(chunks, &|c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let s: u64 = input[lo..hi].iter().sum();
+            // Safety: each chunk id writes only its own slot.
+            unsafe { sums_sh.write(c, s) };
+        });
+    }
+
+    // Phase 2 (host): scan of chunk sums (tiny).
+    let offsets = exclusive_scan_serial(&sums);
+
+    // Phase 3 (DEM): per-chunk local scan + offset.
+    let mut out = vec![0u64; n + 1];
+    {
+        let out_sh = SharedSlice::new(&mut out);
+        adapter.dem(chunks, &|c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let mut acc = offsets[c];
+            for i in lo..hi {
+                // Safety: chunks write disjoint ranges [lo, hi).
+                unsafe { out_sh.write(i, acc) };
+                acc += input[i];
+            }
+            if hi == n {
+                unsafe { out_sh.write(n, acc) };
+            }
+        });
+    }
+    out
+}
+
+/// Serial inclusive prefix sum (same length as input).
+pub fn inclusive_scan_serial(input: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0u64;
+    for &v in input {
+        acc += v;
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::{CpuParallelAdapter, SerialAdapter};
+
+    #[test]
+    fn serial_exclusive_basics() {
+        assert_eq!(exclusive_scan_serial(&[]), vec![0]);
+        assert_eq!(exclusive_scan_serial(&[5]), vec![0, 5]);
+        assert_eq!(exclusive_scan_serial(&[1, 2, 3]), vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn serial_inclusive_basics() {
+        assert_eq!(inclusive_scan_serial(&[1, 2, 3]), vec![1, 3, 6]);
+        assert!(inclusive_scan_serial(&[]).is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial_large() {
+        let adapter = CpuParallelAdapter::new(4);
+        let input: Vec<u64> = (0..100_000u64).map(|i| (i * 31 + 7) % 97).collect();
+        assert_eq!(exclusive_scan(&adapter, &input), exclusive_scan_serial(&input));
+    }
+
+    #[test]
+    fn parallel_matches_serial_small_and_edges() {
+        let adapter = SerialAdapter::new();
+        for n in [0usize, 1, 2, (1 << 14) - 1, 1 << 14, (1 << 14) + 1] {
+            let input: Vec<u64> = (0..n as u64).collect();
+            assert_eq!(
+                exclusive_scan(&adapter, &input),
+                exclusive_scan_serial(&input),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_is_last_entry() {
+        let adapter = CpuParallelAdapter::new(3);
+        let input = vec![7u64; 50_000];
+        let scan = exclusive_scan(&adapter, &input);
+        assert_eq!(*scan.last().unwrap(), 350_000);
+    }
+}

@@ -1,0 +1,475 @@
+//! MGARD-X end-to-end codec (paper Algorithm 1 / Fig. 5):
+//! multilevel decomposition → per-level linear quantization → Huffman.
+
+use crate::decompose::{decompose, recompose};
+use crate::hierarchy::Hierarchy;
+use crate::quantize::{dequantize, level_bin, quantize, Quantized};
+use hpdr_core::{
+    ByteReader, ByteWriter, ContextCache, ContextKey, DeviceAdapter, Float, HpdrError, KernelClass,
+    Result, Shape,
+};
+use hpdr_huffman::HuffmanConfig;
+
+const MAGIC: u32 = 0x4D47_5831; // "MGX1"
+const VERSION: u8 = 1;
+
+/// Error-bound specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Bound relative to the data range: `abs = rel · (max − min)`.
+    Relative(f64),
+    /// Absolute bound.
+    Absolute(f64),
+}
+
+/// MGARD-X configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MgardConfig {
+    pub error_bound: ErrorBound,
+    /// Huffman dictionary size for quantized coefficients.
+    pub dict_size: u32,
+}
+
+impl Default for MgardConfig {
+    fn default() -> Self {
+        MgardConfig {
+            error_bound: ErrorBound::Relative(1e-3),
+            dict_size: 8192,
+        }
+    }
+}
+
+impl MgardConfig {
+    pub fn relative(eb: f64) -> MgardConfig {
+        MgardConfig {
+            error_bound: ErrorBound::Relative(eb),
+            ..Default::default()
+        }
+    }
+
+    pub fn absolute(eb: f64) -> MgardConfig {
+        MgardConfig {
+            error_bound: ErrorBound::Absolute(eb),
+            ..Default::default()
+        }
+    }
+
+    pub fn config_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self.error_bound {
+            ErrorBound::Relative(e) => {
+                w.put_u8(0);
+                w.put_f64(e);
+            }
+            ErrorBound::Absolute(e) => {
+                w.put_u8(1);
+                w.put_f64(e);
+            }
+        }
+        w.put_u32(self.dict_size);
+        w.into_vec()
+    }
+}
+
+/// Reusable per-shape reduction context (the CMM payload): hierarchy and
+/// node-level map are shape-derived and allocation-heavy, so caching them
+/// removes all per-call setup allocations (paper §III-B).
+pub struct MgardContext {
+    pub hierarchy: Hierarchy,
+    pub node_levels: Vec<u8>,
+    /// Scratch for the f64 working copy, reused across calls.
+    pub work: Vec<f64>,
+}
+
+impl MgardContext {
+    pub fn new(shape: &Shape) -> MgardContext {
+        let hierarchy = Hierarchy::new(shape);
+        let node_levels = hierarchy.node_levels();
+        MgardContext {
+            hierarchy,
+            node_levels,
+            work: Vec::new(),
+        }
+    }
+}
+
+/// Global context cache shared by all MGARD-X invocations.
+pub fn context_cache() -> &'static ContextCache<MgardContext> {
+    static CACHE: std::sync::OnceLock<ContextCache<MgardContext>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| ContextCache::new(16))
+}
+
+/// Fold 4D shapes into 3D (merge the two slowest dims), matching the
+/// ZFP-X convention; decorrelation across the merged boundary is
+/// sacrificed, the error bound is not.
+fn effective_shape(shape: &Shape) -> Shape {
+    let d = shape.dims();
+    if d.len() == 4 {
+        Shape::new(&[d[0] * d[1], d[2], d[3]])
+    } else {
+        shape.clone()
+    }
+}
+
+fn resolve_abs_eb<T: Float>(
+    adapter: &dyn DeviceAdapter,
+    data: &[T],
+    bound: ErrorBound,
+) -> Result<f64> {
+    let abs = match bound {
+        ErrorBound::Absolute(e) => e,
+        ErrorBound::Relative(rel) => {
+            if rel <= 0.0 || !rel.is_finite() {
+                return Err(HpdrError::invalid("relative bound must be positive"));
+            }
+            let (mn, mx) = hpdr_kernels::min_max(adapter, data);
+            let range = mx.to_f64() - mn.to_f64();
+            if range == 0.0 {
+                // Constant data: any positive bound works.
+                rel
+            } else {
+                rel * range
+            }
+        }
+    };
+    if abs <= 0.0 || !abs.is_finite() {
+        return Err(HpdrError::invalid("error bound must be positive and finite"));
+    }
+    Ok(abs)
+}
+
+/// Compress with MGARD-X. Uses (and populates) the shared context cache.
+pub fn compress<T: Float>(
+    adapter: &dyn DeviceAdapter,
+    data: &[T],
+    shape: &Shape,
+    cfg: &MgardConfig,
+) -> Result<Vec<u8>> {
+    if data.len() != shape.num_elements() {
+        return Err(HpdrError::invalid(format!(
+            "data length {} does not match shape {shape}",
+            data.len()
+        )));
+    }
+    if cfg.dict_size < 16 {
+        return Err(HpdrError::invalid("dict_size must be at least 16"));
+    }
+    for &v in data.iter() {
+        if !v.is_finite() {
+            return Err(HpdrError::invalid("non-finite value in MGARD input"));
+        }
+    }
+    let abs_eb = resolve_abs_eb(adapter, data, cfg.error_bound)?;
+    let eff = effective_shape(shape);
+
+    // CMM lookup: hierarchy + node-level map keyed by shape & device.
+    let key = ContextKey {
+        algorithm: "mgard-x",
+        dtype: T::DTYPE,
+        shape: eff.dims().to_vec(),
+        config_hash: hpdr_core::fnv1a(&cfg.config_bytes()),
+        device: 0,
+    };
+    let ctx = context_cache().get_or_create(&key, || MgardContext::new(&eff));
+    let mut ctx = ctx.lock();
+    let levels = ctx.hierarchy.total_levels();
+
+    // Decompose on an f64 working copy (reused across calls).
+    ctx.work.clear();
+    ctx.work.extend(data.iter().map(|v| v.to_f64()));
+    let MgardContext {
+        hierarchy,
+        node_levels,
+        work,
+    } = &mut *ctx;
+    decompose(adapter, work, hierarchy);
+
+    // Per-level quantization (Map&Process).
+    let bins: Vec<f64> = (0..levels).map(|l| level_bin(abs_eb, levels, l)).collect();
+    let q = quantize(adapter, work, node_levels, &bins, cfg.dict_size);
+
+    // Entropy encoding.
+    let hcfg = HuffmanConfig {
+        dict_size: cfg.dict_size,
+        chunk_elems: 1 << 16,
+    };
+    let encoded = hpdr_huffman::compress_u32(adapter, &q.symbols, &hcfg)?;
+
+    adapter.charge(KernelClass::Mgard, (data.len() * T::BYTES) as u64);
+
+    // Container.
+    let mut w = ByteWriter::with_capacity(encoded.len() + 128);
+    w.put_u32(MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(T::DTYPE.tag());
+    w.put_u8(shape.ndims() as u8);
+    for &d in shape.dims() {
+        w.put_u64(d as u64);
+    }
+    w.put_f64(abs_eb);
+    w.put_u8(levels as u8);
+    w.put_u32(cfg.dict_size);
+    w.put_u64(q.outliers.len() as u64);
+    for &(idx, qi) in &q.outliers {
+        w.put_u64(idx);
+        w.put_i64(qi);
+    }
+    w.put_block(&encoded);
+    Ok(w.into_vec())
+}
+
+/// Decompress an MGARD-X stream.
+pub fn decompress<T: Float>(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<(Vec<T>, Shape)> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_u32()? != MAGIC {
+        return Err(HpdrError::corrupt("bad MGARD-X magic"));
+    }
+    if r.get_u8()? != VERSION {
+        return Err(HpdrError::corrupt("unsupported MGARD-X version"));
+    }
+    if r.get_u8()? != T::DTYPE.tag() {
+        return Err(HpdrError::invalid("dtype mismatch in MGARD-X stream"));
+    }
+    let nd = r.get_u8()? as usize;
+    if !(1..=4).contains(&nd) {
+        return Err(HpdrError::corrupt("bad rank"));
+    }
+    let mut dims = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        let d = r.get_u64()? as usize;
+        if d == 0 || d > (1 << 40) {
+            return Err(HpdrError::corrupt("implausible dimension"));
+        }
+        dims.push(d);
+    }
+    let shape = Shape::try_new(&dims)?;
+    let eff = effective_shape(&shape);
+    let abs_eb = r.get_f64()?;
+    if abs_eb <= 0.0 || !abs_eb.is_finite() {
+        return Err(HpdrError::corrupt("bad error bound in stream"));
+    }
+    let levels = r.get_u8()? as usize;
+    let dict_size = r.get_u32()?;
+    if dict_size < 16 {
+        return Err(HpdrError::corrupt("bad dictionary size"));
+    }
+    let n_out = r.get_u64()? as usize;
+    if n_out > shape.num_elements() {
+        return Err(HpdrError::corrupt("more outliers than elements"));
+    }
+    let mut outliers = Vec::with_capacity(n_out);
+    for _ in 0..n_out {
+        let idx = r.get_u64()?;
+        let qi = r.get_i64()?;
+        if idx as usize >= shape.num_elements() {
+            return Err(HpdrError::corrupt("outlier index out of range"));
+        }
+        outliers.push((idx, qi));
+    }
+    let encoded = r.get_block()?;
+    r.expect_exhausted()?;
+
+    let symbols = hpdr_huffman::decompress_u32(adapter, encoded)?;
+    if symbols.len() != shape.num_elements() {
+        return Err(HpdrError::corrupt("symbol count does not match shape"));
+    }
+
+    let key = ContextKey {
+        algorithm: "mgard-x-dec",
+        dtype: T::DTYPE,
+        shape: eff.dims().to_vec(),
+        config_hash: 0,
+        device: 0,
+    };
+    let ctx = context_cache().get_or_create(&key, || MgardContext::new(&eff));
+    let mut ctx = ctx.lock();
+    if ctx.hierarchy.total_levels() != levels {
+        return Err(HpdrError::corrupt("level count mismatch with shape"));
+    }
+    let bins: Vec<f64> = (0..levels).map(|l| level_bin(abs_eb, levels, l)).collect();
+    let q = Quantized { symbols, outliers };
+    let MgardContext {
+        hierarchy,
+        node_levels,
+        work,
+    } = &mut *ctx;
+    let mut coeffs = dequantize(adapter, &q, node_levels, &bins, dict_size);
+    recompose(adapter, &mut coeffs, hierarchy);
+    let _ = work;
+
+    adapter.charge(KernelClass::Mgard, (coeffs.len() * T::BYTES) as u64);
+    let out: Vec<T> = coeffs.iter().map(|&v| T::from_f64(v)).collect();
+    Ok((out, shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::{CpuParallelAdapter, SerialAdapter};
+
+    fn smooth_field(dims: &[usize]) -> (Vec<f64>, Shape) {
+        let shape = Shape::new(dims);
+        let n = shape.num_elements();
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                let idx = shape.unravel(i);
+                let mut v = 10.0;
+                for (d, &x) in idx.iter().enumerate() {
+                    v += ((x as f64 / dims[d] as f64) * (3.0 + d as f64)).sin();
+                }
+                v
+            })
+            .collect();
+        (data, shape)
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn error_bound_is_honoured_3d() {
+        let adapter = CpuParallelAdapter::new(4);
+        let (data, shape) = smooth_field(&[20, 20, 20]);
+        let range: f64 = {
+            let mx = data.iter().cloned().fold(f64::MIN, f64::max);
+            let mn = data.iter().cloned().fold(f64::MAX, f64::min);
+            mx - mn
+        };
+        for rel in [1e-1f64, 1e-2, 1e-4] {
+            let c = compress(&adapter, &data, &shape, &MgardConfig::relative(rel)).unwrap();
+            let (out, s) = decompress::<f64>(&adapter, &c).unwrap();
+            assert_eq!(s, shape);
+            let err = max_err(&data, &out);
+            assert!(err <= rel * range, "rel={rel}: err {err} > {}", rel * range);
+        }
+    }
+
+    #[test]
+    fn compresses_smooth_data_well() {
+        let adapter = CpuParallelAdapter::new(4);
+        let (data, shape) = smooth_field(&[32, 32, 32]);
+        let c = compress(&adapter, &data, &shape, &MgardConfig::relative(1e-2)).unwrap();
+        let raw = data.len() * 8;
+        let ratio = raw as f64 / c.len() as f64;
+        assert!(ratio > 8.0, "ratio {ratio:.1} too low for smooth data");
+    }
+
+    #[test]
+    fn tighter_bound_means_bigger_stream() {
+        let adapter = CpuParallelAdapter::new(4);
+        let (data, shape) = smooth_field(&[24, 24, 24]);
+        let loose = compress(&adapter, &data, &shape, &MgardConfig::relative(1e-1))
+            .unwrap()
+            .len();
+        let tight = compress(&adapter, &data, &shape, &MgardConfig::relative(1e-5))
+            .unwrap()
+            .len();
+        assert!(tight > loose, "tight {tight} <= loose {loose}");
+    }
+
+    #[test]
+    fn f32_roundtrip_and_bound() {
+        let adapter = SerialAdapter::new();
+        let shape = Shape::new(&[40, 30]);
+        let data: Vec<f32> = (0..shape.num_elements())
+            .map(|i| ((i as f32) * 0.01).sin() * 100.0)
+            .collect();
+        let c = compress(&adapter, &data, &shape, &MgardConfig::relative(1e-3)).unwrap();
+        let (out, _) = decompress::<f32>(&adapter, &c).unwrap();
+        let err = data
+            .iter()
+            .zip(&out)
+            .map(|(x, y)| (x - y).abs() as f64)
+            .fold(0.0, f64::max);
+        assert!(err <= 1e-3 * 200.0 * 1.01, "err {err}");
+    }
+
+    #[test]
+    fn absolute_bound_mode() {
+        let adapter = SerialAdapter::new();
+        let (data, shape) = smooth_field(&[25, 17]);
+        let c = compress(&adapter, &data, &shape, &MgardConfig::absolute(0.05)).unwrap();
+        let (out, _) = decompress::<f64>(&adapter, &c).unwrap();
+        assert!(max_err(&data, &out) <= 0.05);
+    }
+
+    #[test]
+    fn constant_and_tiny_inputs() {
+        let adapter = SerialAdapter::new();
+        let data = vec![7.25f64; 64];
+        let shape = Shape::new(&[4, 4, 4]);
+        let c = compress(&adapter, &data, &shape, &MgardConfig::relative(1e-3)).unwrap();
+        let (out, _) = decompress::<f64>(&adapter, &c).unwrap();
+        assert!(max_err(&data, &out) < 1e-3);
+
+        let tiny = vec![1.0f64, 2.0];
+        let c = compress(&adapter, &tiny, &Shape::new(&[2]), &MgardConfig::relative(1e-2)).unwrap();
+        let (out, _) = decompress::<f64>(&adapter, &c).unwrap();
+        assert!(max_err(&tiny, &out) <= 1e-2);
+    }
+
+    #[test]
+    fn four_d_input_is_folded() {
+        let adapter = SerialAdapter::new();
+        let shape = Shape::new(&[2, 3, 10, 8]);
+        let data: Vec<f64> = (0..shape.num_elements()).map(|i| (i as f64 * 0.1).cos()).collect();
+        let c = compress(&adapter, &data, &shape, &MgardConfig::relative(1e-3)).unwrap();
+        let (out, s) = decompress::<f64>(&adapter, &c).unwrap();
+        assert_eq!(s, shape);
+        assert!(max_err(&data, &out) <= 2.0 * 1e-3 * 1.01);
+    }
+
+    #[test]
+    fn adapter_independent_streams() {
+        let (data, shape) = smooth_field(&[15, 15]);
+        let cfg = MgardConfig::relative(1e-3);
+        let a = compress(&SerialAdapter::new(), &data, &shape, &cfg).unwrap();
+        let b = compress(&CpuParallelAdapter::new(8), &data, &shape, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let adapter = SerialAdapter::new();
+        let shape = Shape::new(&[4, 4]);
+        assert!(compress(&adapter, &[1.0f64; 3], &shape, &MgardConfig::default()).is_err());
+        let mut nan = vec![0.0f64; 16];
+        nan[5] = f64::NAN;
+        assert!(compress(&adapter, &nan, &shape, &MgardConfig::default()).is_err());
+        assert!(compress(
+            &adapter,
+            &[1.0f64; 16],
+            &shape,
+            &MgardConfig::relative(-1.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let adapter = SerialAdapter::new();
+        let (data, shape) = smooth_field(&[9, 9]);
+        let good = compress(&adapter, &data, &shape, &MgardConfig::relative(1e-2)).unwrap();
+        for cut in [0, 5, 12, 30, good.len() / 2, good.len() - 1] {
+            assert!(decompress::<f64>(&adapter, &good[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = good.clone();
+        bad[0] ^= 1;
+        assert!(decompress::<f64>(&adapter, &bad).is_err());
+        assert!(decompress::<f32>(&adapter, &good).is_err());
+    }
+
+    #[test]
+    fn context_cache_hits_on_repeat() {
+        let adapter = SerialAdapter::new();
+        let (data, shape) = smooth_field(&[21, 13]);
+        let cfg = MgardConfig::relative(1e-2);
+        let before = context_cache().stats();
+        compress(&adapter, &data, &shape, &cfg).unwrap();
+        compress(&adapter, &data, &shape, &cfg).unwrap();
+        compress(&adapter, &data, &shape, &cfg).unwrap();
+        let after = context_cache().stats();
+        assert!(after.hits >= before.hits + 2, "{before:?} -> {after:?}");
+    }
+}

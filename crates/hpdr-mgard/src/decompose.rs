@@ -1,0 +1,387 @@
+//! Multilevel decomposition / recomposition (paper Algorithm 1, lines
+//! 5–13, and its inverse).
+//!
+//! Per level `l → l−1`:
+//! 1. **Coefficients** (Locality + `lerp`): every node new at level `l`
+//!    becomes `mc = u − multilinear-interp(coarse neighbours)`, in place.
+//! 2. **Correction** (Locality `mass_trans` + Iterative `tridiag`): the
+//!    L2 projection of the coefficient function onto the coarse grid,
+//!    computed dimension by dimension (`M_c⁻¹ · Pᵀ · M_f`).
+//! 3. **Apply** (Locality `add`): `u[coarse] += correction`.
+//!
+//! Recomposition runs the exact same correction computation (the
+//! coefficients are still in `u`), subtracts it, then re-interpolates.
+
+use crate::hierarchy::{role_of, Hierarchy, NodeRole};
+use crate::operators::{interp_weights, mass_apply, mass_solve, restrict};
+use hpdr_core::{DeviceAdapter, Iterative, SharedSlice};
+
+/// Multi-index decomposition of a flat position in row-major `dims`.
+#[inline]
+fn unravel(mut flat: usize, dims: &[usize], out: &mut [usize]) {
+    for d in (0..dims.len()).rev() {
+        out[d] = flat % dims[d];
+        flat /= dims[d];
+    }
+}
+
+fn strides_of(dims: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; dims.len()];
+    for d in (0..dims.len().saturating_sub(1)).rev() {
+        s[d] = s[d + 1] * dims[d + 1];
+    }
+    s
+}
+
+/// Full-array flat index of grid position `pos` on the level grid.
+#[inline]
+fn full_index(pos: &[usize], lists: &[&[usize]], full_strides: &[usize]) -> usize {
+    pos.iter()
+        .zip(lists)
+        .zip(full_strides)
+        .map(|((&p, l), &s)| l[p] * s)
+        .sum()
+}
+
+/// Multilinear interpolation at a (partially) new node; coarse neighbour
+/// values are read through `get(full_index)`.
+fn interp_at(
+    get: &dyn Fn(usize) -> f64,
+    pos: &[usize],
+    lists: &[&[usize]],
+    full_strides: &[usize],
+) -> f64 {
+    let nd = pos.len();
+    let mut new_dims = [0usize; 4];
+    let mut n_new = 0;
+    for (d, &p) in pos.iter().enumerate() {
+        if matches!(role_of(p, lists[d].len()), NodeRole::New) {
+            new_dims[n_new] = d;
+            n_new += 1;
+        }
+    }
+    debug_assert!(n_new > 0);
+    let mut corner = [0usize; 4];
+    let mut acc = 0.0;
+    for mask in 0..(1usize << n_new) {
+        corner[..nd].copy_from_slice(pos);
+        let mut weight = 1.0;
+        for (bit, &d) in new_dims[..n_new].iter().enumerate() {
+            let (wl, wr) = interp_weights(lists[d], pos[d]);
+            if mask >> bit & 1 == 0 {
+                corner[d] = pos[d] - 1;
+                weight *= wl;
+            } else {
+                corner[d] = pos[d] + 1;
+                weight *= wr;
+            }
+        }
+        acc += weight * get(full_index(&corner[..nd], lists, full_strides));
+    }
+    acc
+}
+
+/// Compute the level-`l` correction field from the coefficients currently
+/// stored in `u`. Returns the correction on the level-(l−1) grid
+/// (row-major over the coarse per-dim list lengths).
+fn compute_correction(
+    adapter: &dyn DeviceAdapter,
+    u: &[f64],
+    h: &Hierarchy,
+    l: usize,
+    full_strides: &[usize],
+) -> Vec<f64> {
+    let nd = h.shape().ndims();
+    let fine_lists: Vec<&[usize]> = (0..nd).map(|d| h.dim_nodes(l, d)).collect();
+    let coarse_lists: Vec<&[usize]> = (0..nd).map(|d| h.dim_nodes(l - 1, d)).collect();
+    let fine_dims: Vec<usize> = fine_lists.iter().map(|l| l.len()).collect();
+
+    // w = coefficient function on the fine grid (0 at coarse nodes).
+    let total = fine_dims.iter().product::<usize>();
+    let mut w = vec![0.0f64; total];
+    {
+        let w_sh = SharedSlice::new(&mut w);
+        adapter.dem(total, &|flat| {
+            let mut pos = [0usize; 4];
+            unravel(flat, &fine_dims, &mut pos[..nd]);
+            let is_new = pos[..nd]
+                .iter()
+                .zip(&fine_lists)
+                .any(|(&p, l)| matches!(role_of(p, l.len()), NodeRole::New));
+            if is_new {
+                let v = u[full_index(&pos[..nd], &fine_lists, full_strides)];
+                // Safety: each flat position writes only itself.
+                unsafe { w_sh.write(flat, v) };
+            }
+        });
+    }
+
+    // Dimension-by-dimension projection; saturated dims (identical
+    // fine/coarse lists) are the identity and are skipped.
+    let mut cur_dims = fine_dims.clone();
+    for k in 0..nd {
+        if fine_lists[k].len() == coarse_lists[k].len() {
+            continue;
+        }
+        let fine_len = fine_lists[k].len();
+        let coarse_len = coarse_lists[k].len();
+        let mut out_dims = cur_dims.clone();
+        out_dims[k] = coarse_len;
+        let in_strides = strides_of(&cur_dims);
+        let out_strides = strides_of(&out_dims);
+        let mut out = vec![0.0f64; out_dims.iter().product()];
+        let num_lines: usize = cur_dims.iter().product::<usize>() / cur_dims[k];
+        let line_dims: Vec<usize> = (0..nd).filter(|&d| d != k).map(|d| cur_dims[d]).collect();
+        {
+            let out_sh = SharedSlice::new(&mut out);
+            let w_ref = &w;
+            // Iterative abstraction: one tridiagonal system per line
+            // (paper Alg. 1 line 9).
+            Iterative::new(num_lines, 8).run(adapter, &|line, _| {
+                let mut li = [0usize; 3];
+                unravel(line, &line_dims, &mut li[..line_dims.len()]);
+                let mut base_in = 0usize;
+                let mut base_out = 0usize;
+                let mut j = 0;
+                for d in 0..nd {
+                    if d == k {
+                        continue;
+                    }
+                    base_in += li[j] * in_strides[d];
+                    base_out += li[j] * out_strides[d];
+                    j += 1;
+                }
+                let mut vals = vec![0.0f64; fine_len];
+                for (p, v) in vals.iter_mut().enumerate() {
+                    *v = w_ref[base_in + p * in_strides[k]];
+                }
+                let mut massed = vec![0.0f64; fine_len];
+                mass_apply(&vals, fine_lists[k], &mut massed);
+                let mut b = vec![0.0f64; coarse_len];
+                restrict(&massed, fine_lists[k], &mut b);
+                let mut scratch = vec![0.0f64; coarse_len];
+                mass_solve(&mut b, coarse_lists[k], &mut scratch);
+                for (p, &v) in b.iter().enumerate() {
+                    // Safety: lines write disjoint output positions.
+                    unsafe { out_sh.write(base_out + p * out_strides[k], v) };
+                }
+            });
+        }
+        w = out;
+        cur_dims = out_dims;
+    }
+    w
+}
+
+/// Visit every level-`l` grid node that has at least one new dimension
+/// and apply `f(full_index, interpolated_value)`. Reads coarse nodes,
+/// writes new nodes — disjoint sets, hence safe shared access.
+fn for_each_new_node(
+    adapter: &dyn DeviceAdapter,
+    u: &mut [f64],
+    h: &Hierarchy,
+    l: usize,
+    full_strides: &[usize],
+    apply: &(dyn Fn(f64, f64) -> f64 + Sync),
+) {
+    let nd = h.shape().ndims();
+    let fine_lists: Vec<&[usize]> = (0..nd).map(|d| h.dim_nodes(l, d)).collect();
+    let fine_dims: Vec<usize> = fine_lists.iter().map(|l| l.len()).collect();
+    let total: usize = fine_dims.iter().product();
+    let u_sh = SharedSlice::new(u);
+    adapter.dem(total, &|flat| {
+        let mut pos = [0usize; 4];
+        unravel(flat, &fine_dims, &mut pos[..nd]);
+        let any_new = pos[..nd]
+            .iter()
+            .zip(&fine_lists)
+            .any(|(&p, l)| matches!(role_of(p, l.len()), NodeRole::New));
+        if !any_new {
+            return;
+        }
+        // Safety: interp reads only all-coarse corners; the write targets
+        // this (new) node. New and coarse node sets are disjoint.
+        let get = |idx: usize| unsafe { u_sh.read(idx) };
+        let interp = interp_at(&get, &pos[..nd], &fine_lists, full_strides);
+        let idx = full_index(&pos[..nd], &fine_lists, full_strides);
+        let old = unsafe { u_sh.read(idx) };
+        unsafe { u_sh.write(idx, apply(old, interp)) };
+    });
+}
+
+/// Add/subtract a coarse-grid field into the full array at coarse nodes.
+fn apply_on_coarse(
+    adapter: &dyn DeviceAdapter,
+    u: &mut [f64],
+    h: &Hierarchy,
+    l: usize,
+    full_strides: &[usize],
+    corr: &[f64],
+    sign: f64,
+) {
+    let nd = h.shape().ndims();
+    let coarse_lists: Vec<&[usize]> = (0..nd).map(|d| h.dim_nodes(l - 1, d)).collect();
+    let coarse_dims: Vec<usize> = coarse_lists.iter().map(|l| l.len()).collect();
+    let total: usize = coarse_dims.iter().product();
+    debug_assert_eq!(corr.len(), total);
+    let u_sh = SharedSlice::new(u);
+    adapter.dem(total, &|flat| {
+        let mut pos = [0usize; 4];
+        unravel(flat, &coarse_dims, &mut pos[..nd]);
+        let idx = full_index(&pos[..nd], &coarse_lists, full_strides);
+        // Safety: coarse positions are distinct full-array indices.
+        unsafe {
+            let old = u_sh.read(idx);
+            u_sh.write(idx, old + sign * corr[flat]);
+        }
+    });
+}
+
+/// Full multilevel decomposition, in place: after this call, `u` holds
+/// coarsest-level values at level-0 nodes and multilevel coefficients
+/// everywhere else.
+pub fn decompose(adapter: &dyn DeviceAdapter, u: &mut [f64], h: &Hierarchy) {
+    let full_strides = h.shape().strides();
+    for l in (1..=h.finest()).rev() {
+        // 1. Coefficients: u[new] -= interp(coarse).
+        for_each_new_node(adapter, u, h, l, &full_strides, &|old, interp| old - interp);
+        // 2–3. Correction onto the coarse grid.
+        let corr = compute_correction(adapter, u, h, l, &full_strides);
+        apply_on_coarse(adapter, u, h, l, &full_strides, &corr, 1.0);
+    }
+}
+
+/// Full multilevel recomposition, in place (inverse of [`decompose`]).
+pub fn recompose(adapter: &dyn DeviceAdapter, u: &mut [f64], h: &Hierarchy) {
+    let full_strides = h.shape().strides();
+    for l in 1..=h.finest() {
+        let corr = compute_correction(adapter, u, h, l, &full_strides);
+        apply_on_coarse(adapter, u, h, l, &full_strides, &corr, -1.0);
+        // u[new] = mc + interp(coarse).
+        for_each_new_node(adapter, u, h, l, &full_strides, &|old, interp| old + interp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::{CpuParallelAdapter, SerialAdapter, Shape};
+
+    fn roundtrip_check(shape: &Shape, data: &[f64], tol: f64) {
+        let adapter = CpuParallelAdapter::new(4);
+        let h = Hierarchy::new(shape);
+        let mut u = data.to_vec();
+        decompose(&adapter, &mut u, &h);
+        recompose(&adapter, &mut u, &h);
+        let max_err = data
+            .iter()
+            .zip(&u)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < tol, "shape {shape}: roundtrip err {max_err}");
+    }
+
+    #[test]
+    fn roundtrip_1d_various_sizes() {
+        for n in [2usize, 3, 5, 9, 17, 100, 257] {
+            let data: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin() * 100.0).collect();
+            roundtrip_check(&Shape::new(&[n]), &data, 1e-8);
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d_and_3d() {
+        let shape = Shape::new(&[17, 13]);
+        let data: Vec<f64> = (0..shape.num_elements())
+            .map(|i| ((i as f64) * 0.13).cos() * 50.0 + i as f64 * 0.01)
+            .collect();
+        roundtrip_check(&shape, &data, 1e-8);
+
+        let shape = Shape::new(&[9, 10, 11]);
+        let data: Vec<f64> = (0..shape.num_elements())
+            .map(|i| ((i as f64) * 0.029).sin() * 10.0)
+            .collect();
+        roundtrip_check(&shape, &data, 1e-8);
+    }
+
+    #[test]
+    fn linear_function_has_negligible_fine_coefficients() {
+        // A multilinear function is exactly representable at every level:
+        // all multilevel coefficients vanish (up to fp noise).
+        let n = 17;
+        let shape = Shape::new(&[n, n]);
+        let mut u: Vec<f64> = (0..n * n)
+            .map(|f| {
+                let (i, j) = (f / n, f % n);
+                3.0 * i as f64 - 2.0 * j as f64 + 5.0
+            })
+            .collect();
+        let h = Hierarchy::new(&shape);
+        let adapter = SerialAdapter::new();
+        decompose(&adapter, &mut u, &h);
+        let levels = h.node_levels();
+        for (flat, &lvl) in levels.iter().enumerate() {
+            if lvl > 0 {
+                assert!(
+                    u[flat].abs() < 1e-9,
+                    "coefficient at {flat} (level {lvl}) = {}",
+                    u[flat]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_data_coefficients_decay_with_level() {
+        let n = 65;
+        let shape = Shape::new(&[n]);
+        let mut u: Vec<f64> = (0..n).map(|i| (i as f64 / 8.0).sin()).collect();
+        let h = Hierarchy::new(&shape);
+        let adapter = SerialAdapter::new();
+        decompose(&adapter, &mut u, &h);
+        let levels = h.node_levels();
+        // Mean |coefficient| at the finest level should be much smaller
+        // than at mid levels (smoothness ⇒ fine-scale detail is tiny).
+        let mean = |lvl: u8| {
+            let v: Vec<f64> = levels
+                .iter()
+                .zip(&u)
+                .filter(|(l, _)| **l == lvl)
+                .map(|(_, &x)| x.abs())
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let fine = mean(h.finest() as u8);
+        let mid = mean(2);
+        assert!(fine < mid, "fine {fine} mid {mid}");
+    }
+
+    #[test]
+    fn serial_and_parallel_decompositions_agree() {
+        let shape = Shape::new(&[33, 12]);
+        let data: Vec<f64> = (0..shape.num_elements())
+            .map(|i| ((i * 2654435761usize % 1000) as f64) / 7.0)
+            .collect();
+        let h = Hierarchy::new(&shape);
+        let mut a = data.clone();
+        let mut b = data.clone();
+        decompose(&SerialAdapter::new(), &mut a, &h);
+        decompose(&CpuParallelAdapter::new(8), &mut b, &h);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "bitwise determinism required");
+        }
+    }
+
+    #[test]
+    fn decompose_preserves_coarsest_mean_roughly() {
+        // The level-0 values approximate the function (projection), so
+        // they must stay within the data range for smooth input.
+        let n = 33;
+        let shape = Shape::new(&[n]);
+        let mut u: Vec<f64> = (0..n).map(|i| 10.0 + (i as f64 / 5.0).sin()).collect();
+        let h = Hierarchy::new(&shape);
+        decompose(&SerialAdapter::new(), &mut u, &h);
+        assert!(u[0] > 5.0 && u[0] < 15.0);
+        assert!(u[n - 1] > 5.0 && u[n - 1] < 15.0);
+    }
+}

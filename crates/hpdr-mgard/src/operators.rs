@@ -1,0 +1,229 @@
+//! 1-D building blocks of the MGARD decomposition, all non-uniform-aware
+//! (node coordinates are the original grid indices; only the trailing
+//! interval of a level can be shorter).
+//!
+//! The level-(l → l−1) correction is the L2 projection of the coefficient
+//! function onto the coarse space:
+//!
+//! ```text
+//! correction = M_c⁻¹ · Pᵀ · M_f · w
+//! ```
+//!
+//! applied dimension by dimension (paper Alg. 1 lines 7–9: `mass_trans`
+//! via the Locality abstraction, `tridiag` via the Iterative abstraction).
+
+use crate::hierarchy::{role_of, NodeRole};
+
+/// Interpolation weights of a new node at fine position `pos` (odd) w.r.t.
+/// its coarse neighbours at `pos - 1` / `pos + 1`: `(w_left, w_right)`.
+pub fn interp_weights(coords: &[usize], pos: usize) -> (f64, f64) {
+    let xa = coords[pos - 1] as f64;
+    let xm = coords[pos] as f64;
+    let xb = coords[pos + 1] as f64;
+    let h = xb - xa;
+    ((xb - xm) / h, (xm - xa) / h)
+}
+
+/// Fine-grid mass-matrix multiply along one line: `out = M_f · vals`.
+/// `coords` are the fine node coordinates.
+pub fn mass_apply(vals: &[f64], coords: &[usize], out: &mut [f64]) {
+    let n = vals.len();
+    debug_assert_eq!(coords.len(), n);
+    debug_assert_eq!(out.len(), n);
+    if n == 1 {
+        out[0] = vals[0];
+        return;
+    }
+    for i in 0..n {
+        let hl = if i > 0 {
+            (coords[i] - coords[i - 1]) as f64
+        } else {
+            0.0
+        };
+        let hr = if i + 1 < n {
+            (coords[i + 1] - coords[i]) as f64
+        } else {
+            0.0
+        };
+        let mut acc = vals[i] * (hl + hr) / 3.0;
+        if i > 0 {
+            acc += vals[i - 1] * hl / 6.0;
+        }
+        if i + 1 < n {
+            acc += vals[i + 1] * hr / 6.0;
+        }
+        out[i] = acc;
+    }
+}
+
+/// Restriction `out = Pᵀ · fine`: coarse nodes keep their own entry plus
+/// the interpolation-weighted contributions of adjacent new nodes.
+#[allow(clippy::needless_range_loop)] // `pos` is classified by role_of
+pub fn restrict(fine: &[f64], coords: &[usize], out: &mut [f64]) {
+    let n = fine.len();
+    out.fill(0.0);
+    if n <= 2 {
+        out[..n].copy_from_slice(fine);
+        return;
+    }
+    for pos in 0..n {
+        match role_of(pos, n) {
+            NodeRole::Coarse { coarse_pos } => out[coarse_pos] += fine[pos],
+            NodeRole::New => {
+                let (wl, wr) = interp_weights(coords, pos);
+                let NodeRole::Coarse { coarse_pos: cl } = role_of(pos - 1, n) else {
+                    unreachable!("neighbour of a new node is coarse");
+                };
+                let NodeRole::Coarse { coarse_pos: cr } = role_of(pos + 1, n) else {
+                    unreachable!("neighbour of a new node is coarse");
+                };
+                out[cl] += wl * fine[pos];
+                out[cr] += wr * fine[pos];
+            }
+        }
+    }
+}
+
+/// Solve the coarse mass system `M_c · x = b` in place (Thomas algorithm).
+/// `coords` are the *coarse* node coordinates. `scratch` must hold at
+/// least `b.len()` values.
+pub fn mass_solve(b: &mut [f64], coords: &[usize], scratch: &mut [f64]) {
+    let n = b.len();
+    debug_assert_eq!(coords.len(), n);
+    if n == 1 {
+        // M = [h_total/3]? A single node means a degenerate dim: identity.
+        return;
+    }
+    let h = |i: usize| (coords[i + 1] - coords[i]) as f64;
+    let diag = |i: usize| {
+        let hl = if i > 0 { h(i - 1) } else { 0.0 };
+        let hr = if i + 1 < n { h(i) } else { 0.0 };
+        (hl + hr) / 3.0
+    };
+    let off = |i: usize| h(i) / 6.0; // coupling between i and i+1
+    // Forward sweep.
+    let cp = scratch;
+    cp[0] = off(0) / diag(0);
+    b[0] /= diag(0);
+    for i in 1..n {
+        let m = diag(i) - off(i - 1) * cp[i - 1];
+        if i + 1 < n {
+            cp[i] = off(i) / m;
+        }
+        b[i] = (b[i] - off(i - 1) * b[i - 1]) / m;
+    }
+    // Back substitution.
+    for i in (0..n - 1).rev() {
+        b[i] -= cp[i] * b[i + 1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_mass(coords: &[usize]) -> Vec<Vec<f64>> {
+        let n = coords.len();
+        let mut m = vec![vec![0.0; n]; n];
+        let h = |i: usize| (coords[i + 1] - coords[i]) as f64;
+        for i in 0..n {
+            let hl = if i > 0 { h(i - 1) } else { 0.0 };
+            let hr = if i + 1 < n { h(i) } else { 0.0 };
+            m[i][i] = (hl + hr) / 3.0;
+            if i > 0 {
+                m[i][i - 1] = h(i - 1) / 6.0;
+            }
+            if i + 1 < n {
+                m[i][i + 1] = h(i) / 6.0;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn mass_apply_matches_dense() {
+        let coords = [0usize, 2, 4, 6, 8];
+        let vals = [1.0, -2.0, 3.0, 0.5, 4.0];
+        let mut out = [0.0; 5];
+        mass_apply(&vals, &coords, &mut out);
+        let m = dense_mass(&coords);
+        for i in 0..5 {
+            let expect: f64 = (0..5).map(|j| m[i][j] * vals[j]).sum();
+            assert!((out[i] - expect).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn mass_solve_inverts_mass_apply() {
+        for coords in [vec![0usize, 1, 2, 3, 4, 5], vec![0, 4, 6], vec![0, 8], vec![0, 2, 4, 5]] {
+            let n = coords.len();
+            let vals: Vec<f64> = (0..n).map(|i| (i as f64 * 1.7).sin() + 0.3).collect();
+            let mut b = vec![0.0; n];
+            mass_apply(&vals, &coords, &mut b);
+            let mut scratch = vec![0.0; n];
+            mass_solve(&mut b, &coords, &mut scratch);
+            for i in 0..n {
+                assert!((b[i] - vals[i]).abs() < 1e-10, "coords={coords:?} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn interp_weights_uniform_are_halves() {
+        let coords = [0usize, 1, 2, 3, 4];
+        let (wl, wr) = interp_weights(&coords, 1);
+        assert!((wl - 0.5).abs() < 1e-15 && (wr - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn interp_weights_nonuniform_tail() {
+        // Fine list [0, 4, 6]: new node 4 sits 4/6 of the way to 6.
+        let coords = [0usize, 4, 6];
+        let (wl, wr) = interp_weights(&coords, 1);
+        assert!((wl - (2.0 / 6.0)).abs() < 1e-15);
+        assert!((wr - (4.0 / 6.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn restrict_passes_coarse_values_through() {
+        // Fine values only at coarse positions (new = 0) restrict to
+        // themselves.
+        let coords = [0usize, 1, 2, 3, 4];
+        let fine = [5.0, 0.0, -3.0, 0.0, 7.0];
+        let mut out = [0.0; 3];
+        restrict(&fine, &coords, &mut out);
+        assert_eq!(out, [5.0, -3.0, 7.0]);
+    }
+
+    #[test]
+    fn restrict_distributes_new_node_mass() {
+        let coords = [0usize, 1, 2];
+        let fine = [0.0, 4.0, 0.0];
+        let mut out = [0.0; 2];
+        restrict(&fine, &coords, &mut out);
+        assert_eq!(out, [2.0, 2.0]);
+    }
+
+    #[test]
+    fn restrict_even_length_list() {
+        // len 4 → coarse [p0, p2, p3]; new node p1 splits between p0, p2.
+        let coords = [0usize, 2, 4, 6];
+        let fine = [1.0, 8.0, 2.0, 3.0];
+        let mut out = [0.0; 3];
+        restrict(&fine, &coords, &mut out);
+        assert_eq!(out, [1.0 + 4.0, 2.0 + 4.0, 3.0]);
+    }
+
+    #[test]
+    fn single_node_ops_are_identity() {
+        let coords = [0usize];
+        let vals = [3.5];
+        let mut out = [0.0];
+        mass_apply(&vals, &coords, &mut out);
+        assert_eq!(out, [3.5]);
+        let mut b = [2.5];
+        let mut s = [0.0];
+        mass_solve(&mut b, &coords, &mut s);
+        assert_eq!(b, [2.5]);
+    }
+}

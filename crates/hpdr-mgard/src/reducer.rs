@@ -1,0 +1,96 @@
+//! [`Reducer`] implementation for MGARD-X.
+
+use crate::codec::{compress, decompress, MgardConfig};
+use hpdr_core::{
+    ArrayMeta, DType, DeviceAdapter, Float, HpdrError, KernelClass, Reducer, Result,
+};
+
+/// MGARD-X as a byte-level reduction pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct MgardReducer(pub MgardConfig);
+
+fn peek_dtype(stream: &[u8]) -> Result<DType> {
+    let tag = *stream
+        .get(5)
+        .ok_or_else(|| HpdrError::corrupt("stream too short for header"))?;
+    DType::from_tag(tag).ok_or_else(|| HpdrError::corrupt("unknown dtype tag"))
+}
+
+impl Reducer for MgardReducer {
+    fn name(&self) -> &'static str {
+        "mgard-x"
+    }
+
+    fn kernel_class(&self) -> KernelClass {
+        KernelClass::Mgard
+    }
+
+    fn is_lossless(&self) -> bool {
+        false
+    }
+
+    fn compress(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        bytes: &[u8],
+        meta: &ArrayMeta,
+    ) -> Result<Vec<u8>> {
+        if bytes.len() != meta.num_bytes() {
+            return Err(HpdrError::invalid("byte length does not match metadata"));
+        }
+        match meta.dtype {
+            DType::F32 => compress(adapter, &f32::bytes_to_vec(bytes), &meta.shape, &self.0),
+            DType::F64 => compress(adapter, &f64::bytes_to_vec(bytes), &meta.shape, &self.0),
+        }
+    }
+
+    fn decompress(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        stream: &[u8],
+    ) -> Result<(Vec<u8>, ArrayMeta)> {
+        match peek_dtype(stream)? {
+            DType::F32 => {
+                let (data, shape) = decompress::<f32>(adapter, stream)?;
+                Ok((f32::slice_to_bytes(&data), ArrayMeta::new(DType::F32, shape)))
+            }
+            DType::F64 => {
+                let (data, shape) = decompress::<f64>(adapter, stream)?;
+                Ok((f64::slice_to_bytes(&data), ArrayMeta::new(DType::F64, shape)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::{SerialAdapter, Shape};
+
+    #[test]
+    fn byte_level_roundtrip_f32() {
+        let adapter = SerialAdapter::new();
+        let shape = Shape::new(&[12, 10]);
+        let data: Vec<f32> = (0..120).map(|i| (i as f32 * 0.3).sin()).collect();
+        let meta = ArrayMeta::new(DType::F32, shape.clone());
+        let r = MgardReducer(MgardConfig::relative(1e-3));
+        let stream = r.compress(&adapter, &f32::slice_to_bytes(&data), &meta).unwrap();
+        let (bytes, meta2) = r.decompress(&adapter, &stream).unwrap();
+        assert_eq!(meta2, meta);
+        let out = f32::bytes_to_vec(&bytes);
+        let err = data
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(err <= 2.0 * 1e-3 * 1.01);
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let adapter = SerialAdapter::new();
+        let meta = ArrayMeta::new(DType::F64, Shape::new(&[4]));
+        let r = MgardReducer(MgardConfig::default());
+        assert!(r.compress(&adapter, &[0u8; 7], &meta).is_err());
+    }
+}

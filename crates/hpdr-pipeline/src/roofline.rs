@@ -1,0 +1,231 @@
+//! The modified roofline throughput model Φ(C) and transfer model Θ(t)
+//! (paper §V-C, Fig. 11):
+//!
+//! ```text
+//! Φ(C) = α·C + β   if C <  C_threshold   (GPU not saturated)
+//!        γ         if C >= C_threshold   (saturated)
+//! Θ(t) = t · bw_h2d                      (max bytes transferable in t)
+//! ```
+//!
+//! The model is fitted from profiled `(chunk size, throughput)` points:
+//! γ is the throughput of the largest profiled chunk; points at or above
+//! `f·γ` (default 0.9) define the plateau; the rest are fitted by least
+//! squares.
+
+use hpdr_core::{KernelClass, Ns};
+use hpdr_sim::DeviceSpec;
+
+/// Fitted Φ model. Throughputs in GB/s (= bytes/ns), sizes in bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    pub alpha: f64,
+    pub beta: f64,
+    pub gamma: f64,
+    pub threshold: u64,
+}
+
+impl Roofline {
+    /// Estimated reduction throughput at chunk size `c` (GB/s).
+    pub fn phi(&self, c: u64) -> f64 {
+        if c >= self.threshold {
+            self.gamma
+        } else {
+            (self.alpha * c as f64 + self.beta).clamp(1e-6, self.gamma)
+        }
+    }
+
+    /// Estimated kernel time for a chunk of `c` bytes.
+    pub fn kernel_time(&self, c: u64) -> Ns {
+        Ns((c as f64 / self.phi(c)).round() as u64)
+    }
+}
+
+/// Θ: the maximum chunk size transferable host→device within `t`.
+pub fn theta(t: Ns, h2d_gbps: f64) -> u64 {
+    (t.0 as f64 * h2d_gbps) as u64
+}
+
+/// Profile a kernel class on a simulated device: query the calibrated
+/// cost model over a geometric sweep of chunk sizes (this plays the role
+/// of the paper's one-off profiling run on real hardware).
+pub fn profile_kernel(spec: &DeviceSpec, class: KernelClass, sizes: &[u64]) -> Vec<(u64, f64)> {
+    sizes
+        .iter()
+        .map(|&c| {
+            let t = spec.kernel_duration(class, c);
+            (c, c as f64 / t.0.max(1) as f64)
+        })
+        .collect()
+}
+
+/// Default geometric size sweep: 4 KiB … 1 GiB (profiling starts small
+/// so the unsaturated ramp is observable on any device).
+pub fn default_sweep() -> Vec<u64> {
+    (0..=18).map(|i| (4u64 << 10) << i).collect()
+}
+
+/// Fit a [`Roofline`] from profile points (paper's procedure: γ from the
+/// largest chunk, walk down while throughput stays ≥ f·γ, regress the
+/// rest linearly).
+pub fn fit(points: &[(u64, f64)], f: f64) -> Roofline {
+    assert!(!points.is_empty(), "cannot fit an empty profile");
+    let mut pts = points.to_vec();
+    pts.sort_by_key(|&(c, _)| c);
+    let gamma = pts.last().unwrap().1;
+    // Threshold: smallest size whose throughput is within f·γ.
+    let threshold = pts
+        .iter()
+        .find(|&&(_, p)| p >= f * gamma)
+        .map(|&(c, _)| c)
+        .unwrap_or(pts.last().unwrap().0);
+    // Linear fit over the unsaturated region.
+    let linear: Vec<(f64, f64)> = pts
+        .iter()
+        .filter(|&&(c, _)| c < threshold)
+        .map(|&(c, p)| (c as f64, p))
+        .collect();
+    let (alpha, beta) = if linear.len() >= 2 {
+        let n = linear.len() as f64;
+        let sx: f64 = linear.iter().map(|p| p.0).sum();
+        let sy: f64 = linear.iter().map(|p| p.1).sum();
+        let sxx: f64 = linear.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = linear.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-9 {
+            (0.0, sy / n)
+        } else {
+            let a = (n * sxy - sx * sy) / denom;
+            (a, (sy - a * sx) / n)
+        }
+    } else if linear.len() == 1 {
+        (0.0, linear[0].1)
+    } else {
+        (0.0, gamma)
+    };
+    Roofline {
+        alpha,
+        beta: beta.max(1e-6),
+        gamma,
+        threshold,
+    }
+}
+
+/// Algorithm 4's chunk schedule: starting from `init_bytes`, each next
+/// chunk is sized so its H2D transfer hides under the current chunk's
+/// estimated kernel time: `C_next = min(Θ(C_curr / Φ(C_curr)), C_limit)`.
+/// Sizes are rounded to whole leading-dimension rows.
+pub fn adaptive_chunks(
+    total_rows: usize,
+    row_bytes: usize,
+    init_bytes: u64,
+    limit_bytes: u64,
+    model: &Roofline,
+    h2d_gbps: f64,
+) -> Vec<usize> {
+    let row_bytes = row_bytes.max(1) as u64;
+    let align = crate::container::ROW_ALIGN;
+    let mut out = Vec::new();
+    let mut left = total_rows;
+    let mut cur = init_bytes.clamp(row_bytes, limit_bytes);
+    while left > 0 {
+        let rows = ((cur / row_bytes) as usize).clamp(1, left);
+        // Align to the codec block granularity (see container::ROW_ALIGN).
+        let rows = (rows.div_ceil(align) * align).clamp(1, left);
+        out.push(rows);
+        left -= rows;
+        let t_kernel = model.kernel_time(rows as u64 * row_bytes);
+        // Chunks never shrink: Algorithm 4 grows the chunk while the
+        // estimated kernel time exceeds the transfer time.
+        cur = theta(t_kernel, h2d_gbps)
+            .max(rows as u64 * row_bytes)
+            .clamp(row_bytes, limit_bytes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_sim::spec::v100;
+
+    #[test]
+    fn fit_recovers_plateau_and_ramp() {
+        // Synthetic device: plateau 40 GB/s above 64 MiB.
+        let pts: Vec<(u64, f64)> = (0..=8)
+            .map(|i| {
+                let c = (1u64 << 20) << i;
+                let p = (40.0 * c as f64 / (64.0 * 1048576.0)).min(40.0);
+                (c, p)
+            })
+            .collect();
+        let m = fit(&pts, 0.9);
+        assert!((m.gamma - 40.0).abs() < 1e-9);
+        assert!(m.threshold <= 64 * 1048576);
+        // Ramp region estimates grow with size and stay below γ.
+        assert!(m.phi(1 << 20) < m.phi(1 << 24));
+        assert!(m.phi(1 << 22) <= 40.0);
+        assert!((m.phi(1 << 30) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_of_sim_device_is_monotone() {
+        let spec = v100();
+        let pts = profile_kernel(&spec, KernelClass::Mgard, &default_sweep());
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+        let m = fit(&pts, 0.9);
+        // V100 MGARD plateau is 30 GB/s in the calibration.
+        assert!((m.gamma - 30.0).abs() < 2.0, "gamma {}", m.gamma);
+    }
+
+    #[test]
+    fn theta_converts_time_to_bytes() {
+        assert_eq!(theta(Ns(1000), 12.0), 12_000);
+        assert_eq!(theta(Ns::ZERO, 12.0), 0);
+    }
+
+    #[test]
+    fn adaptive_schedule_grows_until_limit() {
+        let m = fit(
+            &profile_kernel(&v100(), KernelClass::Mgard, &default_sweep()),
+            0.9,
+        );
+        let row_bytes = 1 << 20; // 1 MiB rows
+        let chunks = adaptive_chunks(4096, row_bytes, 8 << 20, 2 << 30, &m, 45.0);
+        assert_eq!(chunks.iter().sum::<usize>(), 4096);
+        // Growing prefix: each chunk at least as large until the cap.
+        let first = chunks[0];
+        let max = *chunks.iter().max().unwrap();
+        assert!(first < max, "schedule should grow: {chunks:?}");
+        // Monotone non-decreasing except the final remainder chunk.
+        for w in chunks[..chunks.len() - 1].windows(2) {
+            assert!(w[1] >= w[0], "non-monotone: {chunks:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_handles_tiny_inputs() {
+        let m = Roofline {
+            alpha: 0.0,
+            beta: 10.0,
+            gamma: 10.0,
+            threshold: 1,
+        };
+        let chunks = adaptive_chunks(3, 100, 1 << 20, 1 << 30, &m, 12.0);
+        assert_eq!(chunks, vec![3]);
+        let chunks = adaptive_chunks(1, 8, 4, 16, &m, 12.0);
+        assert_eq!(chunks.iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn kernel_time_is_size_over_phi() {
+        let m = Roofline {
+            alpha: 0.0,
+            beta: 2.0,
+            gamma: 2.0,
+            threshold: 1,
+        };
+        assert_eq!(m.kernel_time(2000), Ns(1000));
+    }
+}

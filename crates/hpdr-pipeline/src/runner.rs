@@ -1,0 +1,899 @@
+//! The optimized reduction/reconstruction pipeline (paper §V, Fig. 9).
+//!
+//! Each chunk flows through one of **three queues** (the minimum depth by
+//! Little's law): `H2D → Reduce → Serialize(D2H)` for reduction, and
+//! `H2D → Deserialize(D2H) → Reconstruct → D2H` for reconstruction. The
+//! H2D DMA, D2H DMA and compute engines each execute one op at a time, so
+//! queue interleaving yields transfer/compute overlap exactly as on a
+//! real device.
+//!
+//! Options reproduce the paper's design points and our ablations:
+//!
+//! * **two_buffers** — the dotted anti-dependencies of Fig. 9
+//!   (`H2D(k+2)` waits on `S(k)`), which cut the required buffer sets
+//!   from three to two;
+//! * **cmm** — with the Context Memory Model *off*, every chunk issues
+//!   device alloc/free ops through the shared runtime (the per-call
+//!   allocation behaviour of the non-HPDR comparators);
+//! * **deser_first** — the red-arrow launch-order swap: the next chunk's
+//!   deserialization is issued before the previous chunk's output copy,
+//!   since both contend for the D2H engine.
+//!
+//! Kernels execute *for real* inside op payloads (producing real
+//! compressed bytes); engine occupancy is charged from the device's
+//! calibrated cost models.
+
+use crate::container::{fixed_chunks, Container};
+use crate::roofline::{adaptive_chunks, default_sweep, fit, profile_kernel, Roofline};
+use hpdr_core::{ArrayMeta, DeviceAdapter, HpdrError, Reducer, Result};
+use hpdr_sim::{
+    BufId, Cost, DeviceId, DeviceSpec, Engine, Ns, OpId, OpSpec, QueueId, Sim, Timeline,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Pipeline operating mode (paper Fig. 13's None / Fixed / Adaptive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PipelineMode {
+    /// No overlap: the whole array moves and reduces as one block.
+    Unpipelined,
+    /// Fixed chunk size in bytes (paper uses 100 MB).
+    Fixed { chunk_bytes: u64 },
+    /// Algorithm 4: start small, grow by the roofline model.
+    Adaptive { init_bytes: u64, limit_bytes: u64 },
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    pub mode: PipelineMode,
+    /// Fig. 9 anti-dependencies (2 buffer sets instead of 3).
+    pub two_buffers: bool,
+    /// Context Memory Model: reuse persistent buffers/contexts.
+    pub cmm: bool,
+    /// Reconstruction launch-order swap (red arrows in Fig. 9).
+    pub deser_first: bool,
+    /// Force all chunks through one queue and one buffer set: each chunk
+    /// becomes a fully synchronous invocation, like calling a standalone
+    /// compression tool once per time step (the comparators' behaviour).
+    pub serial_queue: bool,
+    /// Pay pageable host staging copies between the application buffer,
+    /// the reduction buffer and the I/O buffer (paper §II-B — the
+    /// overlooked overhead of the non-HPDR pipelines). HPDR registers
+    /// pinned buffers and overlaps these, so its pipelines skip them.
+    pub host_staging: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            mode: PipelineMode::Adaptive {
+                init_bytes: 16 << 20,
+                limit_bytes: 1 << 30,
+            },
+            two_buffers: true,
+            cmm: true,
+            deser_first: true,
+            serial_queue: false,
+            host_staging: false,
+        }
+    }
+}
+
+impl PipelineOptions {
+    pub fn unpipelined() -> Self {
+        PipelineOptions {
+            mode: PipelineMode::Unpipelined,
+            ..Default::default()
+        }
+    }
+
+    pub fn fixed(chunk_bytes: u64) -> Self {
+        PipelineOptions {
+            mode: PipelineMode::Fixed { chunk_bytes },
+            ..Default::default()
+        }
+    }
+
+    /// The comparator configuration: no overlap, per-call allocations,
+    /// fully synchronous invocations.
+    pub fn baseline_unoptimized() -> Self {
+        PipelineOptions {
+            mode: PipelineMode::Unpipelined,
+            two_buffers: false,
+            cmm: false,
+            deser_first: false,
+            serial_queue: true,
+            host_staging: true,
+        }
+    }
+
+    /// Comparator behaviour over a multi-step stream: one synchronous
+    /// whole-buffer invocation per `step_bytes` of input.
+    pub fn baseline_per_step(step_bytes: u64) -> Self {
+        PipelineOptions {
+            mode: PipelineMode::Fixed {
+                chunk_bytes: step_bytes,
+            },
+            two_buffers: false,
+            cmm: false,
+            deser_first: false,
+            serial_queue: true,
+            host_staging: true,
+        }
+    }
+}
+
+/// Timing/throughput results of one pipelined run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    pub makespan: Ns,
+    pub input_bytes: u64,
+    pub compressed_bytes: u64,
+    /// End-to-end throughput (raw bytes / makespan) in GB/s.
+    pub end_to_end_gbps: f64,
+    /// Paper §V-C overlap ratio (None if no DMA occurred).
+    pub overlap: Option<f64>,
+    /// Fraction of busy time spent on memory operations (Fig. 1 metric).
+    pub memory_fraction: f64,
+    pub num_chunks: usize,
+    pub timeline: Timeline,
+}
+
+fn report_from(timeline: Timeline, dev: DeviceId, input_bytes: u64, compressed: u64, chunks: usize) -> PipelineReport {
+    let makespan = timeline.makespan();
+    PipelineReport {
+        makespan,
+        input_bytes,
+        compressed_bytes: compressed,
+        end_to_end_gbps: hpdr_sim::gbps(input_bytes, makespan),
+        overlap: timeline.overlap_ratio(dev),
+        memory_fraction: timeline.memory_fraction(),
+        num_chunks: chunks,
+        timeline,
+    }
+}
+
+/// Device allocations per invocation when the CMM is off. Calibrated to
+/// the comparators' behaviour: MGARD-GPU v1.5 allocates the level
+/// hierarchy (several buffers per level per dimension) on every call,
+/// cuSZ/ZFP allocate workspace + codebook + output buffers. Frees are
+/// issued lazily at the next invocation (and implicitly synchronize,
+/// like `cudaFree`).
+const NOCMM_ALLOCS: usize = 24;
+
+/// Resolve the chunk row schedule for an input.
+fn chunk_schedule(
+    spec: &DeviceSpec,
+    reducer: &dyn Reducer,
+    meta: &ArrayMeta,
+    mode: PipelineMode,
+) -> Vec<usize> {
+    let total_rows = meta.shape.dims()[0];
+    let row_bytes = meta.shape.row_elements() * meta.dtype.size();
+    match mode {
+        PipelineMode::Unpipelined => vec![total_rows],
+        PipelineMode::Fixed { chunk_bytes } => {
+            fixed_chunks(total_rows, row_bytes, chunk_bytes as usize)
+        }
+        PipelineMode::Adaptive {
+            init_bytes,
+            limit_bytes,
+        } => {
+            let model: Roofline = fit(
+                &profile_kernel(spec, reducer.kernel_class(), &default_sweep()),
+                0.9,
+            );
+            adaptive_chunks(
+                total_rows,
+                row_bytes,
+                init_bytes,
+                limit_bytes,
+                &model,
+                spec.h2d.saturated_gbps,
+            )
+        }
+    }
+}
+
+/// State shared between the DAG payloads of one device's compression run.
+pub(crate) struct CompressJob {
+    pub dev: DeviceId,
+    queues: [QueueId; 3],
+    in_bufs: Vec<BufId>,
+    out_bufs: Vec<BufId>,
+    /// `(row_start, rows)` per chunk.
+    pub chunks: Vec<(usize, usize)>,
+    input: Arc<Vec<u8>>,
+    meta: ArrayMeta,
+    reducer: Arc<dyn Reducer>,
+    work: Arc<dyn DeviceAdapter>,
+    results: Arc<Mutex<Vec<Option<Vec<u8>>>>>,
+    error: Arc<Mutex<Option<HpdrError>>>,
+    s_ops: Vec<OpId>,
+    opts: PipelineOptions,
+    row_bytes: usize,
+}
+
+impl CompressJob {
+    pub fn new(
+        sim: &mut Sim,
+        dev: DeviceId,
+        reducer: Arc<dyn Reducer>,
+        work: Arc<dyn DeviceAdapter>,
+        input: Arc<Vec<u8>>,
+        meta: ArrayMeta,
+        opts: PipelineOptions,
+    ) -> Result<CompressJob> {
+        if input.len() != meta.num_bytes() {
+            return Err(HpdrError::invalid("input length does not match metadata"));
+        }
+        let rows_schedule = chunk_schedule(sim.device_spec(dev), reducer.as_ref(), &meta, opts.mode);
+        let row_bytes = meta.shape.row_elements() * meta.dtype.size();
+        let max_chunk_bytes = rows_schedule.iter().max().copied().unwrap_or(1) * row_bytes;
+        let mut chunks = Vec::with_capacity(rows_schedule.len());
+        let mut start = 0usize;
+        for rows in rows_schedule {
+            chunks.push((start, rows));
+            start += rows;
+        }
+        let n_buf = if opts.two_buffers { 2 } else { 3 };
+        let queues = [sim.add_queue(), sim.add_queue(), sim.add_queue()];
+        let in_bufs: Vec<BufId> = (0..n_buf)
+            .map(|_| sim.create_buffer(dev, max_chunk_bytes))
+            .collect();
+        let out_bufs: Vec<BufId> = (0..n_buf).map(|_| sim.create_buffer(dev, 0)).collect();
+        let n = chunks.len();
+        Ok(CompressJob {
+            dev,
+            queues,
+            in_bufs,
+            out_bufs,
+            chunks,
+            input,
+            meta,
+            reducer,
+            work,
+            results: Arc::new(Mutex::new(vec![None; n])),
+            error: Arc::new(Mutex::new(None)),
+            s_ops: Vec::with_capacity(n),
+            opts,
+            row_bytes,
+        })
+    }
+
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Submit chunk `k`'s ops (H2D → Reduce → Serialize/D2H).
+    pub fn submit_chunk(&mut self, sim: &mut Sim, k: usize) {
+        let (row_start, rows) = self.chunks[k];
+        let q = if self.opts.serial_queue {
+            self.queues[0]
+        } else {
+            self.queues[k % 3]
+        };
+        let n_buf = self.in_bufs.len();
+        let j = if self.opts.serial_queue { 0 } else { k % n_buf };
+        let chunk_bytes = rows * self.row_bytes;
+        let byte_start = row_start * self.row_bytes;
+        let rt = sim.device_runtime(self.dev);
+
+        // CMM off: per-call workspace allocations through the shared
+        // runtime (timing ops; the backing store is preallocated). The
+        // previous invocation's workspaces are freed lazily here.
+        if !self.opts.cmm {
+            if k > 0 {
+                let prev_s = self.s_ops[k - 1];
+                // One synchronizing free: cudaFree holds the allocator
+                // lock while waiting for the device's pending work, so
+                // every later lock request (from any device) queues
+                // behind it.
+                sim.push(
+                    OpSpec {
+                        engine: Engine::Runtime(rt),
+                        queue: Some(q),
+                        deps: vec![prev_s],
+                        cost: Cost::Free { device: self.dev },
+                        label: format!("syncfree[{k}]"),
+                    },
+                    None,
+                );
+                for f in 0..NOCMM_ALLOCS {
+                    sim.push(
+                        OpSpec {
+                            engine: Engine::Runtime(rt),
+                            queue: None,
+                            deps: vec![prev_s],
+                            cost: Cost::Free { device: self.dev },
+                            label: format!("free[{k}.{f}]"),
+                        },
+                        None,
+                    );
+                }
+            }
+            for a in 0..NOCMM_ALLOCS / 2 {
+                sim.push(
+                    OpSpec {
+                        engine: Engine::Runtime(rt),
+                        queue: Some(q),
+                        deps: vec![],
+                        cost: Cost::Alloc { device: self.dev },
+                        label: format!("alloc[{k}.{a}]"),
+                    },
+                    None,
+                );
+            }
+        }
+
+        // Application buffer → reduction (staging) buffer host copy.
+        if self.opts.host_staging {
+            sim.push(
+                OpSpec {
+                    engine: Engine::Staging(self.dev),
+                    queue: Some(q),
+                    deps: vec![],
+                    cost: Cost::HostCopy {
+                        bytes: Arc::new(AtomicU64::new(chunk_bytes as u64)),
+                    },
+                    label: format!("stage-in[{k}]"),
+                },
+                None,
+            );
+        }
+
+        // H2D with the Fig. 9 anti-dependency when running two buffers.
+        let mut deps = Vec::new();
+        if self.opts.two_buffers && !self.opts.serial_queue && k >= n_buf {
+            deps.push(self.s_ops[k - n_buf]);
+        }
+        let in_buf = self.in_bufs[j];
+        let input = Arc::clone(&self.input);
+        let h2d = sim.push(
+            OpSpec {
+                engine: Engine::H2D(self.dev),
+                queue: Some(q),
+                deps,
+                cost: Cost::Transfer {
+                    bytes: chunk_bytes as u64,
+                },
+                label: format!("H2D[{k}]"),
+            },
+            Some(Box::new(move |pool| {
+                pool.get_mut(in_buf)[..chunk_bytes]
+                    .copy_from_slice(&input[byte_start..byte_start + chunk_bytes]);
+            })),
+        );
+
+        // Mid-pipeline allocations (workspace sized by the arrived data):
+        // each holds the shared allocator's FIFO slot until the transfer
+        // completes — the cross-device contention the CMM removes.
+        let mut compute_deps = vec![h2d];
+        if !self.opts.cmm {
+            for a in 0..NOCMM_ALLOCS / 2 {
+                let op = sim.push(
+                    OpSpec {
+                        engine: Engine::Runtime(rt),
+                        queue: None,
+                        deps: vec![h2d],
+                        cost: Cost::Alloc { device: self.dev },
+                        label: format!("midalloc[{k}.{a}]"),
+                    },
+                    None,
+                );
+                if a == NOCMM_ALLOCS / 2 - 1 {
+                    compute_deps.push(op);
+                }
+            }
+        }
+
+        // Reduce.
+        let out_buf = self.out_bufs[j];
+        let size_cell = Arc::new(AtomicU64::new(0));
+        let chunk_meta = ArrayMeta::new(self.meta.dtype, self.meta.shape.with_leading(rows));
+        let reducer = Arc::clone(&self.reducer);
+        let work = Arc::clone(&self.work);
+        let error = Arc::clone(&self.error);
+        let size_for_payload = Arc::clone(&size_cell);
+        let compute = sim.push(
+            OpSpec {
+                engine: Engine::Compute(self.dev),
+                queue: Some(q),
+                deps: compute_deps,
+                cost: Cost::Kernel {
+                    class: reducer.kernel_class(),
+                    bytes: chunk_bytes as u64,
+                },
+                label: format!("R[{k}]"),
+            },
+            Some(Box::new(move |pool| {
+                let src: Vec<u8> = pool.get(in_buf)[..chunk_bytes].to_vec();
+                match reducer.compress(work.as_ref(), &src, &chunk_meta) {
+                    Ok(stream) => {
+                        size_for_payload.store(stream.len() as u64, Ordering::SeqCst);
+                        pool.resize(out_buf, stream.len());
+                        pool.get_mut(out_buf).copy_from_slice(&stream);
+                    }
+                    Err(e) => {
+                        let mut slot = error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                }
+            })),
+        );
+
+        // Serialize: D2H of the compressed stream + metadata embedding.
+        let results = Arc::clone(&self.results);
+        let size_for_stage = Arc::clone(&size_cell);
+        let s = sim.push(
+            OpSpec {
+                engine: Engine::D2H(self.dev),
+                queue: Some(q),
+                deps: vec![compute],
+                cost: Cost::TransferDyn { bytes: size_cell },
+                label: format!("S[{k}]"),
+            },
+            Some(Box::new(move |pool| {
+                results.lock()[k] = Some(pool.get(out_buf).to_vec());
+            })),
+        );
+        // Reduction buffer → I/O buffer host copy.
+        if self.opts.host_staging {
+            sim.push(
+                OpSpec {
+                    engine: Engine::Staging(self.dev),
+                    queue: Some(q),
+                    deps: vec![s],
+                    cost: Cost::HostCopy {
+                        bytes: size_for_stage,
+                    },
+                    label: format!("stage-out[{k}]"),
+                },
+                None,
+            );
+        }
+        self.s_ops.push(s);
+    }
+
+    /// Collect the container after `sim.run()`.
+    pub fn finish(self) -> Result<Container> {
+        if let Some(e) = self.error.lock().take() {
+            return Err(e);
+        }
+        let results = Arc::try_unwrap(self.results)
+            .map_err(|_| HpdrError::invalid("pipeline results still shared"))?
+            .into_inner();
+        let mut chunks = Vec::with_capacity(results.len());
+        for ((_, rows), stream) in self.chunks.iter().zip(results) {
+            let stream =
+                stream.ok_or_else(|| HpdrError::invalid("chunk payload never executed"))?;
+            chunks.push((*rows, stream));
+        }
+        Ok(Container {
+            reducer: self.reducer.name().to_string(),
+            meta: self.meta,
+            chunks,
+        })
+    }
+}
+
+/// State shared between the DAG payloads of one device's reconstruction.
+pub(crate) struct DecompressJob {
+    pub dev: DeviceId,
+    queues: [QueueId; 3],
+    in_bufs: Vec<BufId>,
+    out_bufs: Vec<BufId>,
+    streams: Vec<Arc<Vec<u8>>>,
+    rows: Vec<usize>,
+    meta: ArrayMeta,
+    reducer: Arc<dyn Reducer>,
+    work: Arc<dyn DeviceAdapter>,
+    output: Arc<Mutex<Vec<u8>>>,
+    error: Arc<Mutex<Option<HpdrError>>>,
+    d2h_ops: Vec<OpId>,
+    /// Deferred output-copy spec when `deser_first` is on.
+    pending_out: Option<PendingOut>,
+    opts: PipelineOptions,
+    row_bytes: usize,
+}
+
+struct PendingOut {
+    k: usize,
+    compute: OpId,
+    out_buf: BufId,
+    byte_start: usize,
+    chunk_bytes: usize,
+}
+
+impl DecompressJob {
+    pub fn new(
+        sim: &mut Sim,
+        dev: DeviceId,
+        reducer: Arc<dyn Reducer>,
+        work: Arc<dyn DeviceAdapter>,
+        container: &Container,
+        opts: PipelineOptions,
+    ) -> Result<DecompressJob> {
+        if container.reducer != reducer.name() {
+            return Err(HpdrError::invalid(format!(
+                "container was produced by '{}', not '{}'",
+                container.reducer,
+                reducer.name()
+            )));
+        }
+        let meta = container.meta.clone();
+        let row_bytes = meta.shape.row_elements() * meta.dtype.size();
+        let max_stream = container
+            .chunks
+            .iter()
+            .map(|(_, s)| s.len())
+            .max()
+            .unwrap_or(1);
+        let max_out = container.chunks.iter().map(|(r, _)| r * row_bytes).max().unwrap_or(1);
+        let n_buf = if opts.two_buffers { 2 } else { 3 };
+        let queues = [sim.add_queue(), sim.add_queue(), sim.add_queue()];
+        let in_bufs: Vec<BufId> = (0..n_buf)
+            .map(|_| sim.create_buffer(dev, max_stream))
+            .collect();
+        let out_bufs: Vec<BufId> = (0..n_buf)
+            .map(|_| sim.create_buffer(dev, max_out))
+            .collect();
+        Ok(DecompressJob {
+            dev,
+            queues,
+            in_bufs,
+            out_bufs,
+            streams: container.chunks.iter().map(|(_, s)| Arc::new(s.clone())).collect(),
+            rows: container.chunks.iter().map(|(r, _)| *r).collect(),
+            meta: meta.clone(),
+            reducer,
+            work,
+            output: Arc::new(Mutex::new(vec![0u8; meta.num_bytes()])),
+            error: Arc::new(Mutex::new(None)),
+            d2h_ops: Vec::new(),
+            pending_out: None,
+            opts,
+            row_bytes,
+        })
+    }
+
+    pub fn num_chunks(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn push_pending_out(&mut self, sim: &mut Sim) {
+        let Some(p) = self.pending_out.take() else {
+            return;
+        };
+        let q = self.queues[p.k % 3];
+        let output = Arc::clone(&self.output);
+        let out_buf = p.out_buf;
+        let (byte_start, chunk_bytes) = (p.byte_start, p.chunk_bytes);
+        let d2h = sim.push(
+            OpSpec {
+                engine: Engine::D2H(self.dev),
+                queue: Some(q),
+                deps: vec![p.compute],
+                cost: Cost::Transfer {
+                    bytes: chunk_bytes as u64,
+                },
+                label: format!("D2Hout[{}]", p.k),
+            },
+            Some(Box::new(move |pool| {
+                output.lock()[byte_start..byte_start + chunk_bytes]
+                    .copy_from_slice(&pool.get(out_buf)[..chunk_bytes]);
+            })),
+        );
+        // Reduction buffer → application buffer host copy.
+        if self.opts.host_staging {
+            sim.push(
+                OpSpec {
+                    engine: Engine::Staging(self.dev),
+                    queue: Some(q),
+                    deps: vec![d2h],
+                    cost: Cost::HostCopy {
+                        bytes: Arc::new(AtomicU64::new(chunk_bytes as u64)),
+                    },
+                    label: format!("stage-out[{}]", p.k),
+                },
+                None,
+            );
+        }
+        self.d2h_ops.push(d2h);
+    }
+
+    /// Submit chunk `k`'s ops (H2D → Deser(D2H) → Reconstruct → D2H).
+    pub fn submit_chunk(&mut self, sim: &mut Sim, k: usize, byte_start: usize) {
+        let q = if self.opts.serial_queue {
+            self.queues[0]
+        } else {
+            self.queues[k % 3]
+        };
+        let n_buf = self.in_bufs.len();
+        let j = if self.opts.serial_queue { 0 } else { k % n_buf };
+        let stream = Arc::clone(&self.streams[k]);
+        let stream_len = stream.len();
+        let chunk_bytes = self.rows[k] * self.row_bytes;
+        let rt = sim.device_runtime(self.dev);
+
+        if !self.opts.cmm {
+            // Lazy frees of the previous invocation's workspaces.
+            if let Some(&prev) = self.d2h_ops.last() {
+                sim.push(
+                    OpSpec {
+                        engine: Engine::Runtime(rt),
+                        queue: Some(q),
+                        deps: vec![prev],
+                        cost: Cost::Free { device: self.dev },
+                        label: format!("syncfree[{k}]"),
+                    },
+                    None,
+                );
+                for f in 0..NOCMM_ALLOCS {
+                    sim.push(
+                        OpSpec {
+                            engine: Engine::Runtime(rt),
+                            queue: None,
+                            deps: vec![prev],
+                            cost: Cost::Free { device: self.dev },
+                            label: format!("free[{k}.{f}]"),
+                        },
+                        None,
+                    );
+                }
+            }
+            for a in 0..NOCMM_ALLOCS / 2 {
+                sim.push(
+                    OpSpec {
+                        engine: Engine::Runtime(rt),
+                        queue: Some(q),
+                        deps: vec![],
+                        cost: Cost::Alloc { device: self.dev },
+                        label: format!("alloc[{k}.{a}]"),
+                    },
+                    None,
+                );
+            }
+        }
+
+        // I/O buffer → reduction buffer host copy of the compressed data.
+        if self.opts.host_staging {
+            sim.push(
+                OpSpec {
+                    engine: Engine::Staging(self.dev),
+                    queue: Some(q),
+                    deps: vec![],
+                    cost: Cost::HostCopy {
+                        bytes: Arc::new(AtomicU64::new(stream_len as u64)),
+                    },
+                    label: format!("stage-in[{k}]"),
+                },
+                None,
+            );
+        }
+
+        // H2D of the compressed chunk, with buffer anti-dependency.
+        let mut deps = Vec::new();
+        if self.opts.two_buffers
+            && !self.opts.serial_queue
+            && k >= n_buf
+            && self.d2h_ops.len() >= k + 1 - n_buf
+        {
+            // Output buffer of chunk k-n_buf must be drained first.
+            deps.push(self.d2h_ops[k - n_buf]);
+        }
+        let in_buf = self.in_bufs[j];
+        let h2d = sim.push(
+            OpSpec {
+                engine: Engine::H2D(self.dev),
+                queue: Some(q),
+                deps,
+                cost: Cost::Transfer {
+                    bytes: stream_len as u64,
+                },
+                label: format!("H2D[{k}]"),
+            },
+            Some(Box::new(move |pool| {
+                pool.resize(in_buf, stream_len);
+                pool.get_mut(in_buf).copy_from_slice(&stream);
+            })),
+        );
+
+        // Deserialize: small D2H metadata read (contends with D2Hout —
+        // the launch-order swap exists because of this op).
+        let deser = sim.push(
+            OpSpec {
+                engine: Engine::D2H(self.dev),
+                queue: Some(q),
+                deps: vec![h2d],
+                cost: Cost::Transfer {
+                    bytes: 4096.min(stream_len as u64),
+                },
+                label: format!("Deser[{k}]"),
+            },
+            None,
+        );
+
+        // With deser_first, the *previous* chunk's output copy is issued
+        // only now — after this chunk's deserialization (red arrows).
+        if self.opts.deser_first {
+            self.push_pending_out(sim);
+        }
+
+        // Mid-pipeline allocations (the output workspace is sized from
+        // the deserialized metadata): each holds the allocator's FIFO
+        // slot while the compressed transfer and header read complete.
+        let mut compute_deps = vec![deser];
+        if !self.opts.cmm {
+            for a in 0..NOCMM_ALLOCS / 2 {
+                let op = sim.push(
+                    OpSpec {
+                        engine: Engine::Runtime(rt),
+                        queue: None,
+                        deps: vec![h2d, deser],
+                        cost: Cost::Alloc { device: self.dev },
+                        label: format!("midalloc[{k}.{a}]"),
+                    },
+                    None,
+                );
+                if a == NOCMM_ALLOCS / 2 - 1 {
+                    compute_deps.push(op);
+                }
+            }
+        }
+
+        // Reconstruct.
+        let out_buf = self.out_bufs[j];
+        let reducer = Arc::clone(&self.reducer);
+        let work = Arc::clone(&self.work);
+        let error = Arc::clone(&self.error);
+        let expect_meta = ArrayMeta::new(self.meta.dtype, self.meta.shape.with_leading(self.rows[k]));
+        let compute = sim.push(
+            OpSpec {
+                engine: Engine::Compute(self.dev),
+                queue: Some(q),
+                deps: compute_deps,
+                cost: Cost::Kernel {
+                    class: reducer.kernel_class(),
+                    bytes: chunk_bytes as u64,
+                },
+                label: format!("Rec[{k}]"),
+            },
+            Some(Box::new(move |pool| {
+                let src: Vec<u8> = pool.get(in_buf).to_vec();
+                match reducer.decompress(work.as_ref(), &src) {
+                    Ok((bytes, meta)) => {
+                        if meta != expect_meta {
+                            let mut slot = error.lock();
+                            if slot.is_none() {
+                                *slot = Some(HpdrError::corrupt("chunk metadata mismatch"));
+                            }
+                            return;
+                        }
+                        pool.get_mut(out_buf)[..bytes.len()].copy_from_slice(&bytes);
+                    }
+                    Err(e) => {
+                        let mut slot = error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                }
+            })),
+        );
+
+        // Output-side allocations issued between the reconstruction
+        // kernels (cuSZ/MGARD-GPU allocate per-stage scratch mid-kernel
+        // sequence): they hold the allocator's FIFO slot while this
+        // device reconstructs.
+        let mut out_dep = compute;
+        if !self.opts.cmm {
+            for a in 0..NOCMM_ALLOCS / 2 {
+                let op = sim.push(
+                    OpSpec {
+                        engine: Engine::Runtime(rt),
+                        queue: None,
+                        deps: vec![compute],
+                        cost: Cost::Alloc { device: self.dev },
+                        label: format!("outalloc[{k}.{a}]"),
+                    },
+                    None,
+                );
+                if a == NOCMM_ALLOCS / 2 - 1 {
+                    out_dep = op;
+                }
+            }
+        }
+        let pending = PendingOut {
+            k,
+            compute: out_dep,
+            out_buf,
+            byte_start,
+            chunk_bytes,
+        };
+        if self.opts.deser_first {
+            self.pending_out = Some(pending);
+        } else {
+            self.pending_out = Some(pending);
+            self.push_pending_out(sim);
+        }
+
+    }
+
+    /// Flush the trailing deferred output op (call after the last chunk).
+    pub fn finish_submission(&mut self, sim: &mut Sim) {
+        self.push_pending_out(sim);
+    }
+
+    /// Collect the raw output bytes after `sim.run()`.
+    pub fn finish(self) -> Result<(Vec<u8>, ArrayMeta)> {
+        if let Some(e) = self.error.lock().take() {
+            return Err(e);
+        }
+        let out = Arc::try_unwrap(self.output)
+            .map_err(|_| HpdrError::invalid("pipeline output still shared"))?
+            .into_inner();
+        Ok((out, self.meta))
+    }
+}
+
+/// Compress `input` on a single simulated device with the Fig. 9 pipeline.
+pub fn compress_pipelined(
+    spec: &DeviceSpec,
+    work: Arc<dyn DeviceAdapter>,
+    reducer: Arc<dyn Reducer>,
+    input: Arc<Vec<u8>>,
+    meta: &ArrayMeta,
+    opts: &PipelineOptions,
+) -> Result<(Container, PipelineReport)> {
+    let mut sim = Sim::new();
+    let rt = sim.add_runtime();
+    let dev = sim.add_device(spec.clone(), rt);
+    let input_bytes = input.len() as u64;
+    let mut job = CompressJob::new(&mut sim, dev, reducer, work, input, meta.clone(), *opts)?;
+    for k in 0..job.num_chunks() {
+        job.submit_chunk(&mut sim, k);
+    }
+    let timeline = sim.run();
+    let chunks = job.num_chunks();
+    let container = job.finish()?;
+    let report = report_from(
+        timeline,
+        dev,
+        input_bytes,
+        container.total_stream_bytes(),
+        chunks,
+    );
+    Ok((container, report))
+}
+
+/// Reconstruct a container on a single simulated device.
+pub fn decompress_pipelined(
+    spec: &DeviceSpec,
+    work: Arc<dyn DeviceAdapter>,
+    reducer: Arc<dyn Reducer>,
+    container: &Container,
+    opts: &PipelineOptions,
+) -> Result<(Vec<u8>, ArrayMeta, PipelineReport)> {
+    let mut sim = Sim::new();
+    let rt = sim.add_runtime();
+    let dev = sim.add_device(spec.clone(), rt);
+    let mut job = DecompressJob::new(&mut sim, dev, reducer, work, container, *opts)?;
+    let row_bytes = container.meta.shape.row_elements() * container.meta.dtype.size();
+    let mut byte_start = 0usize;
+    for k in 0..job.num_chunks() {
+        job.submit_chunk(&mut sim, k, byte_start);
+        byte_start += container.chunks[k].0 * row_bytes;
+    }
+    job.finish_submission(&mut sim);
+    let timeline = sim.run();
+    let chunks = job.num_chunks();
+    let compressed = container.total_stream_bytes();
+    let (bytes, meta) = job.finish()?;
+    let report = report_from(timeline, dev, bytes.len() as u64, compressed, chunks);
+    Ok((bytes, meta, report))
+}

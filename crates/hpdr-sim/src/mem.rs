@@ -1,0 +1,177 @@
+//! Simulated device memory.
+//!
+//! Device buffers are plain host allocations tagged with the owning device.
+//! Payload closures receive a `&mut MemPool` so copies and kernels operate
+//! on real bytes — the compressed output of a simulated pipeline is real,
+//! only the *timing* is virtual.
+
+use crate::sim::DeviceId;
+
+/// Handle to a simulated device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufId(pub(crate) usize);
+
+#[derive(Debug)]
+struct Buffer {
+    device: DeviceId,
+    data: Vec<u8>,
+    freed: bool,
+}
+
+/// Backing store for every simulated device buffer in a [`crate::Sim`].
+#[derive(Debug, Default)]
+pub struct MemPool {
+    buffers: Vec<Buffer>,
+}
+
+impl MemPool {
+    pub(crate) fn new() -> MemPool {
+        MemPool { buffers: Vec::new() }
+    }
+
+    pub(crate) fn create(&mut self, device: DeviceId, bytes: usize) -> BufId {
+        let id = BufId(self.buffers.len());
+        self.buffers.push(Buffer {
+            device,
+            data: vec![0u8; bytes],
+            freed: false,
+        });
+        id
+    }
+
+    /// Read access to a buffer's bytes.
+    pub fn get(&self, id: BufId) -> &[u8] {
+        let b = &self.buffers[id.0];
+        assert!(!b.freed, "use of freed device buffer {id:?}");
+        &b.data
+    }
+
+    /// Write access to a buffer's bytes.
+    pub fn get_mut(&mut self, id: BufId) -> &mut [u8] {
+        let b = &mut self.buffers[id.0];
+        assert!(!b.freed, "use of freed device buffer {id:?}");
+        &mut b.data
+    }
+
+    /// Two disjoint buffers borrowed simultaneously (src read, dst write).
+    pub fn get_pair_mut(&mut self, src: BufId, dst: BufId) -> (&[u8], &mut [u8]) {
+        assert_ne!(src.0, dst.0, "src and dst must differ");
+        assert!(!self.buffers[src.0].freed && !self.buffers[dst.0].freed);
+        let (lo, hi) = if src.0 < dst.0 {
+            let (a, b) = self.buffers.split_at_mut(dst.0);
+            (&a[src.0], &mut b[0])
+        } else {
+            let (a, b) = self.buffers.split_at_mut(src.0);
+            return (&b[0].data, &mut a[dst.0].data);
+        };
+        (&lo.data, &mut hi.data)
+    }
+
+    /// Resize a buffer (e.g. to the actual compressed size after a kernel).
+    pub fn resize(&mut self, id: BufId, bytes: usize) {
+        let b = &mut self.buffers[id.0];
+        assert!(!b.freed);
+        b.data.resize(bytes, 0);
+    }
+
+    /// Logical size of a buffer.
+    pub fn len(&self, id: BufId) -> usize {
+        self.buffers[id.0].data.len()
+    }
+
+    pub fn is_empty(&self, id: BufId) -> bool {
+        self.len(id) == 0
+    }
+
+    /// Which device owns this buffer.
+    pub fn device(&self, id: BufId) -> DeviceId {
+        self.buffers[id.0].device
+    }
+
+    /// Mark a buffer freed; later access panics (use-after-free detector).
+    pub fn mark_freed(&mut self, id: BufId) {
+        self.buffers[id.0].freed = true;
+        self.buffers[id.0].data = Vec::new();
+    }
+
+    /// Move a buffer's contents out (typically after the run completes).
+    pub fn take(&mut self, id: BufId) -> Vec<u8> {
+        let b = &mut self.buffers[id.0];
+        assert!(!b.freed, "take of freed device buffer {id:?}");
+        std::mem::take(&mut b.data)
+    }
+
+    /// Total live (non-freed) bytes currently resident, per device.
+    pub fn resident_bytes(&self, device: DeviceId) -> u64 {
+        self.buffers
+            .iter()
+            .filter(|b| !b.freed && b.device == device)
+            .map(|b| b.data.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceId {
+        DeviceId(0)
+    }
+
+    #[test]
+    fn create_and_rw() {
+        let mut pool = MemPool::new();
+        let b = pool.create(dev(), 8);
+        pool.get_mut(b).copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(pool.get(b)[3], 4);
+        assert_eq!(pool.len(b), 8);
+    }
+
+    #[test]
+    fn pair_mut_copies() {
+        let mut pool = MemPool::new();
+        let a = pool.create(dev(), 4);
+        let b = pool.create(dev(), 4);
+        pool.get_mut(a).copy_from_slice(&[9, 8, 7, 6]);
+        {
+            let (src, dst) = pool.get_pair_mut(a, b);
+            dst.copy_from_slice(src);
+        }
+        assert_eq!(pool.get(b), &[9, 8, 7, 6]);
+        // And in the reverse index order.
+        {
+            let (src, dst) = pool.get_pair_mut(b, a);
+            dst.copy_from_slice(src);
+        }
+        assert_eq!(pool.get(a), &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed")]
+    fn use_after_free_panics() {
+        let mut pool = MemPool::new();
+        let b = pool.create(dev(), 4);
+        pool.mark_freed(b);
+        let _ = pool.get(b);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_frees() {
+        let mut pool = MemPool::new();
+        let a = pool.create(dev(), 100);
+        let _b = pool.create(dev(), 50);
+        assert_eq!(pool.resident_bytes(dev()), 150);
+        pool.mark_freed(a);
+        assert_eq!(pool.resident_bytes(dev()), 50);
+    }
+
+    #[test]
+    fn resize_changes_len() {
+        let mut pool = MemPool::new();
+        let a = pool.create(dev(), 10);
+        pool.resize(a, 3);
+        assert_eq!(pool.len(a), 3);
+        assert!(!pool.is_empty(a));
+    }
+}

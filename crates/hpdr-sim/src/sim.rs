@@ -1,0 +1,611 @@
+//! The deterministic virtual-time scheduler.
+//!
+//! A [`Sim`] owns a set of devices (each with an H2D DMA engine, a D2H DMA
+//! engine, and a compute engine), shared runtimes (whose allocator
+//! serializes alloc/free across all devices of a node — the multi-GPU
+//! contention source identified in paper §III-B), and a list of operations.
+//!
+//! Scheduling semantics mirror a CUDA/HIP runtime:
+//!
+//! * ops in the same **queue** (stream) execute in submission order;
+//! * each **engine** executes at most one op at a time, in submission order
+//!   (one kernel at a time, one DMA per direction — paper §V-B restrictions);
+//! * explicit **dependencies** (events) may only point at earlier-submitted
+//!   ops, so launch order is part of the model (the paper's Fig. 9 red-arrow
+//!   optimization is expressed by reordering submissions).
+//!
+//! Every op may carry a *payload* closure that runs against the real
+//! [`MemPool`], so simulated pipelines produce real output bytes.
+
+use crate::mem::{BufId, MemPool};
+use crate::spec::{DeviceSpec, KernelClass};
+use crate::time::Ns;
+use crate::timeline::{OpRecord, Timeline};
+
+/// Handle to a simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(pub usize);
+
+/// Handle to a shared runtime (one per node; owns the allocator lock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RuntimeId(pub usize);
+
+/// Handle to an execution queue (CUDA-stream analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueId(pub usize);
+
+/// Handle to a submitted operation (usable as a dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// The hardware engine an op occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Host→device DMA engine of a device.
+    H2D(DeviceId),
+    /// Device→host DMA engine of a device.
+    D2H(DeviceId),
+    /// Compute engine of a device.
+    Compute(DeviceId),
+    /// The shared-runtime allocator lock (serializes across devices).
+    Runtime(RuntimeId),
+    /// Host-side staging copies for one device's driver thread
+    /// (application ↔ reduction ↔ I/O buffers).
+    Staging(DeviceId),
+    /// Host-side work (untimed unless a fixed cost is given).
+    Host,
+}
+
+impl Engine {
+    /// The device this engine belongs to, if any.
+    pub fn device(&self) -> Option<DeviceId> {
+        match self {
+            Engine::H2D(d) | Engine::D2H(d) | Engine::Compute(d) | Engine::Staging(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+/// How the virtual duration of an op is derived.
+#[derive(Debug, Clone)]
+pub enum Cost {
+    /// A DMA transfer of `bytes` (engine must be H2D or D2H).
+    Transfer { bytes: u64 },
+    /// A DMA transfer whose size becomes known only when an earlier
+    /// payload runs (e.g. the compressed size produced by a reduction
+    /// kernel). The cell is read at schedule time, which happens after
+    /// all earlier-submitted payloads have executed.
+    TransferDyn {
+        bytes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    },
+    /// A compute kernel over `bytes` of input (engine must be Compute).
+    Kernel { class: KernelClass, bytes: u64 },
+    /// One device-memory allocation (engine must be Runtime).
+    Alloc { device: DeviceId },
+    /// One device-memory free (engine must be Runtime).
+    Free { device: DeviceId },
+    /// A fixed duration.
+    Fixed(Ns),
+    /// A host-memory copy (pageable staging between application,
+    /// reduction and I/O buffers — paper §II-B). Engine must be Host;
+    /// rate set by [`Sim::set_host_copy_gbps`]. Size may be dynamic.
+    HostCopy {
+        bytes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    },
+}
+
+/// Payload executed against the memory pool when the op "runs".
+pub type Payload = Box<dyn FnOnce(&mut MemPool)>;
+
+/// A fully-specified operation prior to submission.
+pub struct OpSpec {
+    pub engine: Engine,
+    pub queue: Option<QueueId>,
+    pub deps: Vec<OpId>,
+    pub cost: Cost,
+    pub label: String,
+}
+
+struct Device {
+    spec: DeviceSpec,
+    runtime: RuntimeId,
+}
+
+struct PendingOp {
+    spec: OpSpec,
+    payload: Option<Payload>,
+}
+
+/// The virtual machine: devices, queues, submitted ops and the memory pool.
+pub struct Sim {
+    devices: Vec<Device>,
+    runtimes: usize,
+    queues: usize,
+    ops: Vec<PendingOp>,
+    pool: MemPool,
+    /// Pageable host-memory copy bandwidth (GB/s) for [`Cost::HostCopy`].
+    host_copy_gbps: f64,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    pub fn new() -> Sim {
+        Sim {
+            devices: Vec::new(),
+            runtimes: 0,
+            queues: 0,
+            ops: Vec::new(),
+            pool: MemPool::new(),
+            host_copy_gbps: 18.0,
+        }
+    }
+
+    /// Override the pageable host-copy bandwidth (default 18 GB/s).
+    pub fn set_host_copy_gbps(&mut self, gbps: f64) {
+        assert!(gbps > 0.0 && gbps.is_finite());
+        self.host_copy_gbps = gbps;
+    }
+
+    /// Register a shared runtime (one per simulated node).
+    pub fn add_runtime(&mut self) -> RuntimeId {
+        let id = RuntimeId(self.runtimes);
+        self.runtimes += 1;
+        id
+    }
+
+    /// Register a device under a runtime.
+    pub fn add_device(&mut self, spec: DeviceSpec, runtime: RuntimeId) -> DeviceId {
+        assert!(runtime.0 < self.runtimes, "unknown runtime");
+        let id = DeviceId(self.devices.len());
+        self.devices.push(Device { spec, runtime });
+        id
+    }
+
+    /// Create an execution queue.
+    pub fn add_queue(&mut self) -> QueueId {
+        let id = QueueId(self.queues);
+        self.queues += 1;
+        id
+    }
+
+    pub fn device_spec(&self, dev: DeviceId) -> &DeviceSpec {
+        &self.devices[dev.0].spec
+    }
+
+    pub fn device_runtime(&self, dev: DeviceId) -> RuntimeId {
+        self.devices[dev.0].runtime
+    }
+
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Create a device buffer (backing store only; charge time separately
+    /// with an [`Cost::Alloc`] op, or don't — that's what the CMM avoids).
+    pub fn create_buffer(&mut self, device: DeviceId, bytes: usize) -> BufId {
+        self.pool.create(device, bytes)
+    }
+
+    /// Direct access to the memory pool (e.g. to seed input buffers).
+    pub fn pool_mut(&mut self) -> &mut MemPool {
+        &mut self.pool
+    }
+
+    pub fn pool(&self) -> &MemPool {
+        &self.pool
+    }
+
+    /// Submit an operation. Dependencies must reference earlier submissions.
+    pub fn push(&mut self, spec: OpSpec, payload: Option<Payload>) -> OpId {
+        let id = OpId(self.ops.len());
+        for d in &spec.deps {
+            assert!(d.0 < id.0, "dependency {:?} not yet submitted", d);
+        }
+        if let Some(q) = spec.queue {
+            assert!(q.0 < self.queues, "unknown queue");
+        }
+        match (&spec.cost, &spec.engine) {
+            (Cost::Transfer { .. } | Cost::TransferDyn { .. }, Engine::H2D(_) | Engine::D2H(_)) => {}
+            (Cost::Kernel { .. }, Engine::Compute(_)) => {}
+            (Cost::Alloc { .. } | Cost::Free { .. }, Engine::Runtime(_)) => {}
+            (Cost::HostCopy { .. }, Engine::Host | Engine::Staging(_)) => {}
+            (Cost::Fixed(_), _) => {}
+            (c, e) => panic!("cost {c:?} not valid on engine {e:?}"),
+        }
+        self.ops.push(PendingOp { spec, payload });
+        id
+    }
+
+    /// Convenience: allocate a device buffer *with* a timed runtime op.
+    pub fn alloc_timed(
+        &mut self,
+        queue: QueueId,
+        device: DeviceId,
+        bytes: usize,
+        label: &str,
+    ) -> (BufId, OpId) {
+        let buf = self.create_buffer(device, bytes);
+        let rt = self.device_runtime(device);
+        let op = self.push(
+            OpSpec {
+                engine: Engine::Runtime(rt),
+                queue: Some(queue),
+                deps: vec![],
+                cost: Cost::Alloc { device },
+                label: label.to_string(),
+            },
+            None,
+        );
+        (buf, op)
+    }
+
+    /// Convenience: free a buffer with a timed runtime op.
+    pub fn free_timed(
+        &mut self,
+        queue: QueueId,
+        buf: BufId,
+        deps: Vec<OpId>,
+        label: &str,
+    ) -> OpId {
+        let device = self.pool.device(buf);
+        let rt = self.device_runtime(device);
+        self.push(
+            OpSpec {
+                engine: Engine::Runtime(rt),
+                queue: Some(queue),
+                deps,
+                cost: Cost::Free { device },
+                label: label.to_string(),
+            },
+            Some(Box::new(move |pool: &mut MemPool| pool.mark_freed(buf))),
+        )
+    }
+
+    fn resolve_duration(&self, spec: &OpSpec) -> (Ns, u64, Option<KernelClass>) {
+        let dma_model = |engine: &Engine| match engine {
+            Engine::H2D(d) => &self.devices[d.0].spec.h2d,
+            Engine::D2H(d) => &self.devices[d.0].spec.d2h,
+            _ => unreachable!(),
+        };
+        match &spec.cost {
+            Cost::Transfer { bytes } => (dma_model(&spec.engine).duration(*bytes), *bytes, None),
+            Cost::TransferDyn { bytes } => {
+                let b = bytes.load(std::sync::atomic::Ordering::SeqCst);
+                (dma_model(&spec.engine).duration(b), b, None)
+            }
+            Cost::Kernel { class, bytes } => {
+                let d = match spec.engine {
+                    Engine::Compute(d) => d,
+                    _ => unreachable!(),
+                };
+                (
+                    self.devices[d.0].spec.kernel_duration(*class, *bytes),
+                    *bytes,
+                    Some(*class),
+                )
+            }
+            Cost::Alloc { device } => (self.devices[device.0].spec.alloc_latency, 0, None),
+            Cost::Free { device } => (self.devices[device.0].spec.free_latency, 0, None),
+            Cost::Fixed(ns) => (*ns, 0, None),
+            Cost::HostCopy { bytes } => {
+                let b = bytes.load(std::sync::atomic::Ordering::SeqCst);
+                (
+                    Ns((b as f64 / self.host_copy_gbps).round() as u64),
+                    b,
+                    None,
+                )
+            }
+        }
+    }
+
+    /// Execute every submitted op: compute virtual start/end times and run
+    /// payloads in submission (and therefore dependency-safe) order.
+    ///
+    /// Returns the resulting [`Timeline`]; the memory pool stays available
+    /// via [`Sim::pool`] / [`Sim::take_buffer`] for output extraction.
+    pub fn run(&mut self) -> Timeline {
+        use std::collections::HashMap;
+        let mut engine_free: HashMap<Engine, Ns> = HashMap::new();
+        let mut queue_tail: Vec<Ns> = vec![Ns::ZERO; self.queues];
+        let mut ends: Vec<Ns> = Vec::with_capacity(self.ops.len());
+        let mut records: Vec<OpRecord> = Vec::with_capacity(self.ops.len());
+
+        let ops = std::mem::take(&mut self.ops);
+        for PendingOp { spec, payload } in ops {
+            let mut start = Ns::ZERO;
+            for d in &spec.deps {
+                start = start.max(ends[d.0]);
+            }
+            if let Some(q) = spec.queue {
+                start = start.max(queue_tail[q.0]);
+            }
+            if let Some(&free) = engine_free.get(&spec.engine) {
+                start = start.max(free);
+            }
+            let (dur, bytes, class) = self.resolve_duration(&spec);
+            let end = start + dur;
+            engine_free.insert(spec.engine, end);
+            if let Some(q) = spec.queue {
+                queue_tail[q.0] = end;
+            }
+            ends.push(end);
+            if let Some(p) = payload {
+                p(&mut self.pool);
+            }
+            records.push(OpRecord {
+                label: spec.label,
+                engine: spec.engine,
+                start,
+                end,
+                bytes,
+                class,
+            });
+        }
+        Timeline::new(records)
+    }
+
+    /// Move a buffer's contents out of the pool after a run.
+    pub fn take_buffer(&mut self, buf: BufId) -> Vec<u8> {
+        self.pool.take(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::v100;
+
+    fn one_device() -> (Sim, DeviceId, QueueId) {
+        let mut sim = Sim::new();
+        let rt = sim.add_runtime();
+        let dev = sim.add_device(v100(), rt);
+        let q = sim.add_queue();
+        (sim, dev, q)
+    }
+
+    #[test]
+    fn queue_serializes_in_order() {
+        let (mut sim, dev, q) = one_device();
+        let a = sim.push(
+            OpSpec {
+                engine: Engine::Compute(dev),
+                queue: Some(q),
+                deps: vec![],
+                cost: Cost::Fixed(Ns(100)),
+                label: "a".into(),
+            },
+            None,
+        );
+        let b = sim.push(
+            OpSpec {
+                engine: Engine::H2D(dev),
+                queue: Some(q),
+                deps: vec![],
+                cost: Cost::Fixed(Ns(50)),
+                label: "b".into(),
+            },
+            None,
+        );
+        let tl = sim.run();
+        assert_eq!(tl.record(a).start, Ns(0));
+        assert_eq!(tl.record(a).end, Ns(100));
+        // Same queue ⇒ b waits even though it's a different engine.
+        assert_eq!(tl.record(b).start, Ns(100));
+        assert_eq!(tl.record(b).end, Ns(150));
+    }
+
+    #[test]
+    fn different_queues_overlap_on_different_engines() {
+        let (mut sim, dev, _q) = one_device();
+        let q1 = sim.add_queue();
+        let q2 = sim.add_queue();
+        let a = sim.push(
+            OpSpec {
+                engine: Engine::Compute(dev),
+                queue: Some(q1),
+                deps: vec![],
+                cost: Cost::Fixed(Ns(100)),
+                label: "k".into(),
+            },
+            None,
+        );
+        let b = sim.push(
+            OpSpec {
+                engine: Engine::H2D(dev),
+                queue: Some(q2),
+                deps: vec![],
+                cost: Cost::Fixed(Ns(80)),
+                label: "h2d".into(),
+            },
+            None,
+        );
+        let tl = sim.run();
+        assert_eq!(tl.record(a).start, Ns(0));
+        assert_eq!(tl.record(b).start, Ns(0)); // fully overlapped
+    }
+
+    #[test]
+    fn same_engine_serializes_across_queues() {
+        let (mut sim, dev, _) = one_device();
+        let q1 = sim.add_queue();
+        let q2 = sim.add_queue();
+        let mk = |sim: &mut Sim, q| {
+            sim.push(
+                OpSpec {
+                    engine: Engine::Compute(dev),
+                    queue: Some(q),
+                    deps: vec![],
+                    cost: Cost::Fixed(Ns(100)),
+                    label: "k".into(),
+                },
+                None,
+            )
+        };
+        let a = mk(&mut sim, q1);
+        let b = mk(&mut sim, q2);
+        let tl = sim.run();
+        assert_eq!(tl.record(a).end, Ns(100));
+        assert_eq!(tl.record(b).start, Ns(100)); // one kernel at a time
+    }
+
+    #[test]
+    fn deps_delay_start() {
+        let (mut sim, dev, _) = one_device();
+        let q1 = sim.add_queue();
+        let q2 = sim.add_queue();
+        let a = sim.push(
+            OpSpec {
+                engine: Engine::H2D(dev),
+                queue: Some(q1),
+                deps: vec![],
+                cost: Cost::Fixed(Ns(300)),
+                label: "h2d".into(),
+            },
+            None,
+        );
+        let b = sim.push(
+            OpSpec {
+                engine: Engine::Compute(dev),
+                queue: Some(q2),
+                deps: vec![a],
+                cost: Cost::Fixed(Ns(10)),
+                label: "k".into(),
+            },
+            None,
+        );
+        let tl = sim.run();
+        assert_eq!(tl.record(b).start, Ns(300));
+    }
+
+    #[test]
+    fn runtime_lock_serializes_allocs_across_devices() {
+        let mut sim = Sim::new();
+        let rt = sim.add_runtime();
+        let d0 = sim.add_device(v100(), rt);
+        let d1 = sim.add_device(v100(), rt);
+        let q0 = sim.add_queue();
+        let q1 = sim.add_queue();
+        let (_, a) = sim.alloc_timed(q0, d0, 1024, "alloc0");
+        let (_, b) = sim.alloc_timed(q1, d1, 1024, "alloc1");
+        let tl = sim.run();
+        let lat = v100().alloc_latency;
+        assert_eq!(tl.record(a).end, lat);
+        // Second device's alloc is blocked behind the shared runtime lock.
+        assert_eq!(tl.record(b).start, lat);
+        assert_eq!(tl.record(b).end, lat + lat);
+    }
+
+    #[test]
+    fn separate_runtimes_do_not_contend() {
+        let mut sim = Sim::new();
+        let rt0 = sim.add_runtime();
+        let rt1 = sim.add_runtime();
+        let d0 = sim.add_device(v100(), rt0);
+        let d1 = sim.add_device(v100(), rt1);
+        let q0 = sim.add_queue();
+        let q1 = sim.add_queue();
+        let (_, a) = sim.alloc_timed(q0, d0, 1024, "alloc0");
+        let (_, b) = sim.alloc_timed(q1, d1, 1024, "alloc1");
+        let tl = sim.run();
+        assert_eq!(tl.record(a).start, Ns(0));
+        assert_eq!(tl.record(b).start, Ns(0));
+    }
+
+    #[test]
+    fn payloads_move_real_bytes() {
+        let (mut sim, dev, q) = one_device();
+        let src = sim.create_buffer(dev, 4);
+        let dst = sim.create_buffer(dev, 4);
+        sim.pool_mut().get_mut(src).copy_from_slice(&[1, 2, 3, 4]);
+        sim.push(
+            OpSpec {
+                engine: Engine::Compute(dev),
+                queue: Some(q),
+                deps: vec![],
+                cost: Cost::Kernel {
+                    class: KernelClass::Memcpy,
+                    bytes: 4,
+                },
+                label: "copy".into(),
+            },
+            Some(Box::new(move |pool: &mut MemPool| {
+                let (s, d) = pool.get_pair_mut(src, dst);
+                d.copy_from_slice(s);
+            })),
+        );
+        sim.run();
+        assert_eq!(sim.take_buffer(dst), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn transfer_cost_uses_dma_model() {
+        let (mut sim, dev, q) = one_device();
+        let bytes = 64 << 20; // saturated region: 45 GB/s NVLink on V100
+        let a = sim.push(
+            OpSpec {
+                engine: Engine::H2D(dev),
+                queue: Some(q),
+                deps: vec![],
+                cost: Cost::Transfer { bytes },
+                label: "h2d".into(),
+            },
+            None,
+        );
+        let tl = sim.run();
+        let dur = tl.record(a).end - tl.record(a).start;
+        let expect = v100().h2d.duration(bytes);
+        assert_eq!(dur, expect);
+        // ~1.5 ms for 64 MiB at 45 GB/s.
+        let got_gbps = bytes as f64 / dur.0 as f64;
+        assert!((got_gbps - 45.0).abs() < 1.5, "got {got_gbps} GB/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet submitted")]
+    fn forward_dependency_rejected() {
+        let (mut sim, dev, q) = one_device();
+        sim.push(
+            OpSpec {
+                engine: Engine::Compute(dev),
+                queue: Some(q),
+                deps: vec![OpId(5)],
+                cost: Cost::Fixed(Ns(1)),
+                label: "bad".into(),
+            },
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not valid on engine")]
+    fn kernel_cost_on_dma_engine_rejected() {
+        let (mut sim, dev, q) = one_device();
+        sim.push(
+            OpSpec {
+                engine: Engine::H2D(dev),
+                queue: Some(q),
+                deps: vec![],
+                cost: Cost::Kernel {
+                    class: KernelClass::Other,
+                    bytes: 1,
+                },
+                label: "bad".into(),
+            },
+            None,
+        );
+    }
+
+    #[test]
+    fn free_timed_marks_buffer() {
+        let (mut sim, dev, q) = one_device();
+        let (buf, op) = sim.alloc_timed(q, dev, 16, "a");
+        sim.free_timed(q, buf, vec![op], "f");
+        sim.run();
+        assert_eq!(sim.pool().resident_bytes(dev), 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Device specifications and cost models.
+//!
+//! A [`DeviceSpec`] captures everything the scheduler needs to charge
+//! virtual time for an operation: DMA bandwidths, per-kernel-class roofline
+//! throughput models, and runtime (allocator) latencies. The presets are
+//! calibrated against the numbers reported in the HPDR paper (Fig. 11/12:
+//! up to 45 GB/s MGARD-X, 210 GB/s ZFP-X, 150 GB/s Huffman-X on GPUs).
+
+use crate::time::Ns;
+
+/// Broad classification of a compute kernel for cost-model lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// MGARD multilevel decomposition / recomposition.
+    Mgard,
+    /// ZFP block transform codec.
+    Zfp,
+    /// Huffman encode / decode.
+    Huffman,
+    /// SZ-style Lorenzo prediction + quantization.
+    Lorenzo,
+    /// LZ77/LZ4-style byte-level matcher.
+    Lz4,
+    /// Device-side memcpy / memset / (de)serialization.
+    Memcpy,
+    /// Anything else (charged at the generic streaming rate).
+    Other,
+}
+
+impl KernelClass {
+    pub const ALL: [KernelClass; 7] = [
+        KernelClass::Mgard,
+        KernelClass::Zfp,
+        KernelClass::Huffman,
+        KernelClass::Lorenzo,
+        KernelClass::Lz4,
+        KernelClass::Memcpy,
+        KernelClass::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            KernelClass::Mgard => 0,
+            KernelClass::Zfp => 1,
+            KernelClass::Huffman => 2,
+            KernelClass::Lorenzo => 3,
+            KernelClass::Lz4 => 4,
+            KernelClass::Memcpy => 5,
+            KernelClass::Other => 6,
+        }
+    }
+}
+
+/// A roofline-style throughput model (paper §V-C, Fig. 11).
+///
+/// Effective throughput ramps linearly with input size until the device is
+/// saturated, then stays at the plateau `saturated_gbps`:
+///
+/// ```text
+/// Φ(C) = γ·(r0 + (1−r0)·C/C_threshold)   if C < C_threshold
+///        γ                               otherwise
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputModel {
+    /// Fixed per-launch latency (kernel launch / DMA setup).
+    pub latency: Ns,
+    /// Plateau throughput γ in GB/s.
+    pub saturated_gbps: f64,
+    /// Input size at which the plateau is reached (C_threshold).
+    pub saturate_bytes: u64,
+    /// Fraction of γ delivered as C → 0 (the β intercept, as a fraction).
+    pub ramp_floor: f64,
+}
+
+impl ThroughputModel {
+    /// A model with a flat rate regardless of size.
+    pub fn flat(gbps: f64) -> ThroughputModel {
+        ThroughputModel {
+            latency: Ns::ZERO,
+            saturated_gbps: gbps,
+            saturate_bytes: 1,
+            ramp_floor: 1.0,
+        }
+    }
+
+    /// Effective throughput (GB/s) for an operation of `bytes` bytes.
+    pub fn gbps_at(&self, bytes: u64) -> f64 {
+        if bytes >= self.saturate_bytes {
+            self.saturated_gbps
+        } else {
+            let frac = bytes as f64 / self.saturate_bytes as f64;
+            self.saturated_gbps * (self.ramp_floor + (1.0 - self.ramp_floor) * frac)
+        }
+    }
+
+    /// Virtual duration for an operation of `bytes` bytes.
+    pub fn duration(&self, bytes: u64) -> Ns {
+        if bytes == 0 {
+            return self.latency;
+        }
+        let gbps = self.gbps_at(bytes).max(1e-9);
+        self.latency + Ns((bytes as f64 / gbps).round() as u64)
+    }
+}
+
+/// Simulated architecture family (determines which "device adapter" the
+/// portable kernels report running under).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// NVIDIA-like device executed through the CUDA-style adapter.
+    CudaSim,
+    /// AMD-like device executed through the HIP-style adapter.
+    HipSim,
+}
+
+/// Full description of one simulated accelerator device.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    pub name: &'static str,
+    pub arch: Arch,
+    /// Host→device DMA engine model.
+    pub h2d: ThroughputModel,
+    /// Device→host DMA engine model.
+    pub d2h: ThroughputModel,
+    /// Per-kernel-class compute models, indexed by [`KernelClass`].
+    kernels: [ThroughputModel; 7],
+    /// Latency of one device memory allocation through the shared runtime.
+    pub alloc_latency: Ns,
+    /// Latency of one device memory free through the shared runtime.
+    pub free_latency: Ns,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+}
+
+impl DeviceSpec {
+    pub fn kernel_model(&self, class: KernelClass) -> &ThroughputModel {
+        &self.kernels[class.index()]
+    }
+
+    pub fn set_kernel_model(&mut self, class: KernelClass, model: ThroughputModel) {
+        self.kernels[class.index()] = model;
+    }
+
+    /// Virtual duration of a compute kernel of `class` over `bytes` input.
+    pub fn kernel_duration(&self, class: KernelClass, bytes: u64) -> Ns {
+        self.kernel_model(class).duration(bytes)
+    }
+}
+
+const MIB: u64 = 1 << 20;
+const GIB: u64 = 1 << 30;
+
+fn gpu_kernels(
+    mgard: f64,
+    zfp: f64,
+    huffman: f64,
+    lorenzo: f64,
+    lz4: f64,
+    mem: f64,
+) -> [ThroughputModel; 7] {
+    let launch = Ns::from_micros(8);
+    let mk = |g: f64, sat: u64| ThroughputModel {
+        latency: launch,
+        saturated_gbps: g,
+        saturate_bytes: sat,
+        ramp_floor: 0.05,
+    };
+    // Saturation knees: GPU reduction kernels reach full occupancy by a
+    // few tens of MB (the paper's 100 MB chunks sit on the plateau).
+    [
+        mk(mgard, 48 * MIB),
+        mk(zfp, 24 * MIB),
+        mk(huffman, 32 * MIB),
+        mk(lorenzo, 32 * MIB),
+        mk(lz4, 48 * MIB),
+        mk(mem, 16 * MIB),
+        mk(mem / 2.0, 16 * MIB),
+    ]
+}
+
+/// NVIDIA V100 (Summit node GPU): NVLink2-attached (~45 GB/s to the
+/// POWER9 host), 16 GB HBM2.
+pub fn v100() -> DeviceSpec {
+    DeviceSpec {
+        name: "V100",
+        arch: Arch::CudaSim,
+        h2d: ThroughputModel {
+            latency: Ns::from_micros(10),
+            saturated_gbps: 45.0,
+            saturate_bytes: 8 * MIB,
+            ramp_floor: 0.1,
+        },
+        d2h: ThroughputModel {
+            latency: Ns::from_micros(10),
+            saturated_gbps: 45.0,
+            saturate_bytes: 8 * MIB,
+            ramp_floor: 0.1,
+        },
+        kernels: gpu_kernels(30.0, 120.0, 90.0, 95.0, 60.0, 700.0),
+        alloc_latency: Ns::from_micros(220),
+        free_latency: Ns::from_micros(160),
+        memory_bytes: 16 * GIB,
+    }
+}
+
+/// NVIDIA A100 (Jetstream2 node GPU): PCIe4, 40 GB HBM2e.
+pub fn a100() -> DeviceSpec {
+    DeviceSpec {
+        name: "A100",
+        arch: Arch::CudaSim,
+        h2d: ThroughputModel {
+            latency: Ns::from_micros(9),
+            saturated_gbps: 24.0,
+            saturate_bytes: 8 * MIB,
+            ramp_floor: 0.1,
+        },
+        d2h: ThroughputModel {
+            latency: Ns::from_micros(9),
+            saturated_gbps: 24.0,
+            saturate_bytes: 8 * MIB,
+            ramp_floor: 0.1,
+        },
+        kernels: gpu_kernels(45.0, 210.0, 150.0, 160.0, 95.0, 1300.0),
+        alloc_latency: Ns::from_micros(200),
+        free_latency: Ns::from_micros(150),
+        memory_bytes: 40 * GIB,
+    }
+}
+
+/// AMD MI250X (one GCD of a Frontier node GPU): Infinity-Fabric attached.
+pub fn mi250x() -> DeviceSpec {
+    DeviceSpec {
+        name: "MI250X",
+        arch: Arch::HipSim,
+        h2d: ThroughputModel {
+            latency: Ns::from_micros(11),
+            saturated_gbps: 36.0,
+            saturate_bytes: 8 * MIB,
+            ramp_floor: 0.1,
+        },
+        d2h: ThroughputModel {
+            latency: Ns::from_micros(11),
+            saturated_gbps: 36.0,
+            saturate_bytes: 8 * MIB,
+            ramp_floor: 0.1,
+        },
+        kernels: gpu_kernels(40.0, 180.0, 130.0, 135.0, 80.0, 1100.0),
+        alloc_latency: Ns::from_micros(260),
+        free_latency: Ns::from_micros(190),
+        memory_bytes: 64 * GIB,
+    }
+}
+
+/// NVIDIA RTX 3090 (workstation GPU): PCIe3, 24 GB GDDR6X.
+pub fn rtx3090() -> DeviceSpec {
+    DeviceSpec {
+        name: "RTX3090",
+        arch: Arch::CudaSim,
+        h2d: ThroughputModel {
+            latency: Ns::from_micros(12),
+            saturated_gbps: 10.0,
+            saturate_bytes: 8 * MIB,
+            ramp_floor: 0.1,
+        },
+        d2h: ThroughputModel {
+            latency: Ns::from_micros(12),
+            saturated_gbps: 10.0,
+            saturate_bytes: 8 * MIB,
+            ramp_floor: 0.1,
+        },
+        kernels: gpu_kernels(25.0, 110.0, 85.0, 90.0, 55.0, 800.0),
+        alloc_latency: Ns::from_micros(240),
+        free_latency: Ns::from_micros(170),
+        memory_bytes: 24 * GIB,
+    }
+}
+
+/// All built-in GPU presets.
+pub fn all_gpus() -> Vec<DeviceSpec> {
+    vec![v100(), a100(), mi250x(), rtx3090()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_plateau_reached_at_threshold() {
+        let m = ThroughputModel {
+            latency: Ns::ZERO,
+            saturated_gbps: 100.0,
+            saturate_bytes: 1000,
+            ramp_floor: 0.1,
+        };
+        assert!((m.gbps_at(1000) - 100.0).abs() < 1e-9);
+        assert!((m.gbps_at(2000) - 100.0).abs() < 1e-9);
+        // At C → 0, throughput is the ramp floor.
+        assert!((m.gbps_at(0) - 10.0).abs() < 1e-9);
+        // Halfway: 10 + 90*0.5 = 55.
+        assert!((m.gbps_at(500) - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_monotonic_in_size() {
+        let m = v100().h2d;
+        let mut last = 0.0;
+        for bytes in [0u64, 1 << 10, 1 << 16, 1 << 20, 1 << 23, 1 << 26, 1 << 30] {
+            let g = m.gbps_at(bytes);
+            assert!(g >= last, "throughput decreased at {bytes}");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn duration_includes_latency() {
+        let m = ThroughputModel {
+            latency: Ns(500),
+            saturated_gbps: 1.0, // 1 byte/ns
+            saturate_bytes: 1,
+            ramp_floor: 1.0,
+        };
+        assert_eq!(m.duration(1000), Ns(1500));
+        assert_eq!(m.duration(0), Ns(500));
+    }
+
+    #[test]
+    fn flat_model_is_size_independent() {
+        let m = ThroughputModel::flat(10.0);
+        assert!((m.gbps_at(1) - 10.0).abs() < 1e-9);
+        assert!((m.gbps_at(1 << 30) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_have_expected_ordering() {
+        // Paper Fig. 12: A100 is the fastest kernel device; V100 PCIe slower
+        // than MI250X infinity fabric.
+        let (v, a, m) = (v100(), a100(), mi250x());
+        assert!(
+            a.kernel_model(KernelClass::Zfp).saturated_gbps
+                > v.kernel_model(KernelClass::Zfp).saturated_gbps
+        );
+        // Summit's NVLink V100 has the fastest host link; Frontier's
+        // Infinity-Fabric MI250X beats PCIe4 A100.
+        assert!(v.h2d.saturated_gbps > m.h2d.saturated_gbps);
+        assert!(m.h2d.saturated_gbps > a.h2d.saturated_gbps);
+        for spec in all_gpus() {
+            for class in KernelClass::ALL {
+                assert!(spec.kernel_model(class).saturated_gbps > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_model_override() {
+        let mut spec = v100();
+        spec.set_kernel_model(KernelClass::Other, ThroughputModel::flat(42.0));
+        assert!((spec.kernel_model(KernelClass::Other).saturated_gbps - 42.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,722 @@
+//! ZFP-X compressor (paper Algorithm 3 / Fig. 7).
+//!
+//! Pipeline per 4^d block, all stages on the Locality abstraction:
+//! exponent alignment → fixed-point conversion → near-orthogonal lifting
+//! transform → sequency reordering → negabinary → embedded bit-plane
+//! serialization.
+//!
+//! Fix-rate mode (the mode the paper evaluates) emits a constant number of
+//! bits per block, rounded up to whole bytes so blocks occupy disjoint
+//! byte ranges and encode/decode need no cross-block coordination
+//! (Alg. 3: "all blocks output the same size bit streams"). Fix-accuracy
+//! mode is provided as the extension the paper mentions ("the other two
+//! modes can be implemented similarly").
+
+use crate::embedded::{decode_ints, encode_ints};
+use crate::negabinary::{int_to_negabinary, negabinary_to_int};
+use crate::transform::{fwd_transform, inv_transform, sequency_order};
+use hpdr_core::{
+    ByteReader, ByteWriter, DeviceAdapter, Float, HpdrError, KernelClass, Locality, Result, Shape,
+    SharedSlice,
+};
+use hpdr_kernels::{BitReader, BitWriter, BlockGrid};
+
+const MAGIC: u32 = 0x5A46_5058; // "ZFPX"
+const VERSION: u8 = 1;
+/// Fixed-point fractional bits (shared by f32/f64 paths; headroom for the
+/// ≤ 2^3 transform gain keeps |coefficients| < 2^61).
+const FRACBITS: i32 = 57;
+/// Per-block header: 1 nonzero flag bit + 16 biased-exponent bits.
+const HEADER_BITS: u32 = 17;
+const EMAX_BIAS: i32 = 16384;
+
+/// Compression mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ZfpMode {
+    /// `bits_per_value` bits per element (paper's evaluated mode).
+    FixedRate(u32),
+    /// Absolute error tolerance (extension).
+    FixedAccuracy(f64),
+    /// Keep the `precision` most-significant bit planes of every block
+    /// (extension — the third mode the paper lists).
+    FixedPrecision(u32),
+}
+
+/// ZFP-X configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZfpConfig {
+    pub mode: ZfpMode,
+}
+
+impl ZfpConfig {
+    pub fn fixed_rate(bits_per_value: u32) -> ZfpConfig {
+        ZfpConfig {
+            mode: ZfpMode::FixedRate(bits_per_value),
+        }
+    }
+
+    pub fn fixed_accuracy(tolerance: f64) -> ZfpConfig {
+        ZfpConfig {
+            mode: ZfpMode::FixedAccuracy(tolerance),
+        }
+    }
+
+    pub fn fixed_precision(planes: u32) -> ZfpConfig {
+        ZfpConfig {
+            mode: ZfpMode::FixedPrecision(planes),
+        }
+    }
+
+    pub fn config_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self.mode {
+            ZfpMode::FixedRate(r) => {
+                w.put_u8(0);
+                w.put_u32(r);
+            }
+            ZfpMode::FixedAccuracy(t) => {
+                w.put_u8(1);
+                w.put_f64(t);
+            }
+            ZfpMode::FixedPrecision(p) => {
+                w.put_u8(2);
+                w.put_u32(p);
+            }
+        }
+        w.into_vec()
+    }
+}
+
+/// Fold shapes to ZFP's 1–3D block space: a 4D array is treated as a 3D
+/// array with the two slowest dimensions merged.
+fn effective_shape(shape: &Shape) -> Shape {
+    let d = shape.dims();
+    if d.len() == 4 {
+        Shape::new(&[d[0] * d[1], d[2], d[3]])
+    } else {
+        shape.clone()
+    }
+}
+
+struct BlockCtx {
+    grid: BlockGrid,
+    perm: Vec<usize>,
+    d: usize,
+    n: usize,
+}
+
+fn block_ctx(shape: &Shape) -> BlockCtx {
+    let eff = effective_shape(shape);
+    let d = eff.ndims();
+    let block_dims = vec![4usize; d];
+    let grid = BlockGrid::new(&eff, &block_dims);
+    BlockCtx {
+        perm: sequency_order(d),
+        n: 4usize.pow(d as u32),
+        grid,
+        d,
+    }
+}
+
+/// Encode one gathered block into `w`. Returns bits written.
+fn encode_block<T: Float>(vals: &[T], ctx: &BlockCtx, maxbits: u32, kmin: u32, w: &mut BitWriter) -> Result<u32> {
+    // Exponent alignment: emax over the block.
+    let mut amax = 0.0f64;
+    for &v in vals {
+        if !v.is_finite() {
+            return Err(HpdrError::invalid("non-finite value in ZFP input"));
+        }
+        amax = amax.max(v.to_f64().abs());
+    }
+    if amax == 0.0 {
+        w.write_bit(false);
+        return Ok(1);
+    }
+    w.write_bit(true);
+    let emax = amax.exponent();
+    w.write_bits((emax + EMAX_BIAS) as u64, 16);
+    // Fixed-point conversion.
+    let scale = 2f64.powi(FRACBITS - emax);
+    let mut q: Vec<i64> = vals.iter().map(|v| (v.to_f64() * scale).round() as i64).collect();
+    // Near-orthogonal transform.
+    fwd_transform(&mut q, ctx.d);
+    // Sequency reorder + negabinary.
+    let nb: Vec<u64> = ctx.perm.iter().map(|&i| int_to_negabinary(q[i])).collect();
+    // Embedded bit-plane serialization.
+    let used = encode_ints(w, maxbits, kmin, &nb);
+    Ok(HEADER_BITS + used)
+}
+
+/// Decode one block (inverse of [`encode_block`]) into `out`.
+fn decode_block<T: Float>(
+    r: &mut BitReader<'_>,
+    ctx: &BlockCtx,
+    maxbits: u32,
+    kmin: u32,
+    out: &mut [T],
+) -> Result<()> {
+    if !r.read_bit()? {
+        out.fill(T::ZERO);
+        return Ok(());
+    }
+    let emax = r.read_bits(16)? as i32 - EMAX_BIAS;
+    if !(-4000..=4000).contains(&emax) {
+        return Err(HpdrError::corrupt(format!("implausible block exponent {emax}")));
+    }
+    let nb = decode_ints(r, maxbits, kmin, ctx.n)?;
+    let mut q = vec![0i64; ctx.n];
+    for (slot, &src) in ctx.perm.iter().enumerate() {
+        q[src] = negabinary_to_int(nb[slot]);
+    }
+    inv_transform(&mut q, ctx.d);
+    let scale = 2f64.powi(emax - FRACBITS);
+    for (o, &v) in out.iter_mut().zip(&q) {
+        *o = T::from_f64(v as f64 * scale);
+    }
+    Ok(())
+}
+
+/// Derive the embedded-coder `kmin` for a tolerance (fix-accuracy mode):
+/// planes whose fixed-point weight (including transform gain) is below the
+/// tolerance are dropped.
+fn kmin_for_tolerance(tol: f64, emax: i32, d: usize) -> u32 {
+    if tol <= 0.0 {
+        return 0;
+    }
+    // Plane k carries weight 2^(k - FRACBITS + emax); keep a guard of
+    // d + 3 planes for transform gain and accumulation.
+    let min_plane = (tol.log2().floor() as i32) - emax + FRACBITS - (d as i32 + 3);
+    min_plane.clamp(0, 63) as u32
+}
+
+/// Compress `data` of `shape` with ZFP-X.
+pub fn compress<T: Float>(
+    adapter: &dyn DeviceAdapter,
+    data: &[T],
+    shape: &Shape,
+    cfg: &ZfpConfig,
+) -> Result<Vec<u8>> {
+    if data.len() != shape.num_elements() {
+        return Err(HpdrError::invalid(format!(
+            "data length {} does not match shape {shape}",
+            data.len()
+        )));
+    }
+    let ctx = block_ctx(shape);
+    let blocks = ctx.grid.num_blocks();
+    let input_bytes = (data.len() * T::BYTES) as u64;
+
+    let mut w = ByteWriter::with_capacity(64 + data.len());
+    w.put_u32(MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(T::DTYPE.tag());
+    w.put_u8(shape.ndims() as u8);
+    for &dim in shape.dims() {
+        w.put_u64(dim as u64);
+    }
+
+    match cfg.mode {
+        ZfpMode::FixedRate(rate) => {
+            let block_bits = rate
+                .checked_mul(ctx.n as u32)
+                .ok_or_else(|| HpdrError::invalid("rate overflow"))?;
+            if block_bits < HEADER_BITS + 1 || rate > 64 {
+                return Err(HpdrError::invalid(format!(
+                    "fixed rate {rate} bits/value out of range for {}D blocks",
+                    ctx.d
+                )));
+            }
+            let block_bytes = (block_bits as usize).div_ceil(8);
+            let maxbits = block_bits - HEADER_BITS;
+            w.put_u8(0);
+            w.put_u32(rate);
+            w.put_u64(blocks as u64);
+            w.put_u32(block_bytes as u32);
+
+            let mut payload = vec![0u8; blocks * block_bytes];
+            let errors = std::sync::Mutex::new(Vec::new());
+            {
+                let payload_sh = SharedSlice::new(&mut payload);
+                Locality::new(blocks)
+                    .with_staging(ctx.n * T::BYTES)
+                    .run(adapter, &|b, _| {
+                        let mut vals = vec![T::ZERO; ctx.n];
+                        ctx.grid.gather(data, b, &mut vals);
+                        let mut bw = BitWriter::with_bit_capacity(block_bits as usize);
+                        match encode_block(&vals, &ctx, maxbits, 0, &mut bw) {
+                            Ok(_) => {
+                                let bytes = bw.into_bytes();
+                                // Safety: block b owns its byte range.
+                                let dst =
+                                    unsafe { payload_sh.slice_mut(b * block_bytes, block_bytes) };
+                                dst[..bytes.len()].copy_from_slice(&bytes);
+                            }
+                            Err(e) => errors.lock().unwrap().push(e),
+                        }
+                    });
+            }
+            if let Some(e) = errors.into_inner().unwrap().into_iter().next() {
+                return Err(e);
+            }
+            w.put_block(&payload);
+        }
+        ZfpMode::FixedAccuracy(tol) => {
+            if tol <= 0.0 || !tol.is_finite() {
+                return Err(HpdrError::invalid("tolerance must be positive and finite"));
+            }
+            w.put_u8(1);
+            w.put_f64(tol);
+            w.put_u64(blocks as u64);
+            // Per-block encode into private buffers, then concatenate.
+            let mut encoded: Vec<Vec<u8>> = vec![Vec::new(); blocks];
+            let errors = std::sync::Mutex::new(Vec::new());
+            {
+                let enc_sh = SharedSlice::new(&mut encoded);
+                Locality::new(blocks).run(adapter, &|b, _| {
+                    let mut vals = vec![T::ZERO; ctx.n];
+                    ctx.grid.gather(data, b, &mut vals);
+                    let mut amax = 0.0f64;
+                    for &v in &vals {
+                        amax = amax.max(v.to_f64().abs());
+                    }
+                    let emax = if amax > 0.0 { amax.exponent() } else { 0 };
+                    let kmin = kmin_for_tolerance(tol, emax, ctx.d);
+                    let mut bw = BitWriter::new();
+                    match encode_block(&vals, &ctx, 1 << 24, kmin, &mut bw) {
+                        Ok(_) => {
+                            // Safety: block b owns slot b.
+                            let slot = unsafe { enc_sh.slice_mut(b, 1) };
+                            slot[0] = bw.into_bytes();
+                        }
+                        Err(e) => errors.lock().unwrap().push(e),
+                    }
+                });
+            }
+            if let Some(e) = errors.into_inner().unwrap().into_iter().next() {
+                return Err(e);
+            }
+            for e in &encoded {
+                w.put_u32(e.len() as u32);
+            }
+            let payload: Vec<u8> = encoded.concat();
+            w.put_block(&payload);
+        }
+        ZfpMode::FixedPrecision(planes) => {
+            if planes == 0 || planes > 64 {
+                return Err(HpdrError::invalid("precision must be in 1..=64"));
+            }
+            w.put_u8(2);
+            w.put_u32(planes);
+            w.put_u64(blocks as u64);
+            let kmin = 64 - planes;
+            let mut encoded: Vec<Vec<u8>> = vec![Vec::new(); blocks];
+            let errors = std::sync::Mutex::new(Vec::new());
+            {
+                let enc_sh = SharedSlice::new(&mut encoded);
+                Locality::new(blocks).run(adapter, &|b, _| {
+                    let mut vals = vec![T::ZERO; ctx.n];
+                    ctx.grid.gather(data, b, &mut vals);
+                    let mut bw = BitWriter::new();
+                    match encode_block(&vals, &ctx, 1 << 24, kmin, &mut bw) {
+                        Ok(_) => {
+                            // Safety: block b owns slot b.
+                            let slot = unsafe { enc_sh.slice_mut(b, 1) };
+                            slot[0] = bw.into_bytes();
+                        }
+                        Err(e) => errors.lock().unwrap().push(e),
+                    }
+                });
+            }
+            if let Some(e) = errors.into_inner().unwrap().into_iter().next() {
+                return Err(e);
+            }
+            for e in &encoded {
+                w.put_u32(e.len() as u32);
+            }
+            let payload: Vec<u8> = encoded.concat();
+            w.put_block(&payload);
+        }
+    }
+    adapter.charge(KernelClass::Zfp, input_bytes);
+    Ok(w.into_vec())
+}
+
+/// Decompress a ZFP-X stream. Returns the data and its shape.
+pub fn decompress<T: Float>(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<(Vec<T>, Shape)> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_u32()? != MAGIC {
+        return Err(HpdrError::corrupt("bad ZFP-X magic"));
+    }
+    if r.get_u8()? != VERSION {
+        return Err(HpdrError::corrupt("unsupported ZFP-X version"));
+    }
+    let dtype = r.get_u8()?;
+    if dtype != T::DTYPE.tag() {
+        return Err(HpdrError::invalid("dtype mismatch in ZFP-X stream"));
+    }
+    let nd = r.get_u8()? as usize;
+    if !(1..=4).contains(&nd) {
+        return Err(HpdrError::corrupt("bad rank in ZFP-X stream"));
+    }
+    let mut dims = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        let d = r.get_u64()? as usize;
+        if d == 0 || d > (1 << 40) {
+            return Err(HpdrError::corrupt("implausible dimension"));
+        }
+        dims.push(d);
+    }
+    let shape = Shape::try_new(&dims)?;
+    let ctx = block_ctx(&shape);
+    let mode = r.get_u8()?;
+    let n_elems = shape.num_elements();
+    let mut out = vec![T::ZERO; n_elems];
+    let errors = std::sync::Mutex::new(Vec::new());
+    match mode {
+        0 => {
+            let rate = r.get_u32()?;
+            let blocks = r.get_u64()? as usize;
+            let block_bytes = r.get_u32()? as usize;
+            if blocks != ctx.grid.num_blocks() {
+                return Err(HpdrError::corrupt("block count mismatch"));
+            }
+            let expected_bytes = (rate as usize * ctx.n).div_ceil(8);
+            if block_bytes != expected_bytes || rate > 64 || rate as usize * ctx.n < (HEADER_BITS + 1) as usize {
+                return Err(HpdrError::corrupt("inconsistent fixed-rate parameters"));
+            }
+            let payload = r.get_block()?;
+            r.expect_exhausted()?;
+            if payload.len() != blocks * block_bytes {
+                return Err(HpdrError::corrupt("payload size mismatch"));
+            }
+            let maxbits = rate * ctx.n as u32 - HEADER_BITS;
+            {
+                let out_sh = SharedSlice::new(&mut out);
+                Locality::new(blocks).run(adapter, &|b, _| {
+                    let region = &payload[b * block_bytes..(b + 1) * block_bytes];
+                    let mut br = BitReader::new(region);
+                    let mut vals = vec![T::ZERO; ctx.n];
+                    match decode_block(&mut br, &ctx, maxbits, 0, &mut vals) {
+                        Ok(()) => scatter_shared(&ctx.grid, &out_sh, b, &vals),
+                        Err(e) => errors.lock().unwrap().push(e),
+                    }
+                });
+            }
+        }
+        1 => {
+            let tol = r.get_f64()?;
+            let blocks = r.get_u64()? as usize;
+            if blocks != ctx.grid.num_blocks() {
+                return Err(HpdrError::corrupt("block count mismatch"));
+            }
+            let mut sizes = Vec::with_capacity(blocks);
+            for _ in 0..blocks {
+                sizes.push(r.get_u32()? as usize);
+            }
+            let payload = r.get_block()?;
+            r.expect_exhausted()?;
+            let offsets: Vec<usize> = sizes
+                .iter()
+                .scan(0usize, |acc, &s| {
+                    let o = *acc;
+                    *acc += s;
+                    Some(o)
+                })
+                .collect();
+            let total: usize = sizes.iter().sum();
+            if total != payload.len() {
+                return Err(HpdrError::corrupt("payload size mismatch"));
+            }
+            {
+                let out_sh = SharedSlice::new(&mut out);
+                Locality::new(blocks).run(adapter, &|b, _| {
+                    let region = &payload[offsets[b]..offsets[b] + sizes[b]];
+                    let mut br = BitReader::new(region);
+                    let mut vals = vec![T::ZERO; ctx.n];
+                    // Recover kmin from the block's own header exponent.
+                    let res = (|| -> Result<()> {
+                        let mut peek = br.clone();
+                        if !peek.read_bit()? {
+                            vals.fill(T::ZERO);
+                            br.read_bit()?;
+                            return Ok(());
+                        }
+                        let emax = peek.read_bits(16)? as i32 - EMAX_BIAS;
+                        let kmin = kmin_for_tolerance(tol, emax, ctx.d);
+                        decode_block(&mut br, &ctx, 1 << 24, kmin, &mut vals)
+                    })();
+                    match res {
+                        Ok(()) => scatter_shared(&ctx.grid, &out_sh, b, &vals),
+                        Err(e) => errors.lock().unwrap().push(e),
+                    }
+                });
+            }
+        }
+        2 => {
+            let planes = r.get_u32()?;
+            if planes == 0 || planes > 64 {
+                return Err(HpdrError::corrupt("bad precision"));
+            }
+            let kmin = 64 - planes;
+            let blocks = r.get_u64()? as usize;
+            if blocks != ctx.grid.num_blocks() {
+                return Err(HpdrError::corrupt("block count mismatch"));
+            }
+            let mut sizes = Vec::with_capacity(blocks);
+            for _ in 0..blocks {
+                sizes.push(r.get_u32()? as usize);
+            }
+            let payload = r.get_block()?;
+            r.expect_exhausted()?;
+            let offsets: Vec<usize> = sizes
+                .iter()
+                .scan(0usize, |acc, &s| {
+                    let o = *acc;
+                    *acc += s;
+                    Some(o)
+                })
+                .collect();
+            let total: usize = sizes.iter().sum();
+            if total != payload.len() {
+                return Err(HpdrError::corrupt("payload size mismatch"));
+            }
+            {
+                let out_sh = SharedSlice::new(&mut out);
+                Locality::new(blocks).run(adapter, &|b, _| {
+                    let region = &payload[offsets[b]..offsets[b] + sizes[b]];
+                    let mut br = BitReader::new(region);
+                    let mut vals = vec![T::ZERO; ctx.n];
+                    match decode_block(&mut br, &ctx, 1 << 24, kmin, &mut vals) {
+                        Ok(()) => scatter_shared(&ctx.grid, &out_sh, b, &vals),
+                        Err(e) => errors.lock().unwrap().push(e),
+                    }
+                });
+            }
+        }
+        _ => return Err(HpdrError::corrupt("unknown ZFP-X mode")),
+    }
+    if let Some(e) = errors.into_inner().unwrap().into_iter().next() {
+        return Err(e);
+    }
+    adapter.charge(KernelClass::Zfp, (n_elems * T::BYTES) as u64);
+    Ok((out, shape))
+}
+
+/// Scatter a decoded block into the shared output, skipping padded lanes.
+/// Blocks tile the domain disjointly, so writes never collide.
+fn scatter_shared<T: Float>(grid: &BlockGrid, out: &SharedSlice<'_, T>, b: usize, vals: &[T]) {
+    let origin = grid.origin(b);
+    let dims = grid.shape().dims();
+    let strides = grid.shape().strides();
+    let nd = dims.len();
+    let bd = grid.block_dims();
+    let mut local = vec![0usize; nd];
+    'slot: for (slot, &v) in vals.iter().enumerate() {
+        let mut rem = slot;
+        for k in (0..nd).rev() {
+            local[k] = rem % bd[k];
+            rem /= bd[k];
+        }
+        let mut flat = 0usize;
+        for k in 0..nd {
+            let idx = origin[k] + local[k];
+            if idx >= dims[k] {
+                continue 'slot;
+            }
+            flat += idx * strides[k];
+        }
+        // Safety: disjoint tiling of the domain by blocks.
+        unsafe { out.write(flat, v) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::{CpuParallelAdapter, SerialAdapter};
+
+    fn smooth_3d(n: usize) -> (Vec<f32>, Shape) {
+        let shape = Shape::new(&[n, n, n]);
+        let mut data = Vec::with_capacity(shape.num_elements());
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let (x, y, z) = (i as f32 / n as f32, j as f32 / n as f32, k as f32 / n as f32);
+                    data.push((6.0 * x).sin() * (4.0 * y).cos() + 0.5 * z);
+                }
+            }
+        }
+        (data, shape)
+    }
+
+    #[test]
+    fn fixed_rate_size_is_exact() {
+        let a = CpuParallelAdapter::new(4);
+        let (data, shape) = smooth_3d(16);
+        for rate in [4u32, 8, 16] {
+            let c = compress(&a, &data, &shape, &ZfpConfig::fixed_rate(rate)).unwrap();
+            let blocks = (16 / 4usize).pow(3);
+            let block_bytes = (rate as usize * 64).div_ceil(8);
+            // Header + exact payload.
+            assert!(c.len() >= blocks * block_bytes);
+            assert!(c.len() < blocks * block_bytes + 128);
+            let (out, s) = decompress::<f32>(&a, &c).unwrap();
+            assert_eq!(s, shape);
+            assert_eq!(out.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn high_rate_roundtrip_is_tight() {
+        let a = CpuParallelAdapter::new(4);
+        let (data, shape) = smooth_3d(12);
+        let c = compress(&a, &data, &shape, &ZfpConfig::fixed_rate(32)).unwrap();
+        let (out, _) = decompress::<f32>(&a, &c).unwrap();
+        let max_err = data
+            .iter()
+            .zip(&out)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        // 32 bits/value on f32 data: error at the fixed-point noise floor.
+        assert!(max_err < 1e-5, "max_err={max_err}");
+    }
+
+    #[test]
+    fn error_decreases_with_rate() {
+        let a = CpuParallelAdapter::new(4);
+        let (data, shape) = smooth_3d(16);
+        let mut last = f64::INFINITY;
+        for rate in [2u32, 4, 8, 16, 28] {
+            let c = compress(&a, &data, &shape, &ZfpConfig::fixed_rate(rate)).unwrap();
+            let (out, _) = decompress::<f32>(&a, &c).unwrap();
+            let err = data
+                .iter()
+                .zip(&out)
+                .map(|(x, y)| (x - y).abs() as f64)
+                .fold(0.0, f64::max);
+            assert!(err <= last * 1.5, "rate {rate}: {err} vs {last}");
+            last = err.min(last);
+        }
+        assert!(last < 1e-3);
+    }
+
+    #[test]
+    fn fixed_accuracy_honours_tolerance() {
+        let a = CpuParallelAdapter::new(4);
+        let (data, shape) = smooth_3d(16);
+        for tol in [1e-1f64, 1e-3, 1e-5] {
+            let c = compress(&a, &data, &shape, &ZfpConfig::fixed_accuracy(tol)).unwrap();
+            let (out, _) = decompress::<f32>(&a, &c).unwrap();
+            let err = data
+                .iter()
+                .zip(&out)
+                .map(|(x, y)| (x - y).abs() as f64)
+                .fold(0.0, f64::max);
+            assert!(err <= tol, "tol {tol}: err {err}");
+        }
+    }
+
+    #[test]
+    fn fixed_precision_mode_roundtrips_and_orders_error() {
+        let a = CpuParallelAdapter::new(4);
+        let (data, shape) = smooth_3d(12);
+        let mut last = f64::INFINITY;
+        for planes in [8u32, 16, 32, 60] {
+            let c = compress(&a, &data, &shape, &ZfpConfig::fixed_precision(planes)).unwrap();
+            let (out, s) = decompress::<f32>(&a, &c).unwrap();
+            assert_eq!(s, shape);
+            let err = data
+                .iter()
+                .zip(&out)
+                .map(|(x, y)| (x - y).abs() as f64)
+                .fold(0.0, f64::max);
+            assert!(err <= last + 1e-12, "planes {planes}: {err} > {last}");
+            last = err;
+        }
+        // 60 planes on f32 data: effectively exact.
+        assert!(last < 1e-6, "err {last}");
+        // Bad precision values rejected.
+        assert!(compress(&a, &data, &shape, &ZfpConfig::fixed_precision(0)).is_err());
+        assert!(compress(&a, &data, &shape, &ZfpConfig::fixed_precision(65)).is_err());
+    }
+
+    #[test]
+    fn f64_roundtrip_1d_2d() {
+        let a = SerialAdapter::new();
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin() * 1e6).collect();
+        let shape = Shape::new(&[100]);
+        let c = compress(&a, &data, &shape, &ZfpConfig::fixed_rate(40)).unwrap();
+        let (out, _) = decompress::<f64>(&a, &c).unwrap();
+        let err = data.iter().zip(&out).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-4, "err {err}");
+
+        let data2: Vec<f64> = (0..30 * 20).map(|i| (i % 30) as f64).collect();
+        let shape2 = Shape::new(&[30, 20]);
+        let c2 = compress(&a, &data2, &shape2, &ZfpConfig::fixed_rate(24)).unwrap();
+        let (out2, s2) = decompress::<f64>(&a, &c2).unwrap();
+        assert_eq!(s2, shape2);
+        assert_eq!(out2.len(), data2.len());
+    }
+
+    #[test]
+    fn four_d_arrays_are_folded() {
+        let a = SerialAdapter::new();
+        let shape = Shape::new(&[3, 5, 8, 6]);
+        let data: Vec<f32> = (0..shape.num_elements()).map(|i| (i as f32).sqrt()).collect();
+        let c = compress(&a, &data, &shape, &ZfpConfig::fixed_rate(24)).unwrap();
+        let (out, s) = decompress::<f32>(&a, &c).unwrap();
+        assert_eq!(s, shape);
+        assert_eq!(out.len(), data.len());
+    }
+
+    #[test]
+    fn zero_data_compresses_and_restores() {
+        let a = SerialAdapter::new();
+        let data = vec![0.0f32; 64];
+        let shape = Shape::new(&[4, 4, 4]);
+        let c = compress(&a, &data, &shape, &ZfpConfig::fixed_rate(8)).unwrap();
+        let (out, _) = decompress::<f32>(&a, &c).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn adapter_independence() {
+        let (data, shape) = smooth_3d(8);
+        let cfg = ZfpConfig::fixed_rate(12);
+        let s = compress(&SerialAdapter::new(), &data, &shape, &cfg).unwrap();
+        let p = compress(&CpuParallelAdapter::new(8), &data, &shape, &cfg).unwrap();
+        assert_eq!(s, p, "compressed stream must not depend on the adapter");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let a = SerialAdapter::new();
+        let shape = Shape::new(&[4, 4]);
+        // Length mismatch.
+        assert!(compress(&a, &[0.0f32; 5], &shape, &ZfpConfig::fixed_rate(8)).is_err());
+        // NaN.
+        let mut data = vec![0.0f32; 16];
+        data[3] = f32::NAN;
+        assert!(compress(&a, &data, &shape, &ZfpConfig::fixed_rate(8)).is_err());
+        // Rate too small to hold the header (1 bit/value on 1D block = 4 bits).
+        let d1 = vec![1.0f32; 8];
+        assert!(compress(&a, &d1, &Shape::new(&[8]), &ZfpConfig::fixed_rate(1)).is_err());
+        // Bad tolerance.
+        assert!(compress(&a, &[1.0f32; 16], &shape, &ZfpConfig::fixed_accuracy(0.0)).is_err());
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        let a = SerialAdapter::new();
+        let (data, shape) = smooth_3d(8);
+        let good = compress(&a, &data, &shape, &ZfpConfig::fixed_rate(16)).unwrap();
+        for cut in [0, 3, 9, 17, good.len() / 2, good.len() - 1] {
+            assert!(decompress::<f32>(&a, &good[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = good.clone();
+        bad[1] ^= 0x40;
+        assert!(decompress::<f32>(&a, &bad).is_err());
+        // dtype mismatch
+        assert!(decompress::<f64>(&a, &good).is_err());
+    }
+}

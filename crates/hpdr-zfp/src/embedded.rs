@@ -1,0 +1,217 @@
+//! ZFP's embedded bit-plane coder: group-tested, budgeted encoding of
+//! negabinary coefficient planes, MSB→LSB. Faithful port of zfp's
+//! `encode_ints` / `decode_ints` control flow, including its behaviour at
+//! budget exhaustion (encoder and decoder decrement the same budget
+//! counter in lock-step, so truncation points always agree).
+//!
+//! Coefficients must already be in sequency order so significance grows
+//! monotonically along the array — that is what makes the unary group
+//! tests cheap.
+
+use hpdr_core::Result;
+use hpdr_kernels::{BitReader, BitWriter};
+
+#[inline]
+fn shr(x: u64, m: u32) -> u64 {
+    if m >= 64 {
+        0
+    } else {
+        x >> m
+    }
+}
+
+/// Encode `data` (negabinary, sequency-ordered, `len <= 64`) using at most
+/// `maxbits` bits of `w`, covering bit planes `kmin..64`. Returns the
+/// number of bits written.
+pub fn encode_ints(w: &mut BitWriter, maxbits: u32, kmin: u32, data: &[u64]) -> u32 {
+    let size = data.len();
+    debug_assert!((1..=64).contains(&size));
+    let mut bits = maxbits;
+    let mut n: usize = 0;
+    let mut k = 64u32;
+    while bits > 0 && k > kmin {
+        k -= 1;
+        // Step 1: extract bit plane #k into x.
+        let mut x: u64 = 0;
+        for (i, &v) in data.iter().enumerate() {
+            x += ((v >> k) & 1) << i;
+        }
+        // Step 2: verbatim bits for the n already-significant coefficients.
+        let m = (n as u32).min(bits);
+        bits -= m;
+        w.write_bits(x, m);
+        let mut x = shr(x, m);
+        // Step 3: unary run-length encode the remainder of the plane.
+        loop {
+            // Outer condition: n < size && bits && write group-test bit.
+            if n >= size || bits == 0 {
+                break;
+            }
+            bits -= 1;
+            let any = x != 0;
+            w.write_bit(any);
+            if !any {
+                break;
+            }
+            // Inner: emit value bits until the run's terminating 1.
+            loop {
+                if n >= size - 1 || bits == 0 {
+                    break;
+                }
+                bits -= 1;
+                let bit = (x & 1) == 1;
+                w.write_bit(bit);
+                if bit {
+                    break;
+                }
+                x >>= 1;
+                n += 1;
+            }
+            // Outer increment (consumes the significant coefficient).
+            x >>= 1;
+            n += 1;
+        }
+    }
+    maxbits - bits
+}
+
+/// Decode the planes written by [`encode_ints`] with identical `maxbits`
+/// and `kmin`. Returns the reconstructed negabinary coefficients.
+pub fn decode_ints(
+    r: &mut BitReader<'_>,
+    maxbits: u32,
+    kmin: u32,
+    size: usize,
+) -> Result<Vec<u64>> {
+    debug_assert!((1..=64).contains(&size));
+    let mut bits = maxbits;
+    let mut n: usize = 0;
+    let mut data = vec![0u64; size];
+    let mut k = 64u32;
+    while bits > 0 && k > kmin {
+        k -= 1;
+        let m = (n as u32).min(bits);
+        bits -= m;
+        let mut x = r.read_bits(m)?;
+        loop {
+            if n >= size || bits == 0 {
+                break;
+            }
+            bits -= 1;
+            if !r.read_bit()? {
+                break;
+            }
+            loop {
+                if n >= size - 1 || bits == 0 {
+                    break;
+                }
+                bits -= 1;
+                if r.read_bit()? {
+                    break;
+                }
+                n += 1;
+            }
+            x += 1u64 << n;
+            n += 1;
+        }
+        // Deposit plane k.
+        let mut xx = x;
+        let mut i = 0usize;
+        while xx != 0 {
+            if xx & 1 == 1 {
+                data[i] |= 1u64 << k;
+            }
+            xx >>= 1;
+            i += 1;
+        }
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u64], maxbits: u32, kmin: u32) -> Vec<u64> {
+        let mut w = BitWriter::new();
+        let used = encode_ints(&mut w, maxbits, kmin, data);
+        assert!(used as u64 <= maxbits as u64);
+        assert_eq!(used as u64, w.bit_len());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        decode_ints(&mut r, maxbits, kmin, data.len()).unwrap()
+    }
+
+    #[test]
+    fn lossless_with_full_budget() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![0x0F, 0x3, 0x100, 0, 0xFFFF, 1, 2, 3],
+            vec![0; 16],
+            vec![u64::MAX >> 1; 4],
+            (0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(7) >> 1).collect(),
+            vec![1u64 << 62],
+            vec![0, 0, 0, 1],
+        ];
+        for data in cases {
+            let out = roundtrip(&data, 1 << 20, 0);
+            assert_eq!(out, data);
+        }
+    }
+
+    #[test]
+    fn truncation_bounds_error_per_plane() {
+        // With kmin = K all planes below K are dropped; reconstruction
+        // must agree on every plane >= K.
+        let data: Vec<u64> = (0..16u64).map(|i| (i * 0x1234_5678) ^ (i << 40)).collect();
+        for kmin in [8u32, 16, 32, 48] {
+            let out = roundtrip(&data, 1 << 20, kmin);
+            for (a, b) in data.iter().zip(&out) {
+                assert_eq!(a >> kmin, b >> kmin, "kmin={kmin}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_respected_and_deterministic() {
+        let data: Vec<u64> = (0..64u64).map(|i| 1u64 << (i % 60)).collect();
+        for maxbits in [17u32, 64, 256, 512, 1024] {
+            let mut w = BitWriter::new();
+            let used = encode_ints(&mut w, maxbits, 0, &data);
+            assert!(used <= maxbits);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            // Decoding with the same budget must not error even when the
+            // stream was truncated by the budget.
+            decode_ints(&mut r, maxbits, 0, data.len()).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_block_costs_one_bit_per_plane() {
+        let data = vec![0u64; 16];
+        let mut w = BitWriter::new();
+        let used = encode_ints(&mut w, 4096, 0, &data);
+        assert_eq!(used, 64); // one group-test bit per plane
+    }
+
+    #[test]
+    fn higher_budget_never_increases_plane_error() {
+        let data: Vec<u64> = (0..16u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 4)
+            .collect();
+        let mut prev_err: Option<u64> = None;
+        for maxbits in [32u32, 64, 128, 256, 512, 1024, 2048] {
+            let out = roundtrip(&data, maxbits, 0);
+            let err: u64 = data
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| a.max(b) - a.min(b))
+                .max()
+                .unwrap();
+            if let Some(p) = prev_err {
+                assert!(err <= p, "error grew with budget {maxbits}: {err} > {p}");
+            }
+            prev_err = Some(err);
+        }
+    }
+}

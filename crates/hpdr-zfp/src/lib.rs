@@ -1,0 +1,20 @@
+//! # hpdr-zfp — ZFP-X
+//!
+//! Portable fixed-rate block-transform compressor on the HPDR
+//! abstractions (paper §IV-C, Algorithm 3). Every 4^d block is exponent
+//! aligned, converted to fixed point, decorrelated with the
+//! near-orthogonal lifting transform, reordered by sequency, converted to
+//! negabinary and serialized with the embedded group-tested bit-plane
+//! coder under a fixed per-block bit budget.
+//!
+//! Fix-accuracy mode is included as the extension the paper mentions;
+//! fix-rate is the evaluated mode. Streams are adapter-independent.
+
+pub mod codec;
+pub mod embedded;
+pub mod negabinary;
+pub mod transform;
+
+pub use codec::{compress, decompress, ZfpConfig, ZfpMode};
+pub mod reducer;
+pub use reducer::ZfpReducer;

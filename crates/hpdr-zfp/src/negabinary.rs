@@ -1,0 +1,69 @@
+//! Two's-complement ↔ negabinary conversion.
+//!
+//! ZFP serializes transform coefficients in negabinary so that truncating
+//! low bit planes rounds symmetrically around zero (no sign plane needed).
+
+const NBMASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// Signed two's-complement → negabinary.
+#[inline]
+pub fn int_to_negabinary(x: i64) -> u64 {
+    ((x as u64).wrapping_add(NBMASK)) ^ NBMASK
+}
+
+/// Negabinary → signed two's-complement.
+#[inline]
+pub fn negabinary_to_int(u: u64) -> i64 {
+    (u ^ NBMASK).wrapping_sub(NBMASK) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exhaustive_small() {
+        for x in -1000i64..=1000 {
+            assert_eq!(negabinary_to_int(int_to_negabinary(x)), x);
+        }
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        for x in [i64::MIN / 4, i64::MAX / 4, 0, 1, -1, 1 << 57, -(1 << 57)] {
+            assert_eq!(negabinary_to_int(int_to_negabinary(x)), x);
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_zero() {
+        assert_eq!(int_to_negabinary(0), 0);
+        assert_eq!(negabinary_to_int(0), 0);
+    }
+
+    #[test]
+    fn small_magnitudes_use_low_bits() {
+        // Negabinary of a small |x| has only low bits set, so truncating
+        // high planes is lossless for small values.
+        for x in -8i64..=8 {
+            let u = int_to_negabinary(x);
+            assert!(u < 64, "x={x} u={u:#x}");
+        }
+    }
+
+    #[test]
+    fn truncating_low_planes_bounds_error() {
+        // Dropping the k lowest negabinary bits perturbs the value by
+        // less than 2^(k+1) — the property fixed-rate truncation relies on.
+        for &x in &[12345i64, -98765, 1 << 30, -(1 << 29) + 7] {
+            for k in 0..16u32 {
+                let u = int_to_negabinary(x) & !((1u64 << k) - 1);
+                let y = negabinary_to_int(u);
+                assert!(
+                    (x - y).abs() < (1i64 << (k + 1)),
+                    "x={x} k={k} y={y}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! [`Reducer`] implementation for ZFP-X.
+
+use crate::codec::{compress, decompress, ZfpConfig};
+use hpdr_core::{
+    ArrayMeta, DType, DeviceAdapter, Float, HpdrError, KernelClass, Reducer, Result,
+};
+
+/// ZFP-X as a byte-level reduction pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ZfpReducer(pub ZfpConfig);
+
+fn peek_dtype(stream: &[u8]) -> Result<DType> {
+    let tag = *stream
+        .get(5)
+        .ok_or_else(|| HpdrError::corrupt("stream too short for header"))?;
+    DType::from_tag(tag).ok_or_else(|| HpdrError::corrupt("unknown dtype tag"))
+}
+
+impl Reducer for ZfpReducer {
+    fn name(&self) -> &'static str {
+        "zfp-x"
+    }
+
+    fn kernel_class(&self) -> KernelClass {
+        KernelClass::Zfp
+    }
+
+    fn is_lossless(&self) -> bool {
+        false
+    }
+
+    fn compress(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        bytes: &[u8],
+        meta: &ArrayMeta,
+    ) -> Result<Vec<u8>> {
+        if bytes.len() != meta.num_bytes() {
+            return Err(HpdrError::invalid("byte length does not match metadata"));
+        }
+        match meta.dtype {
+            DType::F32 => compress(adapter, &f32::bytes_to_vec(bytes), &meta.shape, &self.0),
+            DType::F64 => compress(adapter, &f64::bytes_to_vec(bytes), &meta.shape, &self.0),
+        }
+    }
+
+    fn decompress(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        stream: &[u8],
+    ) -> Result<(Vec<u8>, ArrayMeta)> {
+        match peek_dtype(stream)? {
+            DType::F32 => {
+                let (data, shape) = decompress::<f32>(adapter, stream)?;
+                Ok((f32::slice_to_bytes(&data), ArrayMeta::new(DType::F32, shape)))
+            }
+            DType::F64 => {
+                let (data, shape) = decompress::<f64>(adapter, stream)?;
+                Ok((f64::slice_to_bytes(&data), ArrayMeta::new(DType::F64, shape)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::{SerialAdapter, Shape};
+
+    #[test]
+    fn byte_level_roundtrip_fixed_rate() {
+        let adapter = SerialAdapter::new();
+        let shape = Shape::new(&[8, 8, 8]);
+        let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.02).cos()).collect();
+        let meta = ArrayMeta::new(DType::F64, shape.clone());
+        let r = ZfpReducer(ZfpConfig::fixed_rate(24));
+        let stream = r.compress(&adapter, &f64::slice_to_bytes(&data), &meta).unwrap();
+        // Fixed rate 24 of 64 bits: ~2.7× smaller payload.
+        assert!(stream.len() < data.len() * 8 / 2);
+        let (bytes, meta2) = r.decompress(&adapter, &stream).unwrap();
+        assert_eq!(meta2, meta);
+        assert_eq!(bytes.len(), 512 * 8);
+    }
+}

@@ -1,0 +1,251 @@
+//! ZFP's near-orthogonal integer lifting transform over 4^d blocks
+//! (paper §IV-C "customized near-orthogonal transformation").
+//!
+//! The forward lift averages/differences pairs with arithmetic shifts;
+//! the inverse reconstructs up to one fixed-point ulp per lift (the
+//! transform is *near*-orthogonal, not bit-reversible). Fixed-point
+//! headroom below the float mantissa absorbs the roundoff.
+
+/// Forward lift of one 4-vector at stride `s` starting at `p[0]`.
+///
+/// Arithmetic is wrapping: well-formed inputs never overflow (fixed-point
+/// headroom), and corrupt-stream decoding must degrade to garbage values
+/// rather than panic.
+#[inline]
+pub fn fwd_lift(p: &mut [i64], base: usize, s: usize) {
+    let (mut x, mut y, mut z, mut w) = (p[base], p[base + s], p[base + 2 * s], p[base + 3 * s]);
+    // Pairwise average/difference ladder (zfp decorrelating transform).
+    x = x.wrapping_add(w);
+    x >>= 1;
+    w = w.wrapping_sub(x);
+    z = z.wrapping_add(y);
+    z >>= 1;
+    y = y.wrapping_sub(z);
+    x = x.wrapping_add(z);
+    x >>= 1;
+    z = z.wrapping_sub(x);
+    w = w.wrapping_add(y);
+    w >>= 1;
+    y = y.wrapping_sub(w);
+    w = w.wrapping_add(y >> 1);
+    y = y.wrapping_sub(w >> 1);
+    p[base] = x;
+    p[base + s] = y;
+    p[base + 2 * s] = z;
+    p[base + 3 * s] = w;
+}
+
+/// Inverse lift of one 4-vector at stride `s`.
+#[inline]
+pub fn inv_lift(p: &mut [i64], base: usize, s: usize) {
+    let (mut x, mut y, mut z, mut w) = (p[base], p[base + s], p[base + 2 * s], p[base + 3 * s]);
+    y = y.wrapping_add(w >> 1);
+    w = w.wrapping_sub(y >> 1);
+    y = y.wrapping_add(w);
+    w = w.wrapping_shl(1);
+    w = w.wrapping_sub(y);
+    z = z.wrapping_add(x);
+    x = x.wrapping_shl(1);
+    x = x.wrapping_sub(z);
+    y = y.wrapping_add(z);
+    z = z.wrapping_shl(1);
+    z = z.wrapping_sub(y);
+    w = w.wrapping_add(x);
+    x = x.wrapping_shl(1);
+    x = x.wrapping_sub(w);
+    p[base] = x;
+    p[base + s] = y;
+    p[base + 2 * s] = z;
+    p[base + 3 * s] = w;
+}
+
+/// Forward transform of a 4^d block (row-major, d = 1..=3).
+pub fn fwd_transform(block: &mut [i64], d: usize) {
+    match d {
+        1 => fwd_lift(block, 0, 1),
+        2 => {
+            // Rows (fast axis), then columns.
+            for r in 0..4 {
+                fwd_lift(block, 4 * r, 1);
+            }
+            for c in 0..4 {
+                fwd_lift(block, c, 4);
+            }
+        }
+        3 => {
+            for z in 0..4 {
+                for y in 0..4 {
+                    fwd_lift(block, 16 * z + 4 * y, 1);
+                }
+            }
+            for z in 0..4 {
+                for x in 0..4 {
+                    fwd_lift(block, 16 * z + x, 4);
+                }
+            }
+            for y in 0..4 {
+                for x in 0..4 {
+                    fwd_lift(block, 4 * y + x, 16);
+                }
+            }
+        }
+        _ => panic!("ZFP blocks are 1–3 dimensional"),
+    }
+}
+
+/// Inverse transform of a 4^d block (reverse axis order).
+pub fn inv_transform(block: &mut [i64], d: usize) {
+    match d {
+        1 => inv_lift(block, 0, 1),
+        2 => {
+            for c in 0..4 {
+                inv_lift(block, c, 4);
+            }
+            for r in 0..4 {
+                inv_lift(block, 4 * r, 1);
+            }
+        }
+        3 => {
+            for y in 0..4 {
+                for x in 0..4 {
+                    inv_lift(block, 4 * y + x, 16);
+                }
+            }
+            for z in 0..4 {
+                for x in 0..4 {
+                    inv_lift(block, 16 * z + x, 4);
+                }
+            }
+            for z in 0..4 {
+                for y in 0..4 {
+                    inv_lift(block, 16 * z + 4 * y, 1);
+                }
+            }
+        }
+        _ => panic!("ZFP blocks are 1–3 dimensional"),
+    }
+}
+
+/// Coefficient permutation ordering a 4^d block by total sequency
+/// (low-frequency coefficients first), ties broken by index — the
+/// serialization order used before bit-plane truncation.
+pub fn sequency_order(d: usize) -> Vec<usize> {
+    let n = 4usize.pow(d as u32);
+    let mut idx: Vec<usize> = (0..n).collect();
+    let degree = |i: usize| -> usize {
+        let mut rem = i;
+        let mut sum = 0;
+        for _ in 0..d {
+            sum += rem % 4;
+            rem /= 4;
+        }
+        sum
+    };
+    idx.sort_by_key(|&i| (degree(i), i));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_error(vals: [i64; 4]) -> i64 {
+        let mut p = vals.to_vec();
+        fwd_lift(&mut p, 0, 1);
+        inv_lift(&mut p, 0, 1);
+        vals.iter()
+            .zip(&p)
+            .map(|(a, b)| (a - b).abs())
+            .max()
+            .unwrap()
+    }
+
+    #[test]
+    fn lift_roundtrip_within_one_ulp_ladder() {
+        // The pair ladder loses at most a couple of fixed-point units.
+        for vals in [
+            [0i64, 0, 0, 0],
+            [100, 200, 300, 400],
+            [-5, 7, -11, 13],
+            [1 << 40, -(1 << 39), 12345, -6789],
+            [i64::MAX >> 8, i64::MIN >> 8, 0, 1],
+        ] {
+            assert!(roundtrip_error(vals) <= 4, "vals {vals:?}");
+        }
+    }
+
+    #[test]
+    fn lift_exact_on_smooth_ramp() {
+        let mut p = vec![0i64, 8, 16, 24];
+        let orig = p.clone();
+        fwd_lift(&mut p, 0, 1);
+        inv_lift(&mut p, 0, 1);
+        let err: i64 = orig.iter().zip(&p).map(|(a, b)| (a - b).abs()).max().unwrap();
+        assert!(err <= 2);
+    }
+
+    #[test]
+    fn fwd_concentrates_energy_on_smooth_data() {
+        // A linear ramp should decorrelate to (mean, slope-ish, ~0, ~0).
+        let mut p: Vec<i64> = vec![1000, 2000, 3000, 4000];
+        fwd_lift(&mut p, 0, 1);
+        assert!(p[0].abs() > p[2].abs());
+        assert!(p[0].abs() > p[3].abs());
+        // The quadratic/cubic coefficients vanish on linear input.
+        assert!(p[2].abs() <= 2 && p[3].abs() <= 2, "{p:?}");
+    }
+
+    #[test]
+    fn transform_roundtrip_3d_bounded_error() {
+        let mut block: Vec<i64> = (0..64)
+            .map(|i| ((i as i64 * 977) % 4001 - 2000) << 20)
+            .collect();
+        let orig = block.clone();
+        fwd_transform(&mut block, 3);
+        inv_transform(&mut block, 3);
+        let max_err = orig
+            .iter()
+            .zip(&block)
+            .map(|(a, b)| (a - b).abs())
+            .max()
+            .unwrap();
+        // Error stays within a few fixed-point units per lift pass.
+        assert!(max_err <= 32, "max_err={max_err}");
+    }
+
+    #[test]
+    fn transform_roundtrip_2d_and_1d() {
+        for d in [1usize, 2] {
+            let n = 4usize.pow(d as u32);
+            let mut block: Vec<i64> = (0..n).map(|i| ((i as i64 * 31) % 97 - 48) << 24).collect();
+            let orig = block.clone();
+            fwd_transform(&mut block, d);
+            inv_transform(&mut block, d);
+            let max_err = orig
+                .iter()
+                .zip(&block)
+                .map(|(a, b)| (a - b).abs())
+                .max()
+                .unwrap();
+            assert!(max_err <= 16, "d={d} max_err={max_err}");
+        }
+    }
+
+    #[test]
+    fn sequency_order_is_a_permutation() {
+        for d in 1..=3usize {
+            let n = 4usize.pow(d as u32);
+            let perm = sequency_order(d);
+            let mut seen = vec![false; n];
+            for &p in &perm {
+                assert!(!seen[p]);
+                seen[p] = true;
+            }
+            assert!(seen.into_iter().all(|b| b));
+            // DC coefficient first.
+            assert_eq!(perm[0], 0);
+            // Last coefficient is the all-high corner.
+            assert_eq!(perm[n - 1], n - 1);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! The `hpdr` command-line tool: compress, decompress and inspect
+//! scientific arrays from the shell. See `hpdr help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = hpdr::cli::parse(&args).and_then(hpdr::cli::run);
+    match result {
+        Ok(lines) => {
+            for l in lines {
+                println!("{l}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", hpdr::cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Command-line interface logic for the `hpdr` binary.
+//!
+//! ```text
+//! hpdr compress   --codec mgard --rel-eb 1e-3 --shape 512x512x512 \
+//!                 --dtype f32 --input nyx.bin --output nyx.hpdr
+//! hpdr decompress --input nyx.hpdr --output restored.bin
+//! hpdr info       --input nyx.hpdr
+//! ```
+//!
+//! Parsing and execution live here (unit-testable); the binary is a thin
+//! wrapper.
+
+use crate::{detect_codec, Codec, CompressionStats};
+use hpdr_baselines::SzConfig;
+use hpdr_core::{
+    ArrayMeta, CpuParallelAdapter, DType, HpdrError, Result, Shape,
+};
+use hpdr_mgard::MgardConfig;
+use hpdr_zfp::ZfpConfig;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Compress {
+        codec: Codec,
+        shape: Shape,
+        dtype: DType,
+        input: String,
+        output: String,
+    },
+    Decompress {
+        input: String,
+        output: String,
+    },
+    Info {
+        input: String,
+    },
+    Help,
+}
+
+pub const USAGE: &str = "\
+hpdr — high-performance portable scientific data reduction
+
+USAGE:
+  hpdr compress   --codec <mgard|zfp|huffman|sz|lz4> --shape <AxBxC>
+                  --dtype <f32|f64> --input <raw.bin> --output <out.hpdr>
+                  [--rel-eb <e>] [--abs-eb <e>] [--rate <bits>]
+  hpdr decompress --input <in.hpdr> --output <raw.bin>
+  hpdr info       --input <in.hpdr>
+
+Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
+--rate applies to zfp (fixed-rate bits per value).";
+
+/// Parse `AxBxC` into a shape.
+pub fn parse_shape(s: &str) -> Result<Shape> {
+    let dims: Vec<usize> = s
+        .split(['x', 'X'])
+        .map(|p| {
+            p.parse::<usize>()
+                .map_err(|_| HpdrError::invalid(format!("bad shape component '{p}'")))
+        })
+        .collect::<Result<_>>()?;
+    Shape::try_new(&dims)
+}
+
+fn parse_dtype(s: &str) -> Result<DType> {
+    match s {
+        "f32" => Ok(DType::F32),
+        "f64" => Ok(DType::F64),
+        other => Err(HpdrError::invalid(format!("unknown dtype '{other}'"))),
+    }
+}
+
+fn get_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn require_flag<'a>(args: &'a [String], flag: &str) -> Result<&'a str> {
+    get_flag(args, flag).ok_or_else(|| HpdrError::invalid(format!("missing {flag} <value>")))
+}
+
+fn parse_codec(args: &[String]) -> Result<Codec> {
+    let name = require_flag(args, "--codec")?;
+    let rel = get_flag(args, "--rel-eb")
+        .map(|v| v.parse::<f64>().map_err(|_| HpdrError::invalid("bad --rel-eb")))
+        .transpose()?;
+    let abs = get_flag(args, "--abs-eb")
+        .map(|v| v.parse::<f64>().map_err(|_| HpdrError::invalid("bad --abs-eb")))
+        .transpose()?;
+    let rate = get_flag(args, "--rate")
+        .map(|v| v.parse::<u32>().map_err(|_| HpdrError::invalid("bad --rate")))
+        .transpose()?;
+    match name {
+        "mgard" => Ok(Codec::Mgard(match (rel, abs) {
+            (_, Some(a)) => MgardConfig::absolute(a),
+            (Some(r), None) => MgardConfig::relative(r),
+            (None, None) => MgardConfig::relative(1e-3),
+        })),
+        "zfp" => Ok(Codec::Zfp(ZfpConfig::fixed_rate(rate.unwrap_or(16)))),
+        "huffman" => Ok(Codec::Huffman),
+        "sz" => Ok(Codec::Sz(SzConfig::relative(rel.unwrap_or(1e-3)))),
+        "lz4" => Ok(Codec::Lz4),
+        other => Err(HpdrError::invalid(format!("unknown codec '{other}'"))),
+    }
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command> {
+    match args.first().map(String::as_str) {
+        Some("compress") => Ok(Command::Compress {
+            codec: parse_codec(args)?,
+            shape: parse_shape(require_flag(args, "--shape")?)?,
+            dtype: parse_dtype(require_flag(args, "--dtype")?)?,
+            input: require_flag(args, "--input")?.to_string(),
+            output: require_flag(args, "--output")?.to_string(),
+        }),
+        Some("decompress") => Ok(Command::Decompress {
+            input: require_flag(args, "--input")?.to_string(),
+            output: require_flag(args, "--output")?.to_string(),
+        }),
+        Some("info") => Ok(Command::Info {
+            input: require_flag(args, "--input")?.to_string(),
+        }),
+        Some("help" | "--help" | "-h") | None => Ok(Command::Help),
+        Some(other) => Err(HpdrError::invalid(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Execute a parsed command; returns the lines to print.
+pub fn run(cmd: Command) -> Result<Vec<String>> {
+    let adapter = CpuParallelAdapter::with_defaults();
+    match cmd {
+        Command::Help => Ok(vec![USAGE.to_string()]),
+        Command::Compress {
+            codec,
+            shape,
+            dtype,
+            input,
+            output,
+        } => {
+            let bytes = std::fs::read(&input)?;
+            let meta = ArrayMeta::new(dtype, shape);
+            if bytes.len() != meta.num_bytes() {
+                return Err(HpdrError::invalid(format!(
+                    "{input}: {} bytes, but shape {} as {} needs {}",
+                    bytes.len(),
+                    meta.shape,
+                    meta.dtype.name(),
+                    meta.num_bytes()
+                )));
+            }
+            let (stream, stats): (Vec<u8>, CompressionStats) =
+                crate::compress(&adapter, &bytes, &meta, codec)?;
+            std::fs::write(&output, &stream)?;
+            Ok(vec![format!(
+                "{} -> {}: {} -> {} bytes ({:.2}x) with {}",
+                input, output, stats.original_bytes, stats.compressed_bytes, stats.ratio,
+                stats.codec
+            )])
+        }
+        Command::Decompress { input, output } => {
+            let stream = std::fs::read(&input)?;
+            let (bytes, meta) = crate::decompress(&adapter, &stream)?;
+            std::fs::write(&output, &bytes)?;
+            Ok(vec![format!(
+                "{} -> {}: {} {} values restored ({} bytes)",
+                input,
+                output,
+                meta.shape,
+                meta.dtype.name(),
+                bytes.len()
+            )])
+        }
+        Command::Info { input } => {
+            let stream = std::fs::read(&input)?;
+            let codec = detect_codec(&stream)
+                .ok_or_else(|| HpdrError::corrupt("unrecognized stream magic"))?;
+            let (bytes, meta) = crate::decompress(&adapter, &stream)?;
+            Ok(vec![
+                format!("codec:  {codec}"),
+                format!("dtype:  {}", meta.dtype.name()),
+                format!("shape:  {}", meta.shape),
+                format!("raw:    {} bytes", bytes.len()),
+                format!("stored: {} bytes ({:.2}x)", stream.len(),
+                        bytes.len() as f64 / stream.len().max(1) as f64),
+            ])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_shape_variants() {
+        assert_eq!(parse_shape("4x5x6").unwrap().dims(), &[4, 5, 6]);
+        assert_eq!(parse_shape("128").unwrap().dims(), &[128]);
+        assert!(parse_shape("4xx5").is_err());
+        assert!(parse_shape("4x0").is_err());
+        assert!(parse_shape("a").is_err());
+    }
+
+    #[test]
+    fn parse_full_compress_command() {
+        let cmd = parse(&argv(
+            "compress --codec mgard --rel-eb 1e-2 --shape 8x8 --dtype f32 \
+             --input a.bin --output a.hpdr",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Compress { codec, shape, dtype, input, output } => {
+                assert_eq!(codec.name(), "mgard-x");
+                assert_eq!(shape.dims(), &[8, 8]);
+                assert_eq!(dtype, DType::F32);
+                assert_eq!(input, "a.bin");
+                assert_eq!(output, "a.hpdr");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_flags_are_errors() {
+        assert!(parse(&argv("compress --codec mgard")).is_err());
+        assert!(parse(&argv("decompress --input x")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(matches!(parse(&argv("help")).unwrap(), Command::Help));
+        assert!(matches!(parse(&[]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn codec_parameter_parsing() {
+        let c = parse_codec(&argv("compress --codec zfp --rate 8")).unwrap();
+        assert_eq!(c.name(), "zfp-x");
+        let c = parse_codec(&argv("compress --codec sz --rel-eb 1e-4")).unwrap();
+        assert_eq!(c.name(), "cusz-like");
+        assert!(parse_codec(&argv("compress --codec gzip")).is_err());
+        assert!(parse_codec(&argv("compress --codec zfp --rate nope")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hpdr-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("raw.bin");
+        let comp = dir.join("out.hpdr");
+        let back = dir.join("back.bin");
+        // 16x16 f32 ramp.
+        let data: Vec<u8> = (0..256u32)
+            .flat_map(|i| (i as f32 * 0.5).to_le_bytes())
+            .collect();
+        std::fs::write(&raw, &data).unwrap();
+
+        let msg = run(parse(&argv(&format!(
+            "compress --codec lz4 --shape 16x16 --dtype f32 --input {} --output {}",
+            raw.display(),
+            comp.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(msg[0].contains("lz4"));
+
+        run(parse(&argv(&format!(
+            "decompress --input {} --output {}",
+            comp.display(),
+            back.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert_eq!(std::fs::read(&back).unwrap(), data);
+
+        let info = run(parse(&argv(&format!("info --input {}", comp.display()))).unwrap()).unwrap();
+        assert!(info.iter().any(|l| l.contains("16x16")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_size_input_rejected() {
+        let dir = std::env::temp_dir().join(format!("hpdr-cli-sz-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("short.bin");
+        std::fs::write(&raw, [0u8; 10]).unwrap();
+        let r = run(parse(&argv(&format!(
+            "compress --codec lz4 --shape 16x16 --dtype f32 --input {} --output {}",
+            raw.display(),
+            dir.join("x.hpdr").display()
+        )))
+        .unwrap());
+        assert!(r.is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

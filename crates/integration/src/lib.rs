@@ -1,0 +1,1 @@
+// Shim crate: integration tests live in /tests at the workspace root.

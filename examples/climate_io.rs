@@ -1,0 +1,102 @@
+//! Climate-analysis I/O scenario: an E3SM-like pressure variable is
+//! reduced with MGARD-X through the adaptive HDEM pipeline on a simulated
+//! A100, written to a BP5-like dataset, then read back and reconstructed
+//! — the paper's ADIOS2 integration at example scale.
+//!
+//! ```text
+//! cargo run --release -p examples-bin --bin climate_io
+//! ```
+
+use hpdr::{Codec, CpuParallelAdapter, MgardConfig, PipelineOptions};
+use hpdr_core::{ArrayMeta, DType, DeviceAdapter, Float};
+use hpdr_io::{BpReader, BpWriter};
+use hpdr_pipeline::{compress_pipelined, Container, PipelineMode};
+use std::sync::Arc;
+
+fn main() {
+    let out_dir = std::env::temp_dir().join("hpdr-climate-example.bp");
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    // Three "simulation steps" of an E3SM-like PSL field.
+    let work: Arc<dyn DeviceAdapter> = Arc::new(CpuParallelAdapter::with_defaults());
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-3)).reducer();
+    let spec = hpdr::sim::spec::a100();
+    let opts = PipelineOptions {
+        mode: PipelineMode::Adaptive {
+            init_bytes: 64 * 1024,
+            limit_bytes: 8 << 20,
+        },
+        ..Default::default()
+    };
+
+    let mut writer = BpWriter::create(&out_dir, 2).expect("create dataset");
+    let mut originals = Vec::new();
+    for step in 0..3u64 {
+        let field = hpdr::data::e3sm_psl(16, 48, 96, 100 + step);
+        let meta = ArrayMeta::new(DType::F32, field.shape.clone());
+        let (container, report) = compress_pipelined(
+            &spec,
+            Arc::clone(&work),
+            Arc::clone(&reducer),
+            Arc::new(field.bytes.clone()),
+            &meta,
+            &opts,
+        )
+        .expect("pipeline");
+        println!(
+            "step {step}: {:>6.1} MB -> {:>6.2} MB in {} virtual ({:.1} GB/s end-to-end, \
+             overlap {:.0}%, {} chunks)",
+            report.input_bytes as f64 / 1e6,
+            report.compressed_bytes as f64 / 1e6,
+            report.makespan,
+            report.end_to_end_gbps,
+            report.overlap.unwrap_or(0.0) * 100.0,
+            report.num_chunks,
+        );
+        writer.begin_step();
+        writer
+            .put("PSL", &meta, &container.to_bytes(), "hpdr-container")
+            .expect("put");
+        writer.end_step().expect("end step");
+        originals.push(field);
+    }
+    writer.close().expect("close");
+
+    // Read back and verify the error bound against each original.
+    let reader = BpReader::open(&out_dir).expect("open dataset");
+    println!("\nreading {} steps back:", reader.num_steps());
+    for (step, field) in originals.iter().enumerate() {
+        let block = &reader.blocks(step, "PSL").expect("blocks")[0];
+        let payload = reader.read_block(block).expect("read");
+        let container = Container::from_bytes(&payload).expect("container");
+        let dec_reducer = hpdr::reducer_by_name(&container.reducer).expect("codec");
+        let (bytes, _, _) = hpdr_pipeline::decompress_pipelined(
+            &spec,
+            Arc::clone(&work),
+            dec_reducer,
+            &container,
+            &opts,
+        )
+        .expect("reconstruct");
+        let orig = field.as_f32();
+        let out = f32::bytes_to_vec(&bytes);
+        let range = {
+            let mx = orig.iter().cloned().fold(f32::MIN, f32::max);
+            let mn = orig.iter().cloned().fold(f32::MAX, f32::min);
+            mx - mn
+        };
+        let err = orig
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        println!(
+            "step {step}: max error {:.3} Pa of {:.0} Pa range (bound {:.3})",
+            err,
+            range,
+            1e-3 * range
+        );
+        assert!(err <= 1e-3 * range * 1.001, "error bound violated");
+    }
+    println!("\ndataset at {}", out_dir.display());
+}

@@ -1,0 +1,159 @@
+//! Error-bound guarantees of the lossy pipelines across the Table III
+//! dataset analogues, error bounds and dtypes.
+
+use hpdr::{Codec, MgardConfig, SzConfig, ZfpConfig};
+use hpdr_core::{ArrayMeta, CpuParallelAdapter, DType, Float, Shape};
+use hpdr_data::{e3sm_psl, nyx_density, xgc_ef};
+
+fn max_err_f32(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+fn range_f32(a: &[f32]) -> f64 {
+    let mx = a.iter().cloned().fold(f32::MIN, f32::max);
+    let mn = a.iter().cloned().fold(f32::MAX, f32::min);
+    (mx - mn) as f64
+}
+
+#[test]
+fn mgard_bound_on_all_table_iii_datasets() {
+    let adapter = CpuParallelAdapter::new(4);
+    let datasets = [
+        nyx_density(24, 1),
+        e3sm_psl(12, 20, 24, 2),
+    ];
+    for d in datasets {
+        let vals = d.as_f32();
+        let range = range_f32(&vals);
+        for rel in [1e-1f64, 1e-2, 1e-3] {
+            let (stream, _) = hpdr::compress_slice(
+                &adapter,
+                &vals,
+                &d.shape,
+                Codec::Mgard(MgardConfig::relative(rel)),
+            )
+            .unwrap();
+            let (out, _) = hpdr::decompress_slice::<f32>(&adapter, &stream).unwrap();
+            let err = max_err_f32(&vals, &out);
+            assert!(
+                err <= rel * range * 1.001,
+                "{} rel={rel}: err {err} > {}",
+                d.name,
+                rel * range
+            );
+        }
+    }
+}
+
+#[test]
+fn mgard_bound_on_4d_xgc_f64() {
+    let adapter = CpuParallelAdapter::new(4);
+    let d = xgc_ef(40, 3);
+    let vals = d.as_f64();
+    let range = {
+        let mx = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let mn = vals.iter().cloned().fold(f64::MAX, f64::min);
+        mx - mn
+    };
+    let rel = 1e-4;
+    let (stream, _) = hpdr::compress_slice(
+        &adapter,
+        &vals,
+        &d.shape,
+        Codec::Mgard(MgardConfig::relative(rel)),
+    )
+    .unwrap();
+    let (out, _) = hpdr::decompress_slice::<f64>(&adapter, &stream).unwrap();
+    let err = vals
+        .iter()
+        .zip(&out)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max);
+    assert!(err <= rel * range * 1.001, "err {err} > {}", rel * range);
+}
+
+#[test]
+fn sz_bound_matches_spec() {
+    let adapter = CpuParallelAdapter::new(4);
+    let d = nyx_density(24, 9);
+    let vals = d.as_f32();
+    let range = range_f32(&vals);
+    for rel in [1e-2f64, 1e-4] {
+        let (stream, _) =
+            hpdr::compress_slice(&adapter, &vals, &d.shape, Codec::Sz(SzConfig::relative(rel)))
+                .unwrap();
+        let (out, _) = hpdr::decompress_slice::<f32>(&adapter, &stream).unwrap();
+        let err = max_err_f32(&vals, &out);
+        assert!(err <= rel * range * 1.001, "rel={rel}: err {err}");
+    }
+}
+
+#[test]
+fn zfp_fixed_accuracy_extension_bound() {
+    let adapter = CpuParallelAdapter::new(4);
+    let d = e3sm_psl(8, 16, 20, 4);
+    let vals = d.as_f32();
+    for tol in [100.0f64, 1.0, 0.01] {
+        let (stream, _) = hpdr::compress_slice(
+            &adapter,
+            &vals,
+            &d.shape,
+            Codec::Zfp(ZfpConfig::fixed_accuracy(tol)),
+        )
+        .unwrap();
+        let (out, _) = hpdr::decompress_slice::<f32>(&adapter, &stream).unwrap();
+        let err = max_err_f32(&vals, &out);
+        assert!(err <= tol, "tol={tol}: err {err}");
+    }
+}
+
+#[test]
+fn tighter_bounds_cost_more_bytes_everywhere() {
+    let adapter = CpuParallelAdapter::new(4);
+    let d = nyx_density(32, 7);
+    let vals = d.as_f32();
+    for mk in [
+        (|rel: f64| Codec::Mgard(MgardConfig::relative(rel))) as fn(f64) -> Codec,
+        (|rel: f64| Codec::Sz(SzConfig::relative(rel))) as fn(f64) -> Codec,
+    ] {
+        let mut last = 0usize;
+        for rel in [1e-1f64, 1e-3, 1e-5] {
+            let (stream, _) = hpdr::compress_slice(&adapter, &vals, &d.shape, mk(rel)).unwrap();
+            assert!(
+                stream.len() >= last,
+                "{}: stream shrank when tightening to {rel}",
+                mk(rel).name()
+            );
+            last = stream.len();
+        }
+    }
+}
+
+#[test]
+fn lossless_codecs_are_bit_exact_on_all_dtypes() {
+    let adapter = CpuParallelAdapter::new(4);
+    // f32 and f64 payloads through Huffman and LZ4.
+    let f32_data: Vec<f32> = (0..4000).map(|i| ((i / 10) as f32).sqrt()).collect();
+    let f64_data: Vec<f64> = (0..2000).map(|i| (i as f64) * 0.125).collect();
+    let cases: Vec<(Vec<u8>, ArrayMeta)> = vec![
+        (
+            f32::slice_to_bytes(&f32_data),
+            ArrayMeta::new(DType::F32, Shape::new(&[4000])),
+        ),
+        (
+            f64::slice_to_bytes(&f64_data),
+            ArrayMeta::new(DType::F64, Shape::new(&[2000])),
+        ),
+    ];
+    for (bytes, meta) in cases {
+        for codec in [Codec::Huffman, Codec::Lz4] {
+            let (stream, _) = hpdr::compress(&adapter, &bytes, &meta, codec).unwrap();
+            let (out, meta2) = hpdr::decompress(&adapter, &stream).unwrap();
+            assert_eq!(out, bytes, "{}", codec.name());
+            assert_eq!(meta2, meta);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Failure injection: corrupted, truncated and mismatched inputs must
+//! produce `Err`, never panics or wrong silent output.
+
+use hpdr::{Codec, MgardConfig, SzConfig, ZfpConfig};
+use hpdr_core::{ArrayMeta, CpuParallelAdapter, DType, SerialAdapter};
+use hpdr_data::nyx_density;
+use hpdr_pipeline::Container;
+
+fn codecs() -> Vec<Codec> {
+    vec![
+        Codec::Mgard(MgardConfig::relative(1e-2)),
+        Codec::Zfp(ZfpConfig::fixed_rate(16)),
+        Codec::Huffman,
+        Codec::Sz(SzConfig::relative(1e-2)),
+        Codec::Lz4,
+    ]
+}
+
+#[test]
+fn truncations_at_every_eighth_are_errors() {
+    let adapter = SerialAdapter::new();
+    let d = nyx_density(12, 2);
+    let meta = ArrayMeta::new(DType::F32, d.shape.clone());
+    for codec in codecs() {
+        let (stream, _) = hpdr::compress(&adapter, &d.bytes, &meta, codec).unwrap();
+        for i in 0..8 {
+            let cut = stream.len() * i / 8;
+            let r = hpdr::decompress(&adapter, &stream[..cut]);
+            assert!(r.is_err(), "{} survived truncation to {cut}", codec.name());
+        }
+    }
+}
+
+#[test]
+fn single_byte_flips_never_panic() {
+    let adapter = SerialAdapter::new();
+    let d = nyx_density(8, 4);
+    let meta = ArrayMeta::new(DType::F32, d.shape.clone());
+    for codec in codecs() {
+        let (stream, _) = hpdr::compress(&adapter, &d.bytes, &meta, codec).unwrap();
+        // Flip a byte at a sweep of positions; decoding may fail (Err) or
+        // produce garbage data, but must not panic.
+        let step = (stream.len() / 37).max(1);
+        for pos in (0..stream.len()).step_by(step) {
+            let mut bad = stream.clone();
+            bad[pos] ^= 0x5A;
+            let _ = hpdr::decompress(&adapter, &bad);
+        }
+    }
+}
+
+#[test]
+fn header_field_corruptions_detected() {
+    let adapter = SerialAdapter::new();
+    let d = nyx_density(8, 4);
+    let meta = ArrayMeta::new(DType::F32, d.shape.clone());
+    let (stream, _) = hpdr::compress(
+        &adapter,
+        &d.bytes,
+        &meta,
+        Codec::Mgard(MgardConfig::relative(1e-2)),
+    )
+    .unwrap();
+    // Rank byte (offset 6): implausible ranks must be rejected.
+    let mut bad = stream.clone();
+    bad[6] = 250;
+    assert!(hpdr::decompress(&adapter, &bad).is_err());
+    // Dtype byte: becomes a dtype mismatch or unknown tag.
+    let mut bad = stream.clone();
+    bad[5] = 9;
+    assert!(hpdr::decompress(&adapter, &bad).is_err());
+}
+
+#[test]
+fn container_row_or_stream_corruption_rejected() {
+    let adapter = CpuParallelAdapter::new(2);
+    let d = nyx_density(16, 6);
+    let meta = ArrayMeta::new(DType::F32, d.shape.clone());
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    let (c, _) = hpdr_pipeline::compress_pipelined(
+        &hpdr_sim::spec::v100(),
+        std::sync::Arc::new(CpuParallelAdapter::new(2)),
+        reducer.clone(),
+        std::sync::Arc::new(d.bytes.clone()),
+        &meta,
+        &hpdr_pipeline::PipelineOptions::fixed(16 * 1024),
+    )
+    .unwrap();
+    let bytes = c.to_bytes();
+    // Truncated container.
+    for cut in [0, 8, bytes.len() / 3, bytes.len() - 1] {
+        assert!(Container::from_bytes(&bytes[..cut]).is_err());
+    }
+    // Rows that do not cover the leading dimension.
+    let mut broken = c.clone();
+    broken.chunks[0].0 += 1;
+    assert!(Container::from_bytes(&broken.to_bytes()).is_err());
+    // A corrupted chunk stream fails on decompression.
+    let mut broken = c.clone();
+    let s = &mut broken.chunks[0].1;
+    let mid = s.len() / 2;
+    s.truncate(mid);
+    let r = hpdr_pipeline::decompress_pipelined(
+        &hpdr_sim::spec::v100(),
+        std::sync::Arc::new(CpuParallelAdapter::new(2)),
+        reducer,
+        &broken,
+        &hpdr_pipeline::PipelineOptions::default(),
+    );
+    assert!(r.is_err());
+    let _ = adapter;
+}
+
+#[test]
+fn empty_and_garbage_inputs() {
+    let adapter = SerialAdapter::new();
+    assert!(hpdr::decompress(&adapter, &[]).is_err());
+    assert!(hpdr::decompress(&adapter, b"not a stream at all").is_err());
+    assert!(Container::from_bytes(b"junk").is_err());
+}
+
+#[test]
+fn compressing_with_wrong_metadata_is_rejected() {
+    let adapter = SerialAdapter::new();
+    let d = nyx_density(8, 1);
+    // Claim a shape that doesn't match the byte count.
+    let wrong = ArrayMeta::new(DType::F32, hpdr_core::Shape::new(&[3, 3]));
+    for codec in codecs() {
+        assert!(
+            hpdr::compress(&adapter, &d.bytes, &wrong, codec).is_err(),
+            "{}",
+            codec.name()
+        );
+    }
+}

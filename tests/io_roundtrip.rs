@@ -1,0 +1,142 @@
+//! End-to-end I/O: reduced data written through the BP5-like format and
+//! read back (the paper's ADIOS2 integration, at test scale with real
+//! files), plus the cluster-profile measurement path.
+
+use hpdr::{Codec, MgardConfig, ZfpConfig};
+use hpdr_core::{ArrayMeta, CpuParallelAdapter, DType, DeviceAdapter, Float};
+use hpdr_data::{e3sm_psl, nyx_density};
+use hpdr_io::{measure_codec_profile, summit, BpReader, BpWriter};
+use hpdr_pipeline::PipelineOptions;
+use std::sync::Arc;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hpdr-io-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn reduced_blocks_roundtrip_through_bp_files() {
+    let adapter = CpuParallelAdapter::new(4);
+    let dir = tmpdir("reduced");
+    let nyx = nyx_density(16, 3);
+    let psl = e3sm_psl(6, 12, 16, 4);
+    let nyx_meta = ArrayMeta::new(DType::F32, nyx.shape.clone());
+    let psl_meta = ArrayMeta::new(DType::F32, psl.shape.clone());
+
+    // Write: 3 "ranks" of NYX (MGARD) + 1 PSL block (ZFP) per step.
+    let mut w = BpWriter::create(&dir, 2).unwrap();
+    let mut originals = Vec::new();
+    for step in 0..2u64 {
+        w.begin_step();
+        for rank in 0..3u64 {
+            let seed = step * 10 + rank;
+            let d = nyx_density(16, seed);
+            let (stream, _) = hpdr::compress(
+                &adapter,
+                &d.bytes,
+                &nyx_meta,
+                Codec::Mgard(MgardConfig::relative(1e-3)),
+            )
+            .unwrap();
+            w.put("density", &nyx_meta, &stream, "mgard-x").unwrap();
+            originals.push(d.bytes.clone());
+        }
+        let (stream, _) = hpdr::compress(
+            &adapter,
+            &psl.bytes,
+            &psl_meta,
+            Codec::Zfp(ZfpConfig::fixed_rate(16)),
+        )
+        .unwrap();
+        w.put("psl", &psl_meta, &stream, "zfp-x").unwrap();
+        w.end_step().unwrap();
+    }
+    w.close().unwrap();
+
+    // Read back and reconstruct through the name registry.
+    let r = BpReader::open(&dir).unwrap();
+    assert_eq!(r.num_steps(), 2);
+    let mut idx = 0;
+    for step in 0..2 {
+        for block in r.blocks(step, "density").unwrap() {
+            let payload = r.read_block(block).unwrap();
+            let reducer = hpdr::reducer_by_name(&block.codec).unwrap();
+            let (bytes, meta) = reducer.decompress(&adapter, &payload).unwrap();
+            assert_eq!(meta, block.meta);
+            // Error-bounded reconstruction of the right original.
+            let orig = f32::bytes_to_vec(&originals[idx]);
+            let out = f32::bytes_to_vec(&bytes);
+            let err = orig
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(err < 0.1, "step {step} block {idx}: err {err}");
+            idx += 1;
+        }
+        let psl_blocks = r.blocks(step, "psl").unwrap();
+        assert_eq!(psl_blocks.len(), 1);
+        let payload = r.read_block(&psl_blocks[0]).unwrap();
+        let reducer = hpdr::reducer_by_name("zfp-x").unwrap();
+        let (bytes, _) = reducer.decompress(&adapter, &payload).unwrap();
+        assert_eq!(bytes.len(), psl.bytes.len());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mixed_raw_and_reduced_blocks() {
+    let adapter = CpuParallelAdapter::new(2);
+    let dir = tmpdir("mixed");
+    let d = nyx_density(8, 1);
+    let meta = ArrayMeta::new(DType::F32, d.shape.clone());
+    let mut w = BpWriter::create(&dir, 1).unwrap();
+    w.begin_step();
+    w.put("v", &meta, &d.bytes, "raw").unwrap();
+    let (stream, _) = hpdr::compress(&adapter, &d.bytes, &meta, Codec::Lz4).unwrap();
+    w.put("v", &meta, &stream, "nvcomp-lz4-like").unwrap();
+    w.close().unwrap();
+
+    let r = BpReader::open(&dir).unwrap();
+    let blocks = r.blocks(0, "v").unwrap();
+    assert_eq!(blocks.len(), 2);
+    // Raw block: bytes as stored.
+    let raw = r.read_block(&blocks[0]).unwrap();
+    assert_eq!(raw, d.bytes);
+    // Reduced block: lossless roundtrip.
+    let reduced = r.read_block(&blocks[1]).unwrap();
+    let (bytes, _) = hpdr::reducer_by_name(&blocks[1].codec)
+        .unwrap()
+        .decompress(&adapter, &reduced)
+        .unwrap();
+    assert_eq!(bytes, d.bytes);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn codec_profile_measurement_is_sane() {
+    let system = summit();
+    let d = nyx_density(24, 2);
+    let meta = ArrayMeta::new(DType::F32, d.shape.clone());
+    let work: Arc<dyn DeviceAdapter> = Arc::new(CpuParallelAdapter::new(4));
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    let profile = measure_codec_profile(
+        &system,
+        reducer,
+        work,
+        Arc::new(d.bytes.clone()),
+        &meta,
+        &PipelineOptions::fixed(32 * 1024),
+    )
+    .unwrap();
+    assert_eq!(profile.name, "mgard-x");
+    assert!(profile.compress_gbps > 0.0);
+    assert!(profile.decompress_gbps > 0.0);
+    assert!(profile.ratio > 1.0, "ratio {}", profile.ratio);
+    assert!(
+        profile.node_scalability > 0.5 && profile.node_scalability <= 1.01,
+        "scalability {}",
+        profile.node_scalability
+    );
+}
