@@ -9,7 +9,12 @@ fn bench(c: &mut Criterion) {
     println!("{}", fig11(&scale));
     let spec = scale.spec(&hpdr_sim::spec::v100());
     c.bench_function("fig11/profile_and_fit", |b| {
-        b.iter(|| fit(&profile_kernel(&spec, KernelClass::Mgard, &default_sweep()), 0.9))
+        b.iter(|| {
+            fit(
+                &profile_kernel(&spec, KernelClass::Mgard, &default_sweep()),
+                0.9,
+            )
+        })
     });
 }
 

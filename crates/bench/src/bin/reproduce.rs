@@ -25,8 +25,20 @@ fn main() {
         .collect();
     let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         vec![
-            "table1", "table2", "table3", "fig1", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "fig16", "fig17", "fig18", "ablations",
+            "table1",
+            "table2",
+            "table3",
+            "fig1",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "ablations",
         ]
     } else {
         targets

@@ -2,7 +2,10 @@
 
 use crate::{work, Scale, TextTable};
 use hpdr::{Codec, MgardConfig, SzConfig, ZfpConfig};
-use hpdr_core::{ArrayMeta, CpuParallelAdapter, DeviceAdapter, GpuSimAdapter, Reducer, SerialAdapter};
+use hpdr_core::Shape;
+use hpdr_core::{
+    ArrayMeta, CpuParallelAdapter, DeviceAdapter, GpuSimAdapter, Reducer, SerialAdapter,
+};
 use hpdr_io::{
     frontier, read_cost, strong_scaling_read, strong_scaling_write, summit, write_cost,
     CodecProfile, SystemSpec,
@@ -11,7 +14,6 @@ use hpdr_pipeline::{
     average_scalability, compress_pipelined, decompress_pipelined, decompress_scalability_sweep,
     fit, scalability_sweep, Container, PipelineOptions,
 };
-use hpdr_core::Shape;
 use hpdr_sim::{Category, DeviceSpec, Timeline};
 use std::sync::Arc;
 
@@ -58,7 +60,10 @@ fn pct(t: &Timeline, cat: Category) -> f64 {
                 | (Category::D2H, hpdr_sim::Engine::D2H(_))
                 | (Category::Compute, hpdr_sim::Engine::Compute(_))
                 | (Category::MemMgmt, hpdr_sim::Engine::Runtime(_))
-                | (Category::Host, hpdr_sim::Engine::Staging(_) | hpdr_sim::Engine::Host)
+                | (
+                    Category::Host,
+                    hpdr_sim::Engine::Staging(_) | hpdr_sim::Engine::Host
+                )
         )
     });
     part.0 as f64 / total as f64 * 100.0
@@ -71,7 +76,14 @@ pub fn fig01(scale: &Scale) -> String {
     let (input, meta) = scale.nyx(1);
     let opts = PipelineOptions::baseline_unoptimized();
     let mut t = TextTable::new(&[
-        "pipeline", "dir", "host copy %", "H2D %", "D2H %", "compute %", "mem-mgmt %", "memory ops %",
+        "pipeline",
+        "dir",
+        "host copy %",
+        "H2D %",
+        "D2H %",
+        "compute %",
+        "mem-mgmt %",
+        "memory ops %",
     ]);
     for (name, codec) in comparator_codecs() {
         let reducer = codec.reducer();
@@ -112,11 +124,21 @@ pub fn fig10(scale: &Scale) -> String {
     let (input, meta) = scale.nyx(2);
     let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
     let mut t = TextTable::new(&[
-        "setting", "chunks", "makespan", "sustained GB/s", "overlap %",
+        "setting",
+        "chunks",
+        "makespan",
+        "sustained GB/s",
+        "overlap %",
     ]);
     for (name, opts) in [
-        ("fixed small (100MB/f)", PipelineOptions::fixed(scale.fixed_chunk() / 8)),
-        ("fixed large (2GB/f)", PipelineOptions::fixed(scale.large_chunk())),
+        (
+            "fixed small (100MB/f)",
+            PipelineOptions::fixed(scale.fixed_chunk() / 8),
+        ),
+        (
+            "fixed large (2GB/f)",
+            PipelineOptions::fixed(scale.large_chunk()),
+        ),
         ("adaptive", scale.adaptive()),
     ] {
         let (_, rep) = compress_pipelined(
@@ -215,7 +237,9 @@ pub fn kernel_throughput(
 ) -> f64 {
     adapter.clock_reset();
     let reducer = codec.reducer();
-    reducer.compress(adapter, input, meta).expect("fig12 compress");
+    reducer
+        .compress(adapter, input, meta)
+        .expect("fig12 compress");
     let t = adapter.clock_elapsed();
     input.len() as f64 / t.0.max(1) as f64
 }
@@ -232,10 +256,14 @@ pub fn fig12(scale: &Scale) -> String {
         hpdr_sim::spec::rtx3090(),
     ] {
         adapters.push((
-            format!("{} ({})", spec.name, match spec.arch {
-                hpdr_sim::Arch::CudaSim => "CUDA-sim",
-                hpdr_sim::Arch::HipSim => "HIP-sim",
-            }),
+            format!(
+                "{} ({})",
+                spec.name,
+                match spec.arch {
+                    hpdr_sim::Arch::CudaSim => "CUDA-sim",
+                    hpdr_sim::Arch::HipSim => "HIP-sim",
+                }
+            ),
             Box::new(GpuSimAdapter::new(scale.spec(&spec))),
         ));
     }
@@ -331,7 +359,12 @@ pub fn compare_pipelines(
 pub fn fig13(scale: &Scale) -> String {
     let spec = scale.spec(&hpdr_sim::spec::v100());
     let mut t = TextTable::new(&[
-        "codec", "setting", "comp GB/s", "decomp GB/s", "comp speedup", "vs fixed",
+        "codec",
+        "setting",
+        "comp GB/s",
+        "decomp GB/s",
+        "comp speedup",
+        "vs fixed",
     ]);
     for (name, reducer) in [
         (
@@ -363,7 +396,14 @@ pub fn fig13(scale: &Scale) -> String {
 pub fn fig14(scale: &Scale) -> String {
     let spec = scale.spec(&hpdr_sim::spec::v100());
     let (input, meta) = scale.nyx(8);
-    let mut t = TextTable::new(&["codec", "bound", "none", "fixed", "adaptive", "fixed loss %"]);
+    let mut t = TextTable::new(&[
+        "codec",
+        "bound",
+        "none",
+        "fixed",
+        "adaptive",
+        "fixed loss %",
+    ]);
     let mut cases: Vec<(String, Arc<dyn Reducer>)> = Vec::new();
     for eb in [1e-2f64, 1e-4, 1e-6] {
         cases.push((
@@ -457,7 +497,13 @@ pub fn fig15(scale: &Scale) -> String {
         (&frontier_sys, 1024, &summit_codecs[..2]),
     ] {
         out.push_str(&format!("  {} (up to {max_nodes} nodes):\n", sys.name));
-        let mut t = TextTable::new(&["codec", "per-GPU GB/s", "scalability", "64 nodes", "max nodes (TB/s)"]);
+        let mut t = TextTable::new(&[
+            "codec",
+            "per-GPU GB/s",
+            "scalability",
+            "64 nodes",
+            "max nodes (TB/s)",
+        ]);
         for (name, codec, opts) in codecs {
             let p = profile(scale, sys, *codec, opts.as_ref());
             let at = |nodes: usize| hpdr_io::aggregate_reduction_gbps(sys, nodes, &p) / 1000.0;
@@ -506,9 +552,8 @@ pub fn fig16(scale: &Scale) -> String {
             &opts,
         )
         .expect("fig16 container");
-        let decomp =
-            decompress_scalability_sweep(&spec, 6, work(), reducer, &container, &opts)
-                .expect("fig16 decomp");
+        let decomp = decompress_scalability_sweep(&spec, 6, work(), reducer, &container, &opts)
+            .expect("fig16 decomp");
         t.row(vec![
             name.into(),
             format!("{:.1}", average_scalability(&comp) * 100.0),
@@ -542,7 +587,14 @@ pub fn fig17(scale: &Scale) -> String {
         let zfp = profile(scale, &sys, Codec::Zfp(ZfpConfig::fixed_rate(16)), None);
         let cusz = profile(scale, &sys, Codec::Sz(SzConfig::relative(1e-2)), None);
         let mut t = TextTable::new(&[
-            "nodes", "raw write s", "LZ4", "cuSZ", "ZFP", "MGARD-GPU", "MGARD-X", "MGARD-X read",
+            "nodes",
+            "raw write s",
+            "LZ4",
+            "cuSZ",
+            "ZFP",
+            "MGARD-GPU",
+            "MGARD-X",
+            "MGARD-X read",
         ]);
         for &nodes in &nodes_list {
             let raw_w = write_cost(&sys, nodes, per_gpu, None);
@@ -607,12 +659,15 @@ pub fn fig18(scale: &Scale) -> String {
         )
         .expect("fig18 profile");
         let _ = &pg;
-        out.push_str(&format!(
-            "  {name} (measured ratio {:.1}x):\n",
-            px.ratio
-        ));
+        out.push_str(&format!("  {name} (measured ratio {:.1}x):\n", px.ratio));
         let mut t = TextTable::new(&[
-            "nodes", "raw w s", "raw r s", "MGARD-GPU w", "MGARD-GPU r", "MGARD-X w", "MGARD-X r",
+            "nodes",
+            "raw w s",
+            "raw r s",
+            "MGARD-GPU w",
+            "MGARD-GPU r",
+            "MGARD-X w",
+            "MGARD-X r",
         ]);
         for nodes in [512usize, 1024, 2048] {
             let raw_w = strong_scaling_write(&sys, nodes, total_bytes, None);

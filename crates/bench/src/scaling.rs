@@ -97,27 +97,18 @@ impl Scale {
 
     pub fn nyx(&self, seed: u64) -> (Arc<Vec<u8>>, ArrayMeta) {
         let d = hpdr::data::nyx_density(self.nyx_side, seed);
-        (
-            Arc::new(d.bytes),
-            ArrayMeta::new(DType::F32, d.shape),
-        )
+        (Arc::new(d.bytes), ArrayMeta::new(DType::F32, d.shape))
     }
 
     pub fn e3sm(&self, seed: u64) -> (Arc<Vec<u8>>, ArrayMeta) {
         let (t, la, lo) = self.e3sm_dims;
         let d = hpdr::data::e3sm_psl(t, la, lo, seed);
-        (
-            Arc::new(d.bytes),
-            ArrayMeta::new(DType::F32, d.shape),
-        )
+        (Arc::new(d.bytes), ArrayMeta::new(DType::F32, d.shape))
     }
 
     pub fn xgc(&self, seed: u64) -> (Arc<Vec<u8>>, ArrayMeta) {
         let d = hpdr::data::xgc_ef(self.xgc_mesh, seed);
-        (
-            Arc::new(d.bytes),
-            ArrayMeta::new(DType::F64, d.shape),
-        )
+        (Arc::new(d.bytes), ArrayMeta::new(DType::F64, d.shape))
     }
 }
 

@@ -23,7 +23,10 @@ pub fn table1() -> String {
         "-".into(),
         "Domain -> Whole Domain".into(),
     ]);
-    format!("Table I: Mapping Parallel Abstractions to Execution Models\n{}", t.render())
+    format!(
+        "Table I: Mapping Parallel Abstractions to Execution Models\n{}",
+        t.render()
+    )
 }
 
 /// Table II: execution model → device mapping, read from the live
@@ -62,14 +65,22 @@ pub fn table2() -> String {
             a.uses_virtual_time().to_string(),
         ]);
     }
-    format!("Table II: Mapping Execution Models to Devices\n{}", t.render())
+    format!(
+        "Table II: Mapping Execution Models to Devices\n{}",
+        t.render()
+    )
 }
 
 /// Table III: evaluation datasets — the paper's shapes plus the scaled
 /// analogues actually generated in this run.
 pub fn table3(scale: &crate::Scale) -> String {
     let mut t = TextTable::new(&[
-        "Dataset", "Field", "Paper dims", "Type", "Paper size", "This run",
+        "Dataset",
+        "Field",
+        "Paper dims",
+        "Type",
+        "Paper size",
+        "This run",
     ]);
     let paper_nyx = Shape::new(&[512, 512, 512]);
     let paper_xgc = Shape::new(&[8, 33, 1_117_528, 37]);

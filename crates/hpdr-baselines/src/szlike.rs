@@ -49,12 +49,17 @@ fn compress_typed<T: Float>(
     let range = (mx.to_f64() - mn.to_f64()).max(f64::MIN_POSITIVE);
     let abs_eb = cfg.rel_bound * range;
     if range / abs_eb > 1e17 {
-        return Err(HpdrError::unsupported("error bound too tight for i64 quantization"));
+        return Err(HpdrError::unsupported(
+            "error bound too tight for i64 quantization",
+        ));
     }
 
     // Dual-quant: pre-quantize, then exact integer Lorenzo.
     let twoe = 2.0 * abs_eb;
-    let mut q: Vec<i64> = data.iter().map(|v| (v.to_f64() / twoe).round() as i64).collect();
+    let mut q: Vec<i64> = data
+        .iter()
+        .map(|v| (v.to_f64() / twoe).round() as i64)
+        .collect();
     lorenzo_forward(&mut q, shape);
 
     // Symbolize with escape-coded outliers.
@@ -158,7 +163,10 @@ fn decompress_typed<T: Float>(
     lorenzo_inverse(&mut q, &shape);
     let twoe = 2.0 * abs_eb;
     adapter.charge(KernelClass::Lorenzo, (q.len() * T::BYTES) as u64);
-    Ok((q.iter().map(|&v| T::from_f64(v as f64 * twoe)).collect(), shape))
+    Ok((
+        q.iter().map(|&v| T::from_f64(v as f64 * twoe)).collect(),
+        shape,
+    ))
 }
 
 /// SZ-like (cuSZ analogue) as a byte-level reduction pipeline.
@@ -262,7 +270,9 @@ mod tests {
         let data = smooth(20);
         let meta = ArrayMeta::new(DType::F32, Shape::new(&[20, 20]));
         let r = SzReducer(SzConfig::relative(1e-3));
-        let stream = r.compress(&adapter, &f32::slice_to_bytes(&data), &meta).unwrap();
+        let stream = r
+            .compress(&adapter, &f32::slice_to_bytes(&data), &meta)
+            .unwrap();
         let (bytes, meta2) = r.decompress(&adapter, &stream).unwrap();
         assert_eq!(meta2, meta);
         assert_eq!(bytes.len(), data.len() * 4);
@@ -276,13 +286,23 @@ mod tests {
         let adapter = SerialAdapter::new();
         // Spiky data: every 7th value is a huge spike → lots of escapes.
         let data: Vec<f64> = (0..500)
-            .map(|i| if i % 7 == 0 { 1e6 } else { (i as f64 * 0.1).sin() })
+            .map(|i| {
+                if i % 7 == 0 {
+                    1e6
+                } else {
+                    (i as f64 * 0.1).sin()
+                }
+            })
             .collect();
         let shape = Shape::new(&[500]);
         let c = compress_typed(&adapter, &data, &shape, &SzConfig::relative(1e-4)).unwrap();
         let (out, _) = decompress_typed::<f64>(&adapter, &c).unwrap();
         let range = 1e6 + 1.0;
-        let err = data.iter().zip(&out).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err = data
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(err <= 1e-4 * range, "err {err}");
     }
 

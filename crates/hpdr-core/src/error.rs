@@ -57,7 +57,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(HpdrError::corrupt("x").to_string().contains("corrupt"));
-        assert!(HpdrError::unsupported("x").to_string().contains("unsupported"));
+        assert!(HpdrError::unsupported("x")
+            .to_string()
+            .contains("unsupported"));
         assert!(HpdrError::invalid("x").to_string().contains("invalid"));
     }
 

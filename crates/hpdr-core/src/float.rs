@@ -81,7 +81,11 @@ pub trait Float:
 
     /// Parse raw little-endian bytes into a typed vector.
     fn bytes_to_vec(bytes: &[u8]) -> Vec<Self> {
-        assert_eq!(bytes.len() % Self::BYTES, 0, "byte length not a multiple of element size");
+        assert_eq!(
+            bytes.len() % Self::BYTES,
+            0,
+            "byte length not a multiple of element size"
+        );
         bytes
             .chunks_exact(Self::BYTES)
             .map(|c| Self::read_le(c))
@@ -230,7 +234,14 @@ mod tests {
     #[test]
     fn exponent_matches_frexp_semantics() {
         // |v| in [2^(e-1), 2^e)
-        for (v, e) in [(1.0f64, 1), (0.5, 0), (0.75, 0), (2.0, 2), (3.9, 2), (4.0, 3)] {
+        for (v, e) in [
+            (1.0f64, 1),
+            (0.5, 0),
+            (0.75, 0),
+            (2.0, 2),
+            (3.9, 2),
+            (4.0, 3),
+        ] {
             assert_eq!(v.exponent(), e, "v={v}");
             assert_eq!((-v).exponent(), e, "v={v}");
         }

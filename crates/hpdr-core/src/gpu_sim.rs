@@ -156,6 +156,9 @@ mod tests {
         let t = a.clock_elapsed();
         let gbps = bytes as f64 / t.0 as f64;
         let model = a100().kernel_model(KernelClass::Huffman).saturated_gbps;
-        assert!((gbps - model).abs() / model < 0.02, "got {gbps} want {model}");
+        assert!(
+            (gbps - model).abs() / model < 0.02,
+            "got {gbps} want {model}"
+        );
     }
 }

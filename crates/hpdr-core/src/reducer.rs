@@ -32,5 +32,9 @@ pub trait Reducer: Send + Sync {
 
     /// Decompress a stream produced by [`Reducer::compress`], returning
     /// raw little-endian bytes and the array metadata.
-    fn decompress(&self, adapter: &dyn DeviceAdapter, stream: &[u8]) -> Result<(Vec<u8>, ArrayMeta)>;
+    fn decompress(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        stream: &[u8],
+    ) -> Result<(Vec<u8>, ArrayMeta)>;
 }

@@ -6,6 +6,10 @@
 //! so we provide a thin unsafe cell with debug-mode bounds checking. The
 //! *caller* promises disjointness; every use site in this workspace
 //! documents why its index sets are disjoint.
+//!
+//! This module is the workspace's single sanctioned `unsafe` island
+//! (everything else builds under `unsafe_code = "deny"`).
+#![allow(unsafe_code)]
 
 use std::marker::PhantomData;
 
@@ -48,7 +52,11 @@ impl<'a, T> SharedSlice<'a, T> {
     /// `i < len`, and no other thread concurrently accesses index `i`.
     #[inline]
     pub unsafe fn write(&self, i: usize, v: T) {
-        debug_assert!(i < self.len, "SharedSlice write out of bounds: {i} >= {}", self.len);
+        debug_assert!(
+            i < self.len,
+            "SharedSlice write out of bounds: {i} >= {}",
+            self.len
+        );
         unsafe { self.ptr.add(i).write(v) };
     }
 
@@ -61,7 +69,11 @@ impl<'a, T> SharedSlice<'a, T> {
     where
         T: Copy,
     {
-        debug_assert!(i < self.len, "SharedSlice read out of bounds: {i} >= {}", self.len);
+        debug_assert!(
+            i < self.len,
+            "SharedSlice read out of bounds: {i} >= {}",
+            self.len
+        );
         unsafe { *self.ptr.add(i) }
     }
 

@@ -158,7 +158,12 @@ mod tests {
                 - d.iter().cloned().fold(f64::MAX, f64::min);
             d.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / range.max(1e-12)
         };
-        assert!(tv(&smooth) < tv(&rough), "{} !< {}", tv(&smooth), tv(&rough));
+        assert!(
+            tv(&smooth) < tv(&rough),
+            "{} !< {}",
+            tv(&smooth),
+            tv(&rough)
+        );
     }
 
     #[test]

@@ -81,9 +81,9 @@ fn code_lengths(freqs: &[(u32, u64)]) -> Vec<(u32, u32)> {
     let mut internal_head = n;
     let mut internal_tail = n;
     let pick = |leaf: &mut usize,
-                    internal_head: &mut usize,
-                    internal_tail: usize,
-                    weight: &[u64]|
+                internal_head: &mut usize,
+                internal_tail: usize,
+                weight: &[u64]|
      -> usize {
         let leaf_ok = *leaf < n;
         let int_ok = *internal_head < internal_tail;
@@ -403,7 +403,9 @@ mod tests {
 
     #[test]
     fn roundtrip_through_lengths() {
-        let freqs: Vec<u64> = (0..50).map(|i| if i % 3 == 0 { 0 } else { i + 1 }).collect();
+        let freqs: Vec<u64> = (0..50)
+            .map(|i| if i % 3 == 0 { 0 } else { i + 1 })
+            .collect();
         let b = book(&freqs);
         let b2 = Codebook::from_lengths(50, &b.length_pairs()).unwrap();
         for s in 0..50u32 {

@@ -156,7 +156,9 @@ pub fn decompress_u32(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<Vec<u
     let payload = r.get_block()?;
     r.expect_exhausted()?;
     if total_bits > payload.len() as u64 * 8 {
-        return Err(HpdrError::corrupt("payload shorter than declared bit length"));
+        return Err(HpdrError::corrupt(
+            "payload shorter than declared bit length",
+        ));
     }
     if n == 0 {
         return Ok(Vec::new());
@@ -244,7 +246,7 @@ mod tests {
             .map(|i| {
                 // Geometric-ish skew around 2048 (a quantizer's zero bin).
                 let r = i.wrapping_mul(2654435761) >> 16;
-                2048 + (r % 64) as u32 * if i % 2 == 0 { 1 } else { 0 }
+                2048 + (r % 64) * if i % 2 == 0 { 1 } else { 0 }
             })
             .collect();
         roundtrip(&keys, &HuffmanConfig::default());

@@ -10,6 +10,12 @@
 //! adapter decompresses bit-identically on any other — the portability
 //! property HPDR is built around.
 
+// The encode/decode kernels write disjoint index sets of shared outputs through
+// `hpdr_core::SharedSlice` (each site documents its disjointness
+// argument) — part of the workspace's sanctioned `unsafe` island under
+// `unsafe_code = "deny"`.
+#![allow(unsafe_code)]
+
 pub mod codebook;
 pub mod codec;
 

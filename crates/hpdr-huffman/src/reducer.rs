@@ -72,8 +72,8 @@ impl Reducer for ByteHuffmanReducer {
         if r.get_u32()? != MAGIC {
             return Err(HpdrError::corrupt("bad Huffman-X container magic"));
         }
-        let dtype = DType::from_tag(r.get_u8()?)
-            .ok_or_else(|| HpdrError::corrupt("unknown dtype tag"))?;
+        let dtype =
+            DType::from_tag(r.get_u8()?).ok_or_else(|| HpdrError::corrupt("unknown dtype tag"))?;
         let nd = r.get_u8()? as usize;
         if !(1..=4).contains(&nd) {
             return Err(HpdrError::corrupt("bad rank"));

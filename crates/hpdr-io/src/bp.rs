@@ -76,13 +76,7 @@ impl BpWriter {
 
     /// Append one block of `var` for the next writer rank (round-robin
     /// aggregation).
-    pub fn put(
-        &mut self,
-        var: &str,
-        meta: &ArrayMeta,
-        payload: &[u8],
-        codec: &str,
-    ) -> Result<()> {
+    pub fn put(&mut self, var: &str, meta: &ArrayMeta, payload: &[u8], codec: &str) -> Result<()> {
         let step = self
             .current
             .as_mut()
@@ -213,7 +207,11 @@ impl BpReader {
     }
 
     pub fn variables(&self, step: usize) -> Vec<&str> {
-        self.steps[step].vars.iter().map(|(n, _)| n.as_str()).collect()
+        self.steps[step]
+            .vars
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect()
     }
 
     pub fn blocks(&self, step: usize, var: &str) -> Result<&[BlockInfo]> {

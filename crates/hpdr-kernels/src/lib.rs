@@ -12,6 +12,12 @@
 //! * [`bitstream`] — portable LSB-first bit streams;
 //! * [`pack`] — parallel variable-length bit packing (atomic-OR scheme);
 //! * [`blocks`] — n-dimensional block gather/scatter with edge padding.
+//
+// Kernels write disjoint index sets of shared outputs through
+// `hpdr_core::SharedSlice` (each call site documents its disjointness
+// argument); together with `hpdr-core/src/shared.rs` this crate forms the
+// workspace's sanctioned `unsafe` island under `unsafe_code = "deny"`.
+#![allow(unsafe_code)]
 
 pub mod bitstream;
 pub mod blocks;

@@ -13,7 +13,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// lengths). Returns the packed little-endian byte stream of
 /// `offsets.last()` bits.
 pub fn pack_bits(adapter: &dyn DeviceAdapter, codes: &[(u64, u32)], offsets: &[u64]) -> Vec<u8> {
-    assert_eq!(offsets.len(), codes.len() + 1, "offsets must be scan(lengths)");
+    assert_eq!(
+        offsets.len(),
+        codes.len() + 1,
+        "offsets must be scan(lengths)"
+    );
     let total_bits = *offsets.last().unwrap();
     let nwords = (total_bits as usize).div_ceil(64);
     let words: Vec<AtomicU64> = (0..nwords).map(|_| AtomicU64::new(0)).collect();
@@ -76,7 +80,10 @@ mod tests {
             })
             .collect();
         let offsets = offsets_of(&codes);
-        assert_eq!(pack_bits(&adapter, &codes, &offsets), serial_reference(&codes));
+        assert_eq!(
+            pack_bits(&adapter, &codes, &offsets),
+            serial_reference(&codes)
+        );
     }
 
     #[test]
@@ -101,7 +108,10 @@ mod tests {
         let adapter = CpuParallelAdapter::new(2);
         let codes = vec![(u64::MAX, 64u32), (0x1234_5678_9ABC_DEF0, 64), (1, 1)];
         let offsets = offsets_of(&codes);
-        assert_eq!(pack_bits(&adapter, &codes, &offsets), serial_reference(&codes));
+        assert_eq!(
+            pack_bits(&adapter, &codes, &offsets),
+            serial_reference(&codes)
+        );
     }
 
     #[test]

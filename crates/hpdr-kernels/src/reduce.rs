@@ -117,7 +117,9 @@ mod tests {
     #[test]
     fn min_max_matches_reference() {
         let adapter = CpuParallelAdapter::new(4);
-        let data: Vec<f64> = (0..10_001).map(|i| ((i * 37) % 1000) as f64 - 500.0).collect();
+        let data: Vec<f64> = (0..10_001)
+            .map(|i| ((i * 37) % 1000) as f64 - 500.0)
+            .collect();
         let (mn, mx) = min_max(&adapter, &data);
         assert_eq!(mn, data.iter().cloned().fold(f64::INFINITY, f64::min));
         assert_eq!(mx, data.iter().cloned().fold(f64::NEG_INFINITY, f64::max));

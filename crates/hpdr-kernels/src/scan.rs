@@ -103,7 +103,10 @@ mod tests {
     fn parallel_matches_serial_large() {
         let adapter = CpuParallelAdapter::new(4);
         let input: Vec<u64> = (0..100_000u64).map(|i| (i * 31 + 7) % 97).collect();
-        assert_eq!(exclusive_scan(&adapter, &input), exclusive_scan_serial(&input));
+        assert_eq!(
+            exclusive_scan(&adapter, &input),
+            exclusive_scan_serial(&input)
+        );
     }
 
     #[test]

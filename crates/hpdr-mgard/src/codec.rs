@@ -133,7 +133,9 @@ fn resolve_abs_eb<T: Float>(
         }
     };
     if abs <= 0.0 || !abs.is_finite() {
-        return Err(HpdrError::invalid("error bound must be positive and finite"));
+        return Err(HpdrError::invalid(
+            "error bound must be positive and finite",
+        ));
     }
     Ok(abs)
 }
@@ -324,7 +326,10 @@ mod tests {
     }
 
     fn max_err(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -404,7 +409,13 @@ mod tests {
         assert!(max_err(&data, &out) < 1e-3);
 
         let tiny = vec![1.0f64, 2.0];
-        let c = compress(&adapter, &tiny, &Shape::new(&[2]), &MgardConfig::relative(1e-2)).unwrap();
+        let c = compress(
+            &adapter,
+            &tiny,
+            &Shape::new(&[2]),
+            &MgardConfig::relative(1e-2),
+        )
+        .unwrap();
         let (out, _) = decompress::<f64>(&adapter, &c).unwrap();
         assert!(max_err(&tiny, &out) <= 1e-2);
     }
@@ -413,7 +424,9 @@ mod tests {
     fn four_d_input_is_folded() {
         let adapter = SerialAdapter::new();
         let shape = Shape::new(&[2, 3, 10, 8]);
-        let data: Vec<f64> = (0..shape.num_elements()).map(|i| (i as f64 * 0.1).cos()).collect();
+        let data: Vec<f64> = (0..shape.num_elements())
+            .map(|i| (i as f64 * 0.1).cos())
+            .collect();
         let c = compress(&adapter, &data, &shape, &MgardConfig::relative(1e-3)).unwrap();
         let (out, s) = decompress::<f64>(&adapter, &c).unwrap();
         assert_eq!(s, shape);
@@ -452,7 +465,10 @@ mod tests {
         let (data, shape) = smooth_field(&[9, 9]);
         let good = compress(&adapter, &data, &shape, &MgardConfig::relative(1e-2)).unwrap();
         for cut in [0, 5, 12, 30, good.len() / 2, good.len() - 1] {
-            assert!(decompress::<f64>(&adapter, &good[..cut]).is_err(), "cut {cut}");
+            assert!(
+                decompress::<f64>(&adapter, &good[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
         let mut bad = good.clone();
         bad[0] ^= 1;

@@ -161,7 +161,9 @@ pub fn role_of(pos: usize, len: usize) -> NodeRole {
         return NodeRole::Coarse { coarse_pos };
     }
     if pos.is_multiple_of(2) {
-        NodeRole::Coarse { coarse_pos: pos / 2 }
+        NodeRole::Coarse {
+            coarse_pos: pos / 2,
+        }
     } else {
         NodeRole::New
     }
@@ -196,7 +198,7 @@ mod tests {
             let h = Hierarchy::new(&Shape::new(&[n]));
             // Coarsest level has exactly 2 nodes (or n if n < 3).
             let coarsest = h.dim_nodes(0, 0);
-            assert!(coarsest.len() <= 2.max(n.min(2)), "n={n}: {coarsest:?}");
+            assert!(coarsest.len() <= 2, "n={n}: {coarsest:?}");
             assert_eq!(*coarsest.first().unwrap(), 0);
             assert_eq!(*coarsest.last().unwrap(), n - 1);
             // Every level's nodes are a superset of the coarser level's.

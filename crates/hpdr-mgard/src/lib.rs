@@ -11,13 +11,19 @@
 //! contexts (hierarchy, node-level maps, scratch) are cached through the
 //! Context Memory Model.
 
+// The coefficient kernels write disjoint index sets of shared outputs through
+// `hpdr_core::SharedSlice` (each site documents its disjointness
+// argument) — part of the workspace's sanctioned `unsafe` island under
+// `unsafe_code = "deny"`.
+#![allow(unsafe_code)]
+
 pub mod codec;
 pub mod decompose;
 pub mod hierarchy;
 pub mod operators;
 pub mod quantize;
 
-pub use codec::{compress, decompress, context_cache, ErrorBound, MgardConfig, MgardContext};
+pub use codec::{compress, context_cache, decompress, ErrorBound, MgardConfig, MgardContext};
 pub use hierarchy::Hierarchy;
 pub mod reducer;
 pub use reducer::MgardReducer;

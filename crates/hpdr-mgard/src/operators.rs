@@ -101,7 +101,7 @@ pub fn mass_solve(b: &mut [f64], coords: &[usize], scratch: &mut [f64]) {
         (hl + hr) / 3.0
     };
     let off = |i: usize| h(i) / 6.0; // coupling between i and i+1
-    // Forward sweep.
+                                     // Forward sweep.
     let cp = scratch;
     cp[0] = off(0) / diag(0);
     b[0] /= diag(0);
@@ -155,7 +155,12 @@ mod tests {
 
     #[test]
     fn mass_solve_inverts_mass_apply() {
-        for coords in [vec![0usize, 1, 2, 3, 4, 5], vec![0, 4, 6], vec![0, 8], vec![0, 2, 4, 5]] {
+        for coords in [
+            vec![0usize, 1, 2, 3, 4, 5],
+            vec![0, 4, 6],
+            vec![0, 8],
+            vec![0, 2, 4, 5],
+        ] {
             let n = coords.len();
             let vals: Vec<f64> = (0..n).map(|i| (i as f64 * 1.7).sin() + 0.3).collect();
             let mut b = vec![0.0; n];

@@ -1,9 +1,7 @@
 //! [`Reducer`] implementation for MGARD-X.
 
 use crate::codec::{compress, decompress, MgardConfig};
-use hpdr_core::{
-    ArrayMeta, DType, DeviceAdapter, Float, HpdrError, KernelClass, Reducer, Result,
-};
+use hpdr_core::{ArrayMeta, DType, DeviceAdapter, Float, HpdrError, KernelClass, Reducer, Result};
 
 /// MGARD-X as a byte-level reduction pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -52,11 +50,17 @@ impl Reducer for MgardReducer {
         match peek_dtype(stream)? {
             DType::F32 => {
                 let (data, shape) = decompress::<f32>(adapter, stream)?;
-                Ok((f32::slice_to_bytes(&data), ArrayMeta::new(DType::F32, shape)))
+                Ok((
+                    f32::slice_to_bytes(&data),
+                    ArrayMeta::new(DType::F32, shape),
+                ))
             }
             DType::F64 => {
                 let (data, shape) = decompress::<f64>(adapter, stream)?;
-                Ok((f64::slice_to_bytes(&data), ArrayMeta::new(DType::F64, shape)))
+                Ok((
+                    f64::slice_to_bytes(&data),
+                    ArrayMeta::new(DType::F64, shape),
+                ))
             }
         }
     }
@@ -74,7 +78,9 @@ mod tests {
         let data: Vec<f32> = (0..120).map(|i| (i as f32 * 0.3).sin()).collect();
         let meta = ArrayMeta::new(DType::F32, shape.clone());
         let r = MgardReducer(MgardConfig::relative(1e-3));
-        let stream = r.compress(&adapter, &f32::slice_to_bytes(&data), &meta).unwrap();
+        let stream = r
+            .compress(&adapter, &f32::slice_to_bytes(&data), &meta)
+            .unwrap();
         let (bytes, meta2) = r.decompress(&adapter, &stream).unwrap();
         assert_eq!(meta2, meta);
         let out = f32::bytes_to_vec(&bytes);

@@ -16,8 +16,7 @@ use crate::codec::{context_cache, MgardContext};
 use crate::decompose::{decompose, recompose};
 use crate::quantize::{dequantize, level_bin, quantize, Quantized};
 use hpdr_core::{
-    ByteReader, ByteWriter, ContextKey, DeviceAdapter, Float, HpdrError, KernelClass, Result,
-    Shape,
+    ByteReader, ByteWriter, ContextKey, DeviceAdapter, Float, HpdrError, KernelClass, Result, Shape,
 };
 use hpdr_huffman::HuffmanConfig;
 
@@ -352,7 +351,10 @@ mod tests {
     }
 
     fn max_err(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -367,7 +369,11 @@ mod tests {
         let (out, s) = retrieve::<f64>(&adapter, &r, r.levels - 1).unwrap();
         assert_eq!(s, shape);
         let range = 4.0;
-        assert!(max_err(&data, &out) <= 1e-4 * range, "err {}", max_err(&data, &out));
+        assert!(
+            max_err(&data, &out) <= 1e-4 * range,
+            "err {}",
+            max_err(&data, &out)
+        );
     }
 
     #[test]
@@ -439,7 +445,11 @@ mod tests {
         .unwrap();
         let (coarse, _) = retrieve::<f64>(&adapter, &r, 0).unwrap();
         // A ramp has zero fine-level coefficients, so level 0 suffices.
-        assert!(max_err(&data, &coarse) < 1e-3, "err {}", max_err(&data, &coarse));
+        assert!(
+            max_err(&data, &coarse) < 1e-3,
+            "err {}",
+            max_err(&data, &coarse)
+        );
     }
 
     #[test]

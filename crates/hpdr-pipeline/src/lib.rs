@@ -23,7 +23,8 @@ pub use multigpu::{
 };
 pub use roofline::{adaptive_chunks, default_sweep, fit, profile_kernel, theta, Roofline};
 pub use runner::{
-    compress_pipelined, decompress_pipelined, PipelineMode, PipelineOptions, PipelineReport,
+    compress_pipelined, decompress_pipelined, plan_compress, plan_decompress, PipelineMode,
+    PipelineOptions, PipelineReport,
 };
 
 #[cfg(test)]
@@ -74,9 +75,15 @@ mod tests {
     fn pipelined_compress_decompress_roundtrip() {
         let (input, meta) = nyx_small();
         let opts = PipelineOptions::fixed(64 * 1024);
-        let (container, report) =
-            compress_pipelined(&test_spec(), work(), mgard(), Arc::clone(&input), &meta, &opts)
-                .unwrap();
+        let (container, report) = compress_pipelined(
+            &test_spec(),
+            work(),
+            mgard(),
+            Arc::clone(&input),
+            &meta,
+            &opts,
+        )
+        .unwrap();
         assert!(report.num_chunks > 1);
         assert!(container.total_stream_bytes() < input.len() as u64);
         let (bytes, meta2, _) =
@@ -238,12 +245,26 @@ mod tests {
             two_buffers: false,
             ..two
         };
-        let a = compress_pipelined(&test_spec(), work(), mgard(), Arc::clone(&input), &meta, &two)
-            .unwrap()
-            .0;
-        let b = compress_pipelined(&test_spec(), work(), mgard(), Arc::clone(&input), &meta, &three)
-            .unwrap()
-            .0;
+        let a = compress_pipelined(
+            &test_spec(),
+            work(),
+            mgard(),
+            Arc::clone(&input),
+            &meta,
+            &two,
+        )
+        .unwrap()
+        .0;
+        let b = compress_pipelined(
+            &test_spec(),
+            work(),
+            mgard(),
+            Arc::clone(&input),
+            &meta,
+            &three,
+        )
+        .unwrap()
+        .0;
         assert_eq!(a.chunks, b.chunks);
     }
 

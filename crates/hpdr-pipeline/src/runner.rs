@@ -27,7 +27,7 @@ use crate::container::{fixed_chunks, Container};
 use crate::roofline::{adaptive_chunks, default_sweep, fit, profile_kernel, Roofline};
 use hpdr_core::{ArrayMeta, DeviceAdapter, HpdrError, Reducer, Result};
 use hpdr_sim::{
-    BufId, Cost, DeviceId, DeviceSpec, Engine, Ns, OpId, OpSpec, QueueId, Sim, Timeline,
+    BufId, Cost, DeviceId, DeviceSpec, Effects, Engine, Ns, OpId, OpSpec, QueueId, Sim, Timeline,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -141,7 +141,13 @@ pub struct PipelineReport {
     pub timeline: Timeline,
 }
 
-fn report_from(timeline: Timeline, dev: DeviceId, input_bytes: u64, compressed: u64, chunks: usize) -> PipelineReport {
+fn report_from(
+    timeline: Timeline,
+    dev: DeviceId,
+    input_bytes: u64,
+    compressed: u64,
+    chunks: usize,
+) -> PipelineReport {
     let makespan = timeline.makespan();
     PipelineReport {
         makespan,
@@ -229,7 +235,8 @@ impl CompressJob {
         if input.len() != meta.num_bytes() {
             return Err(HpdrError::invalid("input length does not match metadata"));
         }
-        let rows_schedule = chunk_schedule(sim.device_spec(dev), reducer.as_ref(), &meta, opts.mode);
+        let rows_schedule =
+            chunk_schedule(sim.device_spec(dev), reducer.as_ref(), &meta, opts.mode);
         let row_bytes = meta.shape.row_elements() * meta.dtype.size();
         let max_chunk_bytes = rows_schedule.iter().max().copied().unwrap_or(1) * row_bytes;
         let mut chunks = Vec::with_capacity(rows_schedule.len());
@@ -298,6 +305,7 @@ impl CompressJob {
                         deps: vec![prev_s],
                         cost: Cost::Free { device: self.dev },
                         label: format!("syncfree[{k}]"),
+                        effects: Effects::none(),
                     },
                     None,
                 );
@@ -309,6 +317,7 @@ impl CompressJob {
                             deps: vec![prev_s],
                             cost: Cost::Free { device: self.dev },
                             label: format!("free[{k}.{f}]"),
+                            effects: Effects::none(),
                         },
                         None,
                     );
@@ -322,6 +331,7 @@ impl CompressJob {
                         deps: vec![],
                         cost: Cost::Alloc { device: self.dev },
                         label: format!("alloc[{k}.{a}]"),
+                        effects: Effects::none(),
                     },
                     None,
                 );
@@ -339,6 +349,7 @@ impl CompressJob {
                         bytes: Arc::new(AtomicU64::new(chunk_bytes as u64)),
                     },
                     label: format!("stage-in[{k}]"),
+                    effects: Effects::none(),
                 },
                 None,
             );
@@ -360,6 +371,7 @@ impl CompressJob {
                     bytes: chunk_bytes as u64,
                 },
                 label: format!("H2D[{k}]"),
+                effects: Effects::write(in_buf),
             },
             Some(Box::new(move |pool| {
                 pool.get_mut(in_buf)[..chunk_bytes]
@@ -380,6 +392,7 @@ impl CompressJob {
                         deps: vec![h2d],
                         cost: Cost::Alloc { device: self.dev },
                         label: format!("midalloc[{k}.{a}]"),
+                        effects: Effects::none(),
                     },
                     None,
                 );
@@ -407,6 +420,7 @@ impl CompressJob {
                     bytes: chunk_bytes as u64,
                 },
                 label: format!("R[{k}]"),
+                effects: Effects::read(in_buf).and_write(out_buf),
             },
             Some(Box::new(move |pool| {
                 let src: Vec<u8> = pool.get(in_buf)[..chunk_bytes].to_vec();
@@ -436,6 +450,7 @@ impl CompressJob {
                 deps: vec![compute],
                 cost: Cost::TransferDyn { bytes: size_cell },
                 label: format!("S[{k}]"),
+                effects: Effects::read(out_buf),
             },
             Some(Box::new(move |pool| {
                 results.lock()[k] = Some(pool.get(out_buf).to_vec());
@@ -452,6 +467,7 @@ impl CompressJob {
                         bytes: size_for_stage,
                     },
                     label: format!("stage-out[{k}]"),
+                    effects: Effects::none(),
                 },
                 None,
             );
@@ -533,7 +549,12 @@ impl DecompressJob {
             .map(|(_, s)| s.len())
             .max()
             .unwrap_or(1);
-        let max_out = container.chunks.iter().map(|(r, _)| r * row_bytes).max().unwrap_or(1);
+        let max_out = container
+            .chunks
+            .iter()
+            .map(|(r, _)| r * row_bytes)
+            .max()
+            .unwrap_or(1);
         let n_buf = if opts.two_buffers { 2 } else { 3 };
         let queues = [sim.add_queue(), sim.add_queue(), sim.add_queue()];
         let in_bufs: Vec<BufId> = (0..n_buf)
@@ -547,7 +568,11 @@ impl DecompressJob {
             queues,
             in_bufs,
             out_bufs,
-            streams: container.chunks.iter().map(|(_, s)| Arc::new(s.clone())).collect(),
+            streams: container
+                .chunks
+                .iter()
+                .map(|(_, s)| Arc::new(s.clone()))
+                .collect(),
             rows: container.chunks.iter().map(|(r, _)| *r).collect(),
             meta: meta.clone(),
             reducer,
@@ -569,7 +594,11 @@ impl DecompressJob {
         let Some(p) = self.pending_out.take() else {
             return;
         };
-        let q = self.queues[p.k % 3];
+        let q = if self.opts.serial_queue {
+            self.queues[0]
+        } else {
+            self.queues[p.k % 3]
+        };
         let output = Arc::clone(&self.output);
         let out_buf = p.out_buf;
         let (byte_start, chunk_bytes) = (p.byte_start, p.chunk_bytes);
@@ -582,6 +611,7 @@ impl DecompressJob {
                     bytes: chunk_bytes as u64,
                 },
                 label: format!("D2Hout[{}]", p.k),
+                effects: Effects::read(out_buf),
             },
             Some(Box::new(move |pool| {
                 output.lock()[byte_start..byte_start + chunk_bytes]
@@ -599,6 +629,7 @@ impl DecompressJob {
                         bytes: Arc::new(AtomicU64::new(chunk_bytes as u64)),
                     },
                     label: format!("stage-out[{}]", p.k),
+                    effects: Effects::none(),
                 },
                 None,
             );
@@ -630,6 +661,7 @@ impl DecompressJob {
                         deps: vec![prev],
                         cost: Cost::Free { device: self.dev },
                         label: format!("syncfree[{k}]"),
+                        effects: Effects::none(),
                     },
                     None,
                 );
@@ -641,6 +673,7 @@ impl DecompressJob {
                             deps: vec![prev],
                             cost: Cost::Free { device: self.dev },
                             label: format!("free[{k}.{f}]"),
+                            effects: Effects::none(),
                         },
                         None,
                     );
@@ -654,6 +687,7 @@ impl DecompressJob {
                         deps: vec![],
                         cost: Cost::Alloc { device: self.dev },
                         label: format!("alloc[{k}.{a}]"),
+                        effects: Effects::none(),
                     },
                     None,
                 );
@@ -671,6 +705,7 @@ impl DecompressJob {
                         bytes: Arc::new(AtomicU64::new(stream_len as u64)),
                     },
                     label: format!("stage-in[{k}]"),
+                    effects: Effects::none(),
                 },
                 None,
             );
@@ -696,6 +731,7 @@ impl DecompressJob {
                     bytes: stream_len as u64,
                 },
                 label: format!("H2D[{k}]"),
+                effects: Effects::write(in_buf),
             },
             Some(Box::new(move |pool| {
                 pool.resize(in_buf, stream_len);
@@ -714,6 +750,7 @@ impl DecompressJob {
                     bytes: 4096.min(stream_len as u64),
                 },
                 label: format!("Deser[{k}]"),
+                effects: Effects::read(in_buf),
             },
             None,
         );
@@ -737,6 +774,7 @@ impl DecompressJob {
                         deps: vec![h2d, deser],
                         cost: Cost::Alloc { device: self.dev },
                         label: format!("midalloc[{k}.{a}]"),
+                        effects: Effects::none(),
                     },
                     None,
                 );
@@ -751,7 +789,8 @@ impl DecompressJob {
         let reducer = Arc::clone(&self.reducer);
         let work = Arc::clone(&self.work);
         let error = Arc::clone(&self.error);
-        let expect_meta = ArrayMeta::new(self.meta.dtype, self.meta.shape.with_leading(self.rows[k]));
+        let expect_meta =
+            ArrayMeta::new(self.meta.dtype, self.meta.shape.with_leading(self.rows[k]));
         let compute = sim.push(
             OpSpec {
                 engine: Engine::Compute(self.dev),
@@ -762,6 +801,7 @@ impl DecompressJob {
                     bytes: chunk_bytes as u64,
                 },
                 label: format!("Rec[{k}]"),
+                effects: Effects::read(in_buf).and_write(out_buf),
             },
             Some(Box::new(move |pool| {
                 let src: Vec<u8> = pool.get(in_buf).to_vec();
@@ -800,6 +840,7 @@ impl DecompressJob {
                         deps: vec![compute],
                         cost: Cost::Alloc { device: self.dev },
                         label: format!("outalloc[{k}.{a}]"),
+                        effects: Effects::none(),
                     },
                     None,
                 );
@@ -821,7 +862,6 @@ impl DecompressJob {
             self.pending_out = Some(pending);
             self.push_pending_out(sim);
         }
-
     }
 
     /// Flush the trailing deferred output op (call after the last chunk).
@@ -839,6 +879,50 @@ impl DecompressJob {
             .into_inner();
         Ok((out, self.meta))
     }
+}
+
+/// Build and submit the full compression DAG **without executing it** —
+/// the schedule goes to [`hpdr_sim::Sim::dag`] for offline verification
+/// and linting (`hpdr verify`), never to `run()`.
+pub fn plan_compress(
+    spec: &DeviceSpec,
+    work: Arc<dyn DeviceAdapter>,
+    reducer: Arc<dyn Reducer>,
+    input: Arc<Vec<u8>>,
+    meta: &ArrayMeta,
+    opts: &PipelineOptions,
+) -> Result<Sim> {
+    let mut sim = Sim::new();
+    let rt = sim.add_runtime();
+    let dev = sim.add_device(spec.clone(), rt);
+    let mut job = CompressJob::new(&mut sim, dev, reducer, work, input, meta.clone(), *opts)?;
+    for k in 0..job.num_chunks() {
+        job.submit_chunk(&mut sim, k);
+    }
+    Ok(sim)
+}
+
+/// Build and submit the full reconstruction DAG **without executing it**
+/// (see [`plan_compress`]).
+pub fn plan_decompress(
+    spec: &DeviceSpec,
+    work: Arc<dyn DeviceAdapter>,
+    reducer: Arc<dyn Reducer>,
+    container: &Container,
+    opts: &PipelineOptions,
+) -> Result<Sim> {
+    let mut sim = Sim::new();
+    let rt = sim.add_runtime();
+    let dev = sim.add_device(spec.clone(), rt);
+    let mut job = DecompressJob::new(&mut sim, dev, reducer, work, container, *opts)?;
+    let row_bytes = container.meta.shape.row_elements() * container.meta.dtype.size();
+    let mut byte_start = 0usize;
+    for k in 0..job.num_chunks() {
+        job.submit_chunk(&mut sim, k, byte_start);
+        byte_start += container.chunks[k].0 * row_bytes;
+    }
+    job.finish_submission(&mut sim);
+    Ok(sim)
 }
 
 /// Compress `input` on a single simulated device with the Fig. 9 pipeline.

@@ -1,0 +1,138 @@
+//! Declared buffer effects of an operation.
+//!
+//! Every [`crate::OpSpec`] carries an [`Effects`] set naming the device
+//! buffers its payload may touch. The declarations serve two masters:
+//!
+//! * the **static analyzer** ([`crate::verify`]) derives data-race and
+//!   use-after-free hazards from them *before* the DAG executes;
+//! * in debug builds the **memory pool** enforces them at payload run
+//!   time, panicking on any undeclared access — so a declaration that
+//!   drifts from the payload's real behaviour cannot go stale silently.
+//!
+//! Ops with no payload may still declare effects: a DMA op that models a
+//! metadata read, for instance, declares the read so the analyzer orders
+//! it against writers even though no host bytes move.
+
+use crate::mem::BufId;
+
+/// The declared buffer-access set of one operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// Buffers the op reads.
+    pub reads: Vec<BufId>,
+    /// Buffers the op writes (includes resize).
+    pub writes: Vec<BufId>,
+    /// Buffers whose backing store this op logically allocates.
+    pub allocs: Vec<BufId>,
+    /// Buffers this op frees (the payload calls `mark_freed`).
+    pub frees: Vec<BufId>,
+}
+
+impl Effects {
+    /// An op that touches no device buffer (pure timing, host-side work).
+    pub fn none() -> Effects {
+        Effects::default()
+    }
+
+    /// Start from a single read.
+    pub fn read(buf: BufId) -> Effects {
+        Effects::none().and_read(buf)
+    }
+
+    /// Start from a single write.
+    pub fn write(buf: BufId) -> Effects {
+        Effects::none().and_write(buf)
+    }
+
+    /// Start from a single allocation.
+    pub fn alloc(buf: BufId) -> Effects {
+        Effects {
+            allocs: vec![buf],
+            ..Effects::default()
+        }
+    }
+
+    /// Start from a single free.
+    pub fn free(buf: BufId) -> Effects {
+        Effects {
+            frees: vec![buf],
+            ..Effects::default()
+        }
+    }
+
+    /// Add a read (builder style).
+    pub fn and_read(mut self, buf: BufId) -> Effects {
+        self.reads.push(buf);
+        self
+    }
+
+    /// Add a write (builder style).
+    pub fn and_write(mut self, buf: BufId) -> Effects {
+        self.writes.push(buf);
+        self
+    }
+
+    /// Whether no buffer is named at all.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+            && self.writes.is_empty()
+            && self.allocs.is_empty()
+            && self.frees.is_empty()
+    }
+
+    /// Whether the op may observe `buf`'s contents (read or write).
+    pub fn may_read(&self, buf: BufId) -> bool {
+        self.reads.contains(&buf) || self.writes.contains(&buf)
+    }
+
+    /// Whether the op may mutate `buf`'s contents.
+    pub fn may_write(&self, buf: BufId) -> bool {
+        self.writes.contains(&buf)
+    }
+
+    /// Whether the op declares freeing `buf`.
+    pub fn may_free(&self, buf: BufId) -> bool {
+        self.frees.contains(&buf)
+    }
+
+    /// Every buffer named by this effect set, deduplicated.
+    pub fn touched(&self) -> Vec<BufId> {
+        let mut all: Vec<BufId> = self
+            .reads
+            .iter()
+            .chain(&self.writes)
+            .chain(&self.allocs)
+            .chain(&self.frees)
+            .copied()
+            .collect();
+        all.sort_by_key(|b| b.index());
+        all.dedup();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(i: usize) -> BufId {
+        BufId::from_index(i)
+    }
+
+    #[test]
+    fn builders_compose() {
+        let fx = Effects::read(buf(1)).and_read(buf(2)).and_write(buf(3));
+        assert!(fx.may_read(buf(1)));
+        assert!(fx.may_read(buf(3))); // writes imply read permission
+        assert!(fx.may_write(buf(3)));
+        assert!(!fx.may_write(buf(1)));
+        assert_eq!(fx.touched().len(), 3);
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(Effects::none().is_empty());
+        assert!(!Effects::free(buf(0)).is_empty());
+        assert!(Effects::free(buf(0)).may_free(buf(0)));
+    }
+}

@@ -4,12 +4,33 @@
 //! Payload closures receive a `&mut MemPool` so copies and kernels operate
 //! on real bytes — the compressed output of a simulated pipeline is real,
 //! only the *timing* is virtual.
+//!
+//! While a payload runs inside [`crate::Sim::run`], the pool carries an
+//! **effect guard** (debug builds): every access is checked against the
+//! running op's declared [`crate::Effects`], and any undeclared read,
+//! write, or free panics with the op's label. This keeps the static
+//! analyzer's input honest — a payload cannot touch a buffer the
+//! analyzer does not know about.
 
+use crate::effects::Effects;
 use crate::sim::DeviceId;
 
 /// Handle to a simulated device buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BufId(pub(crate) usize);
+
+impl BufId {
+    /// Stable dense index of this buffer (for reports and bitsets).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Rebuild a handle from [`BufId::index`] (fixtures and reports only —
+    /// the pool is the sole authority on which indices are live).
+    pub fn from_index(i: usize) -> BufId {
+        BufId(i)
+    }
+}
 
 #[derive(Debug)]
 struct Buffer {
@@ -18,15 +39,26 @@ struct Buffer {
     freed: bool,
 }
 
+/// Effect guard installed for the duration of one payload execution.
+#[derive(Debug)]
+struct Guard {
+    label: String,
+    effects: Effects,
+}
+
 /// Backing store for every simulated device buffer in a [`crate::Sim`].
 #[derive(Debug, Default)]
 pub struct MemPool {
     buffers: Vec<Buffer>,
+    guard: Option<Guard>,
 }
 
 impl MemPool {
     pub(crate) fn new() -> MemPool {
-        MemPool { buffers: Vec::new() }
+        MemPool {
+            buffers: Vec::new(),
+            guard: None,
+        }
     }
 
     pub(crate) fn create(&mut self, device: DeviceId, bytes: usize) -> BufId {
@@ -39,8 +71,52 @@ impl MemPool {
         id
     }
 
+    /// Install the effect guard for one payload run (debug enforcement).
+    pub(crate) fn begin_payload(&mut self, label: &str, effects: &Effects) {
+        self.guard = Some(Guard {
+            label: label.to_string(),
+            effects: effects.clone(),
+        });
+    }
+
+    /// Remove the effect guard after a payload run.
+    pub(crate) fn end_payload(&mut self) {
+        self.guard = None;
+    }
+
+    fn check_read(&self, id: BufId) {
+        if let Some(g) = &self.guard {
+            assert!(
+                g.effects.may_read(id),
+                "op '{}' reads {id:?} without declaring it in its effects",
+                g.label
+            );
+        }
+    }
+
+    fn check_write(&self, id: BufId) {
+        if let Some(g) = &self.guard {
+            assert!(
+                g.effects.may_write(id),
+                "op '{}' writes {id:?} without declaring it in its effects",
+                g.label
+            );
+        }
+    }
+
+    fn check_free(&self, id: BufId) {
+        if let Some(g) = &self.guard {
+            assert!(
+                g.effects.may_free(id),
+                "op '{}' frees {id:?} without declaring it in its effects",
+                g.label
+            );
+        }
+    }
+
     /// Read access to a buffer's bytes.
     pub fn get(&self, id: BufId) -> &[u8] {
+        self.check_read(id);
         let b = &self.buffers[id.0];
         assert!(!b.freed, "use of freed device buffer {id:?}");
         &b.data
@@ -48,6 +124,7 @@ impl MemPool {
 
     /// Write access to a buffer's bytes.
     pub fn get_mut(&mut self, id: BufId) -> &mut [u8] {
+        self.check_write(id);
         let b = &mut self.buffers[id.0];
         assert!(!b.freed, "use of freed device buffer {id:?}");
         &mut b.data
@@ -56,7 +133,12 @@ impl MemPool {
     /// Two disjoint buffers borrowed simultaneously (src read, dst write).
     pub fn get_pair_mut(&mut self, src: BufId, dst: BufId) -> (&[u8], &mut [u8]) {
         assert_ne!(src.0, dst.0, "src and dst must differ");
-        assert!(!self.buffers[src.0].freed && !self.buffers[dst.0].freed);
+        self.check_read(src);
+        self.check_write(dst);
+        assert!(
+            !self.buffers[src.0].freed && !self.buffers[dst.0].freed,
+            "use of freed device buffer (src {src:?} / dst {dst:?})"
+        );
         let (lo, hi) = if src.0 < dst.0 {
             let (a, b) = self.buffers.split_at_mut(dst.0);
             (&a[src.0], &mut b[0])
@@ -69,33 +151,49 @@ impl MemPool {
 
     /// Resize a buffer (e.g. to the actual compressed size after a kernel).
     pub fn resize(&mut self, id: BufId, bytes: usize) {
+        self.check_write(id);
         let b = &mut self.buffers[id.0];
-        assert!(!b.freed);
+        assert!(!b.freed, "resize of freed device buffer {id:?}");
         b.data.resize(bytes, 0);
     }
 
-    /// Logical size of a buffer.
+    /// Logical size of a buffer. Hard error on freed buffers: a freed
+    /// buffer has no length, and code asking for one is reading stale
+    /// state (the runtime check backing the analyzer's UAF lint).
     pub fn len(&self, id: BufId) -> usize {
-        self.buffers[id.0].data.len()
+        let b = &self.buffers[id.0];
+        assert!(!b.freed, "len of freed device buffer {id:?}");
+        b.data.len()
     }
 
     pub fn is_empty(&self, id: BufId) -> bool {
         self.len(id) == 0
     }
 
-    /// Which device owns this buffer.
+    /// Which device owns this buffer (valid even after a free — the
+    /// handle's placement is immutable metadata, not contents).
     pub fn device(&self, id: BufId) -> DeviceId {
         self.buffers[id.0].device
     }
 
-    /// Mark a buffer freed; later access panics (use-after-free detector).
+    /// Whether this buffer has been freed.
+    pub fn is_freed(&self, id: BufId) -> bool {
+        self.buffers[id.0].freed
+    }
+
+    /// Mark a buffer freed; later content access panics, and a second
+    /// free panics (double-free detector backing the analyzer).
     pub fn mark_freed(&mut self, id: BufId) {
-        self.buffers[id.0].freed = true;
-        self.buffers[id.0].data = Vec::new();
+        self.check_free(id);
+        let b = &mut self.buffers[id.0];
+        assert!(!b.freed, "double free of device buffer {id:?}");
+        b.freed = true;
+        b.data = Vec::new();
     }
 
     /// Move a buffer's contents out (typically after the run completes).
     pub fn take(&mut self, id: BufId) -> Vec<u8> {
+        self.check_write(id);
         let b = &mut self.buffers[id.0];
         assert!(!b.freed, "take of freed device buffer {id:?}");
         std::mem::take(&mut b.data)
@@ -157,12 +255,31 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut pool = MemPool::new();
+        let b = pool.create(dev(), 4);
+        pool.mark_freed(b);
+        pool.mark_freed(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "len of freed")]
+    fn len_of_freed_panics() {
+        let mut pool = MemPool::new();
+        let b = pool.create(dev(), 4);
+        pool.mark_freed(b);
+        let _ = pool.len(b);
+    }
+
+    #[test]
     fn resident_bytes_tracks_frees() {
         let mut pool = MemPool::new();
         let a = pool.create(dev(), 100);
         let _b = pool.create(dev(), 50);
         assert_eq!(pool.resident_bytes(dev()), 150);
         pool.mark_freed(a);
+        assert!(pool.is_freed(a));
         assert_eq!(pool.resident_bytes(dev()), 50);
     }
 
@@ -173,5 +290,45 @@ mod tests {
         pool.resize(a, 3);
         assert_eq!(pool.len(a), 3);
         assert!(!pool.is_empty(a));
+    }
+
+    #[test]
+    fn guard_allows_declared_access() {
+        let mut pool = MemPool::new();
+        let src = pool.create(dev(), 4);
+        let dst = pool.create(dev(), 4);
+        pool.begin_payload("copy", &Effects::read(src).and_write(dst));
+        let (s, d) = pool.get_pair_mut(src, dst);
+        d.copy_from_slice(s);
+        pool.end_payload();
+        // Guard removed: undeclared access is fine again.
+        let _ = pool.get(src);
+    }
+
+    #[test]
+    #[should_panic(expected = "without declaring")]
+    fn guard_rejects_undeclared_read() {
+        let mut pool = MemPool::new();
+        let a = pool.create(dev(), 4);
+        pool.begin_payload("sneaky", &Effects::none());
+        let _ = pool.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "without declaring")]
+    fn guard_rejects_write_via_read_declaration() {
+        let mut pool = MemPool::new();
+        let a = pool.create(dev(), 4);
+        pool.begin_payload("read-only", &Effects::read(a));
+        let _ = pool.get_mut(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "without declaring")]
+    fn guard_rejects_undeclared_free() {
+        let mut pool = MemPool::new();
+        let a = pool.create(dev(), 4);
+        pool.begin_payload("no-free", &Effects::read(a));
+        pool.mark_freed(a);
     }
 }

@@ -17,10 +17,12 @@
 //! Every op may carry a *payload* closure that runs against the real
 //! [`MemPool`], so simulated pipelines produce real output bytes.
 
+use crate::effects::Effects;
 use crate::mem::{BufId, MemPool};
 use crate::spec::{DeviceSpec, KernelClass};
 use crate::time::Ns;
 use crate::timeline::{OpRecord, Timeline};
+use crate::verify::{self, Dag, DagOp, OpKind};
 
 /// Handle to a simulated device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,6 +106,9 @@ pub struct OpSpec {
     pub deps: Vec<OpId>,
     pub cost: Cost,
     pub label: String,
+    /// Declared buffer effects — the static analyzer's ([`crate::verify`])
+    /// source of truth, enforced against the payload in debug builds.
+    pub effects: Effects,
 }
 
 struct Device {
@@ -125,6 +130,9 @@ pub struct Sim {
     pool: MemPool,
     /// Pageable host-memory copy bandwidth (GB/s) for [`Cost::HostCopy`].
     host_copy_gbps: f64,
+    /// Run the static hazard analyzer before executing (defaults to on in
+    /// debug builds — i.e. on under `cargo test`, off in release benches).
+    verify_enabled: bool,
 }
 
 impl Default for Sim {
@@ -142,7 +150,13 @@ impl Sim {
             ops: Vec::new(),
             pool: MemPool::new(),
             host_copy_gbps: 18.0,
+            verify_enabled: cfg!(debug_assertions),
         }
+    }
+
+    /// Enable or disable pre-execution schedule verification.
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify_enabled = on;
     }
 
     /// Override the pageable host-copy bandwidth (default 18 GB/s).
@@ -210,7 +224,8 @@ impl Sim {
             assert!(q.0 < self.queues, "unknown queue");
         }
         match (&spec.cost, &spec.engine) {
-            (Cost::Transfer { .. } | Cost::TransferDyn { .. }, Engine::H2D(_) | Engine::D2H(_)) => {}
+            (Cost::Transfer { .. } | Cost::TransferDyn { .. }, Engine::H2D(_) | Engine::D2H(_)) => {
+            }
             (Cost::Kernel { .. }, Engine::Compute(_)) => {}
             (Cost::Alloc { .. } | Cost::Free { .. }, Engine::Runtime(_)) => {}
             (Cost::HostCopy { .. }, Engine::Host | Engine::Staging(_)) => {}
@@ -238,6 +253,7 @@ impl Sim {
                 deps: vec![],
                 cost: Cost::Alloc { device },
                 label: label.to_string(),
+                effects: Effects::alloc(buf),
             },
             None,
         );
@@ -245,13 +261,7 @@ impl Sim {
     }
 
     /// Convenience: free a buffer with a timed runtime op.
-    pub fn free_timed(
-        &mut self,
-        queue: QueueId,
-        buf: BufId,
-        deps: Vec<OpId>,
-        label: &str,
-    ) -> OpId {
+    pub fn free_timed(&mut self, queue: QueueId, buf: BufId, deps: Vec<OpId>, label: &str) -> OpId {
         let device = self.pool.device(buf);
         let rt = self.device_runtime(device);
         self.push(
@@ -261,6 +271,7 @@ impl Sim {
                 deps,
                 cost: Cost::Free { device },
                 label: label.to_string(),
+                effects: Effects::free(buf),
             },
             Some(Box::new(move |pool: &mut MemPool| pool.mark_freed(buf))),
         )
@@ -294,21 +305,56 @@ impl Sim {
             Cost::Fixed(ns) => (*ns, 0, None),
             Cost::HostCopy { bytes } => {
                 let b = bytes.load(std::sync::atomic::Ordering::SeqCst);
-                (
-                    Ns((b as f64 / self.host_copy_gbps).round() as u64),
-                    b,
-                    None,
-                )
+                (Ns((b as f64 / self.host_copy_gbps).round() as u64), b, None)
             }
         }
+    }
+
+    /// Snapshot the currently submitted (not yet run) ops as an analyzable
+    /// [`Dag`] for [`verify::analyze`] and the schedule linters.
+    pub fn dag(&self) -> Dag {
+        let ops = self
+            .ops
+            .iter()
+            .map(|p| {
+                let spec = &p.spec;
+                let kind = match spec.cost {
+                    Cost::Transfer { .. } | Cost::TransferDyn { .. } => OpKind::Transfer,
+                    Cost::Kernel { .. } => OpKind::Kernel,
+                    Cost::Alloc { .. } => OpKind::Alloc,
+                    Cost::Free { .. } => OpKind::Free,
+                    Cost::HostCopy { .. } => OpKind::HostCopy,
+                    Cost::Fixed(_) => OpKind::Fixed,
+                };
+                DagOp {
+                    label: spec.label.clone(),
+                    engine: spec.engine,
+                    queue: spec.queue.map(|q| q.0),
+                    deps: spec.deps.iter().map(|d| d.0).collect(),
+                    effects: spec.effects.clone(),
+                    kind,
+                }
+            })
+            .collect();
+        Dag { ops }
     }
 
     /// Execute every submitted op: compute virtual start/end times and run
     /// payloads in submission (and therefore dependency-safe) order.
     ///
+    /// When verification is enabled ([`Sim::set_verify`]; default on in
+    /// debug builds), the static hazard analyzer runs over the DAG first
+    /// and panics with a full report if any hazard is found — nothing
+    /// executes against the memory pool on a broken schedule.
+    ///
     /// Returns the resulting [`Timeline`]; the memory pool stays available
     /// via [`Sim::pool`] / [`Sim::take_buffer`] for output extraction.
     pub fn run(&mut self) -> Timeline {
+        if self.verify_enabled {
+            let dag = self.dag();
+            let report = verify::analyze(&dag);
+            assert!(report.is_clean(), "{}", report.describe(&dag));
+        }
         use std::collections::HashMap;
         let mut engine_free: HashMap<Engine, Ns> = HashMap::new();
         let mut queue_tail: Vec<Ns> = vec![Ns::ZERO; self.queues];
@@ -335,7 +381,14 @@ impl Sim {
             }
             ends.push(end);
             if let Some(p) = payload {
-                p(&mut self.pool);
+                // Debug builds: hold the payload to its declared effects.
+                if cfg!(debug_assertions) {
+                    self.pool.begin_payload(&spec.label, &spec.effects);
+                    p(&mut self.pool);
+                    self.pool.end_payload();
+                } else {
+                    p(&mut self.pool);
+                }
             }
             records.push(OpRecord {
                 label: spec.label,
@@ -378,6 +431,7 @@ mod tests {
                 deps: vec![],
                 cost: Cost::Fixed(Ns(100)),
                 label: "a".into(),
+                effects: Effects::none(),
             },
             None,
         );
@@ -388,6 +442,7 @@ mod tests {
                 deps: vec![],
                 cost: Cost::Fixed(Ns(50)),
                 label: "b".into(),
+                effects: Effects::none(),
             },
             None,
         );
@@ -411,6 +466,7 @@ mod tests {
                 deps: vec![],
                 cost: Cost::Fixed(Ns(100)),
                 label: "k".into(),
+                effects: Effects::none(),
             },
             None,
         );
@@ -421,6 +477,7 @@ mod tests {
                 deps: vec![],
                 cost: Cost::Fixed(Ns(80)),
                 label: "h2d".into(),
+                effects: Effects::none(),
             },
             None,
         );
@@ -442,6 +499,7 @@ mod tests {
                     deps: vec![],
                     cost: Cost::Fixed(Ns(100)),
                     label: "k".into(),
+                    effects: Effects::none(),
                 },
                 None,
             )
@@ -465,6 +523,7 @@ mod tests {
                 deps: vec![],
                 cost: Cost::Fixed(Ns(300)),
                 label: "h2d".into(),
+                effects: Effects::none(),
             },
             None,
         );
@@ -475,6 +534,7 @@ mod tests {
                 deps: vec![a],
                 cost: Cost::Fixed(Ns(10)),
                 label: "k".into(),
+                effects: Effects::none(),
             },
             None,
         );
@@ -532,6 +592,7 @@ mod tests {
                     bytes: 4,
                 },
                 label: "copy".into(),
+                effects: Effects::read(src).and_write(dst),
             },
             Some(Box::new(move |pool: &mut MemPool| {
                 let (s, d) = pool.get_pair_mut(src, dst);
@@ -553,6 +614,7 @@ mod tests {
                 deps: vec![],
                 cost: Cost::Transfer { bytes },
                 label: "h2d".into(),
+                effects: Effects::none(),
             },
             None,
         );
@@ -576,6 +638,7 @@ mod tests {
                 deps: vec![OpId(5)],
                 cost: Cost::Fixed(Ns(1)),
                 label: "bad".into(),
+                effects: Effects::none(),
             },
             None,
         );
@@ -595,6 +658,7 @@ mod tests {
                     bytes: 1,
                 },
                 label: "bad".into(),
+                effects: Effects::none(),
             },
             None,
         );

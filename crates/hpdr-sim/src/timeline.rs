@@ -266,7 +266,12 @@ mod tests {
 
     #[test]
     fn merge_coalesces_adjacent_and_overlapping() {
-        let m = merge(vec![(Ns(5), Ns(10)), (Ns(0), Ns(5)), (Ns(8), Ns(12)), (Ns(20), Ns(21))]);
+        let m = merge(vec![
+            (Ns(5), Ns(10)),
+            (Ns(0), Ns(5)),
+            (Ns(8), Ns(12)),
+            (Ns(20), Ns(21)),
+        ]);
         assert_eq!(m, vec![(Ns(0), Ns(12)), (Ns(20), Ns(21))]);
     }
 
@@ -321,10 +326,7 @@ mod tests {
 
     #[test]
     fn h2d_overlapping_d2h_counts() {
-        let tl = Timeline::new(vec![
-            rec(Engine::H2D(D), 0, 10),
-            rec(Engine::D2H(D), 0, 10),
-        ]);
+        let tl = Timeline::new(vec![rec(Engine::H2D(D), 0, 10), rec(Engine::D2H(D), 0, 10)]);
         assert!((tl.overlap_ratio(D).unwrap() - 1.0).abs() < 1e-12);
     }
 
@@ -378,11 +380,8 @@ impl Timeline {
             }
         }
         let mut out = String::from("[\n");
-        let mut rows: Vec<(u64, String)> = self
-            .records
-            .iter()
-            .map(|r| engine_row(r.engine))
-            .collect();
+        let mut rows: Vec<(u64, String)> =
+            self.records.iter().map(|r| engine_row(r.engine)).collect();
         rows.sort();
         rows.dedup();
         for (tid, name) in &rows {

@@ -1,0 +1,152 @@
+//! Every shipped pipeline configuration must verify clean: zero hazards
+//! from the static analyzer and zero findings from the schedule lints,
+//! for both compression and reconstruction DAGs.
+//!
+//! This is the acceptance property of the whole subsystem: the Fig. 9
+//! schedules (all `PipelineMode` × `two_buffers` × `cmm` × `deser_first`
+//! combinations, plus the shipped baseline presets) are race-free by
+//! construction, and the analyzer agrees.
+
+use hpdr_core::{ArrayMeta, CpuParallelAdapter, DType, DeviceAdapter, Reducer, Shape};
+use hpdr_huffman::ByteHuffmanReducer;
+use hpdr_pipeline::{
+    compress_pipelined, plan_compress, plan_decompress, PipelineMode, PipelineOptions,
+};
+use hpdr_verify::{check, Direction, LintConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn lint_config(direction: Direction, opts: &PipelineOptions) -> LintConfig {
+    LintConfig {
+        direction,
+        two_buffers: opts.two_buffers,
+        cmm: opts.cmm,
+        deser_first: opts.deser_first,
+        serial_queue: opts.serial_queue,
+    }
+}
+
+/// Verify one options set end to end: plan both directions, analyze, lint.
+fn assert_config_clean(opts: &PipelineOptions, rows: usize) {
+    let spec = hpdr_sim::v100();
+    let adapter: Arc<dyn DeviceAdapter> = Arc::new(CpuParallelAdapter::new(2));
+    let reducer: Arc<dyn Reducer> = Arc::new(ByteHuffmanReducer::default());
+    let meta = ArrayMeta::new(DType::F32, Shape::try_new(&[rows, 128]).unwrap());
+    let input: Arc<Vec<u8>> = Arc::new(
+        (0..meta.num_bytes() / 4)
+            .flat_map(|i| ((i % 97) as f32).to_le_bytes())
+            .collect(),
+    );
+
+    let sim = plan_compress(
+        &spec,
+        Arc::clone(&adapter),
+        Arc::clone(&reducer),
+        Arc::clone(&input),
+        &meta,
+        opts,
+    )
+    .unwrap();
+    let dag = sim.dag();
+    let report = check(&dag, &lint_config(Direction::Compress, opts));
+    assert!(
+        report.is_clean(),
+        "compress {opts:?}:\n{}",
+        report.describe(&dag)
+    );
+
+    let (container, _) = compress_pipelined(
+        &spec,
+        Arc::clone(&adapter),
+        Arc::clone(&reducer),
+        Arc::clone(&input),
+        &meta,
+        opts,
+    )
+    .unwrap();
+    let sim = plan_decompress(&spec, adapter, reducer, &container, opts).unwrap();
+    let dag = sim.dag();
+    let report = check(&dag, &lint_config(Direction::Decompress, opts));
+    assert!(
+        report.is_clean(),
+        "decompress {opts:?}:\n{}",
+        report.describe(&dag)
+    );
+}
+
+fn mode_from(sel: usize, row_bytes: u64) -> PipelineMode {
+    match sel % 3 {
+        0 => PipelineMode::Unpipelined,
+        1 => PipelineMode::Fixed {
+            chunk_bytes: 6 * row_bytes,
+        },
+        _ => PipelineMode::Adaptive {
+            init_bytes: 3 * row_bytes,
+            limit_bytes: 12 * row_bytes,
+        },
+    }
+}
+
+/// Exhaustive sweep of every mode × flag combination at a fixed size
+/// (the acceptance-criteria grid, deterministic).
+#[test]
+fn all_shipped_flag_combinations_verify_clean() {
+    let row_bytes = 128 * 4u64;
+    for sel in 0..3 {
+        for two_buffers in [false, true] {
+            for cmm in [false, true] {
+                for deser_first in [false, true] {
+                    let opts = PipelineOptions {
+                        mode: mode_from(sel, row_bytes),
+                        two_buffers,
+                        cmm,
+                        deser_first,
+                        serial_queue: false,
+                        host_staging: false,
+                    };
+                    assert_config_clean(&opts, 36);
+                }
+            }
+        }
+    }
+}
+
+/// The shipped named presets verify clean too (serial single-queue
+/// comparator behaviour included).
+#[test]
+fn shipped_presets_verify_clean() {
+    let row_bytes = 128 * 4u64;
+    for opts in [
+        PipelineOptions::default(),
+        PipelineOptions::unpipelined(),
+        PipelineOptions::fixed(6 * row_bytes),
+        PipelineOptions::baseline_unoptimized(),
+        PipelineOptions::baseline_per_step(6 * row_bytes),
+    ] {
+        assert_config_clean(&opts, 36);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: *any* combination of shipped options stays clean across
+    /// input sizes (different chunk counts exercise different wrap-around
+    /// patterns of the 3-queue / n-buffer rotation).
+    #[test]
+    fn random_config_and_size_verifies_clean(
+        sel in 0usize..3,
+        flags in 0u8..16,
+        rows in 1usize..48,
+    ) {
+        let opts = PipelineOptions {
+            mode: mode_from(sel, 128 * 4),
+            two_buffers: flags & 1 != 0,
+            cmm: flags & 2 != 0,
+            deser_first: flags & 4 != 0,
+            serial_queue: flags & 8 != 0,
+            host_staging: false,
+        };
+        assert_config_clean(&opts, rows);
+    }
+}

@@ -119,7 +119,13 @@ fn block_ctx(shape: &Shape) -> BlockCtx {
 }
 
 /// Encode one gathered block into `w`. Returns bits written.
-fn encode_block<T: Float>(vals: &[T], ctx: &BlockCtx, maxbits: u32, kmin: u32, w: &mut BitWriter) -> Result<u32> {
+fn encode_block<T: Float>(
+    vals: &[T],
+    ctx: &BlockCtx,
+    maxbits: u32,
+    kmin: u32,
+    w: &mut BitWriter,
+) -> Result<u32> {
     // Exponent alignment: emax over the block.
     let mut amax = 0.0f64;
     for &v in vals {
@@ -137,7 +143,10 @@ fn encode_block<T: Float>(vals: &[T], ctx: &BlockCtx, maxbits: u32, kmin: u32, w
     w.write_bits((emax + EMAX_BIAS) as u64, 16);
     // Fixed-point conversion.
     let scale = 2f64.powi(FRACBITS - emax);
-    let mut q: Vec<i64> = vals.iter().map(|v| (v.to_f64() * scale).round() as i64).collect();
+    let mut q: Vec<i64> = vals
+        .iter()
+        .map(|v| (v.to_f64() * scale).round() as i64)
+        .collect();
     // Near-orthogonal transform.
     fwd_transform(&mut q, ctx.d);
     // Sequency reorder + negabinary.
@@ -161,7 +170,9 @@ fn decode_block<T: Float>(
     }
     let emax = r.read_bits(16)? as i32 - EMAX_BIAS;
     if !(-4000..=4000).contains(&emax) {
-        return Err(HpdrError::corrupt(format!("implausible block exponent {emax}")));
+        return Err(HpdrError::corrupt(format!(
+            "implausible block exponent {emax}"
+        )));
     }
     let nb = decode_ints(r, maxbits, kmin, ctx.n)?;
     let mut q = vec![0i64; ctx.n];
@@ -381,7 +392,10 @@ pub fn decompress<T: Float>(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result
                 return Err(HpdrError::corrupt("block count mismatch"));
             }
             let expected_bytes = (rate as usize * ctx.n).div_ceil(8);
-            if block_bytes != expected_bytes || rate > 64 || rate as usize * ctx.n < (HEADER_BITS + 1) as usize {
+            if block_bytes != expected_bytes
+                || rate > 64
+                || rate as usize * ctx.n < (HEADER_BITS + 1) as usize
+            {
                 return Err(HpdrError::corrupt("inconsistent fixed-rate parameters"));
             }
             let payload = r.get_block()?;
@@ -541,7 +555,11 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 for k in 0..n {
-                    let (x, y, z) = (i as f32 / n as f32, j as f32 / n as f32, k as f32 / n as f32);
+                    let (x, y, z) = (
+                        i as f32 / n as f32,
+                        j as f32 / n as f32,
+                        k as f32 / n as f32,
+                    );
                     data.push((6.0 * x).sin() * (4.0 * y).cos() + 0.5 * z);
                 }
             }
@@ -647,7 +665,11 @@ mod tests {
         let shape = Shape::new(&[100]);
         let c = compress(&a, &data, &shape, &ZfpConfig::fixed_rate(40)).unwrap();
         let (out, _) = decompress::<f64>(&a, &c).unwrap();
-        let err = data.iter().zip(&out).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+        let err = data
+            .iter()
+            .zip(&out)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-4, "err {err}");
 
         let data2: Vec<f64> = (0..30 * 20).map(|i| (i % 30) as f64).collect();
@@ -662,7 +684,9 @@ mod tests {
     fn four_d_arrays_are_folded() {
         let a = SerialAdapter::new();
         let shape = Shape::new(&[3, 5, 8, 6]);
-        let data: Vec<f32> = (0..shape.num_elements()).map(|i| (i as f32).sqrt()).collect();
+        let data: Vec<f32> = (0..shape.num_elements())
+            .map(|i| (i as f32).sqrt())
+            .collect();
         let c = compress(&a, &data, &shape, &ZfpConfig::fixed_rate(24)).unwrap();
         let (out, s) = decompress::<f32>(&a, &c).unwrap();
         assert_eq!(s, shape);

@@ -148,7 +148,9 @@ mod tests {
             vec![0x0F, 0x3, 0x100, 0, 0xFFFF, 1, 2, 3],
             vec![0; 16],
             vec![u64::MAX >> 1; 4],
-            (0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(7) >> 1).collect(),
+            (0..64u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(7) >> 1)
+                .collect(),
             vec![1u64 << 62],
             vec![0, 0, 0, 1],
         ];

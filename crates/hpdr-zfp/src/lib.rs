@@ -10,6 +10,12 @@
 //! Fix-accuracy mode is included as the extension the paper mentions;
 //! fix-rate is the evaluated mode. Streams are adapter-independent.
 
+// The block transform kernels write disjoint index sets of shared outputs through
+// `hpdr_core::SharedSlice` (each site documents its disjointness
+// argument) — part of the workspace's sanctioned `unsafe` island under
+// `unsafe_code = "deny"`.
+#![allow(unsafe_code)]
+
 pub mod codec;
 pub mod embedded;
 pub mod negabinary;

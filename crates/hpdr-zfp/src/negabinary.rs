@@ -59,10 +59,7 @@ mod tests {
             for k in 0..16u32 {
                 let u = int_to_negabinary(x) & !((1u64 << k) - 1);
                 let y = negabinary_to_int(u);
-                assert!(
-                    (x - y).abs() < (1i64 << (k + 1)),
-                    "x={x} k={k} y={y}"
-                );
+                assert!((x - y).abs() < (1i64 << (k + 1)), "x={x} k={k} y={y}");
             }
         }
     }

@@ -1,9 +1,7 @@
 //! [`Reducer`] implementation for ZFP-X.
 
 use crate::codec::{compress, decompress, ZfpConfig};
-use hpdr_core::{
-    ArrayMeta, DType, DeviceAdapter, Float, HpdrError, KernelClass, Reducer, Result,
-};
+use hpdr_core::{ArrayMeta, DType, DeviceAdapter, Float, HpdrError, KernelClass, Reducer, Result};
 
 /// ZFP-X as a byte-level reduction pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -52,11 +50,17 @@ impl Reducer for ZfpReducer {
         match peek_dtype(stream)? {
             DType::F32 => {
                 let (data, shape) = decompress::<f32>(adapter, stream)?;
-                Ok((f32::slice_to_bytes(&data), ArrayMeta::new(DType::F32, shape)))
+                Ok((
+                    f32::slice_to_bytes(&data),
+                    ArrayMeta::new(DType::F32, shape),
+                ))
             }
             DType::F64 => {
                 let (data, shape) = decompress::<f64>(adapter, stream)?;
-                Ok((f64::slice_to_bytes(&data), ArrayMeta::new(DType::F64, shape)))
+                Ok((
+                    f64::slice_to_bytes(&data),
+                    ArrayMeta::new(DType::F64, shape),
+                ))
             }
         }
     }
@@ -74,7 +78,9 @@ mod tests {
         let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.02).cos()).collect();
         let meta = ArrayMeta::new(DType::F64, shape.clone());
         let r = ZfpReducer(ZfpConfig::fixed_rate(24));
-        let stream = r.compress(&adapter, &f64::slice_to_bytes(&data), &meta).unwrap();
+        let stream = r
+            .compress(&adapter, &f64::slice_to_bytes(&data), &meta)
+            .unwrap();
         // Fixed rate 24 of 64 bits: ~2.7× smaller payload.
         assert!(stream.len() < data.len() * 8 / 2);
         let (bytes, meta2) = r.decompress(&adapter, &stream).unwrap();

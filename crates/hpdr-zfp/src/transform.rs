@@ -180,7 +180,12 @@ mod tests {
         let orig = p.clone();
         fwd_lift(&mut p, 0, 1);
         inv_lift(&mut p, 0, 1);
-        let err: i64 = orig.iter().zip(&p).map(|(a, b)| (a - b).abs()).max().unwrap();
+        let err: i64 = orig
+            .iter()
+            .zip(&p)
+            .map(|(a, b)| (a - b).abs())
+            .max()
+            .unwrap();
         assert!(err <= 2);
     }
 

@@ -170,7 +170,12 @@ mod tests {
             Codec::Lz4,
         ] {
             let (stream, stats) = compress_slice(&adapter, &data, &shape, codec).unwrap();
-            assert_eq!(detect_codec(&stream), Some(codec.name()), "{:?}", codec.name());
+            assert_eq!(
+                detect_codec(&stream),
+                Some(codec.name()),
+                "{:?}",
+                codec.name()
+            );
             assert_eq!(stats.codec, codec.name());
             let (out, s) = decompress_slice::<f32>(&adapter, &stream).unwrap();
             assert_eq!(s, shape);
@@ -200,9 +205,13 @@ mod tests {
     fn dtype_mismatch_rejected() {
         let adapter = SerialAdapter::new();
         let (data, shape) = sample();
-        let (stream, _) =
-            compress_slice(&adapter, &data, &shape, Codec::Zfp(ZfpConfig::fixed_rate(16)))
-                .unwrap();
+        let (stream, _) = compress_slice(
+            &adapter,
+            &data,
+            &shape,
+            Codec::Zfp(ZfpConfig::fixed_rate(16)),
+        )
+        .unwrap();
         assert!(decompress_slice::<f64>(&adapter, &stream).is_err());
     }
 
@@ -210,9 +219,13 @@ mod tests {
     fn stats_ratio_is_consistent() {
         let adapter = SerialAdapter::new();
         let (data, shape) = sample();
-        let (stream, stats) =
-            compress_slice(&adapter, &data, &shape, Codec::Mgard(MgardConfig::relative(1e-2)))
-                .unwrap();
+        let (stream, stats) = compress_slice(
+            &adapter,
+            &data,
+            &shape,
+            Codec::Mgard(MgardConfig::relative(1e-2)),
+        )
+        .unwrap();
         assert_eq!(stats.compressed_bytes, stream.len());
         assert!((stats.ratio - 2304.0 / stream.len() as f64).abs() < 1e-9);
     }

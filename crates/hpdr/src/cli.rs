@@ -12,9 +12,7 @@
 
 use crate::{detect_codec, Codec, CompressionStats};
 use hpdr_baselines::SzConfig;
-use hpdr_core::{
-    ArrayMeta, CpuParallelAdapter, DType, HpdrError, Result, Shape,
-};
+use hpdr_core::{ArrayMeta, CpuParallelAdapter, DType, HpdrError, Result, Shape};
 use hpdr_mgard::MgardConfig;
 use hpdr_zfp::ZfpConfig;
 
@@ -35,6 +33,11 @@ pub enum Command {
     Info {
         input: String,
     },
+    /// Statically verify the shipped pipeline schedules: hazard analysis
+    /// plus the Fig. 9 schedule lints over every configuration.
+    Verify {
+        json: bool,
+    },
     Help,
 }
 
@@ -47,9 +50,15 @@ USAGE:
                   [--rel-eb <e>] [--abs-eb <e>] [--rate <bits>]
   hpdr decompress --input <in.hpdr> --output <raw.bin>
   hpdr info       --input <in.hpdr>
+  hpdr verify     [--json]
 
 Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
---rate applies to zfp (fixed-rate bits per value).";
+--rate applies to zfp (fixed-rate bits per value).
+
+`hpdr verify` runs the static hazard analyzer (data races,
+use-after-free, deadlock) and the Fig. 9 schedule lints over the op-DAGs
+of every shipped pipeline configuration; --json emits a machine-readable
+report. Exits non-zero if any hazard or lint finding is reported.";
 
 /// Parse `AxBxC` into a shape.
 pub fn parse_shape(s: &str) -> Result<Shape> {
@@ -85,13 +94,22 @@ fn require_flag<'a>(args: &'a [String], flag: &str) -> Result<&'a str> {
 fn parse_codec(args: &[String]) -> Result<Codec> {
     let name = require_flag(args, "--codec")?;
     let rel = get_flag(args, "--rel-eb")
-        .map(|v| v.parse::<f64>().map_err(|_| HpdrError::invalid("bad --rel-eb")))
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| HpdrError::invalid("bad --rel-eb"))
+        })
         .transpose()?;
     let abs = get_flag(args, "--abs-eb")
-        .map(|v| v.parse::<f64>().map_err(|_| HpdrError::invalid("bad --abs-eb")))
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| HpdrError::invalid("bad --abs-eb"))
+        })
         .transpose()?;
     let rate = get_flag(args, "--rate")
-        .map(|v| v.parse::<u32>().map_err(|_| HpdrError::invalid("bad --rate")))
+        .map(|v| {
+            v.parse::<u32>()
+                .map_err(|_| HpdrError::invalid("bad --rate"))
+        })
         .transpose()?;
     match name {
         "mgard" => Ok(Codec::Mgard(match (rel, abs) {
@@ -124,6 +142,9 @@ pub fn parse(args: &[String]) -> Result<Command> {
         Some("info") => Ok(Command::Info {
             input: require_flag(args, "--input")?.to_string(),
         }),
+        Some("verify") => Ok(Command::Verify {
+            json: args.iter().any(|a| a == "--json"),
+        }),
         Some("help" | "--help" | "-h") | None => Ok(Command::Help),
         Some(other) => Err(HpdrError::invalid(format!("unknown command '{other}'"))),
     }
@@ -134,6 +155,7 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
     let adapter = CpuParallelAdapter::with_defaults();
     match cmd {
         Command::Help => Ok(vec![USAGE.to_string()]),
+        Command::Verify { json } => verify_schedules(json),
         Command::Compress {
             codec,
             shape,
@@ -157,7 +179,11 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
             std::fs::write(&output, &stream)?;
             Ok(vec![format!(
                 "{} -> {}: {} -> {} bytes ({:.2}x) with {}",
-                input, output, stats.original_bytes, stats.compressed_bytes, stats.ratio,
+                input,
+                output,
+                stats.original_bytes,
+                stats.compressed_bytes,
+                stats.ratio,
                 stats.codec
             )])
         }
@@ -184,11 +210,184 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
                 format!("dtype:  {}", meta.dtype.name()),
                 format!("shape:  {}", meta.shape),
                 format!("raw:    {} bytes", bytes.len()),
-                format!("stored: {} bytes ({:.2}x)", stream.len(),
-                        bytes.len() as f64 / stream.len().max(1) as f64),
+                format!(
+                    "stored: {} bytes ({:.2}x)",
+                    stream.len(),
+                    bytes.len() as f64 / stream.len().max(1) as f64
+                ),
             ])
         }
     }
+}
+
+/// Map pipeline options onto the linter's declared-schedule config.
+fn lint_config(
+    direction: hpdr_verify::Direction,
+    opts: &hpdr_pipeline::PipelineOptions,
+) -> hpdr_verify::LintConfig {
+    hpdr_verify::LintConfig {
+        direction,
+        two_buffers: opts.two_buffers,
+        cmm: opts.cmm,
+        deser_first: opts.deser_first,
+        serial_queue: opts.serial_queue,
+    }
+}
+
+/// Statically verify every shipped pipeline configuration: build each
+/// compression and reconstruction DAG (without executing it), run the
+/// hazard analyzer and the schedule lints, and report per config.
+///
+/// Returns `Err` (→ non-zero exit) if any configuration is not clean.
+fn verify_schedules(json: bool) -> Result<Vec<String>> {
+    use hpdr_huffman::ByteHuffmanReducer;
+    use hpdr_pipeline::{
+        compress_pipelined, plan_compress, plan_decompress, PipelineMode, PipelineOptions,
+    };
+    use hpdr_verify::Direction;
+    use std::sync::Arc;
+
+    let spec = hpdr_sim::v100();
+    let adapter: Arc<dyn hpdr_core::DeviceAdapter> = Arc::new(CpuParallelAdapter::with_defaults());
+    let reducer: Arc<dyn hpdr_core::Reducer> = Arc::new(ByteHuffmanReducer::default());
+
+    // Small synthetic input: 64 rows × 256 f32 (64 KiB) — enough rows for
+    // multi-chunk schedules under every mode.
+    let meta = ArrayMeta::new(DType::F32, Shape::try_new(&[64, 256])?);
+    let row_bytes = (meta.shape.row_elements() * meta.dtype.size()) as u64;
+    let input: Arc<Vec<u8>> = Arc::new(
+        (0..meta.num_bytes() / 4)
+            .flat_map(|i| ((i % 251) as f32).to_le_bytes())
+            .collect(),
+    );
+
+    let modes = [
+        ("unpipelined", PipelineMode::Unpipelined),
+        (
+            "fixed",
+            PipelineMode::Fixed {
+                chunk_bytes: 8 * row_bytes,
+            },
+        ),
+        (
+            "adaptive",
+            PipelineMode::Adaptive {
+                init_bytes: 4 * row_bytes,
+                limit_bytes: 16 * row_bytes,
+            },
+        ),
+    ];
+    let mut configs: Vec<(String, PipelineOptions)> = Vec::new();
+    for (mode_name, mode) in modes {
+        for two_buffers in [false, true] {
+            for cmm in [false, true] {
+                for deser_first in [false, true] {
+                    configs.push((
+                        format!(
+                            "{mode_name} two_buffers={} cmm={} deser_first={}",
+                            two_buffers as u8, cmm as u8, deser_first as u8
+                        ),
+                        PipelineOptions {
+                            mode,
+                            two_buffers,
+                            cmm,
+                            deser_first,
+                            serial_queue: false,
+                            host_staging: false,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    configs.push((
+        "baseline-unoptimized".to_string(),
+        PipelineOptions::baseline_unoptimized(),
+    ));
+    configs.push((
+        "baseline-per-step".to_string(),
+        PipelineOptions::baseline_per_step(8 * row_bytes),
+    ));
+
+    let mut lines = Vec::new();
+    let mut json_items = Vec::new();
+    let mut dirty = 0usize;
+    for (name, opts) in &configs {
+        let mut one = |direction: Direction, sim: hpdr_sim::Sim| {
+            let dag = sim.dag();
+            let report = hpdr_verify::check(&dag, &lint_config(direction, opts));
+            let dir = match direction {
+                Direction::Compress => "compress",
+                Direction::Decompress => "decompress",
+            };
+            if json {
+                json_items.push(format!(
+                    "{{\"config\":\"{name}\",\"direction\":\"{dir}\",\"report\":{}}}",
+                    report.to_json(&dag)
+                ));
+            } else if report.is_clean() {
+                lines.push(format!(
+                    "ok   {dir:<10} {name}  ({} ops, {} pairs checked)",
+                    report.analysis.num_ops, report.analysis.checked_pairs
+                ));
+            } else {
+                lines.push(format!("FAIL {dir:<10} {name}"));
+                for l in report.describe(&dag).lines() {
+                    lines.push(format!("       {l}"));
+                }
+            }
+            if !report.is_clean() {
+                dirty += 1;
+            }
+        };
+
+        let sim = plan_compress(
+            &spec,
+            Arc::clone(&adapter),
+            Arc::clone(&reducer),
+            Arc::clone(&input),
+            &meta,
+            opts,
+        )?;
+        one(Direction::Compress, sim);
+
+        let (container, _) = compress_pipelined(
+            &spec,
+            Arc::clone(&adapter),
+            Arc::clone(&reducer),
+            Arc::clone(&input),
+            &meta,
+            opts,
+        )?;
+        let sim = plan_decompress(
+            &spec,
+            Arc::clone(&adapter),
+            Arc::clone(&reducer),
+            &container,
+            opts,
+        )?;
+        one(Direction::Decompress, sim);
+    }
+
+    if json {
+        lines.push(format!(
+            "{{\"checked\":{},\"dirty\":{dirty},\"configs\":[{}]}}",
+            json_items.len(),
+            json_items.join(",")
+        ));
+    } else {
+        lines.push(format!(
+            "{} schedule(s) verified, {dirty} with findings",
+            2 * configs.len()
+        ));
+    }
+    if dirty > 0 {
+        return Err(HpdrError::invalid(format!(
+            "schedule verification failed for {dirty} configuration(s):\n{}",
+            lines.join("\n")
+        )));
+    }
+    Ok(lines)
 }
 
 #[cfg(test)]
@@ -216,7 +415,13 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Compress { codec, shape, dtype, input, output } => {
+            Command::Compress {
+                codec,
+                shape,
+                dtype,
+                input,
+                output,
+            } => {
                 assert_eq!(codec.name(), "mgard-x");
                 assert_eq!(shape.dims(), &[8, 8]);
                 assert_eq!(dtype, DType::F32);
@@ -280,6 +485,23 @@ mod tests {
         let info = run(parse(&argv(&format!("info --input {}", comp.display()))).unwrap()).unwrap();
         assert!(info.iter().any(|l| l.contains("16x16")));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_reports_all_shipped_configs_clean() {
+        assert!(matches!(
+            parse(&argv("verify --json")).unwrap(),
+            Command::Verify { json: true }
+        ));
+        let lines = run(parse(&argv("verify")).unwrap()).unwrap();
+        assert!(
+            lines.last().unwrap().contains("0 with findings"),
+            "{lines:?}"
+        );
+        let json = run(Command::Verify { json: true }).unwrap();
+        let blob = json.last().unwrap();
+        assert!(blob.contains("\"dirty\":0"), "{blob}");
+        assert!(blob.contains("\"hazards\":[]"));
     }
 
     #[test]

@@ -64,8 +64,8 @@ pub use hpdr_zfp as zfp;
 // The most-used types at the top level.
 pub use hpdr_baselines::SzConfig;
 pub use hpdr_core::{
-    ArrayMeta, CpuParallelAdapter, DType, DeviceAdapter, GpuSimAdapter, HpdrError, Reducer,
-    Result, SerialAdapter, Shape,
+    ArrayMeta, CpuParallelAdapter, DType, DeviceAdapter, GpuSimAdapter, HpdrError, Reducer, Result,
+    SerialAdapter, Shape,
 };
 pub use hpdr_mgard::{ErrorBound, MgardConfig};
 pub use hpdr_pipeline::{PipelineMode, PipelineOptions};

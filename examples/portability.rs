@@ -9,7 +9,9 @@
 //! ```
 
 use hpdr::{Codec, MgardConfig};
-use hpdr_core::{ArrayMeta, CpuParallelAdapter, DType, DeviceAdapter, GpuSimAdapter, SerialAdapter};
+use hpdr_core::{
+    ArrayMeta, CpuParallelAdapter, DType, DeviceAdapter, GpuSimAdapter, SerialAdapter,
+};
 
 fn main() {
     let field = hpdr::data::nyx_density(48, 123);
@@ -24,9 +26,18 @@ fn main() {
     let adapters: Vec<(&str, Box<dyn DeviceAdapter>)> = vec![
         ("serial-cpu", Box::new(SerialAdapter::new())),
         ("openmp-cpu", Box::new(CpuParallelAdapter::with_defaults())),
-        ("cuda V100", Box::new(GpuSimAdapter::new(hpdr::sim::spec::v100()))),
-        ("cuda A100", Box::new(GpuSimAdapter::new(hpdr::sim::spec::a100()))),
-        ("hip MI250X", Box::new(GpuSimAdapter::new(hpdr::sim::spec::mi250x()))),
+        (
+            "cuda V100",
+            Box::new(GpuSimAdapter::new(hpdr::sim::spec::v100())),
+        ),
+        (
+            "cuda A100",
+            Box::new(GpuSimAdapter::new(hpdr::sim::spec::a100())),
+        ),
+        (
+            "hip MI250X",
+            Box::new(GpuSimAdapter::new(hpdr::sim::spec::mi250x())),
+        ),
     ];
 
     // Compress everywhere.

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, build, tests, schedule verification.
+# Everything runs offline — the workspace vendors its few external
+# dependencies as stub crates under vendor/ (see README).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> hpdr verify"
+cargo run --release -p hpdr --bin hpdr -- verify
+
+echo "All checks passed."

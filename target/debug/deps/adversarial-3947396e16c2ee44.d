@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversarial-3947396e16c2ee44.d: crates/hpdr-sim/tests/adversarial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversarial-3947396e16c2ee44.rmeta: crates/hpdr-sim/tests/adversarial.rs Cargo.toml
+
+crates/hpdr-sim/tests/adversarial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

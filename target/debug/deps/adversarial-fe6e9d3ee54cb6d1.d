@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-fe6e9d3ee54cb6d1.d: crates/hpdr-sim/tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-fe6e9d3ee54cb6d1: crates/hpdr-sim/tests/adversarial.rs
+
+crates/hpdr-sim/tests/adversarial.rs:

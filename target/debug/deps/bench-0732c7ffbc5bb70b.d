@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-0732c7ffbc5bb70b.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libbench-0732c7ffbc5bb70b.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libbench-0732c7ffbc5bb70b.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/scaling.rs:
+crates/bench/src/tables.rs:

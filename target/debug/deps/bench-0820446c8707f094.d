@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench-0820446c8707f094.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-0820446c8707f094.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/scaling.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-11d588c30319b1c7.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libbench-11d588c30319b1c7.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libbench-11d588c30319b1c7.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/scaling.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-3e83b16adc1a0323.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/bench-3e83b16adc1a0323: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/scaling.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-713c28332ee61ebe.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/bench-713c28332ee61ebe: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/scaling.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/climate_io-3f7c65139d05fb98.d: crates/examples-bin/../../examples/climate_io.rs
+
+/root/repo/target/debug/deps/climate_io-3f7c65139d05fb98: crates/examples-bin/../../examples/climate_io.rs
+
+crates/examples-bin/../../examples/climate_io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/climate_io-7b5328d7cad0fb50.d: crates/examples-bin/../../examples/climate_io.rs
+
+/root/repo/target/debug/deps/climate_io-7b5328d7cad0fb50: crates/examples-bin/../../examples/climate_io.rs
+
+crates/examples-bin/../../examples/climate_io.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/climate_io-924eeea25ea857c9.d: crates/examples-bin/../../examples/climate_io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclimate_io-924eeea25ea857c9.rmeta: crates/examples-bin/../../examples/climate_io.rs Cargo.toml
+
+crates/examples-bin/../../examples/climate_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

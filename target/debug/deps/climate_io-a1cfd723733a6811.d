@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/climate_io-a1cfd723733a6811.d: crates/examples-bin/../../examples/climate_io.rs
+
+/root/repo/target/debug/deps/climate_io-a1cfd723733a6811: crates/examples-bin/../../examples/climate_io.rs
+
+crates/examples-bin/../../examples/climate_io.rs:

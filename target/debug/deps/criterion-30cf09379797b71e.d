@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-30cf09379797b71e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-30cf09379797b71e: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

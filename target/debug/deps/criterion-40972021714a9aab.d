@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-40972021714a9aab.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-40972021714a9aab.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-40972021714a9aab.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-01a3be5de3ce50d4.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-01a3be5de3ce50d4: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-feb90d8389132828.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-feb90d8389132828.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-feb90d8389132828.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_bounds-b9fbc883da1b1d92.d: crates/integration/../../tests/error_bounds.rs
+
+/root/repo/target/debug/deps/error_bounds-b9fbc883da1b1d92: crates/integration/../../tests/error_bounds.rs
+
+crates/integration/../../tests/error_bounds.rs:

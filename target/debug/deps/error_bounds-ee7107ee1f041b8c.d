@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/error_bounds-ee7107ee1f041b8c.d: crates/integration/../../tests/error_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/liberror_bounds-ee7107ee1f041b8c.rmeta: crates/integration/../../tests/error_bounds.rs Cargo.toml
+
+crates/integration/../../tests/error_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_bounds-f13adc8ec69ba097.d: crates/integration/../../tests/error_bounds.rs
+
+/root/repo/target/debug/deps/error_bounds-f13adc8ec69ba097: crates/integration/../../tests/error_bounds.rs
+
+crates/integration/../../tests/error_bounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/examples_bin-0bc8e8edea88d8ee.d: crates/examples-bin/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexamples_bin-0bc8e8edea88d8ee.rmeta: crates/examples-bin/src/lib.rs Cargo.toml
+
+crates/examples-bin/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/examples_bin-8bba3b31c76c1961.d: crates/examples-bin/src/lib.rs
+
+/root/repo/target/debug/deps/libexamples_bin-8bba3b31c76c1961.rlib: crates/examples-bin/src/lib.rs
+
+/root/repo/target/debug/deps/libexamples_bin-8bba3b31c76c1961.rmeta: crates/examples-bin/src/lib.rs
+
+crates/examples-bin/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/examples_bin-9942f963ecffe3e0.d: crates/examples-bin/src/lib.rs
+
+/root/repo/target/debug/deps/libexamples_bin-9942f963ecffe3e0.rlib: crates/examples-bin/src/lib.rs
+
+/root/repo/target/debug/deps/libexamples_bin-9942f963ecffe3e0.rmeta: crates/examples-bin/src/lib.rs
+
+crates/examples-bin/src/lib.rs:

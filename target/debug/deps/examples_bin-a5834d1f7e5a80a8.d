@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/examples_bin-a5834d1f7e5a80a8.d: crates/examples-bin/src/lib.rs
+
+/root/repo/target/debug/deps/examples_bin-a5834d1f7e5a80a8: crates/examples-bin/src/lib.rs
+
+crates/examples-bin/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/examples_bin-f59e1b3d595a8921.d: crates/examples-bin/src/lib.rs
+
+/root/repo/target/debug/deps/examples_bin-f59e1b3d595a8921: crates/examples-bin/src/lib.rs
+
+crates/examples-bin/src/lib.rs:

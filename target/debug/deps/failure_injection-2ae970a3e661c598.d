@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-2ae970a3e661c598.d: crates/integration/../../tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-2ae970a3e661c598.rmeta: crates/integration/../../tests/failure_injection.rs Cargo.toml
+
+crates/integration/../../tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

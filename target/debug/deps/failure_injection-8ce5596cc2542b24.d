@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-8ce5596cc2542b24.d: crates/integration/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-8ce5596cc2542b24: crates/integration/../../tests/failure_injection.rs
+
+crates/integration/../../tests/failure_injection.rs:

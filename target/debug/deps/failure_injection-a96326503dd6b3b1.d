@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-a96326503dd6b3b1.d: crates/integration/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-a96326503dd6b3b1: crates/integration/../../tests/failure_injection.rs
+
+crates/integration/../../tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_breakdown-ca5d18002ea5c8e3.d: crates/bench/benches/fig01_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_breakdown-ca5d18002ea5c8e3.rmeta: crates/bench/benches/fig01_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig01_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

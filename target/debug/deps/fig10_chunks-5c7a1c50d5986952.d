@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_chunks-5c7a1c50d5986952.d: crates/bench/benches/fig10_chunks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_chunks-5c7a1c50d5986952.rmeta: crates/bench/benches/fig10_chunks.rs Cargo.toml
+
+crates/bench/benches/fig10_chunks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_roofline-09a26e87042832fd.d: crates/bench/benches/fig11_roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_roofline-09a26e87042832fd.rmeta: crates/bench/benches/fig11_roofline.rs Cargo.toml
+
+crates/bench/benches/fig11_roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_kernels-69ca6f22ee746fa1.d: crates/bench/benches/fig12_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_kernels-69ca6f22ee746fa1.rmeta: crates/bench/benches/fig12_kernels.rs Cargo.toml
+
+crates/bench/benches/fig12_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

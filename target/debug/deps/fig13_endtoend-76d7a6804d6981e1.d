@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_endtoend-76d7a6804d6981e1.d: crates/bench/benches/fig13_endtoend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_endtoend-76d7a6804d6981e1.rmeta: crates/bench/benches/fig13_endtoend.rs Cargo.toml
+
+crates/bench/benches/fig13_endtoend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

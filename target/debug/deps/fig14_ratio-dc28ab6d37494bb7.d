@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_ratio-dc28ab6d37494bb7.d: crates/bench/benches/fig14_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_ratio-dc28ab6d37494bb7.rmeta: crates/bench/benches/fig14_ratio.rs Cargo.toml
+
+crates/bench/benches/fig14_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_multinode-4270e88fc104e9a8.d: crates/bench/benches/fig15_multinode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_multinode-4270e88fc104e9a8.rmeta: crates/bench/benches/fig15_multinode.rs Cargo.toml
+
+crates/bench/benches/fig15_multinode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_multigpu-d74d8c402ca8b68e.d: crates/bench/benches/fig16_multigpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_multigpu-d74d8c402ca8b68e.rmeta: crates/bench/benches/fig16_multigpu.rs Cargo.toml
+
+crates/bench/benches/fig16_multigpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

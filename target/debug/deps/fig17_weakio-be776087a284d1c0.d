@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_weakio-be776087a284d1c0.d: crates/bench/benches/fig17_weakio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_weakio-be776087a284d1c0.rmeta: crates/bench/benches/fig17_weakio.rs Cargo.toml
+
+crates/bench/benches/fig17_weakio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_strongio-90869bfd5438b6e6.d: crates/bench/benches/fig18_strongio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_strongio-90869bfd5438b6e6.rmeta: crates/bench/benches/fig18_strongio.rs Cargo.toml
+
+crates/bench/benches/fig18_strongio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

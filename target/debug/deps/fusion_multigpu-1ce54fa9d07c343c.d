@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fusion_multigpu-1ce54fa9d07c343c.d: crates/examples-bin/../../examples/fusion_multigpu.rs
+
+/root/repo/target/debug/deps/fusion_multigpu-1ce54fa9d07c343c: crates/examples-bin/../../examples/fusion_multigpu.rs
+
+crates/examples-bin/../../examples/fusion_multigpu.rs:

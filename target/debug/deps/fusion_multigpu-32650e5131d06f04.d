@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fusion_multigpu-32650e5131d06f04.d: crates/examples-bin/../../examples/fusion_multigpu.rs
+
+/root/repo/target/debug/deps/fusion_multigpu-32650e5131d06f04: crates/examples-bin/../../examples/fusion_multigpu.rs
+
+crates/examples-bin/../../examples/fusion_multigpu.rs:

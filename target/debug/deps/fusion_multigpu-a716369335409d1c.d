@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fusion_multigpu-a716369335409d1c.d: crates/examples-bin/../../examples/fusion_multigpu.rs
+
+/root/repo/target/debug/deps/fusion_multigpu-a716369335409d1c: crates/examples-bin/../../examples/fusion_multigpu.rs
+
+crates/examples-bin/../../examples/fusion_multigpu.rs:

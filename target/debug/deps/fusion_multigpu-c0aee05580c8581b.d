@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fusion_multigpu-c0aee05580c8581b.d: crates/examples-bin/../../examples/fusion_multigpu.rs
+
+/root/repo/target/debug/deps/fusion_multigpu-c0aee05580c8581b: crates/examples-bin/../../examples/fusion_multigpu.rs
+
+crates/examples-bin/../../examples/fusion_multigpu.rs:

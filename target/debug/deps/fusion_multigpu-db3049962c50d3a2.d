@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fusion_multigpu-db3049962c50d3a2.d: crates/examples-bin/../../examples/fusion_multigpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_multigpu-db3049962c50d3a2.rmeta: crates/examples-bin/../../examples/fusion_multigpu.rs Cargo.toml
+
+crates/examples-bin/../../examples/fusion_multigpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpdr-03caac5564f9583c.d: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+/root/repo/target/debug/deps/libhpdr-03caac5564f9583c.rlib: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+/root/repo/target/debug/deps/libhpdr-03caac5564f9583c.rmeta: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+crates/hpdr/src/lib.rs:
+crates/hpdr/src/api.rs:
+crates/hpdr/src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpdr-55e24f74d1008f38.d: crates/hpdr/src/bin/hpdr.rs
+
+/root/repo/target/debug/deps/hpdr-55e24f74d1008f38: crates/hpdr/src/bin/hpdr.rs
+
+crates/hpdr/src/bin/hpdr.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hpdr-7cbee9e788bf5be4.d: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+/root/repo/target/debug/deps/hpdr-7cbee9e788bf5be4: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+crates/hpdr/src/lib.rs:
+crates/hpdr/src/api.rs:
+crates/hpdr/src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpdr-ab8161241e6279e9.d: crates/hpdr/src/bin/hpdr.rs
+
+/root/repo/target/debug/deps/hpdr-ab8161241e6279e9: crates/hpdr/src/bin/hpdr.rs
+
+crates/hpdr/src/bin/hpdr.rs:

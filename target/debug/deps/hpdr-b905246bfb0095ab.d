@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hpdr-b905246bfb0095ab.d: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+/root/repo/target/debug/deps/hpdr-b905246bfb0095ab: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+crates/hpdr/src/lib.rs:
+crates/hpdr/src/api.rs:
+crates/hpdr/src/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpdr-bfeb74531d3bc906.d: crates/hpdr/src/bin/hpdr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr-bfeb74531d3bc906.rmeta: crates/hpdr/src/bin/hpdr.rs Cargo.toml
+
+crates/hpdr/src/bin/hpdr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

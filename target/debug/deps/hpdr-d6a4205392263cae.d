@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpdr-d6a4205392263cae.d: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+/root/repo/target/debug/deps/libhpdr-d6a4205392263cae.rlib: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+/root/repo/target/debug/deps/libhpdr-d6a4205392263cae.rmeta: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+crates/hpdr/src/lib.rs:
+crates/hpdr/src/api.rs:
+crates/hpdr/src/cli.rs:

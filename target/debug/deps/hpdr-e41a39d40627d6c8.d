@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpdr-e41a39d40627d6c8.d: crates/hpdr/src/bin/hpdr.rs
+
+/root/repo/target/debug/deps/hpdr-e41a39d40627d6c8: crates/hpdr/src/bin/hpdr.rs
+
+crates/hpdr/src/bin/hpdr.rs:

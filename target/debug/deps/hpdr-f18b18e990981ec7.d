@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpdr-f18b18e990981ec7.d: crates/hpdr/src/bin/hpdr.rs
+
+/root/repo/target/debug/deps/hpdr-f18b18e990981ec7: crates/hpdr/src/bin/hpdr.rs
+
+crates/hpdr/src/bin/hpdr.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hpdr_baselines-19b20be54d1f3e17.d: crates/hpdr-baselines/src/lib.rs crates/hpdr-baselines/src/lorenzo.rs crates/hpdr-baselines/src/lz4like.rs crates/hpdr-baselines/src/szlike.rs
+
+/root/repo/target/debug/deps/hpdr_baselines-19b20be54d1f3e17: crates/hpdr-baselines/src/lib.rs crates/hpdr-baselines/src/lorenzo.rs crates/hpdr-baselines/src/lz4like.rs crates/hpdr-baselines/src/szlike.rs
+
+crates/hpdr-baselines/src/lib.rs:
+crates/hpdr-baselines/src/lorenzo.rs:
+crates/hpdr-baselines/src/lz4like.rs:
+crates/hpdr-baselines/src/szlike.rs:

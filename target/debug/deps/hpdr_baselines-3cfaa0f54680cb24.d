@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hpdr_baselines-3cfaa0f54680cb24.d: crates/hpdr-baselines/src/lib.rs crates/hpdr-baselines/src/lorenzo.rs crates/hpdr-baselines/src/lz4like.rs crates/hpdr-baselines/src/szlike.rs
+
+/root/repo/target/debug/deps/libhpdr_baselines-3cfaa0f54680cb24.rlib: crates/hpdr-baselines/src/lib.rs crates/hpdr-baselines/src/lorenzo.rs crates/hpdr-baselines/src/lz4like.rs crates/hpdr-baselines/src/szlike.rs
+
+/root/repo/target/debug/deps/libhpdr_baselines-3cfaa0f54680cb24.rmeta: crates/hpdr-baselines/src/lib.rs crates/hpdr-baselines/src/lorenzo.rs crates/hpdr-baselines/src/lz4like.rs crates/hpdr-baselines/src/szlike.rs
+
+crates/hpdr-baselines/src/lib.rs:
+crates/hpdr-baselines/src/lorenzo.rs:
+crates/hpdr-baselines/src/lz4like.rs:
+crates/hpdr-baselines/src/szlike.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpdr_baselines-f40254e254b2468f.d: crates/hpdr-baselines/src/lib.rs crates/hpdr-baselines/src/lorenzo.rs crates/hpdr-baselines/src/lz4like.rs crates/hpdr-baselines/src/szlike.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_baselines-f40254e254b2468f.rmeta: crates/hpdr-baselines/src/lib.rs crates/hpdr-baselines/src/lorenzo.rs crates/hpdr-baselines/src/lz4like.rs crates/hpdr-baselines/src/szlike.rs Cargo.toml
+
+crates/hpdr-baselines/src/lib.rs:
+crates/hpdr-baselines/src/lorenzo.rs:
+crates/hpdr-baselines/src/lz4like.rs:
+crates/hpdr-baselines/src/szlike.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hpdr_core-2232efbdf929da37.d: crates/hpdr-core/src/lib.rs crates/hpdr-core/src/abstractions.rs crates/hpdr-core/src/adapter.rs crates/hpdr-core/src/bytesio.rs crates/hpdr-core/src/cmm.rs crates/hpdr-core/src/error.rs crates/hpdr-core/src/float.rs crates/hpdr-core/src/gpu_sim.rs crates/hpdr-core/src/pool.rs crates/hpdr-core/src/reducer.rs crates/hpdr-core/src/shape.rs crates/hpdr-core/src/shared.rs
+
+/root/repo/target/debug/deps/hpdr_core-2232efbdf929da37: crates/hpdr-core/src/lib.rs crates/hpdr-core/src/abstractions.rs crates/hpdr-core/src/adapter.rs crates/hpdr-core/src/bytesio.rs crates/hpdr-core/src/cmm.rs crates/hpdr-core/src/error.rs crates/hpdr-core/src/float.rs crates/hpdr-core/src/gpu_sim.rs crates/hpdr-core/src/pool.rs crates/hpdr-core/src/reducer.rs crates/hpdr-core/src/shape.rs crates/hpdr-core/src/shared.rs
+
+crates/hpdr-core/src/lib.rs:
+crates/hpdr-core/src/abstractions.rs:
+crates/hpdr-core/src/adapter.rs:
+crates/hpdr-core/src/bytesio.rs:
+crates/hpdr-core/src/cmm.rs:
+crates/hpdr-core/src/error.rs:
+crates/hpdr-core/src/float.rs:
+crates/hpdr-core/src/gpu_sim.rs:
+crates/hpdr-core/src/pool.rs:
+crates/hpdr-core/src/reducer.rs:
+crates/hpdr-core/src/shape.rs:
+crates/hpdr-core/src/shared.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hpdr_core-d2cb56c34696a87d.d: crates/hpdr-core/src/lib.rs crates/hpdr-core/src/abstractions.rs crates/hpdr-core/src/adapter.rs crates/hpdr-core/src/bytesio.rs crates/hpdr-core/src/cmm.rs crates/hpdr-core/src/error.rs crates/hpdr-core/src/float.rs crates/hpdr-core/src/gpu_sim.rs crates/hpdr-core/src/pool.rs crates/hpdr-core/src/reducer.rs crates/hpdr-core/src/shape.rs crates/hpdr-core/src/shared.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_core-d2cb56c34696a87d.rmeta: crates/hpdr-core/src/lib.rs crates/hpdr-core/src/abstractions.rs crates/hpdr-core/src/adapter.rs crates/hpdr-core/src/bytesio.rs crates/hpdr-core/src/cmm.rs crates/hpdr-core/src/error.rs crates/hpdr-core/src/float.rs crates/hpdr-core/src/gpu_sim.rs crates/hpdr-core/src/pool.rs crates/hpdr-core/src/reducer.rs crates/hpdr-core/src/shape.rs crates/hpdr-core/src/shared.rs Cargo.toml
+
+crates/hpdr-core/src/lib.rs:
+crates/hpdr-core/src/abstractions.rs:
+crates/hpdr-core/src/adapter.rs:
+crates/hpdr-core/src/bytesio.rs:
+crates/hpdr-core/src/cmm.rs:
+crates/hpdr-core/src/error.rs:
+crates/hpdr-core/src/float.rs:
+crates/hpdr-core/src/gpu_sim.rs:
+crates/hpdr-core/src/pool.rs:
+crates/hpdr-core/src/reducer.rs:
+crates/hpdr-core/src/shape.rs:
+crates/hpdr-core/src/shared.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hpdr_data-aa3be25989df1ea9.d: crates/hpdr-data/src/lib.rs crates/hpdr-data/src/datasets.rs crates/hpdr-data/src/field.rs
+
+/root/repo/target/debug/deps/hpdr_data-aa3be25989df1ea9: crates/hpdr-data/src/lib.rs crates/hpdr-data/src/datasets.rs crates/hpdr-data/src/field.rs
+
+crates/hpdr-data/src/lib.rs:
+crates/hpdr-data/src/datasets.rs:
+crates/hpdr-data/src/field.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hpdr_data-af83aaabeeddf402.d: crates/hpdr-data/src/lib.rs crates/hpdr-data/src/datasets.rs crates/hpdr-data/src/field.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_data-af83aaabeeddf402.rmeta: crates/hpdr-data/src/lib.rs crates/hpdr-data/src/datasets.rs crates/hpdr-data/src/field.rs Cargo.toml
+
+crates/hpdr-data/src/lib.rs:
+crates/hpdr-data/src/datasets.rs:
+crates/hpdr-data/src/field.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpdr_data-e74ad7e6b0e0e233.d: crates/hpdr-data/src/lib.rs crates/hpdr-data/src/datasets.rs crates/hpdr-data/src/field.rs
+
+/root/repo/target/debug/deps/libhpdr_data-e74ad7e6b0e0e233.rlib: crates/hpdr-data/src/lib.rs crates/hpdr-data/src/datasets.rs crates/hpdr-data/src/field.rs
+
+/root/repo/target/debug/deps/libhpdr_data-e74ad7e6b0e0e233.rmeta: crates/hpdr-data/src/lib.rs crates/hpdr-data/src/datasets.rs crates/hpdr-data/src/field.rs
+
+crates/hpdr-data/src/lib.rs:
+crates/hpdr-data/src/datasets.rs:
+crates/hpdr-data/src/field.rs:

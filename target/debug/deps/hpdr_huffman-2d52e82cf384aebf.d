@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hpdr_huffman-2d52e82cf384aebf.d: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs
+
+/root/repo/target/debug/deps/hpdr_huffman-2d52e82cf384aebf: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs
+
+crates/hpdr-huffman/src/lib.rs:
+crates/hpdr-huffman/src/codebook.rs:
+crates/hpdr-huffman/src/codec.rs:
+crates/hpdr-huffman/src/reducer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpdr_huffman-724abfdb2ff17208.d: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_huffman-724abfdb2ff17208.rmeta: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs Cargo.toml
+
+crates/hpdr-huffman/src/lib.rs:
+crates/hpdr-huffman/src/codebook.rs:
+crates/hpdr-huffman/src/codec.rs:
+crates/hpdr-huffman/src/reducer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

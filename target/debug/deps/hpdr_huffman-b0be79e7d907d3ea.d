@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpdr_huffman-b0be79e7d907d3ea.d: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_huffman-b0be79e7d907d3ea.rmeta: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs Cargo.toml
+
+crates/hpdr-huffman/src/lib.rs:
+crates/hpdr-huffman/src/codebook.rs:
+crates/hpdr-huffman/src/codec.rs:
+crates/hpdr-huffman/src/reducer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

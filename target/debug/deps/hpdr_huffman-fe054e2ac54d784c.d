@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hpdr_huffman-fe054e2ac54d784c.d: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs
+
+/root/repo/target/debug/deps/libhpdr_huffman-fe054e2ac54d784c.rlib: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs
+
+/root/repo/target/debug/deps/libhpdr_huffman-fe054e2ac54d784c.rmeta: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs
+
+crates/hpdr-huffman/src/lib.rs:
+crates/hpdr-huffman/src/codebook.rs:
+crates/hpdr-huffman/src/codec.rs:
+crates/hpdr-huffman/src/reducer.rs:

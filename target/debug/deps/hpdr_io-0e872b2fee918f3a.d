@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpdr_io-0e872b2fee918f3a.d: crates/hpdr-io/src/lib.rs crates/hpdr-io/src/bp.rs crates/hpdr-io/src/cluster.rs crates/hpdr-io/src/fsmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_io-0e872b2fee918f3a.rmeta: crates/hpdr-io/src/lib.rs crates/hpdr-io/src/bp.rs crates/hpdr-io/src/cluster.rs crates/hpdr-io/src/fsmodel.rs Cargo.toml
+
+crates/hpdr-io/src/lib.rs:
+crates/hpdr-io/src/bp.rs:
+crates/hpdr-io/src/cluster.rs:
+crates/hpdr-io/src/fsmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

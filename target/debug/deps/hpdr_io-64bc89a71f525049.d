@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hpdr_io-64bc89a71f525049.d: crates/hpdr-io/src/lib.rs crates/hpdr-io/src/bp.rs crates/hpdr-io/src/cluster.rs crates/hpdr-io/src/fsmodel.rs
+
+/root/repo/target/debug/deps/libhpdr_io-64bc89a71f525049.rlib: crates/hpdr-io/src/lib.rs crates/hpdr-io/src/bp.rs crates/hpdr-io/src/cluster.rs crates/hpdr-io/src/fsmodel.rs
+
+/root/repo/target/debug/deps/libhpdr_io-64bc89a71f525049.rmeta: crates/hpdr-io/src/lib.rs crates/hpdr-io/src/bp.rs crates/hpdr-io/src/cluster.rs crates/hpdr-io/src/fsmodel.rs
+
+crates/hpdr-io/src/lib.rs:
+crates/hpdr-io/src/bp.rs:
+crates/hpdr-io/src/cluster.rs:
+crates/hpdr-io/src/fsmodel.rs:

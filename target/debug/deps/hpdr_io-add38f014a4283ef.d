@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hpdr_io-add38f014a4283ef.d: crates/hpdr-io/src/lib.rs crates/hpdr-io/src/bp.rs crates/hpdr-io/src/cluster.rs crates/hpdr-io/src/fsmodel.rs
+
+/root/repo/target/debug/deps/hpdr_io-add38f014a4283ef: crates/hpdr-io/src/lib.rs crates/hpdr-io/src/bp.rs crates/hpdr-io/src/cluster.rs crates/hpdr-io/src/fsmodel.rs
+
+crates/hpdr-io/src/lib.rs:
+crates/hpdr-io/src/bp.rs:
+crates/hpdr-io/src/cluster.rs:
+crates/hpdr-io/src/fsmodel.rs:

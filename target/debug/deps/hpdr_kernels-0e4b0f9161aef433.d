@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hpdr_kernels-0e4b0f9161aef433.d: crates/hpdr-kernels/src/lib.rs crates/hpdr-kernels/src/bitstream.rs crates/hpdr-kernels/src/blocks.rs crates/hpdr-kernels/src/histogram.rs crates/hpdr-kernels/src/pack.rs crates/hpdr-kernels/src/reduce.rs crates/hpdr-kernels/src/scan.rs crates/hpdr-kernels/src/sort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_kernels-0e4b0f9161aef433.rmeta: crates/hpdr-kernels/src/lib.rs crates/hpdr-kernels/src/bitstream.rs crates/hpdr-kernels/src/blocks.rs crates/hpdr-kernels/src/histogram.rs crates/hpdr-kernels/src/pack.rs crates/hpdr-kernels/src/reduce.rs crates/hpdr-kernels/src/scan.rs crates/hpdr-kernels/src/sort.rs Cargo.toml
+
+crates/hpdr-kernels/src/lib.rs:
+crates/hpdr-kernels/src/bitstream.rs:
+crates/hpdr-kernels/src/blocks.rs:
+crates/hpdr-kernels/src/histogram.rs:
+crates/hpdr-kernels/src/pack.rs:
+crates/hpdr-kernels/src/reduce.rs:
+crates/hpdr-kernels/src/scan.rs:
+crates/hpdr-kernels/src/sort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpdr_kernels-5a59c7e85f5fdcc9.d: crates/hpdr-kernels/src/lib.rs crates/hpdr-kernels/src/bitstream.rs crates/hpdr-kernels/src/blocks.rs crates/hpdr-kernels/src/histogram.rs crates/hpdr-kernels/src/pack.rs crates/hpdr-kernels/src/reduce.rs crates/hpdr-kernels/src/scan.rs crates/hpdr-kernels/src/sort.rs
+
+/root/repo/target/debug/deps/hpdr_kernels-5a59c7e85f5fdcc9: crates/hpdr-kernels/src/lib.rs crates/hpdr-kernels/src/bitstream.rs crates/hpdr-kernels/src/blocks.rs crates/hpdr-kernels/src/histogram.rs crates/hpdr-kernels/src/pack.rs crates/hpdr-kernels/src/reduce.rs crates/hpdr-kernels/src/scan.rs crates/hpdr-kernels/src/sort.rs
+
+crates/hpdr-kernels/src/lib.rs:
+crates/hpdr-kernels/src/bitstream.rs:
+crates/hpdr-kernels/src/blocks.rs:
+crates/hpdr-kernels/src/histogram.rs:
+crates/hpdr-kernels/src/pack.rs:
+crates/hpdr-kernels/src/reduce.rs:
+crates/hpdr-kernels/src/scan.rs:
+crates/hpdr-kernels/src/sort.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hpdr_kernels-808258e118cbcd6a.d: crates/hpdr-kernels/src/lib.rs crates/hpdr-kernels/src/bitstream.rs crates/hpdr-kernels/src/blocks.rs crates/hpdr-kernels/src/histogram.rs crates/hpdr-kernels/src/pack.rs crates/hpdr-kernels/src/reduce.rs crates/hpdr-kernels/src/scan.rs crates/hpdr-kernels/src/sort.rs
+
+/root/repo/target/debug/deps/libhpdr_kernels-808258e118cbcd6a.rlib: crates/hpdr-kernels/src/lib.rs crates/hpdr-kernels/src/bitstream.rs crates/hpdr-kernels/src/blocks.rs crates/hpdr-kernels/src/histogram.rs crates/hpdr-kernels/src/pack.rs crates/hpdr-kernels/src/reduce.rs crates/hpdr-kernels/src/scan.rs crates/hpdr-kernels/src/sort.rs
+
+/root/repo/target/debug/deps/libhpdr_kernels-808258e118cbcd6a.rmeta: crates/hpdr-kernels/src/lib.rs crates/hpdr-kernels/src/bitstream.rs crates/hpdr-kernels/src/blocks.rs crates/hpdr-kernels/src/histogram.rs crates/hpdr-kernels/src/pack.rs crates/hpdr-kernels/src/reduce.rs crates/hpdr-kernels/src/scan.rs crates/hpdr-kernels/src/sort.rs
+
+crates/hpdr-kernels/src/lib.rs:
+crates/hpdr-kernels/src/bitstream.rs:
+crates/hpdr-kernels/src/blocks.rs:
+crates/hpdr-kernels/src/histogram.rs:
+crates/hpdr-kernels/src/pack.rs:
+crates/hpdr-kernels/src/reduce.rs:
+crates/hpdr-kernels/src/scan.rs:
+crates/hpdr-kernels/src/sort.rs:

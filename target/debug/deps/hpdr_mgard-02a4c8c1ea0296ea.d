@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hpdr_mgard-02a4c8c1ea0296ea.d: crates/hpdr-mgard/src/lib.rs crates/hpdr-mgard/src/codec.rs crates/hpdr-mgard/src/decompose.rs crates/hpdr-mgard/src/hierarchy.rs crates/hpdr-mgard/src/operators.rs crates/hpdr-mgard/src/quantize.rs crates/hpdr-mgard/src/reducer.rs crates/hpdr-mgard/src/refactor.rs
+
+/root/repo/target/debug/deps/libhpdr_mgard-02a4c8c1ea0296ea.rlib: crates/hpdr-mgard/src/lib.rs crates/hpdr-mgard/src/codec.rs crates/hpdr-mgard/src/decompose.rs crates/hpdr-mgard/src/hierarchy.rs crates/hpdr-mgard/src/operators.rs crates/hpdr-mgard/src/quantize.rs crates/hpdr-mgard/src/reducer.rs crates/hpdr-mgard/src/refactor.rs
+
+/root/repo/target/debug/deps/libhpdr_mgard-02a4c8c1ea0296ea.rmeta: crates/hpdr-mgard/src/lib.rs crates/hpdr-mgard/src/codec.rs crates/hpdr-mgard/src/decompose.rs crates/hpdr-mgard/src/hierarchy.rs crates/hpdr-mgard/src/operators.rs crates/hpdr-mgard/src/quantize.rs crates/hpdr-mgard/src/reducer.rs crates/hpdr-mgard/src/refactor.rs
+
+crates/hpdr-mgard/src/lib.rs:
+crates/hpdr-mgard/src/codec.rs:
+crates/hpdr-mgard/src/decompose.rs:
+crates/hpdr-mgard/src/hierarchy.rs:
+crates/hpdr-mgard/src/operators.rs:
+crates/hpdr-mgard/src/quantize.rs:
+crates/hpdr-mgard/src/reducer.rs:
+crates/hpdr-mgard/src/refactor.rs:

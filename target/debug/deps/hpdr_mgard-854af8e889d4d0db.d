@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hpdr_mgard-854af8e889d4d0db.d: crates/hpdr-mgard/src/lib.rs crates/hpdr-mgard/src/codec.rs crates/hpdr-mgard/src/decompose.rs crates/hpdr-mgard/src/hierarchy.rs crates/hpdr-mgard/src/operators.rs crates/hpdr-mgard/src/quantize.rs crates/hpdr-mgard/src/reducer.rs crates/hpdr-mgard/src/refactor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_mgard-854af8e889d4d0db.rmeta: crates/hpdr-mgard/src/lib.rs crates/hpdr-mgard/src/codec.rs crates/hpdr-mgard/src/decompose.rs crates/hpdr-mgard/src/hierarchy.rs crates/hpdr-mgard/src/operators.rs crates/hpdr-mgard/src/quantize.rs crates/hpdr-mgard/src/reducer.rs crates/hpdr-mgard/src/refactor.rs Cargo.toml
+
+crates/hpdr-mgard/src/lib.rs:
+crates/hpdr-mgard/src/codec.rs:
+crates/hpdr-mgard/src/decompose.rs:
+crates/hpdr-mgard/src/hierarchy.rs:
+crates/hpdr-mgard/src/operators.rs:
+crates/hpdr-mgard/src/quantize.rs:
+crates/hpdr-mgard/src/reducer.rs:
+crates/hpdr-mgard/src/refactor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

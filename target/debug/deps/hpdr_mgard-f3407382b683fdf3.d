@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpdr_mgard-f3407382b683fdf3.d: crates/hpdr-mgard/src/lib.rs crates/hpdr-mgard/src/codec.rs crates/hpdr-mgard/src/decompose.rs crates/hpdr-mgard/src/hierarchy.rs crates/hpdr-mgard/src/operators.rs crates/hpdr-mgard/src/quantize.rs crates/hpdr-mgard/src/reducer.rs crates/hpdr-mgard/src/refactor.rs
+
+/root/repo/target/debug/deps/hpdr_mgard-f3407382b683fdf3: crates/hpdr-mgard/src/lib.rs crates/hpdr-mgard/src/codec.rs crates/hpdr-mgard/src/decompose.rs crates/hpdr-mgard/src/hierarchy.rs crates/hpdr-mgard/src/operators.rs crates/hpdr-mgard/src/quantize.rs crates/hpdr-mgard/src/reducer.rs crates/hpdr-mgard/src/refactor.rs
+
+crates/hpdr-mgard/src/lib.rs:
+crates/hpdr-mgard/src/codec.rs:
+crates/hpdr-mgard/src/decompose.rs:
+crates/hpdr-mgard/src/hierarchy.rs:
+crates/hpdr-mgard/src/operators.rs:
+crates/hpdr-mgard/src/quantize.rs:
+crates/hpdr-mgard/src/reducer.rs:
+crates/hpdr-mgard/src/refactor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hpdr_pipeline-03568eed4ea831a5.d: crates/hpdr-pipeline/src/lib.rs crates/hpdr-pipeline/src/container.rs crates/hpdr-pipeline/src/multigpu.rs crates/hpdr-pipeline/src/roofline.rs crates/hpdr-pipeline/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_pipeline-03568eed4ea831a5.rmeta: crates/hpdr-pipeline/src/lib.rs crates/hpdr-pipeline/src/container.rs crates/hpdr-pipeline/src/multigpu.rs crates/hpdr-pipeline/src/roofline.rs crates/hpdr-pipeline/src/runner.rs Cargo.toml
+
+crates/hpdr-pipeline/src/lib.rs:
+crates/hpdr-pipeline/src/container.rs:
+crates/hpdr-pipeline/src/multigpu.rs:
+crates/hpdr-pipeline/src/roofline.rs:
+crates/hpdr-pipeline/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

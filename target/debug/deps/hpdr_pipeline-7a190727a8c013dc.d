@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpdr_pipeline-7a190727a8c013dc.d: crates/hpdr-pipeline/src/lib.rs crates/hpdr-pipeline/src/container.rs crates/hpdr-pipeline/src/multigpu.rs crates/hpdr-pipeline/src/roofline.rs crates/hpdr-pipeline/src/runner.rs
+
+/root/repo/target/debug/deps/hpdr_pipeline-7a190727a8c013dc: crates/hpdr-pipeline/src/lib.rs crates/hpdr-pipeline/src/container.rs crates/hpdr-pipeline/src/multigpu.rs crates/hpdr-pipeline/src/roofline.rs crates/hpdr-pipeline/src/runner.rs
+
+crates/hpdr-pipeline/src/lib.rs:
+crates/hpdr-pipeline/src/container.rs:
+crates/hpdr-pipeline/src/multigpu.rs:
+crates/hpdr-pipeline/src/roofline.rs:
+crates/hpdr-pipeline/src/runner.rs:

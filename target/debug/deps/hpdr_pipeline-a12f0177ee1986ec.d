@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hpdr_pipeline-a12f0177ee1986ec.d: crates/hpdr-pipeline/src/lib.rs crates/hpdr-pipeline/src/container.rs crates/hpdr-pipeline/src/multigpu.rs crates/hpdr-pipeline/src/roofline.rs crates/hpdr-pipeline/src/runner.rs
+
+/root/repo/target/debug/deps/libhpdr_pipeline-a12f0177ee1986ec.rlib: crates/hpdr-pipeline/src/lib.rs crates/hpdr-pipeline/src/container.rs crates/hpdr-pipeline/src/multigpu.rs crates/hpdr-pipeline/src/roofline.rs crates/hpdr-pipeline/src/runner.rs
+
+/root/repo/target/debug/deps/libhpdr_pipeline-a12f0177ee1986ec.rmeta: crates/hpdr-pipeline/src/lib.rs crates/hpdr-pipeline/src/container.rs crates/hpdr-pipeline/src/multigpu.rs crates/hpdr-pipeline/src/roofline.rs crates/hpdr-pipeline/src/runner.rs
+
+crates/hpdr-pipeline/src/lib.rs:
+crates/hpdr-pipeline/src/container.rs:
+crates/hpdr-pipeline/src/multigpu.rs:
+crates/hpdr-pipeline/src/roofline.rs:
+crates/hpdr-pipeline/src/runner.rs:

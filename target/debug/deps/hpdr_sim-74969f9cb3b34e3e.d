@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hpdr_sim-74969f9cb3b34e3e.d: crates/hpdr-sim/src/lib.rs crates/hpdr-sim/src/effects.rs crates/hpdr-sim/src/mem.rs crates/hpdr-sim/src/sim.rs crates/hpdr-sim/src/spec.rs crates/hpdr-sim/src/time.rs crates/hpdr-sim/src/timeline.rs crates/hpdr-sim/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_sim-74969f9cb3b34e3e.rmeta: crates/hpdr-sim/src/lib.rs crates/hpdr-sim/src/effects.rs crates/hpdr-sim/src/mem.rs crates/hpdr-sim/src/sim.rs crates/hpdr-sim/src/spec.rs crates/hpdr-sim/src/time.rs crates/hpdr-sim/src/timeline.rs crates/hpdr-sim/src/verify.rs Cargo.toml
+
+crates/hpdr-sim/src/lib.rs:
+crates/hpdr-sim/src/effects.rs:
+crates/hpdr-sim/src/mem.rs:
+crates/hpdr-sim/src/sim.rs:
+crates/hpdr-sim/src/spec.rs:
+crates/hpdr-sim/src/time.rs:
+crates/hpdr-sim/src/timeline.rs:
+crates/hpdr-sim/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

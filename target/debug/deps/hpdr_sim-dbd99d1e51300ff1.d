@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpdr_sim-dbd99d1e51300ff1.d: crates/hpdr-sim/src/lib.rs crates/hpdr-sim/src/effects.rs crates/hpdr-sim/src/mem.rs crates/hpdr-sim/src/sim.rs crates/hpdr-sim/src/spec.rs crates/hpdr-sim/src/time.rs crates/hpdr-sim/src/timeline.rs crates/hpdr-sim/src/verify.rs
+
+/root/repo/target/debug/deps/hpdr_sim-dbd99d1e51300ff1: crates/hpdr-sim/src/lib.rs crates/hpdr-sim/src/effects.rs crates/hpdr-sim/src/mem.rs crates/hpdr-sim/src/sim.rs crates/hpdr-sim/src/spec.rs crates/hpdr-sim/src/time.rs crates/hpdr-sim/src/timeline.rs crates/hpdr-sim/src/verify.rs
+
+crates/hpdr-sim/src/lib.rs:
+crates/hpdr-sim/src/effects.rs:
+crates/hpdr-sim/src/mem.rs:
+crates/hpdr-sim/src/sim.rs:
+crates/hpdr-sim/src/spec.rs:
+crates/hpdr-sim/src/time.rs:
+crates/hpdr-sim/src/timeline.rs:
+crates/hpdr-sim/src/verify.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hpdr_sim-e62abc01354d448f.d: crates/hpdr-sim/src/lib.rs crates/hpdr-sim/src/effects.rs crates/hpdr-sim/src/mem.rs crates/hpdr-sim/src/sim.rs crates/hpdr-sim/src/spec.rs crates/hpdr-sim/src/time.rs crates/hpdr-sim/src/timeline.rs crates/hpdr-sim/src/verify.rs
+
+/root/repo/target/debug/deps/libhpdr_sim-e62abc01354d448f.rlib: crates/hpdr-sim/src/lib.rs crates/hpdr-sim/src/effects.rs crates/hpdr-sim/src/mem.rs crates/hpdr-sim/src/sim.rs crates/hpdr-sim/src/spec.rs crates/hpdr-sim/src/time.rs crates/hpdr-sim/src/timeline.rs crates/hpdr-sim/src/verify.rs
+
+/root/repo/target/debug/deps/libhpdr_sim-e62abc01354d448f.rmeta: crates/hpdr-sim/src/lib.rs crates/hpdr-sim/src/effects.rs crates/hpdr-sim/src/mem.rs crates/hpdr-sim/src/sim.rs crates/hpdr-sim/src/spec.rs crates/hpdr-sim/src/time.rs crates/hpdr-sim/src/timeline.rs crates/hpdr-sim/src/verify.rs
+
+crates/hpdr-sim/src/lib.rs:
+crates/hpdr-sim/src/effects.rs:
+crates/hpdr-sim/src/mem.rs:
+crates/hpdr-sim/src/sim.rs:
+crates/hpdr-sim/src/spec.rs:
+crates/hpdr-sim/src/time.rs:
+crates/hpdr-sim/src/timeline.rs:
+crates/hpdr-sim/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpdr_verify-1c944341fd702f5d.d: crates/hpdr-verify/src/lib.rs
+
+/root/repo/target/debug/deps/hpdr_verify-1c944341fd702f5d: crates/hpdr-verify/src/lib.rs
+
+crates/hpdr-verify/src/lib.rs:

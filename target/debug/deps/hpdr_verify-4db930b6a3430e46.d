@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpdr_verify-4db930b6a3430e46.d: crates/hpdr-verify/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_verify-4db930b6a3430e46.rmeta: crates/hpdr-verify/src/lib.rs Cargo.toml
+
+crates/hpdr-verify/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

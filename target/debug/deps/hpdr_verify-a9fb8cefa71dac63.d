@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hpdr_verify-a9fb8cefa71dac63.d: crates/hpdr-verify/src/lib.rs
+
+/root/repo/target/debug/deps/libhpdr_verify-a9fb8cefa71dac63.rlib: crates/hpdr-verify/src/lib.rs
+
+/root/repo/target/debug/deps/libhpdr_verify-a9fb8cefa71dac63.rmeta: crates/hpdr-verify/src/lib.rs
+
+crates/hpdr-verify/src/lib.rs:

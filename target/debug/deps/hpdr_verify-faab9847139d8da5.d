@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpdr_verify-faab9847139d8da5.d: crates/hpdr-verify/src/lib.rs
+
+/root/repo/target/debug/deps/hpdr_verify-faab9847139d8da5: crates/hpdr-verify/src/lib.rs
+
+crates/hpdr-verify/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpdr_zfp-66924b60b982382b.d: crates/hpdr-zfp/src/lib.rs crates/hpdr-zfp/src/codec.rs crates/hpdr-zfp/src/embedded.rs crates/hpdr-zfp/src/negabinary.rs crates/hpdr-zfp/src/transform.rs crates/hpdr-zfp/src/reducer.rs
+
+/root/repo/target/debug/deps/libhpdr_zfp-66924b60b982382b.rlib: crates/hpdr-zfp/src/lib.rs crates/hpdr-zfp/src/codec.rs crates/hpdr-zfp/src/embedded.rs crates/hpdr-zfp/src/negabinary.rs crates/hpdr-zfp/src/transform.rs crates/hpdr-zfp/src/reducer.rs
+
+/root/repo/target/debug/deps/libhpdr_zfp-66924b60b982382b.rmeta: crates/hpdr-zfp/src/lib.rs crates/hpdr-zfp/src/codec.rs crates/hpdr-zfp/src/embedded.rs crates/hpdr-zfp/src/negabinary.rs crates/hpdr-zfp/src/transform.rs crates/hpdr-zfp/src/reducer.rs
+
+crates/hpdr-zfp/src/lib.rs:
+crates/hpdr-zfp/src/codec.rs:
+crates/hpdr-zfp/src/embedded.rs:
+crates/hpdr-zfp/src/negabinary.rs:
+crates/hpdr-zfp/src/transform.rs:
+crates/hpdr-zfp/src/reducer.rs:

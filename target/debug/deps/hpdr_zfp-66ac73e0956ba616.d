@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hpdr_zfp-66ac73e0956ba616.d: crates/hpdr-zfp/src/lib.rs crates/hpdr-zfp/src/codec.rs crates/hpdr-zfp/src/embedded.rs crates/hpdr-zfp/src/negabinary.rs crates/hpdr-zfp/src/transform.rs crates/hpdr-zfp/src/reducer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpdr_zfp-66ac73e0956ba616.rmeta: crates/hpdr-zfp/src/lib.rs crates/hpdr-zfp/src/codec.rs crates/hpdr-zfp/src/embedded.rs crates/hpdr-zfp/src/negabinary.rs crates/hpdr-zfp/src/transform.rs crates/hpdr-zfp/src/reducer.rs Cargo.toml
+
+crates/hpdr-zfp/src/lib.rs:
+crates/hpdr-zfp/src/codec.rs:
+crates/hpdr-zfp/src/embedded.rs:
+crates/hpdr-zfp/src/negabinary.rs:
+crates/hpdr-zfp/src/transform.rs:
+crates/hpdr-zfp/src/reducer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

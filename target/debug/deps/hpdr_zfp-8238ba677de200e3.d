@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hpdr_zfp-8238ba677de200e3.d: crates/hpdr-zfp/src/lib.rs crates/hpdr-zfp/src/codec.rs crates/hpdr-zfp/src/embedded.rs crates/hpdr-zfp/src/negabinary.rs crates/hpdr-zfp/src/transform.rs crates/hpdr-zfp/src/reducer.rs
+
+/root/repo/target/debug/deps/hpdr_zfp-8238ba677de200e3: crates/hpdr-zfp/src/lib.rs crates/hpdr-zfp/src/codec.rs crates/hpdr-zfp/src/embedded.rs crates/hpdr-zfp/src/negabinary.rs crates/hpdr-zfp/src/transform.rs crates/hpdr-zfp/src/reducer.rs
+
+crates/hpdr-zfp/src/lib.rs:
+crates/hpdr-zfp/src/codec.rs:
+crates/hpdr-zfp/src/embedded.rs:
+crates/hpdr-zfp/src/negabinary.rs:
+crates/hpdr-zfp/src/transform.rs:
+crates/hpdr-zfp/src/reducer.rs:

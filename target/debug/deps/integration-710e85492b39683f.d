@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-710e85492b39683f.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/integration-710e85492b39683f: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

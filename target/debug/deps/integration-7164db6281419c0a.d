@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-7164db6281419c0a.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-7164db6281419c0a.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

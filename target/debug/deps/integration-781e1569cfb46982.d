@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration-781e1569cfb46982.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration-781e1569cfb46982.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration-781e1569cfb46982.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-c33f7692d7d3b05b.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/integration-c33f7692d7d3b05b: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

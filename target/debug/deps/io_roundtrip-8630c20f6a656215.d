@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_roundtrip-8630c20f6a656215.d: crates/integration/../../tests/io_roundtrip.rs
+
+/root/repo/target/debug/deps/io_roundtrip-8630c20f6a656215: crates/integration/../../tests/io_roundtrip.rs
+
+crates/integration/../../tests/io_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_roundtrip-9fe38c260b8e2d27.d: crates/integration/../../tests/io_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_roundtrip-9fe38c260b8e2d27.rmeta: crates/integration/../../tests/io_roundtrip.rs Cargo.toml
+
+crates/integration/../../tests/io_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

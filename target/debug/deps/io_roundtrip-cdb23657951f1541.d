@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_roundtrip-cdb23657951f1541.d: crates/integration/../../tests/io_roundtrip.rs
+
+/root/repo/target/debug/deps/io_roundtrip-cdb23657951f1541: crates/integration/../../tests/io_roundtrip.rs
+
+crates/integration/../../tests/io_roundtrip.rs:

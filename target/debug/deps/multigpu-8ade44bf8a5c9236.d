@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multigpu-8ade44bf8a5c9236.d: crates/integration/../../tests/multigpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultigpu-8ade44bf8a5c9236.rmeta: crates/integration/../../tests/multigpu.rs Cargo.toml
+
+crates/integration/../../tests/multigpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

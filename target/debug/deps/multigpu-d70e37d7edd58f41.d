@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multigpu-d70e37d7edd58f41.d: crates/integration/../../tests/multigpu.rs
+
+/root/repo/target/debug/deps/multigpu-d70e37d7edd58f41: crates/integration/../../tests/multigpu.rs
+
+crates/integration/../../tests/multigpu.rs:

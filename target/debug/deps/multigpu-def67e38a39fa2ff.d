@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multigpu-def67e38a39fa2ff.d: crates/integration/../../tests/multigpu.rs
+
+/root/repo/target/debug/deps/multigpu-def67e38a39fa2ff: crates/integration/../../tests/multigpu.rs
+
+crates/integration/../../tests/multigpu.rs:

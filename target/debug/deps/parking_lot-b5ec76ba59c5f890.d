@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-b5ec76ba59c5f890.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-b5ec76ba59c5f890: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

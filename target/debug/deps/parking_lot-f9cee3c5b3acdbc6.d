@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-f9cee3c5b3acdbc6.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f9cee3c5b3acdbc6.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f9cee3c5b3acdbc6.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_configs-ad4e822decbd15bb.d: crates/hpdr-verify/tests/pipeline_configs.rs
+
+/root/repo/target/debug/deps/pipeline_configs-ad4e822decbd15bb: crates/hpdr-verify/tests/pipeline_configs.rs
+
+crates/hpdr-verify/tests/pipeline_configs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_configs-c343063befd0fd8d.d: crates/hpdr-verify/tests/pipeline_configs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_configs-c343063befd0fd8d.rmeta: crates/hpdr-verify/tests/pipeline_configs.rs Cargo.toml
+
+crates/hpdr-verify/tests/pipeline_configs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

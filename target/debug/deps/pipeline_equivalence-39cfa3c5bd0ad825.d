@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_equivalence-39cfa3c5bd0ad825.d: crates/integration/../../tests/pipeline_equivalence.rs
+
+/root/repo/target/debug/deps/pipeline_equivalence-39cfa3c5bd0ad825: crates/integration/../../tests/pipeline_equivalence.rs
+
+crates/integration/../../tests/pipeline_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_equivalence-d2844a53a7f53471.d: crates/integration/../../tests/pipeline_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_equivalence-d2844a53a7f53471.rmeta: crates/integration/../../tests/pipeline_equivalence.rs Cargo.toml
+
+crates/integration/../../tests/pipeline_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

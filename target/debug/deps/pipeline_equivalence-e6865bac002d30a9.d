@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_equivalence-e6865bac002d30a9.d: crates/integration/../../tests/pipeline_equivalence.rs
+
+/root/repo/target/debug/deps/pipeline_equivalence-e6865bac002d30a9: crates/integration/../../tests/pipeline_equivalence.rs
+
+crates/integration/../../tests/pipeline_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portability-1f2b956ff4318084.d: crates/integration/../../tests/portability.rs
+
+/root/repo/target/debug/deps/portability-1f2b956ff4318084: crates/integration/../../tests/portability.rs
+
+crates/integration/../../tests/portability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/portability-9263c982fa51162b.d: crates/integration/../../tests/portability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportability-9263c982fa51162b.rmeta: crates/integration/../../tests/portability.rs Cargo.toml
+
+crates/integration/../../tests/portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

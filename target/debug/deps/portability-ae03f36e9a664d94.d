@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portability-ae03f36e9a664d94.d: crates/examples-bin/../../examples/portability.rs
+
+/root/repo/target/debug/deps/portability-ae03f36e9a664d94: crates/examples-bin/../../examples/portability.rs
+
+crates/examples-bin/../../examples/portability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/portability-cab30e522b8fa2c1.d: crates/examples-bin/../../examples/portability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportability-cab30e522b8fa2c1.rmeta: crates/examples-bin/../../examples/portability.rs Cargo.toml
+
+crates/examples-bin/../../examples/portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

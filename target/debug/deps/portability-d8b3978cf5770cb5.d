@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portability-d8b3978cf5770cb5.d: crates/integration/../../tests/portability.rs
+
+/root/repo/target/debug/deps/portability-d8b3978cf5770cb5: crates/integration/../../tests/portability.rs
+
+crates/integration/../../tests/portability.rs:

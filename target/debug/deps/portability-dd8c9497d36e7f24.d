@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/portability-dd8c9497d36e7f24.d: crates/examples-bin/../../examples/portability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportability-dd8c9497d36e7f24.rmeta: crates/examples-bin/../../examples/portability.rs Cargo.toml
+
+crates/examples-bin/../../examples/portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portability-e1b6cd696bf8d817.d: crates/examples-bin/../../examples/portability.rs
+
+/root/repo/target/debug/deps/portability-e1b6cd696bf8d817: crates/examples-bin/../../examples/portability.rs
+
+crates/examples-bin/../../examples/portability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portability-ec466bb387eee9fd.d: crates/examples-bin/../../examples/portability.rs
+
+/root/repo/target/debug/deps/portability-ec466bb387eee9fd: crates/examples-bin/../../examples/portability.rs
+
+crates/examples-bin/../../examples/portability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/progressive-09cef6ddc99836a1.d: crates/examples-bin/../../examples/progressive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprogressive-09cef6ddc99836a1.rmeta: crates/examples-bin/../../examples/progressive.rs Cargo.toml
+
+crates/examples-bin/../../examples/progressive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

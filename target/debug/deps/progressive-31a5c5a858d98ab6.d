@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/progressive-31a5c5a858d98ab6.d: crates/examples-bin/../../examples/progressive.rs
+
+/root/repo/target/debug/deps/progressive-31a5c5a858d98ab6: crates/examples-bin/../../examples/progressive.rs
+
+crates/examples-bin/../../examples/progressive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/progressive-3655410d559c3dd3.d: crates/examples-bin/../../examples/progressive.rs
+
+/root/repo/target/debug/deps/progressive-3655410d559c3dd3: crates/examples-bin/../../examples/progressive.rs
+
+crates/examples-bin/../../examples/progressive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/progressive-8d0bf90293c93d39.d: crates/examples-bin/../../examples/progressive.rs
+
+/root/repo/target/debug/deps/progressive-8d0bf90293c93d39: crates/examples-bin/../../examples/progressive.rs
+
+crates/examples-bin/../../examples/progressive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-445c2eb5ff1247d5.d: crates/integration/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-445c2eb5ff1247d5: crates/integration/../../tests/properties.rs
+
+crates/integration/../../tests/properties.rs:

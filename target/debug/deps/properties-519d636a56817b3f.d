@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-519d636a56817b3f.d: crates/integration/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-519d636a56817b3f.rmeta: crates/integration/../../tests/properties.rs Cargo.toml
+
+crates/integration/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

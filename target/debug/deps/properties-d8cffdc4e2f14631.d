@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d8cffdc4e2f14631.d: crates/integration/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d8cffdc4e2f14631: crates/integration/../../tests/properties.rs
+
+crates/integration/../../tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-8003c40118ec69d0.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-8003c40118ec69d0: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

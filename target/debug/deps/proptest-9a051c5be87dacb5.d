@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9a051c5be87dacb5.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9a051c5be87dacb5.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9a051c5be87dacb5.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

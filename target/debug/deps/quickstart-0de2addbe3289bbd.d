@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-0de2addbe3289bbd.d: crates/examples-bin/../../examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-0de2addbe3289bbd: crates/examples-bin/../../examples/quickstart.rs
+
+crates/examples-bin/../../examples/quickstart.rs:

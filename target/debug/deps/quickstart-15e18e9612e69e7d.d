@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-15e18e9612e69e7d.d: crates/examples-bin/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-15e18e9612e69e7d.rmeta: crates/examples-bin/../../examples/quickstart.rs Cargo.toml
+
+crates/examples-bin/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-20a25499f3edab3f.d: crates/examples-bin/../../examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-20a25499f3edab3f: crates/examples-bin/../../examples/quickstart.rs
+
+crates/examples-bin/../../examples/quickstart.rs:

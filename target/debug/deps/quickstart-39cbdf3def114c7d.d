@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-39cbdf3def114c7d.d: crates/examples-bin/../../examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-39cbdf3def114c7d: crates/examples-bin/../../examples/quickstart.rs
+
+crates/examples-bin/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-abb788f3c81e0e84.d: crates/examples-bin/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-abb788f3c81e0e84.rmeta: crates/examples-bin/../../examples/quickstart.rs Cargo.toml
+
+crates/examples-bin/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

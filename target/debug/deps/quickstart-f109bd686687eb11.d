@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-f109bd686687eb11.d: crates/examples-bin/../../examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-f109bd686687eb11: crates/examples-bin/../../examples/quickstart.rs
+
+crates/examples-bin/../../examples/quickstart.rs:

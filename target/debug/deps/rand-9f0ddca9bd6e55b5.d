@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-9f0ddca9bd6e55b5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-9f0ddca9bd6e55b5: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

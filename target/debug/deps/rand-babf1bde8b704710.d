@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-babf1bde8b704710.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-babf1bde8b704710.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-babf1bde8b704710.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

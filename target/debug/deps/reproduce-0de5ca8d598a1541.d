@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-0de5ca8d598a1541.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-0de5ca8d598a1541: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

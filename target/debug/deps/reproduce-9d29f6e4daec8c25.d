@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-9d29f6e4daec8c25.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-9d29f6e4daec8c25: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

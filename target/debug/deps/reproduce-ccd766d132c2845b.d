@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-ccd766d132c2845b.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-ccd766d132c2845b: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libintegration.rlib: /root/repo/crates/integration/src/lib.rs

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bench-7e324d9add5e2fe3.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libbench-7e324d9add5e2fe3.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libbench-7e324d9add5e2fe3.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/scaling.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/scaling.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/climate_io-27e29e83bdfe5053.d: crates/examples-bin/../../examples/climate_io.rs
+
+/root/repo/target/release/deps/climate_io-27e29e83bdfe5053: crates/examples-bin/../../examples/climate_io.rs
+
+crates/examples-bin/../../examples/climate_io.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-2e5eaf21fc6b9850.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2e5eaf21fc6b9850.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2e5eaf21fc6b9850.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-adbc4f26d17a5e0f.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-adbc4f26d17a5e0f.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-adbc4f26d17a5e0f.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

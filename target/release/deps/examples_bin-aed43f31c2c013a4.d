@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/examples_bin-aed43f31c2c013a4.d: crates/examples-bin/src/lib.rs
+
+/root/repo/target/release/deps/libexamples_bin-aed43f31c2c013a4.rlib: crates/examples-bin/src/lib.rs
+
+/root/repo/target/release/deps/libexamples_bin-aed43f31c2c013a4.rmeta: crates/examples-bin/src/lib.rs
+
+crates/examples-bin/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fusion_multigpu-aed4b8d0cd71e21c.d: crates/examples-bin/../../examples/fusion_multigpu.rs
+
+/root/repo/target/release/deps/fusion_multigpu-aed4b8d0cd71e21c: crates/examples-bin/../../examples/fusion_multigpu.rs
+
+crates/examples-bin/../../examples/fusion_multigpu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hpdr-d615617be3cc391d.d: crates/hpdr/src/bin/hpdr.rs
+
+/root/repo/target/release/deps/hpdr-d615617be3cc391d: crates/hpdr/src/bin/hpdr.rs
+
+crates/hpdr/src/bin/hpdr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hpdr-e1cb55d85e204ed9.d: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+/root/repo/target/release/deps/libhpdr-e1cb55d85e204ed9.rlib: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+/root/repo/target/release/deps/libhpdr-e1cb55d85e204ed9.rmeta: crates/hpdr/src/lib.rs crates/hpdr/src/api.rs crates/hpdr/src/cli.rs
+
+crates/hpdr/src/lib.rs:
+crates/hpdr/src/api.rs:
+crates/hpdr/src/cli.rs:

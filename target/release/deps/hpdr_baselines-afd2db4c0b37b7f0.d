@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hpdr_baselines-afd2db4c0b37b7f0.d: crates/hpdr-baselines/src/lib.rs crates/hpdr-baselines/src/lorenzo.rs crates/hpdr-baselines/src/lz4like.rs crates/hpdr-baselines/src/szlike.rs
+
+/root/repo/target/release/deps/libhpdr_baselines-afd2db4c0b37b7f0.rlib: crates/hpdr-baselines/src/lib.rs crates/hpdr-baselines/src/lorenzo.rs crates/hpdr-baselines/src/lz4like.rs crates/hpdr-baselines/src/szlike.rs
+
+/root/repo/target/release/deps/libhpdr_baselines-afd2db4c0b37b7f0.rmeta: crates/hpdr-baselines/src/lib.rs crates/hpdr-baselines/src/lorenzo.rs crates/hpdr-baselines/src/lz4like.rs crates/hpdr-baselines/src/szlike.rs
+
+crates/hpdr-baselines/src/lib.rs:
+crates/hpdr-baselines/src/lorenzo.rs:
+crates/hpdr-baselines/src/lz4like.rs:
+crates/hpdr-baselines/src/szlike.rs:

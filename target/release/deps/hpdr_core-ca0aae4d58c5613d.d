@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hpdr_core-ca0aae4d58c5613d.d: crates/hpdr-core/src/lib.rs crates/hpdr-core/src/abstractions.rs crates/hpdr-core/src/adapter.rs crates/hpdr-core/src/bytesio.rs crates/hpdr-core/src/cmm.rs crates/hpdr-core/src/error.rs crates/hpdr-core/src/float.rs crates/hpdr-core/src/gpu_sim.rs crates/hpdr-core/src/pool.rs crates/hpdr-core/src/reducer.rs crates/hpdr-core/src/shape.rs crates/hpdr-core/src/shared.rs
+
+/root/repo/target/release/deps/libhpdr_core-ca0aae4d58c5613d.rlib: crates/hpdr-core/src/lib.rs crates/hpdr-core/src/abstractions.rs crates/hpdr-core/src/adapter.rs crates/hpdr-core/src/bytesio.rs crates/hpdr-core/src/cmm.rs crates/hpdr-core/src/error.rs crates/hpdr-core/src/float.rs crates/hpdr-core/src/gpu_sim.rs crates/hpdr-core/src/pool.rs crates/hpdr-core/src/reducer.rs crates/hpdr-core/src/shape.rs crates/hpdr-core/src/shared.rs
+
+/root/repo/target/release/deps/libhpdr_core-ca0aae4d58c5613d.rmeta: crates/hpdr-core/src/lib.rs crates/hpdr-core/src/abstractions.rs crates/hpdr-core/src/adapter.rs crates/hpdr-core/src/bytesio.rs crates/hpdr-core/src/cmm.rs crates/hpdr-core/src/error.rs crates/hpdr-core/src/float.rs crates/hpdr-core/src/gpu_sim.rs crates/hpdr-core/src/pool.rs crates/hpdr-core/src/reducer.rs crates/hpdr-core/src/shape.rs crates/hpdr-core/src/shared.rs
+
+crates/hpdr-core/src/lib.rs:
+crates/hpdr-core/src/abstractions.rs:
+crates/hpdr-core/src/adapter.rs:
+crates/hpdr-core/src/bytesio.rs:
+crates/hpdr-core/src/cmm.rs:
+crates/hpdr-core/src/error.rs:
+crates/hpdr-core/src/float.rs:
+crates/hpdr-core/src/gpu_sim.rs:
+crates/hpdr-core/src/pool.rs:
+crates/hpdr-core/src/reducer.rs:
+crates/hpdr-core/src/shape.rs:
+crates/hpdr-core/src/shared.rs:

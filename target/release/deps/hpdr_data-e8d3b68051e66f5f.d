@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hpdr_data-e8d3b68051e66f5f.d: crates/hpdr-data/src/lib.rs crates/hpdr-data/src/datasets.rs crates/hpdr-data/src/field.rs
+
+/root/repo/target/release/deps/libhpdr_data-e8d3b68051e66f5f.rlib: crates/hpdr-data/src/lib.rs crates/hpdr-data/src/datasets.rs crates/hpdr-data/src/field.rs
+
+/root/repo/target/release/deps/libhpdr_data-e8d3b68051e66f5f.rmeta: crates/hpdr-data/src/lib.rs crates/hpdr-data/src/datasets.rs crates/hpdr-data/src/field.rs
+
+crates/hpdr-data/src/lib.rs:
+crates/hpdr-data/src/datasets.rs:
+crates/hpdr-data/src/field.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hpdr_huffman-c7a2a75ae5dbff60.d: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs
+
+/root/repo/target/release/deps/libhpdr_huffman-c7a2a75ae5dbff60.rlib: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs
+
+/root/repo/target/release/deps/libhpdr_huffman-c7a2a75ae5dbff60.rmeta: crates/hpdr-huffman/src/lib.rs crates/hpdr-huffman/src/codebook.rs crates/hpdr-huffman/src/codec.rs crates/hpdr-huffman/src/reducer.rs
+
+crates/hpdr-huffman/src/lib.rs:
+crates/hpdr-huffman/src/codebook.rs:
+crates/hpdr-huffman/src/codec.rs:
+crates/hpdr-huffman/src/reducer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hpdr_io-5ad06ec1f087278c.d: crates/hpdr-io/src/lib.rs crates/hpdr-io/src/bp.rs crates/hpdr-io/src/cluster.rs crates/hpdr-io/src/fsmodel.rs
+
+/root/repo/target/release/deps/libhpdr_io-5ad06ec1f087278c.rlib: crates/hpdr-io/src/lib.rs crates/hpdr-io/src/bp.rs crates/hpdr-io/src/cluster.rs crates/hpdr-io/src/fsmodel.rs
+
+/root/repo/target/release/deps/libhpdr_io-5ad06ec1f087278c.rmeta: crates/hpdr-io/src/lib.rs crates/hpdr-io/src/bp.rs crates/hpdr-io/src/cluster.rs crates/hpdr-io/src/fsmodel.rs
+
+crates/hpdr-io/src/lib.rs:
+crates/hpdr-io/src/bp.rs:
+crates/hpdr-io/src/cluster.rs:
+crates/hpdr-io/src/fsmodel.rs:

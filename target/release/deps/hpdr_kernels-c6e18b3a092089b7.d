@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hpdr_kernels-c6e18b3a092089b7.d: crates/hpdr-kernels/src/lib.rs crates/hpdr-kernels/src/bitstream.rs crates/hpdr-kernels/src/blocks.rs crates/hpdr-kernels/src/histogram.rs crates/hpdr-kernels/src/pack.rs crates/hpdr-kernels/src/reduce.rs crates/hpdr-kernels/src/scan.rs crates/hpdr-kernels/src/sort.rs
+
+/root/repo/target/release/deps/libhpdr_kernels-c6e18b3a092089b7.rlib: crates/hpdr-kernels/src/lib.rs crates/hpdr-kernels/src/bitstream.rs crates/hpdr-kernels/src/blocks.rs crates/hpdr-kernels/src/histogram.rs crates/hpdr-kernels/src/pack.rs crates/hpdr-kernels/src/reduce.rs crates/hpdr-kernels/src/scan.rs crates/hpdr-kernels/src/sort.rs
+
+/root/repo/target/release/deps/libhpdr_kernels-c6e18b3a092089b7.rmeta: crates/hpdr-kernels/src/lib.rs crates/hpdr-kernels/src/bitstream.rs crates/hpdr-kernels/src/blocks.rs crates/hpdr-kernels/src/histogram.rs crates/hpdr-kernels/src/pack.rs crates/hpdr-kernels/src/reduce.rs crates/hpdr-kernels/src/scan.rs crates/hpdr-kernels/src/sort.rs
+
+crates/hpdr-kernels/src/lib.rs:
+crates/hpdr-kernels/src/bitstream.rs:
+crates/hpdr-kernels/src/blocks.rs:
+crates/hpdr-kernels/src/histogram.rs:
+crates/hpdr-kernels/src/pack.rs:
+crates/hpdr-kernels/src/reduce.rs:
+crates/hpdr-kernels/src/scan.rs:
+crates/hpdr-kernels/src/sort.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hpdr_mgard-a8639da3ac25a945.d: crates/hpdr-mgard/src/lib.rs crates/hpdr-mgard/src/codec.rs crates/hpdr-mgard/src/decompose.rs crates/hpdr-mgard/src/hierarchy.rs crates/hpdr-mgard/src/operators.rs crates/hpdr-mgard/src/quantize.rs crates/hpdr-mgard/src/reducer.rs crates/hpdr-mgard/src/refactor.rs
+
+/root/repo/target/release/deps/libhpdr_mgard-a8639da3ac25a945.rlib: crates/hpdr-mgard/src/lib.rs crates/hpdr-mgard/src/codec.rs crates/hpdr-mgard/src/decompose.rs crates/hpdr-mgard/src/hierarchy.rs crates/hpdr-mgard/src/operators.rs crates/hpdr-mgard/src/quantize.rs crates/hpdr-mgard/src/reducer.rs crates/hpdr-mgard/src/refactor.rs
+
+/root/repo/target/release/deps/libhpdr_mgard-a8639da3ac25a945.rmeta: crates/hpdr-mgard/src/lib.rs crates/hpdr-mgard/src/codec.rs crates/hpdr-mgard/src/decompose.rs crates/hpdr-mgard/src/hierarchy.rs crates/hpdr-mgard/src/operators.rs crates/hpdr-mgard/src/quantize.rs crates/hpdr-mgard/src/reducer.rs crates/hpdr-mgard/src/refactor.rs
+
+crates/hpdr-mgard/src/lib.rs:
+crates/hpdr-mgard/src/codec.rs:
+crates/hpdr-mgard/src/decompose.rs:
+crates/hpdr-mgard/src/hierarchy.rs:
+crates/hpdr-mgard/src/operators.rs:
+crates/hpdr-mgard/src/quantize.rs:
+crates/hpdr-mgard/src/reducer.rs:
+crates/hpdr-mgard/src/refactor.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hpdr_pipeline-965ab74db893a9fc.d: crates/hpdr-pipeline/src/lib.rs crates/hpdr-pipeline/src/container.rs crates/hpdr-pipeline/src/multigpu.rs crates/hpdr-pipeline/src/roofline.rs crates/hpdr-pipeline/src/runner.rs
+
+/root/repo/target/release/deps/libhpdr_pipeline-965ab74db893a9fc.rlib: crates/hpdr-pipeline/src/lib.rs crates/hpdr-pipeline/src/container.rs crates/hpdr-pipeline/src/multigpu.rs crates/hpdr-pipeline/src/roofline.rs crates/hpdr-pipeline/src/runner.rs
+
+/root/repo/target/release/deps/libhpdr_pipeline-965ab74db893a9fc.rmeta: crates/hpdr-pipeline/src/lib.rs crates/hpdr-pipeline/src/container.rs crates/hpdr-pipeline/src/multigpu.rs crates/hpdr-pipeline/src/roofline.rs crates/hpdr-pipeline/src/runner.rs
+
+crates/hpdr-pipeline/src/lib.rs:
+crates/hpdr-pipeline/src/container.rs:
+crates/hpdr-pipeline/src/multigpu.rs:
+crates/hpdr-pipeline/src/roofline.rs:
+crates/hpdr-pipeline/src/runner.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hpdr_sim-c5ab8599ad698c49.d: crates/hpdr-sim/src/lib.rs crates/hpdr-sim/src/effects.rs crates/hpdr-sim/src/mem.rs crates/hpdr-sim/src/sim.rs crates/hpdr-sim/src/spec.rs crates/hpdr-sim/src/time.rs crates/hpdr-sim/src/timeline.rs crates/hpdr-sim/src/verify.rs
+
+/root/repo/target/release/deps/libhpdr_sim-c5ab8599ad698c49.rlib: crates/hpdr-sim/src/lib.rs crates/hpdr-sim/src/effects.rs crates/hpdr-sim/src/mem.rs crates/hpdr-sim/src/sim.rs crates/hpdr-sim/src/spec.rs crates/hpdr-sim/src/time.rs crates/hpdr-sim/src/timeline.rs crates/hpdr-sim/src/verify.rs
+
+/root/repo/target/release/deps/libhpdr_sim-c5ab8599ad698c49.rmeta: crates/hpdr-sim/src/lib.rs crates/hpdr-sim/src/effects.rs crates/hpdr-sim/src/mem.rs crates/hpdr-sim/src/sim.rs crates/hpdr-sim/src/spec.rs crates/hpdr-sim/src/time.rs crates/hpdr-sim/src/timeline.rs crates/hpdr-sim/src/verify.rs
+
+crates/hpdr-sim/src/lib.rs:
+crates/hpdr-sim/src/effects.rs:
+crates/hpdr-sim/src/mem.rs:
+crates/hpdr-sim/src/sim.rs:
+crates/hpdr-sim/src/spec.rs:
+crates/hpdr-sim/src/time.rs:
+crates/hpdr-sim/src/timeline.rs:
+crates/hpdr-sim/src/verify.rs:

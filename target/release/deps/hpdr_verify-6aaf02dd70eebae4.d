@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hpdr_verify-6aaf02dd70eebae4.d: crates/hpdr-verify/src/lib.rs
+
+/root/repo/target/release/deps/libhpdr_verify-6aaf02dd70eebae4.rlib: crates/hpdr-verify/src/lib.rs
+
+/root/repo/target/release/deps/libhpdr_verify-6aaf02dd70eebae4.rmeta: crates/hpdr-verify/src/lib.rs
+
+crates/hpdr-verify/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hpdr_zfp-f3cd014bd61cc8e5.d: crates/hpdr-zfp/src/lib.rs crates/hpdr-zfp/src/codec.rs crates/hpdr-zfp/src/embedded.rs crates/hpdr-zfp/src/negabinary.rs crates/hpdr-zfp/src/transform.rs crates/hpdr-zfp/src/reducer.rs
+
+/root/repo/target/release/deps/libhpdr_zfp-f3cd014bd61cc8e5.rlib: crates/hpdr-zfp/src/lib.rs crates/hpdr-zfp/src/codec.rs crates/hpdr-zfp/src/embedded.rs crates/hpdr-zfp/src/negabinary.rs crates/hpdr-zfp/src/transform.rs crates/hpdr-zfp/src/reducer.rs
+
+/root/repo/target/release/deps/libhpdr_zfp-f3cd014bd61cc8e5.rmeta: crates/hpdr-zfp/src/lib.rs crates/hpdr-zfp/src/codec.rs crates/hpdr-zfp/src/embedded.rs crates/hpdr-zfp/src/negabinary.rs crates/hpdr-zfp/src/transform.rs crates/hpdr-zfp/src/reducer.rs
+
+crates/hpdr-zfp/src/lib.rs:
+crates/hpdr-zfp/src/codec.rs:
+crates/hpdr-zfp/src/embedded.rs:
+crates/hpdr-zfp/src/negabinary.rs:
+crates/hpdr-zfp/src/transform.rs:
+crates/hpdr-zfp/src/reducer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration-b41a945ca5713d23.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration-b41a945ca5713d23.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration-b41a945ca5713d23.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

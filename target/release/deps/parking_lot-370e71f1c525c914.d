@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-370e71f1c525c914.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-370e71f1c525c914.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-370e71f1c525c914.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/portability-6080a96a776c1aae.d: crates/examples-bin/../../examples/portability.rs
+
+/root/repo/target/release/deps/portability-6080a96a776c1aae: crates/examples-bin/../../examples/portability.rs
+
+crates/examples-bin/../../examples/portability.rs:

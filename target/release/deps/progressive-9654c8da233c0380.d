@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/progressive-9654c8da233c0380.d: crates/examples-bin/../../examples/progressive.rs
+
+/root/repo/target/release/deps/progressive-9654c8da233c0380: crates/examples-bin/../../examples/progressive.rs
+
+crates/examples-bin/../../examples/progressive.rs:

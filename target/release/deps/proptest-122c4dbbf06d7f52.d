@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-122c4dbbf06d7f52.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-122c4dbbf06d7f52.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-122c4dbbf06d7f52.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

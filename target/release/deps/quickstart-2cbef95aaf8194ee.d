@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-2cbef95aaf8194ee.d: crates/examples-bin/../../examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-2cbef95aaf8194ee: crates/examples-bin/../../examples/quickstart.rs
+
+crates/examples-bin/../../examples/quickstart.rs:

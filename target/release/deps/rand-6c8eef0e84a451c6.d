@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-6c8eef0e84a451c6.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6c8eef0e84a451c6.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6c8eef0e84a451c6.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-82715ccacbe0d458.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-82715ccacbe0d458: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -21,10 +21,7 @@ fn range_f32(a: &[f32]) -> f64 {
 #[test]
 fn mgard_bound_on_all_table_iii_datasets() {
     let adapter = CpuParallelAdapter::new(4);
-    let datasets = [
-        nyx_density(24, 1),
-        e3sm_psl(12, 20, 24, 2),
-    ];
+    let datasets = [nyx_density(24, 1), e3sm_psl(12, 20, 24, 2)];
     for d in datasets {
         let vals = d.as_f32();
         let range = range_f32(&vals);
@@ -82,9 +79,13 @@ fn sz_bound_matches_spec() {
     let vals = d.as_f32();
     let range = range_f32(&vals);
     for rel in [1e-2f64, 1e-4] {
-        let (stream, _) =
-            hpdr::compress_slice(&adapter, &vals, &d.shape, Codec::Sz(SzConfig::relative(rel)))
-                .unwrap();
+        let (stream, _) = hpdr::compress_slice(
+            &adapter,
+            &vals,
+            &d.shape,
+            Codec::Sz(SzConfig::relative(rel)),
+        )
+        .unwrap();
         let (out, _) = hpdr::decompress_slice::<f32>(&adapter, &stream).unwrap();
         let err = max_err_f32(&vals, &out);
         assert!(err <= rel * range * 1.001, "rel={rel}: err {err}");

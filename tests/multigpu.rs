@@ -4,9 +4,7 @@
 use hpdr::{Codec, MgardConfig};
 use hpdr_core::{ArrayMeta, CpuParallelAdapter, DType, DeviceAdapter, Reducer};
 use hpdr_data::nyx_density;
-use hpdr_pipeline::{
-    average_scalability, compress_multi_gpu, scalability_sweep, PipelineOptions,
-};
+use hpdr_pipeline::{average_scalability, compress_multi_gpu, scalability_sweep, PipelineOptions};
 use std::sync::Arc;
 
 #[allow(clippy::type_complexity)]
@@ -108,7 +106,10 @@ fn cmm_recovers_scalability_lost_to_the_shared_runtime() {
     assert!(g > b, "cmm {g:.3} vs no-cmm {b:.3}");
     // Paper's shape: optimized ≥ ~90%, unoptimized visibly below.
     assert!(g > 0.85, "cmm scalability {g:.3}");
-    assert!(b < g - 0.02, "contention effect too small: {b:.3} vs {g:.3}");
+    assert!(
+        b < g - 0.02,
+        "contention effect too small: {b:.3} vs {g:.3}"
+    );
     // Scalability degrades (or stays flat) as devices are added when the
     // runtime lock is contended.
     let last = nocmm.last().unwrap().2;

@@ -145,7 +145,12 @@ mod custom_backend {
                 threads: 1,
             }
         }
-        fn gem(&self, groups: usize, staging_bytes: usize, body: &(dyn Fn(usize, &mut [u8]) + Sync)) {
+        fn gem(
+            &self,
+            groups: usize,
+            staging_bytes: usize,
+            body: &(dyn Fn(usize, &mut [u8]) + Sync),
+        ) {
             self.launches.fetch_add(1, Ordering::Relaxed);
             let mut staging = vec![0u8; staging_bytes];
             for g in 0..groups {

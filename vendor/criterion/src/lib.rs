@@ -1,0 +1,123 @@
+//! Offline stub of `criterion`: a minimal wall-clock bench harness with
+//! the API surface the `bench` crate uses (`Criterion::default()`,
+//! `sample_size`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros). Reports mean/min wall
+//! time per iteration — no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Bench driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall times of the most recent `iter` call.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.times.clear();
+        // One warm-up iteration outside the timed samples.
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+/// Top-level harness (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        if b.times.is_empty() {
+            println!("{id:<40} (no samples)");
+        } else {
+            let total: Duration = b.times.iter().sum();
+            let mean = total / b.times.len() as u32;
+            let min = b.times.iter().min().copied().unwrap_or_default();
+            println!(
+                "{id:<40} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+                mean,
+                min,
+                b.times.len()
+            );
+        }
+        self
+    }
+}
+
+/// `criterion_group!` — both the struct-ish and positional forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!` — run every group from `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("stub/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        sample_bench(&mut c);
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}
