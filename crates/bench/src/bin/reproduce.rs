@@ -4,26 +4,45 @@
 //! cargo run --release -p bench --bin reproduce -- all
 //! cargo run --release -p bench --bin reproduce -- fig13 fig16
 //! cargo run --release -p bench --bin reproduce -- --large all
+//! cargo run --release -p bench --bin reproduce -- --trace traces/ fig10 fig16
 //! ```
+//!
+//! `--trace <dir>` additionally writes a Chrome-trace JSON per figure
+//! (for the figures that run a simulated schedule) into `<dir>`; open
+//! them at <https://ui.perfetto.dev>.
 
 use bench::{ablations, fig01, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18};
-use bench::{table1, table2, table3, Scale};
+use bench::{figure_trace, table1, table2, table3, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--large") {
-        Scale::large()
-    } else if args.iter().any(|a| a == "--bench-scale") {
-        Scale::bench()
-    } else {
-        Scale::report()
-    };
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+    let mut scale = Scale::report();
+    let mut trace_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--large" => scale = Scale::large(),
+            "--bench-scale" => scale = Scale::bench(),
+            "--trace" => match args.get(i + 1) {
+                Some(dir) => {
+                    trace_dir = Some(dir.clone());
+                    i += 1;
+                }
+                None => {
+                    eprintln!("--trace needs an output directory");
+                    std::process::exit(1);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'");
+                std::process::exit(1);
+            }
+            target => targets.push(target.to_string()),
+        }
+        i += 1;
+    }
+    let targets: Vec<&str> = if targets.is_empty() || targets.iter().any(|t| t == "all") {
         vec![
             "table1",
             "table2",
@@ -41,7 +60,7 @@ fn main() {
             "ablations",
         ]
     } else {
-        targets
+        targets.iter().map(String::as_str).collect()
     };
     println!(
         "HPDR experiment reproduction (scale factor 1/{}, data: NYX {}^3 ...)\n",
@@ -69,5 +88,13 @@ fn main() {
             }
         };
         println!("{section}");
+        if let Some(dir) = &trace_dir {
+            if let Some(trace) = figure_trace(&scale, t) {
+                std::fs::create_dir_all(dir).expect("create trace dir");
+                let path = format!("{dir}/{t}.trace.json");
+                std::fs::write(&path, hpdr::trace::to_chrome_trace(&trace)).expect("write trace");
+                println!("trace: {path} ({} spans)\n", trace.len());
+            }
+        }
     }
 }

@@ -800,6 +800,46 @@ pub fn run_all(scale: &Scale) -> String {
     out
 }
 
+/// Span trace of one representative run of a figure's experiment, used
+/// by `reproduce --trace <dir>` to emit a Perfetto-loadable trace per
+/// figure. Analytic sections (tables, the I/O-model figures) return
+/// `None` — they run no simulated schedule of their own.
+pub fn figure_trace(scale: &Scale, target: &str) -> Option<hpdr_sim::Trace> {
+    let spec = scale.spec(&hpdr_sim::spec::v100());
+    let (input, meta) = scale.nyx(1);
+    let reducer = || Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    let run = |opts: &PipelineOptions| {
+        compress_pipelined(&spec, work(), reducer(), Arc::clone(&input), &meta, opts)
+            .expect("figure trace")
+            .1
+            .trace
+    };
+    match target {
+        // The unoptimized baseline whose breakdown Fig. 1 reports.
+        "fig1" | "fig01" => Some(run(&PipelineOptions::baseline_unoptimized())),
+        // Chunked pipelines: the adaptive schedule is the interesting one.
+        "fig10" | "fig13" | "fig14" => Some(run(&scale.adaptive())),
+        "fig11" => Some(run(&PipelineOptions::fixed(scale.fixed_chunk() / 8))),
+        "fig12" | "ablations" => Some(run(&scale.fixed())),
+        // Multi-GPU: two devices sharing one virtual clock.
+        "fig16" => {
+            let inputs = vec![Arc::clone(&input), Arc::clone(&input)];
+            let (_, rep) = hpdr_pipeline::compress_multi_gpu(
+                &spec,
+                2,
+                work(),
+                reducer(),
+                inputs,
+                &meta,
+                &scale.fixed(),
+            )
+            .expect("fig16 trace");
+            Some(rep.trace)
+        }
+        _ => None,
+    }
+}
+
 /// Compress a small container for bench reuse.
 pub fn sample_container(scale: &Scale) -> (Container, Arc<dyn Reducer>, DeviceSpec) {
     let spec = scale.spec(&hpdr_sim::spec::v100());

@@ -2,7 +2,7 @@
 //! paper-scale performance *shapes* survive at laptop-scale sizes.
 
 use hpdr::{ArrayMeta, DType, PipelineMode, PipelineOptions};
-use hpdr_sim::{DeviceSpec, Ns, ThroughputModel};
+use hpdr_sim::DeviceSpec;
 use std::sync::Arc;
 
 /// Experiment size class.
@@ -49,23 +49,7 @@ impl Scale {
     /// Scale a device spec: saturation knees and latencies divide by the
     /// factor; saturated bandwidths / plateaus are untouched.
     pub fn spec(&self, base: &DeviceSpec) -> DeviceSpec {
-        let f = self.factor;
-        let shrink = |m: &ThroughputModel| ThroughputModel {
-            latency: Ns((m.latency.0 / f).max(10)),
-            saturated_gbps: m.saturated_gbps,
-            saturate_bytes: (m.saturate_bytes / f).max(1),
-            ramp_floor: m.ramp_floor,
-        };
-        let mut spec = base.clone();
-        spec.h2d = shrink(&spec.h2d);
-        spec.d2h = shrink(&spec.d2h);
-        for class in hpdr_sim::KernelClass::ALL {
-            let m = shrink(spec.kernel_model(class));
-            spec.set_kernel_model(class, m);
-        }
-        spec.alloc_latency = Ns((spec.alloc_latency.0 / f).max(20));
-        spec.free_latency = Ns((spec.free_latency.0 / f).max(15));
-        spec
+        base.scaled(self.factor)
     }
 
     /// The paper's 100 MB fixed chunk, scaled.

@@ -58,6 +58,17 @@ pub struct AdapterInfo {
     pub threads: usize,
 }
 
+/// One recorded [`DeviceAdapter::charge`] call — the adapter-level view
+/// of kernel activity, consumed by the observability layer when a trace
+/// of the surrounding pipeline isn't available (standalone kernel runs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCharge {
+    pub class: KernelClass,
+    pub bytes: u64,
+    /// Virtual duration charged for the call.
+    pub dur: Ns,
+}
+
 /// Portable execution interface for the HPDR parallel abstractions.
 pub trait DeviceAdapter: Send + Sync {
     fn info(&self) -> AdapterInfo;
@@ -85,6 +96,13 @@ pub trait DeviceAdapter: Send + Sync {
     /// Whether [`DeviceAdapter::clock_elapsed`] reports virtual time.
     fn uses_virtual_time(&self) -> bool {
         false
+    }
+
+    /// The kernel charges recorded since construction, in call order.
+    /// Empty on adapters that don't keep a log (the CPU adapters charge
+    /// nothing).
+    fn kernel_log(&self) -> Vec<KernelCharge> {
+        Vec::new()
     }
 }
 

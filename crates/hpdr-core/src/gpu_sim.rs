@@ -8,9 +8,10 @@
 //! charges the same cost model through `hpdr-sim` ops so overlap is
 //! modeled device-wide.
 
-use crate::adapter::{AdapterInfo, AdapterKind, DeviceAdapter};
+use crate::adapter::{AdapterInfo, AdapterKind, DeviceAdapter, KernelCharge};
 use crate::pool::{default_threads, parallel_for, parallel_for_with_scratch};
 use hpdr_sim::{Arch, DeviceSpec, KernelClass, Ns};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Device adapter backed by a simulated GPU.
@@ -20,6 +21,7 @@ pub struct GpuSimAdapter {
     accumulated: AtomicU64,
     mark: AtomicU64,
     charges: AtomicU64,
+    log: Mutex<Vec<KernelCharge>>,
 }
 
 impl GpuSimAdapter {
@@ -30,6 +32,7 @@ impl GpuSimAdapter {
             accumulated: AtomicU64::new(0),
             mark: AtomicU64::new(0),
             charges: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
         }
     }
 
@@ -79,6 +82,7 @@ impl DeviceAdapter for GpuSimAdapter {
         let dur = self.spec.kernel_duration(class, bytes);
         self.accumulated.fetch_add(dur.0, Ordering::Relaxed);
         self.charges.fetch_add(1, Ordering::Relaxed);
+        self.log.lock().push(KernelCharge { class, bytes, dur });
     }
 
     fn clock_reset(&self) {
@@ -92,6 +96,10 @@ impl DeviceAdapter for GpuSimAdapter {
 
     fn uses_virtual_time(&self) -> bool {
         true
+    }
+
+    fn kernel_log(&self) -> Vec<KernelCharge> {
+        self.log.lock().clone()
     }
 }
 
@@ -145,6 +153,24 @@ mod tests {
         assert_eq!(a.info().kind, AdapterKind::CudaSim);
         let h = GpuSimAdapter::new(hpdr_sim::spec::mi250x());
         assert_eq!(h.info().kind, AdapterKind::HipSim);
+    }
+
+    #[test]
+    fn kernel_log_records_charges_in_order() {
+        let a = GpuSimAdapter::new(v100());
+        a.charge(KernelClass::Mgard, 1 << 20);
+        a.charge(KernelClass::Huffman, 1 << 16);
+        let log = a.kernel_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].class, KernelClass::Mgard);
+        assert_eq!(log[0].bytes, 1 << 20);
+        assert_eq!(
+            log[0].dur,
+            v100().kernel_duration(KernelClass::Mgard, 1 << 20)
+        );
+        assert_eq!(log[1].class, KernelClass::Huffman);
+        // CPU adapters keep no log.
+        assert!(crate::SerialAdapter::new().kernel_log().is_empty());
     }
 
     #[test]

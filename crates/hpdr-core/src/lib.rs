@@ -30,7 +30,9 @@ pub mod shape;
 pub mod shared;
 
 pub use abstractions::{global_pipeline, GlobalStage, Iterative, Locality, MapAndProcess};
-pub use adapter::{AdapterInfo, AdapterKind, CpuParallelAdapter, DeviceAdapter, SerialAdapter};
+pub use adapter::{
+    AdapterInfo, AdapterKind, CpuParallelAdapter, DeviceAdapter, KernelCharge, SerialAdapter,
+};
 pub use bytesio::{ByteReader, ByteWriter};
 pub use cmm::{fnv1a, CmmStats, ContextCache, ContextKey};
 pub use error::{HpdrError, Result};

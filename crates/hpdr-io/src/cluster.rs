@@ -85,6 +85,11 @@ pub struct CodecProfile {
     pub ratio: f64,
     /// Average real-to-ideal multi-GPU scalability on one node.
     pub node_scalability: f64,
+    /// Trace-derived §V-C compute↔DMA overlap of the compression run
+    /// (None if the run moved no DMA bytes).
+    pub overlap: Option<f64>,
+    /// Trace-derived Fig. 1 memory-op share of the compression run.
+    pub memory_fraction: f64,
 }
 
 /// Measure a codec's profile on `system`'s GPU with the given pipeline
@@ -128,6 +133,8 @@ pub fn measure_codec_profile(
         decompress_gbps: dreport.end_to_end_gbps,
         ratio,
         node_scalability: average_scalability(&sweep),
+        overlap: creport.overlap,
+        memory_fraction: creport.memory_fraction,
     })
 }
 
@@ -245,6 +252,8 @@ mod tests {
             decompress_gbps: gbps * 1.1,
             ratio,
             node_scalability: 0.95,
+            overlap: Some(0.5),
+            memory_fraction: 0.5,
         }
     }
 

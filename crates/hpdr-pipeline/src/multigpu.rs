@@ -10,7 +10,7 @@
 use crate::container::Container;
 use crate::runner::{CompressJob, DecompressJob, PipelineOptions};
 use hpdr_core::{ArrayMeta, DeviceAdapter, Reducer, Result};
-use hpdr_sim::{DeviceSpec, Ns, Sim};
+use hpdr_sim::{DeviceSpec, Ns, Sim, Trace};
 use std::sync::Arc;
 
 /// Result of a multi-GPU run.
@@ -22,9 +22,12 @@ pub struct MultiGpuReport {
     pub makespan: Ns,
     /// Aggregate throughput (GB/s).
     pub aggregate_gbps: f64,
-    /// Per-device overlap ratios.
+    /// Per-device overlap ratios (trace-derived, paper §V-C).
     pub overlaps: Vec<Option<f64>>,
     pub num_devices: usize,
+    /// Span trace of the whole multi-device run (all devices share one
+    /// virtual clock, so one trace covers the node).
+    pub trace: Trace,
 }
 
 /// Compress one array per device, all devices sharing a runtime.
@@ -72,9 +75,14 @@ pub fn compress_multi_gpu(
             }
         }
     }
+    sim.set_trace(true);
     let timeline = sim.run();
+    let trace = sim.take_trace().expect("tracing was enabled");
     let makespan = timeline.makespan();
-    let overlaps = devices.iter().map(|&d| timeline.overlap_ratio(d)).collect();
+    let overlaps = devices
+        .iter()
+        .map(|&d| hpdr_trace::overlap_ratio(&trace, d))
+        .collect();
     let containers: Vec<Container> = jobs
         .into_iter()
         .map(|j| j.finish())
@@ -89,6 +97,7 @@ pub fn compress_multi_gpu(
             aggregate_gbps: hpdr_sim::gbps(input_bytes, makespan),
             overlaps,
             num_devices: n_devices,
+            trace,
         },
     ))
 }
@@ -143,9 +152,14 @@ pub fn decompress_multi_gpu(
     for job in jobs.iter_mut() {
         job.finish_submission(&mut sim);
     }
+    sim.set_trace(true);
     let timeline = sim.run();
+    let trace = sim.take_trace().expect("tracing was enabled");
     let makespan = timeline.makespan();
-    let overlaps = devices.iter().map(|&d| timeline.overlap_ratio(d)).collect();
+    let overlaps = devices
+        .iter()
+        .map(|&d| hpdr_trace::overlap_ratio(&trace, d))
+        .collect();
     let mut outputs = Vec::with_capacity(n_devices);
     let mut input_bytes = 0u64;
     for job in jobs {
@@ -162,6 +176,7 @@ pub fn decompress_multi_gpu(
             aggregate_gbps: hpdr_sim::gbps(input_bytes, makespan),
             overlaps,
             num_devices: n_devices,
+            trace,
         },
     ))
 }

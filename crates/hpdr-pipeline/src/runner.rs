@@ -28,6 +28,7 @@ use crate::roofline::{adaptive_chunks, default_sweep, fit, profile_kernel, Roofl
 use hpdr_core::{ArrayMeta, DeviceAdapter, HpdrError, Reducer, Result};
 use hpdr_sim::{
     BufId, Cost, DeviceId, DeviceSpec, Effects, Engine, Ns, OpId, OpSpec, QueueId, Sim, Timeline,
+    Trace,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -133,16 +134,21 @@ pub struct PipelineReport {
     pub compressed_bytes: u64,
     /// End-to-end throughput (raw bytes / makespan) in GB/s.
     pub end_to_end_gbps: f64,
-    /// Paper §V-C overlap ratio (None if no DMA occurred).
+    /// Paper §V-C overlap ratio (None if no DMA occurred), derived from
+    /// the span trace via `hpdr_trace::overlap_ratio`.
     pub overlap: Option<f64>,
     /// Fraction of busy time spent on memory operations (Fig. 1 metric).
     pub memory_fraction: f64,
     pub num_chunks: usize,
     pub timeline: Timeline,
+    /// Span trace of the run (pipeline runs always record one — feed it
+    /// to `hpdr-trace` for Chrome export, critical paths, histograms).
+    pub trace: Trace,
 }
 
 fn report_from(
     timeline: Timeline,
+    trace: Trace,
     dev: DeviceId,
     input_bytes: u64,
     compressed: u64,
@@ -154,10 +160,11 @@ fn report_from(
         input_bytes,
         compressed_bytes: compressed,
         end_to_end_gbps: hpdr_sim::gbps(input_bytes, makespan),
-        overlap: timeline.overlap_ratio(dev),
-        memory_fraction: timeline.memory_fraction(),
+        overlap: hpdr_trace::overlap_ratio(&trace, dev),
+        memory_fraction: hpdr_trace::memory_fraction(&trace),
         num_chunks: chunks,
         timeline,
+        trace,
     }
 }
 
@@ -942,11 +949,14 @@ pub fn compress_pipelined(
     for k in 0..job.num_chunks() {
         job.submit_chunk(&mut sim, k);
     }
+    sim.set_trace(true);
     let timeline = sim.run();
+    let trace = sim.take_trace().expect("tracing was enabled");
     let chunks = job.num_chunks();
     let container = job.finish()?;
     let report = report_from(
         timeline,
+        trace,
         dev,
         input_bytes,
         container.total_stream_bytes(),
@@ -974,10 +984,12 @@ pub fn decompress_pipelined(
         byte_start += container.chunks[k].0 * row_bytes;
     }
     job.finish_submission(&mut sim);
+    sim.set_trace(true);
     let timeline = sim.run();
+    let trace = sim.take_trace().expect("tracing was enabled");
     let chunks = job.num_chunks();
     let compressed = container.total_stream_bytes();
     let (bytes, meta) = job.finish()?;
-    let report = report_from(timeline, dev, bytes.len() as u64, compressed, chunks);
+    let report = report_from(timeline, trace, dev, bytes.len() as u64, compressed, chunks);
     Ok((bytes, meta, report))
 }

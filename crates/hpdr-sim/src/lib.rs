@@ -27,14 +27,16 @@ pub mod sim;
 pub mod spec;
 pub mod time;
 pub mod timeline;
+pub mod trace;
 pub mod verify;
 
 pub use effects::Effects;
 pub use mem::{BufId, MemPool};
-pub use sim::{Cost, DeviceId, Engine, OpId, OpSpec, Payload, QueueId, RuntimeId, Sim};
+pub use sim::{kind_of, Cost, DeviceId, Engine, OpId, OpSpec, Payload, QueueId, RuntimeId, Sim};
 pub use spec::{
     a100, all_gpus, mi250x, rtx3090, v100, Arch, DeviceSpec, KernelClass, ThroughputModel,
 };
 pub use time::{gbps, Ns};
 pub use timeline::{Category, OpRecord, Timeline};
+pub use trace::{Recorder, SpanEvent, SpanRecord, Trace};
 pub use verify::{analyze, Dag, DagOp, Hazard, OpKind, VerifyReport};

@@ -22,6 +22,7 @@ use crate::mem::{BufId, MemPool};
 use crate::spec::{DeviceSpec, KernelClass};
 use crate::time::Ns;
 use crate::timeline::{OpRecord, Timeline};
+use crate::trace::{Recorder, SpanEvent, Trace};
 use crate::verify::{self, Dag, DagOp, OpKind};
 
 /// Handle to a simulated device.
@@ -133,6 +134,9 @@ pub struct Sim {
     /// Run the static hazard analyzer before executing (defaults to on in
     /// debug builds — i.e. on under `cargo test`, off in release benches).
     verify_enabled: bool,
+    /// Span recorder; present only while tracing is enabled so a disabled
+    /// recorder costs one `Option` check per op and changes nothing else.
+    recorder: Option<Recorder>,
 }
 
 impl Default for Sim {
@@ -151,7 +155,25 @@ impl Sim {
             pool: MemPool::new(),
             host_copy_gbps: 18.0,
             verify_enabled: cfg!(debug_assertions),
+            recorder: None,
         }
+    }
+
+    /// Enable or disable span tracing for the next [`Sim::run`]. Tracing
+    /// never changes scheduling: virtual times are identical on and off.
+    pub fn set_trace(&mut self, on: bool) {
+        if on {
+            if self.recorder.is_none() {
+                self.recorder = Some(Recorder::new());
+            }
+        } else {
+            self.recorder = None;
+        }
+    }
+
+    /// Take the trace recorded by the last [`Sim::run`], if tracing was on.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.recorder.take().map(Recorder::into_trace)
     }
 
     /// Enable or disable pre-execution schedule verification.
@@ -318,14 +340,7 @@ impl Sim {
             .iter()
             .map(|p| {
                 let spec = &p.spec;
-                let kind = match spec.cost {
-                    Cost::Transfer { .. } | Cost::TransferDyn { .. } => OpKind::Transfer,
-                    Cost::Kernel { .. } => OpKind::Kernel,
-                    Cost::Alloc { .. } => OpKind::Alloc,
-                    Cost::Free { .. } => OpKind::Free,
-                    Cost::HostCopy { .. } => OpKind::HostCopy,
-                    Cost::Fixed(_) => OpKind::Fixed,
-                };
+                let kind = kind_of(&spec.cost);
                 DagOp {
                     label: spec.label.clone(),
                     engine: spec.engine,
@@ -362,11 +377,12 @@ impl Sim {
         let mut records: Vec<OpRecord> = Vec::with_capacity(self.ops.len());
 
         let ops = std::mem::take(&mut self.ops);
-        for PendingOp { spec, payload } in ops {
-            let mut start = Ns::ZERO;
+        for (op, PendingOp { spec, payload }) in ops.into_iter().enumerate() {
+            let mut ready = Ns::ZERO;
             for d in &spec.deps {
-                start = start.max(ends[d.0]);
+                ready = ready.max(ends[d.0]);
             }
+            let mut start = ready;
             if let Some(q) = spec.queue {
                 start = start.max(queue_tail[q.0]);
             }
@@ -380,6 +396,20 @@ impl Sim {
                 queue_tail[q.0] = end;
             }
             ends.push(end);
+            if let Some(rec) = &mut self.recorder {
+                rec.emit(SpanEvent::Begin {
+                    op,
+                    t: start,
+                    label: spec.label.clone(),
+                    engine: spec.engine,
+                    queue: spec.queue.map(|q| q.0),
+                    deps: spec.deps.iter().map(|d| d.0).collect(),
+                    kind: kind_of(&spec.cost),
+                    class,
+                    bytes,
+                    ready,
+                });
+            }
             if let Some(p) = payload {
                 // Debug builds: hold the payload to its declared effects.
                 if cfg!(debug_assertions) {
@@ -388,6 +418,25 @@ impl Sim {
                     self.pool.end_payload();
                 } else {
                     p(&mut self.pool);
+                }
+            }
+            if self.recorder.is_some() {
+                // Footprint sampled after the payload so dynamically sized
+                // outputs (compressed streams) report their final sizes.
+                let footprint_bytes = spec
+                    .effects
+                    .touched()
+                    .into_iter()
+                    .filter(|b| !self.pool.is_freed(*b))
+                    .map(|b| self.pool.len(b) as u64)
+                    .sum();
+                let event = SpanEvent::End {
+                    op,
+                    t: end,
+                    footprint_bytes,
+                };
+                if let Some(rec) = &mut self.recorder {
+                    rec.emit(event);
                 }
             }
             records.push(OpRecord {
@@ -405,6 +454,18 @@ impl Sim {
     /// Move a buffer's contents out of the pool after a run.
     pub fn take_buffer(&mut self, buf: BufId) -> Vec<u8> {
         self.pool.take(buf)
+    }
+}
+
+/// The analyzer/trace op kind of a cost model.
+pub fn kind_of(cost: &Cost) -> OpKind {
+    match cost {
+        Cost::Transfer { .. } | Cost::TransferDyn { .. } => OpKind::Transfer,
+        Cost::Kernel { .. } => OpKind::Kernel,
+        Cost::Alloc { .. } => OpKind::Alloc,
+        Cost::Free { .. } => OpKind::Free,
+        Cost::HostCopy { .. } => OpKind::HostCopy,
+        Cost::Fixed(_) => OpKind::Fixed,
     }
 }
 
@@ -671,5 +732,86 @@ mod tests {
         sim.free_timed(q, buf, vec![op], "f");
         sim.run();
         assert_eq!(sim.pool().resident_bytes(dev), 0);
+    }
+
+    fn mixed_op_schedule(sim: &mut Sim, dev: DeviceId, q: QueueId) {
+        let q2 = sim.add_queue();
+        let buf = sim.create_buffer(dev, 256);
+        let h = sim.push(
+            OpSpec {
+                engine: Engine::H2D(dev),
+                queue: Some(q),
+                deps: vec![],
+                cost: Cost::Transfer { bytes: 256 },
+                label: "h2d".into(),
+                effects: Effects::write(buf),
+            },
+            Some(Box::new(move |pool: &mut MemPool| {
+                pool.get_mut(buf).fill(7);
+            })),
+        );
+        let k = sim.push(
+            OpSpec {
+                engine: Engine::Compute(dev),
+                queue: Some(q2),
+                deps: vec![h],
+                cost: Cost::Kernel {
+                    class: KernelClass::Huffman,
+                    bytes: 256,
+                },
+                label: "kernel".into(),
+                effects: Effects::read(buf),
+            },
+            None,
+        );
+        sim.free_timed(q, buf, vec![k], "free");
+    }
+
+    #[test]
+    fn trace_records_all_ops_with_scheduler_times() {
+        let (mut sim, dev, q) = one_device();
+        mixed_op_schedule(&mut sim, dev, q);
+        sim.set_trace(true);
+        let tl = sim.run();
+        let trace = sim.take_trace().expect("tracing was on");
+        assert_eq!(trace.len(), 3);
+        for (i, span) in trace.spans().iter().enumerate() {
+            assert_eq!(span.op, i);
+            assert_eq!(span.start, tl.record(OpId(i)).start);
+            assert_eq!(span.end, tl.record(OpId(i)).end);
+        }
+        // The kernel became ready when the h2d finished.
+        assert_eq!(trace.spans()[1].ready, tl.record(OpId(0)).end);
+        assert_eq!(trace.spans()[1].deps, vec![0]);
+        // h2d footprint: its 256-byte destination buffer was live.
+        assert_eq!(trace.spans()[0].footprint_bytes, 256);
+        // free footprint: the buffer is gone by the time the free ends.
+        assert_eq!(trace.spans()[2].footprint_bytes, 0);
+        assert_eq!(trace.makespan(), tl.makespan());
+    }
+
+    #[test]
+    fn tracing_does_not_change_virtual_times() {
+        let build = |trace: bool| {
+            let (mut sim, dev, q) = one_device();
+            mixed_op_schedule(&mut sim, dev, q);
+            sim.set_trace(trace);
+            sim.run()
+        };
+        let off = build(false);
+        let on = build(true);
+        assert_eq!(off.makespan(), on.makespan());
+        for i in 0..3 {
+            assert_eq!(off.record(OpId(i)).start, on.record(OpId(i)).start);
+            assert_eq!(off.record(OpId(i)).end, on.record(OpId(i)).end);
+        }
+    }
+
+    #[test]
+    fn take_trace_is_none_when_tracing_off() {
+        let (mut sim, dev, q) = one_device();
+        mixed_op_schedule(&mut sim, dev, q);
+        sim.run();
+        assert!(sim.take_trace().is_none());
     }
 }

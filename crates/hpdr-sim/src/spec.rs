@@ -145,6 +145,31 @@ impl DeviceSpec {
     pub fn kernel_duration(&self, class: KernelClass, bytes: u64) -> Ns {
         self.kernel_model(class).duration(bytes)
     }
+
+    /// Shrink the spec for laptop-scale experiments: saturation knees and
+    /// latencies divide by `factor` (with small floors so nothing hits
+    /// zero); saturated bandwidths / plateaus are untouched, so
+    /// performance *shapes* survive when data is shrunk by the same
+    /// factor.
+    pub fn scaled(&self, factor: u64) -> DeviceSpec {
+        assert!(factor > 0, "scale factor must be positive");
+        let shrink = |m: &ThroughputModel| ThroughputModel {
+            latency: Ns((m.latency.0 / factor).max(10)),
+            saturated_gbps: m.saturated_gbps,
+            saturate_bytes: (m.saturate_bytes / factor).max(1),
+            ramp_floor: m.ramp_floor,
+        };
+        let mut spec = self.clone();
+        spec.h2d = shrink(&spec.h2d);
+        spec.d2h = shrink(&spec.d2h);
+        for class in KernelClass::ALL {
+            let m = shrink(spec.kernel_model(class));
+            spec.set_kernel_model(class, m);
+        }
+        spec.alloc_latency = Ns((spec.alloc_latency.0 / factor).max(20));
+        spec.free_latency = Ns((spec.free_latency.0 / factor).max(15));
+        spec
+    }
 }
 
 const MIB: u64 = 1 << 20;

@@ -38,6 +38,17 @@ pub enum Command {
     Verify {
         json: bool,
     },
+    /// Record a 2-chunk adaptive MGARD-X run and emit Chrome-trace JSON
+    /// (Perfetto-loadable; printed unless --out gives a file path).
+    Trace {
+        out: Option<String>,
+    },
+    /// Dynamic profile over span traces: engine utilization, overlap,
+    /// critical path, latency histograms — with invariant checks.
+    Profile {
+        figure: Option<String>,
+        json: bool,
+    },
     Help,
 }
 
@@ -51,6 +62,8 @@ USAGE:
   hpdr decompress --input <in.hpdr> --output <raw.bin>
   hpdr info       --input <in.hpdr>
   hpdr verify     [--json]
+  hpdr trace      [--out <trace.json>]
+  hpdr profile    [--figure fig1] [--json]
 
 Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
 --rate applies to zfp (fixed-rate bits per value).
@@ -58,7 +71,19 @@ Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
 `hpdr verify` runs the static hazard analyzer (data races,
 use-after-free, deadlock) and the Fig. 9 schedule lints over the op-DAGs
 of every shipped pipeline configuration; --json emits a machine-readable
-report. Exits non-zero if any hazard or lint finding is reported.";
+report. Exits non-zero if any hazard or lint finding is reported.
+
+`hpdr trace` records a 2-chunk adaptive MGARD-X compression on a small
+NYX sample and emits Chrome-trace JSON (pid=device, tid=engine) — load
+it at https://ui.perfetto.dev or chrome://tracing.
+
+`hpdr profile` records a small NYX run and reports engine utilization,
+compute-DMA overlap, allocator contention, the critical path and
+per-op-class latencies; internal invariants (non-empty trace,
+utilization in (0,1], critical path == makespan) exit non-zero when
+violated. `--figure fig1` profiles the four comparator codecs
+non-pipelined and checks their memory-op time share against the paper's
+34-89% band.";
 
 /// Parse `AxBxC` into a shape.
 pub fn parse_shape(s: &str) -> Result<Shape> {
@@ -145,6 +170,13 @@ pub fn parse(args: &[String]) -> Result<Command> {
         Some("verify") => Ok(Command::Verify {
             json: args.iter().any(|a| a == "--json"),
         }),
+        Some("trace") => Ok(Command::Trace {
+            out: get_flag(args, "--out").map(str::to_string),
+        }),
+        Some("profile") => Ok(Command::Profile {
+            figure: get_flag(args, "--figure").map(str::to_string),
+            json: args.iter().any(|a| a == "--json"),
+        }),
         Some("help" | "--help" | "-h") | None => Ok(Command::Help),
         Some(other) => Err(HpdrError::invalid(format!("unknown command '{other}'"))),
     }
@@ -156,6 +188,8 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
     match cmd {
         Command::Help => Ok(vec![USAGE.to_string()]),
         Command::Verify { json } => verify_schedules(json),
+        Command::Trace { out } => trace_run(out),
+        Command::Profile { figure, json } => profile_run(figure.as_deref(), json),
         Command::Compress {
             codec,
             shape,
@@ -390,6 +424,193 @@ fn verify_schedules(json: bool) -> Result<Vec<String>> {
     Ok(lines)
 }
 
+/// `hpdr trace`: record a 2-chunk adaptive MGARD-X compression of a
+/// small NYX sample and emit (validated) Chrome-trace JSON.
+fn trace_run(out: Option<String>) -> Result<Vec<String>> {
+    use hpdr_pipeline::{compress_pipelined, PipelineMode, PipelineOptions};
+    use std::sync::Arc;
+
+    let spec = hpdr_sim::v100();
+    let data = crate::data::nyx_density(64, 1);
+    let meta = ArrayMeta::new(DType::F32, data.shape.clone());
+    let total = data.bytes.len() as u64;
+    let input: Arc<Vec<u8>> = Arc::new(data.bytes);
+    // init == limit == half the array → exactly two adaptive chunks.
+    let opts = PipelineOptions {
+        mode: PipelineMode::Adaptive {
+            init_bytes: total / 2,
+            limit_bytes: total / 2,
+        },
+        ..PipelineOptions::default()
+    };
+    let work: Arc<dyn hpdr_core::DeviceAdapter> = Arc::new(crate::GpuSimAdapter::new(spec.clone()));
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    let (_, report) = compress_pipelined(&spec, work, reducer, input, &meta, &opts)?;
+    let json = hpdr_trace::to_chrome_trace(&report.trace);
+    let summary = hpdr_trace::validate_chrome_trace(&json)
+        .map_err(|e| HpdrError::invalid(format!("emitted trace failed validation: {e}")))?;
+    let mut lines = vec![format!(
+        "traced {} ops across {} chunks, makespan {}",
+        report.trace.len(),
+        report.num_chunks,
+        report.makespan
+    )];
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json.as_bytes())?;
+            lines.push(format!(
+                "wrote {path}: {} metadata + {} span events, {} processes",
+                summary.metadata_events,
+                summary.complete_events,
+                summary.pids.len()
+            ));
+            lines.push("open it at https://ui.perfetto.dev or chrome://tracing".to_string());
+        }
+        None => lines.push(json),
+    }
+    Ok(lines)
+}
+
+fn profile_run(figure: Option<&str>, json: bool) -> Result<Vec<String>> {
+    match figure {
+        None => profile_default(json),
+        Some("fig1") => profile_fig1(json),
+        Some(other) => Err(HpdrError::invalid(format!(
+            "unknown figure '{other}' (supported: fig1)"
+        ))),
+    }
+}
+
+/// `hpdr profile`: compress and decompress a small NYX sample through
+/// the adaptive pipeline, report both profiles, and enforce the trace
+/// invariants (non-zero exit on violation — the CI smoke gate).
+fn profile_default(json: bool) -> Result<Vec<String>> {
+    use hpdr_pipeline::{compress_pipelined, decompress_pipelined, PipelineMode, PipelineOptions};
+    use std::sync::Arc;
+
+    let spec = hpdr_sim::v100();
+    let data = crate::data::nyx_density(32, 1);
+    let meta = ArrayMeta::new(DType::F32, data.shape.clone());
+    let total = data.bytes.len() as u64;
+    let input: Arc<Vec<u8>> = Arc::new(data.bytes);
+    let opts = PipelineOptions {
+        mode: PipelineMode::Adaptive {
+            init_bytes: total / 4,
+            limit_bytes: total / 2,
+        },
+        ..PipelineOptions::default()
+    };
+    let work: Arc<dyn hpdr_core::DeviceAdapter> = Arc::new(crate::GpuSimAdapter::new(spec.clone()));
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    let (container, creport) = compress_pipelined(
+        &spec,
+        Arc::clone(&work),
+        Arc::clone(&reducer),
+        input,
+        &meta,
+        &opts,
+    )?;
+    let (_, _, dreport) = decompress_pipelined(&spec, work, reducer, &container, &opts)?;
+    let cprof = hpdr_trace::Profile::from_trace(&creport.trace).map_err(HpdrError::invalid)?;
+    let dprof = hpdr_trace::Profile::from_trace(&dreport.trace).map_err(HpdrError::invalid)?;
+    if json {
+        return Ok(vec![format!(
+            "{{\"compress\":{},\"decompress\":{}}}",
+            cprof.to_json(),
+            dprof.to_json()
+        )]);
+    }
+    let mut lines =
+        vec!["== compress (NYX 32^3, adaptive pipeline, simulated V100) ==".to_string()];
+    lines.extend(cprof.render());
+    lines.push("== decompress ==".to_string());
+    lines.extend(dprof.render());
+    lines.push("profile invariants ok (2 traced runs)".to_string());
+    Ok(lines)
+}
+
+/// `hpdr profile --figure fig1`: memory-op time share of the four
+/// comparator codecs without pipeline optimization. The paper reports
+/// 34–89% across codecs and GPUs; any share outside that band is an
+/// error (non-zero exit).
+fn profile_fig1(json: bool) -> Result<Vec<String>> {
+    use hpdr_pipeline::{compress_pipelined, decompress_pipelined, PipelineOptions};
+    use std::sync::Arc;
+
+    const BAND: (f64, f64) = (0.34, 0.89);
+    let spec = hpdr_sim::v100();
+    let data = crate::data::nyx_density(32, 1);
+    let meta = ArrayMeta::new(DType::F32, data.shape.clone());
+    let input: Arc<Vec<u8>> = Arc::new(data.bytes);
+    // Non-pipelined with pageable host staging: the paper's Fig. 1
+    // baselines move every byte through an extra host copy but are not
+    // artificially serialized.
+    let opts = PipelineOptions {
+        host_staging: true,
+        ..PipelineOptions::unpipelined()
+    };
+    let codecs = [
+        Codec::Mgard(MgardConfig::relative(1e-2)),
+        Codec::Sz(SzConfig::relative(1e-2)),
+        Codec::Zfp(ZfpConfig::fixed_rate(16)),
+        Codec::Lz4,
+    ];
+    let mut lines = Vec::new();
+    let mut json_items = Vec::new();
+    let mut out_of_band = Vec::new();
+    for codec in codecs {
+        let work: Arc<dyn hpdr_core::DeviceAdapter> =
+            Arc::new(crate::GpuSimAdapter::new(spec.clone()));
+        let reducer = codec.reducer();
+        let (container, creport) = compress_pipelined(
+            &spec,
+            Arc::clone(&work),
+            Arc::clone(&reducer),
+            Arc::clone(&input),
+            &meta,
+            &opts,
+        )?;
+        let (_, _, dreport) = decompress_pipelined(&spec, work, reducer, &container, &opts)?;
+        let (c, d) = (creport.memory_fraction, dreport.memory_fraction);
+        for (dir, share) in [("compress", c), ("decompress", d)] {
+            if !(BAND.0..=BAND.1).contains(&share) {
+                out_of_band.push(format!("{} {dir} {:.1}%", codec.name(), share * 100.0));
+            }
+        }
+        json_items.push(format!(
+            "{{\"codec\":\"{}\",\"compress\":{c:.6},\"decompress\":{d:.6}}}",
+            codec.name()
+        ));
+        lines.push(format!(
+            "{:10} memory ops {:5.1}% of compress, {:5.1}% of decompress",
+            codec.name(),
+            c * 100.0,
+            d * 100.0
+        ));
+    }
+    if !out_of_band.is_empty() {
+        return Err(HpdrError::invalid(format!(
+            "memory-op share outside the paper's 34-89% band: {}",
+            out_of_band.join(", ")
+        )));
+    }
+    if json {
+        lines = vec![format!(
+            "{{\"band\":[{},{}],\"codecs\":[{}]}}",
+            BAND.0,
+            BAND.1,
+            json_items.join(",")
+        )];
+    } else {
+        lines.insert(
+            0,
+            "Fig. 1 — memory-op time share, unpipelined, simulated V100, NYX 32^3:".to_string(),
+        );
+        lines.push("paper band: 34-89% — all codecs within band".to_string());
+    }
+    Ok(lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +723,32 @@ mod tests {
         let blob = json.last().unwrap();
         assert!(blob.contains("\"dirty\":0"), "{blob}");
         assert!(blob.contains("\"hazards\":[]"));
+    }
+
+    #[test]
+    fn trace_emits_valid_two_chunk_chrome_json() {
+        let lines = run(parse(&argv("trace")).unwrap()).unwrap();
+        assert!(lines[0].contains("across 2 chunks"), "{}", lines[0]);
+        let json = lines.last().unwrap();
+        let summary = hpdr_trace::validate_chrome_trace(json).unwrap();
+        assert!(summary.complete_events > 0);
+        assert!(summary.metadata_events > 0);
+    }
+
+    #[test]
+    fn profile_reports_invariants_ok() {
+        let lines = run(parse(&argv("profile")).unwrap()).unwrap();
+        assert!(lines.last().unwrap().contains("invariants ok"), "{lines:?}");
+        let json = run(parse(&argv("profile --json")).unwrap()).unwrap();
+        assert!(json[0].contains("\"compress\""), "{}", json[0]);
+        assert!(json[0].contains("\"critical_path\""));
+    }
+
+    #[test]
+    fn profile_fig1_shares_stay_in_paper_band() {
+        let lines = run(parse(&argv("profile --figure fig1")).unwrap()).unwrap();
+        assert!(lines.last().unwrap().contains("within band"), "{lines:?}");
+        assert!(run(parse(&argv("profile --figure fig99")).unwrap()).is_err());
     }
 
     #[test]

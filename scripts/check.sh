@@ -17,7 +17,14 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> cargo bench --no-run (compile gate)"
+cargo bench --workspace --no-run --quiet
+
 echo "==> hpdr verify"
 cargo run --release -p hpdr --bin hpdr -- verify
+
+echo "==> hpdr profile (trace smoke: non-empty trace, utilization in (0,1])"
+cargo run --release -p hpdr --bin hpdr -- profile | tail -n 1 | grep -q "invariants ok"
+cargo run --release -p hpdr --bin hpdr -- profile --figure fig1
 
 echo "All checks passed."

@@ -1,0 +1,193 @@
+//! Cross-crate tests of the `hpdr-trace` observability subsystem:
+//! overlap-regression ordering on the Fig. 13 settings, the
+//! critical-path == makespan property over the shipped configuration
+//! matrix, and zero-behavior-change when tracing is off.
+
+use hpdr::{ArrayMeta, Codec, CpuParallelAdapter, DType, MgardConfig, Shape};
+use hpdr_core::{DeviceAdapter, Reducer};
+use hpdr_pipeline::{
+    compress_pipelined, decompress_pipelined, plan_compress, PipelineMode, PipelineOptions,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn work() -> Arc<dyn DeviceAdapter> {
+    Arc::new(CpuParallelAdapter::with_defaults())
+}
+
+/// Small NYX sample (32^3 f32) with its metadata.
+fn nyx_input() -> (Arc<Vec<u8>>, ArrayMeta) {
+    let d = hpdr::data::nyx_density(32, 1);
+    let meta = ArrayMeta::new(DType::F32, d.shape.clone());
+    (Arc::new(d.bytes), meta)
+}
+
+/// The Fig. 13 pipeline settings over the NYX sample: none / fixed /
+/// adaptive, with chunk sizes proportioned to the input the way the
+/// paper proportions them to its 4.3 GB arrays (fixed chunks are a
+/// large fraction of the input; adaptive ramps up from small ones).
+fn fig13_settings(total: u64) -> [(&'static str, PipelineOptions); 3] {
+    [
+        ("none", PipelineOptions::unpipelined()),
+        (
+            "fixed",
+            PipelineOptions {
+                mode: PipelineMode::Fixed {
+                    chunk_bytes: total / 2,
+                },
+                ..PipelineOptions::default()
+            },
+        ),
+        (
+            "adaptive",
+            PipelineOptions {
+                mode: PipelineMode::Adaptive {
+                    init_bytes: total / 16,
+                    limit_bytes: total / 4,
+                },
+                ..PipelineOptions::default()
+            },
+        ),
+    ]
+}
+
+/// Satellite regression: the trace-derived §V-C overlap ratio must rank
+/// adaptive ≥ fixed ≥ none on the Fig. 13 configurations.
+#[test]
+fn overlap_orders_adaptive_fixed_none() {
+    let spec = hpdr::sim::v100().scaled(64);
+    let (input, meta) = nyx_input();
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    let mut ratios = Vec::new();
+    for (name, opts) in fig13_settings(input.len() as u64) {
+        let (_, rep) = compress_pipelined(
+            &spec,
+            work(),
+            Arc::clone(&reducer),
+            Arc::clone(&input),
+            &meta,
+            &opts,
+        )
+        .expect("fig13 compress");
+        // Unpipelined single-chunk runs have fully serialized DMA.
+        ratios.push((name, rep.overlap.unwrap_or(0.0)));
+    }
+    let (none, fixed, adaptive) = (ratios[0].1, ratios[1].1, ratios[2].1);
+    assert!(
+        adaptive >= fixed && fixed >= none,
+        "overlap not monotone across pipeline settings: {ratios:?}"
+    );
+    assert!(adaptive > 0.0, "adaptive run shows no overlap: {ratios:?}");
+    assert_eq!(none, 0.0, "unpipelined run cannot overlap: {ratios:?}");
+}
+
+/// The shipped configuration matrix (mirrors `hpdr verify`): three
+/// chunking modes × two-buffers × CMM × deser-first, plus the two
+/// baselines.
+fn config_matrix() -> Vec<PipelineOptions> {
+    let row_bytes = 256 * 4;
+    let modes = [
+        PipelineMode::Unpipelined,
+        PipelineMode::Fixed {
+            chunk_bytes: 8 * row_bytes,
+        },
+        PipelineMode::Adaptive {
+            init_bytes: 4 * row_bytes,
+            limit_bytes: 16 * row_bytes,
+        },
+    ];
+    let mut configs = Vec::new();
+    for mode in modes {
+        for two_buffers in [false, true] {
+            for cmm in [false, true] {
+                for deser_first in [false, true] {
+                    configs.push(PipelineOptions {
+                        mode,
+                        two_buffers,
+                        cmm,
+                        deser_first,
+                        serial_queue: false,
+                        host_staging: false,
+                    });
+                }
+            }
+        }
+    }
+    configs.push(PipelineOptions::baseline_unoptimized());
+    configs.push(PipelineOptions::baseline_per_step(8 * row_bytes));
+    configs
+}
+
+/// Small input matching the verify matrix: 64 rows × 256 f32.
+fn matrix_input() -> (Arc<Vec<u8>>, ArrayMeta) {
+    let meta = ArrayMeta::new(DType::F32, Shape::new(&[64, 256]));
+    let input: Arc<Vec<u8>> = Arc::new(
+        (0..meta.num_bytes() / 4)
+            .flat_map(|i| ((i % 251) as f32).to_le_bytes())
+            .collect(),
+    );
+    (input, meta)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(26))]
+
+    /// Acceptance property: on every shipped configuration, the
+    /// critical path extracted from the span trace sums exactly to the
+    /// virtual end-to-end time, for both directions.
+    #[test]
+    fn critical_path_length_equals_makespan(idx in 0usize..26) {
+        let configs = config_matrix();
+        let opts = configs[idx % configs.len()];
+        let spec = hpdr::sim::v100().scaled(256);
+        let (input, meta) = matrix_input();
+        let reducer: Arc<dyn Reducer> =
+            Arc::new(hpdr::huffman::ByteHuffmanReducer::default());
+        let (container, crep) = compress_pipelined(
+            &spec, work(), Arc::clone(&reducer), input, &meta, &opts,
+        ).expect("compress");
+        let (_, _, drep) = decompress_pipelined(
+            &spec, work(), reducer, &container, &opts,
+        ).expect("decompress");
+        for rep_trace in [&crep.trace, &drep.trace] {
+            let cp = hpdr::trace::critical_path(rep_trace);
+            prop_assert_eq!(cp.length, rep_trace.makespan());
+            prop_assert_eq!(cp.length, cp.makespan);
+            prop_assert!(!cp.ops.is_empty());
+        }
+        prop_assert_eq!(crep.trace.makespan(), crep.makespan);
+        prop_assert_eq!(drep.trace.makespan(), drep.makespan);
+    }
+}
+
+/// Acceptance: with the recorder off, the schedule's virtual times are
+/// bit-for-bit identical — tracing is observation only.
+#[test]
+fn tracing_off_changes_nothing() {
+    let spec = hpdr::sim::v100().scaled(64);
+    let (input, meta) = nyx_input();
+    let reducer = Codec::Mgard(MgardConfig::relative(1e-2)).reducer();
+    let opts = PipelineOptions::default();
+    let plan = |traced: bool| {
+        let mut sim = plan_compress(
+            &spec,
+            work(),
+            Arc::clone(&reducer),
+            Arc::clone(&input),
+            &meta,
+            &opts,
+        )
+        .expect("plan");
+        sim.set_trace(traced);
+        let timeline = sim.run();
+        (timeline.makespan(), sim.take_trace())
+    };
+    let (makespan_off, trace_off) = plan(false);
+    let (makespan_on, trace_on) = plan(true);
+    assert_eq!(makespan_off, makespan_on);
+    assert!(trace_off.is_none());
+    let trace = trace_on.expect("tracing was enabled");
+    assert_eq!(trace.makespan(), makespan_on);
+    // And the spans cover the same schedule the timeline reports.
+    assert!(!trace.is_empty());
+}
