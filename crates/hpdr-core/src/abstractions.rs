@@ -12,7 +12,8 @@
 //! in terms of these calls, which is what makes them portable across the
 //! device adapters.
 
-use crate::adapter::DeviceAdapter;
+use crate::adapter::{DeviceAdapter, ScratchPolicy};
+use crate::error::Result;
 
 /// Locality abstraction: the input domain is decomposed into `blocks`
 /// blocks (with algorithm-chosen size/halo handled inside the body); a
@@ -23,6 +24,9 @@ pub struct Locality {
     pub blocks: usize,
     /// Bytes of per-block fast-memory staging.
     pub staging_bytes: usize,
+    /// Staging initialization contract (zeroed by default; see
+    /// [`ScratchPolicy`] for when `Dirty` is sound).
+    pub policy: ScratchPolicy,
 }
 
 impl Locality {
@@ -30,6 +34,7 @@ impl Locality {
         Locality {
             blocks,
             staging_bytes: 0,
+            policy: ScratchPolicy::Zeroed,
         }
     }
 
@@ -38,9 +43,30 @@ impl Locality {
         self
     }
 
+    /// Opt out of per-block staging zeroing. The block body must fully
+    /// overwrite any staging byte before reading it.
+    pub fn with_dirty_staging(mut self) -> Locality {
+        self.policy = ScratchPolicy::Dirty;
+        self
+    }
+
     /// Run `f(block_id, staging)` for every block. Lowered to GEM.
+    /// Re-raises worker panics; see [`Locality::try_run`].
     pub fn run(&self, adapter: &dyn DeviceAdapter, f: &(dyn Fn(usize, &mut [u8]) + Sync)) {
-        adapter.gem(self.blocks, self.staging_bytes, f);
+        if let Err(e) = self.try_run(adapter, f) {
+            panic!("{e}");
+        }
+    }
+
+    /// Run `f(block_id, staging)` for every block, surfacing worker
+    /// panics as [`HpdrError::WorkerPanic`](crate::HpdrError::WorkerPanic)
+    /// with the failing block index.
+    pub fn try_run(
+        &self,
+        adapter: &dyn DeviceAdapter,
+        f: &(dyn Fn(usize, &mut [u8]) + Sync),
+    ) -> Result<()> {
+        adapter.try_gem(self.blocks, self.staging_bytes, self.policy, f)
     }
 }
 

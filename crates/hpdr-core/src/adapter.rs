@@ -19,10 +19,36 @@
 //! New processors are supported by implementing this trait — the same
 //! extension recipe the paper describes for Kokkos/SYCL back-ends.
 
-use crate::pool::{parallel_for, parallel_for_with_scratch};
+use crate::error::Result;
+use crate::pool::WorkerPool;
 use hpdr_sim::{KernelClass, Ns};
 use parking_lot::Mutex;
 use std::time::Instant;
+
+/// Staging-memory initialization contract for GEM execution.
+///
+/// Worker scratch arenas are **persistent** (allocated once per pool
+/// worker, reused across every subsequent GEM call), so "what's in the
+/// staging buffer when my group body starts?" is a real contract:
+///
+/// * [`ScratchPolicy::Zeroed`] — the runtime zero-fills the staging slice
+///   before every group body invocation. This matches GPU shared-memory
+///   semantics only by convention (CUDA shared memory is *not* zeroed);
+///   it is the safe default and what [`DeviceAdapter::gem`] promises.
+/// * [`ScratchPolicy::Dirty`] — the group body receives whatever bytes
+///   the worker's arena currently holds (typically the previous group's
+///   leavings; zeros only on a freshly grown arena). Algorithms that
+///   fully overwrite their staging before reading it opt in to skip the
+///   per-group `memset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScratchPolicy {
+    /// Zero the staging slice before each group body runs.
+    #[default]
+    Zeroed,
+    /// Hand each group the arena as-is; the body must not read bytes it
+    /// has not written this invocation.
+    Dirty,
+}
 
 /// Which family of adapter this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,13 +100,43 @@ pub trait DeviceAdapter: Send + Sync {
     fn info(&self) -> AdapterInfo;
 
     /// Execute the Group Execution Model: `groups` independent groups,
-    /// each invoked exactly once with `staging_bytes` of zeroed exclusive
-    /// scratch ("faster memory tier" in paper Fig. 3).
-    fn gem(&self, groups: usize, staging_bytes: usize, body: &(dyn Fn(usize, &mut [u8]) + Sync));
+    /// each invoked exactly once with `staging_bytes` of exclusive
+    /// scratch ("faster memory tier" in paper Fig. 3), initialized per
+    /// `policy` (see [`ScratchPolicy`] for the dirty-scratch contract).
+    ///
+    /// A panicking group body is reported as
+    /// [`HpdrError::WorkerPanic`](crate::HpdrError::WorkerPanic) with the
+    /// failing group index; the adapter (and the pool beneath it) remain
+    /// usable afterwards.
+    fn try_gem(
+        &self,
+        groups: usize,
+        staging_bytes: usize,
+        policy: ScratchPolicy,
+        body: &(dyn Fn(usize, &mut [u8]) + Sync),
+    ) -> Result<()>;
 
     /// Execute one Domain Execution Model stage: a global parallel-for
-    /// over `n` items. Returning implies a whole-domain barrier.
-    fn dem(&self, n: usize, body: &(dyn Fn(usize) + Sync));
+    /// over `n` items. Returning implies a whole-domain barrier. Panics
+    /// in the body surface as `HpdrError::WorkerPanic` (see
+    /// [`DeviceAdapter::try_gem`]).
+    fn try_dem(&self, n: usize, body: &(dyn Fn(usize) + Sync)) -> Result<()>;
+
+    /// Infallible GEM with [`ScratchPolicy::Zeroed`] staging — the
+    /// historical API. Re-raises worker panics on the calling thread.
+    fn gem(&self, groups: usize, staging_bytes: usize, body: &(dyn Fn(usize, &mut [u8]) + Sync)) {
+        if let Err(e) = self.try_gem(groups, staging_bytes, ScratchPolicy::Zeroed, body) {
+            panic!("{e}");
+        }
+    }
+
+    /// Infallible DEM — the historical API. Re-raises worker panics on
+    /// the calling thread.
+    fn dem(&self, n: usize, body: &(dyn Fn(usize) + Sync)) {
+        if let Err(e) = self.try_dem(n, body) {
+            panic!("{e}");
+        }
+    }
 
     /// Charge the virtual cost of one reduction kernel over `bytes` of
     /// input. No-op on real-time (CPU) adapters.
@@ -157,12 +213,28 @@ impl DeviceAdapter for SerialAdapter {
         }
     }
 
-    fn gem(&self, groups: usize, staging_bytes: usize, body: &(dyn Fn(usize, &mut [u8]) + Sync)) {
-        parallel_for_with_scratch(1, groups, staging_bytes, body);
+    fn try_gem(
+        &self,
+        groups: usize,
+        staging_bytes: usize,
+        policy: ScratchPolicy,
+        body: &(dyn Fn(usize, &mut [u8]) + Sync),
+    ) -> Result<()> {
+        WorkerPool::global()
+            .run_with_scratch(
+                1,
+                groups,
+                staging_bytes,
+                policy == ScratchPolicy::Zeroed,
+                body,
+            )
+            .map_err(Into::into)
     }
 
-    fn dem(&self, n: usize, body: &(dyn Fn(usize) + Sync)) {
-        parallel_for(1, n, usize::MAX, body);
+    fn try_dem(&self, n: usize, body: &(dyn Fn(usize) + Sync)) -> Result<()> {
+        WorkerPool::global()
+            .run(1, n, usize::MAX, body)
+            .map_err(Into::into)
     }
 
     fn charge(&self, _class: KernelClass, _bytes: u64) {}
@@ -217,12 +289,28 @@ impl DeviceAdapter for CpuParallelAdapter {
         }
     }
 
-    fn gem(&self, groups: usize, staging_bytes: usize, body: &(dyn Fn(usize, &mut [u8]) + Sync)) {
-        parallel_for_with_scratch(self.threads, groups, staging_bytes, body);
+    fn try_gem(
+        &self,
+        groups: usize,
+        staging_bytes: usize,
+        policy: ScratchPolicy,
+        body: &(dyn Fn(usize, &mut [u8]) + Sync),
+    ) -> Result<()> {
+        WorkerPool::global()
+            .run_with_scratch(
+                self.threads,
+                groups,
+                staging_bytes,
+                policy == ScratchPolicy::Zeroed,
+                body,
+            )
+            .map_err(Into::into)
     }
 
-    fn dem(&self, n: usize, body: &(dyn Fn(usize) + Sync)) {
-        parallel_for(self.threads, n, self.grain, body);
+    fn try_dem(&self, n: usize, body: &(dyn Fn(usize) + Sync)) -> Result<()> {
+        WorkerPool::global()
+            .run(self.threads, n, self.grain, body)
+            .map_err(Into::into)
     }
 
     fn charge(&self, _class: KernelClass, _bytes: u64) {}
@@ -280,6 +368,54 @@ mod tests {
         a.clock_reset();
         std::hint::black_box((0..100_000).sum::<u64>());
         assert!(a.clock_elapsed() > Ns::ZERO);
+    }
+
+    #[test]
+    fn try_gem_propagates_panic_and_stays_usable() {
+        let a = CpuParallelAdapter::new(4);
+        let err = a
+            .try_gem(16, 8, ScratchPolicy::Zeroed, &|g, _| {
+                if g == 3 {
+                    panic!("injected");
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::HpdrError::WorkerPanic { group: 3, .. }
+        ));
+        // Adapter still fully functional afterwards.
+        exercise(&a);
+    }
+
+    #[test]
+    fn try_dem_propagates_panic() {
+        let a = SerialAdapter::new();
+        let err = a
+            .try_dem(10, &|i| {
+                if i == 7 {
+                    panic!("dem failure");
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::HpdrError::WorkerPanic { group: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn dirty_policy_skips_zeroing_on_serial() {
+        let a = SerialAdapter::new();
+        // Serial adapter runs groups in order on one participant, so the
+        // dirty arena deterministically carries the previous group's fill.
+        a.try_gem(4, 8, ScratchPolicy::Dirty, &|g, st| {
+            if g > 0 {
+                assert!(st.iter().all(|&b| b == g as u8));
+            }
+            st.fill(g as u8 + 1);
+        })
+        .expect("dirty gem");
     }
 
     #[test]

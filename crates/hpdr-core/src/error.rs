@@ -14,6 +14,9 @@ pub enum HpdrError {
     InvalidArgument(String),
     /// An underlying (real) I/O error while reading or writing files.
     Io(String),
+    /// A stage body panicked on a pool worker; carries the failing
+    /// GEM group / DEM item index. The pool itself stays reusable.
+    WorkerPanic { group: usize, message: String },
 }
 
 impl HpdrError {
@@ -35,6 +38,18 @@ impl fmt::Display for HpdrError {
             HpdrError::Unsupported(m) => write!(f, "unsupported: {m}"),
             HpdrError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             HpdrError::Io(m) => write!(f, "i/o error: {m}"),
+            HpdrError::WorkerPanic { group, message } => {
+                write!(f, "worker panic at group {group}: {message}")
+            }
+        }
+    }
+}
+
+impl From<crate::pool::PoolPanic> for HpdrError {
+    fn from(p: crate::pool::PoolPanic) -> Self {
+        HpdrError::WorkerPanic {
+            group: p.group,
+            message: p.message,
         }
     }
 }
@@ -67,5 +82,17 @@ mod tests {
     fn from_io_error() {
         let e: HpdrError = std::io::Error::other("boom").into();
         assert!(matches!(e, HpdrError::Io(_)));
+    }
+
+    #[test]
+    fn from_pool_panic() {
+        let e: HpdrError = crate::pool::PoolPanic {
+            group: 7,
+            message: "kaboom".into(),
+        }
+        .into();
+        assert!(matches!(e, HpdrError::WorkerPanic { group: 7, .. }));
+        assert!(e.to_string().contains("group 7"));
+        assert!(e.to_string().contains("kaboom"));
     }
 }

@@ -8,8 +8,9 @@
 //! charges the same cost model through `hpdr-sim` ops so overlap is
 //! modeled device-wide.
 
-use crate::adapter::{AdapterInfo, AdapterKind, DeviceAdapter, KernelCharge};
-use crate::pool::{default_threads, parallel_for, parallel_for_with_scratch};
+use crate::adapter::{AdapterInfo, AdapterKind, DeviceAdapter, KernelCharge, ScratchPolicy};
+use crate::error::Result;
+use crate::pool::{default_threads, WorkerPool};
 use hpdr_sim::{Arch, DeviceSpec, KernelClass, Ns};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,14 +69,30 @@ impl DeviceAdapter for GpuSimAdapter {
         }
     }
 
-    fn gem(&self, groups: usize, staging_bytes: usize, body: &(dyn Fn(usize, &mut [u8]) + Sync)) {
+    fn try_gem(
+        &self,
+        groups: usize,
+        staging_bytes: usize,
+        policy: ScratchPolicy,
+        body: &(dyn Fn(usize, &mut [u8]) + Sync),
+    ) -> Result<()> {
         // Groups → SMs/CUs; staging → shared memory (Table II).
-        parallel_for_with_scratch(self.threads, groups, staging_bytes, body);
+        WorkerPool::global()
+            .run_with_scratch(
+                self.threads,
+                groups,
+                staging_bytes,
+                policy == ScratchPolicy::Zeroed,
+                body,
+            )
+            .map_err(Into::into)
     }
 
-    fn dem(&self, n: usize, body: &(dyn Fn(usize) + Sync)) {
+    fn try_dem(&self, n: usize, body: &(dyn Fn(usize) + Sync)) -> Result<()> {
         // Whole domain across all cores; returning = grid sync.
-        parallel_for(self.threads, n, 1024, body);
+        WorkerPool::global()
+            .run(self.threads, n, 1024, body)
+            .map_err(Into::into)
     }
 
     fn charge(&self, class: KernelClass, bytes: u64) {

@@ -31,13 +31,15 @@ pub mod shared;
 
 pub use abstractions::{global_pipeline, GlobalStage, Iterative, Locality, MapAndProcess};
 pub use adapter::{
-    AdapterInfo, AdapterKind, CpuParallelAdapter, DeviceAdapter, KernelCharge, SerialAdapter,
+    AdapterInfo, AdapterKind, CpuParallelAdapter, DeviceAdapter, KernelCharge, ScratchPolicy,
+    SerialAdapter,
 };
 pub use bytesio::{ByteReader, ByteWriter};
 pub use cmm::{fnv1a, CmmStats, ContextCache, ContextKey};
 pub use error::{HpdrError, Result};
 pub use float::{DType, Float};
 pub use gpu_sim::GpuSimAdapter;
+pub use pool::{PoolPanic, PoolStats, WorkerPool};
 pub use reducer::Reducer;
 pub use shape::{ArrayMeta, Shape};
 pub use shared::SharedSlice;

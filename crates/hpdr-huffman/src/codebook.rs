@@ -265,6 +265,35 @@ impl Codebook {
         DecodeTable::new(self, width)
     }
 
+    /// Build the two-level decode table used by the codec hot path.
+    pub fn two_level_table(&self, l1_width: u32) -> TwoLevelTable {
+        TwoLevelTable::new(self, l1_width)
+    }
+
+    /// Decode one symbol from a zero-padded LSB-first bit `window` (as
+    /// produced by `BitReader::peek_padded`). Returns `(symbol, bits
+    /// consumed)`. This is the canonical first-code scan — O(max_len)
+    /// register operations with **no** per-bit stream reads — used for
+    /// codes too long for the lookup tables.
+    ///
+    /// Callers must verify `bits consumed <= remaining stream bits`:
+    /// zero padding past the end of the stream can otherwise complete a
+    /// truncated codeword.
+    #[inline]
+    pub fn decode_window(&self, window: u64) -> Result<(u32, u32)> {
+        let mut code: u64 = 0;
+        for len in 1..=self.max_len {
+            code = (code << 1) | ((window >> (len - 1)) & 1);
+            let l = len as usize;
+            let count = self.length_count[l] as u64;
+            if count > 0 && code >= self.first_code[l] && code < self.first_code[l] + count {
+                let idx = self.sym_base[l] as u64 + (code - self.first_code[l]);
+                return Ok((self.sorted_symbols[idx as usize], len));
+            }
+        }
+        Err(HpdrError::corrupt("invalid Huffman codeword"))
+    }
+
     /// Expected encoded size in bits for the given frequency table.
     pub fn encoded_bits(&self, freqs: &[u64]) -> u64 {
         freqs
@@ -318,6 +347,126 @@ impl DecodeTable {
     pub fn probe(&self, window: u64) -> Option<(u32, u32)> {
         let (sym, len) = self.entries[(window & ((1u64 << self.width) - 1)) as usize];
         (len != 0).then_some((sym, len as u32))
+    }
+}
+
+/// Two-level lookup decoder: an L1 table over the first `l1_width` bits
+/// resolves every code of length ≤ `l1_width` in one probe; longer codes
+/// land in per-prefix L2 subtables sized to the bucket's deepest code
+/// (capped at [`TwoLevelTable::L2_CAP`] extra bits). Codes deeper than
+/// both levels — or buckets that would blow the total L2 budget — return
+/// `None` and are resolved by [`Codebook::decode_window`], which is still
+/// a pure register scan over an already-peeked window. No decode path
+/// reads the stream bit-by-bit.
+#[derive(Debug, Clone)]
+pub struct TwoLevelTable {
+    l1_width: u32,
+    /// `(symbol, total_len)` for direct hits; `total_len == 0` means
+    /// "consult the subtable fields".
+    l1: Vec<L1Entry>,
+    /// Concatenated L2 subtables; entry `(symbol, total_len)`,
+    /// `total_len == 0` marks an invalid / escape window.
+    l2: Vec<(u32, u8)>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct L1Entry {
+    sym: u32,
+    /// Code length for a direct L1 hit (0 = no direct hit).
+    len: u8,
+    /// Extra bits indexed by this prefix's subtable (0 = no subtable).
+    sub_width: u8,
+    /// Offset of the subtable in `l2`.
+    sub: u32,
+}
+
+impl TwoLevelTable {
+    /// Maximum extra bits resolved by one L2 subtable.
+    pub const L2_CAP: u32 = 12;
+    /// Total L2 entry budget; prefixes beyond it escape to the canonical
+    /// window scan (pathological books only).
+    const L2_BUDGET: usize = 1 << 18;
+
+    fn new(book: &Codebook, l1_width: u32) -> TwoLevelTable {
+        let l1_width = l1_width.clamp(1, 16).min(book.max_len().max(1));
+        let mut l1 = vec![L1Entry::default(); 1usize << l1_width];
+        // Short codes: strided direct fill (stream is LSB-first with
+        // bit-reversed canonical codes, so a window's low `len` bits
+        // equal `bits_rev`).
+        for sym in 0..book.dict_size() {
+            let code = book.code(sym);
+            if code.len == 0 || code.len > l1_width {
+                continue;
+            }
+            let step = 1u64 << code.len;
+            let mut w = code.bits_rev;
+            while w < (1u64 << l1_width) {
+                l1[w as usize] = L1Entry {
+                    sym,
+                    len: code.len as u8,
+                    sub_width: 0,
+                    sub: 0,
+                };
+                w += step;
+            }
+        }
+        // Long codes: bucket by their first `l1_width` stream bits.
+        let mut buckets: std::collections::BTreeMap<u64, Vec<(u32, Code)>> =
+            std::collections::BTreeMap::new();
+        for sym in 0..book.dict_size() {
+            let code = book.code(sym);
+            if code.len > l1_width {
+                let prefix = code.bits_rev & ((1u64 << l1_width) - 1);
+                buckets.entry(prefix).or_default().push((sym, code));
+            }
+        }
+        let mut l2: Vec<(u32, u8)> = Vec::new();
+        for (prefix, codes) in buckets {
+            let deepest = codes.iter().map(|&(_, c)| c.len).max().unwrap_or(0);
+            let sub_width = deepest - l1_width;
+            if sub_width > Self::L2_CAP || l2.len() + (1usize << sub_width) > Self::L2_BUDGET {
+                continue; // escape to Codebook::decode_window
+            }
+            let base = l2.len();
+            l2.resize(base + (1usize << sub_width), (0, 0));
+            for (sym, code) in codes {
+                let rem = code.len - l1_width;
+                let rest = code.bits_rev >> l1_width;
+                let step = 1u64 << rem;
+                let mut w = rest;
+                while w < (1u64 << sub_width) {
+                    l2[base + w as usize] = (sym, code.len as u8);
+                    w += step;
+                }
+            }
+            l1[prefix as usize].sub_width = sub_width as u8;
+            l1[prefix as usize].sub = base as u32;
+        }
+        TwoLevelTable { l1_width, l1, l2 }
+    }
+
+    pub fn l1_width(&self) -> u32 {
+        self.l1_width
+    }
+
+    /// Decode one symbol from a zero-padded LSB-first window. Returns
+    /// `Some((symbol, bits_consumed))` on a table hit; `None` sends the
+    /// caller to [`Codebook::decode_window`]. As with `decode_window`,
+    /// the caller must bound consumption by the stream's remaining bits.
+    #[inline]
+    pub fn decode(&self, window: u64) -> Option<(u32, u32)> {
+        let e = self.l1[(window & ((1u64 << self.l1_width) - 1)) as usize];
+        if e.len != 0 {
+            return Some((e.sym, e.len as u32));
+        }
+        if e.sub_width != 0 {
+            let idx = (window >> self.l1_width) & ((1u64 << e.sub_width) - 1);
+            let (sym, len) = self.l2[e.sub as usize + idx as usize];
+            if len != 0 {
+                return Some((sym, len as u32));
+            }
+        }
+        None
     }
 }
 
@@ -494,6 +643,95 @@ mod tests {
         // The most frequent symbol (shortest code) hits on many windows.
         let c = b.code(31);
         assert!(c.len <= 2);
+    }
+
+    #[test]
+    fn two_level_table_agrees_with_bitwise_decoder() {
+        use hpdr_kernels::{BitReader, BitWriter};
+        // Mixed-length book: short hot codes plus a deep skewed tail so
+        // both the L1 direct path and the L2 subtable path are exercised.
+        let freqs: Vec<u64> = (0..300u64).map(|i| 1 + (1u64 << (i % 20))).collect();
+        let b = book(&freqs);
+        let table = b.two_level_table(8);
+        assert!(table.l1_width() <= 8);
+        let symbols: Vec<u32> = (0..8000u32).map(|i| (i * 37) % 300).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            let c = b.code(s);
+            w.write_bits(c.bits_rev, c.len);
+        }
+        let total = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::with_bit_limit(&bytes, total).unwrap();
+        for &expect in &symbols {
+            let pos = r.bit_pos();
+            let window = r.peek_padded();
+            let (sym, used) = match table.decode(window) {
+                Some(hit) => hit,
+                None => b.decode_window(window).unwrap(),
+            };
+            assert!(used as u64 <= total - pos);
+            r.seek(pos + used as u64).unwrap();
+            assert_eq!(sym, expect);
+        }
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn two_level_escape_falls_back_to_window_scan() {
+        // Fibonacci-like frequencies force code lengths past
+        // l1_width + L2_CAP, so the deepest codes must escape.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b_) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a + b_;
+            a = b_;
+            b_ = next;
+        }
+        let b = book(&freqs);
+        assert!(b.max_len() > 1 + TwoLevelTable::L2_CAP);
+        let table = b.two_level_table(1);
+        // Deepest symbol: its window must miss the table and resolve via
+        // the canonical window scan.
+        let deepest = (0..40u32).max_by_key(|&s| b.code(s).len).unwrap();
+        let c = b.code(deepest);
+        let window = c.bits_rev; // exact code bits, zero-padded above
+        match table.decode(window) {
+            Some((sym, used)) => {
+                // A miss may still land on a shorter sibling prefix-wise;
+                // the full scan must agree on the exact window.
+                let (wsym, wused) = b.decode_window(window).unwrap();
+                assert_eq!((sym, used), (wsym, wused));
+            }
+            None => {
+                let (sym, used) = b.decode_window(window).unwrap();
+                assert_eq!(sym, deepest);
+                assert_eq!(used, c.len);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_window_agrees_with_decode_one() {
+        use hpdr_kernels::{BitReader, BitWriter};
+        let freqs: Vec<u64> = (0..64u64).map(|i| i * i + 1).collect();
+        let b = book(&freqs);
+        let symbols: Vec<u32> = (0..2000u32).map(|i| (i * 11) % 64).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            let c = b.code(s);
+            w.write_bits(c.bits_rev, c.len);
+        }
+        let total = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::with_bit_limit(&bytes, total).unwrap();
+        for &expect in &symbols {
+            let pos = r.bit_pos();
+            let (sym, used) = b.decode_window(r.peek_padded()).unwrap();
+            assert_eq!(sym, expect);
+            r.seek(pos + used as u64).unwrap();
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::codebook::Codebook;
 use hpdr_core::{ByteReader, ByteWriter, DeviceAdapter, HpdrError, KernelClass, Locality, Result};
 use hpdr_kernels::bitstream::BitReader;
-use hpdr_kernels::{exclusive_scan, histogram_u32, pack_bits};
+use hpdr_kernels::histogram_u32;
 
 const MAGIC: u32 = 0x4855_4631; // "HUF1"
 
@@ -64,35 +64,89 @@ pub fn compress_u32(
     // Lines 3–5: sort, filter, two-phase codebook generation.
     let book = Codebook::from_frequencies(&freqs)?;
 
-    // Line 6: Encode via the Locality abstraction — each element encodes
-    // independently; blocks of elements map to groups for locality.
+    // Lines 6–7, fused: instead of materializing a `(bits, len)` pair per
+    // element, scanning all n lengths, and atomically OR-packing, each
+    // decode chunk (a) counts its encoded bits, then — after a host-side
+    // byte-rounding scan of the chunk sizes — (b) re-encodes directly
+    // into its own disjoint byte range with a local 64-bit accumulator.
+    // Byte-aligning every chunk start costs ≤ 7 pad bits per chunk and
+    // makes the packing ranges disjoint, so no atomics are needed and the
+    // bytes are adapter-independent by construction.
     let n = keys.len();
-    let mut codes: Vec<(u64, u32)> = vec![(0, 0); n];
+    let chunk = cfg.chunk_elems.max(1);
+    let num_chunks = n.div_ceil(chunk);
+
+    // Stage A (Locality): per-chunk encoded bit counts.
+    let mut chunk_bits = vec![0u64; num_chunks];
     if n > 0 {
-        let block = 1usize << 14;
-        let blocks = n.div_ceil(block);
-        let codes_sh = hpdr_core::SharedSlice::new(&mut codes);
-        Locality::new(blocks).run(adapter, &|b, _| {
-            let lo = b * block;
-            let hi = (lo + block).min(n);
-            for i in lo..hi {
-                let c = book.code(keys[i]);
-                debug_assert!(c.len > 0, "uncoded symbol in input");
-                // Safety: blocks write disjoint ranges.
-                unsafe { codes_sh.write(i, (c.bits_rev, c.len)) };
+        let bits_sh = hpdr_core::SharedSlice::new(&mut chunk_bits);
+        Locality::new(num_chunks).run(adapter, &|c, _| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let mut bits = 0u64;
+            for &k in &keys[lo..hi] {
+                bits += book.code(k).len as u64;
             }
+            // Safety: one writer per chunk index.
+            unsafe { bits_sh.write(c, bits) };
         });
     }
 
-    // Line 7: Serialize (Global): scan lengths → offsets → parallel pack.
-    let lengths: Vec<u64> = codes.iter().map(|&(_, l)| l as u64).collect();
-    let offsets = exclusive_scan(adapter, &lengths);
-    let payload = pack_bits(adapter, &codes, &offsets);
-    let total_bits = *offsets.last().unwrap();
+    // Host scan: byte-aligned chunk starts (the chunk table doubles as
+    // the parallel-decode seek table).
+    let mut chunk_offsets = Vec::with_capacity(num_chunks);
+    let mut cursor = 0u64; // bits; always a multiple of 8
+    let mut total_bits = 0u64;
+    for &bits in &chunk_bits {
+        chunk_offsets.push(cursor);
+        total_bits = cursor + bits;
+        cursor = total_bits.div_ceil(8) * 8;
+    }
 
-    // Chunk table for parallel decode.
-    let chunk = cfg.chunk_elems.max(1);
-    let chunk_offsets: Vec<u64> = (0..n).step_by(chunk).map(|i| offsets[i]).collect();
+    // Stage B (Locality): pack each chunk into its disjoint byte range.
+    let mut payload = vec![0u8; (cursor / 8) as usize];
+    if n > 0 {
+        let payload_sh = hpdr_core::SharedSlice::new(&mut payload);
+        Locality::new(num_chunks).run(adapter, &|c, _| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let base = (chunk_offsets[c] / 8) as usize;
+            let nbytes = chunk_bits[c].div_ceil(8) as usize;
+            // Safety: chunk byte ranges are disjoint — each chunk starts
+            // on the byte after its predecessor's last data byte.
+            let dst = unsafe { payload_sh.slice_mut(base, nbytes) };
+            let mut acc = 0u64;
+            let mut nacc = 0u32; // invariant: nacc < 64 between symbols
+            let mut wpos = 0usize;
+            for &k in &keys[lo..hi] {
+                let code = book.code(k);
+                debug_assert!(code.len > 0, "uncoded symbol in input");
+                let spill = if nacc == 0 {
+                    0
+                } else {
+                    code.bits_rev >> (64 - nacc)
+                };
+                acc |= code.bits_rev << nacc;
+                nacc += code.len;
+                if nacc >= 64 {
+                    dst[wpos..wpos + 8].copy_from_slice(&acc.to_le_bytes());
+                    wpos += 8;
+                    nacc -= 64;
+                    acc = spill;
+                }
+            }
+            let tail = acc.to_le_bytes();
+            let mut rem = nacc;
+            let mut bi = 0usize;
+            while rem > 0 {
+                dst[wpos] = tail[bi];
+                wpos += 1;
+                bi += 1;
+                rem = rem.saturating_sub(8);
+            }
+            debug_assert_eq!(wpos, nbytes);
+        });
+    }
 
     // Charge the whole Huffman kernel once against the device cost model.
     adapter.charge(KernelClass::Huffman, (n * 4) as u64);
@@ -164,10 +218,15 @@ pub fn decompress_u32(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<Vec<u
         return Ok(Vec::new());
     }
 
-    // Parallel chunk decode via the Locality abstraction, with a
-    // lookup-table fast path for short codes. Any codeword error inside a
-    // worker is collected and surfaced after the join.
-    let table = book.decode_table(12);
+    // Parallel chunk decode via the Locality abstraction. Every symbol
+    // decodes from a zero-padded 64-bit window: a two-level table hit
+    // resolves the common case in one or two probes, and table misses
+    // fall back to the canonical first-code scan over the same window —
+    // no per-bit stream reads on any path. Zero padding could complete a
+    // truncated codeword, so each decode is bounded by the remaining
+    // stream bits. Any codeword error inside a worker is collected and
+    // surfaced after the join.
+    let table = book.two_level_table(12);
     let mut out = vec![0u32; n];
     let errors = std::sync::Mutex::new(Vec::new());
     {
@@ -187,32 +246,26 @@ pub fn decompress_u32(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<Vec<u
                 return;
             }
             for i in lo..hi {
-                // Fast path: probe a full-width window in the table.
                 let pos = br.bit_pos();
-                let width = table.width() as u64;
-                let mut sym = None;
-                if br.remaining_bits() >= width {
-                    if let Ok(window) = br.read_bits(table.width()) {
-                        if let Some((s, used)) = table.probe(window) {
-                            if br.seek(pos + used as u64).is_ok() {
-                                sym = Some(s);
-                            }
-                        }
-                    }
-                    if sym.is_none() && br.seek(pos).is_err() {
-                        errors.lock().unwrap().push(hpdr_core::HpdrError::corrupt(
-                            "bit seek failed during decode",
-                        ));
-                        return;
-                    }
-                }
-                let decoded = match sym {
-                    Some(s) => Ok(s),
-                    None => book.decode_one(|| br.read_bit()),
+                let window = br.peek_padded();
+                let decoded = match table.decode(window) {
+                    Some(hit) => Ok(hit),
+                    None => book.decode_window(window),
                 };
                 match decoded {
-                    // Safety: chunks write disjoint ranges.
-                    Ok(sym) => unsafe { out_sh.write(i, sym) },
+                    Ok((sym, used)) if (used as u64) <= br.remaining_bits() => {
+                        // In-bounds by the guard above, so seek succeeds.
+                        let _ = br.seek(pos + used as u64);
+                        // Safety: chunks write disjoint ranges.
+                        unsafe { out_sh.write(i, sym) };
+                    }
+                    Ok(_) => {
+                        errors
+                            .lock()
+                            .unwrap()
+                            .push(HpdrError::corrupt("codeword extends past end of stream"));
+                        return;
+                    }
                     Err(e) => {
                         errors.lock().unwrap().push(e);
                         return;

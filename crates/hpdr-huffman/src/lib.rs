@@ -19,7 +19,7 @@
 pub mod codebook;
 pub mod codec;
 
-pub use codebook::{Code, Codebook, MAX_CODE_LEN};
+pub use codebook::{Code, Codebook, TwoLevelTable, MAX_CODE_LEN};
 pub use codec::{compress_u32, decompress_u32, HuffmanConfig};
 pub mod reducer;
 pub use reducer::ByteHuffmanReducer;

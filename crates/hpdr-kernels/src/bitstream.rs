@@ -61,15 +61,47 @@ impl BitWriter {
         self.bitlen
     }
 
+    /// Bytes needed to hold the written bits (⌈bits/8⌉).
+    pub fn byte_len(&self) -> usize {
+        (self.bitlen as usize).div_ceil(8)
+    }
+
+    /// Reset to empty, keeping the allocated word buffer for reuse —
+    /// block-batched encoders call this between blocks instead of
+    /// constructing a fresh writer per block.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.bitlen = 0;
+    }
+
     /// Serialize to bytes (little-endian words, trimmed to ⌈bits/8⌉).
     pub fn into_bytes(self) -> Vec<u8> {
-        let nbytes = (self.bitlen as usize).div_ceil(8);
+        let nbytes = self.byte_len();
         let mut out = Vec::with_capacity(nbytes);
         for w in &self.words {
             out.extend_from_slice(&w.to_le_bytes());
         }
         out.truncate(nbytes);
         out
+    }
+
+    /// Copy the written bits into `dst` (which must hold at least
+    /// [`BitWriter::byte_len`] bytes) without consuming the writer.
+    /// Returns the number of bytes copied.
+    pub fn copy_bytes_to(&self, dst: &mut [u8]) -> usize {
+        let nbytes = self.byte_len();
+        debug_assert!(dst.len() >= nbytes);
+        let mut written = 0usize;
+        for w in &self.words {
+            if written >= nbytes {
+                break;
+            }
+            let bytes = w.to_le_bytes();
+            let take = (nbytes - written).min(8);
+            dst[written..written + take].copy_from_slice(&bytes[..take]);
+            written += take;
+        }
+        written
     }
 
     /// The underlying words (padded with zero bits at the tail).
@@ -167,6 +199,48 @@ impl<'a> BitReader<'a> {
     pub fn read_bit(&mut self) -> Result<bool> {
         Ok(self.read_bits(1)? != 0)
     }
+
+    /// Peek up to 64 bits at the current position without consuming them.
+    /// Bits past the stream limit read as zero — callers that act on the
+    /// window must bound their consumption by [`BitReader::remaining_bits`].
+    /// Table-driven Huffman decoders use this to grab a full decode window
+    /// in one unaligned load instead of per-bit reads.
+    #[inline]
+    pub fn peek_padded(&self) -> u64 {
+        let avail = self.limit - self.pos;
+        if avail == 0 {
+            return 0;
+        }
+        let byte0 = (self.pos / 8) as usize;
+        let off = (self.pos % 8) as u32;
+        let window = if byte0 + 9 <= self.bytes.len() {
+            // Fast path: unaligned 8-byte little-endian load + spill byte.
+            let lo = u64::from_le_bytes(self.bytes[byte0..byte0 + 8].try_into().unwrap());
+            let mut w = lo >> off;
+            if off > 0 {
+                w |= (self.bytes[byte0 + 8] as u64) << (64 - off);
+            }
+            w
+        } else {
+            // Tail path: gather what remains into a zero-padded buffer.
+            let mut buf = [0u8; 9];
+            let take = self.bytes.len() - byte0;
+            buf[..take].copy_from_slice(&self.bytes[byte0..]);
+            let lo = u64::from_le_bytes(buf[..8].try_into().unwrap());
+            let mut w = lo >> off;
+            if off > 0 {
+                w |= (buf[8] as u64) << (64 - off);
+            }
+            w
+        };
+        // Zero any bits beyond the declared limit so padding can never
+        // masquerade as valid in-stream bits.
+        if avail < 64 {
+            window & ((1u64 << avail) - 1)
+        } else {
+            window
+        }
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +314,64 @@ mod tests {
         let mut r = BitReader::with_bit_limit(&bytes, total).unwrap();
         assert_eq!(r.read_bits(3).unwrap(), 0x7);
         assert_eq!(r.read_bits(64).unwrap(), 0xABCD_EF01_2345_6789);
+    }
+
+    #[test]
+    fn peek_padded_matches_read_bits() {
+        let mut w = BitWriter::new();
+        for i in 0..40u64 {
+            w.write_bits(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), 37);
+        }
+        let total = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::with_bit_limit(&bytes, total).unwrap();
+        // At every position the peeked window's low bits must equal an
+        // actual read of min(64, remaining) bits.
+        for pos in (0..total).step_by(13) {
+            r.seek(pos).unwrap();
+            let window = r.peek_padded();
+            let take = (total - pos).min(64) as u32;
+            let read = r.read_bits(take).unwrap();
+            let masked = if take == 64 {
+                window
+            } else {
+                window & ((1u64 << take) - 1)
+            };
+            assert_eq!(masked, read, "pos {pos}");
+            // Bits beyond the limit are zero.
+            if take < 64 {
+                assert_eq!(window >> take, 0, "padding leaked at pos {pos}");
+            }
+        }
+        // At the limit the window is all padding.
+        r.seek(total).unwrap();
+        assert_eq!(r.peek_padded(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_buffer_reusable() {
+        let mut w = BitWriter::with_bit_capacity(128);
+        w.write_bits(0xABCD, 16);
+        assert_eq!(w.byte_len(), 2);
+        w.clear();
+        assert_eq!(w.bit_len(), 0);
+        assert_eq!(w.byte_len(), 0);
+        w.write_bits(0x12, 8);
+        let mut dst = [0u8; 4];
+        assert_eq!(w.copy_bytes_to(&mut dst), 1);
+        assert_eq!(dst[0], 0x12);
+        assert_eq!(w.into_bytes(), vec![0x12]);
+    }
+
+    #[test]
+    fn copy_bytes_to_equals_into_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF_CAFE, 48);
+        w.write_bits(0x3, 3);
+        let mut dst = vec![0u8; w.byte_len()];
+        let n = w.copy_bytes_to(&mut dst);
+        assert_eq!(n, w.byte_len());
+        assert_eq!(dst, w.into_bytes());
     }
 
     #[test]

@@ -27,7 +27,13 @@ pub fn exclusive_scan(adapter: &dyn DeviceAdapter, input: &[u64]) -> Vec<u64> {
     if n == 0 {
         return vec![0];
     }
-    let chunk = 1usize << 14;
+    // Chunk adaptively: aim for a few chunks per hardware thread so the
+    // dynamic scheduler can balance, but keep chunks large enough
+    // (≥ 2^12 elements) that the two DEM passes stay bandwidth-bound
+    // rather than dispatch-bound. The chunk size only partitions work —
+    // the scanned values are identical for any chunking.
+    let threads = adapter.info().threads.max(1);
+    let chunk = n.div_ceil(threads * 4).next_power_of_two().max(1 << 12);
     let chunks = n.div_ceil(chunk);
     if chunks <= 1 {
         return exclusive_scan_serial(input);

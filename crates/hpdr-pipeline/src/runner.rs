@@ -932,6 +932,29 @@ pub fn plan_decompress(
     Ok(sim)
 }
 
+/// Run the sim under a wall clock and a worker-pool stats window, so the
+/// trace carries measured host time and pool activity next to the
+/// modeled virtual times.
+fn timed_run(sim: &mut Sim) -> (hpdr_sim::Timeline, hpdr_sim::RuntimeStats) {
+    let pool = hpdr_core::WorkerPool::global();
+    let before = pool.stats();
+    let t0 = std::time::Instant::now();
+    let timeline = sim.run();
+    let wall = hpdr_sim::Ns(t0.elapsed().as_nanos() as u64);
+    let delta = pool.stats().since(before);
+    (
+        timeline,
+        hpdr_sim::RuntimeStats {
+            wall,
+            pool_jobs: delta.jobs,
+            pool_wakeups: delta.wakeups,
+            pool_tasks: delta.tasks,
+            scratch_reuses: delta.scratch_reuses,
+            scratch_allocs: delta.scratch_allocs,
+        },
+    )
+}
+
 /// Compress `input` on a single simulated device with the Fig. 9 pipeline.
 pub fn compress_pipelined(
     spec: &DeviceSpec,
@@ -950,8 +973,9 @@ pub fn compress_pipelined(
         job.submit_chunk(&mut sim, k);
     }
     sim.set_trace(true);
-    let timeline = sim.run();
-    let trace = sim.take_trace().expect("tracing was enabled");
+    let (timeline, runtime) = timed_run(&mut sim);
+    let mut trace = sim.take_trace().expect("tracing was enabled");
+    trace.set_runtime_stats(runtime);
     let chunks = job.num_chunks();
     let container = job.finish()?;
     let report = report_from(
@@ -985,8 +1009,9 @@ pub fn decompress_pipelined(
     }
     job.finish_submission(&mut sim);
     sim.set_trace(true);
-    let timeline = sim.run();
-    let trace = sim.take_trace().expect("tracing was enabled");
+    let (timeline, runtime) = timed_run(&mut sim);
+    let mut trace = sim.take_trace().expect("tracing was enabled");
+    trace.set_runtime_stats(runtime);
     let chunks = job.num_chunks();
     let compressed = container.total_stream_bytes();
     let (bytes, meta) = job.finish()?;

@@ -38,5 +38,5 @@ pub use spec::{
 };
 pub use time::{gbps, Ns};
 pub use timeline::{Category, OpRecord, Timeline};
-pub use trace::{Recorder, SpanEvent, SpanRecord, Trace};
+pub use trace::{Recorder, RuntimeStats, SpanEvent, SpanRecord, Trace};
 pub use verify::{analyze, Dag, DagOp, Hazard, OpKind, VerifyReport};

@@ -410,7 +410,9 @@ impl Sim {
                     ready,
                 });
             }
+            let mut wall = Ns::ZERO;
             if let Some(p) = payload {
+                let t0 = std::time::Instant::now();
                 // Debug builds: hold the payload to its declared effects.
                 if cfg!(debug_assertions) {
                     self.pool.begin_payload(&spec.label, &spec.effects);
@@ -419,6 +421,7 @@ impl Sim {
                 } else {
                     p(&mut self.pool);
                 }
+                wall = Ns(t0.elapsed().as_nanos() as u64);
             }
             if self.recorder.is_some() {
                 // Footprint sampled after the payload so dynamically sized
@@ -434,6 +437,7 @@ impl Sim {
                     op,
                     t: end,
                     footprint_bytes,
+                    wall,
                 };
                 if let Some(rec) = &mut self.recorder {
                     rec.emit(event);

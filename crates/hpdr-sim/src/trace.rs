@@ -44,6 +44,10 @@ pub enum SpanEvent {
         /// Total live bytes of the device buffers the op declared it
         /// touches, sampled after its payload executed.
         footprint_bytes: u64,
+        /// Real elapsed wall-clock time of the op's payload on the host
+        /// (zero for ops without a payload). Unlike the virtual times,
+        /// this is measured, not modeled.
+        wall: Ns,
     },
 }
 
@@ -67,6 +71,10 @@ pub struct SpanRecord {
     pub footprint_bytes: u64,
     /// When the op's explicit dependencies were satisfied.
     pub ready: Ns,
+    /// Measured wall-clock time of the op's payload (zero when the op
+    /// had no payload). Lets profiles report real host time next to the
+    /// modeled virtual time.
+    pub wall: Ns,
 }
 
 impl SpanRecord {
@@ -143,12 +151,14 @@ impl Recorder {
                         bytes,
                         footprint_bytes: 0,
                         ready,
+                        wall: Ns::ZERO,
                     });
                 }
                 SpanEvent::End {
                     op,
                     t,
                     footprint_bytes,
+                    wall,
                 } => {
                     let idx = open
                         .get(op)
@@ -157,6 +167,7 @@ impl Recorder {
                         .unwrap_or_else(|| panic!("end event for op {op} without a begin"));
                     spans[idx].end = t;
                     spans[idx].footprint_bytes = footprint_bytes;
+                    spans[idx].wall = wall;
                     open[op] = None;
                 }
             }
@@ -165,20 +176,57 @@ impl Recorder {
             open.iter().all(Option::is_none),
             "trace has begin events without matching ends"
         );
-        Trace { spans }
+        Trace {
+            spans,
+            runtime: None,
+        }
     }
+}
+
+/// Execution-runtime counters for one traced run: real wall-clock time
+/// plus persistent-worker-pool activity. Filled in by the pipeline layer
+/// (this crate models devices and cannot depend on the pool), so the
+/// fields are plain data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Measured wall-clock time of the whole traced run.
+    pub wall: Ns,
+    /// Pool jobs dispatched during the run.
+    pub pool_jobs: u64,
+    /// Worker wakeups during the run.
+    pub pool_wakeups: u64,
+    /// Chunk tasks executed during the run.
+    pub pool_tasks: u64,
+    /// Staging arenas reused without reallocation.
+    pub scratch_reuses: u64,
+    /// Staging arenas grown (allocations).
+    pub scratch_allocs: u64,
 }
 
 /// A completed recording: one span per executed op, in submission order.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     spans: Vec<SpanRecord>,
+    runtime: Option<RuntimeStats>,
 }
 
 impl Trace {
     /// Build a trace directly from spans (fixtures and tests).
     pub fn from_spans(spans: Vec<SpanRecord>) -> Trace {
-        Trace { spans }
+        Trace {
+            spans,
+            runtime: None,
+        }
+    }
+
+    /// Attach measured runtime counters (see [`RuntimeStats`]).
+    pub fn set_runtime_stats(&mut self, stats: RuntimeStats) {
+        self.runtime = Some(stats);
+    }
+
+    /// Measured runtime counters, when the producer recorded them.
+    pub fn runtime_stats(&self) -> Option<RuntimeStats> {
+        self.runtime
     }
 
     pub fn spans(&self) -> &[SpanRecord] {
@@ -239,17 +287,20 @@ mod tests {
             op: 0,
             t: Ns(100),
             footprint_bytes: 64,
+            wall: Ns(7),
         });
         r.emit(begin(1, 50));
         r.emit(SpanEvent::End {
             op: 1,
             t: Ns(150),
             footprint_bytes: 0,
+            wall: Ns::ZERO,
         });
         let trace = r.into_trace();
         assert_eq!(trace.len(), 2);
         assert_eq!(trace.spans()[0].duration(), Ns(100));
         assert_eq!(trace.spans()[0].footprint_bytes, 64);
+        assert_eq!(trace.spans()[0].wall, Ns(7));
         assert_eq!(trace.spans()[1].start, Ns(50));
         assert_eq!(trace.makespan(), Ns(150));
         assert_eq!(trace.devices(), vec![DeviceId(0)]);
@@ -278,6 +329,7 @@ mod tests {
             bytes: 0,
             footprint_bytes: 0,
             ready: Ns(30),
+            wall: Ns::ZERO,
         };
         assert_eq!(s.wait(), Ns(40));
     }

@@ -253,6 +253,7 @@ mod tests {
             bytes: 123,
             footprint_bytes: 456,
             ready: Ns(start),
+            wall: Ns::ZERO,
         }
     }
 

@@ -208,6 +208,7 @@ mod tests {
             bytes: 0,
             footprint_bytes: 0,
             ready: Ns(start),
+            wall: Ns::ZERO,
         }
     }
 

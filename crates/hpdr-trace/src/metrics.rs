@@ -293,6 +293,7 @@ mod tests {
             bytes: end - start,
             footprint_bytes: 0,
             ready: Ns(start),
+            wall: Ns::ZERO,
         }
     }
 

@@ -6,7 +6,7 @@ use crate::metrics::{
     alloc_contention, engine_stats, latency_histograms, memory_fraction, overlap_ratio,
     EngineStats, LatencyHistogram,
 };
-use hpdr_sim::{DeviceId, Ns, Trace};
+use hpdr_sim::{DeviceId, Ns, RuntimeStats, Trace};
 use std::fmt::Write as _;
 
 /// Aggregated observability report for one traced run.
@@ -22,6 +22,12 @@ pub struct Profile {
     pub alloc_contention: Ns,
     pub critical: CriticalPath,
     pub histograms: Vec<(String, LatencyHistogram)>,
+    /// Sum of per-op payload wall-clock times (measured host time, as
+    /// opposed to the modeled virtual `makespan`).
+    pub wall_total: Ns,
+    /// Measured runtime counters (wall clock + worker-pool activity),
+    /// when the trace producer recorded them.
+    pub runtime: Option<RuntimeStats>,
 }
 
 impl Profile {
@@ -68,13 +74,27 @@ impl Profile {
             alloc_contention: alloc_contention(trace),
             critical,
             histograms: latency_histograms(trace),
+            wall_total: Ns(trace.spans().iter().map(|s| s.wall.0).sum()),
+            runtime: trace.runtime_stats(),
         })
     }
 
     /// Human-readable report lines.
     pub fn render(&self) -> Vec<String> {
         let mut out = Vec::new();
-        out.push(format!("makespan            {}", self.makespan));
+        out.push(format!("makespan (virtual)  {}", self.makespan));
+        out.push(format!("payload wall-clock  {}", self.wall_total));
+        if let Some(rt) = &self.runtime {
+            out.push(format!("run wall-clock      {}", rt.wall));
+            out.push(format!(
+                "worker pool         {} jobs, {} wakeups, {} tasks",
+                rt.pool_jobs, rt.pool_wakeups, rt.pool_tasks
+            ));
+            out.push(format!(
+                "staging scratch     {} reused, {} allocated",
+                rt.scratch_reuses, rt.scratch_allocs
+            ));
+        }
         out.push(format!(
             "memory-op share     {:5.1}% of busy time",
             self.memory_fraction * 100.0
@@ -125,6 +145,23 @@ impl Profile {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{");
         let _ = write!(s, "\"makespan_ns\":{}", self.makespan.0);
+        let _ = write!(s, ",\"payload_wall_ns\":{}", self.wall_total.0);
+        match &self.runtime {
+            Some(rt) => {
+                let _ = write!(
+                    s,
+                    ",\"runtime\":{{\"wall_ns\":{},\"pool_jobs\":{},\"pool_wakeups\":{},\
+                     \"pool_tasks\":{},\"scratch_reuses\":{},\"scratch_allocs\":{}}}",
+                    rt.wall.0,
+                    rt.pool_jobs,
+                    rt.pool_wakeups,
+                    rt.pool_tasks,
+                    rt.scratch_reuses,
+                    rt.scratch_allocs
+                );
+            }
+            None => s.push_str(",\"runtime\":null"),
+        }
         let _ = write!(s, ",\"memory_fraction\":{:.6}", self.memory_fraction);
         let _ = write!(s, ",\"alloc_contention_ns\":{}", self.alloc_contention.0);
         s.push_str(",\"engines\":[");
@@ -186,6 +223,7 @@ mod tests {
                 bytes: 100,
                 footprint_bytes: 100,
                 ready: Ns(0),
+                wall: Ns(40),
             },
             SpanRecord {
                 op: 1,
@@ -200,6 +238,7 @@ mod tests {
                 bytes: 100,
                 footprint_bytes: 100,
                 ready: Ns(100),
+                wall: Ns(60),
             },
         ])
     }
@@ -214,6 +253,32 @@ mod tests {
         let json = p.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"makespan_ns\":300"));
+        assert_eq!(p.wall_total, Ns(100));
+        assert!(json.contains("\"payload_wall_ns\":100"));
+        assert!(json.contains("\"runtime\":null"));
+    }
+
+    #[test]
+    fn runtime_stats_flow_into_report_and_json() {
+        let mut t = two_op_trace();
+        t.set_runtime_stats(RuntimeStats {
+            wall: Ns(12345),
+            pool_jobs: 4,
+            pool_wakeups: 9,
+            pool_tasks: 40,
+            scratch_reuses: 3,
+            scratch_allocs: 1,
+        });
+        let p = Profile::from_trace(&t).expect("clean");
+        let rt = p.runtime.expect("runtime stats present");
+        assert_eq!(rt.wall, Ns(12345));
+        let json = p.to_json();
+        assert!(json.contains("\"wall_ns\":12345"));
+        assert!(json.contains("\"pool_jobs\":4"));
+        assert!(json.contains("\"scratch_reuses\":3"));
+        let text = p.render().join("\n");
+        assert!(text.contains("worker pool"));
+        assert!(text.contains("run wall-clock"));
     }
 
     #[test]

@@ -29,6 +29,10 @@ const FRACBITS: i32 = 57;
 /// Per-block header: 1 nonzero flag bit + 16 biased-exponent bits.
 const HEADER_BITS: u32 = 17;
 const EMAX_BIAS: i32 = 16384;
+/// Fixed-rate blocks processed per Locality group: amortizes the gather
+/// buffer and BitWriter/BitReader scratch over a batch while leaving
+/// enough groups for the adapters' dynamic chunked scheduling.
+const RATE_BATCH: usize = 64;
 
 /// Compression mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -244,25 +248,39 @@ pub fn compress<T: Float>(
             w.put_u64(blocks as u64);
             w.put_u32(block_bytes as u32);
 
+            // Batch RATE_BATCH blocks per Locality group so the gather
+            // buffer and BitWriter allocate once per group and are reused
+            // across blocks (`gather` overwrites every lane and `clear`
+            // keeps the writer's buffer) — the emitted bytes are identical
+            // to the one-allocation-per-block formulation.
+            let groups = blocks.div_ceil(RATE_BATCH);
             let mut payload = vec![0u8; blocks * block_bytes];
             let errors = std::sync::Mutex::new(Vec::new());
             {
                 let payload_sh = SharedSlice::new(&mut payload);
-                Locality::new(blocks)
+                Locality::new(groups)
                     .with_staging(ctx.n * T::BYTES)
-                    .run(adapter, &|b, _| {
+                    .run(adapter, &|g, _| {
+                        let b0 = g * RATE_BATCH;
+                        let b1 = (b0 + RATE_BATCH).min(blocks);
                         let mut vals = vec![T::ZERO; ctx.n];
-                        ctx.grid.gather(data, b, &mut vals);
                         let mut bw = BitWriter::with_bit_capacity(block_bits as usize);
-                        match encode_block(&vals, &ctx, maxbits, 0, &mut bw) {
-                            Ok(_) => {
-                                let bytes = bw.into_bytes();
-                                // Safety: block b owns its byte range.
-                                let dst =
-                                    unsafe { payload_sh.slice_mut(b * block_bytes, block_bytes) };
-                                dst[..bytes.len()].copy_from_slice(&bytes);
+                        for b in b0..b1 {
+                            ctx.grid.gather(data, b, &mut vals);
+                            bw.clear();
+                            match encode_block(&vals, &ctx, maxbits, 0, &mut bw) {
+                                Ok(_) => {
+                                    // Safety: block b owns its byte range.
+                                    let dst = unsafe {
+                                        payload_sh.slice_mut(b * block_bytes, block_bytes)
+                                    };
+                                    bw.copy_bytes_to(dst);
+                                }
+                                Err(e) => {
+                                    errors.lock().unwrap().push(e);
+                                    return;
+                                }
                             }
-                            Err(e) => errors.lock().unwrap().push(e),
                         }
                     });
             }
@@ -404,15 +422,25 @@ pub fn decompress<T: Float>(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result
                 return Err(HpdrError::corrupt("payload size mismatch"));
             }
             let maxbits = rate * ctx.n as u32 - HEADER_BITS;
+            let groups = blocks.div_ceil(RATE_BATCH);
             {
                 let out_sh = SharedSlice::new(&mut out);
-                Locality::new(blocks).run(adapter, &|b, _| {
-                    let region = &payload[b * block_bytes..(b + 1) * block_bytes];
-                    let mut br = BitReader::new(region);
+                Locality::new(groups).run(adapter, &|g, _| {
+                    let b0 = g * RATE_BATCH;
+                    let b1 = (b0 + RATE_BATCH).min(blocks);
+                    // One decode buffer per group; `decode_block` fills
+                    // every lane, so reuse across blocks is exact.
                     let mut vals = vec![T::ZERO; ctx.n];
-                    match decode_block(&mut br, &ctx, maxbits, 0, &mut vals) {
-                        Ok(()) => scatter_shared(&ctx.grid, &out_sh, b, &vals),
-                        Err(e) => errors.lock().unwrap().push(e),
+                    for b in b0..b1 {
+                        let region = &payload[b * block_bytes..(b + 1) * block_bytes];
+                        let mut br = BitReader::new(region);
+                        match decode_block(&mut br, &ctx, maxbits, 0, &mut vals) {
+                            Ok(()) => scatter_shared(&ctx.grid, &out_sh, b, &vals),
+                            Err(e) => {
+                                errors.lock().unwrap().push(e);
+                                return;
+                            }
+                        }
                     }
                 });
             }

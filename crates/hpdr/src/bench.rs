@@ -1,0 +1,459 @@
+//! `hpdr bench` — wall-clock throughput measurement.
+//!
+//! Two benchmark families, both measured (not modeled):
+//!
+//! * **Codec throughput**: compress/decompress GB/s per codec × adapter
+//!   × input size, median of N timed runs after warmup;
+//! * **Pool microbenchmark**: ≥ 32 GEM/DEM stage invocations through the
+//!   persistent [`hpdr_core::WorkerPool`] versus the pre-pool
+//!   spawn-per-call baseline (`spawning_parallel_for*`), reported as a
+//!   speedup ratio.
+//!
+//! Results serialize to a `BENCH_<label>.json` document with schema id
+//! [`BENCH_SCHEMA`]; [`validate_bench_json`] structurally checks a
+//! document before it is written, so CI can gate on well-formed output.
+
+use crate::Codec;
+use hpdr_baselines::SzConfig;
+use hpdr_core::pool::{spawning_parallel_for, spawning_parallel_for_with_scratch};
+use hpdr_core::{
+    ArrayMeta, CpuParallelAdapter, DType, DeviceAdapter, HpdrError, Result, SerialAdapter,
+    WorkerPool,
+};
+use hpdr_mgard::MgardConfig;
+use hpdr_zfp::ZfpConfig;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Schema identifier embedded in every bench document.
+pub const BENCH_SCHEMA: &str = "hpdr-bench/v1";
+
+/// Bench configuration (from CLI flags).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Small inputs and few repetitions (CI smoke).
+    pub quick: bool,
+    /// Document label: the output file is `BENCH_<label>.json`.
+    pub label: String,
+    /// Explicit output path (overrides the label-derived name).
+    pub out: Option<String>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            quick: false,
+            label: "local".to_string(),
+            out: None,
+        }
+    }
+}
+
+/// One timed direction (compress or decompress).
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Median wall-clock time over the measured repetitions.
+    pub median: Duration,
+    /// Uncompressed gigabytes per second at the median.
+    pub gbps: f64,
+}
+
+/// One codec × adapter × size measurement.
+#[derive(Debug, Clone)]
+pub struct CodecResult {
+    pub codec: String,
+    pub adapter: String,
+    pub elements: usize,
+    pub bytes: usize,
+    pub compress: Throughput,
+    pub decompress: Throughput,
+    pub ratio: f64,
+}
+
+/// Persistent-pool vs spawn-per-call microbenchmark result.
+#[derive(Debug, Clone)]
+pub struct PoolBench {
+    /// Stage invocations per side (ISSUE floor: ≥ 32).
+    pub invocations: usize,
+    pub pool: Duration,
+    pub spawn: Duration,
+    /// `spawn / pool` — how much faster the persistent pool is.
+    pub speedup: f64,
+}
+
+/// A complete bench run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    pub label: String,
+    pub quick: bool,
+    pub threads: usize,
+    pub pool: PoolBench,
+    pub results: Vec<CodecResult>,
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_median<F: FnMut()>(reps: usize, warmup: usize, mut f: F) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    let samples = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    median(samples)
+}
+
+fn gbps(bytes: usize, t: Duration) -> f64 {
+    bytes as f64 / t.as_secs_f64().max(1e-12) / 1e9
+}
+
+fn bench_codecs() -> Vec<Codec> {
+    vec![
+        Codec::Mgard(MgardConfig::relative(1e-3)),
+        Codec::Zfp(ZfpConfig::fixed_rate(16)),
+        Codec::Huffman,
+        Codec::Sz(SzConfig::relative(1e-3)),
+        Codec::Lz4,
+    ]
+}
+
+fn bench_adapters() -> Vec<(&'static str, Box<dyn DeviceAdapter>)> {
+    vec![
+        ("serial", Box::new(SerialAdapter::new())),
+        ("openmp", Box::new(CpuParallelAdapter::with_defaults())),
+    ]
+}
+
+/// ≥ 32 GEM + DEM stage invocations through the persistent pool versus
+/// the spawn-per-call baseline. Both sides run the same bodies with the
+/// same grain, so the only difference is worker startup and scratch
+/// lifetime — precisely what the persistent pool amortizes.
+fn pool_microbench(quick: bool) -> PoolBench {
+    let invocations = if quick { 32 } else { 64 };
+    let n = 4096usize;
+    let grain = 64usize;
+    let scratch = 2048usize;
+    let pool = WorkerPool::global();
+    // At least 4-way, mirroring the `CpuParallelAdapter::new(4)` config
+    // used across the suite: pre-pool, such an adapter spawned OS
+    // threads per stage even on a single-core host — exactly the
+    // overhead the persistent pool removes.
+    let threads = (pool.workers() + 1).max(4);
+    let sink = AtomicU64::new(0);
+    let dem_body = |i: usize| {
+        // A touch of real work per index so bodies don't optimize away.
+        sink.fetch_add((i as u64).wrapping_mul(0x9E37), Ordering::Relaxed);
+    };
+    let gem_body = |g: usize, scratch: &mut [u8]| {
+        scratch[g % scratch.len()] = g as u8;
+        sink.fetch_add(scratch[0] as u64, Ordering::Relaxed);
+    };
+    let run_pool = || {
+        for _ in 0..invocations / 2 {
+            pool.run(threads, n, grain, &dem_body).expect("bench body");
+            pool.run_with_scratch(threads, 64, scratch, true, &gem_body)
+                .expect("bench body");
+        }
+    };
+    let run_spawn = || {
+        for _ in 0..invocations / 2 {
+            spawning_parallel_for(threads, n, grain, &dem_body);
+            spawning_parallel_for_with_scratch(threads, 64, scratch, &gem_body);
+        }
+    };
+    let (reps, warmup) = if quick { (3, 1) } else { (7, 2) };
+    let pool_t = time_median(reps, warmup, run_pool);
+    let spawn_t = time_median(reps, warmup, run_spawn);
+    PoolBench {
+        invocations,
+        pool: pool_t,
+        spawn: spawn_t,
+        speedup: spawn_t.as_secs_f64() / pool_t.as_secs_f64().max(1e-12),
+    }
+}
+
+/// Run the full benchmark matrix.
+pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport> {
+    let sides: &[usize] = if opts.quick { &[16] } else { &[16, 32] };
+    let (reps, warmup) = if opts.quick { (3, 1) } else { (7, 2) };
+    let mut results = Vec::new();
+    for &side in sides {
+        let data = hpdr_data::nyx_density(side, 7);
+        let meta = ArrayMeta::new(DType::F32, data.shape.clone());
+        let bytes = data.bytes.len();
+        for codec in bench_codecs() {
+            for (aname, adapter) in bench_adapters() {
+                // One untimed run to produce the stream for decompression
+                // and to verify the round trip before timing it.
+                let (stream, stats) = crate::compress(adapter.as_ref(), &data.bytes, &meta, codec)?;
+                let (back, _) = crate::decompress(adapter.as_ref(), &stream)?;
+                if back.len() != bytes {
+                    return Err(HpdrError::invalid(format!(
+                        "{} on {aname}: round trip returned {} bytes, expected {bytes}",
+                        codec.name(),
+                        back.len()
+                    )));
+                }
+                let c_med = time_median(reps, warmup, || {
+                    crate::compress(adapter.as_ref(), &data.bytes, &meta, codec).expect("compress");
+                });
+                let d_med = time_median(reps, warmup, || {
+                    crate::decompress(adapter.as_ref(), &stream).expect("decompress");
+                });
+                results.push(CodecResult {
+                    codec: codec.name().to_string(),
+                    adapter: aname.to_string(),
+                    elements: bytes / 4,
+                    bytes,
+                    compress: Throughput {
+                        median: c_med,
+                        gbps: gbps(bytes, c_med),
+                    },
+                    decompress: Throughput {
+                        median: d_med,
+                        gbps: gbps(bytes, d_med),
+                    },
+                    ratio: stats.ratio,
+                });
+            }
+        }
+    }
+    Ok(BenchReport {
+        label: opts.label.clone(),
+        quick: opts.quick,
+        threads: WorkerPool::global().workers() + 1,
+        pool: pool_microbench(opts.quick),
+        results,
+    })
+}
+
+impl BenchReport {
+    /// Hand-rolled JSON document (schema [`BENCH_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(s, "\"schema\":\"{BENCH_SCHEMA}\"");
+        let _ = write!(s, ",\"label\":\"{}\"", self.label);
+        let _ = write!(s, ",\"quick\":{}", self.quick);
+        let _ = write!(s, ",\"threads\":{}", self.threads);
+        let _ = write!(
+            s,
+            ",\"pool\":{{\"invocations\":{},\"pool_ns\":{},\"spawn_ns\":{},\"speedup\":{:.4}}}",
+            self.pool.invocations,
+            self.pool.pool.as_nanos(),
+            self.pool.spawn.as_nanos(),
+            self.pool.speedup
+        );
+        s.push_str(",\"results\":[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"codec\":\"{}\",\"adapter\":\"{}\",\"elements\":{},\"bytes\":{},\
+                 \"ratio\":{:.4},\
+                 \"compress\":{{\"median_ns\":{},\"gbps\":{:.6}}},\
+                 \"decompress\":{{\"median_ns\":{},\"gbps\":{:.6}}}}}",
+                r.codec,
+                r.adapter,
+                r.elements,
+                r.bytes,
+                r.ratio,
+                r.compress.median.as_nanos(),
+                r.compress.gbps,
+                r.decompress.median.as_nanos(),
+                r.decompress.gbps
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> Vec<String> {
+        let mut out = vec![format!(
+            "bench '{}' ({} threads, {})",
+            self.label,
+            self.threads,
+            if self.quick { "quick" } else { "full" }
+        )];
+        out.push(format!(
+            "pool vs spawn-per-call over {} stage invocations: {:.2}x \
+             (pool {:?}, spawn {:?})",
+            self.pool.invocations, self.pool.speedup, self.pool.pool, self.pool.spawn
+        ));
+        out.push(format!(
+            "{:10} {:8} {:>10} {:>14} {:>14} {:>8}",
+            "codec", "adapter", "bytes", "comp GB/s", "decomp GB/s", "ratio"
+        ));
+        for r in &self.results {
+            out.push(format!(
+                "{:10} {:8} {:>10} {:>14.4} {:>14.4} {:>8.2}",
+                r.codec, r.adapter, r.bytes, r.compress.gbps, r.decompress.gbps, r.ratio
+            ));
+        }
+        out
+    }
+}
+
+/// Structural validation of a bench JSON document: schema id, non-empty
+/// results, and positive finite throughput numbers. No serde in the
+/// dependency tree, so this is a purposeful string-level check of every
+/// field CI relies on — it rejects truncation, a wrong schema id, and
+/// missing sections.
+pub fn validate_bench_json(json: &str) -> std::result::Result<(), String> {
+    let j = json.trim();
+    if !(j.starts_with('{') && j.ends_with('}')) {
+        return Err("document is not a JSON object".into());
+    }
+    let want = format!("\"schema\":\"{BENCH_SCHEMA}\"");
+    if !j.contains(&want) {
+        return Err(format!(
+            "missing or wrong schema id (expected {BENCH_SCHEMA})"
+        ));
+    }
+    for key in [
+        "\"label\":",
+        "\"threads\":",
+        "\"pool\":",
+        "\"speedup\":",
+        "\"results\":[",
+        "\"compress\":",
+        "\"decompress\":",
+    ] {
+        if !j.contains(key) {
+            return Err(format!("missing required key {key}"));
+        }
+    }
+    if j.contains("\"results\":[]") {
+        return Err("results array is empty".into());
+    }
+    // Every gbps value must parse as a positive finite number.
+    let mut rest = j;
+    let mut seen = 0usize;
+    while let Some(pos) = rest.find("\"gbps\":") {
+        rest = &rest[pos + 7..];
+        let end = rest.find([',', '}']).ok_or("truncated gbps value")?;
+        let v: f64 = rest[..end]
+            .trim()
+            .parse()
+            .map_err(|_| format!("unparseable gbps value '{}'", &rest[..end]))?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("non-positive gbps value {v}"));
+        }
+        seen += 1;
+    }
+    if seen == 0 {
+        return Err("no gbps measurements in document".into());
+    }
+    Ok(())
+}
+
+/// Execute `hpdr bench`: run, validate, write `BENCH_<label>.json`, and
+/// return the printable lines (the raw JSON when `json` is set).
+pub fn bench_command(opts: &BenchOptions, json: bool) -> Result<Vec<String>> {
+    let report = run_bench(opts)?;
+    let doc = report.to_json();
+    validate_bench_json(&doc)
+        .map_err(|e| HpdrError::invalid(format!("bench output failed schema validation: {e}")))?;
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", opts.label));
+    std::fs::write(&path, doc.as_bytes())?;
+    let mut lines = if json { vec![doc] } else { report.render() };
+    lines.push(format!("wrote {path}"));
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_samples() {
+        let d = |n| Duration::from_nanos(n);
+        assert_eq!(median(vec![d(3), d(1), d(2)]), d(2));
+        assert_eq!(median(vec![d(5)]), d(5));
+    }
+
+    #[test]
+    fn validator_accepts_real_report_and_rejects_damage() {
+        let report = BenchReport {
+            label: "t".into(),
+            quick: true,
+            threads: 4,
+            pool: PoolBench {
+                invocations: 32,
+                pool: Duration::from_micros(10),
+                spawn: Duration::from_micros(30),
+                speedup: 3.0,
+            },
+            results: vec![CodecResult {
+                codec: "lz4".into(),
+                adapter: "serial".into(),
+                elements: 1024,
+                bytes: 4096,
+                compress: Throughput {
+                    median: Duration::from_micros(5),
+                    gbps: 0.8,
+                },
+                decompress: Throughput {
+                    median: Duration::from_micros(4),
+                    gbps: 1.0,
+                },
+                ratio: 1.5,
+            }],
+        };
+        let doc = report.to_json();
+        validate_bench_json(&doc).expect("valid document");
+        // Damage: wrong schema.
+        assert!(validate_bench_json(&doc.replace("hpdr-bench/v1", "v0")).is_err());
+        // Damage: truncation.
+        assert!(validate_bench_json(&doc[..doc.len() - 1]).is_err());
+        // Damage: empty results.
+        let empty = doc.replace(
+            &doc[doc.find("\"results\":[").unwrap()..doc.len() - 1],
+            "\"results\":[]",
+        );
+        assert!(validate_bench_json(&empty).is_err());
+        // Damage: zero throughput.
+        assert!(validate_bench_json(&doc.replace("\"gbps\":0.8", "\"gbps\":0.0")).is_err());
+    }
+
+    #[test]
+    fn pool_microbench_reports_plausible_numbers() {
+        let b = pool_microbench(true);
+        assert_eq!(b.invocations, 32);
+        assert!(b.pool > Duration::ZERO);
+        assert!(b.spawn > Duration::ZERO);
+        assert!(b.speedup > 0.0);
+    }
+
+    #[test]
+    fn quick_bench_runs_and_validates() {
+        let dir = std::env::temp_dir().join(format!("hpdr-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_test.json");
+        let opts = BenchOptions {
+            quick: true,
+            label: "test".into(),
+            out: Some(out.display().to_string()),
+        };
+        let lines = bench_command(&opts, true).unwrap();
+        assert!(lines[0].contains("\"schema\":\"hpdr-bench/v1\""));
+        let on_disk = std::fs::read_to_string(&out).unwrap();
+        validate_bench_json(&on_disk).expect("written document validates");
+        // All five codecs on both adapters at one size.
+        assert_eq!(on_disk.matches("\"codec\":").count(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

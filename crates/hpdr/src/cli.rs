@@ -49,6 +49,13 @@ pub enum Command {
         figure: Option<String>,
         json: bool,
     },
+    /// Wall-clock throughput benchmark: codec × adapter × size GB/s plus
+    /// the persistent-pool vs spawn-per-call microbenchmark; writes a
+    /// schema-validated `BENCH_<label>.json`.
+    Bench {
+        opts: crate::bench::BenchOptions,
+        json: bool,
+    },
     Help,
 }
 
@@ -64,6 +71,7 @@ USAGE:
   hpdr verify     [--json]
   hpdr trace      [--out <trace.json>]
   hpdr profile    [--figure fig1] [--json]
+  hpdr bench      [--quick] [--json] [--label <name>] [--out <file>]
 
 Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
 --rate applies to zfp (fixed-rate bits per value).
@@ -83,7 +91,16 @@ per-op-class latencies; internal invariants (non-empty trace,
 utilization in (0,1], critical path == makespan) exit non-zero when
 violated. `--figure fig1` profiles the four comparator codecs
 non-pipelined and checks their memory-op time share against the paper's
-34-89% band.";
+34-89% band.
+
+`hpdr bench` measures real wall-clock compress/decompress throughput
+(uncompressed GB/s, median of N runs after warmup) for every codec on
+the serial and CPU-parallel adapters, plus a microbenchmark of >= 32
+GEM/DEM stage invocations through the persistent worker pool against
+the spawn-per-call baseline. Results are written to BENCH_<label>.json
+(schema hpdr-bench/v1, validated before writing; --out overrides the
+path). --quick shrinks sizes and repetitions for CI smoke; --json
+prints the raw document instead of the table.";
 
 /// Parse `AxBxC` into a shape.
 pub fn parse_shape(s: &str) -> Result<Shape> {
@@ -177,6 +194,14 @@ pub fn parse(args: &[String]) -> Result<Command> {
             figure: get_flag(args, "--figure").map(str::to_string),
             json: args.iter().any(|a| a == "--json"),
         }),
+        Some("bench") => Ok(Command::Bench {
+            opts: crate::bench::BenchOptions {
+                quick: args.iter().any(|a| a == "--quick"),
+                label: get_flag(args, "--label").unwrap_or("local").to_string(),
+                out: get_flag(args, "--out").map(str::to_string),
+            },
+            json: args.iter().any(|a| a == "--json"),
+        }),
         Some("help" | "--help" | "-h") | None => Ok(Command::Help),
         Some(other) => Err(HpdrError::invalid(format!("unknown command '{other}'"))),
     }
@@ -190,6 +215,7 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
         Command::Verify { json } => verify_schedules(json),
         Command::Trace { out } => trace_run(out),
         Command::Profile { figure, json } => profile_run(figure.as_deref(), json),
+        Command::Bench { opts, json } => crate::bench::bench_command(&opts, json),
         Command::Compress {
             codec,
             shape,
@@ -749,6 +775,28 @@ mod tests {
         let lines = run(parse(&argv("profile --figure fig1")).unwrap()).unwrap();
         assert!(lines.last().unwrap().contains("within band"), "{lines:?}");
         assert!(run(parse(&argv("profile --figure fig99")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn parse_bench_flags() {
+        match parse(&argv("bench --quick --json --label ci --out x.json")).unwrap() {
+            Command::Bench { opts, json } => {
+                assert!(opts.quick);
+                assert!(json);
+                assert_eq!(opts.label, "ci");
+                assert_eq!(opts.out.as_deref(), Some("x.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("bench")).unwrap() {
+            Command::Bench { opts, json } => {
+                assert!(!opts.quick);
+                assert!(!json);
+                assert_eq!(opts.label, "local");
+                assert_eq!(opts.out, None);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

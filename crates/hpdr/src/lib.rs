@@ -72,4 +72,5 @@ pub use hpdr_mgard::{ErrorBound, MgardConfig};
 pub use hpdr_pipeline::{PipelineMode, PipelineOptions};
 pub use hpdr_zfp::{ZfpConfig, ZfpMode};
 
+pub mod bench;
 pub mod cli;

@@ -27,4 +27,10 @@ echo "==> hpdr profile (trace smoke: non-empty trace, utilization in (0,1])"
 cargo run --release -p hpdr --bin hpdr -- profile | tail -n 1 | grep -q "invariants ok"
 cargo run --release -p hpdr --bin hpdr -- profile --figure fig1
 
+echo "==> hpdr bench --quick (wall-clock smoke: schema-valid BENCH json)"
+cargo run --release -p hpdr --bin hpdr -- bench --quick --json --label ci \
+  --out target/BENCH_ci.json > /dev/null
+test -s target/BENCH_ci.json
+grep -q '"schema":"hpdr-bench/v1"' target/BENCH_ci.json
+
 echo "All checks passed."

@@ -145,24 +145,29 @@ mod custom_backend {
                 threads: 1,
             }
         }
-        fn gem(
+        fn try_gem(
             &self,
             groups: usize,
             staging_bytes: usize,
+            policy: hpdr_core::ScratchPolicy,
             body: &(dyn Fn(usize, &mut [u8]) + Sync),
-        ) {
+        ) -> hpdr_core::Result<()> {
             self.launches.fetch_add(1, Ordering::Relaxed);
             let mut staging = vec![0u8; staging_bytes];
             for g in 0..groups {
-                staging.fill(0);
+                if policy == hpdr_core::ScratchPolicy::Zeroed {
+                    staging.fill(0);
+                }
                 body(g, &mut staging);
             }
+            Ok(())
         }
-        fn dem(&self, n: usize, body: &(dyn Fn(usize) + Sync)) {
+        fn try_dem(&self, n: usize, body: &(dyn Fn(usize) + Sync)) -> hpdr_core::Result<()> {
             self.launches.fetch_add(1, Ordering::Relaxed);
             for i in 0..n {
                 body(i);
             }
+            Ok(())
         }
         fn charge(&self, _class: hpdr_core::KernelClass, _bytes: u64) {}
         fn clock_reset(&self) {}

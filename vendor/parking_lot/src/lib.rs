@@ -1,12 +1,14 @@
 //! Offline stub of `parking_lot`, backed by `std::sync`.
 //!
 //! The container this workspace builds in has no crates.io access, so the
-//! handful of `parking_lot` APIs actually used (`Mutex`/`RwLock` without
-//! poisoning) are re-implemented over `std::sync`. Poisoning is absorbed:
-//! a poisoned lock yields its inner guard, matching parking_lot's
-//! "no poisoning" semantics closely enough for this workspace.
+//! handful of `parking_lot` APIs actually used (`Mutex`/`RwLock`/`Condvar`
+//! without poisoning) are re-implemented over `std::sync`. Poisoning is
+//! absorbed: a poisoned lock yields its inner guard, matching
+//! parking_lot's "no poisoning" semantics closely enough for this
+//! workspace.
 
 use std::sync::{self, MutexGuard as StdMutexGuard};
+use std::time::Duration;
 
 /// A mutual-exclusion primitive (no poisoning, like `parking_lot::Mutex`).
 #[derive(Debug, Default)]
@@ -24,13 +26,13 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(g)),
-            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -41,18 +43,78 @@ impl<T: ?Sized> Mutex<T> {
 }
 
 /// RAII guard returned by [`Mutex::lock`].
-pub struct MutexGuard<'a, T: ?Sized>(StdMutexGuard<'a, T>);
+///
+/// The inner std guard lives in an `Option` so [`Condvar::wait`] can move
+/// it out (std's `wait` consumes the guard) and put the reacquired guard
+/// back, all without unsafe code. The `Option` is `Some` at every point
+/// user code can observe.
+pub struct MutexGuard<'a, T: ?Sized>(Option<StdMutexGuard<'a, T>>);
 
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.0
+            .as_deref()
+            .expect("guard present outside Condvar::wait")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        self.0
+            .as_deref_mut()
+            .expect("guard present outside Condvar::wait")
+    }
+}
+
+/// Condition variable compatible with [`Mutex`]/[`MutexGuard`] (subset of
+/// `parking_lot::Condvar`: `wait`, `wait_for`, `wait_while`, notify).
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Block until notified, atomically releasing the mutex while parked.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present before wait");
+        let reacquired = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(reacquired);
+    }
+
+    /// Block until notified or `timeout` elapses. Returns `true` if the
+    /// wait timed out (matching `parking_lot`'s `WaitTimeoutResult`).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let inner = guard.0.take().expect("guard present before wait_for");
+        let (reacquired, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(reacquired);
+        result.timed_out()
+    }
+
+    /// Block until `condition` returns false (re-checked on each wakeup).
+    pub fn wait_while<T, F>(&self, guard: &mut MutexGuard<'_, T>, mut condition: F)
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut *guard) {
+            self.wait(guard);
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
@@ -123,5 +185,32 @@ mod tests {
         let l = RwLock::new(String::from("a"));
         l.write().push('b');
         assert_eq!(&*l.read(), "ab");
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            cv.wait_while(&mut ready, |r| !*r);
+            *ready
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(t.join().expect("waiter thread"));
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(10)));
     }
 }
