@@ -11,11 +11,13 @@
 //! portable kernels run inside op payloads, so the output containers hold
 //! real compressed bytes and the timelines expose real overlap ratios.
 
+pub mod batch;
 pub mod container;
 pub mod multigpu;
 pub mod roofline;
 pub mod runner;
 
+pub use batch::{run_batch, BatchItem, BatchOutput, BatchReport};
 pub use container::{fixed_chunks, Container};
 pub use multigpu::{
     average_scalability, compress_multi_gpu, decompress_multi_gpu, decompress_scalability_sweep,

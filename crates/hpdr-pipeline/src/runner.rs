@@ -935,7 +935,7 @@ pub fn plan_decompress(
 /// Run the sim under a wall clock and a worker-pool stats window, so the
 /// trace carries measured host time and pool activity next to the
 /// modeled virtual times.
-fn timed_run(sim: &mut Sim) -> (hpdr_sim::Timeline, hpdr_sim::RuntimeStats) {
+pub(crate) fn timed_run(sim: &mut Sim) -> (hpdr_sim::Timeline, hpdr_sim::RuntimeStats) {
     let pool = hpdr_core::WorkerPool::global();
     let before = pool.stats();
     let t0 = std::time::Instant::now();

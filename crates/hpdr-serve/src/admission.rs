@@ -1,0 +1,164 @@
+//! Byte-budget admission control with bounded-queue backpressure.
+//!
+//! Two gauges guard the pending queue: job depth and queued
+//! (uncompressed-side) bytes. A submission that would push either gauge
+//! past its limit is rejected *immediately* with a typed
+//! [`ServeError`] — the scheduler never blocks a client and never
+//! drops silently. Gauges release when a job leaves the queue for any
+//! reason (dispatch, deadline expiry, cancellation).
+
+use crate::error::ServeError;
+
+/// Admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum jobs pending in the queue.
+    pub max_queued_jobs: usize,
+    /// Maximum uncompressed-side bytes pending in the queue.
+    pub max_queued_bytes: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_queued_jobs: 256,
+            max_queued_bytes: 64 << 20,
+        }
+    }
+}
+
+/// The admission controller: current gauges, peaks, and counters.
+#[derive(Debug, Clone, Default)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    queued_jobs: usize,
+    queued_bytes: u64,
+    pub peak_jobs: usize,
+    pub peak_bytes: u64,
+    pub admitted: u64,
+    pub rejected_depth: u64,
+    pub rejected_bytes: u64,
+}
+
+impl Admission {
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission {
+            cfg,
+            ..Admission::default()
+        }
+    }
+
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    pub fn queued_jobs(&self) -> usize {
+        self.queued_jobs
+    }
+
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Total rejections (both backpressure kinds).
+    pub fn rejected(&self) -> u64 {
+        self.rejected_depth + self.rejected_bytes
+    }
+
+    /// Try to admit a job of `bytes`; on success the gauges include it
+    /// until [`release`](Admission::release) is called.
+    pub fn try_admit(&mut self, bytes: u64) -> Result<(), ServeError> {
+        if self.queued_jobs >= self.cfg.max_queued_jobs {
+            self.rejected_depth += 1;
+            return Err(ServeError::QueueFull {
+                depth: self.queued_jobs,
+                limit: self.cfg.max_queued_jobs,
+            });
+        }
+        if self.queued_bytes + bytes > self.cfg.max_queued_bytes {
+            self.rejected_bytes += 1;
+            return Err(ServeError::BudgetExceeded {
+                queued_bytes: self.queued_bytes,
+                job_bytes: bytes,
+                budget_bytes: self.cfg.max_queued_bytes,
+            });
+        }
+        self.queued_jobs += 1;
+        self.queued_bytes += bytes;
+        self.admitted += 1;
+        self.peak_jobs = self.peak_jobs.max(self.queued_jobs);
+        self.peak_bytes = self.peak_bytes.max(self.queued_bytes);
+        Ok(())
+    }
+
+    /// A job left the queue (dispatched, expired, or cancelled).
+    pub fn release(&mut self, bytes: u64) {
+        debug_assert!(self.queued_jobs > 0, "release without admit");
+        self.queued_jobs = self.queued_jobs.saturating_sub(1);
+        self.queued_bytes = self.queued_bytes.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Admission {
+        Admission::new(AdmissionConfig {
+            max_queued_jobs: 2,
+            max_queued_bytes: 100,
+        })
+    }
+
+    #[test]
+    fn depth_limit_rejects_with_queue_full() {
+        let mut a = tiny();
+        a.try_admit(10).unwrap();
+        a.try_admit(10).unwrap();
+        match a.try_admit(10) {
+            Err(ServeError::QueueFull { depth: 2, limit: 2 }) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(a.rejected(), 1);
+        assert_eq!(a.admitted, 2);
+    }
+
+    #[test]
+    fn byte_budget_rejects_oversized() {
+        let mut a = tiny();
+        a.try_admit(80).unwrap();
+        match a.try_admit(30) {
+            Err(ServeError::BudgetExceeded {
+                queued_bytes: 80,
+                job_bytes: 30,
+                budget_bytes: 100,
+            }) => {}
+            other => panic!("{other:?}"),
+        }
+        // A smaller job still fits.
+        a.try_admit(20).unwrap();
+        assert_eq!(a.queued_bytes(), 100);
+    }
+
+    #[test]
+    fn release_reopens_the_queue() {
+        let mut a = tiny();
+        a.try_admit(60).unwrap();
+        a.try_admit(40).unwrap();
+        assert!(a.try_admit(1).is_err());
+        a.release(60);
+        a.try_admit(50).unwrap();
+        assert_eq!(a.queued_jobs(), 2);
+        assert_eq!(a.queued_bytes(), 90);
+    }
+
+    #[test]
+    fn peaks_track_high_water_marks() {
+        let mut a = tiny();
+        a.try_admit(70).unwrap();
+        a.release(70);
+        a.try_admit(30).unwrap();
+        assert_eq!(a.peak_bytes, 70);
+        assert_eq!(a.peak_jobs, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Typed serving errors — most importantly the backpressure variants.
+//!
+//! Submissions against a full queue are *rejected immediately* with a
+//! structured reason; the scheduler never blocks a client and never
+//! drops a job silently. Every rejected job is visible in the
+//! [`crate::report::ServeReport`] counters.
+
+use hpdr_core::HpdrError;
+use std::fmt;
+
+/// Errors produced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The pending-job queue is at its depth limit (backpressure).
+    QueueFull { depth: usize, limit: usize },
+    /// Admitting the job would exceed the queued-byte budget
+    /// (backpressure on payload size, not job count).
+    BudgetExceeded {
+        queued_bytes: u64,
+        job_bytes: u64,
+        budget_bytes: u64,
+    },
+    /// The request itself is malformed (empty payload, bad codec…).
+    InvalidJob(String),
+    /// A job script line could not be parsed.
+    Script(String),
+}
+
+impl ServeError {
+    /// Whether this is a backpressure rejection (retriable later) as
+    /// opposed to a permanently invalid request.
+    pub fn is_backpressure(&self) -> bool {
+        matches!(
+            self,
+            ServeError::QueueFull { .. } | ServeError::BudgetExceeded { .. }
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { depth, limit } => {
+                write!(f, "queue full: {depth} jobs pending (limit {limit})")
+            }
+            ServeError::BudgetExceeded {
+                queued_bytes,
+                job_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "byte budget exceeded: {queued_bytes} queued + {job_bytes} requested \
+                 > {budget_bytes} budget"
+            ),
+            ServeError::InvalidJob(m) => write!(f, "invalid job: {m}"),
+            ServeError::Script(m) => write!(f, "bad job script: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ServeError> for HpdrError {
+    fn from(e: ServeError) -> HpdrError {
+        HpdrError::InvalidArgument(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backpressure_classification() {
+        assert!(ServeError::QueueFull { depth: 8, limit: 8 }.is_backpressure());
+        assert!(ServeError::BudgetExceeded {
+            queued_bytes: 10,
+            job_bytes: 5,
+            budget_bytes: 12
+        }
+        .is_backpressure());
+        assert!(!ServeError::InvalidJob("x".into()).is_backpressure());
+    }
+
+    #[test]
+    fn display_names_the_limits() {
+        let e = ServeError::QueueFull {
+            depth: 32,
+            limit: 32,
+        };
+        assert!(e.to_string().contains("32"));
+        let e: HpdrError = e.into();
+        assert!(matches!(e, HpdrError::InvalidArgument(_)));
+    }
+}

@@ -1,0 +1,385 @@
+//! Job model: what a tenant submits and what the scheduler tracks.
+//!
+//! All timing is **virtual** ([`Ns`]): arrivals, deadlines and
+//! cancellations are instants on the same clock the device simulator
+//! charges, which is what makes a whole serve run — and its report —
+//! deterministic for a given seed and job stream.
+
+use crate::error::ServeError;
+use hpdr_baselines::{Lz4Reducer, SzConfig, SzReducer};
+use hpdr_core::{fnv1a, ArrayMeta, ContextKey, Reducer};
+use hpdr_huffman::ByteHuffmanReducer;
+use hpdr_mgard::{MgardConfig, MgardReducer};
+use hpdr_pipeline::Container;
+use hpdr_sim::Ns;
+use hpdr_zfp::{ZfpConfig, ZfpReducer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Tenant identity (fair-share accounting key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+/// Scheduler-assigned job identity (submission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// Direction of a reduction job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    Compress,
+    Decompress,
+}
+
+impl JobKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Compress => "compress",
+            JobKind::Decompress => "decompress",
+        }
+    }
+}
+
+/// A configured codec for a serve job. Mirrors the facade crate's codec
+/// registry (`hpdr::Codec`) without depending on it — the facade depends
+/// on this crate for the CLI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeCodec {
+    Mgard { rel_eb: f64 },
+    Zfp { rate: u32 },
+    Huffman,
+    Sz { rel_eb: f64 },
+    Lz4,
+}
+
+impl ServeCodec {
+    /// Stream-registry name (matches `hpdr::Codec::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeCodec::Mgard { .. } => "mgard-x",
+            ServeCodec::Zfp { .. } => "zfp-x",
+            ServeCodec::Huffman => "huffman-x",
+            ServeCodec::Sz { .. } => "cusz-like",
+            ServeCodec::Lz4 => "nvcomp-lz4-like",
+        }
+    }
+
+    /// Short label including parameters, e.g. `zfp:16`.
+    pub fn label(self) -> String {
+        match self {
+            ServeCodec::Mgard { rel_eb } => format!("mgard:{rel_eb:e}"),
+            ServeCodec::Zfp { rate } => format!("zfp:{rate}"),
+            ServeCodec::Huffman => "huffman".to_string(),
+            ServeCodec::Sz { rel_eb } => format!("sz:{rel_eb:e}"),
+            ServeCodec::Lz4 => "lz4".to_string(),
+        }
+    }
+
+    /// Parse `name[:param]` as used in job scripts (`zfp:16`,
+    /// `mgard:1e-3`, `huffman`).
+    pub fn parse(s: &str) -> Result<ServeCodec, ServeError> {
+        let (name, param) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        let float = |p: Option<&str>, default: f64| -> Result<f64, ServeError> {
+            match p {
+                None => Ok(default),
+                Some(v) => v
+                    .parse::<f64>()
+                    .map_err(|_| ServeError::Script(format!("bad codec parameter '{v}'"))),
+            }
+        };
+        match name {
+            "mgard" => Ok(ServeCodec::Mgard {
+                rel_eb: float(param, 1e-3)?,
+            }),
+            "sz" => Ok(ServeCodec::Sz {
+                rel_eb: float(param, 1e-3)?,
+            }),
+            "zfp" => {
+                let rate = match param {
+                    None => 16,
+                    Some(v) => v
+                        .parse::<u32>()
+                        .map_err(|_| ServeError::Script(format!("bad zfp rate '{v}'")))?,
+                };
+                Ok(ServeCodec::Zfp { rate })
+            }
+            "huffman" => Ok(ServeCodec::Huffman),
+            "lz4" => Ok(ServeCodec::Lz4),
+            other => Err(ServeError::Script(format!("unknown codec '{other}'"))),
+        }
+    }
+
+    /// Instantiate the reducer.
+    pub fn reducer(self) -> Arc<dyn Reducer> {
+        match self {
+            ServeCodec::Mgard { rel_eb } => Arc::new(MgardReducer(MgardConfig::relative(rel_eb))),
+            ServeCodec::Zfp { rate } => Arc::new(ZfpReducer(ZfpConfig::fixed_rate(rate))),
+            ServeCodec::Huffman => Arc::new(ByteHuffmanReducer::default()),
+            ServeCodec::Sz { rel_eb } => Arc::new(SzReducer(SzConfig::relative(rel_eb))),
+            ServeCodec::Lz4 => Arc::new(Lz4Reducer),
+        }
+    }
+
+    /// Configuration hash for [`ContextKey`] (CMM lookups).
+    pub fn config_hash(self) -> u64 {
+        fnv1a(self.label().as_bytes())
+    }
+}
+
+/// Cooperative cancellation handle shared between a client and the
+/// scheduler. Setting it tells the scheduler to skip the job at the
+/// next check point (ingest or dispatch); in-flight work is never
+/// interrupted mid-kernel, matching CUDA-style stream semantics.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The data a job operates on.
+#[derive(Debug, Clone)]
+pub enum JobPayload {
+    Compress {
+        input: Arc<Vec<u8>>,
+        meta: ArrayMeta,
+    },
+    Decompress {
+        container: Arc<Container>,
+    },
+}
+
+impl JobPayload {
+    pub fn kind(&self) -> JobKind {
+        match self {
+            JobPayload::Compress { .. } => JobKind::Compress,
+            JobPayload::Decompress { .. } => JobKind::Decompress,
+        }
+    }
+
+    /// Bytes on the uncompressed side (admission accounting + goodput).
+    pub fn raw_bytes(&self) -> u64 {
+        match self {
+            JobPayload::Compress { input, .. } => input.len() as u64,
+            JobPayload::Decompress { container } => container.meta.num_bytes() as u64,
+        }
+    }
+
+    /// Array metadata of the uncompressed side.
+    pub fn meta(&self) -> &ArrayMeta {
+        match self {
+            JobPayload::Compress { meta, .. } => meta,
+            JobPayload::Decompress { container } => &container.meta,
+        }
+    }
+}
+
+/// One submitted reduction request.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    pub tenant: TenantId,
+    /// Virtual arrival instant.
+    pub arrival: Ns,
+    pub codec: ServeCodec,
+    /// Higher runs earlier (0 = normal).
+    pub priority: u8,
+    /// Absolute virtual deadline; missing it makes the job `TimedOut`.
+    pub deadline: Option<Ns>,
+    /// Virtual instant at which the client gives up (→ `Cancelled`).
+    pub cancel_at: Option<Ns>,
+    pub payload: JobPayload,
+    pub cancel: CancelToken,
+}
+
+impl JobRequest {
+    pub fn new(
+        tenant: TenantId,
+        arrival: Ns,
+        codec: ServeCodec,
+        payload: JobPayload,
+    ) -> JobRequest {
+        JobRequest {
+            tenant,
+            arrival,
+            codec,
+            priority: 0,
+            deadline: None,
+            cancel_at: None,
+            payload,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Whether the request is cancelled at virtual instant `now`
+    /// (externally via the token, or by its own `cancel_at`).
+    pub fn cancelled_at(&self, now: Ns) -> bool {
+        self.cancel.is_cancelled() || self.cancel_at.is_some_and(|t| t <= now)
+    }
+
+    /// CMM key for this job on `device`.
+    pub fn context_key(&self, device: usize) -> ContextKey {
+        let meta = self.payload.meta();
+        ContextKey {
+            algorithm: self.codec.name(),
+            dtype: meta.dtype,
+            shape: meta.shape.dims().to_vec(),
+            config_hash: self.codec.config_hash(),
+            device,
+        }
+    }
+}
+
+/// Terminal state of an admitted job. Every admitted job reaches exactly
+/// one of these — the "zero lost jobs" invariant the report validator
+/// enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    Completed,
+    /// Deadline missed (expired in queue, or finished past deadline).
+    TimedOut,
+    /// Cancelled while queued or between admission and launch.
+    Cancelled,
+    /// The codec rejected the payload.
+    Failed(String),
+}
+
+impl JobOutcome {
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::TimedOut => "timed_out",
+            JobOutcome::Cancelled => "cancelled",
+            JobOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Full accounting record of one admitted job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    pub id: JobId,
+    pub tenant: TenantId,
+    pub kind: JobKind,
+    pub codec: String,
+    pub bytes: u64,
+    pub device: Option<usize>,
+    pub arrival: Ns,
+    /// Dispatch instant (None if never launched).
+    pub started: Option<Ns>,
+    /// Terminal instant.
+    pub finished: Ns,
+    pub outcome: JobOutcome,
+}
+
+impl JobRecord {
+    /// End-to-end latency (terminal − arrival).
+    pub fn latency(&self) -> Ns {
+        self.finished.saturating_sub(self.arrival)
+    }
+
+    /// Queue wait (dispatch − arrival; full latency if never launched).
+    pub fn queue_wait(&self) -> Ns {
+        self.started
+            .unwrap_or(self.finished)
+            .saturating_sub(self.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_core::DType;
+    use hpdr_core::Shape;
+
+    fn payload() -> JobPayload {
+        JobPayload::Compress {
+            input: Arc::new(vec![0u8; 64]),
+            meta: ArrayMeta::new(DType::F32, Shape::new(&[16])),
+        }
+    }
+
+    #[test]
+    fn codec_parse_roundtrip() {
+        assert_eq!(
+            ServeCodec::parse("zfp:8").unwrap(),
+            ServeCodec::Zfp { rate: 8 }
+        );
+        assert_eq!(
+            ServeCodec::parse("mgard:1e-2").unwrap(),
+            ServeCodec::Mgard { rel_eb: 1e-2 }
+        );
+        assert_eq!(ServeCodec::parse("huffman").unwrap(), ServeCodec::Huffman);
+        assert_eq!(ServeCodec::parse("lz4").unwrap(), ServeCodec::Lz4);
+        assert_eq!(
+            ServeCodec::parse("sz").unwrap(),
+            ServeCodec::Sz { rel_eb: 1e-3 }
+        );
+        assert!(ServeCodec::parse("gzip").is_err());
+        assert!(ServeCodec::parse("zfp:fast").is_err());
+    }
+
+    #[test]
+    fn codec_names_match_registry() {
+        for (codec, name) in [
+            (ServeCodec::Mgard { rel_eb: 1e-3 }, "mgard-x"),
+            (ServeCodec::Zfp { rate: 16 }, "zfp-x"),
+            (ServeCodec::Huffman, "huffman-x"),
+            (ServeCodec::Sz { rel_eb: 1e-3 }, "cusz-like"),
+            (ServeCodec::Lz4, "nvcomp-lz4-like"),
+        ] {
+            assert_eq!(codec.name(), name);
+            assert_eq!(codec.reducer().name(), name);
+        }
+    }
+
+    #[test]
+    fn config_hash_distinguishes_parameters() {
+        assert_ne!(
+            ServeCodec::Zfp { rate: 8 }.config_hash(),
+            ServeCodec::Zfp { rate: 16 }.config_hash()
+        );
+    }
+
+    #[test]
+    fn cancel_token_and_cancel_at() {
+        let mut req = JobRequest::new(TenantId(1), Ns(100), ServeCodec::Lz4, payload());
+        assert!(!req.cancelled_at(Ns(100)));
+        req.cancel_at = Some(Ns(500));
+        assert!(!req.cancelled_at(Ns(499)));
+        assert!(req.cancelled_at(Ns(500)));
+        let req2 = JobRequest::new(TenantId(1), Ns(0), ServeCodec::Lz4, payload());
+        req2.cancel.cancel();
+        assert!(req2.cancelled_at(Ns::ZERO));
+    }
+
+    #[test]
+    fn record_latency_and_wait() {
+        let r = JobRecord {
+            id: JobId(0),
+            tenant: TenantId(0),
+            kind: JobKind::Compress,
+            codec: "lz4".into(),
+            bytes: 64,
+            device: Some(0),
+            arrival: Ns(100),
+            started: Some(Ns(150)),
+            finished: Ns(400),
+            outcome: JobOutcome::Completed,
+        };
+        assert_eq!(r.latency(), Ns(300));
+        assert_eq!(r.queue_wait(), Ns(50));
+    }
+}

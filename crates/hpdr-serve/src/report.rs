@@ -1,0 +1,441 @@
+//! Serve reports: schema-validated JSON over trace-derived metrics.
+//!
+//! Latency percentiles and rejection counts are computed from the
+//! per-job trace spans (not from side counters): a completed job's
+//! latency is `end − ready` of its span, its queue wait is
+//! `start − ready`, and every rejected submission leaves a zero-length
+//! `reject[…]` span. The report carries only virtual-time quantities,
+//! so the same seed and job stream serialize byte-identically.
+//!
+//! The validator enforces the **zero-lost-jobs invariant**:
+//! `admitted == completed + timed_out + cancelled + failed` and
+//! `submitted == admitted + rejected` — every submission is accounted
+//! for exactly once.
+
+use crate::histogram::StreamingHistogram;
+use crate::job::{JobOutcome, JobRecord};
+use crate::scheduler::{Policy, ServeOutcome};
+use hpdr_sim::{Ns, Trace};
+
+/// Schema identifier embedded in every serve report.
+pub const SERVE_SCHEMA: &str = "hpdr-serve/v1";
+
+/// Latency-style summary (all values virtual nanoseconds).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub max: u64,
+    pub mean: u64,
+}
+
+impl LatencySummary {
+    fn from_histogram(h: &StreamingHistogram) -> LatencySummary {
+        LatencySummary {
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            max: h.max(),
+            mean: h.mean(),
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}",
+            self.p50, self.p95, self.p99, self.max, self.mean
+        )
+    }
+}
+
+/// Per-tenant report row.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    pub tenant: u32,
+    pub submitted: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub bytes: u64,
+    pub mean_latency_ns: u64,
+}
+
+/// Per-device report row (devices that dispatched at least one batch).
+#[derive(Debug, Clone)]
+pub struct DeviceRow {
+    pub device: usize,
+    pub batches: u64,
+    pub jobs: u64,
+    pub busy_ns: u64,
+    pub utilization: f64,
+}
+
+/// The full result of a serve run.
+pub struct ServeReport {
+    pub policy: &'static str,
+    /// Devices that dispatched at least one batch. Deliberately NOT the
+    /// configured pool size: under `Policy::Serial` the report must be
+    /// byte-identical for any `--devices`, so only observed work — never
+    /// configuration that cannot affect it — may be serialized.
+    pub devices: usize,
+    pub submitted: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub rejected_depth: u64,
+    pub rejected_bytes: u64,
+    pub completed: u64,
+    pub timed_out: u64,
+    pub cancelled: u64,
+    pub failed: u64,
+    /// Uncompressed bytes of completed jobs.
+    pub completed_bytes: u64,
+    pub makespan: Ns,
+    /// Completed uncompressed bytes per virtual second (1 byte/ns ⇒ GB/s).
+    pub goodput_gbps: f64,
+    pub peak_queue_jobs: usize,
+    pub peak_queue_bytes: u64,
+    pub batches: u64,
+    pub cmm_hits: u64,
+    pub cmm_misses: u64,
+    /// Worker-pool jobs dispatched while serving (host-side execution).
+    /// Not serialized: the pool counter is process-global, so parallel
+    /// runs in one process would perturb each other's deltas.
+    pub pool_jobs: u64,
+    /// End-to-end latency of completed jobs (trace-derived).
+    pub latency: LatencySummary,
+    /// Queue wait (dispatch − arrival) of completed jobs (trace-derived).
+    pub queue_wait: LatencySummary,
+    pub per_tenant: Vec<TenantRow>,
+    pub per_device: Vec<DeviceRow>,
+    /// Per-job terminal records (not serialized).
+    pub records: Vec<JobRecord>,
+    /// One span per admitted job plus one per rejection (not serialized).
+    pub trace: Trace,
+}
+
+impl ServeReport {
+    /// Build the report from a scheduler outcome. Latency percentiles
+    /// and the rejection count come from the trace spans.
+    pub fn build(policy: Policy, outcome: ServeOutcome) -> ServeReport {
+        let job_stats = hpdr_trace::job_span_stats(&outcome.trace);
+        let mut latency = StreamingHistogram::new();
+        let mut wait = StreamingHistogram::new();
+        for &l in &job_stats.latencies {
+            latency.record(l);
+        }
+        for &w in &job_stats.waits {
+            wait.record(w);
+        }
+        let rejected = job_stats.rejected;
+        debug_assert_eq!(rejected, outcome.admission.rejected());
+
+        let (mut completed, mut timed_out, mut cancelled, mut failed) = (0u64, 0, 0, 0);
+        let mut completed_bytes = 0u64;
+        for r in &outcome.records {
+            match r.outcome {
+                JobOutcome::Completed => {
+                    completed += 1;
+                    completed_bytes += r.bytes;
+                }
+                JobOutcome::TimedOut => timed_out += 1,
+                JobOutcome::Cancelled => cancelled += 1,
+                JobOutcome::Failed(_) => failed += 1,
+            }
+        }
+
+        // Per-tenant mean latency over completed jobs.
+        let mut tenant_lat: std::collections::BTreeMap<u32, (u128, u64)> = Default::default();
+        for r in &outcome.records {
+            if r.outcome == JobOutcome::Completed {
+                let e = tenant_lat.entry(r.tenant.0).or_default();
+                e.0 += r.latency().0 as u128;
+                e.1 += 1;
+            }
+        }
+        let per_tenant = outcome
+            .tenants
+            .iter()
+            .map(|(&t, s)| TenantRow {
+                tenant: t,
+                submitted: s.submitted,
+                admitted: s.admitted,
+                rejected: s.rejected,
+                completed: s.completed,
+                bytes: s.bytes,
+                mean_latency_ns: tenant_lat
+                    .get(&t)
+                    .map_or(0, |&(sum, n)| (sum / n.max(1) as u128) as u64),
+            })
+            .collect();
+        let per_device: Vec<DeviceRow> = outcome
+            .devices
+            .iter()
+            .map(|(&d, s)| DeviceRow {
+                device: d,
+                batches: s.batches,
+                jobs: s.jobs,
+                busy_ns: s.busy.0,
+                utilization: s.utilization,
+            })
+            .collect();
+
+        let goodput_gbps = if outcome.makespan.is_zero() {
+            0.0
+        } else {
+            completed_bytes as f64 / outcome.makespan.0 as f64
+        };
+        ServeReport {
+            policy: policy.name(),
+            devices: per_device.len(),
+            submitted: outcome.admission.admitted + rejected,
+            admitted: outcome.admission.admitted,
+            rejected,
+            rejected_depth: outcome.admission.rejected_depth,
+            rejected_bytes: outcome.admission.rejected_bytes,
+            completed,
+            timed_out,
+            cancelled,
+            failed,
+            completed_bytes,
+            makespan: outcome.makespan,
+            goodput_gbps,
+            peak_queue_jobs: outcome.admission.peak_jobs,
+            peak_queue_bytes: outcome.admission.peak_bytes,
+            batches: per_device.iter().map(|d| d.batches).sum(),
+            cmm_hits: outcome.cmm_hits,
+            cmm_misses: outcome.cmm_misses,
+            pool_jobs: outcome.pool_jobs,
+            latency: LatencySummary::from_histogram(&latency),
+            queue_wait: LatencySummary::from_histogram(&wait),
+            per_tenant,
+            per_device,
+            records: outcome.records,
+            trace: outcome.trace,
+        }
+    }
+
+    /// Human-readable summary lines.
+    pub fn render(&self) -> Vec<String> {
+        let mut out = vec![format!(
+            "serve: policy={} active devices={} — {} submitted, {} admitted, {} rejected \
+             ({} depth / {} bytes)",
+            self.policy,
+            self.devices,
+            self.submitted,
+            self.admitted,
+            self.rejected,
+            self.rejected_depth,
+            self.rejected_bytes
+        )];
+        out.push(format!(
+            "jobs: {} completed, {} timed out, {} cancelled, {} failed \
+             ({} batches, CMM {}/{} hit/miss, {} pool jobs)",
+            self.completed,
+            self.timed_out,
+            self.cancelled,
+            self.failed,
+            self.batches,
+            self.cmm_hits,
+            self.cmm_misses,
+            self.pool_jobs
+        ));
+        out.push(format!(
+            "latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms \
+             (queue wait p99 {:.3} ms)",
+            self.latency.p50 as f64 / 1e6,
+            self.latency.p95 as f64 / 1e6,
+            self.latency.p99 as f64 / 1e6,
+            self.latency.max as f64 / 1e6,
+            self.queue_wait.p99 as f64 / 1e6
+        ));
+        out.push(format!(
+            "goodput: {:.4} GB/s over {:.3} ms virtual makespan ({} completed bytes)",
+            self.goodput_gbps,
+            self.makespan.0 as f64 / 1e6,
+            self.completed_bytes
+        ));
+        for t in &self.per_tenant {
+            out.push(format!(
+                "tenant {:>3}: {:>4} submitted, {:>4} completed, {:>4} rejected, \
+                 {:>10} bytes, mean latency {:.3} ms",
+                t.tenant,
+                t.submitted,
+                t.completed,
+                t.rejected,
+                t.bytes,
+                t.mean_latency_ns as f64 / 1e6
+            ));
+        }
+        for d in &self.per_device {
+            out.push(format!(
+                "device {:>2}: {:>4} batches, {:>4} jobs, busy {:.3} ms \
+                 (utilization {:.1}%)",
+                d.device,
+                d.batches,
+                d.jobs,
+                d.busy_ns as f64 / 1e6,
+                d.utilization * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Serialize to JSON. Deterministic: virtual-time quantities only,
+    /// fixed float precision, ordered maps behind every array.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{SERVE_SCHEMA}\",\n"));
+        s.push_str(&format!("  \"policy\": \"{}\",\n", self.policy));
+        s.push_str(&format!("  \"devices\": {},\n", self.devices));
+        s.push_str(&format!("  \"submitted\": {},\n", self.submitted));
+        s.push_str(&format!("  \"admitted\": {},\n", self.admitted));
+        s.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        s.push_str(&format!("  \"rejected_depth\": {},\n", self.rejected_depth));
+        s.push_str(&format!("  \"rejected_bytes\": {},\n", self.rejected_bytes));
+        s.push_str(&format!("  \"completed\": {},\n", self.completed));
+        s.push_str(&format!("  \"timed_out\": {},\n", self.timed_out));
+        s.push_str(&format!("  \"cancelled\": {},\n", self.cancelled));
+        s.push_str(&format!("  \"failed\": {},\n", self.failed));
+        s.push_str(&format!(
+            "  \"completed_bytes\": {},\n",
+            self.completed_bytes
+        ));
+        s.push_str(&format!("  \"makespan_ns\": {},\n", self.makespan.0));
+        s.push_str(&format!("  \"goodput_gbps\": {:.6},\n", self.goodput_gbps));
+        s.push_str(&format!(
+            "  \"peak_queue_jobs\": {},\n",
+            self.peak_queue_jobs
+        ));
+        s.push_str(&format!(
+            "  \"peak_queue_bytes\": {},\n",
+            self.peak_queue_bytes
+        ));
+        s.push_str(&format!("  \"batches\": {},\n", self.batches));
+        s.push_str(&format!("  \"cmm_hits\": {},\n", self.cmm_hits));
+        s.push_str(&format!("  \"cmm_misses\": {},\n", self.cmm_misses));
+        s.push_str(&format!("  \"latency\": {},\n", self.latency.to_json()));
+        s.push_str(&format!(
+            "  \"queue_wait\": {},\n",
+            self.queue_wait.to_json()
+        ));
+        s.push_str("  \"per_tenant\": [");
+        for (i, t) in self.per_tenant.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"tenant\":{},\"submitted\":{},\"admitted\":{},\"rejected\":{},\
+                 \"completed\":{},\"bytes\":{},\"mean_latency_ns\":{}}}",
+                t.tenant,
+                t.submitted,
+                t.admitted,
+                t.rejected,
+                t.completed,
+                t.bytes,
+                t.mean_latency_ns
+            ));
+        }
+        s.push_str("\n  ],\n");
+        s.push_str("  \"per_device\": [");
+        for (i, d) in self.per_device.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"device\":{},\"batches\":{},\"jobs\":{},\"busy_ns\":{},\
+                 \"utilization\":{:.6}}}",
+                d.device, d.batches, d.jobs, d.busy_ns, d.utilization
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// Extract the first `"key": <integer>` in `json` (top-level counters
+/// precede the nested arrays in reports we emit).
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validate a serve-report JSON document: schema id, required fields,
+/// and the zero-lost-jobs invariant.
+pub fn validate_serve_json(json: &str) -> Result<(), String> {
+    if !json.contains(&format!("\"schema\": \"{SERVE_SCHEMA}\"")) {
+        return Err(format!("missing schema id {SERVE_SCHEMA}"));
+    }
+    let field = |k: &str| json_u64(json, k).ok_or_else(|| format!("missing field '{k}'"));
+    let submitted = field("submitted")?;
+    let admitted = field("admitted")?;
+    let rejected = field("rejected")?;
+    let completed = field("completed")?;
+    let timed_out = field("timed_out")?;
+    let cancelled = field("cancelled")?;
+    let failed = field("failed")?;
+    for k in ["makespan_ns", "goodput_gbps", "peak_queue_jobs"] {
+        if !json.contains(&format!("\"{k}\"")) {
+            return Err(format!("missing field '{k}'"));
+        }
+    }
+    if submitted != admitted + rejected {
+        return Err(format!(
+            "lost submissions: submitted {submitted} != admitted {admitted} + rejected {rejected}"
+        ));
+    }
+    let terminal = completed + timed_out + cancelled + failed;
+    if admitted != terminal {
+        return Err(format!(
+            "lost jobs: admitted {admitted} != completed {completed} + timed_out {timed_out} \
+             + cancelled {cancelled} + failed {failed}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_json(submitted: u64, admitted: u64, completed: u64) -> String {
+        format!(
+            "{{\n  \"schema\": \"{SERVE_SCHEMA}\",\n  \"submitted\": {submitted},\n  \
+             \"admitted\": {admitted},\n  \"rejected\": {},\n  \"completed\": {completed},\n  \
+             \"timed_out\": 0,\n  \"cancelled\": 0,\n  \"failed\": 0,\n  \
+             \"makespan_ns\": 10,\n  \"goodput_gbps\": 1.0,\n  \"peak_queue_jobs\": 1\n}}\n",
+            submitted - admitted
+        )
+    }
+
+    #[test]
+    fn validator_accepts_balanced_report() {
+        validate_serve_json(&sample_json(10, 8, 8)).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_lost_jobs() {
+        let err = validate_serve_json(&sample_json(10, 8, 7)).unwrap_err();
+        assert!(err.contains("lost jobs"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema() {
+        let json = sample_json(1, 1, 1).replace("hpdr-serve/v1", "hpdr-serve/v0");
+        assert!(validate_serve_json(&json).is_err());
+    }
+
+    #[test]
+    fn json_u64_parses_first_occurrence() {
+        let json = "{\"a\": 42, \"b\":7, \"a\": 9}";
+        assert_eq!(json_u64(json, "a"), Some(42));
+        assert_eq!(json_u64(json, "b"), Some(7));
+        assert_eq!(json_u64(json, "c"), None);
+    }
+}

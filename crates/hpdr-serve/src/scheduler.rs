@@ -1,0 +1,765 @@
+//! The serving scheduler: a deterministic discrete-event loop over
+//! virtual time.
+//!
+//! Jobs arrive from a [`JobSource`], pass the admission controller
+//! ([`crate::admission::Admission`]), wait in a priority/fair-share
+//! queue, and are dispatched to the simulated device pool in **shared
+//! pipeline launches** (continuous batching): compatible queued jobs
+//! (same direction and codec family) are folded into one
+//! [`hpdr_pipeline::run_batch`] launch so per-launch fixed costs
+//! amortize and chunks of different jobs overlap on the device engines.
+//! Kernels execute *for real* on the persistent
+//! [`hpdr_core::WorkerPool`] via the configured device adapter; timing
+//! is charged to each device's [`BusyHorizon`].
+//!
+//! Determinism: everything — arrivals, deadlines, service times,
+//! completions — lives on the virtual clock, tenant state is kept in
+//! ordered maps, and batch formation uses a total order over queued
+//! jobs, so the same seed and job stream reproduce a byte-identical
+//! [`ServeReport`](crate::report::ServeReport).
+//!
+//! Fairness: queued jobs order by (priority desc, tenant served-bytes
+//! asc, arrival, id). The served-bytes deficit term implements
+//! byte-weighted fair queuing — a tenant that has consumed less device
+//! time sorts first, so a 10× heavier tenant cannot starve a light one.
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::error::ServeError;
+use crate::job::{JobId, JobOutcome, JobRecord, JobRequest, TenantId};
+use hpdr_core::{ContextCache, DeviceAdapter, WorkerPool};
+use hpdr_pipeline::{run_batch, BatchItem, PipelineOptions};
+use hpdr_sim::{BusyHorizon, DeviceId, DeviceSpec, Engine, Ns, OpKind, SpanRecord, Trace};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Dispatch policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// One job per launch, pinned to device 0 — the one-at-a-time
+    /// comparator (and the policy whose reports are identical for any
+    /// configured device count).
+    Serial,
+    /// Continuous batching across all configured devices.
+    Batched,
+}
+
+impl Policy {
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Serial => "serial",
+            Policy::Batched => "batched",
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Simulated devices in the pool.
+    pub devices: usize,
+    pub policy: Policy,
+    /// Per-device cost model.
+    pub spec: DeviceSpec,
+    pub admission: AdmissionConfig,
+    /// Batch caps (continuous batching folds queued jobs up to these).
+    pub max_batch_jobs: usize,
+    pub max_batch_bytes: u64,
+    /// Fixed virtual cost per shared launch (runtime/stream setup).
+    pub launch_overhead: Ns,
+    /// Virtual cost of building one reduction context on a CMM miss.
+    pub context_setup: Ns,
+    /// CMM capacity per device. Keep generous: the cache evicts
+    /// arbitrarily at capacity, which would break report determinism.
+    pub cmm_capacity: usize,
+    /// Chunking/overlap options for the shared launches.
+    pub pipeline: PipelineOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            devices: 1,
+            policy: Policy::Batched,
+            spec: hpdr_sim::v100(),
+            admission: AdmissionConfig::default(),
+            max_batch_jobs: 8,
+            max_batch_bytes: 8 << 20,
+            launch_overhead: Ns::from_micros(40),
+            context_setup: Ns::from_micros(120),
+            cmm_capacity: 128,
+            pipeline: PipelineOptions::fixed(32 * 1024),
+        }
+    }
+}
+
+/// Reusable per-(codec, shape, device) reduction context cached by the
+/// CMM: staging memory a job family keeps across launches.
+pub struct ServeContext {
+    pub staging: Vec<u8>,
+}
+
+/// Where jobs come from. `peek` lets the event loop find the next
+/// arrival instant; `on_complete` lets closed-loop generators key the
+/// next request off a completion.
+pub trait JobSource {
+    /// Arrival instant of the earliest job not yet popped.
+    fn peek(&self) -> Option<Ns>;
+    /// Remove and return every job with `arrival <= now`, in order.
+    fn pop_ready(&mut self, now: Ns) -> Vec<JobRequest>;
+    /// A job of `tenant` reached a terminal state at `now`.
+    fn on_complete(&mut self, _tenant: TenantId, _now: Ns) {}
+}
+
+/// A pre-scripted job stream (arrival-sorted).
+pub struct VecSource {
+    jobs: Vec<JobRequest>,
+    next: usize,
+}
+
+impl VecSource {
+    pub fn new(mut jobs: Vec<JobRequest>) -> VecSource {
+        jobs.sort_by_key(|j| j.arrival);
+        VecSource { jobs, next: 0 }
+    }
+}
+
+impl JobSource for VecSource {
+    fn peek(&self) -> Option<Ns> {
+        self.jobs.get(self.next).map(|j| j.arrival)
+    }
+
+    fn pop_ready(&mut self, now: Ns) -> Vec<JobRequest> {
+        let start = self.next;
+        while self.next < self.jobs.len() && self.jobs[self.next].arrival <= now {
+            self.next += 1;
+        }
+        self.jobs[start..self.next].to_vec()
+    }
+}
+
+/// Per-tenant accounting (ordered map ⇒ deterministic reports).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantStats {
+    pub submitted: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    /// Uncompressed bytes of completed jobs.
+    pub bytes: u64,
+    /// Bytes dispatched so far — the fair-queuing deficit key.
+    served_bytes: u64,
+}
+
+/// Per-device accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceStats {
+    pub batches: u64,
+    pub jobs: u64,
+    pub busy: Ns,
+    pub utilization: f64,
+}
+
+struct QueuedJob {
+    id: JobId,
+    req: JobRequest,
+    bytes: u64,
+}
+
+struct InFlight {
+    id: JobId,
+    req: JobRequest,
+    bytes: u64,
+    device: usize,
+    started: Ns,
+    result: Result<(), String>,
+}
+
+struct PendingBatch {
+    end: Ns,
+    device: usize,
+    jobs: Vec<InFlight>,
+}
+
+/// Everything a serve run produces (the printable/serializable
+/// [`ServeReport`](crate::report::ServeReport) is built from this).
+pub struct ServeOutcome {
+    pub records: Vec<JobRecord>,
+    pub tenants: BTreeMap<u32, TenantStats>,
+    pub devices: BTreeMap<usize, DeviceStats>,
+    pub admission: Admission,
+    pub makespan: Ns,
+    /// One span per terminal job (trace-derived metrics source).
+    pub trace: Trace,
+    pub cmm_hits: u64,
+    pub cmm_misses: u64,
+    /// Contexts resident in the per-device CMM caches at the end.
+    pub cmm_contexts: usize,
+    /// Of those, contexts with no live attachment — equal to
+    /// `cmm_contexts` iff every job (including cancelled and timed-out
+    /// ones) released its context.
+    pub cmm_idle: usize,
+    /// Jobs still occupying a device slot at the end (must be 0).
+    pub in_flight_end: u64,
+    /// Worker-pool jobs dispatched during the run (PoolStats delta).
+    pub pool_jobs: u64,
+}
+
+/// The scheduler. Owns the virtual clock, queue, device horizons and
+/// per-device CMM caches.
+pub struct Scheduler {
+    cfg: ServeConfig,
+    work: Arc<dyn DeviceAdapter>,
+    clock: Ns,
+    next_id: u64,
+    queue: Vec<QueuedJob>,
+    pending: Vec<PendingBatch>,
+    horizons: Vec<BusyHorizon>,
+    device_jobs: Vec<(u64, u64)>, // (batches, jobs) per device
+    in_flight_jobs: Vec<u64>,     // live gauge per device
+    cmm: Vec<ContextCache<ServeContext>>,
+    admission: Admission,
+    tenants: BTreeMap<u32, TenantStats>,
+    records: Vec<JobRecord>,
+    spans: Vec<SpanRecord>,
+}
+
+impl Scheduler {
+    pub fn new(cfg: ServeConfig, work: Arc<dyn DeviceAdapter>) -> Scheduler {
+        let devices = cfg.devices.max(1);
+        Scheduler {
+            admission: Admission::new(cfg.admission),
+            horizons: vec![BusyHorizon::new(); devices],
+            device_jobs: vec![(0, 0); devices],
+            in_flight_jobs: vec![0; devices],
+            cmm: (0..devices)
+                .map(|_| ContextCache::new(cfg.cmm_capacity))
+                .collect(),
+            cfg,
+            work,
+            clock: Ns::ZERO,
+            next_id: 0,
+            queue: Vec::new(),
+            pending: Vec::new(),
+            tenants: BTreeMap::new(),
+            records: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Jobs currently in flight on `device` (dispatch → completion).
+    pub fn in_flight(&self, device: usize) -> u64 {
+        self.in_flight_jobs[device]
+    }
+
+    /// Per-device CMM cache (tests assert context release through it).
+    pub fn cmm(&self, device: usize) -> &ContextCache<ServeContext> {
+        &self.cmm[device]
+    }
+
+    /// Submit one job at its arrival instant. Typed backpressure: a
+    /// full queue rejects immediately with [`ServeError`].
+    pub fn try_submit(&mut self, req: JobRequest) -> Result<JobId, ServeError> {
+        let tenant = self.tenants.entry(req.tenant.0).or_default();
+        tenant.submitted += 1;
+        let bytes = req.payload.raw_bytes();
+        if bytes == 0 {
+            tenant.rejected += 1;
+            return Err(ServeError::InvalidJob("empty payload".into()));
+        }
+        match self.admission.try_admit(bytes) {
+            Ok(()) => {
+                let id = JobId(self.next_id);
+                self.next_id += 1;
+                let tenant = self.tenants.entry(req.tenant.0).or_default();
+                tenant.admitted += 1;
+                self.spans.push(reject_or_job_span(
+                    id.0 as usize,
+                    &req,
+                    bytes,
+                    req.arrival,
+                    req.arrival,
+                    req.arrival,
+                    0,
+                    false,
+                ));
+                self.queue.push(QueuedJob { id, req, bytes });
+                Ok(id)
+            }
+            Err(e) => {
+                let tenant = self.tenants.entry(req.tenant.0).or_default();
+                tenant.rejected += 1;
+                self.spans.push(reject_or_job_span(
+                    self.next_id as usize + self.spans.len(),
+                    &req,
+                    bytes,
+                    req.arrival,
+                    req.arrival,
+                    req.arrival,
+                    0,
+                    true,
+                ));
+                Err(e)
+            }
+        }
+    }
+
+    /// Drive the full job stream to completion and produce the outcome.
+    pub fn run(mut self, source: &mut dyn JobSource) -> ServeOutcome {
+        let pool_before = WorkerPool::global().stats();
+        loop {
+            self.ingest(source);
+            self.expire_queued();
+            self.dispatch();
+            // Next event: an arrival, a completion, or a queued job's
+            // deadline/cancellation instant.
+            let mut next: Option<Ns> = None;
+            let mut consider = |t: Ns| {
+                next = Some(match next {
+                    Some(n) => n.min(t),
+                    None => t,
+                });
+            };
+            if let Some(t) = source.peek() {
+                consider(t.max(self.clock));
+            }
+            for b in &self.pending {
+                consider(b.end);
+            }
+            for q in &self.queue {
+                if let Some(d) = q.req.deadline {
+                    consider(d.max(self.clock));
+                }
+                if let Some(c) = q.req.cancel_at {
+                    consider(c.max(self.clock));
+                }
+            }
+            let Some(next) = next else {
+                debug_assert!(self.queue.is_empty(), "queue stuck with no events");
+                break;
+            };
+            self.clock = self.clock.max(next);
+            self.complete_batches(source);
+        }
+        let pool_delta = WorkerPool::global().stats().since(pool_before);
+        self.finish(pool_delta.jobs)
+    }
+
+    fn ingest(&mut self, source: &mut dyn JobSource) {
+        for req in source.pop_ready(self.clock) {
+            let _ = self.try_submit(req);
+        }
+    }
+
+    /// Remove queued jobs whose deadline or cancellation instant has
+    /// passed (their admission gauges release — backpressure reopens).
+    fn expire_queued(&mut self) {
+        let now = self.clock;
+        let queue = std::mem::take(&mut self.queue);
+        let mut kept = Vec::with_capacity(queue.len());
+        for q in queue {
+            let outcome = if q.req.cancelled_at(now) {
+                Some(JobOutcome::Cancelled)
+            } else if q.req.deadline.is_some_and(|d| d <= now) {
+                Some(JobOutcome::TimedOut)
+            } else {
+                None
+            };
+            match outcome {
+                None => kept.push(q),
+                Some(outcome) => {
+                    self.admission.release(q.bytes);
+                    let terminal = match outcome {
+                        JobOutcome::Cancelled => q
+                            .req
+                            .cancel_at
+                            .map_or(now, |c| c.max(q.req.arrival).min(now)),
+                        _ => q.req.deadline.unwrap_or(now).max(q.req.arrival).min(now),
+                    };
+                    self.terminal(q.id, &q.req, q.bytes, None, None, terminal, outcome);
+                }
+            }
+        }
+        self.queue = kept;
+    }
+
+    /// Dispatch free devices at the current instant.
+    fn dispatch(&mut self) {
+        let usable = match self.cfg.policy {
+            Policy::Serial => 1,
+            Policy::Batched => self.horizons.len(),
+        };
+        for d in 0..usable {
+            while !self.queue.is_empty() && self.horizons[d].is_free_at(self.clock) {
+                self.launch_on(d);
+            }
+        }
+    }
+
+    /// Total order for batch head selection: priority desc, tenant
+    /// deficit (served bytes) asc, arrival asc, id asc.
+    fn queue_rank(&self, q: &QueuedJob) -> (u8, u64, Ns, u64) {
+        let served = self
+            .tenants
+            .get(&q.req.tenant.0)
+            .map_or(0, |t| t.served_bytes);
+        (u8::MAX - q.req.priority, served, q.req.arrival, q.id.0)
+    }
+
+    /// Form one batch and launch it on device `d`.
+    fn launch_on(&mut self, d: usize) {
+        // Head job: best-ranked queued job.
+        let head_idx = (0..self.queue.len())
+            .min_by_key(|&i| self.queue_rank(&self.queue[i]))
+            .expect("launch_on with empty queue");
+        let head_kind = self.queue[head_idx].req.payload.kind();
+        let head_codec = self.queue[head_idx].req.codec.name();
+
+        // Fold compatible jobs (same direction + codec family) into the
+        // batch, best-ranked first, up to the caps.
+        let (max_jobs, max_bytes) = match self.cfg.policy {
+            Policy::Serial => (1, u64::MAX),
+            Policy::Batched => (self.cfg.max_batch_jobs.max(1), self.cfg.max_batch_bytes),
+        };
+        let mut order: Vec<usize> = (0..self.queue.len()).collect();
+        order.sort_by_key(|&i| self.queue_rank(&self.queue[i]));
+        let mut picked: Vec<usize> = Vec::with_capacity(max_jobs);
+        let mut batch_bytes = 0u64;
+        for i in order {
+            if picked.len() >= max_jobs {
+                break;
+            }
+            let q = &self.queue[i];
+            if q.req.payload.kind() != head_kind || q.req.codec.name() != head_codec {
+                continue;
+            }
+            // Always take at least the head, even if it alone exceeds
+            // the byte cap (it must run eventually).
+            if !picked.is_empty() && batch_bytes + q.bytes > max_bytes {
+                continue;
+            }
+            batch_bytes += q.bytes;
+            picked.push(i);
+        }
+        debug_assert!(picked.contains(&head_idx));
+
+        // Extract picked jobs from the queue (descending index keeps
+        // the remaining indices valid).
+        picked.sort_unstable();
+        let mut batch: Vec<QueuedJob> = Vec::with_capacity(picked.len());
+        for i in picked.into_iter().rev() {
+            batch.push(self.queue.swap_remove(i));
+        }
+        batch.sort_by_key(|q| q.id.0);
+
+        // Leaving the queue: admission gauges release now (the byte
+        // budget bounds *queued* work; in-flight work is bounded by the
+        // batch caps and device count).
+        for q in &batch {
+            self.admission.release(q.bytes);
+        }
+
+        // Cooperative cancellation checkpoint between admission and
+        // launch: drop jobs cancelled while queued. Their CMM contexts
+        // are never attached and no kernel runs for them.
+        let now = self.clock;
+        let (cancelled, live): (Vec<QueuedJob>, Vec<QueuedJob>) =
+            batch.into_iter().partition(|q| q.req.cancelled_at(now));
+        for q in cancelled {
+            self.terminal(
+                q.id,
+                &q.req,
+                q.bytes,
+                None,
+                None,
+                now,
+                JobOutcome::Cancelled,
+            );
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        // Attach CMM contexts (setup cost on miss), run the shared
+        // launch for real, then release the contexts.
+        let mut setup = Ns::ZERO;
+        let mut attached = Vec::with_capacity(live.len());
+        for q in &live {
+            let key = q.req.context_key(d);
+            let before = self.cmm[d].stats().misses;
+            let staging = q.bytes as usize;
+            let ctx = self.cmm[d].get_or_create(&key, || ServeContext {
+                staging: vec![0u8; staging],
+            });
+            if self.cmm[d].stats().misses > before {
+                setup += self.cfg.context_setup;
+            }
+            // Touch the staging arena so reuse is real, not notional.
+            {
+                let mut c = ctx.lock();
+                if c.staging.len() < staging {
+                    c.staging.resize(staging, 0);
+                }
+                c.staging[0] = c.staging[0].wrapping_add(1);
+            }
+            attached.push(ctx);
+        }
+
+        let items: Vec<BatchItem> = live
+            .iter()
+            .map(|q| match &q.req.payload {
+                crate::job::JobPayload::Compress { input, meta } => BatchItem::Compress {
+                    reducer: q.req.codec.reducer(),
+                    input: Arc::clone(input),
+                    meta: meta.clone(),
+                },
+                crate::job::JobPayload::Decompress { container } => BatchItem::Decompress {
+                    reducer: q.req.codec.reducer(),
+                    container: (**container).clone(),
+                },
+            })
+            .collect();
+        let launch = run_batch(
+            &self.cfg.spec,
+            Arc::clone(&self.work),
+            items,
+            &self.cfg.pipeline,
+        );
+        let (per_job, makespan): (Vec<Result<(), String>>, Ns) = match launch {
+            Ok((results, report)) => (
+                results
+                    .into_iter()
+                    .map(|r| r.map(|_| ()).map_err(|e| e.to_string()))
+                    .collect(),
+                report.makespan,
+            ),
+            Err(e) => (vec![Err(e.to_string()); live.len()], Ns::ZERO),
+        };
+        drop(attached); // contexts release (idle in the CMM again)
+
+        let service = self.cfg.launch_overhead + setup + makespan;
+        let (start, end) = self.horizons[d].schedule(now, service);
+        debug_assert_eq!(start, now, "device was checked free");
+        self.device_jobs[d].0 += 1;
+        self.device_jobs[d].1 += live.len() as u64;
+        self.in_flight_jobs[d] += live.len() as u64;
+        let jobs = live
+            .into_iter()
+            .zip(per_job)
+            .map(|(q, result)| {
+                // Dispatch charges the tenant's fair-share deficit.
+                self.tenants.entry(q.req.tenant.0).or_default().served_bytes += q.bytes;
+                InFlight {
+                    id: q.id,
+                    req: q.req,
+                    bytes: q.bytes,
+                    device: d,
+                    started: start,
+                    result,
+                }
+            })
+            .collect();
+        self.pending.push(PendingBatch {
+            end,
+            device: d,
+            jobs,
+        });
+    }
+
+    /// Finalize batches whose virtual completion has been reached.
+    fn complete_batches(&mut self, source: &mut dyn JobSource) {
+        let now = self.clock;
+        let mut done = Vec::new();
+        let mut still = Vec::new();
+        for b in self.pending.drain(..) {
+            if b.end <= now {
+                done.push(b);
+            } else {
+                still.push(b);
+            }
+        }
+        self.pending = still;
+        // Deterministic completion order: by end time, then device.
+        done.sort_by_key(|b| (b.end, b.device));
+        for b in done {
+            for j in b.jobs {
+                self.in_flight_jobs[b.device] -= 1;
+                let outcome = match &j.result {
+                    Err(e) => JobOutcome::Failed(e.clone()),
+                    Ok(()) if j.req.cancel_at.is_some_and(|c| c < b.end) => JobOutcome::Cancelled,
+                    Ok(()) if j.req.deadline.is_some_and(|dl| b.end > dl) => JobOutcome::TimedOut,
+                    Ok(()) => JobOutcome::Completed,
+                };
+                let tenant = j.req.tenant;
+                self.terminal(
+                    j.id,
+                    &j.req,
+                    j.bytes,
+                    Some(j.device),
+                    Some(j.started),
+                    b.end,
+                    outcome,
+                );
+                source.on_complete(tenant, b.end);
+            }
+        }
+    }
+
+    /// Record a terminal state for an admitted job.
+    #[allow(clippy::too_many_arguments)]
+    fn terminal(
+        &mut self,
+        id: JobId,
+        req: &JobRequest,
+        bytes: u64,
+        device: Option<usize>,
+        started: Option<Ns>,
+        finished: Ns,
+        outcome: JobOutcome,
+    ) {
+        if outcome == JobOutcome::Completed {
+            let t = self.tenants.entry(req.tenant.0).or_default();
+            t.completed += 1;
+            t.bytes += bytes;
+        }
+        // Update the job's span in place: start = dispatch (or terminal
+        // instant if never launched), end = terminal instant.
+        if let Some(span) = self
+            .spans
+            .iter_mut()
+            .find(|s| s.op == id.0 as usize && !s.label.starts_with("reject"))
+        {
+            span.start = started.unwrap_or(finished);
+            span.end = finished;
+            if let Some(d) = device {
+                span.engine = Engine::Compute(DeviceId(d));
+                span.queue = Some(d);
+            }
+            span.label = format!(
+                "job[{}] t{} {} {} {}",
+                id.0,
+                req.tenant.0,
+                req.payload.kind().name(),
+                req.codec.label(),
+                outcome.name()
+            );
+        }
+        self.records.push(JobRecord {
+            id,
+            tenant: req.tenant,
+            kind: req.payload.kind(),
+            codec: req.codec.label(),
+            bytes,
+            device,
+            arrival: req.arrival,
+            started,
+            finished,
+            outcome,
+        });
+    }
+
+    fn finish(mut self, pool_jobs: u64) -> ServeOutcome {
+        debug_assert!(self.pending.is_empty());
+        debug_assert_eq!(self.admission.queued_jobs(), 0);
+        self.records.sort_by_key(|r| r.id.0);
+        let makespan = self
+            .records
+            .iter()
+            .map(|r| r.finished)
+            .max()
+            .unwrap_or(Ns::ZERO);
+        let mut devices = BTreeMap::new();
+        for (d, h) in self.horizons.iter().enumerate() {
+            let (batches, jobs) = self.device_jobs[d];
+            if batches == 0 {
+                continue; // only devices that did work appear in reports
+            }
+            devices.insert(
+                d,
+                DeviceStats {
+                    batches,
+                    jobs,
+                    busy: h.busy(),
+                    utilization: h.utilization(makespan),
+                },
+            );
+        }
+        let (mut hits, mut misses) = (0, 0);
+        let (mut contexts, mut idle) = (0, 0);
+        for c in &self.cmm {
+            let s = c.stats();
+            hits += s.hits;
+            misses += s.misses;
+            contexts += c.len();
+            idle += c.idle_count();
+        }
+        self.spans.sort_by_key(|s| (s.ready, s.op));
+        ServeOutcome {
+            records: self.records,
+            tenants: self.tenants,
+            devices,
+            admission: self.admission,
+            makespan,
+            trace: Trace::from_spans(self.spans),
+            cmm_hits: hits,
+            cmm_misses: misses,
+            cmm_contexts: contexts,
+            cmm_idle: idle,
+            in_flight_end: self.in_flight_jobs.iter().sum(),
+            pool_jobs,
+        }
+    }
+}
+
+/// Build the span for a job at submission time (updated in place when
+/// the job reaches a terminal state) or a zero-length rejection span.
+#[allow(clippy::too_many_arguments)]
+fn reject_or_job_span(
+    op: usize,
+    req: &JobRequest,
+    bytes: u64,
+    ready: Ns,
+    start: Ns,
+    end: Ns,
+    device: usize,
+    rejected: bool,
+) -> SpanRecord {
+    let label = if rejected {
+        format!(
+            "reject[t{} {} {}]",
+            req.tenant.0,
+            req.payload.kind().name(),
+            req.codec.label()
+        )
+    } else {
+        format!(
+            "job[?] t{} {} {}",
+            req.tenant.0,
+            req.payload.kind().name(),
+            req.codec.label()
+        )
+    };
+    SpanRecord {
+        op,
+        label,
+        engine: Engine::Compute(DeviceId(device)),
+        queue: Some(device),
+        deps: vec![],
+        kind: OpKind::Kernel,
+        class: Some(req.codec.reducer().kernel_class()),
+        start,
+        end,
+        bytes,
+        footprint_bytes: 0,
+        ready,
+        wall: Ns::ZERO,
+    }
+}
+
+/// Convenience: run a job stream through a fresh scheduler.
+pub fn serve(
+    cfg: ServeConfig,
+    work: Arc<dyn DeviceAdapter>,
+    source: &mut dyn JobSource,
+) -> ServeOutcome {
+    Scheduler::new(cfg, work).run(source)
+}

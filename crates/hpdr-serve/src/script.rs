@@ -1,0 +1,253 @@
+//! Job scripts: a line-oriented format for scripted serve runs.
+//!
+//! One job per line:
+//!
+//! ```text
+//! <arrival_us> <tenant> <compress|decompress> <codec[:param]> <side> \
+//!     [prio=N] [deadline_us=N] [cancel_us=N]
+//! ```
+//!
+//! `#` starts a comment; blank lines are skipped. `side` is the cube
+//! edge of a synthetic Nyx-like density field (`side³` f32 values), so
+//! the same script always produces the same payload bytes. Decompress
+//! jobs are materialized at parse time: the field is compressed once
+//! per (codec, side) and the resulting container shared across all
+//! jobs that decompress it.
+
+use crate::error::ServeError;
+use crate::job::{JobPayload, JobRequest, ServeCodec, TenantId};
+use hpdr_core::{ArrayMeta, DType, DeviceAdapter};
+use hpdr_pipeline::Container;
+use hpdr_sim::Ns;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Deterministic dataset seed used by scripted payloads.
+const DATA_SEED: u64 = 7;
+
+/// Payload factory with per-(side) input and per-(codec, side)
+/// container caches so scripts and generators share materialization.
+pub struct PayloadCache {
+    inputs: BTreeMap<usize, (Arc<Vec<u8>>, ArrayMeta)>,
+    containers: BTreeMap<(String, usize), Arc<Container>>,
+}
+
+impl PayloadCache {
+    pub fn new() -> PayloadCache {
+        PayloadCache {
+            inputs: BTreeMap::new(),
+            containers: BTreeMap::new(),
+        }
+    }
+
+    /// The synthetic input field for `side` (cached).
+    pub fn input(&mut self, side: usize) -> (Arc<Vec<u8>>, ArrayMeta) {
+        self.inputs
+            .entry(side)
+            .or_insert_with(|| {
+                let data = hpdr_data::nyx_density(side, DATA_SEED);
+                let meta = ArrayMeta::new(DType::F32, data.shape.clone());
+                (Arc::new(data.bytes), meta)
+            })
+            .clone()
+    }
+
+    /// A compressed container of the `side` field under `codec`
+    /// (compressed once, shared by every decompress job).
+    pub fn container(
+        &mut self,
+        codec: ServeCodec,
+        side: usize,
+        work: &dyn DeviceAdapter,
+    ) -> Result<Arc<Container>, ServeError> {
+        let key = (codec.label(), side);
+        if let Some(c) = self.containers.get(&key) {
+            return Ok(Arc::clone(c));
+        }
+        let (input, meta) = self.input(side);
+        let stream = codec
+            .reducer()
+            .compress(work, &input, &meta)
+            .map_err(|e| ServeError::InvalidJob(format!("pre-compress failed: {e}")))?;
+        let rows = meta.shape.dims()[0];
+        let container = Arc::new(Container {
+            reducer: codec.name().to_string(),
+            meta,
+            chunks: vec![(rows, stream)],
+        });
+        self.containers.insert(key, Arc::clone(&container));
+        Ok(container)
+    }
+
+    /// Build a payload for one job.
+    pub fn payload(
+        &mut self,
+        compress: bool,
+        codec: ServeCodec,
+        side: usize,
+        work: &dyn DeviceAdapter,
+    ) -> Result<JobPayload, ServeError> {
+        if compress {
+            let (input, meta) = self.input(side);
+            Ok(JobPayload::Compress { input, meta })
+        } else {
+            Ok(JobPayload::Decompress {
+                container: self.container(codec, side, work)?,
+            })
+        }
+    }
+}
+
+impl Default for PayloadCache {
+    fn default() -> Self {
+        PayloadCache::new()
+    }
+}
+
+/// Parse a full job script into arrival-ordered requests.
+pub fn parse_script(text: &str, work: &dyn DeviceAdapter) -> Result<Vec<JobRequest>, ServeError> {
+    let mut cache = PayloadCache::new();
+    let mut jobs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        jobs.push(
+            parse_line(line, &mut cache, work)
+                .map_err(|e| ServeError::Script(format!("line {}: {e}", lineno + 1)))?,
+        );
+    }
+    jobs.sort_by_key(|j| j.arrival);
+    Ok(jobs)
+}
+
+fn parse_line(
+    line: &str,
+    cache: &mut PayloadCache,
+    work: &dyn DeviceAdapter,
+) -> Result<JobRequest, ServeError> {
+    let bad = |m: String| ServeError::Script(m);
+    let mut parts = line.split_whitespace();
+    let mut next = |what: &str| {
+        parts
+            .next()
+            .ok_or_else(|| bad(format!("missing field <{what}>")))
+    };
+    let arrival_us: u64 = next("arrival_us")?
+        .parse()
+        .map_err(|_| bad("bad <arrival_us>".into()))?;
+    let tenant: u32 = next("tenant")?
+        .parse()
+        .map_err(|_| bad("bad <tenant>".into()))?;
+    let kind = next("kind")?;
+    let compress = match kind {
+        "compress" => true,
+        "decompress" => false,
+        other => return Err(bad(format!("unknown kind '{other}'"))),
+    };
+    let codec = ServeCodec::parse(next("codec")?)?;
+    let side: usize = next("side")?
+        .parse()
+        .map_err(|_| bad("bad <side>".into()))?;
+    if side == 0 || side > 64 {
+        return Err(bad(format!("side {side} out of range 1..=64")));
+    }
+
+    let arrival = Ns::from_micros(arrival_us);
+    let mut req = JobRequest::new(
+        TenantId(tenant),
+        arrival,
+        codec,
+        cache.payload(compress, codec, side, work)?,
+    );
+    for opt in parts {
+        let (key, value) = opt
+            .split_once('=')
+            .ok_or_else(|| bad(format!("bad option '{opt}' (want key=value)")))?;
+        let num: u64 = value
+            .parse()
+            .map_err(|_| bad(format!("bad value in '{opt}'")))?;
+        match key {
+            "prio" => {
+                req.priority =
+                    u8::try_from(num).map_err(|_| bad(format!("priority {num} > 255")))?
+            }
+            "deadline_us" => req.deadline = Some(arrival + Ns::from_micros(num)),
+            "cancel_us" => req.cancel_at = Some(arrival + Ns::from_micros(num)),
+            other => return Err(bad(format!("unknown option '{other}'"))),
+        }
+    }
+    Ok(req)
+}
+
+/// Built-in demo script (used by `hpdr serve` when no job file is
+/// given): three tenants, mixed codecs and directions, one priority
+/// job, one deadline, one cancellation.
+pub const DEMO_SCRIPT: &str = "\
+# arrival_us tenant kind codec side [prio=N] [deadline_us=N] [cancel_us=N]
+0    0 compress   zfp:16    16
+10   1 compress   mgard:1e-3 16
+20   2 compress   lz4       12
+30   0 decompress zfp:16    16
+40   1 compress   zfp:16    16 prio=2
+50   2 compress   sz:1e-3   12
+60   0 compress   huffman   12
+70   1 compress   zfp:16    16 deadline_us=100000
+80   2 compress   lz4       12 cancel_us=1
+90   0 decompress zfp:16    16
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+    use hpdr_core::SerialAdapter;
+
+    fn adapter() -> SerialAdapter {
+        SerialAdapter::new()
+    }
+
+    #[test]
+    fn demo_script_parses() {
+        let jobs = parse_script(DEMO_SCRIPT, &adapter()).unwrap();
+        assert_eq!(jobs.len(), 10);
+        assert_eq!(jobs[0].arrival, Ns::ZERO);
+        assert_eq!(jobs[4].priority, 2);
+        assert!(jobs[7].deadline.is_some());
+        assert!(jobs[8].cancel_at.is_some());
+        assert_eq!(jobs[3].payload.kind(), JobKind::Decompress);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let jobs = parse_script("# nothing\n\n0 0 compress lz4 8 # tail\n", &adapter()).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].payload.raw_bytes(), 8 * 8 * 8 * 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_script("0 0 compress lz4 8\n1 0 squash lz4 8\n", &adapter()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(parse_script("0 0 compress gzip 8\n", &adapter()).is_err());
+        assert!(parse_script("0 0 compress lz4 0\n", &adapter()).is_err());
+        assert!(parse_script("0 0 compress lz4 8 prio=z\n", &adapter()).is_err());
+    }
+
+    #[test]
+    fn decompress_payloads_share_one_container() {
+        let script = "0 0 decompress lz4 8\n5 1 decompress lz4 8\n";
+        let jobs = parse_script(script, &adapter()).unwrap();
+        let (a, b) = (&jobs[0].payload, &jobs[1].payload);
+        match (a, b) {
+            (
+                JobPayload::Decompress { container: ca },
+                JobPayload::Decompress { container: cb },
+            ) => {
+                assert!(Arc::ptr_eq(ca, cb));
+            }
+            _ => panic!("expected decompress payloads"),
+        }
+    }
+}

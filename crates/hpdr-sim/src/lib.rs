@@ -22,6 +22,7 @@
 //! schedules unit-testable down to the nanosecond.
 
 pub mod effects;
+pub mod horizon;
 pub mod mem;
 pub mod sim;
 pub mod spec;
@@ -31,6 +32,7 @@ pub mod trace;
 pub mod verify;
 
 pub use effects::Effects;
+pub use horizon::BusyHorizon;
 pub use mem::{BufId, MemPool};
 pub use sim::{kind_of, Cost, DeviceId, Engine, OpId, OpSpec, Payload, QueueId, RuntimeId, Sim};
 pub use spec::{

@@ -29,7 +29,7 @@ pub mod report;
 pub use chrome::{to_chrome_trace, validate_chrome_trace, ChromeTraceSummary};
 pub use critical::{critical_path, CriticalPath};
 pub use metrics::{
-    alloc_contention, engine_stats, latency_histograms, memory_fraction, overlap_ratio,
-    EngineStats, LatencyHistogram,
+    alloc_contention, engine_stats, job_span_stats, latency_histograms, memory_fraction,
+    overlap_ratio, EngineStats, JobSpanStats, LatencyHistogram,
 };
 pub use report::Profile;

@@ -254,6 +254,43 @@ pub fn latency_histograms(trace: &Trace) -> Vec<(String, LatencyHistogram)> {
     hists
 }
 
+/// Per-job serving metrics extracted from a serve trace.
+///
+/// The serving scheduler (`hpdr-serve`) emits exactly one span per
+/// admitted job — `ready` is the submission instant, `start` the
+/// dispatch, `end` the terminal instant, and the label ends with the
+/// terminal outcome name — plus one zero-length span per rejected
+/// submission (label prefix `reject[`). This extractor is the single
+/// source of truth for "latency is trace-derived": the serve report
+/// builds its percentile sketches from these samples, never from
+/// scheduler-internal counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobSpanStats {
+    /// End-to-end latency (terminal − submission) per completed job,
+    /// in span order.
+    pub latencies: Vec<u64>,
+    /// Queue wait (dispatch − submission) per completed job.
+    pub waits: Vec<u64>,
+    /// Rejected submissions (spans labelled `reject[...]`).
+    pub rejected: u64,
+}
+
+/// Scan a trace for per-job serving spans. Non-job spans (kernel,
+/// transfer, ...) pass through untouched, so the extractor also works
+/// on mixed traces.
+pub fn job_span_stats(trace: &Trace) -> JobSpanStats {
+    let mut stats = JobSpanStats::default();
+    for span in trace.spans() {
+        if span.label.starts_with("reject[") {
+            stats.rejected += 1;
+        } else if span.label.ends_with(" completed") {
+            stats.latencies.push(span.end.saturating_sub(span.ready).0);
+            stats.waits.push(span.wait().0);
+        }
+    }
+    stats
+}
+
 /// Total time alloc/free ops spent queued behind the shared runtime lock
 /// after their data dependencies were satisfied — the paper §III-B
 /// allocator-contention cost that the CMM eliminates (CMM schedules emit

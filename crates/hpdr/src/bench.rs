@@ -357,6 +357,145 @@ pub fn validate_bench_json(json: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// One `(codec, adapter)` row extracted from a bench JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    pub codec: String,
+    pub adapter: String,
+    pub bytes: u64,
+    pub compress_gbps: f64,
+    pub decompress_gbps: f64,
+}
+
+fn scan_str(obj: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let at = obj.find(&needle)? + needle.len();
+    let end = obj[at..].find('"')?;
+    Some(obj[at..at + end].to_string())
+}
+
+fn scan_num(obj: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = obj.find(&needle)? + needle.len();
+    let rest = &obj[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extract the per-result rows from a bench JSON document.
+pub fn parse_bench_entries(json: &str) -> std::result::Result<Vec<BenchEntry>, String> {
+    validate_bench_json(json)?;
+    let mut entries = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("{\"codec\":") {
+        rest = &rest[pos..];
+        // Each row ends with the decompress block's `}}` pair.
+        let end = rest.find("}}").map(|e| e + 2).ok_or("truncated result")?;
+        let obj = &rest[..end];
+        let comp_at = obj.find("\"compress\":").ok_or("missing compress block")?;
+        let dec_at = obj
+            .find("\"decompress\":")
+            .ok_or("missing decompress block")?;
+        entries.push(BenchEntry {
+            codec: scan_str(obj, "codec").ok_or("missing codec")?,
+            adapter: scan_str(obj, "adapter").ok_or("missing adapter")?,
+            bytes: scan_num(obj, "bytes").ok_or("missing bytes")? as u64,
+            compress_gbps: scan_num(&obj[comp_at..dec_at], "gbps").ok_or("missing gbps")?,
+            decompress_gbps: scan_num(&obj[dec_at..], "gbps").ok_or("missing gbps")?,
+        });
+        rest = &rest[end..];
+    }
+    if entries.is_empty() {
+        return Err("no result entries".into());
+    }
+    Ok(entries)
+}
+
+/// `hpdr bench --compare A.json B.json`: diff two bench documents and
+/// flag regressions beyond `threshold` (fractional, e.g. 0.10 = 10%).
+///
+/// Rows are matched on `(codec, adapter, bytes)`; each direction's
+/// throughput in B is compared against A (the baseline). Returns `Err`
+/// — a non-zero exit — if any matched direction regressed by more than
+/// the threshold, listing every offender.
+pub fn compare_command(a_path: &str, b_path: &str, threshold: f64) -> Result<Vec<String>> {
+    let load = |p: &str| -> Result<Vec<BenchEntry>> {
+        let doc = std::fs::read_to_string(p)?;
+        parse_bench_entries(&doc).map_err(|e| HpdrError::invalid(format!("{p}: {e}")))
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    let mut lines = vec![format!(
+        "bench compare: {a_path} (baseline) vs {b_path}, threshold {:.1}%",
+        threshold * 100.0
+    )];
+    lines.push(format!(
+        "{:10} {:8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "codec", "adapter", "bytes", "comp A", "comp B", "decomp A", "decomp B"
+    ));
+    let mut regressions = Vec::new();
+    let mut matched = 0usize;
+    for ea in &a {
+        let Some(eb) = b
+            .iter()
+            .find(|e| e.codec == ea.codec && e.adapter == ea.adapter && e.bytes == ea.bytes)
+        else {
+            lines.push(format!(
+                "{:10} {:8} {:>10} — only in baseline",
+                ea.codec, ea.adapter, ea.bytes
+            ));
+            continue;
+        };
+        matched += 1;
+        lines.push(format!(
+            "{:10} {:8} {:>10} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            ea.codec,
+            ea.adapter,
+            ea.bytes,
+            ea.compress_gbps,
+            eb.compress_gbps,
+            ea.decompress_gbps,
+            eb.decompress_gbps
+        ));
+        for (dir, base, new) in [
+            ("compress", ea.compress_gbps, eb.compress_gbps),
+            ("decompress", ea.decompress_gbps, eb.decompress_gbps),
+        ] {
+            if new < base * (1.0 - threshold) {
+                regressions.push(format!(
+                    "{} {} {} {}: {:.4} -> {:.4} GB/s ({:+.1}%)",
+                    ea.codec,
+                    ea.adapter,
+                    ea.bytes,
+                    dir,
+                    base,
+                    new,
+                    (new / base - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    if matched == 0 {
+        return Err(HpdrError::invalid(
+            "no comparable rows between the two documents".to_string(),
+        ));
+    }
+    if regressions.is_empty() {
+        lines.push(format!(
+            "{matched} row(s) compared, no regression beyond {:.1}%",
+            threshold * 100.0
+        ));
+        Ok(lines)
+    } else {
+        Err(HpdrError::invalid(format!(
+            "{} throughput regression(s) beyond {:.1}%:\n{}",
+            regressions.len(),
+            threshold * 100.0,
+            regressions.join("\n")
+        )))
+    }
+}
+
 /// Execute `hpdr bench`: run, validate, write `BENCH_<label>.json`, and
 /// return the printable lines (the raw JSON when `json` is set).
 pub fn bench_command(opts: &BenchOptions, json: bool) -> Result<Vec<String>> {

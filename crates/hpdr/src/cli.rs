@@ -56,6 +56,29 @@ pub enum Command {
         opts: crate::bench::BenchOptions,
         json: bool,
     },
+    /// Diff two bench JSON documents and fail on throughput regressions
+    /// beyond the threshold.
+    BenchCompare {
+        a: String,
+        b: String,
+        threshold: f64,
+    },
+    /// Run the multi-tenant serving scheduler over a job script (the
+    /// built-in demo when none is given; `-` reads stdin).
+    Serve {
+        devices: usize,
+        policy: hpdr_serve::Policy,
+        jobs: Option<String>,
+        json: bool,
+        out: Option<String>,
+    },
+    /// Deterministic seeded load generation against the serving layer,
+    /// reporting latency percentiles, goodput and rejection rate.
+    Loadgen {
+        opts: hpdr_serve::LoadgenOptions,
+        json: bool,
+        out: Option<String>,
+    },
     Help,
 }
 
@@ -72,6 +95,12 @@ USAGE:
   hpdr trace      [--out <trace.json>]
   hpdr profile    [--figure fig1] [--json]
   hpdr bench      [--quick] [--json] [--label <name>] [--out <file>]
+  hpdr bench      --compare <a.json> <b.json> [--threshold <frac>]
+  hpdr serve      [--devices <n>] [--policy serial|batched]
+                  [--jobs <file|->] [--json] [--out <file>]
+  hpdr loadgen    [--rps <r>] [--duration <s>] [--tenants <t>]
+                  [--open|--closed] [--seed <n>] [--devices <n>]
+                  [--quick] [--json] [--out <file>]
 
 Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
 --rate applies to zfp (fixed-rate bits per value).
@@ -100,7 +129,28 @@ GEM/DEM stage invocations through the persistent worker pool against
 the spawn-per-call baseline. Results are written to BENCH_<label>.json
 (schema hpdr-bench/v1, validated before writing; --out overrides the
 path). --quick shrinks sizes and repetitions for CI smoke; --json
-prints the raw document instead of the table.";
+prints the raw document instead of the table. `--compare a.json b.json`
+diffs two bench documents row by row ((codec, adapter, bytes) matched)
+and exits non-zero if any direction's throughput in b regressed more
+than --threshold (default 0.10 = 10%) below a.
+
+`hpdr serve` runs the multi-tenant serving scheduler over a job script
+(one job per line: `<arrival_us> <tenant> <compress|decompress>
+<codec[:param]> <side> [prio=N] [deadline_us=N] [cancel_us=N]`; the
+built-in demo script runs when --jobs is omitted, `-` reads stdin).
+Jobs are admitted under a byte-budget controller with bounded-queue
+backpressure, batched into shared pipeline launches, and dispatched
+over the simulated device pool with per-tenant fair scheduling; the
+report (schema hpdr-serve/v1) carries trace-derived latency
+percentiles and enforces that every admitted job reached exactly one
+terminal state.
+
+`hpdr loadgen` generates a deterministic seeded workload (Poisson
+open loop, or --closed for one outstanding request per tenant) against
+the serving layer and writes a validated latency report (schema
+hpdr-loadgen/v1, default LOADGEN.json): p50/p95/p99 latency, goodput
+GB/s, rejection rate, plus a continuous-batching-vs-serial scheduler
+microbench. --quick is a seconds-fast CI smoke preset.";
 
 /// Parse `AxBxC` into a shape.
 pub fn parse_shape(s: &str) -> Result<Shape> {
@@ -194,14 +244,91 @@ pub fn parse(args: &[String]) -> Result<Command> {
             figure: get_flag(args, "--figure").map(str::to_string),
             json: args.iter().any(|a| a == "--json"),
         }),
-        Some("bench") => Ok(Command::Bench {
-            opts: crate::bench::BenchOptions {
-                quick: args.iter().any(|a| a == "--quick"),
-                label: get_flag(args, "--label").unwrap_or("local").to_string(),
-                out: get_flag(args, "--out").map(str::to_string),
+        Some("bench") => {
+            if let Some(i) = args.iter().position(|a| a == "--compare") {
+                let path = |j: usize, which: &str| -> Result<String> {
+                    args.get(i + j)
+                        .filter(|p| !p.starts_with("--"))
+                        .map(|p| p.to_string())
+                        .ok_or_else(|| {
+                            HpdrError::invalid(format!("--compare needs <{which}.json>"))
+                        })
+                };
+                return Ok(Command::BenchCompare {
+                    a: path(1, "baseline")?,
+                    b: path(2, "candidate")?,
+                    threshold: get_flag(args, "--threshold")
+                        .map(|v| {
+                            v.parse::<f64>()
+                                .map_err(|_| HpdrError::invalid("bad --threshold"))
+                        })
+                        .transpose()?
+                        .unwrap_or(0.10),
+                });
+            }
+            Ok(Command::Bench {
+                opts: crate::bench::BenchOptions {
+                    quick: args.iter().any(|a| a == "--quick"),
+                    label: get_flag(args, "--label").unwrap_or("local").to_string(),
+                    out: get_flag(args, "--out").map(str::to_string),
+                },
+                json: args.iter().any(|a| a == "--json"),
+            })
+        }
+        Some("serve") => Ok(Command::Serve {
+            devices: get_flag(args, "--devices")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| HpdrError::invalid("bad --devices"))
+                })
+                .transpose()?
+                .unwrap_or(2)
+                .max(1),
+            policy: match get_flag(args, "--policy") {
+                None | Some("batched") => hpdr_serve::Policy::Batched,
+                Some("serial") => hpdr_serve::Policy::Serial,
+                Some(other) => return Err(HpdrError::invalid(format!("unknown policy '{other}'"))),
             },
+            jobs: get_flag(args, "--jobs").map(str::to_string),
             json: args.iter().any(|a| a == "--json"),
+            out: get_flag(args, "--out").map(str::to_string),
         }),
+        Some("loadgen") => {
+            let base = if args.iter().any(|a| a == "--quick") {
+                hpdr_serve::LoadgenOptions::quick()
+            } else {
+                hpdr_serve::LoadgenOptions::default()
+            };
+            let num = |flag: &str, default: f64| -> Result<f64> {
+                get_flag(args, flag)
+                    .map(|v| {
+                        v.parse::<f64>()
+                            .map_err(|_| HpdrError::invalid(format!("bad {flag}")))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let opts = hpdr_serve::LoadgenOptions {
+                rps: num("--rps", base.rps)?,
+                duration_s: num("--duration", base.duration_s)?,
+                tenants: num("--tenants", base.tenants as f64)? as u32,
+                devices: (num("--devices", base.devices as f64)? as usize).max(1),
+                seed: num("--seed", base.seed as f64)? as u64,
+                closed: if args.iter().any(|a| a == "--open") {
+                    false
+                } else {
+                    args.iter().any(|a| a == "--closed") || base.closed
+                },
+            };
+            if opts.rps <= 0.0 || opts.duration_s <= 0.0 {
+                return Err(HpdrError::invalid("--rps and --duration must be positive"));
+            }
+            Ok(Command::Loadgen {
+                opts,
+                json: args.iter().any(|a| a == "--json"),
+                out: get_flag(args, "--out").map(str::to_string),
+            })
+        }
         Some("help" | "--help" | "-h") | None => Ok(Command::Help),
         Some(other) => Err(HpdrError::invalid(format!("unknown command '{other}'"))),
     }
@@ -216,6 +343,17 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
         Command::Trace { out } => trace_run(out),
         Command::Profile { figure, json } => profile_run(figure.as_deref(), json),
         Command::Bench { opts, json } => crate::bench::bench_command(&opts, json),
+        Command::BenchCompare { a, b, threshold } => {
+            crate::bench::compare_command(&a, &b, threshold)
+        }
+        Command::Serve {
+            devices,
+            policy,
+            jobs,
+            json,
+            out,
+        } => serve_command(devices, policy, jobs.as_deref(), json, out.as_deref()),
+        Command::Loadgen { opts, json, out } => loadgen_command(opts, json, out.as_deref()),
         Command::Compress {
             codec,
             shape,
@@ -278,6 +416,72 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
             ])
         }
     }
+}
+
+/// `hpdr serve`: run a job script through the serving scheduler and
+/// report (validated) per-tenant / per-device accounting.
+fn serve_command(
+    devices: usize,
+    policy: hpdr_serve::Policy,
+    jobs: Option<&str>,
+    json: bool,
+    out: Option<&str>,
+) -> Result<Vec<String>> {
+    use std::io::Read as _;
+    use std::sync::Arc;
+
+    let script = match jobs {
+        None => hpdr_serve::DEMO_SCRIPT.to_string(),
+        Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path)?,
+    };
+    let work: Arc<dyn hpdr_core::DeviceAdapter> = Arc::new(CpuParallelAdapter::with_defaults());
+    let requests = hpdr_serve::parse_script(&script, work.as_ref()).map_err(HpdrError::from)?;
+    let cfg = hpdr_serve::ServeConfig {
+        devices,
+        policy,
+        ..hpdr_serve::ServeConfig::default()
+    };
+    let mut source = hpdr_serve::VecSource::new(requests);
+    let outcome = hpdr_serve::serve(cfg, work, &mut source);
+    let report = hpdr_serve::ServeReport::build(policy, outcome);
+    let doc = report.to_json();
+    hpdr_serve::validate_serve_json(&doc)
+        .map_err(|e| HpdrError::invalid(format!("serve report failed validation: {e}")))?;
+    let mut lines = if json {
+        vec![doc.clone()]
+    } else {
+        report.render()
+    };
+    if let Some(path) = out {
+        std::fs::write(path, doc.as_bytes())?;
+        lines.push(format!("wrote {path}"));
+    }
+    Ok(lines)
+}
+
+/// `hpdr loadgen`: deterministic seeded workload against the serving
+/// layer; writes the validated latency report JSON.
+fn loadgen_command(
+    opts: hpdr_serve::LoadgenOptions,
+    json: bool,
+    out: Option<&str>,
+) -> Result<Vec<String>> {
+    let report = hpdr_serve::run_loadgen(opts).map_err(HpdrError::from)?;
+    let doc = report.to_json();
+    hpdr_serve::validate_loadgen_json(&doc)
+        .map_err(|e| HpdrError::invalid(format!("loadgen report failed validation: {e}")))?;
+    let path = out
+        .map(str::to_string)
+        .unwrap_or_else(|| "LOADGEN.json".to_string());
+    std::fs::write(&path, doc.as_bytes())?;
+    let mut lines = if json { vec![doc] } else { report.render() };
+    lines.push(format!("wrote {path}"));
+    Ok(lines)
 }
 
 /// Map pipeline options onto the linter's declared-schedule config.
@@ -696,6 +900,78 @@ mod tests {
         assert_eq!(c.name(), "cusz-like");
         assert!(parse_codec(&argv("compress --codec gzip")).is_err());
         assert!(parse_codec(&argv("compress --codec zfp --rate nope")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_and_loadgen_commands() {
+        match parse(&argv(
+            "serve --devices 3 --policy serial --jobs q.txt --json",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                devices,
+                policy,
+                jobs,
+                json,
+                out,
+            } => {
+                assert_eq!(devices, 3);
+                assert_eq!(policy, hpdr_serve::Policy::Serial);
+                assert_eq!(jobs.as_deref(), Some("q.txt"));
+                assert!(json);
+                assert_eq!(out, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --policy fifo")).is_err());
+        // --devices is clamped to at least one device, not rejected.
+        match parse(&argv("serve --devices 0")).unwrap() {
+            Command::Serve { devices, .. } => assert_eq!(devices, 1),
+            other => panic!("{other:?}"),
+        }
+
+        match parse(&argv("loadgen --quick --seed 11 --closed")).unwrap() {
+            Command::Loadgen { opts, json, out } => {
+                assert_eq!(opts.seed, 11);
+                assert!(opts.closed);
+                assert!(!json);
+                assert_eq!(out, None);
+                // --quick preset survives the overrides it doesn't name.
+                assert_eq!(
+                    opts,
+                    hpdr_serve::LoadgenOptions {
+                        seed: 11,
+                        closed: true,
+                        ..hpdr_serve::LoadgenOptions::quick()
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("loadgen --rps 0")).is_err());
+        assert!(parse(&argv("loadgen --duration -1")).is_err());
+    }
+
+    #[test]
+    fn parse_bench_compare_command() {
+        match parse(&argv("bench --compare old.json new.json --threshold 0.25")).unwrap() {
+            Command::BenchCompare { a, b, threshold } => {
+                assert_eq!(a, "old.json");
+                assert_eq!(b, "new.json");
+                assert!((threshold - 0.25).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default threshold.
+        match parse(&argv("bench --compare a.json b.json")).unwrap() {
+            Command::BenchCompare { threshold, .. } => {
+                assert!((threshold - 0.10).abs() < 1e-12)
+            }
+            other => panic!("{other:?}"),
+        }
+        // Missing the second baseline path is an error.
+        assert!(parse(&argv("bench --compare only-one.json")).is_err());
     }
 
     #[test]

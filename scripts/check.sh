@@ -33,4 +33,10 @@ cargo run --release -p hpdr --bin hpdr -- bench --quick --json --label ci \
 test -s target/BENCH_ci.json
 grep -q '"schema":"hpdr-bench/v1"' target/BENCH_ci.json
 
+echo "==> hpdr loadgen --quick (serving smoke: schema-valid latency report)"
+cargo run --release -p hpdr --bin hpdr -- loadgen --quick --json \
+  --out target/LOADGEN_ci.json > /dev/null
+test -s target/LOADGEN_ci.json
+grep -q '"schema": "hpdr-loadgen/v1"' target/LOADGEN_ci.json
+
 echo "All checks passed."
