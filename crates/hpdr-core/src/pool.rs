@@ -111,6 +111,18 @@ impl PoolStats {
             scratch_allocs: self.scratch_allocs.saturating_sub(earlier.scratch_allocs),
         }
     }
+
+    /// Fraction of scratch-arena participations that reused an existing
+    /// arena instead of growing one (1.0 when no participations — no
+    /// allocation pressure).
+    pub fn scratch_reuse_ratio(self) -> f64 {
+        let total = self.scratch_reuses + self.scratch_allocs;
+        if total == 0 {
+            1.0
+        } else {
+            self.scratch_reuses as f64 / total as f64
+        }
+    }
 }
 
 /// Lifetime-erased pointer to a stage body. See the module docs for the

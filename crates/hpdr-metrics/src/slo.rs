@@ -1,0 +1,243 @@
+//! Per-tenant SLO objectives: latency-attainment goals and error-budget
+//! burn rates over a sliding virtual-time window.
+//!
+//! An objective says "a fraction `goal` of terminal jobs must complete
+//! within `latency_target`". A terminal job is *good* iff it completed
+//! within the target; everything else — slow completions, timeouts,
+//! cancellations, failures — burns error budget. The burn rate over the
+//! sliding window is
+//!
+//! ```text
+//!   burn = bad_window_fraction / (1 − goal)
+//! ```
+//!
+//! so `burn == 1` means the tenant is spending budget exactly at the
+//! sustainable rate and `burn > burn_threshold` fires an alert on the
+//! rising edge (recorded once per excursion, not once per scrape). All
+//! arithmetic is over virtual instants, so attainment reports and alert
+//! timelines are byte-reproducible for a given seed.
+
+use hpdr_sim::Ns;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One latency SLO applied to every tenant of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// A job is good iff it completes within this latency.
+    pub latency_target: Ns,
+    /// Target good fraction in (0, 1); the error budget is `1 − goal`.
+    pub goal: f64,
+    /// Sliding window the burn rate is computed over.
+    pub window: Ns,
+    /// Burn rate above which an alert fires (rising edge).
+    pub burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_target: Ns::from_millis(10),
+            goal: 0.9,
+            window: Ns::from_millis(200),
+            burn_threshold: 2.0,
+        }
+    }
+}
+
+/// A burn-rate excursion above the threshold (rising edge only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloAlert {
+    pub tenant: u32,
+    /// Scrape instant at which the excursion was detected.
+    pub at: Ns,
+    /// Burn rate at that instant.
+    pub burn: f64,
+}
+
+#[derive(Debug, Default)]
+struct TenantSlo {
+    /// Terminal events inside (or not yet aged out of) the window.
+    window: VecDeque<(Ns, bool)>,
+    good: u64,
+    total: u64,
+    /// Currently above the threshold (suppresses repeat alerts).
+    alerting: bool,
+    alerts: u64,
+}
+
+/// Cumulative attainment for one tenant (report row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloAttainment {
+    pub tenant: u32,
+    pub good: u64,
+    pub total: u64,
+    /// `good / total` (1.0 when no jobs terminated — no budget burned).
+    pub attainment: f64,
+    pub alerts: u64,
+}
+
+/// Sliding-window burn-rate tracker over all tenants of a run.
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    tenants: BTreeMap<u32, TenantSlo>,
+    alerts: Vec<SloAlert>,
+}
+
+impl SloTracker {
+    pub fn new(cfg: SloConfig) -> SloTracker {
+        SloTracker {
+            cfg,
+            tenants: BTreeMap::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    pub fn config(&self) -> SloConfig {
+        self.cfg
+    }
+
+    /// Record one terminal job: `good` = completed within the target.
+    pub fn record(&mut self, tenant: u32, finished: Ns, good: bool) {
+        let t = self.tenants.entry(tenant).or_default();
+        t.window.push_back((finished, good));
+        t.total += 1;
+        if good {
+            t.good += 1;
+        }
+    }
+
+    /// Advance to scrape instant `now`: age the window, compute each
+    /// tenant's burn rate, and fire rising-edge alerts. Returns the
+    /// per-tenant burn rates plus the alerts fired *at this scrape*.
+    pub fn scrape(&mut self, now: Ns) -> (Vec<(u32, f64)>, Vec<SloAlert>) {
+        let budget = (1.0 - self.cfg.goal).max(1e-9);
+        let cutoff = now.saturating_sub(self.cfg.window);
+        let mut burns = Vec::with_capacity(self.tenants.len());
+        let mut fired = Vec::new();
+        for (&tenant, t) in self.tenants.iter_mut() {
+            while t.window.front().is_some_and(|&(at, _)| at < cutoff) {
+                t.window.pop_front();
+            }
+            let total = t.window.len() as f64;
+            let bad = t.window.iter().filter(|&&(_, good)| !good).count() as f64;
+            let burn = if total == 0.0 {
+                0.0
+            } else {
+                (bad / total) / budget
+            };
+            let above = burn > self.cfg.burn_threshold;
+            if above && !t.alerting {
+                t.alerts += 1;
+                let alert = SloAlert {
+                    tenant,
+                    at: now,
+                    burn,
+                };
+                self.alerts.push(alert);
+                fired.push(alert);
+            }
+            t.alerting = above;
+            burns.push((tenant, burn));
+        }
+        (burns, fired)
+    }
+
+    /// Every alert fired so far, in firing order.
+    pub fn alerts(&self) -> &[SloAlert] {
+        &self.alerts
+    }
+
+    /// Cumulative per-tenant attainment rows (all terminal jobs, not
+    /// just the current window).
+    pub fn attainment(&self) -> Vec<SloAttainment> {
+        self.tenants
+            .iter()
+            .map(|(&tenant, t)| SloAttainment {
+                tenant,
+                good: t.good,
+                total: t.total,
+                attainment: if t.total == 0 {
+                    1.0
+                } else {
+                    t.good as f64 / t.total as f64
+                },
+                alerts: t.alerts,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            latency_target: Ns::from_millis(10),
+            goal: 0.9,
+            window: Ns(1_000),
+            burn_threshold: 2.0,
+        }
+    }
+
+    #[test]
+    fn burn_rate_is_bad_fraction_over_budget() {
+        let mut t = SloTracker::new(cfg());
+        // 2 bad of 4 in window: bad_frac 0.5, budget 0.1 → burn 5.
+        for (at, good) in [(100, true), (200, false), (300, true), (400, false)] {
+            t.record(0, Ns(at), good);
+        }
+        let (burns, fired) = t.scrape(Ns(500));
+        assert_eq!(burns.len(), 1);
+        assert!((burns[0].1 - 5.0).abs() < 1e-12, "burn {}", burns[0].1);
+        assert_eq!(fired.len(), 1, "5 > threshold 2 fires");
+        assert_eq!(fired[0].tenant, 0);
+        assert_eq!(fired[0].at, Ns(500));
+    }
+
+    #[test]
+    fn alerts_fire_on_rising_edge_only() {
+        let mut t = SloTracker::new(cfg());
+        t.record(3, Ns(100), false);
+        let (_, f1) = t.scrape(Ns(200));
+        assert_eq!(f1.len(), 1);
+        // Still above threshold at the next scrape: no repeat alert.
+        let (_, f2) = t.scrape(Ns(300));
+        assert!(f2.is_empty());
+        // Window ages the bad event out → burn 0 → re-arm.
+        let (burns, _) = t.scrape(Ns(2_000));
+        assert_eq!(burns[0].1, 0.0);
+        t.record(3, Ns(2_100), false);
+        let (_, f3) = t.scrape(Ns(2_200));
+        assert_eq!(f3.len(), 1, "re-armed after dropping below");
+        assert_eq!(t.alerts().len(), 2);
+        assert_eq!(t.attainment()[0].alerts, 2);
+    }
+
+    #[test]
+    fn attainment_is_cumulative_not_windowed() {
+        let mut t = SloTracker::new(cfg());
+        t.record(1, Ns(10), true);
+        t.record(1, Ns(20), false);
+        t.record(2, Ns(30), true);
+        let _ = t.scrape(Ns(1_000_000)); // everything aged out
+        let rows = t.attainment();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].tenant, 1);
+        assert_eq!((rows[0].good, rows[0].total), (1, 2));
+        assert!((rows[0].attainment - 0.5).abs() < 1e-12);
+        assert!((rows[1].attainment - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_burns_nothing() {
+        let mut t = SloTracker::new(cfg());
+        let (burns, fired) = t.scrape(Ns(100));
+        assert!(burns.is_empty());
+        assert!(fired.is_empty());
+        t.record(0, Ns(10), true);
+        let (burns, _) = t.scrape(Ns(5_000));
+        assert_eq!(burns[0].1, 0.0, "aged-out window is not a breach");
+    }
+}

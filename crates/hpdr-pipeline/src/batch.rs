@@ -58,6 +58,18 @@ pub struct BatchReport {
     pub trace: Trace,
 }
 
+impl BatchReport {
+    /// Uncompressed throughput of the launch in GB/s of virtual time
+    /// (1 byte/ns ⇒ bytes/ns is GB/s; 0 for an empty launch).
+    pub fn goodput_gbps(&self) -> f64 {
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            self.raw_bytes as f64 / self.makespan.0 as f64
+        }
+    }
+}
+
 enum JobState {
     Compress(CompressJob),
     Decompress {

@@ -38,6 +38,9 @@ pub struct Admission {
     pub admitted: u64,
     pub rejected_depth: u64,
     pub rejected_bytes: u64,
+    /// Malformed submissions (e.g. empty payload) bounced before the
+    /// gauges are consulted.
+    pub rejected_invalid: u64,
 }
 
 impl Admission {
@@ -60,9 +63,15 @@ impl Admission {
         self.queued_bytes
     }
 
-    /// Total rejections (both backpressure kinds).
+    /// Total rejections (backpressure kinds + invalid submissions).
     pub fn rejected(&self) -> u64 {
-        self.rejected_depth + self.rejected_bytes
+        self.rejected_depth + self.rejected_bytes + self.rejected_invalid
+    }
+
+    /// Count a submission bounced for being malformed (it never touched
+    /// the queue gauges, so there is nothing to release).
+    pub fn reject_invalid(&mut self) {
+        self.rejected_invalid += 1;
     }
 
     /// Try to admit a job of `bytes`; on success the gauges include it

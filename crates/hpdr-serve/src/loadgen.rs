@@ -37,6 +37,9 @@ pub struct LoadgenOptions {
     pub seed: u64,
     /// Closed loop: one outstanding request per tenant.
     pub closed: bool,
+    /// Install a metrics registry (default cadence + SLO) on the main
+    /// serve run. The microbench replays always run metrics-free.
+    pub metrics: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -48,6 +51,7 @@ impl Default for LoadgenOptions {
             devices: 2,
             seed: 7,
             closed: false,
+            metrics: false,
         }
     }
 }
@@ -62,6 +66,7 @@ impl LoadgenOptions {
             devices: 2,
             seed: 7,
             closed: false,
+            metrics: false,
         }
     }
 }
@@ -304,6 +309,8 @@ fn replay_goodput(
             max_queued_jobs: jobs.len().max(1),
             max_queued_bytes: u64::MAX,
         },
+        // The microbench compares raw goodput; never meter it.
+        metrics: None,
         ..base.clone()
     };
     let mut source = VecSource::new(jobs);
@@ -317,6 +324,10 @@ pub fn run_loadgen(opts: LoadgenOptions) -> Result<LoadgenReport, ServeError> {
     let cfg = ServeConfig {
         devices: opts.devices.max(1),
         policy: Policy::Batched,
+        metrics: opts.metrics.then(|| hpdr_metrics::MetricsConfig {
+            slo: Some(hpdr_metrics::SloConfig::default()),
+            ..hpdr_metrics::MetricsConfig::default()
+        }),
         ..ServeConfig::default()
     };
 

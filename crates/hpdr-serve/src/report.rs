@@ -84,6 +84,7 @@ pub struct ServeReport {
     pub rejected: u64,
     pub rejected_depth: u64,
     pub rejected_bytes: u64,
+    pub rejected_invalid: u64,
     pub completed: u64,
     pub timed_out: u64,
     pub cancelled: u64,
@@ -112,6 +113,9 @@ pub struct ServeReport {
     pub records: Vec<JobRecord>,
     /// One span per admitted job plus one per rejection (not serialized).
     pub trace: Trace,
+    /// The metrics registry of the run (when `ServeConfig::metrics` was
+    /// set): scrape series, exposition, SLO attainment.
+    pub metrics: Option<hpdr_metrics::Registry>,
 }
 
 impl ServeReport {
@@ -129,6 +133,10 @@ impl ServeReport {
         }
         let rejected = job_stats.rejected;
         debug_assert_eq!(rejected, outcome.admission.rejected());
+        debug_assert_eq!(
+            job_stats.open, 0,
+            "every admitted job's Begin span must have its End recorded"
+        );
 
         let (mut completed, mut timed_out, mut cancelled, mut failed) = (0u64, 0, 0, 0);
         let mut completed_bytes = 0u64;
@@ -193,6 +201,7 @@ impl ServeReport {
             rejected,
             rejected_depth: outcome.admission.rejected_depth,
             rejected_bytes: outcome.admission.rejected_bytes,
+            rejected_invalid: outcome.admission.rejected_invalid,
             completed,
             timed_out,
             cancelled,
@@ -212,6 +221,7 @@ impl ServeReport {
             per_device,
             records: outcome.records,
             trace: outcome.trace,
+            metrics: outcome.metrics,
         }
     }
 
@@ -219,14 +229,15 @@ impl ServeReport {
     pub fn render(&self) -> Vec<String> {
         let mut out = vec![format!(
             "serve: policy={} active devices={} — {} submitted, {} admitted, {} rejected \
-             ({} depth / {} bytes)",
+             ({} depth / {} bytes / {} invalid)",
             self.policy,
             self.devices,
             self.submitted,
             self.admitted,
             self.rejected,
             self.rejected_depth,
-            self.rejected_bytes
+            self.rejected_bytes,
+            self.rejected_invalid
         )];
         out.push(format!(
             "jobs: {} completed, {} timed out, {} cancelled, {} failed \
@@ -294,6 +305,10 @@ impl ServeReport {
         s.push_str(&format!("  \"rejected\": {},\n", self.rejected));
         s.push_str(&format!("  \"rejected_depth\": {},\n", self.rejected_depth));
         s.push_str(&format!("  \"rejected_bytes\": {},\n", self.rejected_bytes));
+        s.push_str(&format!(
+            "  \"rejected_invalid\": {},\n",
+            self.rejected_invalid
+        ));
         s.push_str(&format!("  \"completed\": {},\n", self.completed));
         s.push_str(&format!("  \"timed_out\": {},\n", self.timed_out));
         s.push_str(&format!("  \"cancelled\": {},\n", self.cancelled));
@@ -349,7 +364,15 @@ impl ServeReport {
                 d.device, d.batches, d.jobs, d.busy_ns, d.utilization
             ));
         }
-        s.push_str("\n  ]\n}\n");
+        s.push_str("\n  ]");
+        if let Some(reg) = &self.metrics {
+            // Embed the registry's own schema-validated document,
+            // re-indented two spaces (same trick as the loadgen report).
+            let metrics = reg.to_json();
+            s.push_str(",\n  \"metrics\": ");
+            s.push_str(&metrics.trim_end().replace('\n', "\n  "));
+        }
+        s.push_str("\n}\n");
         s
     }
 }

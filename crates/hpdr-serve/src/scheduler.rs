@@ -26,11 +26,20 @@
 use crate::admission::{Admission, AdmissionConfig};
 use crate::error::ServeError;
 use crate::job::{JobId, JobOutcome, JobRecord, JobRequest, TenantId};
-use hpdr_core::{ContextCache, DeviceAdapter, WorkerPool};
+use hpdr_core::{ContextCache, DeviceAdapter, PoolStats, WorkerPool};
+use hpdr_metrics::{
+    record_batch_trace, record_pool_stats, BatchTraceIds, InstrumentId, MetricsConfig, Registry,
+};
 use hpdr_pipeline::{run_batch, BatchItem, PipelineOptions};
 use hpdr_sim::{BusyHorizon, DeviceId, DeviceSpec, Engine, Ns, OpKind, SpanRecord, Trace};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Span-op namespace for rejection spans: disjoint from job ids (which
+/// count up from 0), so a rejection can never collide with a job span.
+const REJECT_OP_BASE: usize = 1 << 40;
+/// Span-op namespace for SLO burn-rate alert marks.
+const ALERT_OP_BASE: usize = 1 << 41;
 
 /// Dispatch policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +82,9 @@ pub struct ServeConfig {
     pub cmm_capacity: usize,
     /// Chunking/overlap options for the shared launches.
     pub pipeline: PipelineOptions,
+    /// Install a metrics registry (scrape cadence, SLO objective).
+    /// `None` keeps the hot path metrics-free.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +100,7 @@ impl Default for ServeConfig {
             context_setup: Ns::from_micros(120),
             cmm_capacity: 128,
             pipeline: PipelineOptions::fixed(32 * 1024),
+            metrics: None,
         }
     }
 }
@@ -159,6 +172,63 @@ pub struct DeviceStats {
     pub utilization: f64,
 }
 
+/// Cached instrument handles so the hot path never formats a metric
+/// name or walks the registry's name index: labels are rendered once
+/// (first submission of a tenant, first launch on a device) and every
+/// later update is an O(1) slab access. With names formatted per event
+/// the metering showed up as measurable serve overhead; with handles it
+/// sits well inside the 2% `hpdr bench --compare` budget.
+#[derive(Default)]
+struct MeterIds {
+    tenants: BTreeMap<u32, TenantIds>,
+    devices: Vec<Option<DeviceMeterIds>>,
+    batch_trace: Vec<BatchTraceIds>,
+    batch_jobs: Option<InstrumentId>,
+    batch_bytes: Option<InstrumentId>,
+    margin: Option<InstrumentId>,
+}
+
+/// Per-tenant counter handles, created together on the tenant's first
+/// submission — so every tenant exposes the complete family (a tenant
+/// with no rejections still shows a zero rejected counter).
+#[derive(Clone, Copy)]
+struct TenantIds {
+    submitted: InstrumentId,
+    admitted: InstrumentId,
+    rejected: InstrumentId,
+    goodput: InstrumentId,
+}
+
+impl TenantIds {
+    fn new(reg: &mut Registry, tenant: u32) -> TenantIds {
+        TenantIds {
+            submitted: reg.counter_handle(&tenant_metric("serve_submitted_total", tenant)),
+            admitted: reg.counter_handle(&tenant_metric("serve_admitted_total", tenant)),
+            rejected: reg.counter_handle(&tenant_metric("serve_rejected_total", tenant)),
+            goodput: reg.counter_handle(&tenant_metric("serve_tenant_goodput_bytes_total", tenant)),
+        }
+    }
+}
+
+/// Per-device batch instrument handles, created on the device's first
+/// launch.
+#[derive(Clone, Copy)]
+struct DeviceMeterIds {
+    batches: InstrumentId,
+    chunks: InstrumentId,
+    goodput: InstrumentId,
+}
+
+impl DeviceMeterIds {
+    fn new(reg: &mut Registry, device: usize) -> DeviceMeterIds {
+        DeviceMeterIds {
+            batches: reg.counter_handle(&device_metric("serve_batches_total", device)),
+            chunks: reg.counter_handle(&device_metric("pipeline_chunks_total", device)),
+            goodput: reg.gauge_handle(&device_metric("pipeline_batch_goodput_gbps", device)),
+        }
+    }
+}
+
 struct QueuedJob {
     id: JobId,
     req: JobRequest,
@@ -202,6 +272,9 @@ pub struct ServeOutcome {
     pub in_flight_end: u64,
     /// Worker-pool jobs dispatched during the run (PoolStats delta).
     pub pool_jobs: u64,
+    /// The metrics registry, flushed at the makespan (present iff
+    /// `ServeConfig::metrics` was set).
+    pub metrics: Option<Registry>,
 }
 
 /// The scheduler. Owns the virtual clock, queue, device horizons and
@@ -221,6 +294,10 @@ pub struct Scheduler {
     tenants: BTreeMap<u32, TenantStats>,
     records: Vec<JobRecord>,
     spans: Vec<SpanRecord>,
+    registry: Option<Registry>,
+    ids: MeterIds,
+    reject_seq: usize,
+    alert_seq: usize,
 }
 
 impl Scheduler {
@@ -234,6 +311,12 @@ impl Scheduler {
             cmm: (0..devices)
                 .map(|_| ContextCache::new(cfg.cmm_capacity))
                 .collect(),
+            registry: cfg.metrics.map(Registry::new),
+            ids: MeterIds {
+                devices: vec![None; devices],
+                batch_trace: vec![BatchTraceIds::default(); devices],
+                ..MeterIds::default()
+            },
             cfg,
             work,
             clock: Ns::ZERO,
@@ -243,6 +326,8 @@ impl Scheduler {
             tenants: BTreeMap::new(),
             records: Vec::new(),
             spans: Vec::new(),
+            reject_seq: 0,
+            alert_seq: 0,
         }
     }
 
@@ -259,19 +344,41 @@ impl Scheduler {
     /// Submit one job at its arrival instant. Typed backpressure: a
     /// full queue rejects immediately with [`ServeError`].
     pub fn try_submit(&mut self, req: JobRequest) -> Result<JobId, ServeError> {
-        let tenant = self.tenants.entry(req.tenant.0).or_default();
+        let tenant_id = req.tenant.0;
+        let tenant = self.tenants.entry(tenant_id).or_default();
         tenant.submitted += 1;
+        if let Some(reg) = self.registry.as_mut() {
+            let t = *self
+                .ids
+                .tenants
+                .entry(tenant_id)
+                .or_insert_with(|| TenantIds::new(reg, tenant_id));
+            reg.counter_add_id(t.submitted, 1);
+        }
         let bytes = req.payload.raw_bytes();
         if bytes == 0 {
-            tenant.rejected += 1;
+            // Invalid submissions get a rejection span like any other
+            // reject: every submission must leave a span, or span-derived
+            // reject counts drift from the admission counters.
+            self.tenants.entry(tenant_id).or_default().rejected += 1;
+            self.admission.reject_invalid();
+            self.push_reject_span(&req, bytes);
             return Err(ServeError::InvalidJob("empty payload".into()));
         }
         match self.admission.try_admit(bytes) {
             Ok(()) => {
                 let id = JobId(self.next_id);
                 self.next_id += 1;
-                let tenant = self.tenants.entry(req.tenant.0).or_default();
+                let tenant = self.tenants.entry(tenant_id).or_default();
                 tenant.admitted += 1;
+                if let Some(reg) = self.registry.as_mut() {
+                    let t = *self
+                        .ids
+                        .tenants
+                        .entry(tenant_id)
+                        .or_insert_with(|| TenantIds::new(reg, tenant_id));
+                    reg.counter_add_id(t.admitted, 1);
+                }
                 self.spans.push(reject_or_job_span(
                     id.0 as usize,
                     &req,
@@ -286,20 +393,37 @@ impl Scheduler {
                 Ok(id)
             }
             Err(e) => {
-                let tenant = self.tenants.entry(req.tenant.0).or_default();
+                let tenant = self.tenants.entry(tenant_id).or_default();
                 tenant.rejected += 1;
-                self.spans.push(reject_or_job_span(
-                    self.next_id as usize + self.spans.len(),
-                    &req,
-                    bytes,
-                    req.arrival,
-                    req.arrival,
-                    req.arrival,
-                    0,
-                    true,
-                ));
+                self.push_reject_span(&req, bytes);
                 Err(e)
             }
+        }
+    }
+
+    /// Zero-length rejection span in the dedicated op namespace (never
+    /// collides with job ids).
+    fn push_reject_span(&mut self, req: &JobRequest, bytes: u64) {
+        let op = REJECT_OP_BASE + self.reject_seq;
+        self.reject_seq += 1;
+        self.spans.push(reject_or_job_span(
+            op,
+            req,
+            bytes,
+            req.arrival,
+            req.arrival,
+            req.arrival,
+            0,
+            true,
+        ));
+        if let Some(reg) = self.registry.as_mut() {
+            let tenant = req.tenant.0;
+            let t = *self
+                .ids
+                .tenants
+                .entry(tenant)
+                .or_insert_with(|| TenantIds::new(reg, tenant));
+            reg.counter_add_id(t.rejected, 1);
         }
     }
 
@@ -338,10 +462,84 @@ impl Scheduler {
                 break;
             };
             self.clock = self.clock.max(next);
+            // Sample every scrape boundary crossed by this clock advance
+            // *before* processing the events at the new instant.
+            self.tick_metrics();
             self.complete_batches(source);
         }
         let pool_delta = WorkerPool::global().stats().since(pool_before);
-        self.finish(pool_delta.jobs)
+        self.finish(pool_delta)
+    }
+
+    /// Refresh the live gauges and let the registry scrape any virtual
+    /// interval boundaries crossed; burn-rate alerts become zero-length
+    /// host spans in the trace.
+    fn tick_metrics(&mut self) {
+        let Some(reg) = self.registry.as_ref() else {
+            return;
+        };
+        // Sampled gauges are only observed at scrape instants. When this
+        // clock advance crosses no boundary, neither the refresh (a
+        // handful of formats and map lookups per device) nor the tick
+        // would be visible, so the whole thing reduces to one comparison
+        // — keeping metering off the per-event hot path.
+        if !reg.boundary_due(self.clock) {
+            return;
+        }
+        self.refresh_gauges();
+        let clock = self.clock;
+        let alerts = self.registry.as_mut().expect("checked above").tick(clock);
+        for a in alerts {
+            self.push_alert_span(a);
+        }
+    }
+
+    /// Refresh the sampled gauges from live scheduler state. Must run
+    /// right before any scrape — boundary ticks and the final flush —
+    /// so the sampled values reflect the state at the scrape instant.
+    fn refresh_gauges(&mut self) {
+        let Some(reg) = self.registry.as_mut() else {
+            return;
+        };
+        reg.gauge_set("serve_queue_jobs", self.admission.queued_jobs() as f64);
+        reg.gauge_set("serve_queue_bytes", self.admission.queued_bytes() as f64);
+        let clock = self.clock;
+        for (d, h) in self.horizons.iter().enumerate() {
+            reg.gauge_set(
+                &device_metric("serve_inflight_jobs", d),
+                self.in_flight_jobs[d] as f64,
+            );
+            let busy_frac = if clock.is_zero() {
+                0.0
+            } else {
+                h.busy_before(clock).0 as f64 / clock.0 as f64
+            };
+            reg.gauge_set(&device_metric("serve_device_busy_fraction", d), busy_frac);
+        }
+    }
+
+    /// Mark an SLO burn-rate breach in the trace: a zero-length host
+    /// span at the scrape instant that detected it. The label matches
+    /// neither the `job[` nor the `reject[` pattern, so job-span
+    /// statistics are unaffected.
+    fn push_alert_span(&mut self, alert: hpdr_metrics::SloAlert) {
+        let op = ALERT_OP_BASE + self.alert_seq;
+        self.alert_seq += 1;
+        self.spans.push(SpanRecord {
+            op,
+            label: format!("slo-breach[t{} burn={:.2}]", alert.tenant, alert.burn),
+            engine: Engine::Host,
+            queue: None,
+            deps: vec![],
+            kind: OpKind::Fixed,
+            class: None,
+            start: alert.at,
+            end: alert.at,
+            bytes: 0,
+            footprint_bytes: 0,
+            ready: alert.at,
+            wall: Ns::ZERO,
+        });
     }
 
     fn ingest(&mut self, source: &mut dyn JobSource) {
@@ -525,13 +723,31 @@ impl Scheduler {
             &self.cfg.pipeline,
         );
         let (per_job, makespan): (Vec<Result<(), String>>, Ns) = match launch {
-            Ok((results, report)) => (
-                results
-                    .into_iter()
-                    .map(|r| r.map(|_| ()).map_err(|e| e.to_string()))
-                    .collect(),
-                report.makespan,
-            ),
+            Ok((results, report)) => {
+                if let Some(reg) = self.registry.as_mut() {
+                    let ids = &mut self.ids;
+                    let dev = *ids.devices[d].get_or_insert_with(|| DeviceMeterIds::new(reg, d));
+                    reg.counter_add_id(dev.batches, 1);
+                    reg.counter_add_id(dev.chunks, report.num_chunks as u64);
+                    reg.gauge_set_id(dev.goodput, report.goodput_gbps());
+                    let bj = *ids
+                        .batch_jobs
+                        .get_or_insert_with(|| reg.hist_handle("serve_batch_jobs"));
+                    reg.hist_record_id(bj, live.len() as u64);
+                    let bb = *ids
+                        .batch_bytes
+                        .get_or_insert_with(|| reg.hist_handle("serve_batch_bytes"));
+                    reg.hist_record_id(bb, live.iter().map(|q| q.bytes).sum::<u64>());
+                    record_batch_trace(reg, &report.trace, DeviceId(d), &mut ids.batch_trace[d]);
+                }
+                (
+                    results
+                        .into_iter()
+                        .map(|r| r.map(|_| ()).map_err(|e| e.to_string()))
+                        .collect(),
+                    report.makespan,
+                )
+            }
             Err(e) => (vec![Err(e.to_string()); live.len()], Ns::ZERO),
         };
         drop(attached); // contexts release (idle in the CMM again)
@@ -621,6 +837,30 @@ impl Scheduler {
             t.completed += 1;
             t.bytes += bytes;
         }
+        if let Some(reg) = self.registry.as_mut() {
+            let ids = &mut self.ids;
+            let completed = outcome == JobOutcome::Completed;
+            if completed {
+                let tenant = req.tenant.0;
+                let t = *ids
+                    .tenants
+                    .entry(tenant)
+                    .or_insert_with(|| TenantIds::new(reg, tenant));
+                reg.counter_add_id(t.goodput, bytes);
+                if let Some(dl) = req.deadline {
+                    let m = *ids
+                        .margin
+                        .get_or_insert_with(|| reg.hist_handle("serve_deadline_margin_ns"));
+                    reg.hist_record_id(m, dl.saturating_sub(finished).0);
+                }
+            }
+            // Good = completed within the SLO latency target.
+            if let Some(slo) = reg.config().slo {
+                let latency = finished.saturating_sub(req.arrival);
+                let good = completed && latency <= slo.latency_target;
+                reg.slo_record(req.tenant.0, finished, good);
+            }
+        }
         // Update the job's span in place: start = dispatch (or terminal
         // instant if never launched), end = terminal instant.
         if let Some(span) = self
@@ -657,7 +897,7 @@ impl Scheduler {
         });
     }
 
-    fn finish(mut self, pool_jobs: u64) -> ServeOutcome {
+    fn finish(mut self, pool_delta: PoolStats) -> ServeOutcome {
         debug_assert!(self.pending.is_empty());
         debug_assert_eq!(self.admission.queued_jobs(), 0);
         self.records.sort_by_key(|r| r.id.0);
@@ -667,6 +907,23 @@ impl Scheduler {
             .map(|r| r.finished)
             .max()
             .unwrap_or(Ns::ZERO);
+        // Final scrape at the makespan so the series cover the full run,
+        // then fold in the (volatile) worker-pool counters. `flush`
+        // ticks any remaining boundaries itself; the gauges just need
+        // one last refresh so the off-boundary sample sees live state.
+        self.clock = self.clock.max(makespan);
+        self.refresh_gauges();
+        let alerts = match self.registry.as_mut() {
+            Some(reg) => {
+                let alerts = reg.flush(makespan);
+                record_pool_stats(reg, pool_delta, WorkerPool::global().workers());
+                alerts
+            }
+            None => Vec::new(),
+        };
+        for a in alerts {
+            self.push_alert_span(a);
+        }
         let mut devices = BTreeMap::new();
         for (d, h) in self.horizons.iter().enumerate() {
             let (batches, jobs) = self.device_jobs[d];
@@ -705,9 +962,20 @@ impl Scheduler {
             cmm_contexts: contexts,
             cmm_idle: idle,
             in_flight_end: self.in_flight_jobs.iter().sum(),
-            pool_jobs,
+            pool_jobs: pool_delta.jobs,
+            metrics: self.registry,
         }
     }
+}
+
+/// `family{tenant="N"}` instrument name.
+fn tenant_metric(family: &str, tenant: u32) -> String {
+    format!("{family}{{tenant=\"{tenant}\"}}")
+}
+
+/// `family{device="N"}` instrument name.
+fn device_metric(family: &str, device: usize) -> String {
+    format!("{family}{{device=\"{device}\"}}")
 }
 
 /// Build the span for a job at submission time (updated in place when

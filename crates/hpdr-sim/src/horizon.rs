@@ -20,6 +20,9 @@ pub struct BusyHorizon {
     busy: Ns,
     /// Number of launches scheduled.
     launches: u64,
+    /// Duration of the most recent launch (the one ending at
+    /// `busy_until`), so busy time can be split around an instant.
+    last: Ns,
 }
 
 impl BusyHorizon {
@@ -36,7 +39,25 @@ impl BusyHorizon {
         self.busy_until = end;
         self.busy += duration;
         self.launches += 1;
+        self.last = duration;
         (start, end)
+    }
+
+    /// Busy time accumulated strictly before instant `t`, for sampling
+    /// utilization mid-run. Only the most recent launch can straddle
+    /// `t`, so this is exact whenever `t` is not earlier than that
+    /// launch's start — always the case for the serve scheduler, which
+    /// samples at the current virtual time and never dispatches a
+    /// launch to start in the future. For older `t` the earlier
+    /// launches are not reconstructed and the result over-counts.
+    pub fn busy_before(self, t: Ns) -> Ns {
+        if self.busy_until <= t {
+            return self.busy;
+        }
+        // The launch in progress at `t` is the last one scheduled;
+        // subtract the part of it that lies at or after `t`.
+        self.busy
+            .saturating_sub((self.busy_until - t).min(self.last))
     }
 
     /// When the device next becomes free.
@@ -94,6 +115,22 @@ mod tests {
         h.schedule(Ns::ZERO, Ns(250));
         assert!((h.utilization(Ns(1000)) - 0.25).abs() < 1e-12);
         assert_eq!(BusyHorizon::new().utilization(Ns::ZERO), 0.0);
+    }
+
+    #[test]
+    fn busy_before_splits_the_running_launch() {
+        // Sampled the way the serve scheduler does: `t` never runs
+        // behind the start of the most recent launch.
+        let mut h = BusyHorizon::new();
+        assert_eq!(h.busy_before(Ns(0)), Ns::ZERO);
+        h.schedule(Ns(0), Ns(100)); // busy [0, 100)
+        assert_eq!(h.busy_before(Ns(60)), Ns(60), "mid first launch");
+        assert_eq!(h.busy_before(Ns(150)), Ns(100), "idle gap");
+        h.schedule(Ns(200), Ns(50)); // busy [200, 250)
+        assert_eq!(h.busy_before(Ns(200)), Ns(100), "second launch starts");
+        assert_eq!(h.busy_before(Ns(225)), Ns(125), "mid second launch");
+        assert_eq!(h.busy_before(Ns(250)), Ns(150));
+        assert_eq!(h.busy_before(Ns(9_999)), Ns(150), "past the horizon");
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub mod report;
 pub use chrome::{to_chrome_trace, validate_chrome_trace, ChromeTraceSummary};
 pub use critical::{critical_path, CriticalPath};
 pub use metrics::{
-    alloc_contention, engine_stats, job_span_stats, latency_histograms, memory_fraction,
-    overlap_ratio, EngineStats, JobSpanStats, LatencyHistogram,
+    alloc_contention, batch_digest, batch_digest_with, category_of, engine_name, engine_stats,
+    job_span_stats, latency_histograms, memory_fraction, overlap_ratio, BatchDigest, DigestScratch,
+    EngineStats, JobSpanStats, LatencyHistogram,
 };
 pub use report::Profile;

@@ -29,20 +29,30 @@ pub fn category_of(e: Engine) -> Category {
     }
 }
 
-/// Merge possibly-overlapping intervals into a disjoint sorted list.
-fn merge(mut iv: Vec<(Ns, Ns)>) -> Vec<(Ns, Ns)> {
-    iv.sort();
-    let mut out: Vec<(Ns, Ns)> = Vec::with_capacity(iv.len());
-    for (s, e) in iv {
+/// Merge possibly-overlapping intervals into a disjoint sorted list,
+/// in place (no allocation beyond the input's own buffer).
+fn merge_in_place(iv: &mut Vec<(Ns, Ns)>) {
+    iv.sort_unstable();
+    let mut w = 0;
+    for i in 0..iv.len() {
+        let (s, e) = iv[i];
         if s >= e {
             continue;
         }
-        match out.last_mut() {
-            Some(last) if s <= last.1 => last.1 = last.1.max(e),
-            _ => out.push((s, e)),
+        if w > 0 && s <= iv[w - 1].1 {
+            iv[w - 1].1 = iv[w - 1].1.max(e);
+        } else {
+            iv[w] = (s, e);
+            w += 1;
         }
     }
-    out
+    iv.truncate(w);
+}
+
+/// Merge possibly-overlapping intervals into a disjoint sorted list.
+fn merge(mut iv: Vec<(Ns, Ns)>) -> Vec<(Ns, Ns)> {
+    merge_in_place(&mut iv);
+    iv
 }
 
 fn total(iv: &[(Ns, Ns)]) -> Ns {
@@ -148,6 +158,110 @@ pub fn overlap_ratio(trace: &Trace, dev: DeviceId) -> Option<f64> {
     let other_for_d2h = merge([compute, h2d.clone()].concat());
     let overlapped = intersection(&h2d, &other_for_h2d) + intersection(&d2h, &other_for_d2h);
     Some(overlapped.0 as f64 / dma_total.0 as f64)
+}
+
+/// One-pass digest of a batch trace for live metering: per-category
+/// busy time, the §V-C overlap ratio for one device, and allocator
+/// contention. Identical numbers to [`engine_stats`] +
+/// [`overlap_ratio`] + [`alloc_contention`], but a single walk over
+/// the spans instead of a dozen — this runs once per batch launch on
+/// the serving hot path, where the separate passes showed up as
+/// measurable metering overhead.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchDigest {
+    /// Busy ns per Fig. 1 category, indexed by
+    /// [`BatchDigest::CATEGORIES`] order.
+    pub busy: [Ns; 5],
+    /// Overlap ratio for the requested device (`None` if it did no DMA).
+    pub overlap: Option<f64>,
+    /// Total alloc/free queueing behind the runtime lock.
+    pub contention: Ns,
+}
+
+impl BatchDigest {
+    /// Index order of the `busy` array.
+    pub const CATEGORIES: [Category; 5] = [
+        Category::H2D,
+        Category::D2H,
+        Category::Compute,
+        Category::MemMgmt,
+        Category::Host,
+    ];
+
+    /// Categories that actually ran, with their busy time.
+    pub fn busy_by_category(&self) -> impl Iterator<Item = (Category, Ns)> + '_ {
+        Self::CATEGORIES
+            .iter()
+            .zip(self.busy)
+            .filter(|(_, b)| !b.is_zero())
+            .map(|(c, b)| (*c, b))
+    }
+}
+
+/// Reusable buffers for [`batch_digest_with`]: interval lists stay
+/// allocated across batches, so the steady-state digest does no heap
+/// work — it runs once per launch on the serving hot path.
+#[derive(Debug, Clone, Default)]
+pub struct DigestScratch {
+    h2d: Vec<(Ns, Ns)>,
+    d2h: Vec<(Ns, Ns)>,
+    compute: Vec<(Ns, Ns)>,
+    other: Vec<(Ns, Ns)>,
+}
+
+/// Compute a [`BatchDigest`] in one pass over the trace.
+pub fn batch_digest(trace: &Trace, dev: DeviceId) -> BatchDigest {
+    batch_digest_with(trace, dev, &mut DigestScratch::default())
+}
+
+/// [`batch_digest`] with caller-owned scratch buffers (keep one
+/// [`DigestScratch`] per device and the per-batch digest is
+/// allocation-free after warm-up).
+pub fn batch_digest_with(trace: &Trace, dev: DeviceId, s: &mut DigestScratch) -> BatchDigest {
+    s.h2d.clear();
+    s.d2h.clear();
+    s.compute.clear();
+    let mut busy = [Ns::ZERO; 5];
+    let mut contention = Ns::ZERO;
+    for sp in trace.spans() {
+        let cat = category_of(sp.engine);
+        let slot = BatchDigest::CATEGORIES
+            .iter()
+            .position(|c| *c == cat)
+            .expect("mapped");
+        busy[slot] += sp.duration();
+        match sp.engine {
+            Engine::H2D(d) if d == dev => s.h2d.push((sp.start, sp.end)),
+            Engine::D2H(d) if d == dev => s.d2h.push((sp.start, sp.end)),
+            Engine::Compute(d) if d == dev => s.compute.push((sp.start, sp.end)),
+            Engine::Runtime(_) => contention += sp.wait(),
+            _ => {}
+        }
+    }
+    merge_in_place(&mut s.h2d);
+    merge_in_place(&mut s.d2h);
+    merge_in_place(&mut s.compute);
+    let dma_total = total(&s.h2d) + total(&s.d2h);
+    let overlap = if dma_total.is_zero() {
+        None
+    } else {
+        s.other.clear();
+        s.other.extend_from_slice(&s.compute);
+        s.other.extend_from_slice(&s.d2h);
+        merge_in_place(&mut s.other);
+        let mut overlapped = intersection(&s.h2d, &s.other);
+        s.other.clear();
+        s.other.extend_from_slice(&s.compute);
+        s.other.extend_from_slice(&s.h2d);
+        merge_in_place(&mut s.other);
+        overlapped += intersection(&s.d2h, &s.other);
+        Some(overlapped.0 as f64 / dma_total.0 as f64)
+    };
+    BatchDigest {
+        busy,
+        overlap,
+        contention,
+    }
 }
 
 /// Fraction of total busy time spent on memory operations (H2D + D2H +
@@ -273,6 +387,10 @@ pub struct JobSpanStats {
     pub waits: Vec<u64>,
     /// Rejected submissions (spans labelled `reject[...]`).
     pub rejected: u64,
+    /// Admitted-job spans that never reached a terminal state (label
+    /// still `job[?] ...`). Must be 0 for any completed serve run —
+    /// every Begin span gets its matching End in place.
+    pub open: u64,
 }
 
 /// Scan a trace for per-job serving spans. Non-job spans (kernel,
@@ -283,6 +401,8 @@ pub fn job_span_stats(trace: &Trace) -> JobSpanStats {
     for span in trace.spans() {
         if span.label.starts_with("reject[") {
             stats.rejected += 1;
+        } else if span.label.starts_with("job[?]") {
+            stats.open += 1;
         } else if span.label.ends_with(" completed") {
             stats.latencies.push(span.end.saturating_sub(span.ready).0);
             stats.waits.push(span.wait().0);

@@ -78,6 +78,22 @@ pub enum Command {
         opts: hpdr_serve::LoadgenOptions,
         json: bool,
         out: Option<String>,
+        /// Also write the Prometheus-style exposition text here
+        /// (implies --metrics).
+        expo: Option<String>,
+    },
+    /// Live metrics view: run a seeded loadgen workload with the
+    /// registry installed and print the latest-scrape instrument table.
+    Top {
+        opts: hpdr_serve::LoadgenOptions,
+        /// Ring-series points shown per instrument.
+        tail: usize,
+    },
+    /// Per-tenant SLO attainment and burn-rate timeline, from a saved
+    /// loadgen/serve report (--report) or a fresh quick run.
+    Slo {
+        opts: hpdr_serve::LoadgenOptions,
+        report: Option<String>,
     },
     Help,
 }
@@ -101,6 +117,9 @@ USAGE:
   hpdr loadgen    [--rps <r>] [--duration <s>] [--tenants <t>]
                   [--open|--closed] [--seed <n>] [--devices <n>]
                   [--quick] [--json] [--out <file>]
+                  [--metrics] [--expo <file>]
+  hpdr top        [loadgen flags] [--tail <n>]
+  hpdr slo        [--report <file>] | [loadgen flags]
 
 Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
 --rate applies to zfp (fixed-rate bits per value).
@@ -150,7 +169,25 @@ open loop, or --closed for one outstanding request per tenant) against
 the serving layer and writes a validated latency report (schema
 hpdr-loadgen/v1, default LOADGEN.json): p50/p95/p99 latency, goodput
 GB/s, rejection rate, plus a continuous-batching-vs-serial scheduler
-microbench. --quick is a seconds-fast CI smoke preset.";
+microbench. --quick is a seconds-fast CI smoke preset. --metrics
+installs the virtual-time metrics registry (schema hpdr-metrics/v1,
+embedded in the report JSON); --expo additionally writes the
+Prometheus-style text exposition to a file (implies --metrics). Both
+views are deterministic: identical flags and seed produce byte-identical
+series and exposition.
+
+`hpdr top` runs the same seeded loadgen workload with the registry
+installed and prints the latest-scrape instrument table (counters,
+gauges, histogram quantiles) plus the tail of each ring-buffer time
+series — a deterministic, virtual-time `top(1)` over the serving stack.
+Volatile instruments (host-thread pool occupancy) are marked `~` and
+excluded from series and exposition.
+
+`hpdr slo` reports per-tenant SLO attainment (latency target, error
+budget, burn rate) and the burn-rate alert timeline. With --report it
+reads a saved hpdr-loadgen/hpdr-serve/hpdr-metrics JSON document;
+otherwise it runs a quick metered loadgen. Exits non-zero if any tenant
+fired a burn-rate alert.";
 
 /// Parse `AxBxC` into a shape.
 pub fn parse_shape(s: &str) -> Result<Shape> {
@@ -215,6 +252,42 @@ fn parse_codec(args: &[String]) -> Result<Codec> {
         "lz4" => Ok(Codec::Lz4),
         other => Err(HpdrError::invalid(format!("unknown codec '{other}'"))),
     }
+}
+
+/// Parse the loadgen workload flags shared by `loadgen`, `top` and
+/// `slo`: a `--quick` (or default) preset overridden flag by flag.
+fn parse_loadgen_opts(args: &[String]) -> Result<hpdr_serve::LoadgenOptions> {
+    let base = if args.iter().any(|a| a == "--quick") {
+        hpdr_serve::LoadgenOptions::quick()
+    } else {
+        hpdr_serve::LoadgenOptions::default()
+    };
+    let num = |flag: &str, default: f64| -> Result<f64> {
+        get_flag(args, flag)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| HpdrError::invalid(format!("bad {flag}")))
+            })
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let opts = hpdr_serve::LoadgenOptions {
+        rps: num("--rps", base.rps)?,
+        duration_s: num("--duration", base.duration_s)?,
+        tenants: num("--tenants", base.tenants as f64)? as u32,
+        devices: (num("--devices", base.devices as f64)? as usize).max(1),
+        seed: num("--seed", base.seed as f64)? as u64,
+        closed: if args.iter().any(|a| a == "--open") {
+            false
+        } else {
+            args.iter().any(|a| a == "--closed") || base.closed
+        },
+        metrics: args.iter().any(|a| a == "--metrics") || base.metrics,
+    };
+    if opts.rps <= 0.0 || opts.duration_s <= 0.0 {
+        return Err(HpdrError::invalid("--rps and --duration must be positive"));
+    }
+    Ok(opts)
 }
 
 /// Parse an argument vector (without the program name).
@@ -294,39 +367,37 @@ pub fn parse(args: &[String]) -> Result<Command> {
             out: get_flag(args, "--out").map(str::to_string),
         }),
         Some("loadgen") => {
-            let base = if args.iter().any(|a| a == "--quick") {
-                hpdr_serve::LoadgenOptions::quick()
-            } else {
-                hpdr_serve::LoadgenOptions::default()
-            };
-            let num = |flag: &str, default: f64| -> Result<f64> {
-                get_flag(args, flag)
-                    .map(|v| {
-                        v.parse::<f64>()
-                            .map_err(|_| HpdrError::invalid(format!("bad {flag}")))
-                    })
-                    .transpose()
-                    .map(|v| v.unwrap_or(default))
-            };
-            let opts = hpdr_serve::LoadgenOptions {
-                rps: num("--rps", base.rps)?,
-                duration_s: num("--duration", base.duration_s)?,
-                tenants: num("--tenants", base.tenants as f64)? as u32,
-                devices: (num("--devices", base.devices as f64)? as usize).max(1),
-                seed: num("--seed", base.seed as f64)? as u64,
-                closed: if args.iter().any(|a| a == "--open") {
-                    false
-                } else {
-                    args.iter().any(|a| a == "--closed") || base.closed
-                },
-            };
-            if opts.rps <= 0.0 || opts.duration_s <= 0.0 {
-                return Err(HpdrError::invalid("--rps and --duration must be positive"));
-            }
+            let expo = get_flag(args, "--expo").map(str::to_string);
+            let mut opts = parse_loadgen_opts(args)?;
+            opts.metrics |= expo.is_some();
             Ok(Command::Loadgen {
                 opts,
                 json: args.iter().any(|a| a == "--json"),
                 out: get_flag(args, "--out").map(str::to_string),
+                expo,
+            })
+        }
+        Some("top") => {
+            let mut opts = parse_loadgen_opts(args)?;
+            opts.metrics = true;
+            Ok(Command::Top {
+                opts,
+                tail: get_flag(args, "--tail")
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .map_err(|_| HpdrError::invalid("bad --tail"))
+                    })
+                    .transpose()?
+                    .unwrap_or(5)
+                    .max(1),
+            })
+        }
+        Some("slo") => {
+            let mut opts = parse_loadgen_opts(args)?;
+            opts.metrics = true;
+            Ok(Command::Slo {
+                opts,
+                report: get_flag(args, "--report").map(str::to_string),
             })
         }
         Some("help" | "--help" | "-h") | None => Ok(Command::Help),
@@ -353,7 +424,14 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
             json,
             out,
         } => serve_command(devices, policy, jobs.as_deref(), json, out.as_deref()),
-        Command::Loadgen { opts, json, out } => loadgen_command(opts, json, out.as_deref()),
+        Command::Loadgen {
+            opts,
+            json,
+            out,
+            expo,
+        } => loadgen_command(opts, json, out.as_deref(), expo.as_deref()),
+        Command::Top { opts, tail } => top_command(opts, tail),
+        Command::Slo { opts, report } => slo_command(opts, report.as_deref()),
         Command::Compress {
             codec,
             shape,
@@ -470,6 +548,7 @@ fn loadgen_command(
     opts: hpdr_serve::LoadgenOptions,
     json: bool,
     out: Option<&str>,
+    expo: Option<&str>,
 ) -> Result<Vec<String>> {
     let report = hpdr_serve::run_loadgen(opts).map_err(HpdrError::from)?;
     let doc = report.to_json();
@@ -481,6 +560,57 @@ fn loadgen_command(
     std::fs::write(&path, doc.as_bytes())?;
     let mut lines = if json { vec![doc] } else { report.render() };
     lines.push(format!("wrote {path}"));
+    if let Some(expo_path) = expo {
+        let reg = report.serve.metrics.as_ref().ok_or_else(|| {
+            HpdrError::invalid("--expo requires the metrics registry (use --metrics)")
+        })?;
+        std::fs::write(expo_path, reg.exposition().as_bytes())?;
+        lines.push(format!("wrote {expo_path}"));
+    }
+    Ok(lines)
+}
+
+/// `hpdr top`: run a seeded metered loadgen and print the registry's
+/// latest-scrape instrument table — a virtual-time `top(1)` snapshot.
+fn top_command(opts: hpdr_serve::LoadgenOptions, tail: usize) -> Result<Vec<String>> {
+    let report = hpdr_serve::run_loadgen(opts).map_err(HpdrError::from)?;
+    let reg = report
+        .serve
+        .metrics
+        .as_ref()
+        .ok_or_else(|| HpdrError::invalid("loadgen run produced no metrics registry"))?;
+    let mut lines = vec![format!(
+        "top: seed {} — {:.0} rps x {:.2}s, {} tenants, {} devices ({} scrapes every {})",
+        report.opts.seed,
+        report.opts.rps,
+        report.opts.duration_s,
+        report.opts.tenants,
+        report.opts.devices,
+        reg.scrape_count(),
+        reg.config().scrape_interval,
+    )];
+    lines.extend(reg.render_table(tail));
+    Ok(lines)
+}
+
+/// `hpdr slo`: per-tenant SLO attainment and burn-rate alerts, either
+/// from a saved JSON report (`--report`) or from a fresh metered run.
+/// Exits non-zero when any burn-rate alert fired.
+fn slo_command(opts: hpdr_serve::LoadgenOptions, report: Option<&str>) -> Result<Vec<String>> {
+    let doc = match report {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => {
+            let report = hpdr_serve::run_loadgen(opts).map_err(HpdrError::from)?;
+            report.to_json()
+        }
+    };
+    let (lines, alerts) = crate::slo::render_slo_report(&doc).map_err(HpdrError::invalid)?;
+    if alerts > 0 {
+        return Err(HpdrError::invalid(format!(
+            "{alerts} burn-rate alert(s) fired:\n{}",
+            lines.join("\n")
+        )));
+    }
     Ok(lines)
 }
 
@@ -932,11 +1062,18 @@ mod tests {
         }
 
         match parse(&argv("loadgen --quick --seed 11 --closed")).unwrap() {
-            Command::Loadgen { opts, json, out } => {
+            Command::Loadgen {
+                opts,
+                json,
+                out,
+                expo,
+            } => {
                 assert_eq!(opts.seed, 11);
                 assert!(opts.closed);
+                assert!(!opts.metrics);
                 assert!(!json);
                 assert_eq!(out, None);
+                assert_eq!(expo, None);
                 // --quick preset survives the overrides it doesn't name.
                 assert_eq!(
                     opts,
@@ -951,6 +1088,81 @@ mod tests {
         }
         assert!(parse(&argv("loadgen --rps 0")).is_err());
         assert!(parse(&argv("loadgen --duration -1")).is_err());
+    }
+
+    #[test]
+    fn parse_metrics_top_and_slo_commands() {
+        // --expo implies --metrics on loadgen.
+        match parse(&argv("loadgen --quick --expo m.prom")).unwrap() {
+            Command::Loadgen { opts, expo, .. } => {
+                assert!(opts.metrics);
+                assert_eq!(expo.as_deref(), Some("m.prom"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("loadgen --quick --metrics")).unwrap() {
+            Command::Loadgen { opts, expo, .. } => {
+                assert!(opts.metrics);
+                assert_eq!(expo, None);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // top forces metrics on and shares the loadgen workload flags.
+        match parse(&argv("top --quick --seed 3 --tail 12")).unwrap() {
+            Command::Top { opts, tail } => {
+                assert!(opts.metrics);
+                assert_eq!(opts.seed, 3);
+                assert_eq!(tail, 12);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("top")).unwrap() {
+            Command::Top { tail, .. } => assert_eq!(tail, 5),
+            other => panic!("{other:?}"),
+        }
+
+        match parse(&argv("slo --report LOADGEN.json")).unwrap() {
+            Command::Slo { report, .. } => assert_eq!(report.as_deref(), Some("LOADGEN.json")),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("slo --quick")).unwrap() {
+            Command::Slo { opts, report } => {
+                assert!(opts.metrics);
+                assert_eq!(report, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("top --rps 0")).is_err());
+    }
+
+    #[test]
+    fn top_and_slo_run_a_quick_metered_workload() {
+        let quick = hpdr_serve::LoadgenOptions {
+            metrics: true,
+            ..hpdr_serve::LoadgenOptions::quick()
+        };
+        let lines = run(Command::Top {
+            opts: quick,
+            tail: 4,
+        })
+        .unwrap();
+        let text = lines.join("\n");
+        assert!(text.contains("serve_queue_jobs"), "{text}");
+        assert!(text.contains("slo_burn_rate"), "{text}");
+        // Volatile pool gauges appear in the table but are marked.
+        assert!(text.contains("~pool_workers"), "{text}");
+
+        // The quick workload meets its SLO, so `hpdr slo` succeeds and
+        // reports per-tenant attainment.
+        let lines = run(Command::Slo {
+            opts: quick,
+            report: None,
+        })
+        .unwrap();
+        let text = lines.join("\n");
+        assert!(text.contains("latency target"), "{text}");
+        assert!(text.contains("tenant"), "{text}");
     }
 
     #[test]

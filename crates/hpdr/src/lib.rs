@@ -74,3 +74,4 @@ pub use hpdr_zfp::{ZfpConfig, ZfpMode};
 
 pub mod bench;
 pub mod cli;
+pub mod slo;

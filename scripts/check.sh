@@ -39,4 +39,27 @@ cargo run --release -p hpdr --bin hpdr -- loadgen --quick --json \
 test -s target/LOADGEN_ci.json
 grep -q '"schema": "hpdr-loadgen/v1"' target/LOADGEN_ci.json
 
+echo "==> hpdr loadgen --metrics (scrape determinism: two runs, byte-identical)"
+cargo run --release -p hpdr --bin hpdr -- loadgen --quick --seed 7 --metrics \
+  --out target/LOADGEN_m1.json --expo target/METRICS_1.prom > /dev/null
+cargo run --release -p hpdr --bin hpdr -- loadgen --quick --seed 7 --metrics \
+  --out target/LOADGEN_m2.json --expo target/METRICS_2.prom > /dev/null
+cmp target/LOADGEN_m1.json target/LOADGEN_m2.json
+cmp target/METRICS_1.prom target/METRICS_2.prom
+grep -q '"schema": "hpdr-metrics/v1"' target/LOADGEN_m1.json
+grep -q '# TYPE serve_queue_jobs gauge' target/METRICS_1.prom
+
+echo "==> hpdr slo --report (per-tenant SLO attainment from the metered run)"
+cargo run --release -p hpdr --bin hpdr -- slo --report target/LOADGEN_m1.json \
+  | grep -q "latency target"
+
+echo "==> hpdr bench --compare (paired metering overhead within 2%)"
+# Row threshold is deliberately loose: cross-run quick-bench wall-clock
+# noise reaches ~30% on a loaded machine, so per-codec throughput rows
+# only catch order-of-magnitude regressions here. The real contract is
+# the *paired* serve-metering gate built into compare (2% ceiling),
+# which is measured within one process and is immune to that noise.
+cargo run --release -p hpdr --bin hpdr -- bench --compare \
+  BENCH_baseline.json target/BENCH_ci.json --threshold 0.5
+
 echo "All checks passed."

@@ -229,6 +229,7 @@ fn acceptance_loadgen_loses_no_jobs_and_batching_wins() {
         devices: 2,
         seed: 7,
         closed: false,
+        metrics: false,
     };
     let report = run_loadgen(opts).expect("loadgen runs");
     let s = &report.serve;
@@ -262,6 +263,7 @@ fn closed_loop_loadgen_balances_too() {
         devices: 2,
         seed: 11,
         closed: true,
+        metrics: false,
     };
     let report = run_loadgen(opts).expect("closed-loop loadgen runs");
     let s = &report.serve;
