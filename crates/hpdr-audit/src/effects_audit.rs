@@ -1,0 +1,274 @@
+//! Observed-vs-declared effect diffing.
+//!
+//! [`hpdr_sim::Sim::set_audit`] runs every payload under the memory
+//! pool's shadow-access recorder, producing one [`OpAudit`] per op with
+//! the buffer accesses the payload *really* made. This module diffs
+//! that observation against the op's declared [`Effects`]:
+//!
+//! * **Under-declaration is unsound** (severity `error`): the payload
+//!   touched a buffer its declaration does not cover, so the static
+//!   hazard analysis ordered the schedule around a lie — a data race or
+//!   use-after-free can hide behind the missing declaration.
+//! * **Over-declaration is imprecise** (severity `warning`): the
+//!   declaration names a buffer the payload never touched. Nothing is
+//!   hidden, but the analyzer manufactures false ordering constraints
+//!   from it and the two-buffer lint may reject valid schedules.
+//!
+//! `allocs` declarations are exempt from diffing: buffer creation
+//! happens at plan time, outside payload execution, so the recorder
+//! can never observe it.
+
+use hpdr_sim::verify::Dag;
+use hpdr_sim::{BufId, Effects, OpAudit};
+
+/// What kind of declaration drift a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectIssue {
+    /// Payload read a buffer not covered by declared reads∪writes.
+    UndeclaredRead,
+    /// Payload wrote (or resized) a buffer not in declared writes.
+    UndeclaredWrite,
+    /// Payload freed a buffer not in declared frees.
+    UndeclaredFree,
+    /// Declared read never observed (neither read nor written).
+    UnusedRead,
+    /// Declared write never observed as a write.
+    UnusedWrite,
+    /// Declared free never observed.
+    UnusedFree,
+}
+
+impl EffectIssue {
+    /// Stable machine-readable tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EffectIssue::UndeclaredRead => "undeclared-read",
+            EffectIssue::UndeclaredWrite => "undeclared-write",
+            EffectIssue::UndeclaredFree => "undeclared-free",
+            EffectIssue::UnusedRead => "unused-read",
+            EffectIssue::UnusedWrite => "unused-write",
+            EffectIssue::UnusedFree => "unused-free",
+        }
+    }
+
+    /// Under-declarations are unsound; over-declarations are imprecise.
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            EffectIssue::UndeclaredRead
+                | EffectIssue::UndeclaredWrite
+                | EffectIssue::UndeclaredFree
+        )
+    }
+
+    /// `"error"` or `"warning"`, for reports.
+    pub fn severity(&self) -> &'static str {
+        if self.is_error() {
+            "error"
+        } else {
+            "warning"
+        }
+    }
+}
+
+/// One declaration-drift finding on one (op, buffer) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectFinding {
+    /// Submission index of the op.
+    pub op: usize,
+    /// The op's label.
+    pub label: String,
+    /// The buffer whose declaration drifted.
+    pub buf: BufId,
+    pub issue: EffectIssue,
+}
+
+impl EffectFinding {
+    /// Human-readable diagnostic.
+    pub fn describe(&self) -> String {
+        let what = match self.issue {
+            EffectIssue::UndeclaredRead => "read buffer it does not declare",
+            EffectIssue::UndeclaredWrite => "wrote buffer it does not declare writing",
+            EffectIssue::UndeclaredFree => "freed buffer it does not declare freeing",
+            EffectIssue::UnusedRead => "declares reading a buffer it never touched",
+            EffectIssue::UnusedWrite => "declares writing a buffer it never wrote",
+            EffectIssue::UnusedFree => "declares freeing a buffer it never freed",
+        };
+        format!(
+            "[{}] op #{} '{}' {} (buffer {})",
+            self.issue.severity(),
+            self.op,
+            self.label,
+            what,
+            self.buf.index()
+        )
+    }
+}
+
+fn diff_one(op: usize, label: &str, declared: &Effects, observed: &Effects) -> Vec<EffectFinding> {
+    let mut out = Vec::new();
+    let mut push = |buf: BufId, issue: EffectIssue| {
+        out.push(EffectFinding {
+            op,
+            label: label.to_string(),
+            buf,
+            issue,
+        });
+    };
+    // Under-declaration: observed access the declaration does not cover.
+    for &b in &observed.reads {
+        if !declared.may_read(b) {
+            push(b, EffectIssue::UndeclaredRead);
+        }
+    }
+    for &b in &observed.writes {
+        if !declared.may_write(b) {
+            push(b, EffectIssue::UndeclaredWrite);
+        }
+    }
+    for &b in &observed.frees {
+        if !declared.may_free(b) {
+            push(b, EffectIssue::UndeclaredFree);
+        }
+    }
+    // Over-declaration: declared effect never exercised by the payload.
+    for &b in &declared.reads {
+        if !observed.reads.contains(&b) && !observed.writes.contains(&b) {
+            push(b, EffectIssue::UnusedRead);
+        }
+    }
+    for &b in &declared.writes {
+        if !observed.writes.contains(&b) {
+            push(b, EffectIssue::UnusedWrite);
+        }
+    }
+    for &b in &declared.frees {
+        if !observed.frees.contains(&b) {
+            push(b, EffectIssue::UnusedFree);
+        }
+    }
+    out
+}
+
+/// Diff every op's observed accesses against its declaration.
+///
+/// `dag` must be the DAG of the same submission the audits came from
+/// ([`hpdr_sim::Sim::dag`] captured before `run`), so indices align;
+/// ops without a payload are skipped — their declarations exist for
+/// the analyzer's benefit (e.g. a DMA op declaring the metadata read
+/// it models) and are not observable by the recorder.
+pub fn diff_effects(dag: &Dag, audits: &[OpAudit]) -> Vec<EffectFinding> {
+    assert_eq!(
+        dag.len(),
+        audits.len(),
+        "audit log does not align with the DAG: {} ops vs {} audit records",
+        dag.len(),
+        audits.len()
+    );
+    let mut findings = Vec::new();
+    for (i, (op, audit)) in dag.ops.iter().zip(audits).enumerate() {
+        if !audit.had_payload {
+            continue;
+        }
+        findings.extend(diff_one(i, &op.label, &op.effects, &audit.observed));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_sim::verify::{DagOp, OpKind};
+    use hpdr_sim::Engine;
+
+    fn buf(i: usize) -> BufId {
+        BufId::from_index(i)
+    }
+
+    fn dag_op(label: &str, effects: Effects) -> DagOp {
+        DagOp {
+            label: label.into(),
+            engine: Engine::Host,
+            queue: Some(0),
+            deps: vec![],
+            effects,
+            kind: OpKind::Fixed,
+        }
+    }
+
+    fn audit(observed: Effects) -> OpAudit {
+        OpAudit {
+            label: String::new(),
+            had_payload: true,
+            observed,
+        }
+    }
+
+    #[test]
+    fn matching_declaration_is_clean() {
+        let dag = Dag {
+            ops: vec![dag_op("copy", Effects::read(buf(0)).and_write(buf(1)))],
+        };
+        let audits = vec![audit(Effects::read(buf(0)).and_write(buf(1)))];
+        assert!(diff_effects(&dag, &audits).is_empty());
+    }
+
+    #[test]
+    fn declared_write_covers_observed_read() {
+        // may_read includes writes: reading a declared-write buffer is fine,
+        // but it does trigger the unused-write warning if never written.
+        let dag = Dag {
+            ops: vec![dag_op("peek", Effects::write(buf(0)))],
+        };
+        let audits = vec![audit(Effects::read(buf(0)))];
+        let f = diff_effects(&dag, &audits);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].issue, EffectIssue::UnusedWrite);
+        assert!(!f[0].issue.is_error());
+    }
+
+    #[test]
+    fn under_declarations_are_errors() {
+        let dag = Dag {
+            ops: vec![dag_op("stray", Effects::read(buf(0)))],
+        };
+        let observed = Effects {
+            reads: vec![buf(0), buf(1)],
+            writes: vec![buf(2)],
+            allocs: vec![],
+            frees: vec![buf(3)],
+        };
+        let audits = vec![audit(observed)];
+        let f = diff_effects(&dag, &audits);
+        let issues: Vec<_> = f.iter().map(|x| x.issue).collect();
+        assert!(issues.contains(&EffectIssue::UndeclaredRead));
+        assert!(issues.contains(&EffectIssue::UndeclaredWrite));
+        assert!(issues.contains(&EffectIssue::UndeclaredFree));
+        assert!(f.iter().all(|x| x.issue.is_error()));
+        assert!(f[0].describe().contains("error"));
+    }
+
+    #[test]
+    fn payloadless_ops_are_skipped() {
+        // A DMA op declaring a modeled metadata read has no payload: its
+        // declaration is intentionally unobservable, not over-declared.
+        let dag = Dag {
+            ops: vec![dag_op("h2d", Effects::read(buf(5)))],
+        };
+        let audits = vec![OpAudit {
+            label: "h2d".into(),
+            had_payload: false,
+            observed: Effects::none(),
+        }];
+        assert!(diff_effects(&dag, &audits).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not align")]
+    fn misaligned_audit_log_panics() {
+        let dag = Dag {
+            ops: vec![dag_op("a", Effects::none())],
+        };
+        diff_effects(&dag, &[]);
+    }
+}

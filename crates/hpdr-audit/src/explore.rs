@@ -1,0 +1,649 @@
+//! Bounded schedule-space exploration over the happens-before DAG.
+//!
+//! The virtual-time simulator executes *one* linearization (submission
+//! order), but the machine model admits every linear extension of the
+//! happens-before relation: any engine may stall arbitrarily between
+//! ops. A schedule is only correct if its invariants hold in **all** of
+//! them. The explorer enumerates admissible interleavings and checks,
+//! at every execution step:
+//!
+//! * **use-after-free** — no op touches a buffer some already-executed
+//!   op freed;
+//! * **double-free** — no buffer is freed twice;
+//! * **use-before-alloc** — no op touches a buffer whose runtime alloc
+//!   op has not executed yet;
+//! * **two-buffer-liveness** — with `two_buffers` declared, `H2D[k]`
+//!   may only execute after the drain (`S[k-2]` / `D2Hout[k-2]`) of the
+//!   buffer set it reuses;
+//! * **deser-first-order** — with `deser_first` declared, `D2Hout[k]`
+//!   may only execute after `Deser[k+1]` (when it exists): the header
+//!   read must not queue behind the previous chunk's full output copy.
+//!
+//! **Partial-order reduction.** The search walks the lattice of
+//! *downsets* (happens-before-closed executed sets) and memoizes on the
+//! executed set: every distinct (downset, next-op) edge is checked
+//! exactly once, which is sound because the freed/allocated replay
+//! state is a pure function of *which* ops executed, not of their
+//! order. All N! naive interleavings collapse onto the downset lattice
+//! — for pipeline DAGs that is polynomial in the chunk count. The same
+//! memo doubles as an exact linear-extension counter
+//! (`count(S) = Σ_ready count(S ∪ {o})`), so the report can state
+//! precisely how many schedules were certified.
+//!
+//! The search is bounded by [`ExploreOptions::max_states`]; when the
+//! bound trips, [`ExploreReport::exhaustive`] is `false` and the count
+//! is withheld — a bounded pass proves nothing about unvisited states
+//! and must say so.
+
+use std::collections::HashMap;
+
+use hpdr_sim::verify::{Dag, OpKind, Reachability};
+use hpdr_sim::BufId;
+use hpdr_verify::{Direction, LintConfig};
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Maximum number of distinct downsets to memoize before giving up
+    /// on exhaustiveness.
+    pub max_states: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_states: 250_000,
+        }
+    }
+}
+
+/// One invariant violation, with a witness schedule that reaches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable kind tag (`use-after-free`, `double-free`,
+    /// `use-before-alloc`, `two-buffer-liveness`, `deser-first-order`).
+    pub kind: &'static str,
+    /// The op whose execution violates the invariant.
+    pub op: usize,
+    /// Label of that op.
+    pub label: String,
+    /// The buffer involved, when the invariant is about a buffer.
+    pub buf: Option<BufId>,
+    /// An admissible execution prefix after which executing `op`
+    /// violates the invariant (op indices in execution order).
+    pub witness: Vec<usize>,
+}
+
+impl Violation {
+    /// Human-readable diagnostic.
+    pub fn describe(&self) -> String {
+        let buf = match self.buf {
+            Some(b) => format!(" (buffer {})", b.index()),
+            None => String::new(),
+        };
+        format!(
+            "{}: op #{} '{}'{} after admissible prefix {:?}",
+            self.kind, self.op, self.label, buf, self.witness
+        )
+    }
+}
+
+/// Result of one exploration.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Ops in the DAG.
+    pub ops: usize,
+    /// Distinct downsets visited (the exploration bound applies here).
+    pub states: usize,
+    /// Exact number of admissible linearizations, when the search ran
+    /// to exhaustion (`u128::MAX` means the count saturated).
+    pub schedules: Option<u128>,
+    /// Whether every admissible interleaving was covered.
+    pub exhaustive: bool,
+    /// Maximum simultaneously-live runtime-allocated buffers seen in
+    /// any explored state (0 when the DAG has no alloc ops, e.g. CMM).
+    pub max_live: usize,
+    /// Invariant violations, one witness per (kind, op, buffer).
+    pub violations: Vec<Violation>,
+}
+
+impl ExploreReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Parse `prefix[k]`-style op labels (e.g. `H2D[7]` with prefix `H2D`).
+fn chunk_index(label: &str, prefix: &str) -> Option<usize> {
+    let rest = label.strip_prefix(prefix)?;
+    rest.strip_prefix('[')?.strip_suffix(']')?.parse().ok()
+}
+
+/// Per-op access lists flattened from declared effects.
+#[derive(Clone, Copy, PartialEq)]
+enum Access {
+    Use,
+    Alloc,
+    Free,
+}
+
+struct Search<'a> {
+    dag: &'a Dag,
+    words: usize,
+    /// Predecessor bitsets, one row per op.
+    preds: Vec<Vec<u64>>,
+    /// Flattened effect accesses per op.
+    accesses: Vec<Vec<(BufId, Access)>>,
+    /// Alloc op of each runtime-allocated buffer.
+    alloc_op: HashMap<BufId, usize>,
+    /// Free ops per buffer.
+    free_ops: HashMap<BufId, Vec<usize>>,
+    /// Schedule-invariant prerequisites: executing op `i` requires these
+    /// ops to be in the executed set already.
+    requires: Vec<Vec<(usize, &'static str)>>,
+    /// downset -> linear extensions of its complement.
+    memo: HashMap<Vec<u64>, u128>,
+    max_states: usize,
+    bound_hit: bool,
+    path: Vec<usize>,
+    /// Dedup: one witness per (kind, op, buf).
+    seen: HashMap<(&'static str, usize, Option<usize>), ()>,
+    violations: Vec<Violation>,
+    max_live: usize,
+}
+
+impl Search<'_> {
+    fn in_set(state: &[u64], op: usize) -> bool {
+        (state[op / 64] >> (op % 64)) & 1 == 1
+    }
+
+    fn ready(&self, state: &[u64], op: usize) -> bool {
+        !Self::in_set(state, op) && self.preds[op].iter().zip(state).all(|(p, s)| p & !s == 0)
+    }
+
+    fn freed_in(&self, state: &[u64], buf: BufId) -> bool {
+        self.free_ops
+            .get(&buf)
+            .is_some_and(|ops| ops.iter().any(|&f| Self::in_set(state, f)))
+    }
+
+    fn violate(&mut self, kind: &'static str, op: usize, buf: Option<BufId>) {
+        let key = (kind, op, buf.map(|b| b.index()));
+        if self.seen.contains_key(&key) {
+            return;
+        }
+        self.seen.insert(key, ());
+        self.violations.push(Violation {
+            kind,
+            op,
+            label: self.dag.ops[op].label.clone(),
+            buf,
+            witness: self.path.clone(),
+        });
+    }
+
+    /// Check the step invariants for executing `op` on top of `state`.
+    fn check_step(&mut self, state: &[u64], op: usize) {
+        for idx in 0..self.accesses[op].len() {
+            let (b, access) = self.accesses[op][idx];
+            match access {
+                Access::Use => {
+                    if self.freed_in(state, b) {
+                        self.violate("use-after-free", op, Some(b));
+                    }
+                    if let Some(&a) = self.alloc_op.get(&b) {
+                        if a != op && !Self::in_set(state, a) {
+                            self.violate("use-before-alloc", op, Some(b));
+                        }
+                    }
+                }
+                Access::Free => {
+                    if self.freed_in(state, b) {
+                        self.violate("double-free", op, Some(b));
+                    }
+                }
+                Access::Alloc => {}
+            }
+        }
+        for idx in 0..self.requires[op].len() {
+            let (req, kind) = self.requires[op][idx];
+            if !Self::in_set(state, req) {
+                self.violate(kind, op, None);
+            }
+        }
+    }
+
+    /// Live runtime-allocated buffers in `state`.
+    fn live_in(&self, state: &[u64]) -> usize {
+        self.alloc_op
+            .iter()
+            .filter(|&(&b, &a)| Self::in_set(state, a) && !self.freed_in(state, b))
+            .count()
+    }
+
+    /// Count linear extensions of the complement of `state`, checking
+    /// step invariants along each (downset, next-op) edge exactly once.
+    /// `None` means the state bound tripped.
+    fn count(&mut self, state: &[u64], executed: usize) -> Option<u128> {
+        let n = self.dag.len();
+        if executed == n {
+            return Some(1);
+        }
+        if let Some(&c) = self.memo.get(state) {
+            return Some(c);
+        }
+        if self.memo.len() >= self.max_states {
+            self.bound_hit = true;
+            return None;
+        }
+        // Reserve the slot up front so the bound counts this state even
+        // if the recursion below aborts.
+        self.memo.insert(state.to_vec(), 0);
+        self.max_live = self.max_live.max(self.live_in(state));
+        let mut total: u128 = 0;
+        let mut aborted = false;
+        for op in 0..n {
+            if !self.ready(state, op) {
+                continue;
+            }
+            self.check_step(state, op);
+            let mut child = state.to_vec();
+            child[op / 64] |= 1u64 << (op % 64);
+            self.path.push(op);
+            match self.count(&child, executed + 1) {
+                Some(c) => total = total.saturating_add(c),
+                None => aborted = true,
+            }
+            self.path.pop();
+        }
+        if aborted {
+            return None;
+        }
+        self.memo.insert(state.to_vec(), total);
+        Some(total)
+    }
+}
+
+/// Build the schedule-invariant prerequisite table from the lint config.
+fn invariant_requirements(dag: &Dag, cfg: &LintConfig) -> Vec<Vec<(usize, &'static str)>> {
+    let mut requires = vec![Vec::new(); dag.len()];
+    if cfg.serial_queue {
+        // Fully serialized comparator mode: program order covers
+        // everything; the Fig. 9 invariants don't apply.
+        return requires;
+    }
+    // Per-device map from chunk number to op index for one label family.
+    let by_chunk = |prefix: &str| {
+        let mut map: HashMap<(Option<usize>, usize), usize> = HashMap::new();
+        for (i, op) in dag.ops.iter().enumerate() {
+            if let Some(k) = chunk_index(&op.label, prefix) {
+                map.insert((op.engine.device().map(|d| d.0), k), i);
+            }
+        }
+        map
+    };
+    if cfg.two_buffers {
+        let h2d = by_chunk("H2D");
+        let drain = by_chunk(match cfg.direction {
+            Direction::Compress => "S",
+            Direction::Decompress => "D2Hout",
+        });
+        for (&(dev, k), &i) in &h2d {
+            if k < 2 {
+                continue;
+            }
+            if let Some(&d) = drain.get(&(dev, k - 2)) {
+                requires[i].push((d, "two-buffer-liveness"));
+            }
+        }
+    }
+    if cfg.deser_first && cfg.direction == Direction::Decompress {
+        let deser = by_chunk("Deser");
+        let out = by_chunk("D2Hout");
+        for (&(dev, k), &i) in &out {
+            if let Some(&ds) = deser.get(&(dev, k + 1)) {
+                requires[i].push((ds, "deser-first-order"));
+            }
+        }
+    }
+    requires
+}
+
+/// Explore every admissible interleaving of `dag` (up to the state
+/// bound) and check the step invariants in each.
+///
+/// Fails with `Err` on structurally invalid DAGs (forward deps): the
+/// happens-before relation is undefined there, and [`hpdr_sim::verify::analyze`]
+/// already reports the structural hazard.
+pub fn explore(
+    dag: &Dag,
+    cfg: &LintConfig,
+    opts: &ExploreOptions,
+) -> Result<ExploreReport, String> {
+    let n = dag.len();
+    if n == 0 {
+        return Ok(ExploreReport {
+            ops: 0,
+            states: 0,
+            schedules: Some(1),
+            exhaustive: true,
+            max_live: 0,
+            violations: Vec::new(),
+        });
+    }
+    let reach = Reachability::compute(dag)
+        .ok_or_else(|| "structurally invalid DAG (forward dependency)".to_string())?;
+    let words = n.div_ceil(64);
+    let preds: Vec<Vec<u64>> = (0..n).map(|i| reach.preds(i).to_vec()).collect();
+
+    let mut accesses: Vec<Vec<(BufId, Access)>> = Vec::with_capacity(n);
+    let mut alloc_op: HashMap<BufId, usize> = HashMap::new();
+    let mut free_ops: HashMap<BufId, Vec<usize>> = HashMap::new();
+    for (i, op) in dag.ops.iter().enumerate() {
+        let fx = &op.effects;
+        let mut list = Vec::new();
+        for &b in fx.reads.iter().chain(&fx.writes) {
+            if !list.contains(&(b, Access::Use)) {
+                list.push((b, Access::Use));
+            }
+        }
+        for &b in &fx.allocs {
+            list.push((b, Access::Alloc));
+            alloc_op.insert(b, i);
+        }
+        for &b in &fx.frees {
+            list.push((b, Access::Free));
+            free_ops.entry(b).or_default().push(i);
+        }
+        // Runtime alloc/free ops model the allocator call itself even
+        // when the effect set is carried on a neighboring op.
+        if op.kind == OpKind::Alloc {
+            for &b in &fx.allocs {
+                alloc_op.insert(b, i);
+            }
+        }
+        accesses.push(list);
+    }
+
+    let requires = invariant_requirements(dag, cfg);
+    let mut search = Search {
+        dag,
+        words,
+        preds,
+        accesses,
+        alloc_op,
+        free_ops,
+        requires,
+        memo: HashMap::new(),
+        max_states: opts.max_states.max(1),
+        bound_hit: false,
+        path: Vec::new(),
+        seen: HashMap::new(),
+        violations: Vec::new(),
+        max_live: 0,
+    };
+    let empty = vec![0u64; search.words];
+    let schedules = search.count(&empty, 0);
+    let exhaustive = !search.bound_hit;
+    Ok(ExploreReport {
+        ops: n,
+        states: search.memo.len(),
+        schedules: if exhaustive { schedules } else { None },
+        exhaustive,
+        max_live: search.max_live,
+        violations: search.violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpdr_sim::verify::DagOp;
+    use hpdr_sim::{DeviceId, Effects, Engine};
+
+    fn buf(i: usize) -> BufId {
+        BufId::from_index(i)
+    }
+
+    fn dev() -> DeviceId {
+        DeviceId(0)
+    }
+
+    fn op(label: &str, engine: Engine, queue: usize, deps: Vec<usize>, effects: Effects) -> DagOp {
+        DagOp {
+            label: label.into(),
+            engine,
+            queue: Some(queue),
+            deps,
+            effects,
+            kind: OpKind::Fixed,
+        }
+    }
+
+    fn plain_cfg() -> LintConfig {
+        LintConfig {
+            direction: Direction::Compress,
+            two_buffers: false,
+            cmm: true,
+            deser_first: false,
+            serial_queue: false,
+        }
+    }
+
+    #[test]
+    fn counts_linear_extensions_exactly() {
+        // Two independent 2-chains on distinct queues/engines:
+        // C(4,2) = 6 interleavings.
+        let dag = Dag {
+            ops: vec![
+                op("a0", Engine::Compute(dev()), 0, vec![], Effects::none()),
+                op("a1", Engine::Compute(dev()), 0, vec![0], Effects::none()),
+                op("b0", Engine::H2D(dev()), 1, vec![], Effects::none()),
+                op("b1", Engine::H2D(dev()), 1, vec![2], Effects::none()),
+            ],
+        };
+        let r = explore(&dag, &plain_cfg(), &ExploreOptions::default()).unwrap();
+        assert!(r.exhaustive);
+        assert_eq!(r.schedules, Some(6));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn finds_uaf_in_some_interleaving() {
+        // free on queue 0, read on queue 1, unordered: some interleaving
+        // frees first. (The static analyzer calls this a race/UAF too;
+        // the explorer must find a concrete witness.)
+        let dag = Dag {
+            ops: vec![
+                op("free", Engine::Host, 0, vec![], Effects::free(buf(0))),
+                op(
+                    "read",
+                    Engine::Compute(dev()),
+                    1,
+                    vec![],
+                    Effects::read(buf(0)),
+                ),
+            ],
+        };
+        let r = explore(&dag, &plain_cfg(), &ExploreOptions::default()).unwrap();
+        assert_eq!(r.violations.len(), 1);
+        let v = &r.violations[0];
+        assert_eq!(v.kind, "use-after-free");
+        assert_eq!(v.op, 1);
+        assert_eq!(v.witness, vec![0]); // free executed first
+        assert!(v.describe().contains("use-after-free"));
+    }
+
+    #[test]
+    fn ordered_free_is_clean_in_all_interleavings() {
+        let dag = Dag {
+            ops: vec![
+                op(
+                    "read",
+                    Engine::Compute(dev()),
+                    0,
+                    vec![],
+                    Effects::read(buf(0)),
+                ),
+                op("free", Engine::Host, 1, vec![0], Effects::free(buf(0))),
+            ],
+        };
+        let r = explore(&dag, &plain_cfg(), &ExploreOptions::default()).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.schedules, Some(1));
+    }
+
+    #[test]
+    fn double_free_and_use_before_alloc_found() {
+        let dag = Dag {
+            ops: vec![
+                op(
+                    "r",
+                    Engine::Compute(dev()),
+                    0,
+                    vec![],
+                    Effects::read(buf(1)),
+                ),
+                op("f1", Engine::Host, 1, vec![], Effects::free(buf(0))),
+                op("f2", Engine::Host, 2, vec![], Effects::free(buf(0))),
+                op(
+                    "alloc",
+                    Engine::Runtime(hpdr_sim::RuntimeId(0)),
+                    3,
+                    vec![],
+                    Effects::alloc(buf(1)),
+                ),
+            ],
+        };
+        let r = explore(&dag, &plain_cfg(), &ExploreOptions::default()).unwrap();
+        let kinds: Vec<_> = r.violations.iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&"double-free"));
+        assert!(kinds.contains(&"use-before-alloc"));
+    }
+
+    #[test]
+    fn two_buffer_invariant_checked_dynamically() {
+        // H2D[2] not ordered after S[0]: some interleaving reuses the
+        // buffer set before it drained.
+        let mk = |anti: bool| {
+            let mut ops = Vec::new();
+            let mut s_ops: Vec<usize> = Vec::new();
+            for k in 0..3usize {
+                let q = k % 3;
+                let mut deps = Vec::new();
+                if anti && k >= 2 {
+                    deps.push(s_ops[k - 2]);
+                }
+                let h2d = ops.len();
+                ops.push(op(
+                    &format!("H2D[{k}]"),
+                    Engine::H2D(dev()),
+                    q,
+                    deps,
+                    Effects::none(),
+                ));
+                ops.push(op(
+                    &format!("S[{k}]"),
+                    Engine::D2H(dev()),
+                    q,
+                    vec![h2d],
+                    Effects::none(),
+                ));
+                s_ops.push(ops.len() - 1);
+            }
+            Dag { ops }
+        };
+        let cfg = LintConfig {
+            two_buffers: true,
+            ..plain_cfg()
+        };
+        let good = explore(&mk(true), &cfg, &ExploreOptions::default()).unwrap();
+        assert!(good.is_clean(), "{:?}", good.violations);
+        let bad = explore(&mk(false), &cfg, &ExploreOptions::default()).unwrap();
+        assert!(bad
+            .violations
+            .iter()
+            .any(|v| v.kind == "two-buffer-liveness"));
+    }
+
+    #[test]
+    fn deser_first_invariant_checked_dynamically() {
+        // D2Hout[0] and Deser[1] unordered: without the red-arrow edge
+        // there is an interleaving where the output copy goes first.
+        let dag = Dag {
+            ops: vec![
+                op("Deser[1]", Engine::D2H(dev()), 1, vec![], Effects::none()),
+                op("D2Hout[0]", Engine::D2H(dev()), 0, vec![], Effects::none()),
+            ],
+        };
+        // Same engine, submission order reversed: engine serialization
+        // forces D2Hout[0] to execute before Deser[1].
+        let dag_unswapped = Dag {
+            ops: vec![
+                op("D2Hout[0]", Engine::D2H(dev()), 0, vec![], Effects::none()),
+                op(
+                    "Deser[1]",
+                    Engine::D2H(DeviceId(0)),
+                    1,
+                    vec![],
+                    Effects::none(),
+                ),
+            ],
+        };
+        let cfg = LintConfig {
+            direction: Direction::Decompress,
+            deser_first: true,
+            ..plain_cfg()
+        };
+        let good = explore(&dag, &cfg, &ExploreOptions::default()).unwrap();
+        assert!(good.is_clean(), "{:?}", good.violations);
+        // Engine serialization runs D2Hout[0] first here: violation.
+        let bad = explore(&dag_unswapped, &cfg, &ExploreOptions::default()).unwrap();
+        assert!(bad.violations.iter().any(|v| v.kind == "deser-first-order"));
+    }
+
+    #[test]
+    fn state_bound_reported_as_non_exhaustive() {
+        // 8 fully independent ops: 2^8 = 256 downsets > bound of 16.
+        let ops: Vec<DagOp> = (0..8)
+            .map(|i| {
+                op(
+                    &format!("w{i}"),
+                    Engine::Compute(DeviceId(i)),
+                    i,
+                    vec![],
+                    Effects::none(),
+                )
+            })
+            .collect();
+        let dag = Dag { ops };
+        let r = explore(&dag, &plain_cfg(), &ExploreOptions { max_states: 16 }).unwrap();
+        assert!(!r.exhaustive);
+        assert!(r.schedules.is_none());
+        assert!(r.states <= 17);
+    }
+
+    #[test]
+    fn max_live_tracks_alloc_window() {
+        let rt = Engine::Runtime(hpdr_sim::RuntimeId(0));
+        let dag = Dag {
+            ops: vec![
+                op("alloc0", rt, 0, vec![], Effects::alloc(buf(0))),
+                op("alloc1", rt, 0, vec![], Effects::alloc(buf(1))),
+                op("free0", rt, 0, vec![], Effects::free(buf(0))),
+                op("free1", rt, 0, vec![], Effects::free(buf(1))),
+            ],
+        };
+        let r = explore(&dag, &plain_cfg(), &ExploreOptions::default()).unwrap();
+        assert_eq!(r.max_live, 2);
+        assert_eq!(r.schedules, Some(1)); // single queue+engine: one order
+    }
+
+    #[test]
+    fn structural_breakage_is_an_error() {
+        let dag = Dag {
+            ops: vec![op("a", Engine::Host, 0, vec![1], Effects::none())],
+        };
+        assert!(explore(&dag, &plain_cfg(), &ExploreOptions::default()).is_err());
+    }
+}

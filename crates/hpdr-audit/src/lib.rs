@@ -1,0 +1,35 @@
+//! # hpdr-audit — dynamic soundness auditing of HPDR schedules
+//!
+//! The static layers trust what ops *declare*: [`hpdr_sim::verify`]
+//! derives hazards from declared [`hpdr_sim::Effects`], and
+//! [`hpdr_verify`] lints the declared schedule options. Both are only
+//! as sound as the declarations. This crate closes that gap from two
+//! directions:
+//!
+//! * **Effect-soundness** ([`diff_effects`]) — run the real payloads
+//!   under the memory pool's shadow-access recorder
+//!   ([`hpdr_sim::Sim::set_audit`]) and diff what each op *actually*
+//!   touched against what it declared. An access the declaration does
+//!   not cover is an **error** (the hazard analyzer reasoned from a
+//!   lie); a declaration never exercised is a **warning** (imprecise,
+//!   over-constrains the schedule).
+//! * **Schedule-space exploration** ([`explore`]) — the virtual-time
+//!   simulator executes one linearization of the happens-before DAG,
+//!   but the hardware model admits *every* linear extension. The
+//!   explorer enumerates admissible interleavings (with a
+//!   downset-memoized search, bounded by
+//!   [`ExploreOptions::max_states`]) and asserts the paper's
+//!   invariants — no use-after-free, no double free, no
+//!   use-before-alloc, two-buffer liveness, deser-first order — in
+//!   each one, reporting a witness schedule on violation.
+//!
+//! [`AuditReport`] bundles both per configuration and renders the
+//! schema-validated `hpdr-audit/v1` JSON document behind `hpdr audit`.
+
+pub mod effects_audit;
+pub mod explore;
+pub mod report;
+
+pub use effects_audit::{diff_effects, EffectFinding, EffectIssue};
+pub use explore::{explore, ExploreOptions, ExploreReport, Violation};
+pub use report::{validate_audit_json, AuditReport, ConfigAudit};

@@ -26,7 +26,15 @@ pub struct SharedSlice<'a, T> {
     _marker: PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: the view is just (ptr, len) over a `&mut [T]` whose borrow it
+// carries in `_marker`; moving it across threads moves no `T`, and the
+// safety contract above forbids overlapping access, so `T: Send`
+// suffices.
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+// SAFETY: sharing `&SharedSlice` only hands out raw-pointer accessors
+// whose disjointness the caller promises (type-level `Sync` on `T` is
+// not required because no `&T` to a concurrently-accessed element is
+// ever produced).
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
@@ -57,6 +65,8 @@ impl<'a, T> SharedSlice<'a, T> {
             "SharedSlice write out of bounds: {i} >= {}",
             self.len
         );
+        // SAFETY: caller guarantees `i < len` (in-bounds of the borrowed
+        // slice) and exclusive access to index `i`.
         unsafe { self.ptr.add(i).write(v) };
     }
 
@@ -74,6 +84,8 @@ impl<'a, T> SharedSlice<'a, T> {
             "SharedSlice read out of bounds: {i} >= {}",
             self.len
         );
+        // SAFETY: caller guarantees `i < len` and that no thread is
+        // concurrently writing index `i`.
         unsafe { *self.ptr.add(i) }
     }
 
@@ -84,6 +96,9 @@ impl<'a, T> SharedSlice<'a, T> {
     #[inline]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &'a mut [T] {
         debug_assert!(start + len <= self.len, "SharedSlice range out of bounds");
+        // SAFETY: caller guarantees the range is in bounds and not
+        // accessed by any other thread, so the produced `&mut [T]` is
+        // unique for its lifetime.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
     }
 }
@@ -102,6 +117,7 @@ mod tests {
                     // Each thread writes indices ≡ t (mod 4): disjoint.
                     let mut i = t;
                     while i < 1000 {
+                        // SAFETY: in bounds; index sets are disjoint mod 4.
                         unsafe { shared.write(i, i as u64) };
                         i += 4;
                     }
@@ -121,6 +137,7 @@ mod tests {
         crossbeam::thread::scope(|s| {
             for c in 0..3 {
                 s.spawn(move |_| {
+                    // SAFETY: chunk `c` owns range [c*4, c*4+4) exclusively.
                     let chunk = unsafe { shared.slice_mut(c * 4, 4) };
                     chunk.fill(c as u32 + 1);
                 });
@@ -134,6 +151,7 @@ mod tests {
     fn read_back() {
         let mut data = vec![5u8; 3];
         let shared = SharedSlice::new(&mut data);
+        // SAFETY: single-threaded access, indices 0 and 1 are in bounds.
         unsafe {
             shared.write(1, 9);
             assert_eq!(shared.read(1), 9);

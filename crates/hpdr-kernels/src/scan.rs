@@ -69,6 +69,7 @@ pub fn exclusive_scan(adapter: &dyn DeviceAdapter, input: &[u64]) -> Vec<u64> {
                 acc += input[i];
             }
             if hi == n {
+                // SAFETY: only the final chunk writes the tail slot.
                 unsafe { out_sh.write(n, acc) };
             }
         });

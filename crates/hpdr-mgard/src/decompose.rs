@@ -204,7 +204,10 @@ fn for_each_new_node(
         let get = |idx: usize| unsafe { u_sh.read(idx) };
         let interp = interp_at(&get, &pos[..nd], &fine_lists, full_strides);
         let idx = full_index(&pos[..nd], &fine_lists, full_strides);
+        // SAFETY: `idx` is this invocation's own (new) node; no other
+        // invocation touches it (new nodes are pairwise distinct).
         let old = unsafe { u_sh.read(idx) };
+        // SAFETY: same exclusive index as the read above.
         unsafe { u_sh.write(idx, apply(old, interp)) };
     });
 }

@@ -34,7 +34,9 @@ pub mod verify;
 pub use effects::Effects;
 pub use horizon::BusyHorizon;
 pub use mem::{BufId, MemPool};
-pub use sim::{kind_of, Cost, DeviceId, Engine, OpId, OpSpec, Payload, QueueId, RuntimeId, Sim};
+pub use sim::{
+    kind_of, Cost, DeviceId, Engine, OpAudit, OpId, OpSpec, Payload, QueueId, RuntimeId, Sim,
+};
 pub use spec::{
     a100, all_gpus, mi250x, rtx3090, v100, Arch, DeviceSpec, KernelClass, ThroughputModel,
 };

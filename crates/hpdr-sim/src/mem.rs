@@ -39,11 +39,25 @@ struct Buffer {
     freed: bool,
 }
 
+/// What the effect guard does with each access it intercepts.
+#[derive(Debug)]
+enum GuardMode {
+    /// Panic on any access outside the declared [`Effects`] (debug-build
+    /// enforcement — keeps payloads honest during normal runs).
+    Enforce,
+    /// Record every access into a shadow [`Effects`] set without
+    /// enforcing anything (the `hpdr audit` observation mode: the
+    /// recorded set is later diffed against the declaration, so the
+    /// payload must be allowed to stray in order to be caught).
+    Record(std::cell::RefCell<Effects>),
+}
+
 /// Effect guard installed for the duration of one payload execution.
 #[derive(Debug)]
 struct Guard {
     label: String,
     effects: Effects,
+    mode: GuardMode,
 }
 
 /// Backing store for every simulated device buffer in a [`crate::Sim`].
@@ -76,41 +90,86 @@ impl MemPool {
         self.guard = Some(Guard {
             label: label.to_string(),
             effects: effects.clone(),
+            mode: GuardMode::Enforce,
         });
     }
 
-    /// Remove the effect guard after a payload run.
-    pub(crate) fn end_payload(&mut self) {
-        self.guard = None;
+    /// Install the shadow-access recorder for one payload run: every
+    /// read/write/free is logged instead of enforced, and
+    /// [`MemPool::end_payload`] returns the observed set. Freed-buffer
+    /// and bounds assertions still apply — the recorder observes *which*
+    /// buffers a payload touches, it does not suspend memory safety.
+    pub(crate) fn begin_payload_recording(&mut self, label: &str, effects: &Effects) {
+        self.guard = Some(Guard {
+            label: label.to_string(),
+            effects: effects.clone(),
+            mode: GuardMode::Record(std::cell::RefCell::new(Effects::none())),
+        });
+    }
+
+    /// Remove the effect guard after a payload run; in recording mode the
+    /// observed access set is returned.
+    pub(crate) fn end_payload(&mut self) -> Option<Effects> {
+        match self.guard.take() {
+            Some(Guard {
+                mode: GuardMode::Record(obs),
+                ..
+            }) => Some(obs.into_inner()),
+            _ => None,
+        }
     }
 
     fn check_read(&self, id: BufId) {
         if let Some(g) = &self.guard {
-            assert!(
-                g.effects.may_read(id),
-                "op '{}' reads {id:?} without declaring it in its effects",
-                g.label
-            );
+            match &g.mode {
+                GuardMode::Enforce => assert!(
+                    g.effects.may_read(id),
+                    "op '{}' reads {id:?} without declaring it in its effects",
+                    g.label
+                ),
+                GuardMode::Record(obs) => {
+                    let mut o = obs.borrow_mut();
+                    if !o.reads.contains(&id) {
+                        o.reads.push(id);
+                    }
+                }
+            }
         }
     }
 
     fn check_write(&self, id: BufId) {
         if let Some(g) = &self.guard {
-            assert!(
-                g.effects.may_write(id),
-                "op '{}' writes {id:?} without declaring it in its effects",
-                g.label
-            );
+            match &g.mode {
+                GuardMode::Enforce => assert!(
+                    g.effects.may_write(id),
+                    "op '{}' writes {id:?} without declaring it in its effects",
+                    g.label
+                ),
+                GuardMode::Record(obs) => {
+                    let mut o = obs.borrow_mut();
+                    if !o.writes.contains(&id) {
+                        o.writes.push(id);
+                    }
+                }
+            }
         }
     }
 
     fn check_free(&self, id: BufId) {
         if let Some(g) = &self.guard {
-            assert!(
-                g.effects.may_free(id),
-                "op '{}' frees {id:?} without declaring it in its effects",
-                g.label
-            );
+            match &g.mode {
+                GuardMode::Enforce => assert!(
+                    g.effects.may_free(id),
+                    "op '{}' frees {id:?} without declaring it in its effects",
+                    g.label
+                ),
+                GuardMode::Record(obs) => {
+                    let mut o = obs.borrow_mut();
+                    if !o.frees.contains(&id) {
+                        o.frees.push(id);
+                    }
+                }
+            }
         }
     }
 
@@ -321,6 +380,60 @@ mod tests {
         let a = pool.create(dev(), 4);
         pool.begin_payload("read-only", &Effects::read(a));
         let _ = pool.get_mut(a);
+    }
+
+    #[test]
+    fn recorder_observes_undeclared_accesses_without_panicking() {
+        let mut pool = MemPool::new();
+        let a = pool.create(dev(), 4);
+        let b = pool.create(dev(), 4);
+        let c = pool.create(dev(), 4);
+        // Declared effects say "read a" only; the payload strays.
+        pool.begin_payload_recording("sneaky", &Effects::read(a));
+        let _ = pool.get(a);
+        let _ = pool.get(a); // deduplicated
+        pool.get_mut(b).fill(1);
+        pool.mark_freed(c);
+        let obs = pool.end_payload().expect("recording mode returns the log");
+        assert_eq!(obs.reads, vec![a]);
+        assert_eq!(obs.writes, vec![b]);
+        assert_eq!(obs.frees, vec![c]);
+    }
+
+    #[test]
+    fn recorder_logs_pair_and_resize_accesses() {
+        let mut pool = MemPool::new();
+        let src = pool.create(dev(), 4);
+        let dst = pool.create(dev(), 4);
+        pool.begin_payload_recording("copy", &Effects::none());
+        {
+            let (s, d) = pool.get_pair_mut(src, dst);
+            d.copy_from_slice(s);
+        }
+        pool.resize(dst, 2);
+        let obs = pool.end_payload().unwrap();
+        assert_eq!(obs.reads, vec![src]);
+        assert_eq!(obs.writes, vec![dst]);
+        assert!(obs.frees.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "freed")]
+    fn recorder_still_enforces_use_after_free() {
+        let mut pool = MemPool::new();
+        let a = pool.create(dev(), 4);
+        pool.mark_freed(a);
+        pool.begin_payload_recording("uaf", &Effects::none());
+        let _ = pool.get(a);
+    }
+
+    #[test]
+    fn enforce_mode_end_payload_returns_none() {
+        let mut pool = MemPool::new();
+        let a = pool.create(dev(), 4);
+        pool.begin_payload("ok", &Effects::read(a));
+        let _ = pool.get(a);
+        assert!(pool.end_payload().is_none());
     }
 
     #[test]

@@ -100,6 +100,20 @@ pub enum Cost {
 /// Payload executed against the memory pool when the op "runs".
 pub type Payload = Box<dyn FnOnce(&mut MemPool)>;
 
+/// Shadow-access record of one executed op, collected when auditing is
+/// enabled ([`Sim::set_audit`]): the buffer accesses the payload *actually*
+/// performed, as opposed to the [`Effects`] its [`OpSpec`] declared.
+#[derive(Debug, Clone)]
+pub struct OpAudit {
+    pub label: String,
+    /// Whether the op carried a payload at all. Payload-less ops (pure
+    /// timing models) observe nothing, and their declarations are the
+    /// model itself — auditors skip the over-declaration check for them.
+    pub had_payload: bool,
+    /// The observed access set (empty for payload-less ops).
+    pub observed: Effects,
+}
+
 /// A fully-specified operation prior to submission.
 pub struct OpSpec {
     pub engine: Engine,
@@ -137,6 +151,11 @@ pub struct Sim {
     /// Span recorder; present only while tracing is enabled so a disabled
     /// recorder costs one `Option` check per op and changes nothing else.
     recorder: Option<Recorder>,
+    /// Shadow-access auditing: record what each payload actually touches
+    /// instead of enforcing the declaration ([`Sim::set_audit`]).
+    audit_enabled: bool,
+    /// Per-op observation log of the last audited [`Sim::run`].
+    observed: Vec<OpAudit>,
 }
 
 impl Default for Sim {
@@ -156,6 +175,8 @@ impl Sim {
             host_copy_gbps: 18.0,
             verify_enabled: cfg!(debug_assertions),
             recorder: None,
+            audit_enabled: false,
+            observed: Vec::new(),
         }
     }
 
@@ -179,6 +200,23 @@ impl Sim {
     /// Enable or disable pre-execution schedule verification.
     pub fn set_verify(&mut self, on: bool) {
         self.verify_enabled = on;
+    }
+
+    /// Enable or disable shadow-access auditing for the next [`Sim::run`].
+    /// With auditing on, the memory pool *records* every buffer access a
+    /// payload performs (instead of panicking on undeclared ones) and the
+    /// per-op observation log is retrievable via [`Sim::take_observed`].
+    /// Auditing never changes scheduling: virtual times are identical.
+    pub fn set_audit(&mut self, on: bool) {
+        self.audit_enabled = on;
+        self.observed.clear();
+    }
+
+    /// Take the shadow-access log of the last audited [`Sim::run`]
+    /// (one entry per executed op, in submission order). Empty if
+    /// auditing was off.
+    pub fn take_observed(&mut self) -> Vec<OpAudit> {
+        std::mem::take(&mut self.observed)
     }
 
     /// Override the pageable host-copy bandwidth (default 18 GB/s).
@@ -413,8 +451,19 @@ impl Sim {
             let mut wall = Ns::ZERO;
             if let Some(p) = payload {
                 let t0 = std::time::Instant::now();
-                // Debug builds: hold the payload to its declared effects.
-                if cfg!(debug_assertions) {
+                if self.audit_enabled {
+                    // Audit mode: record what the payload really touches.
+                    self.pool
+                        .begin_payload_recording(&spec.label, &spec.effects);
+                    p(&mut self.pool);
+                    let observed = self.pool.end_payload().unwrap_or_default();
+                    self.observed.push(OpAudit {
+                        label: spec.label.clone(),
+                        had_payload: true,
+                        observed,
+                    });
+                } else if cfg!(debug_assertions) {
+                    // Debug builds: hold the payload to its declared effects.
                     self.pool.begin_payload(&spec.label, &spec.effects);
                     p(&mut self.pool);
                     self.pool.end_payload();
@@ -422,6 +471,12 @@ impl Sim {
                     p(&mut self.pool);
                 }
                 wall = Ns(t0.elapsed().as_nanos() as u64);
+            } else if self.audit_enabled {
+                self.observed.push(OpAudit {
+                    label: spec.label.clone(),
+                    had_payload: false,
+                    observed: Effects::none(),
+                });
             }
             if self.recorder.is_some() {
                 // Footprint sampled after the payload so dynamically sized
@@ -665,6 +720,59 @@ mod tests {
             })),
         );
         sim.run();
+        assert_eq!(sim.take_buffer(dst), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn audit_mode_records_observed_accesses_per_op() {
+        let (mut sim, dev, q) = one_device();
+        sim.set_audit(true);
+        let src = sim.create_buffer(dev, 4);
+        let dst = sim.create_buffer(dev, 4);
+        let stray = sim.create_buffer(dev, 4);
+        sim.pool_mut().get_mut(src).copy_from_slice(&[1, 2, 3, 4]);
+        let a = sim.push(
+            OpSpec {
+                engine: Engine::Compute(dev),
+                queue: Some(q),
+                deps: vec![],
+                cost: Cost::Kernel {
+                    class: KernelClass::Memcpy,
+                    bytes: 4,
+                },
+                label: "copy".into(),
+                effects: Effects::read(src).and_write(dst),
+            },
+            Some(Box::new(move |pool: &mut MemPool| {
+                let (s, d) = pool.get_pair_mut(src, dst);
+                d.copy_from_slice(s);
+                // Undeclared write: recorded, not fatal, in audit mode.
+                pool.get_mut(stray).fill(9);
+            })),
+        );
+        sim.push(
+            OpSpec {
+                engine: Engine::Compute(dev),
+                queue: Some(q),
+                deps: vec![],
+                cost: Cost::Fixed(Ns(10)),
+                label: "noop".into(),
+                effects: Effects::none(),
+            },
+            None,
+        );
+        let tl = sim.run();
+        let obs = sim.take_observed();
+        assert_eq!(obs.len(), 2);
+        assert!(obs[0].had_payload);
+        assert!(obs[0].observed.reads.contains(&src));
+        assert!(obs[0].observed.writes.contains(&dst));
+        assert!(obs[0].observed.writes.contains(&stray));
+        assert_eq!(obs[1].label, "noop");
+        assert!(!obs[1].had_payload);
+        assert!(obs[1].observed.is_empty());
+        // Auditing changes neither virtual timing nor data movement.
+        assert_eq!(tl.record(a).start, Ns(0));
         assert_eq!(sim.take_buffer(dst), vec![1, 2, 3, 4]);
     }
 

@@ -259,6 +259,18 @@ impl Reachability {
     pub fn ordered_either(&self, a: usize, b: usize) -> bool {
         self.ordered(a, b) || self.ordered(b, a)
     }
+
+    /// Number of 64-bit words per predecessor row (bitsets over ops).
+    pub fn row_words(&self) -> usize {
+        self.words
+    }
+
+    /// Predecessor bitset of op `i`: bit `p` is set iff `p` happens-before
+    /// `i`. The schedule-space explorer uses these rows to decide which
+    /// ops are ready given an executed set.
+    pub fn preds(&self, i: usize) -> &[u64] {
+        &self.rows[i * self.words..(i + 1) * self.words]
+    }
 }
 
 /// Cap on reported hazards per buffer (a broken schedule repeats the

@@ -1,0 +1,99 @@
+//! Shared JSON report envelope for the verification/audit CLIs.
+//!
+//! `hpdr verify` and `hpdr audit` emit sibling report documents
+//! (`hpdr-verify/v1`, `hpdr-audit/v1`). Both wrap their payload in the
+//! same envelope so downstream tooling can dispatch on one header shape:
+//!
+//! ```json
+//! {"schema":"<family>/v1","ok":<bool>, ...payload fields...}
+//! ```
+//!
+//! and both use the same process exit discipline: exit code 0 when the
+//! run is clean, [`EXIT_FINDINGS`] when the tool ran to completion but
+//! found problems (hazards, lint findings, unsound effect declarations,
+//! interleaving violations). Internal errors surface through the normal
+//! error path and share the same non-zero code — callers distinguish
+//! the cases by whether a report document was produced.
+
+/// Schema tag of `hpdr verify --json` documents.
+pub const SCHEMA_VERIFY: &str = "hpdr-verify/v1";
+
+/// Schema tag of `hpdr audit --json` documents.
+pub const SCHEMA_AUDIT: &str = "hpdr-audit/v1";
+
+/// Unified exit code for "the tool ran and produced findings", shared
+/// by `hpdr verify` and `hpdr audit`.
+pub const EXIT_FINDINGS: i32 = 1;
+
+/// JSON string escape (the workspace emits handwritten JSON; no serde).
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Wrap pre-rendered payload fields (`"key":value,...` without the outer
+/// braces) in the shared envelope. An empty payload is allowed.
+pub fn wrap(schema: &str, ok: bool, payload: &str) -> String {
+    if payload.is_empty() {
+        format!("{{\"schema\":\"{}\",\"ok\":{ok}}}", esc(schema))
+    } else {
+        format!("{{\"schema\":\"{}\",\"ok\":{ok},{payload}}}", esc(schema))
+    }
+}
+
+/// Cheap envelope-header check without a full parse: does the document
+/// start with the expected schema tag? Returns the `ok` flag.
+///
+/// Full schema validation lives with each report type; this helper is
+/// for dispatchers that only need to route a document.
+pub fn read_header(json: &str, schema: &str) -> Result<bool, String> {
+    let want = format!("{{\"schema\":\"{}\",\"ok\":", esc(schema));
+    let rest = json
+        .strip_prefix(&want)
+        .ok_or_else(|| format!("document does not open with the {schema} envelope"))?;
+    if rest.starts_with("true") {
+        Ok(true)
+    } else if rest.starts_with("false") {
+        Ok(false)
+    } else {
+        Err("envelope 'ok' field is not a boolean".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_and_read_roundtrip() {
+        let doc = wrap(SCHEMA_AUDIT, false, "\"configs\":[]");
+        assert_eq!(
+            doc,
+            "{\"schema\":\"hpdr-audit/v1\",\"ok\":false,\"configs\":[]}"
+        );
+        assert_eq!(read_header(&doc, SCHEMA_AUDIT), Ok(false));
+        assert!(read_header(&doc, SCHEMA_VERIFY).is_err());
+    }
+
+    #[test]
+    fn wrap_empty_payload() {
+        let doc = wrap(SCHEMA_VERIFY, true, "");
+        assert_eq!(doc, "{\"schema\":\"hpdr-verify/v1\",\"ok\":true}");
+        assert_eq!(read_header(&doc, SCHEMA_VERIFY), Ok(true));
+    }
+
+    #[test]
+    fn esc_covers_report_characters() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

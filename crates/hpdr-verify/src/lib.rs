@@ -23,6 +23,8 @@
 //! [`ScheduleReport`] with human-readable and JSON renderings — the
 //! engine behind `hpdr verify`.
 
+pub mod envelope;
+
 use hpdr_sim::verify::{analyze, Dag, OpKind, Reachability, VerifyReport};
 
 /// Which pipeline direction a DAG implements (lints differ per side).

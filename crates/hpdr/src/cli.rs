@@ -38,6 +38,14 @@ pub enum Command {
     Verify {
         json: bool,
     },
+    /// Dynamically audit the shipped codec × adapter configurations:
+    /// run payloads under the shadow-access recorder and diff observed
+    /// vs declared effects, then explore alternate interleavings of the
+    /// happens-before DAG and check invariants in each.
+    Audit {
+        json: bool,
+        out: Option<String>,
+    },
     /// Record a 2-chunk adaptive MGARD-X run and emit Chrome-trace JSON
     /// (Perfetto-loadable; printed unless --out gives a file path).
     Trace {
@@ -108,6 +116,7 @@ USAGE:
   hpdr decompress --input <in.hpdr> --output <raw.bin>
   hpdr info       --input <in.hpdr>
   hpdr verify     [--json]
+  hpdr audit      [--json] [--out <audit.json>]
   hpdr trace      [--out <trace.json>]
   hpdr profile    [--figure fig1] [--json]
   hpdr bench      [--quick] [--json] [--label <name>] [--out <file>]
@@ -127,7 +136,20 @@ Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
 `hpdr verify` runs the static hazard analyzer (data races,
 use-after-free, deadlock) and the Fig. 9 schedule lints over the op-DAGs
 of every shipped pipeline configuration; --json emits a machine-readable
-report. Exits non-zero if any hazard or lint finding is reported.
+report (schema hpdr-verify/v1). Exits non-zero if any hazard or lint
+finding is reported.
+
+`hpdr audit` closes the gap `verify` cannot: it trusts no declaration.
+Every shipped codec × adapter configuration is executed under the
+memory pool's shadow-access recorder and each op's *observed* buffer
+accesses are diffed against its declared effects (under-declaration is
+an unsound error, over-declaration a warning); the happens-before DAG
+is then explored across bounded alternate interleavings and the
+use-after-free / double-free / use-before-alloc / two-buffer-liveness /
+deser-first invariants are asserted in every admissible one. --json
+emits the schema-validated hpdr-audit/v1 document (--out writes it to a
+file). Exits non-zero on any unsound finding, same discipline as
+`hpdr verify`.
 
 `hpdr trace` records a 2-chunk adaptive MGARD-X compression on a small
 NYX sample and emits Chrome-trace JSON (pid=device, tid=engine) — load
@@ -310,6 +332,10 @@ pub fn parse(args: &[String]) -> Result<Command> {
         Some("verify") => Ok(Command::Verify {
             json: args.iter().any(|a| a == "--json"),
         }),
+        Some("audit") => Ok(Command::Audit {
+            json: args.iter().any(|a| a == "--json"),
+            out: get_flag(args, "--out").map(str::to_string),
+        }),
         Some("trace") => Ok(Command::Trace {
             out: get_flag(args, "--out").map(str::to_string),
         }),
@@ -411,6 +437,7 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
     match cmd {
         Command::Help => Ok(vec![USAGE.to_string()]),
         Command::Verify { json } => verify_schedules(json),
+        Command::Audit { json, out } => audit_schedules(json, out.as_deref()),
         Command::Trace { out } => trace_run(out),
         Command::Profile { figure, json } => profile_run(figure.as_deref(), json),
         Command::Bench { opts, json } => crate::bench::bench_command(&opts, json),
@@ -764,10 +791,15 @@ fn verify_schedules(json: bool) -> Result<Vec<String>> {
     }
 
     if json {
-        lines.push(format!(
-            "{{\"checked\":{},\"dirty\":{dirty},\"configs\":[{}]}}",
-            json_items.len(),
-            json_items.join(",")
+        // Same envelope family as `hpdr audit` (see hpdr_verify::envelope).
+        lines.push(hpdr_verify::envelope::wrap(
+            hpdr_verify::envelope::SCHEMA_VERIFY,
+            dirty == 0,
+            &format!(
+                "\"checked\":{},\"dirty\":{dirty},\"configs\":[{}]",
+                json_items.len(),
+                json_items.join(",")
+            ),
         ));
     } else {
         lines.push(format!(
@@ -778,6 +810,169 @@ fn verify_schedules(json: bool) -> Result<Vec<String>> {
     if dirty > 0 {
         return Err(HpdrError::invalid(format!(
             "schedule verification failed for {dirty} configuration(s):\n{}",
+            lines.join("\n")
+        )));
+    }
+    Ok(lines)
+}
+
+/// Dynamically audit every shipped codec × adapter configuration: run
+/// the real payloads under the memory pool's shadow-access recorder and
+/// diff each op's observed buffer accesses against its declaration,
+/// then explore bounded alternate interleavings of the happens-before
+/// DAG and assert the schedule invariants in every admissible one.
+///
+/// Returns `Err` (→ non-zero exit, the same discipline as
+/// `hpdr verify`) if any configuration is unsound.
+fn audit_schedules(json: bool, out: Option<&str>) -> Result<Vec<String>> {
+    use hpdr_audit::{diff_effects, explore, AuditReport, ConfigAudit, ExploreOptions};
+    use hpdr_pipeline::{
+        compress_pipelined, plan_compress, plan_decompress, PipelineMode, PipelineOptions,
+    };
+    use hpdr_verify::Direction;
+    use std::sync::Arc;
+
+    let spec = hpdr_sim::v100();
+    // Small input: 32 rows × 128 f32 (16 KiB), chunked at 8 rows — four
+    // chunks, enough for the steady-state pipeline invariants, small
+    // enough to run every codec × adapter pair under the recorder.
+    let meta = ArrayMeta::new(DType::F32, Shape::try_new(&[32, 128])?);
+    let row_bytes = (meta.shape.row_elements() * meta.dtype.size()) as u64;
+    let input: Arc<Vec<u8>> = Arc::new(
+        (0..meta.num_bytes() / 4)
+            .flat_map(|i| ((i % 251) as f32).to_le_bytes())
+            .collect(),
+    );
+
+    let codecs: [(&str, Codec); 5] = [
+        ("mgard", Codec::Mgard(MgardConfig::relative(1e-2))),
+        ("zfp", Codec::Zfp(ZfpConfig::fixed_rate(16))),
+        ("huffman", Codec::Huffman),
+        ("sz", Codec::Sz(SzConfig::relative(1e-3))),
+        ("lz4", Codec::Lz4),
+    ];
+    let adapters: [(&str, Arc<dyn hpdr_core::DeviceAdapter>); 3] = [
+        ("serial", Arc::new(hpdr_core::SerialAdapter::new())),
+        (
+            "cpu-parallel",
+            Arc::new(CpuParallelAdapter::with_defaults()),
+        ),
+        ("gpu-sim", Arc::new(crate::GpuSimAdapter::new(spec.clone()))),
+    ];
+    // The fully optimized pipeline for the codec × adapter matrix; the
+    // two baseline schedules ride along once (they exercise the
+    // alloc/free replay paths the optimized plan removes via the CMM).
+    let optimized = PipelineOptions {
+        mode: PipelineMode::Fixed {
+            chunk_bytes: 8 * row_bytes,
+        },
+        two_buffers: true,
+        cmm: true,
+        deser_first: true,
+        serial_queue: false,
+        host_staging: false,
+    };
+    let explore_opts = ExploreOptions::default();
+    let mut report = AuditReport::default();
+
+    let audit_one = |report: &mut AuditReport,
+                     name: String,
+                     direction: Direction,
+                     opts: &PipelineOptions,
+                     mut sim: hpdr_sim::Sim|
+     -> Result<()> {
+        let dag = sim.dag();
+        sim.set_audit(true);
+        sim.run();
+        let effects = diff_effects(&dag, &sim.take_observed());
+        let explore = explore(&dag, &lint_config(direction, opts), &explore_opts)
+            .map_err(HpdrError::invalid)?;
+        report.configs.push(ConfigAudit {
+            name,
+            direction: match direction {
+                Direction::Compress => "compress",
+                Direction::Decompress => "decompress",
+            },
+            effects,
+            explore,
+        });
+        Ok(())
+    };
+
+    let audit_pair = |report: &mut AuditReport,
+                      name: String,
+                      reducer: Arc<dyn hpdr_core::Reducer>,
+                      adapter: Arc<dyn hpdr_core::DeviceAdapter>,
+                      opts: &PipelineOptions|
+     -> Result<()> {
+        let sim = plan_compress(
+            &spec,
+            Arc::clone(&adapter),
+            Arc::clone(&reducer),
+            Arc::clone(&input),
+            &meta,
+            opts,
+        )?;
+        audit_one(report, name.clone(), Direction::Compress, opts, sim)?;
+        let (container, _) = compress_pipelined(
+            &spec,
+            Arc::clone(&adapter),
+            Arc::clone(&reducer),
+            Arc::clone(&input),
+            &meta,
+            opts,
+        )?;
+        let sim = plan_decompress(&spec, adapter, reducer, &container, opts)?;
+        audit_one(report, name, Direction::Decompress, opts, sim)
+    };
+
+    for (codec_name, codec) in &codecs {
+        for (adapter_name, adapter) in &adapters {
+            audit_pair(
+                &mut report,
+                format!("{codec_name}/{adapter_name}"),
+                codec.reducer(),
+                Arc::clone(adapter),
+                &optimized,
+            )?;
+        }
+    }
+    for (base_name, base_opts) in [
+        (
+            "baseline-unoptimized",
+            PipelineOptions::baseline_unoptimized(),
+        ),
+        (
+            "baseline-per-step",
+            PipelineOptions::baseline_per_step(8 * row_bytes),
+        ),
+    ] {
+        audit_pair(
+            &mut report,
+            format!("huffman/serial {base_name}"),
+            Codec::Huffman.reducer(),
+            Arc::clone(&adapters[0].1),
+            &base_opts,
+        )?;
+    }
+
+    let doc = report.to_json();
+    hpdr_audit::validate_audit_json(&doc)
+        .map_err(|e| HpdrError::invalid(format!("audit report failed validation: {e}")))?;
+    let mut lines = if json {
+        vec![doc.clone()]
+    } else {
+        report.describe()
+    };
+    if let Some(path) = out {
+        std::fs::write(path, doc.as_bytes())?;
+        lines.push(format!("wrote {path}"));
+    }
+    if !report.is_sound() {
+        return Err(HpdrError::invalid(format!(
+            "audit found {} unsound finding(s) across {} configuration(s):\n{}",
+            report.errors(),
+            report.configs.len(),
             lines.join("\n")
         )));
     }
@@ -1235,8 +1430,51 @@ mod tests {
         );
         let json = run(Command::Verify { json: true }).unwrap();
         let blob = json.last().unwrap();
+        // Shared envelope family with `hpdr audit`.
+        assert_eq!(
+            hpdr_verify::envelope::read_header(blob, hpdr_verify::envelope::SCHEMA_VERIFY),
+            Ok(true),
+            "{blob}"
+        );
         assert!(blob.contains("\"dirty\":0"), "{blob}");
         assert!(blob.contains("\"hazards\":[]"));
+    }
+
+    #[test]
+    fn audit_reports_all_shipped_configs_sound() {
+        assert!(matches!(
+            parse(&argv("audit --json --out a.json")).unwrap(),
+            Command::Audit { json: true, out: Some(ref p) } if p == "a.json"
+        ));
+        let lines = run(parse(&argv("audit")).unwrap()).unwrap();
+        assert!(
+            lines
+                .last()
+                .unwrap()
+                .contains("0 error(s), 0 warning(s), 0 interleaving violation(s)"),
+            "{lines:?}"
+        );
+        let json = run(Command::Audit {
+            json: true,
+            out: None,
+        })
+        .unwrap();
+        let blob = json.last().unwrap();
+        hpdr_audit::validate_audit_json(blob).unwrap();
+        assert_eq!(
+            hpdr_verify::envelope::read_header(blob, hpdr_verify::envelope::SCHEMA_AUDIT),
+            Ok(true)
+        );
+        // Both directions of the codec × adapter matrix are present.
+        for name in ["mgard", "zfp", "huffman", "sz", "lz4"] {
+            for adapter in ["serial", "cpu-parallel", "gpu-sim"] {
+                assert!(
+                    blob.contains(&format!("\"{name}/{adapter}\"")),
+                    "{name}/{adapter}"
+                );
+            }
+        }
+        assert!(blob.contains("baseline-per-step"));
     }
 
     #[test]

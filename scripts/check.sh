@@ -23,6 +23,19 @@ cargo bench --workspace --no-run --quiet
 echo "==> hpdr verify"
 cargo run --release -p hpdr --bin hpdr -- verify
 
+echo "==> hpdr audit (effect diff + interleaving exploration, schema-valid json)"
+cargo run --release -p hpdr --bin hpdr -- audit --json --out target/AUDIT_ci.json \
+  > /dev/null
+test -s target/AUDIT_ci.json
+grep -q '"schema":"hpdr-audit/v1"' target/AUDIT_ci.json
+grep -q '"ok":true' target/AUDIT_ci.json
+
+echo "==> loom model checking (pool handoff, shared cells, context cache)"
+# Separate target dir: --cfg loom changes every crate's fingerprint and
+# would otherwise evict the regular build cache.
+CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
+  cargo test -p hpdr-core --test loom --quiet
+
 echo "==> hpdr profile (trace smoke: non-empty trace, utilization in (0,1])"
 cargo run --release -p hpdr --bin hpdr -- profile | tail -n 1 | grep -q "invariants ok"
 cargo run --release -p hpdr --bin hpdr -- profile --figure fig1
@@ -50,8 +63,10 @@ grep -q '"schema": "hpdr-metrics/v1"' target/LOADGEN_m1.json
 grep -q '# TYPE serve_queue_jobs gauge' target/METRICS_1.prom
 
 echo "==> hpdr slo --report (per-tenant SLO attainment from the metered run)"
+# Plain grep (not -q): -q closes the pipe at first match and the tool's
+# remaining prints die with SIGPIPE under pipefail.
 cargo run --release -p hpdr --bin hpdr -- slo --report target/LOADGEN_m1.json \
-  | grep -q "latency target"
+  | grep "latency target" > /dev/null
 
 echo "==> hpdr bench --compare (paired metering overhead within 2%)"
 # Row threshold is deliberately loose: cross-run quick-bench wall-clock

@@ -1,0 +1,1015 @@
+//! Offline stub of the `loom` model checker.
+//!
+//! The build container has no crates.io access, so this crate
+//! re-implements the subset of loom's API that the workspace's
+//! `cfg(loom)` tests use: [`model`], [`thread`], [`sync`] (Mutex,
+//! Condvar, Arc, atomics) and [`cell::UnsafeCell`].
+//!
+//! # How it checks
+//!
+//! Every execution runs the model body on real OS threads that are
+//! **serialized by a token**: exactly one model thread runs at a time,
+//! and every loom primitive operation (atomic access, mutex lock,
+//! condvar wait/notify, `yield_now`) is a *scheduling point* where the
+//! checker may hand the token to a different runnable thread. The
+//! scheduler records every choice it makes; after an execution
+//! completes it backtracks depth-first to the last choice with an
+//! untried alternative and replays. The search therefore enumerates
+//! every distinct interleaving at primitive-operation granularity.
+//!
+//! Two bounds keep the search finite and honest:
+//!
+//! * **Preemption bound** (`LOOM_MAX_PREEMPTIONS`, default 2):
+//!   schedules may switch away from a still-runnable thread at most N
+//!   times per execution. Voluntary switches (block, finish) are free.
+//!   This is the classic CHESS-style bound — most concurrency bugs
+//!   manifest within 2 preemptions — and the same knob real loom
+//!   exposes. Exhaustiveness claims are *up to this bound*.
+//! * **Iteration cap** (`LOOM_MAX_ITERATIONS`, default 100 000): the
+//!   checker panics rather than silently truncating the search, so a
+//!   passing test genuinely explored its whole (bounded) space.
+//!
+//! # Semantics and limitations vs real loom
+//!
+//! * Atomics are **sequentially consistent** regardless of the
+//!   `Ordering` argument. Bugs that only manifest under relaxed
+//!   memory orderings are not found; bugs in the *protocol* (lost
+//!   wakeups, deadlocks, ordering races, lost updates) are.
+//! * `Condvar` has no spurious wakeups; `notify_one` wakes the
+//!   longest-waiting thread deterministically.
+//! * No vector-clock data-race detector: `cell::UnsafeCell` does not
+//!   flag concurrent `with`/`with_mut` access by itself — assert on
+//!   observable state instead.
+//! * Deadlock (every live thread blocked) is detected and reported
+//!   with the schedule that produced it.
+//!
+//! Model code that uses `std::panic::catch_unwind` must re-raise
+//! [`AbortedExecution`] payloads (see its docs): the checker uses that
+//! panic to unwind sibling threads once an execution has failed.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{
+    Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+};
+
+/// Panic payload used to tear down the remaining threads of an
+/// execution after one thread has already failed (panic or deadlock).
+///
+/// Model code that catches panics (e.g. a model of a panic-capturing
+/// protocol) must check for this payload and re-raise it:
+///
+/// ```ignore
+/// if payload.is::<loom::AbortedExecution>() {
+///     std::panic::resume_unwind(payload);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct AbortedExecution;
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler runtime
+// ---------------------------------------------------------------------------
+
+mod rt {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ThreadState {
+        Runnable,
+        BlockedMutex(usize),
+        BlockedCond(usize),
+        BlockedJoin(usize),
+        Finished,
+    }
+
+    pub struct Inner {
+        pub threads: Vec<ThreadState>,
+        /// Thread currently holding the run token.
+        pub current: usize,
+        /// Choices to replay from earlier executions (DFS prefix).
+        pub replay: Vec<usize>,
+        pub pos: usize,
+        /// Every choice made this execution: (chosen index, options).
+        pub decisions: Vec<(usize, usize)>,
+        pub mutex_holders: Vec<Option<usize>>,
+        /// FIFO waiter queues, one per condvar.
+        pub cond_waiters: Vec<Vec<usize>>,
+        pub preemptions: usize,
+        pub preemption_budget: usize,
+        /// First failure of the execution (panic message or deadlock).
+        pub abort: Option<String>,
+    }
+
+    pub struct Scheduler {
+        inner: StdMutex<Inner>,
+        cv: StdCondvar,
+    }
+
+    impl Scheduler {
+        pub fn new(replay: Vec<usize>, preemption_budget: usize) -> Scheduler {
+            Scheduler {
+                inner: StdMutex::new(Inner {
+                    threads: Vec::new(),
+                    current: 0,
+                    replay,
+                    pos: 0,
+                    decisions: Vec::new(),
+                    mutex_holders: Vec::new(),
+                    cond_waiters: Vec::new(),
+                    preemptions: 0,
+                    preemption_budget,
+                    abort: None,
+                }),
+                cv: StdCondvar::new(),
+            }
+        }
+
+        /// Lock the scheduler state, ignoring poisoning: teardown panics
+        /// intentionally unwind through scheduler calls.
+        fn lock(&self) -> StdMutexGuard<'_, Inner> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        fn check_abort(inner: &Inner) {
+            if inner.abort.is_some() {
+                std::panic::panic_any(AbortedExecution);
+            }
+        }
+
+        /// Pick the next thread to run and record the decision.
+        /// No-op once the execution has aborted or fully finished.
+        fn pick(&self, inner: &mut Inner) {
+            if inner.abort.is_some() {
+                self.cv.notify_all();
+                return;
+            }
+            let runnable: Vec<usize> = (0..inner.threads.len())
+                .filter(|&t| inner.threads[t] == ThreadState::Runnable)
+                .collect();
+            if runnable.is_empty() {
+                if inner.threads.iter().any(|t| *t != ThreadState::Finished) {
+                    let blocked: Vec<String> = inner
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| **t != ThreadState::Finished)
+                        .map(|(i, t)| format!("thread {i}: {t:?}"))
+                        .collect();
+                    inner.abort = Some(format!(
+                        "deadlock: every live thread is blocked ({})",
+                        blocked.join(", ")
+                    ));
+                }
+                self.cv.notify_all();
+                return;
+            }
+            // Keep the running thread first so choice 0 always means
+            // "continue without preemption" — the canonical DFS path.
+            let cur = inner.current;
+            let cur_runnable = runnable.contains(&cur);
+            let allowed: Vec<usize> = if cur_runnable {
+                if inner.preemptions >= inner.preemption_budget {
+                    vec![cur]
+                } else {
+                    std::iter::once(cur)
+                        .chain(runnable.iter().copied().filter(|&t| t != cur))
+                        .collect()
+                }
+            } else {
+                runnable
+            };
+            let choice = if inner.pos < inner.replay.len() {
+                inner.replay[inner.pos]
+            } else {
+                0
+            };
+            assert!(
+                choice < allowed.len(),
+                "loom: nondeterministic model — replayed choice {choice} of {} options \
+                 (model bodies must be deterministic; avoid HashMap iteration, time, randomness)",
+                allowed.len()
+            );
+            inner.pos += 1;
+            inner.decisions.push((choice, allowed.len()));
+            let chosen = allowed[choice];
+            if cur_runnable && chosen != cur {
+                inner.preemptions += 1;
+            }
+            inner.current = chosen;
+            self.cv.notify_all();
+        }
+
+        /// Wait until `me` holds the run token (panicking on abort).
+        fn wait_for_token<'a>(
+            &'a self,
+            me: usize,
+            mut inner: StdMutexGuard<'a, Inner>,
+        ) -> StdMutexGuard<'a, Inner> {
+            while inner.current != me {
+                Self::check_abort(&inner);
+                inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+            Self::check_abort(&inner);
+            inner
+        }
+
+        /// A scheduling point: the running thread offers the token.
+        pub fn switch(&self, me: usize) {
+            let mut inner = self.lock();
+            Self::check_abort(&inner);
+            self.pick(&mut inner);
+            drop(self.wait_for_token(me, inner));
+        }
+
+        /// Register a new model thread (Runnable, not yet scheduled).
+        pub fn register_thread(&self) -> usize {
+            let mut inner = self.lock();
+            inner.threads.push(ThreadState::Runnable);
+            inner.threads.len() - 1
+        }
+
+        /// First scheduling of a freshly spawned thread.
+        pub fn start(&self, me: usize) {
+            let inner = self.lock();
+            drop(self.wait_for_token(me, inner));
+        }
+
+        pub fn register_mutex(&self) -> usize {
+            let mut inner = self.lock();
+            inner.mutex_holders.push(None);
+            inner.mutex_holders.len() - 1
+        }
+
+        pub fn register_condvar(&self) -> usize {
+            let mut inner = self.lock();
+            inner.cond_waiters.push(Vec::new());
+            inner.cond_waiters.len() - 1
+        }
+
+        /// Block `me` (state already set by the caller inside `inner`)
+        /// until a waker marks it runnable and the scheduler picks it.
+        fn block<'a>(
+            &'a self,
+            me: usize,
+            mut inner: StdMutexGuard<'a, Inner>,
+        ) -> StdMutexGuard<'a, Inner> {
+            self.pick(&mut inner);
+            self.wait_for_token(me, inner)
+        }
+
+        pub fn acquire_mutex(&self, mid: usize, me: usize) {
+            let mut inner = self.lock();
+            loop {
+                Self::check_abort(&inner);
+                if inner.mutex_holders[mid].is_none() {
+                    inner.mutex_holders[mid] = Some(me);
+                    return;
+                }
+                inner.threads[me] = ThreadState::BlockedMutex(mid);
+                inner = self.block(me, inner);
+            }
+        }
+
+        /// Release a mutex and make its waiters runnable. Never panics
+        /// (called from guard Drop, possibly mid-unwind).
+        pub fn release_mutex(&self, mid: usize, me: usize) {
+            let mut inner = self.lock();
+            debug_assert_eq!(inner.mutex_holders[mid], Some(me));
+            inner.mutex_holders[mid] = None;
+            for t in 0..inner.threads.len() {
+                if inner.threads[t] == ThreadState::BlockedMutex(mid) {
+                    inner.threads[t] = ThreadState::Runnable;
+                }
+            }
+            self.cv.notify_all();
+        }
+
+        /// Register as a condvar waiter and block. The caller released
+        /// the associated mutex on this same token tenure, so the
+        /// release+wait pair is atomic with respect to the model.
+        pub fn cond_wait(&self, cid: usize, me: usize) {
+            let mut inner = self.lock();
+            Self::check_abort(&inner);
+            inner.cond_waiters[cid].push(me);
+            inner.threads[me] = ThreadState::BlockedCond(cid);
+            let inner = self.block(me, inner);
+            drop(inner);
+        }
+
+        pub fn notify(&self, cid: usize, all: bool) {
+            let mut inner = self.lock();
+            Self::check_abort(&inner);
+            let woken: Vec<usize> = if all {
+                std::mem::take(&mut inner.cond_waiters[cid])
+            } else if inner.cond_waiters[cid].is_empty() {
+                Vec::new()
+            } else {
+                vec![inner.cond_waiters[cid].remove(0)]
+            };
+            for t in woken {
+                inner.threads[t] = ThreadState::Runnable;
+            }
+            self.cv.notify_all();
+        }
+
+        pub fn join_wait(&self, me: usize, target: usize) {
+            self.switch(me);
+            let mut inner = self.lock();
+            Self::check_abort(&inner);
+            if inner.threads[target] != ThreadState::Finished {
+                inner.threads[me] = ThreadState::BlockedJoin(target);
+                let inner = self.block(me, inner);
+                Self::check_abort(&inner);
+            }
+        }
+
+        /// Mark `me` finished, recording `failure` (if any) as the
+        /// execution's abort reason, wake joiners, and pass the token on.
+        pub fn finish(&self, me: usize, failure: Option<String>) {
+            let mut inner = self.lock();
+            if let Some(msg) = failure {
+                if inner.abort.is_none() {
+                    inner.abort = Some(msg);
+                }
+            }
+            inner.threads[me] = ThreadState::Finished;
+            for t in 0..inner.threads.len() {
+                if inner.threads[t] == ThreadState::BlockedJoin(me) {
+                    inner.threads[t] = ThreadState::Runnable;
+                }
+            }
+            self.pick(&mut inner);
+        }
+
+        /// Orchestrator: wait until every model thread finished (or the
+        /// execution aborted).
+        pub fn wait_done(&self) {
+            let mut inner = self.lock();
+            loop {
+                if inner.abort.is_some()
+                    || inner.threads.iter().all(|t| *t == ThreadState::Finished)
+                {
+                    return;
+                }
+                inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn results(&self) -> (Vec<(usize, usize)>, Option<String>) {
+            let inner = self.lock();
+            (inner.decisions.clone(), inner.abort.clone())
+        }
+    }
+
+    thread_local! {
+        /// (scheduler, model thread id) of the current OS thread, set
+        /// while it participates in a model execution.
+        pub static CTX: RefCell<Option<(StdArc<Scheduler>, usize)>> =
+            const { RefCell::new(None) };
+    }
+
+    /// The current thread's model context; loom primitives are only
+    /// usable from inside `loom::model`.
+    pub fn ctx() -> (StdArc<Scheduler>, usize) {
+        CTX.with(|c| {
+            c.borrow()
+                .clone()
+                .expect("loom primitives may only be used inside loom::model")
+        })
+    }
+
+    /// Scheduling point for the current thread.
+    pub fn preempt() {
+        let (sched, me) = ctx();
+        sched.switch(me);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// model()
+// ---------------------------------------------------------------------------
+
+/// Explore every interleaving (up to the preemption bound) of `f`.
+///
+/// Equivalent to `model::Builder::new().check(f)`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model::Builder::new().check(f)
+}
+
+pub mod model {
+    use super::*;
+
+    fn env_usize(name: &str, default: usize) -> usize {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Configures a model-checking run.
+    pub struct Builder {
+        /// Max times a schedule may switch away from a runnable thread
+        /// (default: `LOOM_MAX_PREEMPTIONS` or 2).
+        pub preemption_bound: usize,
+        /// Executions to explore before the checker panics rather than
+        /// silently truncating (default: `LOOM_MAX_ITERATIONS` or 100 000).
+        pub max_iterations: usize,
+        /// Print the exploration count on completion
+        /// (default: set `LOOM_LOG` to any value).
+        pub log: bool,
+    }
+
+    impl Default for Builder {
+        fn default() -> Builder {
+            Builder::new()
+        }
+    }
+
+    impl Builder {
+        pub fn new() -> Builder {
+            Builder {
+                preemption_bound: env_usize("LOOM_MAX_PREEMPTIONS", 2),
+                max_iterations: env_usize("LOOM_MAX_ITERATIONS", 100_000),
+                log: std::env::var_os("LOOM_LOG").is_some(),
+            }
+        }
+
+        /// Run `f` under every schedule the DFS enumerates, panicking on
+        /// the first failing execution with its abort reason.
+        pub fn check<F>(&self, f: F)
+        where
+            F: Fn() + Send + Sync + 'static,
+        {
+            let f = StdArc::new(f);
+            let mut replay: Vec<usize> = Vec::new();
+            let mut executions = 0usize;
+            loop {
+                executions += 1;
+                assert!(
+                    executions <= self.max_iterations,
+                    "loom: exceeded {} executions without exhausting the schedule space; \
+                     shrink the model or raise LOOM_MAX_ITERATIONS",
+                    self.max_iterations
+                );
+                let sched = StdArc::new(rt::Scheduler::new(replay.clone(), self.preemption_bound));
+                let id0 = sched.register_thread();
+                debug_assert_eq!(id0, 0);
+                rt::CTX.with(|c| *c.borrow_mut() = Some((StdArc::clone(&sched), 0)));
+                let result = catch_unwind(AssertUnwindSafe(|| f()));
+                let failure = match result {
+                    Ok(()) => None,
+                    Err(p) if p.is::<AbortedExecution>() => None,
+                    Err(p) => Some(panic_message(p.as_ref())),
+                };
+                sched.finish(0, failure);
+                sched.wait_done();
+                rt::CTX.with(|c| *c.borrow_mut() = None);
+                let (decisions, abort) = sched.results();
+                if let Some(msg) = abort {
+                    panic!(
+                        "loom model failed after {executions} execution(s): {msg} (schedule {replay:?})"
+                    );
+                }
+                match next_schedule(decisions) {
+                    Some(next) => replay = next,
+                    None => break,
+                }
+            }
+            if self.log {
+                eprintln!(
+                    "loom: explored {executions} execution(s) at preemption bound {}",
+                    self.preemption_bound
+                );
+            }
+        }
+    }
+
+    /// DFS backtracking: bump the deepest decision with an untried
+    /// alternative; `None` when the space is exhausted.
+    fn next_schedule(mut decisions: Vec<(usize, usize)>) -> Option<Vec<usize>> {
+        while let Some(&(choice, options)) = decisions.last() {
+            if choice + 1 < options {
+                let n = decisions.len();
+                let mut replay: Vec<usize> = decisions.iter().map(|&(c, _)| c).collect();
+                replay[n - 1] += 1;
+                return Some(replay);
+            }
+            decisions.pop();
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+pub mod thread {
+    use super::*;
+
+    /// Handle to a spawned model thread. Unlike `std`, `join` never
+    /// returns `Err`: a panicking model thread aborts the whole
+    /// execution and the checker reports it from `loom::model`.
+    pub struct JoinHandle<T> {
+        id: usize,
+        os: Option<std::thread::JoinHandle<()>>,
+        result: StdArc<StdMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(mut self) -> std::thread::Result<T> {
+            let (sched, me) = rt::ctx();
+            sched.join_wait(me, self.id);
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            let v = self
+                .result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("loom: joined thread produced no value");
+            Ok(v)
+        }
+    }
+
+    /// Spawn a model thread. It runs only when the scheduler hands it
+    /// the token, so the interleaving with its parent is explored.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, _me) = rt::ctx();
+        let id = sched.register_thread();
+        let result: StdArc<StdMutex<Option<T>>> = StdArc::new(StdMutex::new(None));
+        let os = {
+            let sched = StdArc::clone(&sched);
+            let result = StdArc::clone(&result);
+            std::thread::Builder::new()
+                .name(format!("loom-{id}"))
+                .spawn(move || {
+                    rt::CTX.with(|c| *c.borrow_mut() = Some((StdArc::clone(&sched), id)));
+                    sched.start(id);
+                    let outcome = catch_unwind(AssertUnwindSafe(f));
+                    let failure = match outcome {
+                        Ok(v) => {
+                            *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                            None
+                        }
+                        Err(p) if p.is::<AbortedExecution>() => None,
+                        Err(p) => Some(format!(
+                            "thread {id} panicked: {}",
+                            panic_message(p.as_ref())
+                        )),
+                    };
+                    sched.finish(id, failure);
+                })
+                .expect("spawn loom model thread")
+        };
+        JoinHandle {
+            id,
+            os: Some(os),
+            result,
+        }
+    }
+
+    /// A pure scheduling point.
+    pub fn yield_now() {
+        rt::preempt();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync
+// ---------------------------------------------------------------------------
+
+pub mod sync {
+    use super::*;
+    use std::ops::{Deref, DerefMut};
+
+    pub use std::sync::Arc;
+
+    /// Model-checked mutex (std-shaped API; never poisoned).
+    pub struct Mutex<T> {
+        id: usize,
+        sched: StdArc<rt::Scheduler>,
+        data: StdMutex<T>,
+    }
+
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        me: usize,
+        inner: Option<StdMutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Must be called inside `loom::model` (the mutex registers
+        /// itself with the current execution's scheduler).
+        pub fn new(value: T) -> Mutex<T> {
+            let (sched, _me) = rt::ctx();
+            let id = sched.register_mutex();
+            Mutex {
+                id,
+                sched,
+                data: StdMutex::new(value),
+            }
+        }
+
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            let (sched, me) = rt::ctx();
+            sched.switch(me);
+            sched.acquire_mutex(self.id, me);
+            // Model-level acquisition succeeded, so the std mutex below
+            // is uncontended: it only orders this thread against the
+            // memory of previous (already released) holders.
+            let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+            Ok(MutexGuard {
+                lock: self,
+                me,
+                inner: Some(inner),
+            })
+        }
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard released")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard released")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release without a scheduling point: panicking here would
+            // double-panic during teardown unwinds. The next primitive
+            // op of this thread is the post-release interleaving point.
+            if self.inner.take().is_some() {
+                self.lock.sched.release_mutex(self.lock.id, self.me);
+            }
+        }
+    }
+
+    /// Model-checked condition variable. Waiter registration is atomic
+    /// with the mutex release (no lost-wakeup window in the model
+    /// itself — the protocols under test supply their own hazards).
+    pub struct Condvar {
+        id: usize,
+        sched: StdArc<rt::Scheduler>,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+
+    impl Condvar {
+        pub fn new() -> Condvar {
+            let (sched, _me) = rt::ctx();
+            let id = sched.register_condvar();
+            Condvar { id, sched }
+        }
+
+        pub fn wait<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+            let (sched, me) = rt::ctx();
+            let lock = guard.lock;
+            // Scheduling point at entry, still holding the mutex: other
+            // threads may run between the caller's predicate check and
+            // this wait (the window a lost-wakeup hazard lives in).
+            sched.switch(me);
+            // Taking `inner` disarms the guard's Drop; release + waiter
+            // registration happen on one token tenure (atomically).
+            drop(guard.inner.take());
+            sched.release_mutex(lock.id, me);
+            drop(guard);
+            sched.cond_wait(self.id, me);
+            lock.lock()
+        }
+
+        pub fn notify_one(&self) {
+            let (sched, me) = rt::ctx();
+            sched.switch(me);
+            self.sched.notify(self.id, false);
+        }
+
+        pub fn notify_all(&self) {
+            let (sched, me) = rt::ctx();
+            sched.switch(me);
+            self.sched.notify(self.id, true);
+        }
+    }
+
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+        use std::sync::Mutex as StdMutex;
+
+        fn lock<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+            m.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        macro_rules! atomic_int {
+            ($name:ident, $t:ty) => {
+                /// Model-checked atomic: every access is a scheduling
+                /// point; all orderings behave sequentially consistent.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    v: StdMutex<$t>,
+                }
+
+                impl $name {
+                    pub fn new(v: $t) -> $name {
+                        $name {
+                            v: StdMutex::new(v),
+                        }
+                    }
+
+                    pub fn load(&self, _order: Ordering) -> $t {
+                        crate::rt::preempt();
+                        *lock(&self.v)
+                    }
+
+                    pub fn store(&self, val: $t, _order: Ordering) {
+                        crate::rt::preempt();
+                        *lock(&self.v) = val;
+                    }
+
+                    pub fn swap(&self, val: $t, _order: Ordering) -> $t {
+                        crate::rt::preempt();
+                        std::mem::replace(&mut *lock(&self.v), val)
+                    }
+
+                    pub fn fetch_add(&self, val: $t, _order: Ordering) -> $t {
+                        crate::rt::preempt();
+                        let mut g = lock(&self.v);
+                        let old = *g;
+                        *g = old.wrapping_add(val);
+                        old
+                    }
+
+                    pub fn fetch_sub(&self, val: $t, _order: Ordering) -> $t {
+                        crate::rt::preempt();
+                        let mut g = lock(&self.v);
+                        let old = *g;
+                        *g = old.wrapping_sub(val);
+                        old
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        crate::rt::preempt();
+                        let mut g = lock(&self.v);
+                        if *g == current {
+                            *g = new;
+                            Ok(current)
+                        } else {
+                            Err(*g)
+                        }
+                    }
+                }
+            };
+        }
+
+        atomic_int!(AtomicUsize, usize);
+        atomic_int!(AtomicU64, u64);
+        atomic_int!(AtomicU32, u32);
+
+        /// Model-checked atomic bool (SC-only, like the integers).
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            v: StdMutex<bool>,
+        }
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> AtomicBool {
+                AtomicBool {
+                    v: StdMutex::new(v),
+                }
+            }
+
+            pub fn load(&self, _order: Ordering) -> bool {
+                crate::rt::preempt();
+                *lock(&self.v)
+            }
+
+            pub fn store(&self, val: bool, _order: Ordering) {
+                crate::rt::preempt();
+                *lock(&self.v) = val;
+            }
+
+            pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+                crate::rt::preempt();
+                std::mem::replace(&mut *lock(&self.v), val)
+            }
+
+            pub fn fetch_or(&self, val: bool, _order: Ordering) -> bool {
+                crate::rt::preempt();
+                let mut g = lock(&self.v);
+                let old = *g;
+                *g = old | val;
+                old
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cell
+// ---------------------------------------------------------------------------
+
+pub mod cell {
+    /// Loom-shaped `UnsafeCell`: raw access goes through closures so
+    /// every touch is a scheduling point. Unlike real loom there is no
+    /// vector-clock race detector — models assert on observable state.
+    #[derive(Debug, Default)]
+    pub struct UnsafeCell<T> {
+        data: std::cell::UnsafeCell<T>,
+    }
+
+    impl<T> UnsafeCell<T> {
+        pub fn new(value: T) -> UnsafeCell<T> {
+            UnsafeCell {
+                data: std::cell::UnsafeCell::new(value),
+            }
+        }
+
+        /// Immutable raw access. Callers uphold the usual aliasing
+        /// rules across threads (the pointer must not outlive `f`).
+        pub fn with<F, R>(&self, f: F) -> R
+        where
+            F: FnOnce(*const T) -> R,
+        {
+            crate::rt::preempt();
+            f(self.data.get())
+        }
+
+        /// Mutable raw access; same contract as [`UnsafeCell::with`].
+        pub fn with_mut<F, R>(&self, f: F) -> R
+        where
+            F: FnOnce(*mut T) -> R,
+        {
+            crate::rt::preempt();
+            f(self.data.get())
+        }
+
+        pub fn into_inner(self) -> T {
+            self.data.into_inner()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::thread;
+
+    #[test]
+    fn atomic_counter_is_correct_in_all_interleavings() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "loom model failed")]
+    fn finds_lost_update() {
+        // Non-atomic read-modify-write: some interleaving loses an
+        // increment, and the checker must find that schedule.
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn finds_lock_order_inversion() {
+        super::model(|| {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let t = {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                thread::spawn(move || {
+                    let _ga = a.lock().unwrap();
+                    let _gb = b.lock().unwrap();
+                })
+            };
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn condvar_handoff_never_loses_the_wakeup() {
+        // check-then-wait under the mutex: if the model's condvar had a
+        // lost-wakeup window this would deadlock in some schedule.
+        super::model(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let t = {
+                let state = Arc::clone(&state);
+                thread::spawn(move || {
+                    let (flag, cv) = &*state;
+                    let mut g = flag.lock().unwrap();
+                    *g = true;
+                    drop(g);
+                    cv.notify_all();
+                })
+            };
+            let (flag, cv) = &*state;
+            let mut g = flag.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+            drop(g);
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn join_returns_the_thread_value() {
+        super::model(|| {
+            let t = thread::spawn(|| 41usize + 1);
+            assert_eq!(t.join().unwrap(), 42);
+        });
+    }
+
+    #[test]
+    fn mutual_exclusion_holds() {
+        // Two threads do read-modify-write under a mutex: unlike the
+        // lost-update test, every interleaving must sum correctly.
+        super::model(|| {
+            let n = Arc::new(Mutex::new(0usize));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        let mut g = n.lock().unwrap();
+                        let v = *g;
+                        thread::yield_now();
+                        *g = v + 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*n.lock().unwrap(), 2);
+        });
+    }
+}
