@@ -68,6 +68,53 @@ impl ByteWriter {
     }
 }
 
+/// A `u32` magic + `u8` version frame shared by the HPDR container
+/// formats (MGARD-X streams, refactor containers, BP metadata indices,
+/// the progressive component manifest). Each format declares one
+/// constant `FrameHeader` and uses it on both sides, so the framing —
+/// and the corruption error wording — stays identical everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub magic: u32,
+    pub version: u8,
+    /// Container family name used in error messages ("refactor", …).
+    pub what: &'static str,
+}
+
+impl FrameHeader {
+    pub const fn new(magic: u32, version: u8, what: &'static str) -> FrameHeader {
+        FrameHeader {
+            magic,
+            version,
+            what,
+        }
+    }
+
+    /// Number of bytes the frame occupies at the head of a stream.
+    pub const LEN: usize = 5;
+
+    /// Emit the magic + version prefix.
+    pub fn write(&self, w: &mut ByteWriter) {
+        w.put_u32(self.magic);
+        w.put_u8(self.version);
+    }
+
+    /// Consume and check the prefix, distinguishing a foreign stream
+    /// (bad magic) from a future format revision (bad version).
+    pub fn read(&self, r: &mut ByteReader<'_>) -> Result<()> {
+        if r.get_u32()? != self.magic {
+            return Err(HpdrError::corrupt(format!("bad {} magic", self.what)));
+        }
+        if r.get_u8()? != self.version {
+            return Err(HpdrError::corrupt(format!(
+                "unsupported {} version",
+                self.what
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Bounds-checked little-endian reader over a byte slice.
 #[derive(Debug, Clone)]
 pub struct ByteReader<'a> {
@@ -233,6 +280,38 @@ mod tests {
         let mut r = ByteReader::new(&buf);
         r.get_u8().unwrap();
         assert!(r.expect_exhausted().is_err());
+    }
+
+    #[test]
+    fn frame_header_roundtrip_and_rejections() {
+        const FRAME: FrameHeader = FrameHeader::new(0xABCD_0102, 3, "test");
+        let mut w = ByteWriter::new();
+        FRAME.write(&mut w);
+        w.put_u8(9);
+        let buf = w.into_vec();
+        assert_eq!(buf.len(), FrameHeader::LEN + 1);
+        let mut r = ByteReader::new(&buf);
+        FRAME.read(&mut r).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 9);
+
+        // Wrong magic names the family.
+        let mut r = ByteReader::new(&buf);
+        let err = FrameHeader::new(0xABCD_0103, 3, "test")
+            .read(&mut r)
+            .unwrap_err();
+        assert!(err.to_string().contains("bad test magic"), "{err}");
+        // Wrong version is a distinct error.
+        let mut r = ByteReader::new(&buf);
+        let err = FrameHeader::new(0xABCD_0102, 4, "test")
+            .read(&mut r)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported test version"),
+            "{err}"
+        );
+        // Truncated stream fails cleanly.
+        let mut r = ByteReader::new(&buf[..3]);
+        assert!(FRAME.read(&mut r).is_err());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use adapter::{
     AdapterInfo, AdapterKind, CpuParallelAdapter, DeviceAdapter, KernelCharge, ScratchPolicy,
     SerialAdapter,
 };
-pub use bytesio::{ByteReader, ByteWriter};
+pub use bytesio::{ByteReader, ByteWriter, FrameHeader};
 pub use cmm::{fnv1a, CmmStats, ContextCache, ContextKey};
 pub use error::{HpdrError, Result};
 pub use float::{DType, Float};

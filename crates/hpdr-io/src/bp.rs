@@ -11,12 +11,12 @@
 //! cluster-scale experiments use the virtual filesystem model instead
 //! (`fsmodel`), since nobody has 62 TB of laptop.
 
-use hpdr_core::{ArrayMeta, ByteReader, ByteWriter, DType, HpdrError, Result, Shape};
+use hpdr_core::{ArrayMeta, ByteReader, ByteWriter, DType, FrameHeader, HpdrError, Result, Shape};
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-const MAGIC: u32 = 0x4250_3501; // "BP5" + version 1
+const FRAME: FrameHeader = FrameHeader::new(0x4250_3500 /* "BP5" */, 1, "BP index");
 
 /// One variable block as recorded in the metadata index.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,7 +121,7 @@ impl BpWriter {
             f.flush()?;
         }
         let mut w = ByteWriter::new();
-        w.put_u32(MAGIC);
+        FRAME.write(&mut w);
         w.put_u32(self.subfiles.len() as u32);
         w.put_u32(self.steps.len() as u32);
         for step in &self.steps {
@@ -159,9 +159,7 @@ impl BpReader {
         let dir = dir.as_ref().to_path_buf();
         let idx = fs::read(dir.join("md.idx"))?;
         let mut r = ByteReader::new(&idx);
-        if r.get_u32()? != MAGIC {
-            return Err(HpdrError::corrupt("bad BP index magic"));
-        }
+        FRAME.read(&mut r)?;
         let _subfiles = r.get_u32()?;
         let n_steps = r.get_u32()? as usize;
         let mut steps = Vec::with_capacity(n_steps);

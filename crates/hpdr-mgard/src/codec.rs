@@ -5,13 +5,12 @@ use crate::decompose::{decompose, recompose};
 use crate::hierarchy::Hierarchy;
 use crate::quantize::{dequantize, level_bin, quantize, Quantized};
 use hpdr_core::{
-    ByteReader, ByteWriter, ContextCache, ContextKey, DeviceAdapter, Float, HpdrError, KernelClass,
-    Result, Shape,
+    ByteReader, ByteWriter, ContextCache, ContextKey, DeviceAdapter, Float, FrameHeader, HpdrError,
+    KernelClass, Result, Shape,
 };
 use hpdr_huffman::HuffmanConfig;
 
-const MAGIC: u32 = 0x4D47_5831; // "MGX1"
-const VERSION: u8 = 1;
+const FRAME: FrameHeader = FrameHeader::new(0x4D47_5831 /* "MGX1" */, 1, "MGARD-X");
 
 /// Error-bound specification.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -201,8 +200,7 @@ pub fn compress<T: Float>(
 
     // Container.
     let mut w = ByteWriter::with_capacity(encoded.len() + 128);
-    w.put_u32(MAGIC);
-    w.put_u8(VERSION);
+    FRAME.write(&mut w);
     w.put_u8(T::DTYPE.tag());
     w.put_u8(shape.ndims() as u8);
     for &d in shape.dims() {
@@ -223,12 +221,7 @@ pub fn compress<T: Float>(
 /// Decompress an MGARD-X stream.
 pub fn decompress<T: Float>(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<(Vec<T>, Shape)> {
     let mut r = ByteReader::new(bytes);
-    if r.get_u32()? != MAGIC {
-        return Err(HpdrError::corrupt("bad MGARD-X magic"));
-    }
-    if r.get_u8()? != VERSION {
-        return Err(HpdrError::corrupt("unsupported MGARD-X version"));
-    }
+    FRAME.read(&mut r)?;
     if r.get_u8()? != T::DTYPE.tag() {
         return Err(HpdrError::invalid("dtype mismatch in MGARD-X stream"));
     }

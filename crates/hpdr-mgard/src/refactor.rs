@@ -16,12 +16,12 @@ use crate::codec::{context_cache, MgardContext};
 use crate::decompose::{decompose, recompose};
 use crate::quantize::{dequantize, level_bin, quantize, Quantized};
 use hpdr_core::{
-    ByteReader, ByteWriter, ContextKey, DeviceAdapter, Float, HpdrError, KernelClass, Result, Shape,
+    ByteReader, ByteWriter, ContextKey, DeviceAdapter, Float, FrameHeader, HpdrError, KernelClass,
+    Result, Shape,
 };
 use hpdr_huffman::HuffmanConfig;
 
-const MAGIC: u32 = 0x4D47_5246; // "MGRF"
-const VERSION: u8 = 1;
+const FRAME: FrameHeader = FrameHeader::new(0x4D47_5246 /* "MGRF" */, 1, "refactor");
 
 /// Configuration for refactoring.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,8 +71,7 @@ impl Refactored {
 
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
-        w.put_u32(MAGIC);
-        w.put_u8(VERSION);
+        FRAME.write(&mut w);
         w.put_u8(self.dtype_tag);
         w.put_u8(self.shape.ndims() as u8);
         for &d in self.shape.dims() {
@@ -94,12 +93,7 @@ impl Refactored {
 
     pub fn from_bytes(bytes: &[u8]) -> Result<Refactored> {
         let mut r = ByteReader::new(bytes);
-        if r.get_u32()? != MAGIC {
-            return Err(HpdrError::corrupt("bad refactor magic"));
-        }
-        if r.get_u8()? != VERSION {
-            return Err(HpdrError::corrupt("unsupported refactor version"));
-        }
+        FRAME.read(&mut r)?;
         let dtype_tag = r.get_u8()?;
         let nd = r.get_u8()? as usize;
         if !(1..=4).contains(&nd) {

@@ -13,8 +13,38 @@
 use crate::container::Container;
 use crate::runner::{timed_run, CompressJob, DecompressJob, PipelineOptions};
 use hpdr_core::{ArrayMeta, DeviceAdapter, HpdrError, Reducer, Result};
-use hpdr_sim::{DeviceSpec, Ns, Sim, Trace};
+use hpdr_sim::{DeviceId, DeviceSpec, Ns, Sim, Trace};
 use std::sync::Arc;
+
+/// A job type foreign to this crate that rides in a shared launch —
+/// e.g. progressive retrieval from `hpdr-progressive` (which sits
+/// *above* this crate in the dependency graph, so the batch primitive
+/// takes it through this trait instead of naming it). The item builds
+/// its own op DAG into the shared simulator and surfaces restored
+/// bytes like a decompress job.
+pub trait ExternalBatchJob {
+    /// Bytes on the uncompressed side (the goodput numerator).
+    fn raw_bytes(&self) -> u64;
+    /// Construct the job's per-launch state in the shared simulator.
+    fn build(
+        self: Box<Self>,
+        sim: &mut Sim,
+        dev: DeviceId,
+        work: Arc<dyn DeviceAdapter>,
+    ) -> Result<Box<dyn SubmittedBatchJob>>;
+}
+
+/// An external job after construction: chunk submission hooks mirror
+/// [`CompressJob`]/[`DecompressJob`] so `run_batch` interleaves it
+/// round-robin like any native job.
+pub trait SubmittedBatchJob {
+    fn num_chunks(&self) -> usize;
+    fn submit_chunk(&mut self, sim: &mut Sim, k: usize);
+    /// Trailing ops after the last chunk (gather/output stages).
+    fn finish_submission(&mut self, sim: &mut Sim);
+    /// Collect the restored bytes after `sim.run()`.
+    fn finish(self: Box<Self>) -> Result<(Vec<u8>, ArrayMeta)>;
+}
 
 /// One job in a shared launch.
 pub enum BatchItem {
@@ -27,6 +57,7 @@ pub enum BatchItem {
         reducer: Arc<dyn Reducer>,
         container: Container,
     },
+    External(Box<dyn ExternalBatchJob>),
 }
 
 impl BatchItem {
@@ -35,6 +66,7 @@ impl BatchItem {
         match self {
             BatchItem::Compress { input, .. } => input.len() as u64,
             BatchItem::Decompress { container, .. } => container.meta.num_bytes() as u64,
+            BatchItem::External(job) => job.raw_bytes(),
         }
     }
 }
@@ -77,6 +109,7 @@ enum JobState {
         /// Output byte offset per chunk.
         starts: Vec<usize>,
     },
+    External(Box<dyn SubmittedBatchJob>),
     /// Construction failed; the error is already in the output slot.
     Failed,
 }
@@ -86,6 +119,7 @@ impl JobState {
         match self {
             JobState::Compress(j) => j.num_chunks(),
             JobState::Decompress { job, .. } => job.num_chunks(),
+            JobState::External(job) => job.num_chunks(),
             JobState::Failed => 0,
         }
     }
@@ -170,6 +204,16 @@ pub fn run_batch(
                     }
                 }
             }
+            BatchItem::External(ext) => match ext.build(&mut sim, dev, Arc::clone(&work)) {
+                Ok(job) => {
+                    jobs.push(JobState::External(job));
+                    outputs.push(None);
+                }
+                Err(e) => {
+                    jobs.push(JobState::Failed);
+                    outputs.push(Some(Err(e)));
+                }
+            },
         }
     }
 
@@ -186,13 +230,16 @@ pub fn run_batch(
             match state {
                 JobState::Compress(job) => job.submit_chunk(&mut sim, k),
                 JobState::Decompress { job, starts } => job.submit_chunk(&mut sim, k, starts[k]),
+                JobState::External(job) => job.submit_chunk(&mut sim, k),
                 JobState::Failed => unreachable!("failed jobs have zero chunks"),
             }
         }
     }
     for state in &mut jobs {
-        if let JobState::Decompress { job, .. } = state {
-            job.finish_submission(&mut sim);
+        match state {
+            JobState::Decompress { job, .. } => job.finish_submission(&mut sim),
+            JobState::External(job) => job.finish_submission(&mut sim),
+            _ => {}
         }
     }
 
@@ -207,6 +254,12 @@ pub fn run_batch(
                 *slot = Some(job.finish().map(BatchOutput::Compressed));
             }
             JobState::Decompress { job, .. } => {
+                *slot = Some(
+                    job.finish()
+                        .map(|(bytes, meta)| BatchOutput::Restored(bytes, meta)),
+                );
+            }
+            JobState::External(job) => {
                 *slot = Some(
                     job.finish()
                         .map(|(bytes, meta)| BatchOutput::Restored(bytes, meta)),

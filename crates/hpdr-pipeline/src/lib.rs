@@ -17,7 +17,9 @@ pub mod multigpu;
 pub mod roofline;
 pub mod runner;
 
-pub use batch::{run_batch, BatchItem, BatchOutput, BatchReport};
+pub use batch::{
+    run_batch, BatchItem, BatchOutput, BatchReport, ExternalBatchJob, SubmittedBatchJob,
+};
 pub use container::{fixed_chunks, Container};
 pub use multigpu::{
     average_scalability, compress_multi_gpu, decompress_multi_gpu, decompress_scalability_sweep,

@@ -1,0 +1,67 @@
+//! Greedy fetch planning over a component manifest.
+//!
+//! Candidates are the next unfetched plane of each level (planes must
+//! be consumed MSB-first for the error bound to hold); the planner
+//! repeatedly picks the candidate with the best **error-contribution
+//! per byte** until the guaranteed bound meets the tolerance or every
+//! component is planned.
+
+use crate::refactoring::Manifest;
+
+/// A planned fetch: which components, in which order, and what the
+/// bound will be once they are all decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchPlan {
+    /// Absolute tolerance the plan was built for.
+    pub tolerance: f64,
+    /// Indices into `manifest.components`, in fetch order.
+    pub picks: Vec<usize>,
+    /// Total bytes the plan will fetch.
+    pub bytes: u64,
+    /// Guaranteed L∞ bound after the plan completes (may exceed the
+    /// tolerance only when every component is already planned/held —
+    /// the refactoring's full-precision floor).
+    pub bound: f64,
+}
+
+/// Plan the minimal greedy fetch reaching `tolerance` (absolute L∞),
+/// given `held[l]` planes of each level are already decoded.
+pub fn plan_fetch(manifest: &Manifest, held: &[u8], tolerance: f64) -> FetchPlan {
+    let levels = manifest.levels as usize;
+    let mut held: Vec<u8> = (0..levels)
+        .map(|l| held.get(l).copied().unwrap_or(0))
+        .collect();
+    let mut picks = Vec::new();
+    let mut bytes = 0u64;
+    let mut bound = manifest.bound_with(&held);
+    while bound > tolerance {
+        // Next unfetched plane of each level, scored by drop per byte.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (l, &h) in held.iter().enumerate() {
+            if h >= manifest.level_planes[l] {
+                continue;
+            }
+            let idx = manifest
+                .component_index(l as u8, h)
+                .expect("manifest missing a (level, plane) component");
+            let c = &manifest.components[idx];
+            let gain = c.err_drop / c.bytes.max(1) as f64;
+            if best.is_none_or(|(g, _, _)| gain > g) {
+                best = Some((gain, l, idx));
+            }
+        }
+        let Some((_, l, idx)) = best else {
+            break; // everything planned: bound is the precision floor
+        };
+        held[l] += 1;
+        bytes += manifest.components[idx].bytes;
+        picks.push(idx);
+        bound = manifest.bound_with(&held);
+    }
+    FetchPlan {
+        tolerance,
+        picks,
+        bytes,
+        bound,
+    }
+}

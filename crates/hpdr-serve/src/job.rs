@@ -11,6 +11,7 @@ use hpdr_core::{fnv1a, ArrayMeta, ContextKey, Reducer};
 use hpdr_huffman::ByteHuffmanReducer;
 use hpdr_mgard::{MgardConfig, MgardReducer};
 use hpdr_pipeline::Container;
+use hpdr_progressive::{FetchPlan, Refactoring};
 use hpdr_sim::Ns;
 use hpdr_zfp::{ZfpConfig, ZfpReducer};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,11 +25,18 @@ pub struct TenantId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
-/// Direction of a reduction job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Direction of a reduction job. `Retrieve` carries its tolerance (so
+/// records show the requested fidelity); batching compatibility is by
+/// [`JobKind::name`], so mixed-tolerance retrievals fold into one
+/// shared launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum JobKind {
     Compress,
     Decompress,
+    /// Progressive retrieval at an absolute L∞ tolerance.
+    Retrieve {
+        tolerance: f64,
+    },
 }
 
 impl JobKind {
@@ -36,6 +44,7 @@ impl JobKind {
         match self {
             JobKind::Compress => "compress",
             JobKind::Decompress => "decompress",
+            JobKind::Retrieve { .. } => "retrieve",
         }
     }
 }
@@ -160,6 +169,17 @@ pub enum JobPayload {
     Decompress {
         container: Arc<Container>,
     },
+    /// Progressive retrieval against a shared refactoring: tenants at
+    /// different tolerances hold the *same* `Arc<Refactoring>` (the
+    /// payload cache's coarse-component sharing) plus the fetch plan
+    /// computed for their fidelity.
+    Retrieve {
+        set: Arc<Refactoring>,
+        plan: Arc<FetchPlan>,
+        /// Absolute L∞ tolerance.
+        tolerance: f64,
+        meta: ArrayMeta,
+    },
 }
 
 impl JobPayload {
@@ -167,6 +187,9 @@ impl JobPayload {
         match self {
             JobPayload::Compress { .. } => JobKind::Compress,
             JobPayload::Decompress { .. } => JobKind::Decompress,
+            JobPayload::Retrieve { tolerance, .. } => JobKind::Retrieve {
+                tolerance: *tolerance,
+            },
         }
     }
 
@@ -175,6 +198,7 @@ impl JobPayload {
         match self {
             JobPayload::Compress { input, .. } => input.len() as u64,
             JobPayload::Decompress { container } => container.meta.num_bytes() as u64,
+            JobPayload::Retrieve { meta, .. } => meta.num_bytes() as u64,
         }
     }
 
@@ -183,6 +207,7 @@ impl JobPayload {
         match self {
             JobPayload::Compress { meta, .. } => meta,
             JobPayload::Decompress { container } => &container.meta,
+            JobPayload::Retrieve { meta, .. } => meta,
         }
     }
 }
@@ -229,11 +254,17 @@ impl JobRequest {
         self.cancel.is_cancelled() || self.cancel_at.is_some_and(|t| t <= now)
     }
 
-    /// CMM key for this job on `device`.
+    /// CMM key for this job on `device`. Retrieve jobs key by the
+    /// progressive algorithm and *not* by tolerance, so tenants at
+    /// mixed fidelities share one context family per (shape, codec).
     pub fn context_key(&self, device: usize) -> ContextKey {
         let meta = self.payload.meta();
+        let algorithm = match self.payload {
+            JobPayload::Retrieve { .. } => "hpdr-progressive",
+            _ => self.codec.name(),
+        };
         ContextKey {
-            algorithm: self.codec.name(),
+            algorithm,
             dtype: meta.dtype,
             shape: meta.shape.dims().to_vec(),
             config_hash: self.codec.config_hash(),

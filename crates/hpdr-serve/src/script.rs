@@ -3,8 +3,8 @@
 //! One job per line:
 //!
 //! ```text
-//! <arrival_us> <tenant> <compress|decompress> <codec[:param]> <side> \
-//!     [prio=N] [deadline_us=N] [cancel_us=N]
+//! <arrival_us> <tenant> <compress|decompress|retrieve> <codec[:param]> <side> \
+//!     [tol=F] [prio=N] [deadline_us=N] [cancel_us=N]
 //! ```
 //!
 //! `#` starts a comment; blank lines are skipped. `side` is the cube
@@ -12,12 +12,20 @@
 //! the same script always produces the same payload bytes. Decompress
 //! jobs are materialized at parse time: the field is compressed once
 //! per (codec, side) and the resulting container shared across all
-//! jobs that decompress it.
+//! jobs that decompress it. Retrieve jobs refactor the field once per
+//! (codec, side) into a progressive component set shared across every
+//! tolerance; `tol=F` is the **relative** L∞ tolerance (× data range,
+//! default 1e-2), and fetch plans are cached per (codec, side,
+//! tolerance) so repeated fidelities across tenants are plan-cache
+//! hits.
 
 use crate::error::ServeError;
 use crate::job::{JobPayload, JobRequest, ServeCodec, TenantId};
 use hpdr_core::{ArrayMeta, DType, DeviceAdapter};
 use hpdr_pipeline::Container;
+use hpdr_progressive::{
+    plan_fetch, refactor_progressive, FetchPlan, ProgressiveConfig, Refactoring,
+};
 use hpdr_sim::Ns;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -25,11 +33,23 @@ use std::sync::Arc;
 /// Deterministic dataset seed used by scripted payloads.
 const DATA_SEED: u64 = 7;
 
+/// Default relative tolerance for `retrieve` jobs without `tol=`.
+pub const DEFAULT_RETRIEVE_TOL: f64 = 1e-2;
+
 /// Payload factory with per-(side) input and per-(codec, side)
 /// container caches so scripts and generators share materialization.
+/// Retrieve jobs add a per-(codec, side) refactoring cache (the shared
+/// coarse components) and a per-(codec, side, tolerance) plan cache
+/// with hit counters.
 pub struct PayloadCache {
     inputs: BTreeMap<usize, (Arc<Vec<u8>>, ArrayMeta)>,
     containers: BTreeMap<(String, usize), Arc<Container>>,
+    retrievals: BTreeMap<(String, usize), Arc<Refactoring>>,
+    plans: BTreeMap<(String, usize, u64), Arc<FetchPlan>>,
+    /// Fetch plans served from cache (same codec, side and tolerance).
+    pub plan_hits: u64,
+    /// Fetch plans computed fresh.
+    pub plan_misses: u64,
 }
 
 impl PayloadCache {
@@ -37,6 +57,10 @@ impl PayloadCache {
         PayloadCache {
             inputs: BTreeMap::new(),
             containers: BTreeMap::new(),
+            retrievals: BTreeMap::new(),
+            plans: BTreeMap::new(),
+            plan_hits: 0,
+            plan_misses: 0,
         }
     }
 
@@ -77,6 +101,85 @@ impl PayloadCache {
         });
         self.containers.insert(key, Arc::clone(&container));
         Ok(container)
+    }
+
+    /// The progressive refactoring of the `side` field (refactored
+    /// once per (codec, side); every tolerance shares the same
+    /// `Arc`'d component set). An `mgard:<rel_eb>` codec sets the
+    /// refactoring's full-precision floor; other codecs use the
+    /// default.
+    pub fn refactoring(
+        &mut self,
+        codec: ServeCodec,
+        side: usize,
+        work: &dyn DeviceAdapter,
+    ) -> Result<Arc<Refactoring>, ServeError> {
+        let key = (codec.label(), side);
+        if let Some(r) = self.retrievals.get(&key) {
+            return Ok(Arc::clone(r));
+        }
+        let (input, meta) = self.input(side);
+        let data: Vec<f32> = input
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+            .collect();
+        let cfg = ProgressiveConfig {
+            rel_bound: match codec {
+                ServeCodec::Mgard { rel_eb } => rel_eb,
+                _ => ProgressiveConfig::default().rel_bound,
+            },
+            ..ProgressiveConfig::default()
+        };
+        let set = refactor_progressive(work, &data, &meta.shape, &cfg)
+            .map_err(|e| ServeError::InvalidJob(format!("refactoring failed: {e}")))?;
+        let set = Arc::new(set);
+        self.retrievals.insert(key, Arc::clone(&set));
+        Ok(set)
+    }
+
+    /// A retrieval payload at relative tolerance `rel_tol` (× the
+    /// field's range). Plans are cached per (codec, side, tolerance).
+    pub fn retrieval(
+        &mut self,
+        codec: ServeCodec,
+        side: usize,
+        rel_tol: f64,
+        work: &dyn DeviceAdapter,
+    ) -> Result<JobPayload, ServeError> {
+        if rel_tol <= 0.0 || !rel_tol.is_finite() {
+            return Err(ServeError::InvalidJob(format!(
+                "retrieve tolerance {rel_tol} must be positive"
+            )));
+        }
+        let set = self.refactoring(codec, side, work)?;
+        let tolerance = rel_tol * set.manifest.range;
+        let key = (codec.label(), side, rel_tol.to_bits());
+        let plan = match self.plans.get(&key) {
+            Some(p) => {
+                self.plan_hits += 1;
+                Arc::clone(p)
+            }
+            None => {
+                self.plan_misses += 1;
+                let p = Arc::new(plan_fetch(
+                    &set.manifest,
+                    &vec![0; set.manifest.levels as usize],
+                    tolerance,
+                ));
+                self.plans.insert(key, Arc::clone(&p));
+                p
+            }
+        };
+        let meta = set
+            .manifest
+            .meta()
+            .map_err(|e| ServeError::InvalidJob(e.to_string()))?;
+        Ok(JobPayload::Retrieve {
+            set,
+            plan,
+            tolerance,
+            meta,
+        })
     }
 
     /// Build a payload for one job.
@@ -141,11 +244,9 @@ fn parse_line(
         .parse()
         .map_err(|_| bad("bad <tenant>".into()))?;
     let kind = next("kind")?;
-    let compress = match kind {
-        "compress" => true,
-        "decompress" => false,
-        other => return Err(bad(format!("unknown kind '{other}'"))),
-    };
+    if !matches!(kind, "compress" | "decompress" | "retrieve") {
+        return Err(bad(format!("unknown kind '{kind}'")));
+    }
     let codec = ServeCodec::parse(next("codec")?)?;
     let side: usize = next("side")?
         .parse()
@@ -154,46 +255,71 @@ fn parse_line(
         return Err(bad(format!("side {side} out of range 1..=64")));
     }
 
+    // Options first: `tol=` feeds payload construction.
     let arrival = Ns::from_micros(arrival_us);
-    let mut req = JobRequest::new(
-        TenantId(tenant),
-        arrival,
-        codec,
-        cache.payload(compress, codec, side, work)?,
-    );
+    let mut tol = DEFAULT_RETRIEVE_TOL;
+    let mut priority = 0u8;
+    let mut deadline = None;
+    let mut cancel_at = None;
     for opt in parts {
         let (key, value) = opt
             .split_once('=')
             .ok_or_else(|| bad(format!("bad option '{opt}' (want key=value)")))?;
+        if key == "tol" {
+            if kind != "retrieve" {
+                return Err(bad("tol= is only valid on retrieve jobs".into()));
+            }
+            tol = value
+                .parse::<f64>()
+                .map_err(|_| bad(format!("bad value in '{opt}'")))?;
+            if tol <= 0.0 || !tol.is_finite() {
+                return Err(bad(format!("tolerance {tol} must be positive")));
+            }
+            continue;
+        }
         let num: u64 = value
             .parse()
             .map_err(|_| bad(format!("bad value in '{opt}'")))?;
         match key {
             "prio" => {
-                req.priority =
-                    u8::try_from(num).map_err(|_| bad(format!("priority {num} > 255")))?
+                priority = u8::try_from(num).map_err(|_| bad(format!("priority {num} > 255")))?
             }
-            "deadline_us" => req.deadline = Some(arrival + Ns::from_micros(num)),
-            "cancel_us" => req.cancel_at = Some(arrival + Ns::from_micros(num)),
+            "deadline_us" => deadline = Some(arrival + Ns::from_micros(num)),
+            "cancel_us" => cancel_at = Some(arrival + Ns::from_micros(num)),
             other => return Err(bad(format!("unknown option '{other}'"))),
         }
     }
+
+    let payload = match kind {
+        "retrieve" => cache.retrieval(codec, side, tol, work)?,
+        "compress" => cache.payload(true, codec, side, work)?,
+        _ => cache.payload(false, codec, side, work)?,
+    };
+    let mut req = JobRequest::new(TenantId(tenant), arrival, codec, payload);
+    req.priority = priority;
+    req.deadline = deadline;
+    req.cancel_at = cancel_at;
     Ok(req)
 }
 
 /// Built-in demo script (used by `hpdr serve` when no job file is
 /// given): three tenants, mixed codecs and directions, one priority
-/// job, one deadline, one cancellation.
+/// job, one deadline, one cancellation, and mixed-fidelity progressive
+/// retrievals (tenants 0/1/2 pull the same stored field at different
+/// tolerances — same component set, different fetch plans).
 pub const DEMO_SCRIPT: &str = "\
-# arrival_us tenant kind codec side [prio=N] [deadline_us=N] [cancel_us=N]
+# arrival_us tenant kind codec side [tol=F] [prio=N] [deadline_us=N] [cancel_us=N]
 0    0 compress   zfp:16    16
 10   1 compress   mgard:1e-3 16
 20   2 compress   lz4       12
 30   0 decompress zfp:16    16
 40   1 compress   zfp:16    16 prio=2
 50   2 compress   sz:1e-3   12
+55   0 retrieve   mgard:1e-5 16 tol=1e-1
 60   0 compress   huffman   12
+65   1 retrieve   mgard:1e-5 16 tol=1e-3
 70   1 compress   zfp:16    16 deadline_us=100000
+75   2 retrieve   mgard:1e-5 16 tol=1e-1
 80   2 compress   lz4       12 cancel_us=1
 90   0 decompress zfp:16    16
 ";
@@ -211,12 +337,77 @@ mod tests {
     #[test]
     fn demo_script_parses() {
         let jobs = parse_script(DEMO_SCRIPT, &adapter()).unwrap();
-        assert_eq!(jobs.len(), 10);
+        assert_eq!(jobs.len(), 13);
         assert_eq!(jobs[0].arrival, Ns::ZERO);
         assert_eq!(jobs[4].priority, 2);
-        assert!(jobs[7].deadline.is_some());
-        assert!(jobs[8].cancel_at.is_some());
+        assert!(jobs[9].deadline.is_some());
+        assert!(jobs[11].cancel_at.is_some());
         assert_eq!(jobs[3].payload.kind(), JobKind::Decompress);
+        let retrieves: Vec<_> = jobs
+            .iter()
+            .filter(|j| j.payload.kind().name() == "retrieve")
+            .collect();
+        assert_eq!(retrieves.len(), 3);
+    }
+
+    #[test]
+    fn retrieve_jobs_share_one_refactoring_across_tolerances() {
+        // Three tenants, two fidelities, one stored field: the payload
+        // cache hands every job the same Arc'd component set, and the
+        // repeated tolerance is a plan-cache hit.
+        let script = "\
+0  0 retrieve mgard:1e-5 8 tol=1e-1
+5  1 retrieve mgard:1e-5 8 tol=1e-3
+10 2 retrieve mgard:1e-5 8 tol=1e-1
+";
+        let jobs = parse_script(script, &adapter()).unwrap();
+        assert_eq!(jobs.len(), 3);
+        let sets: Vec<_> = jobs
+            .iter()
+            .map(|j| match &j.payload {
+                JobPayload::Retrieve { set, .. } => Arc::clone(set),
+                other => panic!("expected retrieve payload, got {}", other.kind().name()),
+            })
+            .collect();
+        assert!(Arc::ptr_eq(&sets[0], &sets[1]));
+        assert!(Arc::ptr_eq(&sets[0], &sets[2]));
+        // Loose fidelity plans strictly fewer bytes than tight.
+        let plan = |j: &JobRequest| match &j.payload {
+            JobPayload::Retrieve { plan, .. } => Arc::clone(plan),
+            _ => unreachable!(),
+        };
+        assert!(plan(&jobs[0]).bytes < plan(&jobs[1]).bytes);
+        // Tenants 0 and 2 asked for the same fidelity: same plan object.
+        assert!(Arc::ptr_eq(&plan(&jobs[0]), &plan(&jobs[2])));
+    }
+
+    #[test]
+    fn plan_cache_counts_hits_and_misses() {
+        let work = adapter();
+        let mut cache = PayloadCache::new();
+        let codec = ServeCodec::parse("mgard:1e-5").unwrap();
+        cache.retrieval(codec, 8, 1e-1, &work).unwrap();
+        cache.retrieval(codec, 8, 1e-3, &work).unwrap();
+        cache.retrieval(codec, 8, 1e-1, &work).unwrap();
+        assert_eq!(cache.plan_misses, 2);
+        assert_eq!(cache.plan_hits, 1);
+    }
+
+    #[test]
+    fn retrieve_option_validation() {
+        let work = adapter();
+        // tol on a non-retrieve job is rejected.
+        assert!(parse_script("0 0 compress lz4 8 tol=1e-2\n", &work).is_err());
+        assert!(parse_script("0 0 retrieve mgard:1e-5 8 tol=0\n", &work).is_err());
+        assert!(parse_script("0 0 retrieve mgard:1e-5 8 tol=x\n", &work).is_err());
+        // Default tolerance applies when tol= is absent.
+        let jobs = parse_script("0 0 retrieve mgard:1e-5 8\n", &work).unwrap();
+        match &jobs[0].payload {
+            JobPayload::Retrieve { set, tolerance, .. } => {
+                assert!((tolerance / set.manifest.range - DEFAULT_RETRIEVE_TOL).abs() < 1e-12);
+            }
+            _ => panic!("expected retrieve payload"),
+        }
     }
 
     #[test]

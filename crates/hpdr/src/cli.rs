@@ -103,6 +103,20 @@ pub enum Command {
         opts: hpdr_serve::LoadgenOptions,
         report: Option<String>,
     },
+    /// Progressive retrieval demo over a stored multi-fidelity
+    /// refactoring: fetch the minimal component set for a relative
+    /// tolerance, optionally refine to a tighter one (strict-delta
+    /// fetch), and report bytes moved vs the full container.
+    Retrieve {
+        /// Cube edge of the synthetic NYX field (`side³` f32 values).
+        side: usize,
+        /// Relative L∞ tolerance (× data range).
+        tolerance: f64,
+        /// Optional tighter relative tolerance to refine to.
+        refine: Option<f64>,
+        json: bool,
+        out: Option<String>,
+    },
     Help,
 }
 
@@ -129,6 +143,8 @@ USAGE:
                   [--metrics] [--expo <file>]
   hpdr top        [loadgen flags] [--tail <n>]
   hpdr slo        [--report <file>] | [loadgen flags]
+  hpdr retrieve   [--side <n>] [--tolerance <rel>] [--refine <rel>]
+                  [--json] [--out <file>]
 
 Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
 --rate applies to zfp (fixed-rate bits per value).
@@ -209,7 +225,19 @@ excluded from series and exposition.
 budget, burn rate) and the burn-rate alert timeline. With --report it
 reads a saved hpdr-loadgen/hpdr-serve/hpdr-metrics JSON document;
 otherwise it runs a quick metered loadgen. Exits non-zero if any tenant
-fired a burn-rate alert.";
+fired a burn-rate alert.
+
+`hpdr retrieve` demonstrates progressive (multi-fidelity) retrieval: a
+synthetic NYX density field (--side, default 32) is refactored into
+per-(level, bit-plane) components, each independently entropy-coded
+and stored as its own block in a BP container next to a manifest of
+per-component sizes and error contributions. The reader then fetches
+only the minimal component set for --tolerance (relative to the data
+range; greedy by error-contribution per byte) and reports bytes
+fetched vs the full container plus the measured max error. --refine
+retrieves again at a tighter tolerance, fetching strictly the delta
+components (zero re-fetches, asserted). --json emits the
+hpdr-progressive/v1 document (--out writes it to a file).";
 
 /// Parse `AxBxC` into a shape.
 pub fn parse_shape(s: &str) -> Result<Shape> {
@@ -426,6 +454,43 @@ pub fn parse(args: &[String]) -> Result<Command> {
                 report: get_flag(args, "--report").map(str::to_string),
             })
         }
+        Some("retrieve") => {
+            let float = |flag: &str, default: f64| -> Result<f64> {
+                get_flag(args, flag)
+                    .map(|v| {
+                        v.parse::<f64>()
+                            .map_err(|_| HpdrError::invalid(format!("bad {flag}")))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let tolerance = float("--tolerance", 1e-2)?;
+            let refine = get_flag(args, "--refine")
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| HpdrError::invalid("bad --refine"))
+                })
+                .transpose()?;
+            for (what, v) in [("--tolerance", Some(tolerance)), ("--refine", refine)] {
+                if v.is_some_and(|v| v <= 0.0 || !v.is_finite()) {
+                    return Err(HpdrError::invalid(format!("{what} must be positive")));
+                }
+            }
+            Ok(Command::Retrieve {
+                side: get_flag(args, "--side")
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .map_err(|_| HpdrError::invalid("bad --side"))
+                    })
+                    .transpose()?
+                    .unwrap_or(32)
+                    .clamp(4, 64),
+                tolerance,
+                refine,
+                json: args.iter().any(|a| a == "--json"),
+                out: get_flag(args, "--out").map(str::to_string),
+            })
+        }
         Some("help" | "--help" | "-h") | None => Ok(Command::Help),
         Some(other) => Err(HpdrError::invalid(format!("unknown command '{other}'"))),
     }
@@ -459,6 +524,13 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
         } => loadgen_command(opts, json, out.as_deref(), expo.as_deref()),
         Command::Top { opts, tail } => top_command(opts, tail),
         Command::Slo { opts, report } => slo_command(opts, report.as_deref()),
+        Command::Retrieve {
+            side,
+            tolerance,
+            refine,
+            json,
+            out,
+        } => retrieve_command(side, tolerance, refine, json, out.as_deref()),
         Command::Compress {
             codec,
             shape,
@@ -641,6 +713,139 @@ fn slo_command(opts: hpdr_serve::LoadgenOptions, report: Option<&str>) -> Result
     Ok(lines)
 }
 
+/// `hpdr retrieve`: refactor a synthetic NYX field into a progressive
+/// BP container (temp dir), then retrieve at the requested relative
+/// tolerance — fetching only the component prefix the fetch planner
+/// picks — and optionally refine to a tighter bound, asserting the
+/// refine fetched strictly delta components (zero re-fetches).
+fn retrieve_command(
+    side: usize,
+    tolerance: f64,
+    refine: Option<f64>,
+    json: bool,
+    out: Option<&str>,
+) -> Result<Vec<String>> {
+    use hpdr_progressive::{refactor_progressive, ProgressiveConfig, ProgressiveReader};
+
+    let adapter = CpuParallelAdapter::with_defaults();
+    let d = crate::data::nyx_density(side, 7);
+    let data: Vec<f32> = d
+        .bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let set = refactor_progressive(&adapter, &data, &d.shape, &ProgressiveConfig::default())?;
+    let total = set.total_bytes();
+    let range = set.manifest.range;
+    let num_components = set.manifest.components.len();
+
+    let dir = std::env::temp_dir().join(format!("hpdr-retrieve-{}", std::process::id()));
+    hpdr_progressive::write_bp(&dir, &set, 2)?;
+    let max_err = |out: &[f32]| -> f64 {
+        data.iter()
+            .zip(out)
+            .map(|(a, b)| (*a as f64 - *b as f64).abs())
+            .fold(0.0f64, f64::max)
+    };
+
+    let run = |reader: &mut ProgressiveReader| -> Result<Vec<String>> {
+        let abs_tol = tolerance * range;
+        let first = reader.retrieve::<f32>(&adapter, abs_tol)?;
+        let err = max_err(&first.data);
+        if err > abs_tol {
+            return Err(HpdrError::invalid(format!(
+                "retrieved error {err:.3e} exceeds tolerance {abs_tol:.3e}"
+            )));
+        }
+        let refined = refine
+            .map(|rel| -> Result<_> {
+                let abs = rel * range;
+                let ops_before = reader.fetch_ops();
+                let r = reader.refine::<f32>(&adapter, abs)?;
+                if reader.fetch_ops() - ops_before != r.fetched_components as u64 {
+                    return Err(HpdrError::invalid(
+                        "refine re-fetched an already-held component",
+                    ));
+                }
+                let err = max_err(&r.data);
+                if err > abs {
+                    return Err(HpdrError::invalid(format!(
+                        "refined error {err:.3e} exceeds tolerance {abs:.3e}"
+                    )));
+                }
+                Ok((rel, abs, r, err))
+            })
+            .transpose()?;
+
+        let mut lines;
+        if json {
+            let mut doc = format!(
+                concat!(
+                    "{{\"schema\":\"hpdr-progressive/v1\",\"side\":{},",
+                    "\"range\":{:.6e},\"components_total\":{},\"total_bytes\":{},",
+                    "\"tolerance_rel\":{:.6e},\"tolerance_abs\":{:.6e},",
+                    "\"fetched_bytes\":{},\"fetched_components\":{},",
+                    "\"bound\":{:.6e},\"max_error\":{:.6e}"
+                ),
+                side,
+                range,
+                num_components,
+                total,
+                tolerance,
+                abs_tol,
+                first.fetched_bytes,
+                first.fetched_components,
+                first.bound,
+                err,
+            );
+            if let Some((rel, abs, r, rerr)) = &refined {
+                doc.push_str(&format!(
+                    concat!(
+                        ",\"refine\":{{\"tolerance_rel\":{:.6e},\"tolerance_abs\":{:.6e},",
+                        "\"delta_bytes\":{},\"delta_components\":{},",
+                        "\"bound\":{:.6e},\"max_error\":{:.6e}}}"
+                    ),
+                    rel, abs, r.fetched_bytes, r.fetched_components, r.bound, rerr,
+                ));
+            }
+            doc.push('}');
+            lines = vec![doc];
+        } else {
+            lines = vec![
+                format!(
+                    "retrieve: NYX {side}^3 f32, {num_components} components, {total} bytes stored"
+                ),
+                format!(
+                    "  tolerance {tolerance:.1e} rel ({abs_tol:.3e} abs): fetched {} / {} bytes \
+                     ({} components), bound {:.3e}, max error {err:.3e}",
+                    first.fetched_bytes, total, first.fetched_components, first.bound
+                ),
+            ];
+            if let Some((rel, abs, r, rerr)) = &refined {
+                lines.push(format!(
+                    "  refine to {rel:.1e} rel ({abs:.3e} abs): +{} bytes ({} components, \
+                     zero re-fetches), bound {:.3e}, max error {rerr:.3e}",
+                    r.fetched_bytes, r.fetched_components, r.bound
+                ));
+            }
+        }
+        if let Some(path) = out {
+            let doc = if json {
+                lines[0].clone()
+            } else {
+                lines.join("\n")
+            };
+            std::fs::write(path, doc.as_bytes())?;
+            lines.push(format!("wrote {path}"));
+        }
+        Ok(lines)
+    };
+
+    let result = ProgressiveReader::open(&dir).and_then(|mut reader| run(&mut reader));
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
 /// Map pipeline options onto the linter's declared-schedule config.
 fn lint_config(
     direction: hpdr_verify::Direction,
@@ -790,6 +995,62 @@ fn verify_schedules(json: bool) -> Result<Vec<String>> {
         one(Direction::Decompress, sim);
     }
 
+    // Progressive retrieval plans ride along: the same hazard analyzer
+    // and lints certify the fetch → decode → reconstruct DAG at a loose
+    // and a tight tolerance (different component subsets, same
+    // invariants). Retrieval is single-pass and never stages through
+    // pinned chunk buffers, so only the decompress-direction lints with
+    // CMM reuse apply.
+    let popts = PipelineOptions {
+        mode: PipelineMode::Unpipelined,
+        two_buffers: false,
+        cmm: true,
+        deser_first: false,
+        serial_queue: false,
+        host_staging: false,
+    };
+    let pdata = crate::data::nyx_density(16, 7);
+    let pf32: Vec<f32> = pdata
+        .bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let set = Arc::new(hpdr_progressive::refactor_progressive(
+        adapter.as_ref(),
+        &pf32,
+        &pdata.shape,
+        &hpdr_progressive::ProgressiveConfig::default(),
+    )?);
+    let progressive = [
+        ("progressive/loose", set.manifest.base_bound() / 2.0),
+        ("progressive/tight", set.manifest.full_bound() * 4.0),
+    ];
+    for (name, tol) in progressive {
+        let sim =
+            hpdr_progressive::plan_retrieve(&spec, Arc::clone(&adapter), Arc::clone(&set), tol)?;
+        let dag = sim.dag();
+        let report = hpdr_verify::check(&dag, &lint_config(Direction::Decompress, &popts));
+        if json {
+            json_items.push(format!(
+                "{{\"config\":\"{name}\",\"direction\":\"retrieve\",\"report\":{}}}",
+                report.to_json(&dag)
+            ));
+        } else if report.is_clean() {
+            lines.push(format!(
+                "ok   {:<10} {name}  ({} ops, {} pairs checked)",
+                "retrieve", report.analysis.num_ops, report.analysis.checked_pairs
+            ));
+        } else {
+            lines.push(format!("FAIL {:<10} {name}", "retrieve"));
+            for l in report.describe(&dag).lines() {
+                lines.push(format!("       {l}"));
+            }
+        }
+        if !report.is_clean() {
+            dirty += 1;
+        }
+    }
+
     if json {
         // Same envelope family as `hpdr audit` (see hpdr_verify::envelope).
         lines.push(hpdr_verify::envelope::wrap(
@@ -804,7 +1065,7 @@ fn verify_schedules(json: bool) -> Result<Vec<String>> {
     } else {
         lines.push(format!(
             "{} schedule(s) verified, {dirty} with findings",
-            2 * configs.len()
+            2 * configs.len() + progressive.len()
         ));
     }
     if dirty > 0 {
@@ -953,6 +1214,46 @@ fn audit_schedules(json: bool, out: Option<&str>) -> Result<Vec<String>> {
             Codec::Huffman.reducer(),
             Arc::clone(&adapters[0].1),
             &base_opts,
+        )?;
+    }
+
+    // Progressive retrieval rides along once per fidelity: replay the
+    // real fetch/decode/reconstruct payloads under the shadow-access
+    // recorder and explore alternate interleavings of the retrieval
+    // DAG, the same certification the pipelines get.
+    let popts = PipelineOptions {
+        mode: PipelineMode::Unpipelined,
+        two_buffers: false,
+        cmm: true,
+        deser_first: false,
+        serial_queue: false,
+        host_staging: false,
+    };
+    let pdata = crate::data::nyx_density(16, 7);
+    let pf32: Vec<f32> = pdata
+        .bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let pwork = Arc::clone(&adapters[1].1);
+    let set = Arc::new(hpdr_progressive::refactor_progressive(
+        pwork.as_ref(),
+        &pf32,
+        &pdata.shape,
+        &hpdr_progressive::ProgressiveConfig::default(),
+    )?);
+    for (name, tol) in [
+        ("progressive/loose", set.manifest.base_bound() / 2.0),
+        ("progressive/tight", set.manifest.full_bound() * 4.0),
+    ] {
+        let sim =
+            hpdr_progressive::plan_retrieve(&spec, Arc::clone(&pwork), Arc::clone(&set), tol)?;
+        audit_one(
+            &mut report,
+            name.to_string(),
+            Direction::Decompress,
+            &popts,
+            sim,
         )?;
     }
 
@@ -1379,6 +1680,76 @@ mod tests {
         }
         // Missing the second baseline path is an error.
         assert!(parse(&argv("bench --compare only-one.json")).is_err());
+    }
+
+    #[test]
+    fn parse_retrieve_command() {
+        match parse(&argv("retrieve")).unwrap() {
+            Command::Retrieve {
+                side,
+                tolerance,
+                refine,
+                json,
+                out,
+            } => {
+                assert_eq!(side, 32);
+                assert!((tolerance - 1e-2).abs() < 1e-15);
+                assert_eq!(refine, None);
+                assert!(!json);
+                assert_eq!(out, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "retrieve --side 16 --tolerance 1e-1 --refine 1e-3 --json --out r.json",
+        ))
+        .unwrap()
+        {
+            Command::Retrieve {
+                side,
+                tolerance,
+                refine,
+                json,
+                out,
+            } => {
+                assert_eq!(side, 16);
+                assert!((tolerance - 1e-1).abs() < 1e-15);
+                assert!((refine.unwrap() - 1e-3).abs() < 1e-15);
+                assert!(json);
+                assert_eq!(out.as_deref(), Some("r.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // --side is clamped rather than rejected; bad bounds are errors.
+        match parse(&argv("retrieve --side 1")).unwrap() {
+            Command::Retrieve { side, .. } => assert_eq!(side, 4),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("retrieve --tolerance 0")).is_err());
+        assert!(parse(&argv("retrieve --refine -2")).is_err());
+        assert!(parse(&argv("retrieve --tolerance nope")).is_err());
+    }
+
+    #[test]
+    fn retrieve_fetches_fewer_bytes_at_looser_tolerance() {
+        let loose =
+            run(parse(&argv("retrieve --side 16 --tolerance 1e-1 --json")).unwrap()).unwrap();
+        let tight = run(parse(&argv(
+            "retrieve --side 16 --tolerance 1e-3 --refine 1e-5 --json",
+        ))
+        .unwrap())
+        .unwrap();
+        // Top-level "fetched_bytes" appears exactly once per document
+        // (the refine delta uses "delta_bytes") — check.sh greps it.
+        let bytes = |doc: &str| -> u64 {
+            assert_eq!(doc.matches("\"fetched_bytes\":").count(), 1, "{doc}");
+            let tail = doc.split("\"fetched_bytes\":").nth(1).unwrap();
+            tail[..tail.find(',').unwrap()].parse().unwrap()
+        };
+        assert!(loose[0].contains("\"schema\":\"hpdr-progressive/v1\""));
+        let (lb, tb) = (bytes(&loose[0]), bytes(&tight[0]));
+        assert!(lb < tb, "loose fetch {lb} not < tight fetch {tb}");
+        assert!(tight[0].contains("\"refine\":{"), "{}", tight[0]);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub use hpdr_io as io;
 pub use hpdr_kernels as kernels;
 pub use hpdr_mgard as mgard;
 pub use hpdr_pipeline as pipeline;
+pub use hpdr_progressive as progressive;
 pub use hpdr_sim as sim;
 pub use hpdr_trace as trace;
 pub use hpdr_zfp as zfp;

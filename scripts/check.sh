@@ -36,6 +36,20 @@ echo "==> loom model checking (pool handoff, shared cells, context cache)"
 CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
   cargo test -p hpdr-core --test loom --quiet
 
+echo "==> hpdr retrieve (progressive smoke: looser bound fetches strictly less)"
+cargo run --release -p hpdr --bin hpdr -- retrieve --side 16 --tolerance 1e-1 \
+  --json --out target/RETRIEVE_loose.json > /dev/null
+cargo run --release -p hpdr --bin hpdr -- retrieve --side 16 --tolerance 1e-3 \
+  --refine 1e-5 --json --out target/RETRIEVE_ci.json > /dev/null
+grep -q '"schema":"hpdr-progressive/v1"' target/RETRIEVE_ci.json
+grep -q '"refine":{' target/RETRIEVE_ci.json
+# The command itself asserts measured error <= tolerance and the
+# zero-re-fetch refine guarantee; here assert the multi-fidelity
+# economics: the loose bound must fetch strictly fewer bytes.
+loose=$(sed 's/.*"fetched_bytes":\([0-9]*\).*/\1/' target/RETRIEVE_loose.json)
+tight=$(sed 's/.*"fetched_bytes":\([0-9]*\).*/\1/' target/RETRIEVE_ci.json)
+test "$loose" -lt "$tight"
+
 echo "==> hpdr profile (trace smoke: non-empty trace, utilization in (0,1])"
 cargo run --release -p hpdr --bin hpdr -- profile | tail -n 1 | grep -q "invariants ok"
 cargo run --release -p hpdr --bin hpdr -- profile --figure fig1
