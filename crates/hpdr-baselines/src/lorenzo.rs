@@ -28,47 +28,49 @@ pub fn lorenzo_inverse(q: &mut [i64], shape: &Shape) {
     }
 }
 
-fn for_each_line(
-    dims: &[usize],
-    strides: &[usize],
-    axis: usize,
-    mut f: impl FnMut(usize /* base */, usize /* stride */, usize /* len */),
-) {
-    let nd = dims.len();
-    let lines: usize = dims.iter().product::<usize>() / dims[axis];
-    for line in 0..lines {
-        let mut rem = line;
-        let mut base = 0usize;
-        for d in (0..nd).rev() {
-            if d == axis {
-                continue;
-            }
-            base += (rem % dims[d]) * strides[d];
-            rem /= dims[d];
+// Both passes run slab-wise so the inner loops are contiguous and SIMD-
+// dispatchable: for the innermost axis (stride 1) the lines themselves
+// tile the array; for an outer axis, positions `j` and `j-1` along the
+// axis occupy adjacent `stride`-long contiguous slices of each
+// `dims[axis] * stride` super-block, so the per-line strided walk becomes
+// an element-wise whole-slice subtract/add (identical arithmetic, each
+// element still combines with exactly its axis-predecessor).
+
+fn backward_diff_axis(q: &mut [i64], dims: &[usize], strides: &[usize], axis: usize) {
+    let k = hpdr_kernels::kernels();
+    let s = strides[axis];
+    let len = dims[axis];
+    if s == 1 {
+        for line in q.chunks_exact_mut(len) {
+            (k.line_backward_diff)(line);
         }
-        f(base, strides[axis], dims[axis]);
+    } else {
+        for block in q.chunks_exact_mut(len * s) {
+            // Walk from the end so each read sees the original value.
+            for j in (1..len).rev() {
+                let (prev, cur) = block[(j - 1) * s..(j + 1) * s].split_at_mut(s);
+                (k.slice_sub)(cur, prev);
+            }
+        }
     }
 }
 
-fn backward_diff_axis(q: &mut [i64], dims: &[usize], strides: &[usize], axis: usize) {
-    for_each_line(dims, strides, axis, |base, stride, len| {
-        // Walk from the end so each read sees the original value.
-        for i in (1..len).rev() {
-            let cur = base + i * stride;
-            let prev = base + (i - 1) * stride;
-            q[cur] = q[cur].wrapping_sub(q[prev]);
-        }
-    });
-}
-
 fn prefix_sum_axis(q: &mut [i64], dims: &[usize], strides: &[usize], axis: usize) {
-    for_each_line(dims, strides, axis, |base, stride, len| {
-        for i in 1..len {
-            let cur = base + i * stride;
-            let prev = base + (i - 1) * stride;
-            q[cur] = q[cur].wrapping_add(q[prev]);
+    let k = hpdr_kernels::kernels();
+    let s = strides[axis];
+    let len = dims[axis];
+    if s == 1 {
+        for line in q.chunks_exact_mut(len) {
+            (k.line_prefix_sum)(line);
         }
-    });
+    } else {
+        for block in q.chunks_exact_mut(len * s) {
+            for j in 1..len {
+                let (prev, cur) = block[(j - 1) * s..(j + 1) * s].split_at_mut(s);
+                (k.slice_add)(cur, prev);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

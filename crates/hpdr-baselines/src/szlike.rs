@@ -40,42 +40,50 @@ fn compress_typed<T: Float>(
     if cfg.rel_bound <= 0.0 || !cfg.rel_bound.is_finite() {
         return Err(HpdrError::invalid("relative bound must be positive"));
     }
-    for &v in data {
-        if !v.is_finite() {
-            return Err(HpdrError::invalid("non-finite value in SZ input"));
-        }
-    }
+    // min_max doubles as the finiteness check: NaN poisons the pair and
+    // infinities propagate into it.
     let (mn, mx) = hpdr_kernels::min_max(adapter, data);
+    if !(data.is_empty() || (mn.is_finite() && mx.is_finite())) {
+        return Err(HpdrError::invalid("non-finite value in SZ input"));
+    }
     let range = (mx.to_f64() - mn.to_f64()).max(f64::MIN_POSITIVE);
     let abs_eb = cfg.rel_bound * range;
-    if range / abs_eb > 1e17 {
+    let twoe = 2.0 * abs_eb;
+    // Both guards keep every quantized magnitude below 2^62: the second
+    // catches data far from the origin (|v| ≫ range), where the i64
+    // quantizer would otherwise saturate and silently break the bound.
+    let amax = mn.to_f64().abs().max(mx.to_f64().abs());
+    if range / abs_eb > 1e17 || amax / twoe >= 4.0e18 {
         return Err(HpdrError::unsupported(
             "error bound too tight for i64 quantization",
         ));
     }
 
-    // Dual-quant: pre-quantize, then exact integer Lorenzo.
-    let twoe = 2.0 * abs_eb;
-    let mut q: Vec<i64> = data
-        .iter()
-        .map(|v| (v.to_f64() / twoe).round() as i64)
-        .collect();
-    lorenzo_forward(&mut q, shape);
-
-    // Symbolize with escape-coded outliers.
-    let radius = (cfg.dict_size / 2) as i64;
-    let escape = cfg.dict_size - 1;
-    let mut symbols = Vec::with_capacity(q.len());
-    let mut outliers: Vec<(u64, i64)> = Vec::new();
-    for (i, &d) in q.iter().enumerate() {
-        let s = d + radius;
-        if s >= 0 && (s as u32) < escape {
-            symbols.push(s as u32);
-        } else {
-            symbols.push(escape);
-            outliers.push((i as u64, d));
+    // Dual-quant: pre-quantize, then exact integer Lorenzo. The fused
+    // widen + divide + round-ties-even + integer-convert kernel runs
+    // through the SIMD dispatch.
+    let n = data.len();
+    let k = hpdr_kernels::kernels();
+    let mut q = vec![0i64; n];
+    if let Some(v) = T::as_f32_slice(data) {
+        (k.sz_quantize_f32)(v, twoe, &mut q);
+    } else if let Some(v) = T::as_f64_slice(data) {
+        (k.sz_quantize_f64)(v, twoe, &mut q);
+    } else {
+        for (qi, v) in q.iter_mut().zip(data) {
+            *qi = (v.to_f64() / twoe).round_ties_even() as i64;
         }
     }
+    lorenzo_forward(&mut q, shape);
+
+    // Symbolize with escape-coded outliers (SIMD kernel; the outlier
+    // positions come back as indices into `q`, still in hand).
+    let radius = (cfg.dict_size / 2) as i64;
+    let escape = cfg.dict_size - 1;
+    let mut symbols = vec![0u32; q.len()];
+    let mut outlier_pos: Vec<u64> = Vec::new();
+    (hpdr_kernels::kernels().sz_symbolize)(&q, radius, escape, &mut symbols, &mut outlier_pos);
+    let outliers: Vec<(u64, i64)> = outlier_pos.iter().map(|&i| (i, q[i as usize])).collect();
     let encoded = hpdr_huffman::compress_u32(
         adapter,
         &symbols,
@@ -304,6 +312,97 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
         assert!(err <= 1e-4 * range, "err {err}");
+    }
+
+    /// Stage-level timing for the 32³ bench point. Run manually:
+    /// `cargo test -p hpdr-baselines --release profile_sz_stages -- --ignored --nocapture`
+    #[test]
+    #[ignore = "profiling harness, run manually with --nocapture"]
+    fn profile_sz_stages_32cube() {
+        let adapter = SerialAdapter::new();
+        let n = 32usize * 32 * 32;
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let x = (i % 32) as f32 / 32.0;
+                let y = ((i / 32) % 32) as f32 / 32.0;
+                let z = (i / 1024) as f32 / 32.0;
+                (5.0 * x).sin() + (3.0 * y).cos() + (2.0 * z).sin()
+            })
+            .collect();
+        let shape = Shape::new(&[32, 32, 32]);
+        let cfg = SzConfig::relative(1e-3);
+        let reps = 200;
+        let best = |label: &str, f: &mut dyn FnMut()| {
+            let mut min = std::time::Duration::MAX;
+            for _ in 0..reps {
+                let t0 = std::time::Instant::now();
+                f();
+                min = min.min(t0.elapsed());
+            }
+            println!("{label:>14}: {:>9.1} us", min.as_secs_f64() * 1e6);
+        };
+
+        let (mn, mx) = hpdr_kernels::min_max(&adapter, &data);
+        best("min_max", &mut || {
+            std::hint::black_box(hpdr_kernels::min_max(&adapter, &data));
+        });
+        let range = (mx.to_f64() - mn.to_f64()).max(f64::MIN_POSITIVE);
+        let twoe = 2.0 * cfg.rel_bound * range;
+        let mut q = vec![0i64; n];
+        best("dual-quant", &mut || {
+            (hpdr_kernels::kernels().sz_quantize_f32)(&data, twoe, &mut q);
+            std::hint::black_box(&q);
+        });
+        best("lorenzo", &mut || {
+            let mut l = q.clone();
+            lorenzo_forward(&mut l, &shape);
+            std::hint::black_box(&l);
+        });
+        let mut l = q.clone();
+        lorenzo_forward(&mut l, &shape);
+        let radius = (cfg.dict_size / 2) as i64;
+        let escape = cfg.dict_size - 1;
+        let mut symbols = vec![0u32; n];
+        best("symbolize", &mut || {
+            let mut outliers: Vec<u64> = Vec::new();
+            (hpdr_kernels::kernels().sz_symbolize)(&l, radius, escape, &mut symbols, &mut outliers);
+            std::hint::black_box(&outliers);
+        });
+        best("huffman-u32", &mut || {
+            let e = hpdr_huffman::compress_u32(
+                &adapter,
+                &symbols,
+                &HuffmanConfig {
+                    dict_size: cfg.dict_size,
+                    chunk_elems: 1 << 16,
+                },
+            )
+            .unwrap();
+            std::hint::black_box(&e);
+        });
+        best("full compress", &mut || {
+            let c = compress_typed(&adapter, &data, &shape, &cfg).unwrap();
+            std::hint::black_box(&c);
+        });
+    }
+
+    #[test]
+    fn huge_residuals_past_u32_escape_exactly() {
+        // rel chosen so the second value quantizes to exactly 2^32: its
+        // Lorenzo residual + radius is ≡ radius (mod 2^32), the worst case
+        // for a u32-truncating symbolizer (it would alias to the zero
+        // symbol and decode with error ~= the full range).
+        let adapter = SerialAdapter::new();
+        let data = [0.0f64, 1000.0];
+        let shape = Shape::new(&[2]);
+        let rel = 1.0 / (2.0 * 4294967296.0);
+        let cfg = SzConfig::relative(rel);
+        let c = compress_typed(&adapter, &data, &shape, &cfg).unwrap();
+        let (out, _) = decompress_typed::<f64>(&adapter, &c).unwrap();
+        let bound = rel * 1000.0;
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() <= bound, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Scalar abstraction over the two floating-point element types the paper's
 //! datasets use (FP32 and FP64, Table III).
 
+// Bulk byte/float conversions on little-endian targets are raw memcpys.
+#![allow(unsafe_code)]
+
 use std::fmt::Debug;
 
 /// Element data type of an array.
@@ -91,6 +94,17 @@ pub trait Float:
             .map(|c| Self::read_le(c))
             .collect()
     }
+
+    /// Identity view of a typed slice when `Self` is `f32` — lets generic
+    /// code hand slices to width-specific kernels without unsafe casts.
+    fn as_f32_slice(_data: &[Self]) -> Option<&[f32]> {
+        None
+    }
+
+    /// Identity view of a typed slice when `Self` is `f64`.
+    fn as_f64_slice(_data: &[Self]) -> Option<&[f64]> {
+        None
+    }
 }
 
 impl Float for f32 {
@@ -133,6 +147,17 @@ impl Float for f32 {
     }
     fn read_le(bytes: &[u8]) -> f32 {
         f32::from_le_bytes(bytes[..4].try_into().unwrap())
+    }
+    #[cfg(target_endian = "little")]
+    fn slice_to_bytes(data: &[f32]) -> Vec<u8> {
+        pod_to_bytes(data)
+    }
+    #[cfg(target_endian = "little")]
+    fn bytes_to_vec(bytes: &[u8]) -> Vec<f32> {
+        pod_from_bytes(bytes)
+    }
+    fn as_f32_slice(data: &[f32]) -> Option<&[f32]> {
+        Some(data)
     }
 }
 
@@ -177,6 +202,52 @@ impl Float for f64 {
     fn read_le(bytes: &[u8]) -> f64 {
         f64::from_le_bytes(bytes[..8].try_into().unwrap())
     }
+    #[cfg(target_endian = "little")]
+    fn slice_to_bytes(data: &[f64]) -> Vec<u8> {
+        pod_to_bytes(data)
+    }
+    #[cfg(target_endian = "little")]
+    fn bytes_to_vec(bytes: &[u8]) -> Vec<f64> {
+        pod_from_bytes(bytes)
+    }
+    fn as_f64_slice(data: &[f64]) -> Option<&[f64]> {
+        Some(data)
+    }
+}
+
+/// Bulk-copy a POD float slice to its little-endian byte image (the two
+/// representations coincide on LE targets, so this is one memcpy instead
+/// of a per-element encode loop).
+#[cfg(target_endian = "little")]
+fn pod_to_bytes<T: Float>(data: &[T]) -> Vec<u8> {
+    let nbytes = std::mem::size_of_val(data);
+    let mut out = Vec::<u8>::with_capacity(nbytes);
+    // SAFETY: T is a POD float; reading its in-memory bytes is valid, and
+    // the destination has `nbytes` of reserved capacity.
+    unsafe {
+        std::ptr::copy_nonoverlapping(data.as_ptr() as *const u8, out.as_mut_ptr(), nbytes);
+        out.set_len(nbytes);
+    }
+    out
+}
+
+/// Inverse of [`pod_to_bytes`]: one memcpy from LE bytes to a typed vec.
+#[cfg(target_endian = "little")]
+fn pod_from_bytes<T: Float>(bytes: &[u8]) -> Vec<T> {
+    assert_eq!(
+        bytes.len() % T::BYTES,
+        0,
+        "byte length not a multiple of element size"
+    );
+    let n = bytes.len() / T::BYTES;
+    let mut out = Vec::<T>::with_capacity(n);
+    // SAFETY: every bit pattern is a valid float, the copy fills exactly
+    // the `n` reserved elements, and `Vec`'s buffer is suitably aligned.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, bytes.len());
+        out.set_len(n);
+    }
+    out
 }
 
 /// frexp-style exponent: smallest e with |v| < 2^e (0 for v == 0).

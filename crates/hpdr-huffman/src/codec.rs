@@ -12,9 +12,68 @@
 use crate::codebook::Codebook;
 use hpdr_core::{ByteReader, ByteWriter, DeviceAdapter, HpdrError, KernelClass, Locality, Result};
 use hpdr_kernels::bitstream::BitReader;
-use hpdr_kernels::histogram_u32;
+use hpdr_kernels::{histogram_u32, histogram_u8};
 
 const MAGIC: u32 = 0x4855_4631; // "HUF1"
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u8 {}
+}
+
+/// Symbol types the Huffman pipeline consumes directly (sealed: `u32` and
+/// `u8`). The byte instantiation lets [`compress_bytes`] encode raw byte
+/// streams without materializing a 4×-larger `u32` key vector, while both
+/// instantiations share the exact container format and packing loop — the
+/// emitted bytes for equal symbol sequences are identical.
+pub trait HuffKey: Copy + Send + Sync + private::Sealed + 'static {
+    fn as_u32(self) -> u32;
+    fn from_u32(v: u32) -> Self;
+    /// Device histogram over `0..dict`: `(freqs, overflow_count)`.
+    fn histogram(adapter: &dyn DeviceAdapter, keys: &[Self], dict: usize) -> (Vec<u64>, u64);
+    /// `Σ lens[key]` through the SIMD dispatch table (keys ≥ `lens.len()`
+    /// clamp to the last slot; valid inputs never reach it).
+    fn bits_sum(keys: &[Self], lens: &[u32]) -> u64;
+}
+
+impl HuffKey for u32 {
+    fn as_u32(self) -> u32 {
+        self
+    }
+    fn from_u32(v: u32) -> u32 {
+        v
+    }
+    fn histogram(adapter: &dyn DeviceAdapter, keys: &[u32], dict: usize) -> (Vec<u64>, u64) {
+        histogram_u32(adapter, keys, dict)
+    }
+    fn bits_sum(keys: &[u32], lens: &[u32]) -> u64 {
+        (hpdr_kernels::kernels().code_bits_sum)(keys, lens)
+    }
+}
+
+impl HuffKey for u8 {
+    fn as_u32(self) -> u32 {
+        self as u32
+    }
+    fn from_u32(v: u32) -> u8 {
+        v as u8
+    }
+    fn histogram(adapter: &dyn DeviceAdapter, keys: &[u8], dict: usize) -> (Vec<u64>, u64) {
+        let h = histogram_u8(adapter, keys);
+        if dict >= 256 {
+            let mut freqs = h;
+            freqs.resize(dict, 0);
+            (freqs, 0)
+        } else {
+            let overflow = h[dict..].iter().sum();
+            (h[..dict].to_vec(), overflow)
+        }
+    }
+    fn bits_sum(keys: &[u8], lens: &[u32]) -> u64 {
+        (hpdr_kernels::kernels().byte_bits_sum)(keys, lens)
+    }
+}
 
 /// Huffman-X configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,17 +103,37 @@ impl HuffmanConfig {
 }
 
 /// Compress a symbol stream. All `keys` must be `< cfg.dict_size`.
-#[allow(clippy::needless_range_loop)] // indexed writes into the shared slice
 pub fn compress_u32(
     adapter: &dyn DeviceAdapter,
     keys: &[u32],
+    cfg: &HuffmanConfig,
+) -> Result<Vec<u8>> {
+    compress_keys(adapter, keys, cfg)
+}
+
+/// Compress a raw byte stream (`dict_size` must be ≤ 256 for the symbols
+/// to be representable, typically exactly 256). Produces a byte-identical
+/// container to [`compress_u32`] over the widened keys, without the 4×
+/// `u32` key materialization.
+pub fn compress_bytes(
+    adapter: &dyn DeviceAdapter,
+    bytes: &[u8],
+    cfg: &HuffmanConfig,
+) -> Result<Vec<u8>> {
+    compress_keys(adapter, bytes, cfg)
+}
+
+/// Shared compression pipeline over any [`HuffKey`] symbol type.
+pub fn compress_keys<K: HuffKey>(
+    adapter: &dyn DeviceAdapter,
+    keys: &[K],
     cfg: &HuffmanConfig,
 ) -> Result<Vec<u8>> {
     if cfg.dict_size == 0 {
         return Err(HpdrError::invalid("dict_size must be positive"));
     }
     // Alg. 2 line 2: Global histogram.
-    let (freqs, overflow) = histogram_u32(adapter, keys, cfg.dict_size as usize);
+    let (freqs, overflow) = K::histogram(adapter, keys, cfg.dict_size as usize);
     if overflow > 0 {
         return Err(HpdrError::invalid(format!(
             "{overflow} symbols outside dictionary of {}",
@@ -76,17 +155,16 @@ pub fn compress_u32(
     let chunk = cfg.chunk_elems.max(1);
     let num_chunks = n.div_ceil(chunk);
 
-    // Stage A (Locality): per-chunk encoded bit counts.
+    // Stage A (Locality): per-chunk encoded bit counts, summed by the
+    // SIMD-dispatched gather kernel over a dense code-length table.
+    let lens: Vec<u32> = (0..cfg.dict_size).map(|s| book.code(s).len).collect();
     let mut chunk_bits = vec![0u64; num_chunks];
     if n > 0 {
         let bits_sh = hpdr_core::SharedSlice::new(&mut chunk_bits);
         Locality::new(num_chunks).run(adapter, &|c, _| {
             let lo = c * chunk;
             let hi = (lo + chunk).min(n);
-            let mut bits = 0u64;
-            for &k in &keys[lo..hi] {
-                bits += book.code(k).len as u64;
-            }
+            let bits = K::bits_sum(&keys[lo..hi], &lens);
             // Safety: one writer per chunk index.
             unsafe { bits_sh.write(c, bits) };
         });
@@ -119,7 +197,7 @@ pub fn compress_u32(
             let mut nacc = 0u32; // invariant: nacc < 64 between symbols
             let mut wpos = 0usize;
             for &k in &keys[lo..hi] {
-                let code = book.code(k);
+                let code = book.code(k.as_u32());
                 debug_assert!(code.len > 0, "uncoded symbol in input");
                 let spill = if nacc == 0 {
                     0
@@ -174,11 +252,32 @@ pub fn compress_u32(
 
 /// Decompress a Huffman-X stream produced by [`compress_u32`].
 pub fn decompress_u32(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<Vec<u32>> {
+    decompress_keys::<u32>(adapter, bytes, u32::MAX)
+}
+
+/// Decompress a Huffman-X stream into bytes. Rejects streams whose
+/// dictionary exceeds 256 (their symbols would not fit in a byte).
+pub fn decompress_bytes(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<Vec<u8>> {
+    decompress_keys::<u8>(adapter, bytes, 256)
+}
+
+/// Shared decompression pipeline; `max_dict` bounds the dictionary size
+/// representable in `K`.
+fn decompress_keys<K: HuffKey>(
+    adapter: &dyn DeviceAdapter,
+    bytes: &[u8],
+    max_dict: u32,
+) -> Result<Vec<K>> {
     let mut r = ByteReader::new(bytes);
     if r.get_u32()? != MAGIC {
         return Err(HpdrError::corrupt("bad Huffman magic"));
     }
     let dict_size = r.get_u32()?;
+    if dict_size > max_dict {
+        return Err(HpdrError::invalid(format!(
+            "dictionary of {dict_size} does not fit the requested symbol width"
+        )));
+    }
     let n = r.get_u64()? as usize;
     let chunk = r.get_u64()? as usize;
     let total_bits = r.get_u64()?;
@@ -227,7 +326,7 @@ pub fn decompress_u32(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<Vec<u
     // stream bits. Any codeword error inside a worker is collected and
     // surfaced after the join.
     let table = book.two_level_table(12);
-    let mut out = vec![0u32; n];
+    let mut out = vec![K::from_u32(0); n];
     let errors = std::sync::Mutex::new(Vec::new());
     {
         let out_sh = hpdr_core::SharedSlice::new(&mut out);
@@ -257,7 +356,7 @@ pub fn decompress_u32(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result<Vec<u
                         // In-bounds by the guard above, so seek succeeds.
                         let _ = br.seek(pos + used as u64);
                         // Safety: chunks write disjoint ranges.
-                        unsafe { out_sh.write(i, sym) };
+                        unsafe { out_sh.write(i, K::from_u32(sym)) };
                     }
                     Ok(_) => {
                         errors
@@ -291,6 +390,91 @@ mod tests {
         let compressed = compress_u32(&a, keys, cfg).unwrap();
         let out = decompress_u32(&a, &compressed).unwrap();
         assert_eq!(out, keys);
+    }
+
+    /// Stage-level profile of the byte-compress hot path on a 32³-f32-
+    /// sized input (131072 bytes). Run with:
+    ///   cargo test --release -p hpdr-huffman --lib -- --ignored profile --nocapture
+    #[test]
+    #[ignore = "profiling harness, run manually with --nocapture"]
+    fn profile_compress_bytes_stages() {
+        use std::time::Instant;
+        // Byte stream shaped like a smooth f32 field's raw bytes: highly
+        // skewed exponent/sign bytes, near-uniform mantissa bytes.
+        let bytes: Vec<u8> = (0..32768usize)
+            .flat_map(|i| {
+                let x = (i as f32 * 0.003).sin() * (i as f32 * 0.0007).cos() + 1.5;
+                x.to_le_bytes()
+            })
+            .collect();
+        let n = bytes.len();
+        let cfg = HuffmanConfig::default();
+        let a = SerialAdapter::new();
+        let reps = 300usize;
+
+        let best = |label: &str, f: &mut dyn FnMut()| {
+            let mut min = std::time::Duration::MAX;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                f();
+                min = min.min(t0.elapsed());
+            }
+            println!(
+                "{label:>12}: {:>9.1} us  ({:.2} ns/sym)",
+                min.as_secs_f64() * 1e6,
+                min.as_secs_f64() * 1e9 / n as f64
+            );
+        };
+
+        best("histogram", &mut || {
+            std::hint::black_box(u8::histogram(&a, &bytes, cfg.dict_size as usize));
+        });
+        let (freqs, _) = u8::histogram(&a, &bytes, cfg.dict_size as usize);
+        best("codebook", &mut || {
+            std::hint::black_box(Codebook::from_frequencies(&freqs).unwrap());
+        });
+        let book = Codebook::from_frequencies(&freqs).unwrap();
+        let lens: Vec<u32> = (0..cfg.dict_size).map(|s| book.code(s).len).collect();
+        best("bits_sum", &mut || {
+            std::hint::black_box(u8::bits_sum(&bytes, &lens));
+        });
+        let total_bits = u8::bits_sum(&bytes, &lens);
+        let mut payload = vec![0u8; (total_bits as usize).div_ceil(8)];
+        best("pack", &mut || {
+            let dst = &mut payload[..];
+            let mut acc = 0u64;
+            let mut nacc = 0u32;
+            let mut wpos = 0usize;
+            for &k in &bytes {
+                let code = book.code(k as u32);
+                let spill = if nacc == 0 {
+                    0
+                } else {
+                    code.bits_rev >> (64 - nacc)
+                };
+                acc |= code.bits_rev << nacc;
+                nacc += code.len;
+                if nacc >= 64 {
+                    dst[wpos..wpos + 8].copy_from_slice(&acc.to_le_bytes());
+                    wpos += 8;
+                    nacc -= 64;
+                    acc = spill;
+                }
+            }
+            let tail = acc.to_le_bytes();
+            let mut rem = nacc;
+            let mut bi = 0usize;
+            while rem > 0 {
+                dst[wpos] = tail[bi];
+                wpos += 1;
+                bi += 1;
+                rem = rem.saturating_sub(8);
+            }
+            std::hint::black_box(&dst);
+        });
+        best("full", &mut || {
+            std::hint::black_box(compress_bytes(&a, &bytes, &cfg).unwrap());
+        });
     }
 
     #[test]
@@ -369,6 +553,45 @@ mod tests {
         let mut bad = good.clone();
         bad[0] ^= 0xFF;
         assert!(decompress_u32(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn byte_path_is_stream_identical_to_u32_path() {
+        // The u8 instantiation must emit the exact bytes of the widened
+        // u32 instantiation — same histogram, same codebook, same packing.
+        let a = CpuParallelAdapter::new(4);
+        let bytes: Vec<u8> = (0..60_000usize)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        for dict in [256u32, 300, 100] {
+            let cfg = HuffmanConfig {
+                dict_size: dict,
+                chunk_elems: 1 << 12,
+            };
+            let keys: Vec<u32> = bytes.iter().map(|&b| b as u32).collect();
+            let via_u32 = compress_u32(&a, &keys, &cfg);
+            let via_u8 = compress_bytes(&a, &bytes, &cfg);
+            match (via_u32, via_u8) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x, y, "dict={dict}");
+                    if dict <= 256 {
+                        assert_eq!(decompress_bytes(&a, &y).unwrap(), bytes);
+                    } else {
+                        assert_eq!(decompress_u32(&a, &y).unwrap(), keys);
+                    }
+                }
+                (Err(_), Err(_)) => {} // both reject out-of-dict symbols
+                (x, y) => panic!("paths disagree for dict={dict}: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn byte_decode_rejects_wide_dictionaries() {
+        let a = SerialAdapter::new();
+        let keys = vec![300u32, 2, 3];
+        let stream = compress_u32(&a, &keys, &HuffmanConfig::default()).unwrap();
+        assert!(decompress_bytes(&a, &stream).is_err());
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub mod codebook;
 pub mod codec;
 
 pub use codebook::{Code, Codebook, TwoLevelTable, MAX_CODE_LEN};
-pub use codec::{compress_u32, decompress_u32, HuffmanConfig};
+pub use codec::{
+    compress_bytes, compress_u32, decompress_bytes, decompress_u32, HuffKey, HuffmanConfig,
+};
 pub mod reducer;
 pub use reducer::ByteHuffmanReducer;

@@ -1,7 +1,7 @@
 //! [`Reducer`] implementation for Huffman-X as a standalone lossless
 //! byte compressor (dictionary = the 256 byte values).
 
-use crate::codec::{compress_u32, decompress_u32, HuffmanConfig};
+use crate::codec::{compress_bytes, decompress_bytes, HuffmanConfig};
 use hpdr_core::{
     ArrayMeta, ByteReader, ByteWriter, DType, DeviceAdapter, HpdrError, KernelClass, Reducer,
     Result, Shape,
@@ -46,12 +46,13 @@ impl Reducer for ByteHuffmanReducer {
         if bytes.len() != meta.num_bytes() {
             return Err(HpdrError::invalid("byte length does not match metadata"));
         }
-        let keys: Vec<u32> = bytes.iter().map(|&b| b as u32).collect();
         let cfg = HuffmanConfig {
             dict_size: 256,
             chunk_elems: self.chunk_elems,
         };
-        let encoded = compress_u32(adapter, &keys, &cfg)?;
+        // Byte-keyed pipeline: same stream as the u32 path over widened
+        // keys, without materializing the 4×-larger key vector.
+        let encoded = compress_bytes(adapter, bytes, &cfg)?;
         let mut w = ByteWriter::with_capacity(encoded.len() + 64);
         w.put_u32(MAGIC);
         w.put_u8(meta.dtype.tag());
@@ -85,12 +86,12 @@ impl Reducer for ByteHuffmanReducer {
         let shape = Shape::try_new(&dims)?;
         let encoded = r.get_block()?;
         r.expect_exhausted()?;
-        let keys = decompress_u32(adapter, encoded)?;
+        let out = decompress_bytes(adapter, encoded)?;
         let meta = ArrayMeta::new(dtype, shape);
-        if keys.len() != meta.num_bytes() {
+        if out.len() != meta.num_bytes() {
             return Err(HpdrError::corrupt("decoded length mismatch"));
         }
-        Ok((keys.into_iter().map(|k| k as u8).collect(), meta))
+        Ok((out, meta))
     }
 }
 

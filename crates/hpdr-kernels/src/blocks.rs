@@ -3,6 +3,10 @@
 
 use hpdr_core::Shape;
 
+/// Rank bound for the stack-allocated index scratch (arrays are 1–4D;
+/// headroom costs nothing).
+const MAX_RANK: usize = 8;
+
 /// A grid of fixed-size blocks tiling an n-dimensional array.
 #[derive(Debug, Clone)]
 pub struct BlockGrid {
@@ -15,6 +19,7 @@ pub struct BlockGrid {
 impl BlockGrid {
     pub fn new(shape: &Shape, block_dims: &[usize]) -> BlockGrid {
         assert_eq!(shape.ndims(), block_dims.len(), "block rank mismatch");
+        assert!(block_dims.len() <= MAX_RANK, "rank exceeds {MAX_RANK}");
         assert!(block_dims.iter().all(|&b| b > 0), "zero block dim");
         let counts = shape
             .dims()
@@ -48,25 +53,55 @@ impl BlockGrid {
 
     /// Origin (multi-index) of block `b`.
     pub fn origin(&self, b: usize) -> Vec<usize> {
+        let mut origin = [0usize; MAX_RANK];
+        self.origin_into(b, &mut origin);
+        origin[..self.counts.len()].to_vec()
+    }
+
+    fn origin_into(&self, b: usize, origin: &mut [usize; MAX_RANK]) {
         debug_assert!(b < self.num_blocks());
         let mut rem = b;
-        let mut origin = vec![0usize; self.counts.len()];
         for k in (0..self.counts.len()).rev() {
             origin[k] = (rem % self.counts[k]) * self.block[k];
             rem /= self.counts[k];
         }
-        origin
     }
 
     /// Gather block `b` into `out` (length = block_elements), replicating
     /// edge values for partial blocks (ZFP-style padding).
     pub fn gather<T: Copy>(&self, data: &[T], b: usize, out: &mut [T]) {
         debug_assert_eq!(out.len(), self.block_elements());
-        let origin = self.origin(b);
+        let mut origin = [0usize; MAX_RANK];
+        self.origin_into(b, &mut origin);
         let dims = self.shape.dims();
         let strides = self.shape.strides();
         let nd = dims.len();
-        let mut local = vec![0usize; nd];
+        // Fast path — fully interior block: every lane maps straight into
+        // the window, so the block is `rows` contiguous runs of the
+        // innermost block dim. An odometer over the outer dims replaces
+        // the per-lane multi-index decode (div/mod per dimension), which
+        // dominates encode-side time on large grids.
+        if (0..nd).all(|k| origin[k] + self.block[k] <= dims[k]) {
+            let row = self.block[nd - 1];
+            let base: usize = (0..nd).map(|k| origin[k] * strides[k]).sum();
+            let mut idx = [0usize; MAX_RANK];
+            let mut src = base;
+            for chunk in out.chunks_exact_mut(row) {
+                chunk.copy_from_slice(&data[src..src + row]);
+                for k in (0..nd - 1).rev() {
+                    idx[k] += 1;
+                    src += strides[k];
+                    if idx[k] < self.block[k] {
+                        break;
+                    }
+                    src -= self.block[k] * strides[k];
+                    idx[k] = 0;
+                }
+            }
+            return;
+        }
+        // Edge path: clamped per-lane indexing (replicate padding).
+        let mut local = [0usize; MAX_RANK];
         for (slot, item) in out.iter_mut().enumerate() {
             // Decode local multi-index within the block (row-major).
             let mut rem = slot;
@@ -88,11 +123,12 @@ impl BlockGrid {
     /// (out-of-domain) lanes.
     pub fn scatter<T: Copy>(&self, data: &mut [T], b: usize, src: &[T]) {
         debug_assert_eq!(src.len(), self.block_elements());
-        let origin = self.origin(b);
+        let mut origin = [0usize; MAX_RANK];
+        self.origin_into(b, &mut origin);
         let dims = self.shape.dims();
         let strides = self.shape.strides();
         let nd = dims.len();
-        let mut local = vec![0usize; nd];
+        let mut local = [0usize; MAX_RANK];
         'slot: for (slot, &v) in src.iter().enumerate() {
             let mut rem = slot;
             for k in (0..nd).rev() {

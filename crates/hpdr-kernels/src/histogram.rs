@@ -18,7 +18,10 @@ pub fn histogram_u32(adapter: &dyn DeviceAdapter, keys: &[u32], bins: usize) -> 
     let replicas = adapter.info().threads.clamp(1, 64);
     let chunk = n.div_ceil(replicas);
 
-    // Stage 1: private replica histograms (disjoint rows).
+    // Stage 1: private replica histograms (disjoint rows), filled by the
+    // dispatched kernel tier (banked on SIMD tiers; identical counts).
+    // Oversubscribed launches stay scalar (see `kernels_for_par`).
+    let fill = crate::simd::kernels_for_par(replicas).histogram_fill;
     let mut private = vec![0u64; replicas * (bins + 1)];
     {
         let private_sh = SharedSlice::new(&mut private);
@@ -27,10 +30,7 @@ pub fn histogram_u32(adapter: &dyn DeviceAdapter, keys: &[u32], bins: usize) -> 
             let hi = ((r + 1) * chunk).min(n);
             // Safety: replica r writes only its own row.
             let row = unsafe { private_sh.slice_mut(r * (bins + 1), bins + 1) };
-            for &k in &keys[lo..hi] {
-                let slot = (k as usize).min(bins);
-                row[slot] += 1;
-            }
+            fill(&keys[lo..hi], bins, row);
         });
     }
 
@@ -52,6 +52,43 @@ pub fn histogram_u32(adapter: &dyn DeviceAdapter, keys: &[u32], bins: usize) -> 
         overflow += private[r * (bins + 1) + bins];
     }
     (hist, overflow)
+}
+
+/// Byte histogram (256 bins, no overflow possible). Same replicated
+/// private-copy scheme as [`histogram_u32`], but the rows are filled by
+/// the byte-specialized kernel — the Huffman-X hot path over raw bytes.
+pub fn histogram_u8(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Vec<u64> {
+    let n = bytes.len();
+    if n == 0 {
+        return vec![0; 256];
+    }
+    let replicas = adapter.info().threads.clamp(1, 64);
+    let chunk = n.div_ceil(replicas);
+    let fill = crate::simd::kernels_for_par(replicas).byte_histogram_fill;
+    let mut private = vec![0u64; replicas * 256];
+    {
+        let private_sh = SharedSlice::new(&mut private);
+        adapter.dem(replicas, &|r| {
+            let lo = (r * chunk).min(n);
+            let hi = ((r + 1) * chunk).min(n);
+            // Safety: replica r writes only its own row.
+            let row = unsafe { private_sh.slice_mut(r * 256, 256) };
+            fill(&bytes[lo..hi], row);
+        });
+    }
+    let mut hist = vec![0u64; 256];
+    {
+        let hist_sh = SharedSlice::new(&mut hist);
+        adapter.dem(256, &|b| {
+            let mut acc = 0u64;
+            for r in 0..replicas {
+                acc += private[r * 256 + b];
+            }
+            // Safety: each bin id writes only its own slot.
+            unsafe { hist_sh.write(b, acc) };
+        });
+    }
+    hist
 }
 
 #[cfg(test)]

@@ -31,28 +31,56 @@ fn chunked_reduce<T: Float, R: Copy + Send + Sync>(
     partial.into_iter().fold(identity, combine)
 }
 
-/// Minimum and maximum of a slice (NaNs ignored; returns (0,0) if empty).
+/// Minimum and maximum of a slice via the width-specific SIMD kernel.
+/// Returns `(NaN, NaN)` if any element is NaN (infinities propagate), so
+/// finiteness of the pair doubles as the input finiteness check; `(0, 0)`
+/// if empty.
 pub fn min_max<T: Float>(adapter: &dyn DeviceAdapter, data: &[T]) -> (T, T) {
     if data.is_empty() {
         return (T::ZERO, T::ZERO);
     }
-    let first = data[0];
-    let (mn, mx) = chunked_reduce(
+    let identity = (T::from_f64(f64::INFINITY), T::from_f64(f64::NEG_INFINITY));
+    chunked_reduce(
         adapter,
         data,
-        (first, first),
+        identity,
         |chunk| {
-            let mut mn = chunk[0];
-            let mut mx = chunk[0];
-            for &v in chunk {
-                mn = mn.minf(v);
-                mx = mx.maxf(v);
+            let k = crate::simd::kernels();
+            if let Some(v) = T::as_f32_slice(chunk) {
+                let (mn, mx) = (k.min_max_f32)(v);
+                (T::from_f64(mn as f64), T::from_f64(mx as f64))
+            } else if let Some(v) = T::as_f64_slice(chunk) {
+                let (mn, mx) = (k.min_max_f64)(v);
+                (T::from_f64(mn), T::from_f64(mx))
+            } else {
+                let mut mn = identity.0;
+                let mut mx = identity.1;
+                let mut nan = false;
+                for &v in chunk {
+                    nan |= v.partial_cmp(&v).is_none();
+                    mn = if v < mn { v } else { mn };
+                    mx = if v > mx { v } else { mx };
+                }
+                if nan {
+                    (T::from_f64(f64::NAN), T::from_f64(f64::NAN))
+                } else {
+                    (mn, mx)
+                }
             }
-            (mn, mx)
         },
-        |(amn, amx), (bmn, bmx)| (amn.minf(bmn), amx.maxf(bmx)),
-    );
-    (mn, mx)
+        // NaN poison from any chunk must survive the combine, so the
+        // comparison keeps the accumulator (first arg) on unordered.
+        |(amn, amx), (bmn, bmx)| {
+            if bmn.partial_cmp(&bmn).is_none() {
+                (bmn, bmx)
+            } else {
+                (
+                    if bmn < amn { bmn } else { amn },
+                    if bmx > amx { bmx } else { amx },
+                )
+            }
+        },
+    )
 }
 
 /// Maximum absolute value.

@@ -21,6 +21,10 @@
 use hpdr_core::{DeviceAdapter, SharedSlice};
 use parking_lot::Mutex;
 
+/// Elements per SIMD-kernel tile: big enough to amortize dispatch, small
+/// enough to stay in L1 (8 KiB of f64 scratch).
+const TILE: usize = 1024;
+
 /// Bin width for level `l` (0 = coarsest) of `levels` total with
 /// absolute bound `abs_eb`: geometric allocation favouring fine levels.
 pub fn level_bin(abs_eb: f64, levels: usize, l: usize) -> f64 {
@@ -63,24 +67,36 @@ pub fn quantize(
         let sym_sh = SharedSlice::new(&mut symbols);
         let chunks = adapter.info().threads.clamp(1, 64);
         let chunk = n.div_ceil(chunks);
+        // The division + round-ties-even inner loop runs through the SIMD
+        // dispatch table over L1-sized tiles; the scalar finish handles
+        // saturation, symbol mapping, and outlier escapes. Oversubscribed
+        // launches stay scalar (see `kernels_for_par`).
+        let quotients = hpdr_kernels::kernels_for_par(chunks).quantize_quotients;
         adapter.dem(chunks, &|c| {
             let lo = (c * chunk).min(n);
             let hi = ((c + 1) * chunk).min(n);
             let mut local_outliers: Vec<(u64, i64)> = Vec::new();
-            for i in lo..hi {
-                let bin = bins[node_levels[i] as usize];
-                let q = (coeffs[i] / bin).round();
-                // Saturate impossible magnitudes rather than wrapping.
-                let q = q.clamp(-9.0e18, 9.0e18) as i64;
-                let sym = q + radius;
-                let v = if sym >= 0 && (sym as u32) < escape {
-                    sym as u32
-                } else {
-                    local_outliers.push((i as u64, q));
-                    escape
-                };
-                // Safety: chunks write disjoint index ranges.
-                unsafe { sym_sh.write(i, v) };
+            let mut tile = [0.0f64; TILE];
+            let mut t = lo;
+            while t < hi {
+                let te = (t + TILE).min(hi);
+                let w = te - t;
+                quotients(&coeffs[t..te], &node_levels[t..te], bins, &mut tile[..w]);
+                for (j, &quot) in tile[..w].iter().enumerate() {
+                    let i = t + j;
+                    // Saturate impossible magnitudes rather than wrapping.
+                    let q = quot.clamp(-9.0e18, 9.0e18) as i64;
+                    let sym = q + radius;
+                    let v = if sym >= 0 && (sym as u32) < escape {
+                        sym as u32
+                    } else {
+                        local_outliers.push((i as u64, q));
+                        escape
+                    };
+                    // Safety: chunks write disjoint index ranges.
+                    unsafe { sym_sh.write(i, v) };
+                }
+                t = te;
             }
             if !local_outliers.is_empty() {
                 outliers.lock().extend(local_outliers);
@@ -108,15 +124,28 @@ pub fn dequantize(
     {
         let out_sh = SharedSlice::new(&mut out);
         let symbols = &q.symbols;
-        adapter.dem(n, &|i| {
-            let sym = symbols[i];
-            if sym == escape {
-                return; // filled from the outlier table below
+        let chunks = adapter.info().threads.clamp(1, 64);
+        let chunk = n.div_ceil(chunks);
+        // Vectorized `(sym - radius) * bin` with escape slots written as
+        // 0.0 (same as the skipped-write formulation) and patched from the
+        // outlier table below. Oversubscribed launches stay scalar.
+        let devals = hpdr_kernels::kernels_for_par(chunks).dequantize_vals;
+        adapter.dem(chunks, &|c| {
+            let lo = (c * chunk).min(n);
+            let hi = ((c + 1) * chunk).min(n);
+            if lo >= hi {
+                return;
             }
-            let qi = sym as i64 - radius;
-            let bin = bins[node_levels[i] as usize];
-            // Safety: each index writes only itself.
-            unsafe { out_sh.write(i, qi as f64 * bin) };
+            // Safety: chunks write disjoint index ranges.
+            let dst = unsafe { out_sh.slice_mut(lo, hi - lo) };
+            devals(
+                &symbols[lo..hi],
+                &node_levels[lo..hi],
+                bins,
+                radius,
+                escape,
+                dst,
+            );
         });
     }
     for &(idx, qi) in &q.outliers {

@@ -46,7 +46,7 @@ pub use loadgen::{
 };
 pub use report::{validate_serve_json, LatencySummary, ServeReport, SERVE_SCHEMA};
 pub use scheduler::{serve, JobSource, Policy, Scheduler, ServeConfig, ServeOutcome, VecSource};
-pub use script::{parse_script, PayloadCache, DEMO_SCRIPT};
+pub use script::{parse_script, parse_script_with, CacheStats, PayloadCache, DEMO_SCRIPT};
 
 // Metrics types callers need to configure `ServeConfig::metrics` and
 // consume `ServeReport::metrics` without a direct hpdr-metrics dep.

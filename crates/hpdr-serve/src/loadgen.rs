@@ -134,8 +134,17 @@ pub fn generate_open(
     opts: &LoadgenOptions,
     work: &dyn DeviceAdapter,
 ) -> Result<Vec<JobRequest>, ServeError> {
+    generate_open_with(opts, work, &mut PayloadCache::new())
+}
+
+/// [`generate_open`] with a caller-owned payload cache (stats and
+/// cross-run sharing).
+pub fn generate_open_with(
+    opts: &LoadgenOptions,
+    work: &dyn DeviceAdapter,
+    cache: &mut PayloadCache,
+) -> Result<Vec<JobRequest>, ServeError> {
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut cache = PayloadCache::new();
     let horizon_ns = opts.duration_s * 1e9;
     let mut t_ns = 0.0f64;
     let mut jobs = Vec::new();
@@ -147,7 +156,7 @@ pub fn generate_open(
         }
         jobs.push(draw_job(
             &mut rng,
-            &mut cache,
+            cache,
             work,
             opts.tenants,
             Ns(t_ns as u64),
@@ -213,8 +222,16 @@ pub fn generate_closed(
     opts: &LoadgenOptions,
     work: &dyn DeviceAdapter,
 ) -> Result<ClosedSource, ServeError> {
+    generate_closed_with(opts, work, &mut PayloadCache::new())
+}
+
+/// [`generate_closed`] with a caller-owned payload cache.
+pub fn generate_closed_with(
+    opts: &LoadgenOptions,
+    work: &dyn DeviceAdapter,
+    cache: &mut PayloadCache,
+) -> Result<ClosedSource, ServeError> {
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut cache = PayloadCache::new();
     let total = (opts.rps * opts.duration_s).ceil() as u64;
     let tenants = opts.tenants.max(1);
     let per_tenant_rps = opts.rps / tenants as f64;
@@ -225,7 +242,7 @@ pub fn generate_closed(
         // Closed-loop jobs carry no deadlines/cancellations: their
         // arrival is completion-relative, so absolute hazards would be
         // meaningless at generation time.
-        let mut job = draw_job(&mut rng, &mut cache, work, tenants, think, false)?;
+        let mut job = draw_job(&mut rng, cache, work, tenants, think, false)?;
         job.tenant = TenantId((i % tenants as u64) as u32);
         pending.entry(job.tenant.0).or_default().push_back(job);
     }
@@ -350,21 +367,23 @@ pub fn run_loadgen(opts: LoadgenOptions) -> Result<LoadgenReport, ServeError> {
         ..ServeConfig::default()
     };
 
+    let mut cache = PayloadCache::new();
     let (outcome, prefix) = if opts.closed {
-        let mut source = generate_closed(&opts, work.as_ref())?;
+        let mut source = generate_closed_with(&opts, work.as_ref(), &mut cache)?;
         let prefix_opts = LoadgenOptions {
             closed: false,
             ..opts
         };
-        let prefix = generate_open(&prefix_opts, work.as_ref())?;
+        let prefix = generate_open_with(&prefix_opts, work.as_ref(), &mut cache)?;
         (serve(cfg.clone(), Arc::clone(&work), &mut source), prefix)
     } else {
-        let jobs = generate_open(&opts, work.as_ref())?;
+        let jobs = generate_open_with(&opts, work.as_ref(), &mut cache)?;
         let prefix = jobs.clone();
         let mut source = VecSource::new(jobs);
         (serve(cfg.clone(), Arc::clone(&work), &mut source), prefix)
     };
-    let serve_report = ServeReport::build(cfg.policy, outcome);
+    let mut serve_report = ServeReport::build(cfg.policy, outcome);
+    serve_report.payload_cache = Some(cache.stats());
 
     let prefix: Vec<JobRequest> = prefix.into_iter().take(64).collect();
     let batched = replay_goodput(&prefix, Policy::Batched, &cfg, &work);

@@ -116,6 +116,10 @@ pub struct ServeReport {
     /// The metrics registry of the run (when `ServeConfig::metrics` was
     /// set): scrape series, exposition, SLO attainment.
     pub metrics: Option<hpdr_metrics::Registry>,
+    /// Payload-cache occupancy/eviction counters of the run's
+    /// materialization phase (attached by callers that own the cache —
+    /// `ServeReport::build` has no access to it).
+    pub payload_cache: Option<crate::script::CacheStats>,
 }
 
 impl ServeReport {
@@ -222,6 +226,7 @@ impl ServeReport {
             records: outcome.records,
             trace: outcome.trace,
             metrics: outcome.metrics,
+            payload_cache: None,
         }
     }
 
@@ -287,6 +292,20 @@ impl ServeReport {
                 d.jobs,
                 d.busy_ns as f64 / 1e6,
                 d.utilization * 100.0
+            ));
+        }
+        if let Some(c) = &self.payload_cache {
+            out.push(format!(
+                "payload cache: refactorings {}/{} bytes ({} evicted), \
+                 plans {}/{} bytes ({} evicted), plan hits/misses {}/{}",
+                c.retrieval_bytes,
+                c.retrieval_budget_bytes,
+                c.retrieval_evictions,
+                c.plan_bytes,
+                c.plan_budget_bytes,
+                c.plan_evictions,
+                c.plan_hits,
+                c.plan_misses
             ));
         }
         out
@@ -365,6 +384,22 @@ impl ServeReport {
             ));
         }
         s.push_str("\n  ]");
+        if let Some(c) = &self.payload_cache {
+            s.push_str(&format!(
+                ",\n  \"payload_cache\": {{\"retrieval_bytes\":{},\
+                 \"retrieval_budget_bytes\":{},\"retrieval_evictions\":{},\
+                 \"plan_bytes\":{},\"plan_budget_bytes\":{},\"plan_evictions\":{},\
+                 \"plan_hits\":{},\"plan_misses\":{}}}",
+                c.retrieval_bytes,
+                c.retrieval_budget_bytes,
+                c.retrieval_evictions,
+                c.plan_bytes,
+                c.plan_budget_bytes,
+                c.plan_evictions,
+                c.plan_hits,
+                c.plan_misses
+            ));
+        }
         if let Some(reg) = &self.metrics {
             // Embed the registry's own schema-validated document,
             // re-indented two spaces (same trick as the loadgen report).

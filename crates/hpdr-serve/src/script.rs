@@ -36,16 +36,107 @@ const DATA_SEED: u64 = 7;
 /// Default relative tolerance for `retrieve` jobs without `tol=`.
 pub const DEFAULT_RETRIEVE_TOL: f64 = 1e-2;
 
+/// Default byte budget for the refactoring (component-set) cache.
+pub const DEFAULT_RETRIEVAL_BUDGET_BYTES: u64 = 256 << 20;
+
+/// Default byte budget for the fetch-plan cache (costed by each plan's
+/// planned fetch bytes — the memory a consumer holding the plan's
+/// components would pin).
+pub const DEFAULT_PLAN_BUDGET_BYTES: u64 = 64 << 20;
+
+/// One entry of a budget-bounded cache: the shared value, its byte
+/// cost, and the recency stamp LRU eviction orders by.
+struct LruEntry<V> {
+    value: Arc<V>,
+    bytes: u64,
+    stamp: u64,
+}
+
+/// Budget-bounded LRU over an ordered map. Inserting past the budget
+/// evicts least-recently-stamped entries until the total cost fits
+/// again; the entry being inserted always survives, so one oversized
+/// item still caches (and simply owns the whole budget).
+struct LruMap<K: Ord + Clone, V> {
+    map: BTreeMap<K, LruEntry<V>>,
+    bytes: u64,
+    budget: u64,
+    evictions: u64,
+}
+
+impl<K: Ord + Clone, V> LruMap<K, V> {
+    fn new(budget: u64) -> LruMap<K, V> {
+        LruMap {
+            map: BTreeMap::new(),
+            bytes: 0,
+            budget,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: &K, stamp: u64) -> Option<Arc<V>> {
+        let e = self.map.get_mut(key)?;
+        e.stamp = stamp;
+        Some(Arc::clone(&e.value))
+    }
+
+    fn insert(&mut self, key: K, value: Arc<V>, bytes: u64, stamp: u64) {
+        if let Some(old) = self.map.insert(
+            key.clone(),
+            LruEntry {
+                value,
+                bytes,
+                stamp,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        while self.bytes > self.budget && self.map.len() > 1 {
+            let lru = self
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            let Some(k) = lru else { break };
+            if let Some(e) = self.map.remove(&k) {
+                self.bytes -= e.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+/// Occupancy and eviction counters of a [`PayloadCache`], surfaced in
+/// the serve report so long runs show whether the byte budgets held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Bytes currently held by the refactoring cache.
+    pub retrieval_bytes: u64,
+    pub retrieval_budget_bytes: u64,
+    pub retrieval_evictions: u64,
+    /// Bytes currently costed to the fetch-plan cache.
+    pub plan_bytes: u64,
+    pub plan_budget_bytes: u64,
+    pub plan_evictions: u64,
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+}
+
 /// Payload factory with per-(side) input and per-(codec, side)
 /// container caches so scripts and generators share materialization.
 /// Retrieve jobs add a per-(codec, side) refactoring cache (the shared
 /// coarse components) and a per-(codec, side, tolerance) plan cache
-/// with hit counters.
+/// with hit counters. Both retrieve-side caches are byte-budget LRUs:
+/// long multi-field runs stay bounded instead of pinning every
+/// component set ever refactored.
 pub struct PayloadCache {
     inputs: BTreeMap<usize, (Arc<Vec<u8>>, ArrayMeta)>,
     containers: BTreeMap<(String, usize), Arc<Container>>,
-    retrievals: BTreeMap<(String, usize), Arc<Refactoring>>,
-    plans: BTreeMap<(String, usize, u64), Arc<FetchPlan>>,
+    retrievals: LruMap<(String, usize), Refactoring>,
+    plans: LruMap<(String, usize, u64), FetchPlan>,
+    /// Monotone access counter stamping LRU recency.
+    tick: u64,
     /// Fetch plans served from cache (same codec, side and tolerance).
     pub plan_hits: u64,
     /// Fetch plans computed fresh.
@@ -54,13 +145,39 @@ pub struct PayloadCache {
 
 impl PayloadCache {
     pub fn new() -> PayloadCache {
+        PayloadCache::with_budgets(DEFAULT_RETRIEVAL_BUDGET_BYTES, DEFAULT_PLAN_BUDGET_BYTES)
+    }
+
+    /// A cache with explicit byte budgets for the refactoring and plan
+    /// LRUs (tests and memory-constrained embedders).
+    pub fn with_budgets(retrieval_budget: u64, plan_budget: u64) -> PayloadCache {
         PayloadCache {
             inputs: BTreeMap::new(),
             containers: BTreeMap::new(),
-            retrievals: BTreeMap::new(),
-            plans: BTreeMap::new(),
+            retrievals: LruMap::new(retrieval_budget),
+            plans: LruMap::new(plan_budget),
+            tick: 0,
             plan_hits: 0,
             plan_misses: 0,
+        }
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Current occupancy/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            retrieval_bytes: self.retrievals.bytes,
+            retrieval_budget_bytes: self.retrievals.budget,
+            retrieval_evictions: self.retrievals.evictions,
+            plan_bytes: self.plans.bytes,
+            plan_budget_bytes: self.plans.budget,
+            plan_evictions: self.plans.evictions,
+            plan_hits: self.plan_hits,
+            plan_misses: self.plan_misses,
         }
     }
 
@@ -115,8 +232,9 @@ impl PayloadCache {
         work: &dyn DeviceAdapter,
     ) -> Result<Arc<Refactoring>, ServeError> {
         let key = (codec.label(), side);
-        if let Some(r) = self.retrievals.get(&key) {
-            return Ok(Arc::clone(r));
+        let stamp = self.next_stamp();
+        if let Some(r) = self.retrievals.get(&key, stamp) {
+            return Ok(r);
         }
         let (input, meta) = self.input(side);
         let data: Vec<f32> = input
@@ -133,7 +251,8 @@ impl PayloadCache {
         let set = refactor_progressive(work, &data, &meta.shape, &cfg)
             .map_err(|e| ServeError::InvalidJob(format!("refactoring failed: {e}")))?;
         let set = Arc::new(set);
-        self.retrievals.insert(key, Arc::clone(&set));
+        let bytes = set.components.iter().map(|c| c.len() as u64).sum();
+        self.retrievals.insert(key, Arc::clone(&set), bytes, stamp);
         Ok(set)
     }
 
@@ -154,10 +273,11 @@ impl PayloadCache {
         let set = self.refactoring(codec, side, work)?;
         let tolerance = rel_tol * set.manifest.range;
         let key = (codec.label(), side, rel_tol.to_bits());
-        let plan = match self.plans.get(&key) {
+        let stamp = self.next_stamp();
+        let plan = match self.plans.get(&key, stamp) {
             Some(p) => {
                 self.plan_hits += 1;
-                Arc::clone(p)
+                p
             }
             None => {
                 self.plan_misses += 1;
@@ -166,7 +286,7 @@ impl PayloadCache {
                     &vec![0; set.manifest.levels as usize],
                     tolerance,
                 ));
-                self.plans.insert(key, Arc::clone(&p));
+                self.plans.insert(key, Arc::clone(&p), p.bytes, stamp);
                 p
             }
         };
@@ -210,6 +330,18 @@ impl Default for PayloadCache {
 /// Parse a full job script into arrival-ordered requests.
 pub fn parse_script(text: &str, work: &dyn DeviceAdapter) -> Result<Vec<JobRequest>, ServeError> {
     let mut cache = PayloadCache::new();
+    parse_script_with(text, work, &mut cache)
+}
+
+/// [`parse_script`] with a caller-owned [`PayloadCache`], so the caller
+/// can read the cache's occupancy/eviction stats afterwards (the serve
+/// CLI surfaces them in the report) or share materialization across
+/// scripts.
+pub fn parse_script_with(
+    text: &str,
+    work: &dyn DeviceAdapter,
+    cache: &mut PayloadCache,
+) -> Result<Vec<JobRequest>, ServeError> {
     let mut jobs = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -217,7 +349,7 @@ pub fn parse_script(text: &str, work: &dyn DeviceAdapter) -> Result<Vec<JobReque
             continue;
         }
         jobs.push(
-            parse_line(line, &mut cache, work)
+            parse_line(line, cache, work)
                 .map_err(|e| ServeError::Script(format!("line {}: {e}", lineno + 1)))?,
         );
     }
@@ -391,6 +523,69 @@ mod tests {
         cache.retrieval(codec, 8, 1e-1, &work).unwrap();
         assert_eq!(cache.plan_misses, 2);
         assert_eq!(cache.plan_hits, 1);
+    }
+
+    #[test]
+    fn lru_map_evicts_least_recent_and_counts() {
+        let mut m: LruMap<u32, u32> = LruMap::new(10);
+        m.insert(1, Arc::new(10), 4, 1);
+        m.insert(2, Arc::new(20), 4, 2);
+        assert_eq!(m.bytes, 8);
+        // Touch 1 so 2 becomes the least-recently-used entry.
+        assert!(m.get(&1, 3).is_some());
+        m.insert(3, Arc::new(30), 4, 4);
+        assert_eq!(m.evictions, 1);
+        assert!(m.get(&2, 5).is_none(), "LRU entry 2 must be evicted");
+        assert!(m.get(&1, 6).is_some());
+        assert!(m.get(&3, 7).is_some());
+        assert_eq!(m.bytes, 8);
+        // An oversized entry still caches: everything else evicts, the
+        // newcomer survives.
+        m.insert(4, Arc::new(40), 100, 8);
+        assert!(m.get(&4, 9).is_some());
+        assert_eq!(m.map.len(), 1);
+        assert_eq!(m.bytes, 100);
+        assert_eq!(m.evictions, 3);
+        // Re-inserting an existing key replaces its cost, not adds.
+        m.insert(4, Arc::new(41), 7, 10);
+        assert_eq!(m.bytes, 7);
+    }
+
+    #[test]
+    fn payload_cache_budget_bounds_refactorings() {
+        let work = adapter();
+        // 1-byte retrieval budget: every new component set evicts the
+        // previous one; plans keep their own (ample) budget.
+        let mut cache = PayloadCache::with_budgets(1, DEFAULT_PLAN_BUDGET_BYTES);
+        let codec = ServeCodec::parse("mgard:1e-5").unwrap();
+        let a1 = cache.refactoring(codec, 8, &work).unwrap();
+        cache.refactoring(codec, 10, &work).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.retrieval_evictions, 1, "{s:?}");
+        assert!(s.retrieval_bytes > 0);
+        // The evicted side recomputes: a fresh allocation, not the old Arc.
+        let a2 = cache.refactoring(codec, 8, &work).unwrap();
+        assert!(!Arc::ptr_eq(&a1, &a2));
+        assert_eq!(cache.stats().retrieval_evictions, 2);
+        // Within budget nothing evicts and the Arc is shared.
+        let mut roomy = PayloadCache::new();
+        let b1 = roomy.refactoring(codec, 8, &work).unwrap();
+        let b2 = roomy.refactoring(codec, 8, &work).unwrap();
+        assert!(Arc::ptr_eq(&b1, &b2));
+        assert_eq!(roomy.stats().retrieval_evictions, 0);
+    }
+
+    #[test]
+    fn parse_script_with_surfaces_cache_stats() {
+        let mut cache = PayloadCache::new();
+        let jobs = parse_script_with(DEMO_SCRIPT, &adapter(), &mut cache).unwrap();
+        assert_eq!(jobs.len(), 13);
+        let s = cache.stats();
+        assert_eq!(s.plan_misses, 2, "{s:?}"); // tol=1e-1 and tol=1e-3
+        assert_eq!(s.plan_hits, 1, "{s:?}"); // repeated tol=1e-1
+        assert!(s.retrieval_bytes > 0);
+        assert!(s.plan_bytes > 0);
+        assert_eq!(s.retrieval_evictions + s.plan_evictions, 0);
     }
 
     #[test]

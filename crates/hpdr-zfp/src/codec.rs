@@ -13,7 +13,7 @@
 //! modes can be implemented similarly").
 
 use crate::embedded::{decode_ints, encode_ints};
-use crate::negabinary::{int_to_negabinary, negabinary_to_int};
+use crate::negabinary::{int_to_negabinary_slice, negabinary_to_int_slice};
 use crate::transform::{fwd_transform, inv_transform, sequency_order};
 use hpdr_core::{
     ByteReader, ByteWriter, DeviceAdapter, Float, HpdrError, KernelClass, Locality, Result, Shape,
@@ -122,6 +122,65 @@ fn block_ctx(shape: &Shape) -> BlockCtx {
     }
 }
 
+/// Per-group reusable block scratch: fixed-point coefficients, the
+/// sequency-permuted copy, and the negabinary words. Every lane is
+/// overwritten by each block, so reuse across a batch is exact.
+struct BlockScratch {
+    q: Vec<i64>,
+    qp: Vec<i64>,
+    nb: Vec<u64>,
+}
+
+impl BlockScratch {
+    fn new(n: usize) -> BlockScratch {
+        BlockScratch {
+            q: vec![0; n],
+            qp: vec![0; n],
+            nb: vec![0; n],
+        }
+    }
+}
+
+/// Max |v| over a block via the width-specific SIMD kernel; NaN if any
+/// lane is NaN, +inf if any lane is infinite.
+fn block_amax<T: Float>(vals: &[T]) -> f64 {
+    let k = hpdr_kernels::kernels();
+    if let Some(v) = T::as_f32_slice(vals) {
+        (k.zfp_amax_f32)(v)
+    } else if let Some(v) = T::as_f64_slice(vals) {
+        (k.zfp_amax_f64)(v)
+    } else {
+        let mut amax = 0.0f64;
+        let mut nan = false;
+        for &v in vals {
+            let v = v.to_f64();
+            nan |= v.is_nan();
+            amax = amax.max(v.abs());
+        }
+        if nan {
+            f64::NAN
+        } else {
+            amax
+        }
+    }
+}
+
+/// Fixed-point conversion `round_ties_even(v * scale)` via the
+/// width-specific SIMD kernel. Caller guarantees |v·scale| < 2^62
+/// (here |v·scale| < 2^FRACBITS by construction of `scale`).
+fn block_fixedpoint<T: Float>(vals: &[T], scale: f64, out: &mut [i64]) {
+    let k = hpdr_kernels::kernels();
+    if let Some(v) = T::as_f32_slice(vals) {
+        (k.zfp_fixedpoint_f32)(v, scale, out);
+    } else if let Some(v) = T::as_f64_slice(vals) {
+        (k.zfp_fixedpoint_f64)(v, scale, out);
+    } else {
+        for (qi, v) in out.iter_mut().zip(vals) {
+            *qi = (v.to_f64() * scale).round_ties_even() as i64;
+        }
+    }
+}
+
 /// Encode one gathered block into `w`. Returns bits written.
 fn encode_block<T: Float>(
     vals: &[T],
@@ -129,14 +188,13 @@ fn encode_block<T: Float>(
     maxbits: u32,
     kmin: u32,
     w: &mut BitWriter,
+    s: &mut BlockScratch,
 ) -> Result<u32> {
-    // Exponent alignment: emax over the block.
-    let mut amax = 0.0f64;
-    for &v in vals {
-        if !v.is_finite() {
-            return Err(HpdrError::invalid("non-finite value in ZFP input"));
-        }
-        amax = amax.max(v.to_f64().abs());
+    // Exponent alignment: emax over the block. The amax kernel doubles as
+    // the finiteness check (NaN input → NaN amax, inf propagates).
+    let amax = block_amax(vals);
+    if !amax.is_finite() {
+        return Err(HpdrError::invalid("non-finite value in ZFP input"));
     }
     if amax == 0.0 {
         w.write_bit(false);
@@ -147,16 +205,16 @@ fn encode_block<T: Float>(
     w.write_bits((emax + EMAX_BIAS) as u64, 16);
     // Fixed-point conversion.
     let scale = 2f64.powi(FRACBITS - emax);
-    let mut q: Vec<i64> = vals
-        .iter()
-        .map(|v| (v.to_f64() * scale).round() as i64)
-        .collect();
+    block_fixedpoint(vals, scale, &mut s.q);
     // Near-orthogonal transform.
-    fwd_transform(&mut q, ctx.d);
-    // Sequency reorder + negabinary.
-    let nb: Vec<u64> = ctx.perm.iter().map(|&i| int_to_negabinary(q[i])).collect();
+    fwd_transform(&mut s.q, ctx.d);
+    // Sequency reorder + negabinary (slice kernel over the gathered copy).
+    for (slot, &i) in ctx.perm.iter().enumerate() {
+        s.qp[slot] = s.q[i];
+    }
+    int_to_negabinary_slice(&s.qp, &mut s.nb);
     // Embedded bit-plane serialization.
-    let used = encode_ints(w, maxbits, kmin, &nb);
+    let used = encode_ints(w, maxbits, kmin, &s.nb);
     Ok(HEADER_BITS + used)
 }
 
@@ -167,6 +225,7 @@ fn decode_block<T: Float>(
     maxbits: u32,
     kmin: u32,
     out: &mut [T],
+    s: &mut BlockScratch,
 ) -> Result<()> {
     if !r.read_bit()? {
         out.fill(T::ZERO);
@@ -179,13 +238,13 @@ fn decode_block<T: Float>(
         )));
     }
     let nb = decode_ints(r, maxbits, kmin, ctx.n)?;
-    let mut q = vec![0i64; ctx.n];
+    negabinary_to_int_slice(&nb, &mut s.qp);
     for (slot, &src) in ctx.perm.iter().enumerate() {
-        q[src] = negabinary_to_int(nb[slot]);
+        s.q[src] = s.qp[slot];
     }
-    inv_transform(&mut q, ctx.d);
+    inv_transform(&mut s.q, ctx.d);
     let scale = 2f64.powi(emax - FRACBITS);
-    for (o, &v) in out.iter_mut().zip(&q) {
+    for (o, &v) in out.iter_mut().zip(&s.q) {
         *o = T::from_f64(v as f64 * scale);
     }
     Ok(())
@@ -265,10 +324,11 @@ pub fn compress<T: Float>(
                         let b1 = (b0 + RATE_BATCH).min(blocks);
                         let mut vals = vec![T::ZERO; ctx.n];
                         let mut bw = BitWriter::with_bit_capacity(block_bits as usize);
+                        let mut scratch = BlockScratch::new(ctx.n);
                         for b in b0..b1 {
                             ctx.grid.gather(data, b, &mut vals);
                             bw.clear();
-                            match encode_block(&vals, &ctx, maxbits, 0, &mut bw) {
+                            match encode_block(&vals, &ctx, maxbits, 0, &mut bw, &mut scratch) {
                                 Ok(_) => {
                                     // Safety: block b owns its byte range.
                                     let dst = unsafe {
@@ -304,14 +364,16 @@ pub fn compress<T: Float>(
                 Locality::new(blocks).run(adapter, &|b, _| {
                     let mut vals = vec![T::ZERO; ctx.n];
                     ctx.grid.gather(data, b, &mut vals);
-                    let mut amax = 0.0f64;
-                    for &v in &vals {
-                        amax = amax.max(v.to_f64().abs());
-                    }
-                    let emax = if amax > 0.0 { amax.exponent() } else { 0 };
+                    let amax = block_amax(&vals);
+                    let emax = if amax > 0.0 && amax.is_finite() {
+                        amax.exponent()
+                    } else {
+                        0
+                    };
                     let kmin = kmin_for_tolerance(tol, emax, ctx.d);
                     let mut bw = BitWriter::new();
-                    match encode_block(&vals, &ctx, 1 << 24, kmin, &mut bw) {
+                    let mut scratch = BlockScratch::new(ctx.n);
+                    match encode_block(&vals, &ctx, 1 << 24, kmin, &mut bw, &mut scratch) {
                         Ok(_) => {
                             // Safety: block b owns slot b.
                             let slot = unsafe { enc_sh.slice_mut(b, 1) };
@@ -346,7 +408,8 @@ pub fn compress<T: Float>(
                     let mut vals = vec![T::ZERO; ctx.n];
                     ctx.grid.gather(data, b, &mut vals);
                     let mut bw = BitWriter::new();
-                    match encode_block(&vals, &ctx, 1 << 24, kmin, &mut bw) {
+                    let mut scratch = BlockScratch::new(ctx.n);
+                    match encode_block(&vals, &ctx, 1 << 24, kmin, &mut bw, &mut scratch) {
                         Ok(_) => {
                             // Safety: block b owns slot b.
                             let slot = unsafe { enc_sh.slice_mut(b, 1) };
@@ -431,10 +494,11 @@ pub fn decompress<T: Float>(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result
                     // One decode buffer per group; `decode_block` fills
                     // every lane, so reuse across blocks is exact.
                     let mut vals = vec![T::ZERO; ctx.n];
+                    let mut scratch = BlockScratch::new(ctx.n);
                     for b in b0..b1 {
                         let region = &payload[b * block_bytes..(b + 1) * block_bytes];
                         let mut br = BitReader::new(region);
-                        match decode_block(&mut br, &ctx, maxbits, 0, &mut vals) {
+                        match decode_block(&mut br, &ctx, maxbits, 0, &mut vals, &mut scratch) {
                             Ok(()) => scatter_shared(&ctx.grid, &out_sh, b, &vals),
                             Err(e) => {
                                 errors.lock().unwrap().push(e);
@@ -485,7 +549,8 @@ pub fn decompress<T: Float>(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result
                         }
                         let emax = peek.read_bits(16)? as i32 - EMAX_BIAS;
                         let kmin = kmin_for_tolerance(tol, emax, ctx.d);
-                        decode_block(&mut br, &ctx, 1 << 24, kmin, &mut vals)
+                        let mut scratch = BlockScratch::new(ctx.n);
+                        decode_block(&mut br, &ctx, 1 << 24, kmin, &mut vals, &mut scratch)
                     })();
                     match res {
                         Ok(()) => scatter_shared(&ctx.grid, &out_sh, b, &vals),
@@ -528,7 +593,8 @@ pub fn decompress<T: Float>(adapter: &dyn DeviceAdapter, bytes: &[u8]) -> Result
                     let region = &payload[offsets[b]..offsets[b] + sizes[b]];
                     let mut br = BitReader::new(region);
                     let mut vals = vec![T::ZERO; ctx.n];
-                    match decode_block(&mut br, &ctx, 1 << 24, kmin, &mut vals) {
+                    let mut scratch = BlockScratch::new(ctx.n);
+                    match decode_block(&mut br, &ctx, 1 << 24, kmin, &mut vals, &mut scratch) {
                         Ok(()) => scatter_shared(&ctx.grid, &out_sh, b, &vals),
                         Err(e) => errors.lock().unwrap().push(e),
                     }
@@ -593,6 +659,130 @@ mod tests {
             }
         }
         (data, shape)
+    }
+
+    /// Stage-level profile of the fixed-rate encode hot path at 32³.
+    /// Run with:
+    ///   cargo test --release -p hpdr-zfp --lib -- --ignored profile --nocapture
+    /// (and again under HPDR_FORCE_SCALAR=1 to see the per-stage SIMD
+    /// effect). Not a correctness test — it only prints timings.
+    #[test]
+    #[ignore = "profiling harness, run manually with --nocapture"]
+    fn profile_fixed_rate_stages_32cube() {
+        use std::time::Instant;
+        let (data, shape) = smooth_3d(32);
+        let ctx = block_ctx(&shape);
+        let blocks = ctx.grid.num_blocks();
+        let rate = 16u32;
+        let maxbits = rate * ctx.n as u32 - HEADER_BITS;
+        let reps = 200usize;
+
+        let best = |label: &str, f: &mut dyn FnMut()| {
+            let mut min = std::time::Duration::MAX;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                f();
+                min = min.min(t0.elapsed());
+            }
+            println!(
+                "{label:>18}: {:>9.1} us  ({:.1} ns/block)",
+                min.as_secs_f64() * 1e6,
+                min.as_secs_f64() * 1e9 / blocks as f64
+            );
+            min
+        };
+
+        // Pre-gather every block so later stages can be timed in isolation.
+        let mut gathered = vec![0f32; blocks * ctx.n];
+        for b in 0..blocks {
+            ctx.grid
+                .gather(&data, b, &mut gathered[b * ctx.n..(b + 1) * ctx.n]);
+        }
+        let mut vals = vec![0f32; ctx.n];
+        best("gather", &mut || {
+            for b in 0..blocks {
+                ctx.grid.gather(&data, b, &mut vals);
+                std::hint::black_box(&vals);
+            }
+        });
+        // Fixed-point conversion (amax scan + scale + round).
+        let mut s = BlockScratch::new(ctx.n);
+        best("amax+fixedpoint", &mut || {
+            for b in 0..blocks {
+                let vals = &gathered[b * ctx.n..(b + 1) * ctx.n];
+                let amax = block_amax(vals);
+                let emax = if amax > 0.0 { amax.exponent() } else { 0 };
+                let scale = 2f64.powi(FRACBITS - emax);
+                block_fixedpoint(vals, scale, &mut s.q);
+                std::hint::black_box(&s.q);
+            }
+        });
+        // Pre-compute per-block fixed-point inputs for the transform stage.
+        let mut qs = vec![0i64; blocks * ctx.n];
+        for b in 0..blocks {
+            let vals = &gathered[b * ctx.n..(b + 1) * ctx.n];
+            let amax = block_amax(vals);
+            let emax = if amax > 0.0 { amax.exponent() } else { 0 };
+            let scale = 2f64.powi(FRACBITS - emax);
+            block_fixedpoint(vals, scale, &mut qs[b * ctx.n..(b + 1) * ctx.n]);
+        }
+        best("fwd_transform", &mut || {
+            for b in 0..blocks {
+                s.q.copy_from_slice(&qs[b * ctx.n..(b + 1) * ctx.n]);
+                fwd_transform(&mut s.q, ctx.d);
+                std::hint::black_box(&s.q);
+            }
+        });
+        // Transformed blocks for the reorder/negabinary stage.
+        let mut ts = qs.clone();
+        for b in 0..blocks {
+            fwd_transform(&mut ts[b * ctx.n..(b + 1) * ctx.n], ctx.d);
+        }
+        best("perm+negabinary", &mut || {
+            for b in 0..blocks {
+                let q = &ts[b * ctx.n..(b + 1) * ctx.n];
+                for (slot, &i) in ctx.perm.iter().enumerate() {
+                    s.qp[slot] = q[i];
+                }
+                int_to_negabinary_slice(&s.qp, &mut s.nb);
+                std::hint::black_box(&s.nb);
+            }
+        });
+        // Negabinary words for the embedded coder stage.
+        let mut nbs = vec![0u64; blocks * ctx.n];
+        for b in 0..blocks {
+            let q = &ts[b * ctx.n..(b + 1) * ctx.n];
+            for (slot, &i) in ctx.perm.iter().enumerate() {
+                s.qp[slot] = q[i];
+            }
+            int_to_negabinary_slice(&s.qp, &mut nbs[b * ctx.n..(b + 1) * ctx.n]);
+        }
+        let mut bw = BitWriter::with_bit_capacity((rate as usize) * ctx.n);
+        best("encode_ints", &mut || {
+            for b in 0..blocks {
+                bw.clear();
+                bw.write_bits(0x1_2345, HEADER_BITS);
+                encode_ints(&mut bw, maxbits, 0, &nbs[b * ctx.n..(b + 1) * ctx.n]);
+                std::hint::black_box(&bw);
+            }
+        });
+        let cfg = ZfpConfig::fixed_rate(rate);
+        let a = SerialAdapter::new();
+        best("full compress", &mut || {
+            std::hint::black_box(compress(&a, &data, &shape, &cfg).unwrap());
+        });
+        // Byte-level path the bench actually times (adds bytes_to_vec +
+        // container assembly on top of `compress`).
+        let bytes = f32::slice_to_bytes(&data);
+        best("bytes_to_vec", &mut || {
+            std::hint::black_box(f32::bytes_to_vec(&bytes));
+        });
+        let meta = hpdr_core::ArrayMeta::new(hpdr_core::DType::F32, shape.clone());
+        let red = crate::reducer::ZfpReducer(cfg);
+        use hpdr_core::Reducer as _;
+        best("reducer bytes", &mut || {
+            std::hint::black_box(red.compress(&a, &bytes, &meta).unwrap());
+        });
     }
 
     #[test]

@@ -20,59 +20,146 @@ fn shr(x: u64, m: u32) -> u64 {
     }
 }
 
+/// Natural output bound for [`encode_ints`]: each of the 64 planes emits
+/// at most `size` verbatim bits plus `size + 1` group/value bits, so
+/// `64 × (2·64 + 1)` bits ⇒ 130 words cover every possible stream.
+const EMIT_WORDS: usize = 130;
+
+/// Local bit accumulator for [`encode_ints`]: collects the stream in a
+/// stack buffer with one branch per append, then hands whole words to the
+/// (bounds-checked, spill-handling) `BitWriter` in a single pass. The
+/// plane loop appends a handful of bits at a time, so routing every group
+/// test through `BitWriter::write_bits` costs more than the coding itself.
+struct Emit {
+    buf: [u64; EMIT_WORDS],
+    acc: u64,
+    /// Bits resident in `acc` (< 64 between pushes).
+    nacc: u32,
+    nwords: usize,
+}
+
+impl Emit {
+    #[inline]
+    fn new() -> Emit {
+        Emit {
+            buf: [0; EMIT_WORDS],
+            acc: 0,
+            nacc: 0,
+            nwords: 0,
+        }
+    }
+
+    /// Append the low `nbits` of `value` (LSB first, `value` pre-masked).
+    #[inline]
+    fn push(&mut self, value: u64, nbits: u32) {
+        debug_assert!(nbits <= 64);
+        debug_assert!(nbits == 64 || value >> nbits == 0);
+        self.acc |= value << self.nacc;
+        let total = self.nacc + nbits;
+        if total >= 64 {
+            self.buf[self.nwords] = self.acc;
+            self.nwords += 1;
+            self.acc = if self.nacc == 0 {
+                0
+            } else {
+                value >> (64 - self.nacc)
+            };
+            self.nacc = total - 64;
+        } else {
+            self.nacc = total;
+        }
+    }
+
+    /// Flush into `w`. `total_bits` must equal the number of pushed bits,
+    /// so `buf[..nwords]` holds the full words and `acc` the partial tail.
+    fn flush_to(self, w: &mut BitWriter, total_bits: u32) {
+        debug_assert_eq!(self.nwords, (total_bits / 64) as usize);
+        for &word in &self.buf[..self.nwords] {
+            w.write_bits(word, 64);
+        }
+        let rem = total_bits % 64;
+        if rem > 0 {
+            w.write_bits(self.acc, rem);
+        }
+    }
+}
+
 /// Encode `data` (negabinary, sequency-ordered, `len <= 64`) using at most
 /// `maxbits` bits of `w`, covering bit planes `kmin..64`. Returns the
 /// number of bits written.
+///
+/// The group-test coding follows zfp's `encode_ints` control flow, but
+/// each unary run is emitted in closed form: a run of `tz` insignificant
+/// coefficients followed by a significant one always serializes as the
+/// word `1 | 1 << (tz + 1)` (test bit, `tz` zeros, terminating one), so a
+/// single trailing-zeros count replaces the per-bit inner loop. Budget
+/// exhaustion truncates that word's low bits — identical to stopping the
+/// reference loop mid-run.
 pub fn encode_ints(w: &mut BitWriter, maxbits: u32, kmin: u32, data: &[u64]) -> u32 {
     let size = data.len();
     debug_assert!((1..=64).contains(&size));
-    let mut bits = maxbits;
+    // Extract all 64 bit planes at once: one 64×64 bit transpose turns
+    // coefficient words into plane words (`planes[k]` bit `i` == `data[i]`
+    // bit `k`), replacing the per-plane 64-iteration gather loop.
+    let mut planes = [0u64; 64];
+    planes[..size].copy_from_slice(data);
+    (hpdr_kernels::kernels().bit_transpose64)(&mut planes);
+    let mut e = Emit::new();
+    let mut bits = maxbits.min(64 * (2 * 64 + 1));
+    let clamped = maxbits - bits; // re-added at return; never emitted
     let mut n: usize = 0;
     let mut k = 64u32;
-    while bits > 0 && k > kmin {
+    'planes: while bits > 0 && k > kmin {
         k -= 1;
-        // Step 1: extract bit plane #k into x.
-        let mut x: u64 = 0;
-        for (i, &v) in data.iter().enumerate() {
-            x += ((v >> k) & 1) << i;
-        }
+        // Step 1: bit plane #k.
+        let x: u64 = planes[k as usize];
         // Step 2: verbatim bits for the n already-significant coefficients.
         let m = (n as u32).min(bits);
         bits -= m;
-        w.write_bits(x, m);
+        e.push(if m == 64 { x } else { x & !(u64::MAX << m) }, m);
         let mut x = shr(x, m);
-        // Step 3: unary run-length encode the remainder of the plane.
+        // Step 3: group-test the remainder of the plane, one run at a time.
         loop {
-            // Outer condition: n < size && bits && write group-test bit.
             if n >= size || bits == 0 {
                 break;
             }
-            bits -= 1;
-            let any = x != 0;
-            w.write_bit(any);
-            if !any {
+            if x == 0 {
+                // Group test 0: no significant coefficients remain.
+                bits -= 1;
+                e.push(0, 1);
                 break;
             }
-            // Inner: emit value bits until the run's terminating 1.
-            loop {
-                if n >= size - 1 || bits == 0 {
-                    break;
-                }
-                bits -= 1;
-                let bit = (x & 1) == 1;
-                w.write_bit(bit);
-                if bit {
-                    break;
-                }
-                x >>= 1;
-                n += 1;
+            // `x` has `size - n` live bits, so `tz <= size - n - 1`.
+            let tz = x.trailing_zeros() as usize;
+            let (chunk, chunk_len) = if tz < size - 1 - n {
+                // Test 1, `tz` zeros, terminating 1.
+                (1u64 | (1u64 << (tz + 1)), tz as u32 + 2)
+            } else {
+                // Final coefficient's run: its terminating 1 is implied
+                // (the reference inner loop stops at `size - 1`).
+                (1u64, (size - n) as u32)
+            };
+            if bits < chunk_len {
+                // Budget exhausts mid-run: emit the run's first `bits`
+                // bits (test bit + zeros) and stop everything.
+                e.push(chunk & !(u64::MAX << bits), bits);
+                bits = 0;
+                break 'planes;
             }
-            // Outer increment (consumes the significant coefficient).
-            x >>= 1;
-            n += 1;
+            bits -= chunk_len;
+            e.push(chunk, chunk_len);
+            if tz < size - 1 - n {
+                x >>= tz + 1;
+                n += tz + 1;
+            } else {
+                n = size;
+                break;
+            }
         }
     }
-    maxbits - bits
+    let written = maxbits - clamped - bits;
+    e.flush_to(w, written);
+    written
 }
 
 /// Decode the planes written by [`encode_ints`] with identical `maxbits`
@@ -86,7 +173,7 @@ pub fn decode_ints(
     debug_assert!((1..=64).contains(&size));
     let mut bits = maxbits;
     let mut n: usize = 0;
-    let mut data = vec![0u64; size];
+    let mut planes = [0u64; 64];
     let mut k = 64u32;
     while bits > 0 && k > kmin {
         k -= 1;
@@ -114,18 +201,12 @@ pub fn decode_ints(
             x += 1u64 << n;
             n += 1;
         }
-        // Deposit plane k.
-        let mut xx = x;
-        let mut i = 0usize;
-        while xx != 0 {
-            if xx & 1 == 1 {
-                data[i] |= 1u64 << k;
-            }
-            xx >>= 1;
-            i += 1;
-        }
+        planes[k as usize] = x;
     }
-    Ok(data)
+    // One transpose deposits every decoded plane into its coefficients
+    // (`out[i]` bit `k` == `planes[k]` bit `i`); undecoded planes are 0.
+    (hpdr_kernels::kernels().bit_transpose64)(&mut planes);
+    Ok(planes[..size].to_vec())
 }
 
 #[cfg(test)]
@@ -185,6 +266,97 @@ mod tests {
             // Decoding with the same budget must not error even when the
             // stream was truncated by the budget.
             decode_ints(&mut r, maxbits, 0, data.len()).unwrap();
+        }
+    }
+
+    /// The original per-bit emission loop, kept verbatim as the oracle
+    /// for the closed-form run emission in [`encode_ints`].
+    fn encode_ints_reference(w: &mut BitWriter, maxbits: u32, kmin: u32, data: &[u64]) -> u32 {
+        let size = data.len();
+        let mut planes = [0u64; 64];
+        planes[..size].copy_from_slice(data);
+        (hpdr_kernels::kernels().bit_transpose64)(&mut planes);
+        let mut bits = maxbits;
+        let mut n: usize = 0;
+        let mut k = 64u32;
+        while bits > 0 && k > kmin {
+            k -= 1;
+            let x: u64 = planes[k as usize];
+            let m = (n as u32).min(bits);
+            bits -= m;
+            w.write_bits(x, m);
+            let mut x = shr(x, m);
+            loop {
+                if n >= size || bits == 0 {
+                    break;
+                }
+                bits -= 1;
+                let any = x != 0;
+                w.write_bit(any);
+                if !any {
+                    break;
+                }
+                loop {
+                    if n >= size - 1 || bits == 0 {
+                        break;
+                    }
+                    bits -= 1;
+                    let bit = (x & 1) == 1;
+                    w.write_bit(bit);
+                    if bit {
+                        break;
+                    }
+                    x >>= 1;
+                    n += 1;
+                }
+                x >>= 1;
+                n += 1;
+            }
+        }
+        maxbits - bits
+    }
+
+    #[test]
+    fn closed_form_emission_matches_reference_bit_for_bit() {
+        // Pseudo-random blocks over every size, a spread of budgets that
+        // exercises truncation at every alignment, and kmin truncation.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for size in 1..=64usize {
+            for case in 0..8 {
+                let data: Vec<u64> = (0..size)
+                    .map(|_| {
+                        let v = rng();
+                        // Mix sparse, dense, and small-magnitude words.
+                        match case % 4 {
+                            0 => v,
+                            1 => v & rng() & rng(),
+                            2 => v >> (v % 50),
+                            _ => 0,
+                        }
+                    })
+                    .collect();
+                for maxbits in [1u32, 7, 17, 63, 64, 65, 129, 1007, 4096, 1 << 24] {
+                    for kmin in [0u32, 13, 52] {
+                        let mut wa = BitWriter::new();
+                        let ua = encode_ints(&mut wa, maxbits, kmin, &data);
+                        let mut wb = BitWriter::new();
+                        let ub = encode_ints_reference(&mut wb, maxbits, kmin, &data);
+                        assert_eq!(ua, ub, "size={size} maxbits={maxbits} kmin={kmin}");
+                        assert_eq!(
+                            wa.clone().into_bytes(),
+                            wb.clone().into_bytes(),
+                            "size={size} maxbits={maxbits} kmin={kmin}"
+                        );
+                        assert_eq!(wa.bit_len(), wb.bit_len());
+                    }
+                }
+            }
         }
     }
 

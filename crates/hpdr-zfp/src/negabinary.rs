@@ -3,18 +3,19 @@
 //! ZFP serializes transform coefficients in negabinary so that truncating
 //! low bit planes rounds symmetrically around zero (no sign plane needed).
 
-const NBMASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+pub use hpdr_kernels::simd::{int_to_negabinary, negabinary_to_int};
 
-/// Signed two's-complement → negabinary.
+/// Slice negabinary conversion through the SIMD dispatch table
+/// (`dst[i] = negabinary(src[i])`; lengths must match).
 #[inline]
-pub fn int_to_negabinary(x: i64) -> u64 {
-    ((x as u64).wrapping_add(NBMASK)) ^ NBMASK
+pub fn int_to_negabinary_slice(src: &[i64], dst: &mut [u64]) {
+    (hpdr_kernels::kernels().negabinary_fwd)(src, dst)
 }
 
-/// Negabinary → signed two's-complement.
+/// Slice inverse of [`int_to_negabinary_slice`].
 #[inline]
-pub fn negabinary_to_int(u: u64) -> i64 {
-    (u ^ NBMASK).wrapping_sub(NBMASK) as i64
+pub fn negabinary_to_int_slice(src: &[u64], dst: &mut [i64]) {
+    (hpdr_kernels::kernels().negabinary_inv)(src, dst)
 }
 
 #[cfg(test)]

@@ -60,70 +60,17 @@ pub fn inv_lift(p: &mut [i64], base: usize, s: usize) {
 }
 
 /// Forward transform of a 4^d block (row-major, d = 1..=3).
+///
+/// Dispatches through [`hpdr_kernels::simd`] — the SIMD tiers run the
+/// identical wrapping-integer ladder 4 vectors at a time (byte-identical
+/// results); [`fwd_lift`] above stays as the per-vector reference.
 pub fn fwd_transform(block: &mut [i64], d: usize) {
-    match d {
-        1 => fwd_lift(block, 0, 1),
-        2 => {
-            // Rows (fast axis), then columns.
-            for r in 0..4 {
-                fwd_lift(block, 4 * r, 1);
-            }
-            for c in 0..4 {
-                fwd_lift(block, c, 4);
-            }
-        }
-        3 => {
-            for z in 0..4 {
-                for y in 0..4 {
-                    fwd_lift(block, 16 * z + 4 * y, 1);
-                }
-            }
-            for z in 0..4 {
-                for x in 0..4 {
-                    fwd_lift(block, 16 * z + x, 4);
-                }
-            }
-            for y in 0..4 {
-                for x in 0..4 {
-                    fwd_lift(block, 4 * y + x, 16);
-                }
-            }
-        }
-        _ => panic!("ZFP blocks are 1–3 dimensional"),
-    }
+    (hpdr_kernels::kernels().zfp_fwd_transform)(block, d)
 }
 
 /// Inverse transform of a 4^d block (reverse axis order).
 pub fn inv_transform(block: &mut [i64], d: usize) {
-    match d {
-        1 => inv_lift(block, 0, 1),
-        2 => {
-            for c in 0..4 {
-                inv_lift(block, c, 4);
-            }
-            for r in 0..4 {
-                inv_lift(block, 4 * r, 1);
-            }
-        }
-        3 => {
-            for y in 0..4 {
-                for x in 0..4 {
-                    inv_lift(block, 4 * y + x, 16);
-                }
-            }
-            for z in 0..4 {
-                for x in 0..4 {
-                    inv_lift(block, 16 * z + x, 4);
-                }
-            }
-            for z in 0..4 {
-                for y in 0..4 {
-                    inv_lift(block, 16 * z + 4 * y, 1);
-                }
-            }
-        }
-        _ => panic!("ZFP blocks are 1–3 dimensional"),
-    }
+    (hpdr_kernels::kernels().zfp_inv_transform)(block, d)
 }
 
 /// Coefficient permutation ordering a 4^d block by total sequency

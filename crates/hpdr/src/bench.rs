@@ -3,7 +3,8 @@
 //! Two benchmark families, both measured (not modeled):
 //!
 //! * **Codec throughput**: compress/decompress GB/s per codec × adapter
-//!   × input size, median of N timed runs after warmup;
+//!   × input size, best of N timed runs after warmup (wall-clock noise
+//!   is additive, so the minimum converges on the true cost);
 //! * **Pool microbenchmark**: ≥ 32 GEM/DEM stage invocations through the
 //!   persistent [`hpdr_core::WorkerPool`] versus the pre-pool
 //!   spawn-per-call baseline (`spawning_parallel_for*`), reported as a
@@ -27,13 +28,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Schema identifier embedded in every bench document.
-pub const BENCH_SCHEMA: &str = "hpdr-bench/v1";
+pub const BENCH_SCHEMA: &str = "hpdr-bench/v2";
+
+/// Previous schema id, still accepted by [`validate_bench_json`] and
+/// `--compare` so old baselines keep working.
+pub const BENCH_SCHEMA_V1: &str = "hpdr-bench/v1";
 
 /// Bench configuration (from CLI flags).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchOptions {
     /// Small inputs and few repetitions (CI smoke).
     pub quick: bool,
+    /// Add the paper-scale 512³ point to the size axis (slow; minutes).
+    pub paper_scale: bool,
     /// Document label: the output file is `BENCH_<label>.json`.
     pub label: String,
     /// Explicit output path (overrides the label-derived name).
@@ -44,6 +51,7 @@ impl Default for BenchOptions {
     fn default() -> Self {
         BenchOptions {
             quick: false,
+            paper_scale: false,
             label: "local".to_string(),
             out: None,
         }
@@ -53,17 +61,26 @@ impl Default for BenchOptions {
 /// One timed direction (compress or decompress).
 #[derive(Debug, Clone, Copy)]
 pub struct Throughput {
-    /// Median wall-clock time over the measured repetitions.
-    pub median: Duration,
-    /// Uncompressed gigabytes per second at the median.
+    /// Best (minimum) wall-clock time over the measured repetitions.
+    /// Wall-clock noise is strictly additive — scheduler preemption,
+    /// pool wakeup latency, cache pollution all only ever slow a rep
+    /// down — so the minimum is the estimator that converges on the
+    /// codec's true cost; medians of µs-scale reps still carry several
+    /// percent of jitter (same argument as [`ServeOverhead::off`]).
+    pub best: Duration,
+    /// Uncompressed gigabytes per second at the best rep.
     pub gbps: f64,
 }
 
-/// One codec × adapter × size measurement.
+/// One codec × adapter × size × thread-count measurement.
 #[derive(Debug, Clone)]
 pub struct CodecResult {
     pub codec: String,
     pub adapter: String,
+    /// Cube side of the synthetic input (`side³` f32 elements).
+    pub side: usize,
+    /// Thread count the adapter was configured with (1 for serial).
+    pub threads: usize,
     pub elements: usize,
     pub bytes: usize,
     pub compress: Throughput,
@@ -119,6 +136,9 @@ pub struct BenchReport {
     pub label: String,
     pub quick: bool,
     pub threads: usize,
+    /// SIMD tier the kernel dispatch selected for this run
+    /// ("scalar", "sse2", or "avx2").
+    pub simd: String,
     pub pool: PoolBench,
     pub serve: ServeOverhead,
     pub results: Vec<CodecResult>,
@@ -143,6 +163,22 @@ fn time_median<F: FnMut()>(reps: usize, warmup: usize, mut f: F) -> Duration {
     median(samples)
 }
 
+/// Minimum wall-clock over `reps` timed runs (see [`Throughput::best`]
+/// for why minimum, not median, is the right point estimate here).
+fn time_best<F: FnMut()>(reps: usize, warmup: usize, mut f: F) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .min()
+        .expect("reps >= 1")
+}
+
 fn gbps(bytes: usize, t: Duration) -> f64 {
     bytes as f64 / t.as_secs_f64().max(1e-12) / 1e9
 }
@@ -157,10 +193,15 @@ fn bench_codecs() -> Vec<Codec> {
     ]
 }
 
-fn bench_adapters() -> Vec<(&'static str, Box<dyn DeviceAdapter>)> {
+/// The adapter × thread axis: the serial adapter plus the CPU-parallel
+/// adapter at 1, 2, and 4 threads (oversubscription data on small
+/// hosts, scaling data on large ones).
+fn bench_adapters() -> Vec<(&'static str, usize, Box<dyn DeviceAdapter>)> {
     vec![
-        ("serial", Box::new(SerialAdapter::new())),
-        ("openmp", Box::new(CpuParallelAdapter::with_defaults())),
+        ("serial", 1, Box::new(SerialAdapter::new())),
+        ("openmp", 1, Box::new(CpuParallelAdapter::new(1))),
+        ("openmp", 2, Box::new(CpuParallelAdapter::new(2))),
+        ("openmp", 4, Box::new(CpuParallelAdapter::new(4))),
     ]
 }
 
@@ -289,17 +330,39 @@ fn serve_overhead_bench(quick: bool) -> ServeOverhead {
     }
 }
 
-/// Run the full benchmark matrix.
+/// Run the full benchmark matrix: size axis 16³ (4 KiB-class) → 32³ →
+/// 128³, with the paper-scale 512³ point opt-in behind `--paper-scale`;
+/// thread axis 1/2/4 via the CPU-parallel adapter plus the serial
+/// baseline. Quick mode keeps two sizes so size-dependent effects stay
+/// visible even in CI smoke runs.
 pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport> {
-    let sides: &[usize] = if opts.quick { &[16] } else { &[16, 32] };
-    let (reps, warmup) = if opts.quick { (3, 1) } else { (7, 2) };
+    let mut sides: Vec<usize> = if opts.quick {
+        vec![16, 32]
+    } else {
+        vec![16, 32, 128]
+    };
+    if opts.paper_scale {
+        sides.push(512);
+    }
     let mut results = Vec::new();
-    for &side in sides {
+    for &side in &sides {
+        // Repetition budget shrinks with input volume: the large points
+        // are seconds-per-run, and run-to-run spread scales down as the
+        // timed region grows. The µs-scale small sides need a deep
+        // median to survive scheduler jitter — a 16³ row at 25 reps is
+        // still tens of milliseconds total.
+        let (reps, warmup) = match (opts.quick, side) {
+            (_, s) if s >= 512 => (1, 0),
+            (_, s) if s >= 128 => (5, 1),
+            (true, _) => (3, 1),
+            (false, s) if s <= 16 => (25, 3),
+            (false, _) => (15, 2),
+        };
         let data = hpdr_data::nyx_density(side, 7);
         let meta = ArrayMeta::new(DType::F32, data.shape.clone());
         let bytes = data.bytes.len();
         for codec in bench_codecs() {
-            for (aname, adapter) in bench_adapters() {
+            for (aname, threads, adapter) in bench_adapters() {
                 // One untimed run to produce the stream for decompression
                 // and to verify the round trip before timing it.
                 let (stream, stats) = crate::compress(adapter.as_ref(), &data.bytes, &meta, codec)?;
@@ -311,24 +374,26 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport> {
                         back.len()
                     )));
                 }
-                let c_med = time_median(reps, warmup, || {
+                let c_best = time_best(reps, warmup, || {
                     crate::compress(adapter.as_ref(), &data.bytes, &meta, codec).expect("compress");
                 });
-                let d_med = time_median(reps, warmup, || {
+                let d_best = time_best(reps, warmup, || {
                     crate::decompress(adapter.as_ref(), &stream).expect("decompress");
                 });
                 results.push(CodecResult {
                     codec: codec.name().to_string(),
                     adapter: aname.to_string(),
+                    side,
+                    threads,
                     elements: bytes / 4,
                     bytes,
                     compress: Throughput {
-                        median: c_med,
-                        gbps: gbps(bytes, c_med),
+                        best: c_best,
+                        gbps: gbps(bytes, c_best),
                     },
                     decompress: Throughput {
-                        median: d_med,
-                        gbps: gbps(bytes, d_med),
+                        best: d_best,
+                        gbps: gbps(bytes, d_best),
                     },
                     ratio: stats.ratio,
                 });
@@ -339,6 +404,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport> {
         label: opts.label.clone(),
         quick: opts.quick,
         threads: WorkerPool::global().workers() + 1,
+        simd: hpdr_kernels::kernels().tier.name().to_string(),
         pool: pool_microbench(opts.quick),
         serve: serve_overhead_bench(opts.quick),
         results,
@@ -353,6 +419,7 @@ impl BenchReport {
         let _ = write!(s, ",\"label\":\"{}\"", self.label);
         let _ = write!(s, ",\"quick\":{}", self.quick);
         let _ = write!(s, ",\"threads\":{}", self.threads);
+        let _ = write!(s, ",\"simd\":\"{}\"", self.simd);
         let _ = write!(
             s,
             ",\"pool\":{{\"invocations\":{},\"pool_ns\":{},\"spawn_ns\":{},\"speedup\":{:.4}}}",
@@ -378,18 +445,21 @@ impl BenchReport {
             }
             let _ = write!(
                 s,
-                "{{\"codec\":\"{}\",\"adapter\":\"{}\",\"elements\":{},\"bytes\":{},\
+                "{{\"codec\":\"{}\",\"adapter\":\"{}\",\"side\":{},\"threads\":{},\
+                 \"elements\":{},\"bytes\":{},\
                  \"ratio\":{:.4},\
-                 \"compress\":{{\"median_ns\":{},\"gbps\":{:.6}}},\
-                 \"decompress\":{{\"median_ns\":{},\"gbps\":{:.6}}}}}",
+                 \"compress\":{{\"best_ns\":{},\"gbps\":{:.6}}},\
+                 \"decompress\":{{\"best_ns\":{},\"gbps\":{:.6}}}}}",
                 r.codec,
                 r.adapter,
+                r.side,
+                r.threads,
                 r.elements,
                 r.bytes,
                 r.ratio,
-                r.compress.median.as_nanos(),
+                r.compress.best.as_nanos(),
                 r.compress.gbps,
-                r.decompress.median.as_nanos(),
+                r.decompress.best.as_nanos(),
                 r.decompress.gbps
             );
         }
@@ -400,9 +470,10 @@ impl BenchReport {
     /// Human-readable table.
     pub fn render(&self) -> Vec<String> {
         let mut out = vec![format!(
-            "bench '{}' ({} threads, {})",
+            "bench '{}' ({} threads, simd {}, {})",
             self.label,
             self.threads,
+            self.simd,
             if self.quick { "quick" } else { "full" }
         )];
         out.push(format!(
@@ -420,13 +491,20 @@ impl BenchReport {
             self.serve.on
         ));
         out.push(format!(
-            "{:10} {:8} {:>10} {:>14} {:>14} {:>8}",
-            "codec", "adapter", "bytes", "comp GB/s", "decomp GB/s", "ratio"
+            "{:10} {:8} {:>4} {:>3} {:>10} {:>14} {:>14} {:>8}",
+            "codec", "adapter", "side", "thr", "bytes", "comp GB/s", "decomp GB/s", "ratio"
         ));
         for r in &self.results {
             out.push(format!(
-                "{:10} {:8} {:>10} {:>14.4} {:>14.4} {:>8.2}",
-                r.codec, r.adapter, r.bytes, r.compress.gbps, r.decompress.gbps, r.ratio
+                "{:10} {:8} {:>4} {:>3} {:>10} {:>14.4} {:>14.4} {:>8.2}",
+                r.codec,
+                r.adapter,
+                r.side,
+                r.threads,
+                r.bytes,
+                r.compress.gbps,
+                r.decompress.gbps,
+                r.ratio
             ));
         }
         out
@@ -443,10 +521,11 @@ pub fn validate_bench_json(json: &str) -> std::result::Result<(), String> {
     if !(j.starts_with('{') && j.ends_with('}')) {
         return Err("document is not a JSON object".into());
     }
-    let want = format!("\"schema\":\"{BENCH_SCHEMA}\"");
-    if !j.contains(&want) {
+    let v2 = format!("\"schema\":\"{BENCH_SCHEMA}\"");
+    let v1 = format!("\"schema\":\"{BENCH_SCHEMA_V1}\"");
+    if !j.contains(&v2) && !j.contains(&v1) {
         return Err(format!(
-            "missing or wrong schema id (expected {BENCH_SCHEMA})"
+            "missing or wrong schema id (expected {BENCH_SCHEMA} or {BENCH_SCHEMA_V1})"
         ));
     }
     for key in [
@@ -492,6 +571,8 @@ pub fn validate_bench_json(json: &str) -> std::result::Result<(), String> {
 pub struct BenchEntry {
     pub codec: String,
     pub adapter: String,
+    /// Thread-count axis (`None` for v1 documents, which predate it).
+    pub threads: Option<u64>,
     pub bytes: u64,
     pub compress_gbps: f64,
     pub decompress_gbps: f64,
@@ -529,6 +610,7 @@ pub fn parse_bench_entries(json: &str) -> std::result::Result<Vec<BenchEntry>, S
         entries.push(BenchEntry {
             codec: scan_str(obj, "codec").ok_or("missing codec")?,
             adapter: scan_str(obj, "adapter").ok_or("missing adapter")?,
+            threads: scan_num(obj, "threads").map(|t| t as u64),
             bytes: scan_num(obj, "bytes").ok_or("missing bytes")? as u64,
             compress_gbps: scan_num(&obj[comp_at..dec_at], "gbps").ok_or("missing gbps")?,
             decompress_gbps: scan_num(&obj[dec_at..], "gbps").ok_or("missing gbps")?,
@@ -578,32 +660,57 @@ pub fn compare_command(a_path: &str, b_path: &str, threshold: f64) -> Result<Vec
         threshold * 100.0
     )];
     lines.push(format!(
-        "{:10} {:8} {:>10} {:>12} {:>12} {:>12} {:>12}",
-        "codec", "adapter", "bytes", "comp A", "comp B", "decomp A", "decomp B"
+        "{:10} {:8} {:>3} {:>10} {:>10} {:>10} {:>7} {:>10} {:>10} {:>7}",
+        "codec",
+        "adapter",
+        "thr",
+        "bytes",
+        "comp A",
+        "comp B",
+        "c B/A",
+        "decomp A",
+        "decomp B",
+        "d B/A"
     ));
     let mut regressions = Vec::new();
     let mut matched = 0usize;
     for ea in &a {
-        let Some(eb) = b
-            .iter()
-            .find(|e| e.codec == ea.codec && e.adapter == ea.adapter && e.bytes == ea.bytes)
-        else {
+        // Rows match on (codec, adapter, bytes), plus the thread axis
+        // when both documents carry it (v1 baselines omit threads and
+        // match any thread count at the same size).
+        let Some(eb) = b.iter().find(|e| {
+            e.codec == ea.codec
+                && e.adapter == ea.adapter
+                && e.bytes == ea.bytes
+                && match (ea.threads, e.threads) {
+                    (Some(ta), Some(tb)) => ta == tb,
+                    _ => true,
+                }
+        }) else {
             lines.push(format!(
-                "{:10} {:8} {:>10} — only in baseline",
-                ea.codec, ea.adapter, ea.bytes
+                "{:10} {:8} {:>3} {:>10} — only in baseline",
+                ea.codec,
+                ea.adapter,
+                ea.threads.map_or("-".to_string(), |t| t.to_string()),
+                ea.bytes
             ));
             continue;
         };
         matched += 1;
         lines.push(format!(
-            "{:10} {:8} {:>10} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            "{:10} {:8} {:>3} {:>10} {:>10.4} {:>10.4} {:>6.2}x {:>10.4} {:>10.4} {:>6.2}x",
             ea.codec,
             ea.adapter,
+            eb.threads
+                .or(ea.threads)
+                .map_or("-".to_string(), |t| t.to_string()),
             ea.bytes,
             ea.compress_gbps,
             eb.compress_gbps,
+            eb.compress_gbps / ea.compress_gbps.max(1e-12),
             ea.decompress_gbps,
-            eb.decompress_gbps
+            eb.decompress_gbps,
+            eb.decompress_gbps / ea.decompress_gbps.max(1e-12)
         ));
         for (dir, base, new) in [
             ("compress", ea.compress_gbps, eb.compress_gbps),
@@ -691,6 +798,7 @@ mod tests {
             label: "t".into(),
             quick: true,
             threads: 4,
+            simd: "scalar".into(),
             pool: PoolBench {
                 invocations: 32,
                 pool: Duration::from_micros(10),
@@ -707,14 +815,16 @@ mod tests {
             results: vec![CodecResult {
                 codec: "lz4".into(),
                 adapter: "serial".into(),
+                side: 16,
+                threads: 1,
                 elements: 1024,
                 bytes: 4096,
                 compress: Throughput {
-                    median: Duration::from_micros(5),
+                    best: Duration::from_micros(5),
                     gbps: 0.8,
                 },
                 decompress: Throughput {
-                    median: Duration::from_micros(4),
+                    best: Duration::from_micros(4),
                     gbps: 1.0,
                 },
                 ratio: 1.5,
@@ -722,8 +832,11 @@ mod tests {
         };
         let doc = report.to_json();
         validate_bench_json(&doc).expect("valid document");
+        // A v1 schema id is still accepted (old baselines compare).
+        validate_bench_json(&doc.replace("hpdr-bench/v2", "hpdr-bench/v1"))
+            .expect("v1 documents stay valid");
         // Damage: wrong schema.
-        assert!(validate_bench_json(&doc.replace("hpdr-bench/v1", "v0")).is_err());
+        assert!(validate_bench_json(&doc.replace("hpdr-bench/v2", "v0")).is_err());
         // Damage: truncation.
         assert!(validate_bench_json(&doc[..doc.len() - 1]).is_err());
         // Damage: empty results.
@@ -747,6 +860,7 @@ mod tests {
                 label: name.into(),
                 quick: true,
                 threads: 4,
+                simd: "scalar".into(),
                 pool: PoolBench {
                     invocations: 32,
                     pool: Duration::from_micros(10),
@@ -763,14 +877,16 @@ mod tests {
                 results: vec![CodecResult {
                     codec: "lz4".into(),
                     adapter: "serial".into(),
+                    side: 16,
+                    threads: 1,
                     elements: 1024,
                     bytes: 4096,
                     compress: Throughput {
-                        median: Duration::from_micros(5),
+                        best: Duration::from_micros(5),
                         gbps: 0.8,
                     },
                     decompress: Throughput {
-                        median: Duration::from_micros(4),
+                        best: Duration::from_micros(4),
                         gbps: 1.0,
                     },
                     ratio: 1.5,
@@ -813,15 +929,59 @@ mod tests {
         let out = dir.join("BENCH_test.json");
         let opts = BenchOptions {
             quick: true,
+            paper_scale: false,
             label: "test".into(),
             out: Some(out.display().to_string()),
         };
         let lines = bench_command(&opts, true).unwrap();
-        assert!(lines[0].contains("\"schema\":\"hpdr-bench/v1\""));
+        assert!(lines[0].contains("\"schema\":\"hpdr-bench/v2\""));
         let on_disk = std::fs::read_to_string(&out).unwrap();
         validate_bench_json(&on_disk).expect("written document validates");
-        // All five codecs on both adapters at one size.
-        assert_eq!(on_disk.matches("\"codec\":").count(), 10);
+        // Five codecs × four adapter/thread configs × two sizes: quick
+        // mode keeps at least two payload sizes on the axis.
+        assert_eq!(on_disk.matches("\"codec\":").count(), 40);
+        assert_eq!(on_disk.matches("\"side\":16,").count(), 20);
+        assert_eq!(on_disk.matches("\"side\":32,").count(), 20);
+        assert_eq!(on_disk.matches("\"threads\":2,").count(), 10);
+        // The document records which SIMD tier produced it.
+        assert!(on_disk.contains("\"simd\":\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_accepts_v1_documents_and_compare_matches_threadless_rows() {
+        let v1 = r#"{"schema":"hpdr-bench/v1","label":"old","threads":4,
+            "pool":{"invocations":32,"pool_ns":1,"spawn_ns":3,"speedup":3.0},
+            "serve_overhead":{"jobs":48,"reps":5,"off_ns":1,"on_ns":1,"overhead":0.001},
+            "results":[{"codec":"lz4","adapter":"serial","elements":1024,"bytes":4096,
+            "ratio":1.5,"compress":{"median_ns":5,"gbps":0.8},
+            "decompress":{"median_ns":4,"gbps":1.0}}]}"#;
+        let entries = parse_bench_entries(v1).expect("v1 parses");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].threads, None);
+        assert_eq!(entries[0].bytes, 4096);
+        // A v1 baseline compares against a v2 candidate: the threadless
+        // row matches the same (codec, adapter, bytes) at any thread
+        // count instead of being dropped.
+        let v2 = v1
+            .replace("hpdr-bench/v1", "hpdr-bench/v2")
+            .replace(
+                "\"adapter\":\"serial\",",
+                "\"adapter\":\"serial\",\"side\":16,\"threads\":1,",
+            )
+            .replace("\"gbps\":0.8", "\"gbps\":1.6");
+        let dir = std::env::temp_dir().join(format!("hpdr-v1v2-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pa = dir.join("a.json");
+        let pb = dir.join("b.json");
+        std::fs::write(&pa, v1).unwrap();
+        std::fs::write(&pb, &v2).unwrap();
+        let lines = compare_command(&pa.display().to_string(), &pb.display().to_string(), 0.10)
+            .expect("v1-vs-v2 compare succeeds");
+        assert!(
+            lines.iter().any(|l| l.contains("2.00x")),
+            "speedup column missing: {lines:?}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -133,7 +133,8 @@ USAGE:
   hpdr audit      [--json] [--out <audit.json>]
   hpdr trace      [--out <trace.json>]
   hpdr profile    [--figure fig1] [--json]
-  hpdr bench      [--quick] [--json] [--label <name>] [--out <file>]
+  hpdr bench      [--quick] [--paper-scale] [--json] [--label <name>]
+                  [--out <file>]
   hpdr bench      --compare <a.json> <b.json> [--threshold <frac>]
   hpdr serve      [--devices <n>] [--policy serial|batched]
                   [--jobs <file|->] [--json] [--out <file>]
@@ -180,16 +181,22 @@ non-pipelined and checks their memory-op time share against the paper's
 34-89% band.
 
 `hpdr bench` measures real wall-clock compress/decompress throughput
-(uncompressed GB/s, median of N runs after warmup) for every codec on
-the serial and CPU-parallel adapters, plus a microbenchmark of >= 32
-GEM/DEM stage invocations through the persistent worker pool against
-the spawn-per-call baseline. Results are written to BENCH_<label>.json
-(schema hpdr-bench/v1, validated before writing; --out overrides the
-path). --quick shrinks sizes and repetitions for CI smoke; --json
-prints the raw document instead of the table. `--compare a.json b.json`
-diffs two bench documents row by row ((codec, adapter, bytes) matched)
-and exits non-zero if any direction's throughput in b regressed more
-than --threshold (default 0.10 = 10%) below a.
+(uncompressed GB/s, best of N runs after warmup) for every codec
+across a size x thread matrix: sizes 16^3 -> 32^3 -> 128^3 (the
+paper-scale 512^3 point is opt-in via --paper-scale), the serial
+adapter plus the CPU-parallel adapter at 1/2/4 threads, plus a
+microbenchmark of >= 32 GEM/DEM stage invocations through the
+persistent worker pool against the spawn-per-call baseline. The
+document records which SIMD tier the kernel dispatch selected (set
+HPDR_FORCE_SCALAR=1 to record a scalar baseline). Results are written
+to BENCH_<label>.json (schema hpdr-bench/v2, validated before writing;
+v1 documents still parse; --out overrides the path). --quick keeps two
+sizes and few repetitions for CI smoke; --json prints the raw document
+instead of the table. `--compare a.json b.json` diffs two bench
+documents row by row ((codec, adapter, bytes, threads) matched; a
+threadless v1 row matches any thread count), prints per-row B/A
+speedup ratios, and exits non-zero if any direction's throughput in b
+regressed more than --threshold (default 0.10 = 10%) below a.
 
 `hpdr serve` runs the multi-tenant serving scheduler over a job script
 (one job per line: `<arrival_us> <tenant> <compress|decompress>
@@ -396,6 +403,7 @@ pub fn parse(args: &[String]) -> Result<Command> {
             Ok(Command::Bench {
                 opts: crate::bench::BenchOptions {
                     quick: args.iter().any(|a| a == "--quick"),
+                    paper_scale: args.iter().any(|a| a == "--paper-scale"),
                     label: get_flag(args, "--label").unwrap_or("local").to_string(),
                     out: get_flag(args, "--out").map(str::to_string),
                 },
@@ -617,7 +625,9 @@ fn serve_command(
         Some(path) => std::fs::read_to_string(path)?,
     };
     let work: Arc<dyn hpdr_core::DeviceAdapter> = Arc::new(CpuParallelAdapter::with_defaults());
-    let requests = hpdr_serve::parse_script(&script, work.as_ref()).map_err(HpdrError::from)?;
+    let mut cache = hpdr_serve::PayloadCache::new();
+    let requests = hpdr_serve::parse_script_with(&script, work.as_ref(), &mut cache)
+        .map_err(HpdrError::from)?;
     let cfg = hpdr_serve::ServeConfig {
         devices,
         policy,
@@ -625,7 +635,8 @@ fn serve_command(
     };
     let mut source = hpdr_serve::VecSource::new(requests);
     let outcome = hpdr_serve::serve(cfg, work, &mut source);
-    let report = hpdr_serve::ServeReport::build(policy, outcome);
+    let mut report = hpdr_serve::ServeReport::build(policy, outcome);
+    report.payload_cache = Some(cache.stats());
     let doc = report.to_json();
     hpdr_serve::validate_serve_json(&doc)
         .map_err(|e| HpdrError::invalid(format!("serve report failed validation: {e}")))?;
@@ -1879,15 +1890,17 @@ mod tests {
         match parse(&argv("bench --quick --json --label ci --out x.json")).unwrap() {
             Command::Bench { opts, json } => {
                 assert!(opts.quick);
+                assert!(!opts.paper_scale);
                 assert!(json);
                 assert_eq!(opts.label, "ci");
                 assert_eq!(opts.out.as_deref(), Some("x.json"));
             }
             other => panic!("{other:?}"),
         }
-        match parse(&argv("bench")).unwrap() {
+        match parse(&argv("bench --paper-scale")).unwrap() {
             Command::Bench { opts, json } => {
                 assert!(!opts.quick);
+                assert!(opts.paper_scale);
                 assert!(!json);
                 assert_eq!(opts.label, "local");
                 assert_eq!(opts.out, None);

@@ -17,6 +17,9 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> cargo test --workspace (HPDR_FORCE_SCALAR=1: scalar kernel dispatch)"
+HPDR_FORCE_SCALAR=1 cargo test --workspace --quiet
+
 echo "==> cargo bench --no-run (compile gate)"
 cargo bench --workspace --no-run --quiet
 
@@ -58,7 +61,8 @@ echo "==> hpdr bench --quick (wall-clock smoke: schema-valid BENCH json)"
 cargo run --release -p hpdr --bin hpdr -- bench --quick --json --label ci \
   --out target/BENCH_ci.json > /dev/null
 test -s target/BENCH_ci.json
-grep -q '"schema":"hpdr-bench/v1"' target/BENCH_ci.json
+grep -q '"schema":"hpdr-bench/v2"' target/BENCH_ci.json
+grep -q '"simd":"' target/BENCH_ci.json
 
 echo "==> hpdr loadgen --quick (serving smoke: schema-valid latency report)"
 cargo run --release -p hpdr --bin hpdr -- loadgen --quick --json \
@@ -90,5 +94,12 @@ echo "==> hpdr bench --compare (paired metering overhead within 2%)"
 # which is measured within one process and is immune to that noise.
 cargo run --release -p hpdr --bin hpdr -- bench --compare \
   BENCH_baseline.json target/BENCH_ci.json --threshold 0.5
+
+echo "==> hpdr bench --compare (committed scalar baseline vs committed SIMD run)"
+# Both documents are committed artifacts recorded back-to-back on one
+# host (baseline under HPDR_FORCE_SCALAR=1), so a tight 5% gate holds:
+# any regression here means the checked-in numbers themselves moved.
+cargo run --release -p hpdr --bin hpdr -- bench --compare \
+  BENCH_baseline.json BENCH_simd.json --threshold 0.05
 
 echo "All checks passed."

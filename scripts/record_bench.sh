@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Record the committed bench artifact pair:
+#   BENCH_baseline.json — scalar kernels (HPDR_FORCE_SCALAR=1)
+#   BENCH_simd.json     — auto-dispatched SIMD kernels
+#
+# A single `hpdr bench` process is a noisy sample: per-process memory
+# layout, pool-thread placement, and host bandwidth state shift whole
+# documents by 5-20% run to run (measurably — two *identical* scalar
+# runs on the reference host disagree beyond 5% on a dozen rows).
+# Wall-clock noise is strictly additive, so the same minimum-estimator
+# argument that picks best-of-N reps inside one run extends across
+# runs: each committed document is the per-row best over $RUNS full
+# invocations, applied identically to both sides. ASLR is disabled
+# (setarch -R) so every invocation samples the same code/heap layout.
+#
+# The pair is then checked with the 5% compare gate that check.sh
+# enforces on the committed files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-4}"
+EXTRA_FLAGS="${EXTRA_FLAGS:-}"
+
+cargo build --release -p hpdr --quiet
+
+# Merge N bench documents: per (codec, adapter, side, threads) row keep
+# each direction's best (max GB/s) measurement; header sections come
+# from the run with the lowest paired metering-overhead estimate.
+merge() {
+  jq -c -s '
+    (map(.serve_overhead.overhead) | min) as $mo
+    | (map(select(.serve_overhead.overhead == $mo)) | .[0]) as $base
+    | (map(.results[])
+       | group_by([.codec, .adapter, .side, .threads])
+       | map((max_by(.compress.gbps).compress) as $c
+             | (max_by(.decompress.gbps).decompress) as $d
+             | (.[0] | .compress = $c | .decompress = $d))) as $rows
+    | $base | .results = $rows
+  ' "$@"
+}
+
+record() { # record <label> <out> [env...]
+  local label="$1" out="$2"; shift 2
+  local parts=()
+  for i in $(seq 1 "$RUNS"); do
+    local part="target/BENCH_${label}_run${i}.json"
+    env "$@" setarch -R ./target/release/hpdr bench --json \
+      --label "$label" --out "$part" $EXTRA_FLAGS > /dev/null
+    parts+=("$part")
+    echo "  $label run $i/$RUNS done"
+  done
+  merge "${parts[@]}" > "$out"
+}
+
+echo "==> recording scalar baseline ($RUNS runs)"
+record baseline BENCH_baseline.json HPDR_FORCE_SCALAR=1
+
+echo "==> recording simd ($RUNS runs)"
+record simd BENCH_simd.json
+
+echo "==> gate: committed pair within 5%"
+./target/release/hpdr bench --compare BENCH_baseline.json BENCH_simd.json \
+  --threshold 0.05
