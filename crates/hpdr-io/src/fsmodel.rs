@@ -52,6 +52,30 @@ impl Filesystem {
     }
 }
 
+/// Virtual-time costing hook for component/container fetches: a
+/// filesystem plus the reader parallelism one node brings to bear.
+/// Shared by the progressive reader (per-node retrieval I/O
+/// accounting) and the shard front-end's cross-node exchange path, so
+/// both charge fetches through the same analytic model.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchCostModel {
+    pub fs: Filesystem,
+    /// Concurrent readers this node uses per fetch.
+    pub readers: usize,
+}
+
+impl FetchCostModel {
+    pub fn new(fs: Filesystem, readers: usize) -> FetchCostModel {
+        FetchCostModel { fs, readers }
+    }
+
+    /// Virtual time to fetch `bytes` spread over `blocks` metadata
+    /// blocks (zero-block fetches still pay one metadata op).
+    pub fn fetch_time(&self, bytes: u64, blocks: u64) -> Ns {
+        self.fs.read_time(bytes, self.readers.max(1), blocks.max(1))
+    }
+}
+
 /// Summit's GPFS (Alpine): 2.5 TB/s peak.
 pub fn summit_gpfs() -> Filesystem {
     Filesystem {

@@ -21,4 +21,4 @@ pub use cluster::{
     aggregate_reduction_gbps, frontier, measure_codec_profile, read_cost, strong_scaling_read,
     strong_scaling_write, summit, write_cost, Aggregation, CodecProfile, IoCost, SystemSpec,
 };
-pub use fsmodel::{frontier_lustre, summit_gpfs, Filesystem};
+pub use fsmodel::{frontier_lustre, summit_gpfs, FetchCostModel, Filesystem};

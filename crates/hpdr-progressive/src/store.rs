@@ -13,7 +13,8 @@ use crate::refactoring::{
     level_counts, reconstruct, DecodeState, Manifest, Refactoring, Retrieval,
 };
 use hpdr_core::{DeviceAdapter, Float, HpdrError, Result, Shape};
-use hpdr_io::{BpReader, BpWriter};
+use hpdr_io::{BpReader, BpWriter, FetchCostModel};
+use hpdr_sim::Ns;
 use std::path::Path;
 
 /// BP variable the manifest is stored under.
@@ -63,6 +64,8 @@ pub struct ProgressiveReader {
     level_counts: Vec<usize>,
     bytes_fetched: u64,
     fetch_ops: u64,
+    cost: Option<FetchCostModel>,
+    io_time: Ns,
 }
 
 impl ProgressiveReader {
@@ -80,9 +83,26 @@ impl ProgressiveReader {
             fetched: vec![false; n],
             bytes_fetched: 0,
             fetch_ops: 0,
+            cost: None,
+            io_time: Ns::ZERO,
             bp,
             manifest,
         })
+    }
+
+    /// Charge every component fetch through a filesystem cost model:
+    /// [`io_time`](Self::io_time) then accumulates the virtual time the
+    /// retrieval I/O would take on that system, one node's reader
+    /// parallelism per fetch.
+    pub fn with_cost_model(mut self, model: FetchCostModel) -> ProgressiveReader {
+        self.cost = Some(model);
+        self
+    }
+
+    /// Accumulated virtual I/O time of all component fetches (zero
+    /// without a cost model).
+    pub fn io_time(&self) -> Ns {
+        self.io_time
     }
 
     pub fn manifest(&self) -> &Manifest {
@@ -134,6 +154,9 @@ impl ProgressiveReader {
         let blob = self.bp.read_block(info)?;
         self.bytes_fetched += blob.len() as u64;
         self.fetch_ops += 1;
+        if let Some(model) = &self.cost {
+            self.io_time += model.fetch_time(blob.len() as u64, 1);
+        }
         let decoded = hpdr_huffman::decompress_u32(adapter, &blob)?;
         self.state.apply(
             c.level,

@@ -74,6 +74,16 @@ impl Admission {
         self.rejected_invalid += 1;
     }
 
+    /// Would a job of `bytes` pass admission right now? Pure probe: no
+    /// gauges or counters move. `bytes == 0` is invalid and never
+    /// admits. Used by cluster placement to spill work to a shard that
+    /// will actually accept it.
+    pub fn would_admit(&self, bytes: u64) -> bool {
+        bytes > 0
+            && self.queued_jobs < self.cfg.max_queued_jobs
+            && self.queued_bytes + bytes <= self.cfg.max_queued_bytes
+    }
+
     /// Try to admit a job of `bytes`; on success the gauges include it
     /// until [`release`](Admission::release) is called.
     pub fn try_admit(&mut self, bytes: u64) -> Result<(), ServeError> {

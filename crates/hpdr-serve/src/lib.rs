@@ -45,7 +45,9 @@ pub use loadgen::{
     run_loadgen, validate_loadgen_json, LoadgenOptions, LoadgenReport, LOADGEN_SCHEMA,
 };
 pub use report::{validate_serve_json, LatencySummary, ServeReport, SERVE_SCHEMA};
-pub use scheduler::{serve, JobSource, Policy, Scheduler, ServeConfig, ServeOutcome, VecSource};
+pub use scheduler::{
+    serve, JobSource, Policy, Scheduler, ServeConfig, ServeOutcome, VecSource, NODE_FAILURE,
+};
 pub use script::{parse_script, parse_script_with, CacheStats, PayloadCache, DEMO_SCRIPT};
 
 // Metrics types callers need to configure `ServeConfig::metrics` and

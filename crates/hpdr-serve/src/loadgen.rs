@@ -13,7 +13,7 @@
 use crate::error::ServeError;
 use crate::job::{JobRequest, ServeCodec, TenantId};
 use crate::report::{validate_serve_json, ServeReport};
-use crate::scheduler::{serve, JobSource, Policy, ServeConfig, VecSource};
+use crate::scheduler::{serve, JobSource, Policy, Scheduler, ServeConfig, VecSource};
 use crate::script::PayloadCache;
 use hpdr_core::{CpuParallelAdapter, DeviceAdapter};
 use hpdr_sim::Ns;
@@ -111,7 +111,7 @@ fn draw_job(
         let tol = RETRIEVE_TOLS[rng.gen_range(0..RETRIEVE_TOLS.len())];
         (
             RETRIEVE_CODEC,
-            cache.retrieval(RETRIEVE_CODEC, side, tol, work)?,
+            cache.retrieval_for(tenant.0, RETRIEVE_CODEC, side, tol, work)?,
         )
     };
     let mut req = JobRequest::new(tenant, arrival, codec, payload);
@@ -354,6 +354,39 @@ fn replay_goodput(
     ServeReport::build(policy, outcome).goodput_gbps
 }
 
+/// Surface the payload cache's occupancy and per-tenant plan hit/miss
+/// counters as registry gauges: generation fully populates the cache
+/// before serving, so the values are exact for the whole run and show
+/// up in `hpdr top`, the exposition dump and the metrics JSON — not
+/// only the final report. No-op when the run is unmetered.
+fn set_cache_gauges(sched: &mut Scheduler, cache: &PayloadCache) {
+    let stats = cache.stats();
+    let tenants = cache.tenant_plan_stats().clone();
+    let Some(reg) = sched.registry_mut() else {
+        return;
+    };
+    reg.gauge_set(
+        "payload_cache_retrieval_bytes",
+        stats.retrieval_bytes as f64,
+    );
+    reg.gauge_set(
+        "payload_cache_retrieval_evictions",
+        stats.retrieval_evictions as f64,
+    );
+    reg.gauge_set("payload_cache_plan_bytes", stats.plan_bytes as f64);
+    reg.gauge_set("payload_cache_plan_evictions", stats.plan_evictions as f64);
+    for (tenant, (hits, misses)) in tenants {
+        reg.gauge_set(
+            &format!("payload_cache_plan_hits{{tenant=\"{tenant}\"}}"),
+            hits as f64,
+        );
+        reg.gauge_set(
+            &format!("payload_cache_plan_misses{{tenant=\"{tenant}\"}}"),
+            misses as f64,
+        );
+    }
+}
+
 /// Run a full load-generation session: generate, serve, microbench.
 pub fn run_loadgen(opts: LoadgenOptions) -> Result<LoadgenReport, ServeError> {
     let work: Arc<dyn DeviceAdapter> = Arc::new(CpuParallelAdapter::with_defaults());
@@ -375,12 +408,16 @@ pub fn run_loadgen(opts: LoadgenOptions) -> Result<LoadgenReport, ServeError> {
             ..opts
         };
         let prefix = generate_open_with(&prefix_opts, work.as_ref(), &mut cache)?;
-        (serve(cfg.clone(), Arc::clone(&work), &mut source), prefix)
+        let mut sched = Scheduler::new(cfg.clone(), Arc::clone(&work));
+        set_cache_gauges(&mut sched, &cache);
+        (sched.run(&mut source), prefix)
     } else {
         let jobs = generate_open_with(&opts, work.as_ref(), &mut cache)?;
         let prefix = jobs.clone();
         let mut source = VecSource::new(jobs);
-        (serve(cfg.clone(), Arc::clone(&work), &mut source), prefix)
+        let mut sched = Scheduler::new(cfg.clone(), Arc::clone(&work));
+        set_cache_gauges(&mut sched, &cache);
+        (sched.run(&mut source), prefix)
     };
     let mut serve_report = ServeReport::build(cfg.policy, outcome);
     serve_report.payload_cache = Some(cache.stats());

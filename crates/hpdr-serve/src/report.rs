@@ -31,7 +31,9 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_histogram(h: &StreamingHistogram) -> LatencySummary {
+    /// Summarize a quantile sketch (also used by the cluster report to
+    /// summarize shard-merged histograms).
+    pub fn from_histogram(h: &StreamingHistogram) -> LatencySummary {
         LatencySummary {
             p50: h.quantile(0.50),
             p95: h.quantile(0.95),
@@ -41,7 +43,8 @@ impl LatencySummary {
         }
     }
 
-    fn to_json(self) -> String {
+    /// Compact JSON object (shared with the cluster report).
+    pub fn to_json(self) -> String {
         format!(
             "{{\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}",
             self.p50, self.p95, self.p99, self.max, self.mean
@@ -311,12 +314,20 @@ impl ServeReport {
         out
     }
 
+    /// The envelope `ok` flag: the zero-lost-jobs invariants hold —
+    /// every submission and every admitted job is accounted for once.
+    pub fn ok(&self) -> bool {
+        self.submitted == self.admitted + self.rejected
+            && self.admitted == self.completed + self.timed_out + self.cancelled + self.failed
+    }
+
     /// Serialize to JSON. Deterministic: virtual-time quantities only,
-    /// fixed float precision, ordered maps behind every array.
+    /// fixed float precision, ordered maps behind every array. The
+    /// header is the shared `hpdr-verify` envelope
+    /// (`{"schema":"hpdr-serve/v1","ok":<bool>, ...}`).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
-        s.push_str("{\n");
-        s.push_str(&format!("  \"schema\": \"{SERVE_SCHEMA}\",\n"));
+        s.push('\n');
         s.push_str(&format!("  \"policy\": \"{}\",\n", self.policy));
         s.push_str(&format!("  \"devices\": {},\n", self.devices));
         s.push_str(&format!("  \"submitted\": {},\n", self.submitted));
@@ -407,8 +418,10 @@ impl ServeReport {
             s.push_str(",\n  \"metrics\": ");
             s.push_str(&metrics.trim_end().replace('\n', "\n  "));
         }
-        s.push_str("\n}\n");
-        s
+        s.push('\n');
+        let mut doc = hpdr_verify::envelope::wrap(SERVE_SCHEMA, self.ok(), &s);
+        doc.push('\n');
+        doc
     }
 }
 
@@ -425,9 +438,14 @@ fn json_u64(json: &str, key: &str) -> Option<u64> {
 }
 
 /// Validate a serve-report JSON document: schema id, required fields,
-/// and the zero-lost-jobs invariant.
+/// and the zero-lost-jobs invariant. Accepts both the envelope header
+/// (`{"schema":"hpdr-serve/v1","ok":...`) and the legacy pretty header
+/// (`"schema": "hpdr-serve/v1"`), so reports written before the
+/// envelope migration keep validating.
 pub fn validate_serve_json(json: &str) -> Result<(), String> {
-    if !json.contains(&format!("\"schema\": \"{SERVE_SCHEMA}\"")) {
+    let envelope = format!("\"schema\":\"{SERVE_SCHEMA}\",\"ok\":");
+    let legacy = format!("\"schema\": \"{SERVE_SCHEMA}\"");
+    if !json.contains(&envelope) && !json.contains(&legacy) {
         return Err(format!("missing schema id {SERVE_SCHEMA}"));
     }
     let field = |k: &str| json_u64(json, k).ok_or_else(|| format!("missing field '{k}'"));

@@ -42,6 +42,11 @@ const REJECT_OP_BASE: usize = 1 << 40;
 /// Span-op namespace for SLO burn-rate alert marks.
 const ALERT_OP_BASE: usize = 1 << 41;
 
+/// Failure string recorded on jobs drained by [`Scheduler::fail`]: the
+/// shard died while they were queued or in flight. A cluster front-end
+/// matches on this to re-route rather than count a real codec failure.
+pub const NODE_FAILURE: &str = "node failure";
+
 /// Dispatch policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
@@ -337,6 +342,31 @@ impl Scheduler {
         self.in_flight_jobs[device]
     }
 
+    /// Current virtual instant of this scheduler's clock.
+    pub fn clock(&self) -> Ns {
+        self.clock
+    }
+
+    /// The admission controller (live queue gauges for load-aware
+    /// placement across shards).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// Would a submission of `bytes` pass admission right now? A pure
+    /// probe — no counters move. Cluster front-ends use this to spill
+    /// jobs to a less-loaded shard instead of eating the rejection.
+    pub fn would_admit(&self, bytes: u64) -> bool {
+        self.admission.would_admit(bytes)
+    }
+
+    /// The metrics registry, if one was configured. Front-ends use this
+    /// to install extra gauges (e.g. payload-cache stats) alongside the
+    /// scheduler's own instrument families.
+    pub fn registry_mut(&mut self) -> Option<&mut Registry> {
+        self.registry.as_mut()
+    }
+
     /// Per-device CMM cache (tests assert context release through it).
     pub fn cmm(&self, device: usize) -> &ContextCache<ServeContext> {
         &self.cmm[device]
@@ -433,42 +463,141 @@ impl Scheduler {
         let pool_before = WorkerPool::global().stats();
         loop {
             self.ingest(source);
-            self.expire_queued();
-            self.dispatch();
-            // Next event: an arrival, a completion, or a queued job's
-            // deadline/cancellation instant.
-            let mut next: Option<Ns> = None;
-            let mut consider = |t: Ns| {
-                next = Some(match next {
-                    Some(n) => n.min(t),
-                    None => t,
-                });
-            };
+            self.service();
+            let mut next = self.next_event();
             if let Some(t) = source.peek() {
-                consider(t.max(self.clock));
-            }
-            for b in &self.pending {
-                consider(b.end);
-            }
-            for q in &self.queue {
-                if let Some(d) = q.req.deadline {
-                    consider(d.max(self.clock));
-                }
-                if let Some(c) = q.req.cancel_at {
-                    consider(c.max(self.clock));
-                }
+                let t = t.max(self.clock);
+                next = Some(next.map_or(t, |n| n.min(t)));
             }
             let Some(next) = next else {
                 debug_assert!(self.queue.is_empty(), "queue stuck with no events");
                 break;
             };
-            self.clock = self.clock.max(next);
-            // Sample every scrape boundary crossed by this clock advance
-            // *before* processing the events at the new instant.
-            self.tick_metrics();
-            self.complete_batches(source);
+            for (tenant, at) in self.advance_to(next) {
+                source.on_complete(tenant, at);
+            }
         }
         let pool_delta = WorkerPool::global().stats().since(pool_before);
+        self.finish(pool_delta)
+    }
+
+    /// One service step at the current instant: expire queued jobs whose
+    /// deadline or cancellation has passed, then dispatch free devices.
+    /// Front-ends call this after submitting work; [`run`](Self::run)
+    /// calls it every loop iteration.
+    pub fn service(&mut self) {
+        self.expire_queued();
+        self.dispatch();
+    }
+
+    /// The next internal event instant: a pending batch completion or a
+    /// queued job's deadline/cancellation. Source arrivals are the
+    /// caller's to merge in (the shard front-end owns the global queue).
+    pub fn next_event(&self) -> Option<Ns> {
+        let mut next: Option<Ns> = None;
+        let mut consider = |t: Ns| {
+            next = Some(match next {
+                Some(n) => n.min(t),
+                None => t,
+            });
+        };
+        for b in &self.pending {
+            consider(b.end);
+        }
+        for q in &self.queue {
+            if let Some(d) = q.req.deadline {
+                consider(d.max(self.clock));
+            }
+            if let Some(c) = q.req.cancel_at {
+                consider(c.max(self.clock));
+            }
+        }
+        next
+    }
+
+    /// Advance the clock to `now` (never backwards), scrape any metric
+    /// boundaries crossed, and finalize batches whose virtual completion
+    /// has been reached. Returns one `(tenant, instant)` notification
+    /// per terminal job so the caller can feed closed-loop sources.
+    pub fn advance_to(&mut self, now: Ns) -> Vec<(TenantId, Ns)> {
+        self.clock = self.clock.max(now);
+        // Sample every scrape boundary crossed by this clock advance
+        // *before* processing the events at the new instant.
+        self.tick_metrics();
+        self.complete_batches()
+    }
+
+    /// Kill this shard at `now`: every queued and in-flight job reaches
+    /// a terminal state on this scheduler, and the non-cancelled,
+    /// non-expired ones are returned (with the local id they died
+    /// under) for the caller to re-route. Their records here read
+    /// `Failed(NODE_FAILURE)`; a cluster front-end counts those as
+    /// re-placements, not losses.
+    pub fn fail(&mut self, now: Ns) -> Vec<(JobId, JobRequest)> {
+        self.clock = self.clock.max(now);
+        let now = self.clock;
+        let mut survivors = Vec::new();
+        for q in std::mem::take(&mut self.queue) {
+            self.admission.release(q.bytes);
+            if q.req.cancelled_at(now) {
+                let at = q
+                    .req
+                    .cancel_at
+                    .map_or(now, |c| c.max(q.req.arrival).min(now));
+                self.terminal(q.id, &q.req, q.bytes, None, None, at, JobOutcome::Cancelled);
+            } else if q.req.deadline.is_some_and(|d| d <= now) {
+                let at = q.req.deadline.unwrap_or(now).max(q.req.arrival).min(now);
+                self.terminal(q.id, &q.req, q.bytes, None, None, at, JobOutcome::TimedOut);
+            } else {
+                self.terminal(
+                    q.id,
+                    &q.req,
+                    q.bytes,
+                    None,
+                    None,
+                    now,
+                    JobOutcome::Failed(NODE_FAILURE.to_string()),
+                );
+                survivors.push((q.id, q.req));
+            }
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_by_key(|b| (b.end, b.device));
+        for b in pending {
+            for j in b.jobs {
+                self.in_flight_jobs[b.device] -= 1;
+                if j.req.cancelled_at(now) {
+                    self.terminal(
+                        j.id,
+                        &j.req,
+                        j.bytes,
+                        Some(j.device),
+                        Some(j.started),
+                        now,
+                        JobOutcome::Cancelled,
+                    );
+                } else {
+                    self.terminal(
+                        j.id,
+                        &j.req,
+                        j.bytes,
+                        Some(j.device),
+                        Some(j.started),
+                        now,
+                        JobOutcome::Failed(NODE_FAILURE.to_string()),
+                    );
+                    survivors.push((j.id, j.req));
+                }
+            }
+        }
+        survivors
+    }
+
+    /// Finalize this scheduler into its outcome. The shard front-end
+    /// calls this once per shard after the cluster loop drains; pass the
+    /// worker-pool delta attributable to this shard (or
+    /// `PoolStats::default()` when the pool is accounted cluster-wide).
+    pub fn into_outcome(self, pool_delta: PoolStats) -> ServeOutcome {
         self.finish(pool_delta)
     }
 
@@ -789,8 +918,10 @@ impl Scheduler {
         });
     }
 
-    /// Finalize batches whose virtual completion has been reached.
-    fn complete_batches(&mut self, source: &mut dyn JobSource) {
+    /// Finalize batches whose virtual completion has been reached and
+    /// return the `(tenant, instant)` completion notifications in the
+    /// order they fired.
+    fn complete_batches(&mut self) -> Vec<(TenantId, Ns)> {
         let now = self.clock;
         let mut done = Vec::new();
         let mut still = Vec::new();
@@ -804,6 +935,7 @@ impl Scheduler {
         self.pending = still;
         // Deterministic completion order: by end time, then device.
         done.sort_by_key(|b| (b.end, b.device));
+        let mut notices = Vec::new();
         for b in done {
             for j in b.jobs {
                 self.in_flight_jobs[b.device] -= 1;
@@ -823,9 +955,10 @@ impl Scheduler {
                     b.end,
                     outcome,
                 );
-                source.on_complete(tenant, b.end);
+                notices.push((tenant, b.end));
             }
         }
+        notices
     }
 
     /// Record a terminal state for an admitted job.

@@ -79,6 +79,12 @@ impl<K: Ord + Clone, V> LruMap<K, V> {
         Some(Arc::clone(&e.value))
     }
 
+    /// Residency probe: no recency stamp moves, so placement decisions
+    /// don't perturb eviction order.
+    fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
     fn insert(&mut self, key: K, value: Arc<V>, bytes: u64, stamp: u64) {
         if let Some(old) = self.map.insert(
             key.clone(),
@@ -141,6 +147,9 @@ pub struct PayloadCache {
     pub plan_hits: u64,
     /// Fetch plans computed fresh.
     pub plan_misses: u64,
+    /// Per-tenant (plan_hits, plan_misses) split, filled by
+    /// [`retrieval_for`](PayloadCache::retrieval_for).
+    tenant_plan_stats: BTreeMap<u32, (u64, u64)>,
 }
 
 impl PayloadCache {
@@ -159,6 +168,7 @@ impl PayloadCache {
             tick: 0,
             plan_hits: 0,
             plan_misses: 0,
+            tenant_plan_stats: BTreeMap::new(),
         }
     }
 
@@ -300,6 +310,63 @@ impl PayloadCache {
             tolerance,
             meta,
         })
+    }
+
+    /// [`retrieval`](PayloadCache::retrieval) with per-tenant plan
+    /// hit/miss attribution (the loadgen exposes these as gauges so
+    /// `hpdr top` shows each tenant's plan-cache hit-rate live).
+    pub fn retrieval_for(
+        &mut self,
+        tenant: u32,
+        codec: ServeCodec,
+        side: usize,
+        rel_tol: f64,
+        work: &dyn DeviceAdapter,
+    ) -> Result<JobPayload, ServeError> {
+        let (hits, misses) = (self.plan_hits, self.plan_misses);
+        let payload = self.retrieval(codec, side, rel_tol, work)?;
+        let t = self.tenant_plan_stats.entry(tenant).or_default();
+        t.0 += self.plan_hits - hits;
+        t.1 += self.plan_misses - misses;
+        Ok(payload)
+    }
+
+    /// Per-tenant `(plan_hits, plan_misses)` recorded via
+    /// [`retrieval_for`](PayloadCache::retrieval_for).
+    pub fn tenant_plan_stats(&self) -> &BTreeMap<u32, (u64, u64)> {
+        &self.tenant_plan_stats
+    }
+
+    /// Is the compressed container for (codec, side) resident here?
+    /// Pure residency probe for locality-aware placement.
+    pub fn container_resident(&self, codec: ServeCodec, side: usize) -> bool {
+        self.containers.contains_key(&(codec.label(), side))
+    }
+
+    /// Is the progressive component set for (codec, side) resident?
+    /// Does not touch LRU recency.
+    pub fn refactoring_resident(&self, codec: ServeCodec, side: usize) -> bool {
+        self.retrievals.contains(&(codec.label(), side))
+    }
+
+    /// Admit an already-materialized container (a remote fetch landing
+    /// on this node): subsequent jobs for (codec, side) are local hits.
+    pub fn admit_container(&mut self, codec: ServeCodec, side: usize, container: Arc<Container>) {
+        self.containers
+            .entry((codec.label(), side))
+            .or_insert(container);
+    }
+
+    /// Admit an already-materialized component set fetched from a
+    /// remote node, costed into the refactoring LRU like a local one.
+    pub fn admit_refactoring(&mut self, codec: ServeCodec, side: usize, set: Arc<Refactoring>) {
+        let key = (codec.label(), side);
+        if self.retrievals.contains(&key) {
+            return;
+        }
+        let stamp = self.next_stamp();
+        let bytes = set.components.iter().map(|c| c.len() as u64).sum();
+        self.retrievals.insert(key, set, bytes, stamp);
     }
 
     /// Build a payload for one job.

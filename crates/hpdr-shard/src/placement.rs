@@ -1,0 +1,171 @@
+//! Deterministic job placement across scheduler shards.
+//!
+//! The locality policy uses rendezvous (highest-random-weight) hashing:
+//! every live shard scores `fnv1a(key ‖ shard)` and the highest score
+//! wins, so placement is stable under membership changes — when a node
+//! dies, only the keys it owned move, everything else stays put.
+//! Data-dependent jobs (decompress, retrieve) hash the *data key* of
+//! the stored object they need, so all consumers of one container or
+//! component set land on the node that holds it; compress jobs (no
+//! stored input) hash `(tenant, codec)` so a tenant's output family
+//! co-locates with its future retrieve traffic. The random policy is
+//! the locality baseline: a seeded hash over the submission sequence
+//! number, uniform over live shards and just as deterministic.
+
+use hpdr_core::fnv1a;
+use hpdr_serve::{JobPayload, JobRequest};
+
+/// Placement policy of the cluster front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Rendezvous hashing with data-key affinity (the default).
+    Locality,
+    /// Seeded uniform scatter — the locality baseline.
+    Random,
+}
+
+impl PlacementPolicy {
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::Locality => "locality",
+            PlacementPolicy::Random => "random",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<PlacementPolicy> {
+        match s {
+            "locality" => Some(PlacementPolicy::Locality),
+            "random" => Some(PlacementPolicy::Random),
+            _ => None,
+        }
+    }
+}
+
+/// Identity of the stored object a data-dependent job needs: the
+/// direction tag, the codec label (which encodes its parameters), and
+/// the field's leading dimension. Jobs with equal keys share one
+/// materialized container / component set, so residency and
+/// home-placement are tracked at this granularity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DataKey {
+    pub kind: u8,
+    pub codec: String,
+    pub side: usize,
+}
+
+impl DataKey {
+    fn bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(self.codec.len() + 16);
+        b.push(self.kind);
+        b.extend_from_slice(self.codec.as_bytes());
+        b.extend_from_slice(&(self.side as u64).to_le_bytes());
+        b
+    }
+}
+
+/// The data key of a job, or `None` for compress jobs (their input is
+/// client-supplied, not fetched from a stored object).
+pub fn data_key(req: &JobRequest) -> Option<DataKey> {
+    let side = req.payload.meta().shape.dims()[0];
+    match &req.payload {
+        JobPayload::Compress { .. } => None,
+        JobPayload::Decompress { .. } => Some(DataKey {
+            kind: 1,
+            codec: req.codec.label(),
+            side,
+        }),
+        JobPayload::Retrieve { .. } => Some(DataKey {
+            kind: 2,
+            codec: req.codec.label(),
+            side,
+        }),
+    }
+}
+
+/// The byte string the locality policy hashes for a job: its data key
+/// when it has one, else `(tenant, codec)`.
+pub fn placement_bytes(req: &JobRequest) -> Vec<u8> {
+    match data_key(req) {
+        Some(k) => k.bytes(),
+        None => {
+            let mut b = Vec::with_capacity(req.codec.label().len() + 8);
+            b.extend_from_slice(&req.tenant.0.to_le_bytes());
+            b.extend_from_slice(req.codec.label().as_bytes());
+            b
+        }
+    }
+}
+
+/// Rendezvous pick: the live shard with the highest `fnv1a(key ‖ id)`
+/// score (ties break to the lowest id). Panics on an empty shard list —
+/// the cluster never places with zero live shards.
+pub fn hrw_pick(key: &[u8], shards: &[usize]) -> usize {
+    *shards
+        .iter()
+        .max_by_key(|&&s| {
+            let mut b = Vec::with_capacity(key.len() + 8);
+            b.extend_from_slice(key);
+            b.extend_from_slice(&(s as u64).to_le_bytes());
+            (fnv1a(&b), std::cmp::Reverse(s))
+        })
+        .expect("hrw_pick over no shards")
+}
+
+/// The home shard of a stored object: where its data "lives" (fetches
+/// from anywhere else cost virtual transfer time).
+pub fn home_of(key: &DataKey, shards: &[usize]) -> usize {
+    hrw_pick(&key.bytes(), shards)
+}
+
+/// Seeded uniform pick for the random policy: hash of (seed, sequence
+/// number) over the live list — deterministic without an RNG stream.
+pub fn random_pick(seed: u64, seq: u64, shards: &[usize]) -> usize {
+    let mut b = [0u8; 16];
+    b[..8].copy_from_slice(&seed.to_le_bytes());
+    b[8..].copy_from_slice(&seq.to_le_bytes());
+    shards[(fnv1a(&b) % shards.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hrw_is_stable_under_membership_change() {
+        let all: Vec<usize> = (0..4).collect();
+        let keys: Vec<Vec<u8>> = (0..64u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let before: Vec<usize> = keys.iter().map(|k| hrw_pick(k, &all)).collect();
+        // Remove shard 2: only keys homed on 2 may move.
+        let survivors: Vec<usize> = vec![0, 1, 3];
+        for (k, &b) in keys.iter().zip(&before) {
+            let after = hrw_pick(k, &survivors);
+            if b != 2 {
+                assert_eq!(after, b, "key moved although its home survived");
+            } else {
+                assert_ne!(after, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn hrw_spreads_keys() {
+        let all: Vec<usize> = (0..4).collect();
+        let mut counts = [0usize; 4];
+        for i in 0..256u64 {
+            counts[hrw_pick(&i.to_le_bytes(), &all)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 16, "shard {s} got only {c}/256 keys");
+        }
+    }
+
+    #[test]
+    fn random_pick_is_seeded() {
+        let all: Vec<usize> = (0..4).collect();
+        let a: Vec<usize> = (0..32).map(|i| random_pick(7, i, &all)).collect();
+        let b: Vec<usize> = (0..32).map(|i| random_pick(7, i, &all)).collect();
+        assert_eq!(a, b);
+        let c: Vec<usize> = (0..32).map(|i| random_pick(8, i, &all)).collect();
+        assert_ne!(a, c);
+    }
+}

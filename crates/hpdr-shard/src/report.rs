@@ -1,0 +1,402 @@
+//! Cluster reports: the `hpdr-shard/v1` envelope document.
+//!
+//! A [`ClusterReport`] aggregates the per-shard
+//! [`ServeReport`](hpdr_serve::ServeReport)s of one cluster run:
+//! shard-merged latency quantiles (per-shard streaming histograms
+//! merged bucket-wise, not re-sampled), placement / steal / reroute /
+//! retry counters, per-shard cache hit-rates and utilization, and a
+//! merged trace with every shard's spans re-based into disjoint op
+//! namespaces plus the cluster-level `xfer`/`reroute` spans.
+//!
+//! The envelope `ok` flag is the **cluster zero-lost-jobs invariant**:
+//! every job popped from the logical source reaches exactly one
+//! cluster-level terminal state — completed, timed out, cancelled,
+//! rejected, failed (for real), or dropped after exhausting its retry
+//! budget. Jobs a dead shard drained and a survivor finished are
+//! counted once: the dead shard's `NODE_FAILURE` records are excluded
+//! from the failure count.
+
+use crate::cluster::ClusterOutcome;
+use hpdr_metrics::StreamingHistogram;
+use hpdr_serve::{LatencySummary, ServeReport};
+use hpdr_sim::{Ns, Trace};
+use hpdr_trace::merge_shard_traces;
+
+/// Schema identifier embedded in every cluster report.
+pub const CLUSTER_SCHEMA: &str = "hpdr-shard/v1";
+
+/// Per-shard report row.
+pub struct ShardRow {
+    pub shard: usize,
+    pub alive: bool,
+    pub placed: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)` over data-dependent placements (1.0
+    /// when the shard saw none).
+    pub hit_rate: f64,
+    /// Busy time over `configured devices × cluster makespan`.
+    pub utilization: f64,
+    pub report: ServeReport,
+}
+
+/// The full result of a cluster run.
+pub struct ClusterReport {
+    pub nodes: usize,
+    pub policy: &'static str,
+    pub seed: u64,
+    pub logical_submitted: u64,
+    pub completed: u64,
+    pub timed_out: u64,
+    pub cancelled: u64,
+    pub rejected: u64,
+    /// Real failures (codec errors) — node-failure drains excluded.
+    pub failed: u64,
+    pub steals: u64,
+    pub rerouted: u64,
+    pub retries_exhausted: u64,
+    pub drained: u64,
+    /// `logical_submitted − cluster-level terminals` (0 on a sound run;
+    /// signed so double counting shows as negative, not wraparound).
+    pub lost: i64,
+    pub remote_fetches: u64,
+    pub remote_fetch_bytes: u64,
+    pub remote_fetch_ns: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_hit_rate: f64,
+    pub completed_bytes: u64,
+    pub makespan: Ns,
+    pub goodput_gbps: f64,
+    /// Shard-merged end-to-end latency of completed jobs.
+    pub latency: LatencySummary,
+    pub failure: Option<(usize, Ns)>,
+    pub shards: Vec<ShardRow>,
+    /// Merged trace: shard spans re-based per namespace + cluster spans.
+    pub trace: Trace,
+}
+
+impl ClusterReport {
+    pub fn build(outcome: ClusterOutcome) -> ClusterReport {
+        let (mut completed, mut timed_out, mut cancelled, mut rejected, mut failed_sum) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut completed_bytes = 0u64;
+        let mut makespan = Ns::ZERO;
+        let mut latency_hist = StreamingHistogram::new();
+        for r in &outcome.reports {
+            completed += r.completed;
+            timed_out += r.timed_out;
+            cancelled += r.cancelled;
+            rejected += r.rejected;
+            failed_sum += r.failed;
+            completed_bytes += r.completed_bytes;
+            makespan = makespan.max(r.makespan);
+            let stats = hpdr_trace::job_span_stats(&r.trace);
+            let mut h = StreamingHistogram::new();
+            for &l in &stats.latencies {
+                h.record(l);
+            }
+            latency_hist.merge(&h);
+        }
+        for s in &outcome.extra_spans {
+            makespan = makespan.max(s.end);
+        }
+        // The dead shard's NODE_FAILURE records are re-placements, not
+        // real failures; each drained job terminates elsewhere (or in
+        // `retries_exhausted`).
+        let failed = failed_sum.saturating_sub(outcome.drained);
+        let terminals =
+            completed + timed_out + cancelled + rejected + failed + outcome.retries_exhausted;
+        let lost = outcome.logical_submitted as i64 - terminals as i64;
+        let (hits, misses): (u64, u64) = (
+            outcome.cache_hits.iter().sum(),
+            outcome.cache_misses.iter().sum(),
+        );
+        let goodput_gbps = if makespan.is_zero() {
+            0.0
+        } else {
+            completed_bytes as f64 / makespan.0 as f64
+        };
+
+        let traces: Vec<Trace> = outcome.reports.iter().map(|r| r.trace.clone()).collect();
+        let trace = merge_shard_traces(&traces, outcome.extra_spans);
+
+        let shards = outcome
+            .reports
+            .into_iter()
+            .enumerate()
+            .map(|(s, report)| {
+                let data = outcome.cache_hits[s] + outcome.cache_misses[s];
+                let busy: u64 = report.per_device.iter().map(|d| d.busy_ns).sum();
+                let capacity = outcome.shard_devices as u64 * makespan.0;
+                ShardRow {
+                    shard: s,
+                    alive: outcome.alive[s],
+                    placed: outcome.placed[s],
+                    cache_hits: outcome.cache_hits[s],
+                    cache_misses: outcome.cache_misses[s],
+                    hit_rate: if data == 0 {
+                        1.0
+                    } else {
+                        outcome.cache_hits[s] as f64 / data as f64
+                    },
+                    utilization: if capacity == 0 {
+                        0.0
+                    } else {
+                        busy as f64 / capacity as f64
+                    },
+                    report,
+                }
+            })
+            .collect();
+
+        ClusterReport {
+            nodes: outcome.nodes,
+            policy: outcome.policy.name(),
+            seed: outcome.seed,
+            logical_submitted: outcome.logical_submitted,
+            completed,
+            timed_out,
+            cancelled,
+            rejected,
+            failed,
+            steals: outcome.steals,
+            rerouted: outcome.rerouted,
+            retries_exhausted: outcome.retries_exhausted,
+            drained: outcome.drained,
+            lost,
+            remote_fetches: outcome.remote_fetches,
+            remote_fetch_bytes: outcome.remote_fetch_bytes,
+            remote_fetch_ns: outcome.remote_fetch_ns,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if hits + misses == 0 {
+                1.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            completed_bytes,
+            makespan,
+            goodput_gbps,
+            latency: LatencySummary::from_histogram(&latency_hist),
+            failure: outcome.failure,
+            shards,
+            trace,
+        }
+    }
+
+    /// The envelope `ok` flag: no job lost and every shard's own
+    /// accounting balanced.
+    pub fn ok(&self) -> bool {
+        self.lost == 0 && self.shards.iter().all(|s| s.report.ok())
+    }
+
+    /// Human-readable summary lines.
+    pub fn render(&self) -> Vec<String> {
+        let mut out = vec![format!(
+            "cluster: {} nodes, {} placement, seed {} — {} jobs, {} completed, \
+             {} timed out, {} cancelled, {} rejected, {} failed ({} lost)",
+            self.nodes,
+            self.policy,
+            self.seed,
+            self.logical_submitted,
+            self.completed,
+            self.timed_out,
+            self.cancelled,
+            self.rejected,
+            self.failed,
+            self.lost
+        )];
+        out.push(format!(
+            "placement: {} steals, {} rerouted, {} retries exhausted; \
+             cache {}/{} hit/miss ({:.1}% hit rate), {} remote fetches \
+             ({} bytes, {:.3} ms virtual)",
+            self.steals,
+            self.rerouted,
+            self.retries_exhausted,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate * 100.0,
+            self.remote_fetches,
+            self.remote_fetch_bytes,
+            self.remote_fetch_ns as f64 / 1e6
+        ));
+        if let Some((node, at)) = self.failure {
+            out.push(format!(
+                "failure: node {node} killed at {:.3} ms — {} jobs drained and re-placed",
+                at.0 as f64 / 1e6,
+                self.drained
+            ));
+        }
+        out.push(format!(
+            "goodput: {:.4} GB/s over {:.3} ms makespan; latency p50 {:.3} ms, \
+             p99 {:.3} ms",
+            self.goodput_gbps,
+            self.makespan.0 as f64 / 1e6,
+            self.latency.p50 as f64 / 1e6,
+            self.latency.p99 as f64 / 1e6
+        ));
+        for s in &self.shards {
+            out.push(format!(
+                "shard {:>2}{}: {:>4} placed, cache {}/{} hit/miss ({:.1}%), \
+                 utilization {:.1}%, {} completed",
+                s.shard,
+                if s.alive { "" } else { " (dead)" },
+                s.placed,
+                s.cache_hits,
+                s.cache_misses,
+                s.hit_rate * 100.0,
+                s.utilization * 100.0,
+                s.report.completed
+            ));
+        }
+        out
+    }
+
+    /// Serialize to JSON: the shared `hpdr-verify` envelope over the
+    /// cluster counters, with each shard's own `hpdr-serve/v1` document
+    /// embedded under `per_shard[].report`. Deterministic: virtual-time
+    /// quantities only, fixed float precision.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push('\n');
+        s.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        s.push_str(&format!("  \"policy\": \"{}\",\n", self.policy));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!(
+            "  \"logical_submitted\": {},\n",
+            self.logical_submitted
+        ));
+        s.push_str(&format!("  \"completed\": {},\n", self.completed));
+        s.push_str(&format!("  \"timed_out\": {},\n", self.timed_out));
+        s.push_str(&format!("  \"cancelled\": {},\n", self.cancelled));
+        s.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        s.push_str(&format!("  \"failed\": {},\n", self.failed));
+        s.push_str(&format!("  \"steals\": {},\n", self.steals));
+        s.push_str(&format!("  \"rerouted\": {},\n", self.rerouted));
+        s.push_str(&format!(
+            "  \"retries_exhausted\": {},\n",
+            self.retries_exhausted
+        ));
+        s.push_str(&format!("  \"drained\": {},\n", self.drained));
+        s.push_str(&format!("  \"lost\": {},\n", self.lost));
+        s.push_str(&format!("  \"remote_fetches\": {},\n", self.remote_fetches));
+        s.push_str(&format!(
+            "  \"remote_fetch_bytes\": {},\n",
+            self.remote_fetch_bytes
+        ));
+        s.push_str(&format!(
+            "  \"remote_fetch_ns\": {},\n",
+            self.remote_fetch_ns
+        ));
+        s.push_str(&format!("  \"cache_hits\": {},\n", self.cache_hits));
+        s.push_str(&format!("  \"cache_misses\": {},\n", self.cache_misses));
+        s.push_str(&format!(
+            "  \"cache_hit_rate\": {:.6},\n",
+            self.cache_hit_rate
+        ));
+        s.push_str(&format!(
+            "  \"completed_bytes\": {},\n",
+            self.completed_bytes
+        ));
+        s.push_str(&format!("  \"makespan_ns\": {},\n", self.makespan.0));
+        s.push_str(&format!("  \"goodput_gbps\": {:.6},\n", self.goodput_gbps));
+        s.push_str(&format!("  \"latency\": {},\n", self.latency.to_json()));
+        match self.failure {
+            Some((node, at)) => s.push_str(&format!(
+                "  \"failure\": {{\"node\":{},\"at_ns\":{},\"drained\":{}}},\n",
+                node, at.0, self.drained
+            )),
+            None => s.push_str("  \"failure\": null,\n"),
+        }
+        s.push_str("  \"per_shard\": [");
+        for (i, row) in self.shards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\n      \"shard\": {},\n      \"alive\": {},\n      \
+                 \"placed\": {},\n      \"cache_hits\": {},\n      \
+                 \"cache_misses\": {},\n      \"hit_rate\": {:.6},\n      \
+                 \"utilization\": {:.6},\n      \"report\": ",
+                row.shard,
+                row.alive,
+                row.placed,
+                row.cache_hits,
+                row.cache_misses,
+                row.hit_rate,
+                row.utilization
+            ));
+            let report = row.report.to_json();
+            s.push_str(&report.trim_end().replace('\n', "\n      "));
+            s.push_str("\n    }");
+        }
+        s.push_str("\n  ]\n");
+        let mut doc = hpdr_verify::envelope::wrap(CLUSTER_SCHEMA, self.ok(), &s);
+        doc.push('\n');
+        doc
+    }
+}
+
+/// Extract the first `"key": <integer>` (optionally negative).
+fn json_i64(json: &str, key: &str) -> Option<i64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .char_indices()
+        .find(|&(i, c)| !(c.is_ascii_digit() || (i == 0 && c == '-')))
+        .map_or(rest.len(), |(i, _)| i);
+    rest[..end].parse().ok()
+}
+
+/// Validate a cluster-report JSON document: the `hpdr-shard/v1`
+/// envelope header, required fields, and the cluster zero-lost-jobs
+/// invariant (`lost == 0`).
+pub fn validate_cluster_json(json: &str) -> Result<(), String> {
+    hpdr_verify::envelope::read_header(json, CLUSTER_SCHEMA)?;
+    for k in [
+        "nodes",
+        "logical_submitted",
+        "cache_hit_rate",
+        "goodput_gbps",
+        "makespan_ns",
+        "per_shard",
+    ] {
+        if !json.contains(&format!("\"{k}\"")) {
+            return Err(format!("missing field '{k}'"));
+        }
+    }
+    let lost = json_i64(json, "lost").ok_or("missing field 'lost'")?;
+    if lost != 0 {
+        return Err(format!("cluster lost {lost} jobs"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_i64_handles_negatives() {
+        assert_eq!(json_i64("{\"lost\": -2}", "lost"), Some(-2));
+        assert_eq!(json_i64("{\"lost\":3,\"x\":1}", "lost"), Some(3));
+        assert_eq!(json_i64("{}", "lost"), None);
+    }
+
+    #[test]
+    fn validator_requires_envelope_and_zero_lost() {
+        let good = hpdr_verify::envelope::wrap(
+            CLUSTER_SCHEMA,
+            true,
+            "\"nodes\":2,\"logical_submitted\":4,\"lost\":0,\"cache_hit_rate\":1.0,\
+             \"goodput_gbps\":0.1,\"makespan_ns\":10,\"per_shard\":[]",
+        );
+        validate_cluster_json(&good).unwrap();
+        let lossy = good.replace("\"lost\":0", "\"lost\":1");
+        assert!(validate_cluster_json(&lossy).unwrap_err().contains("lost"));
+        let wrong = good.replace("hpdr-shard/v1", "hpdr-shard/v0");
+        assert!(validate_cluster_json(&wrong).is_err());
+    }
+}

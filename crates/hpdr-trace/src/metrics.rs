@@ -411,6 +411,54 @@ pub fn job_span_stats(trace: &Trace) -> JobSpanStats {
     stats
 }
 
+/// Serve-trace span-op namespaces (mirrors `hpdr-serve`'s scheduler:
+/// job ops count up from 0, rejects from `1 << 40`, alerts from
+/// `1 << 41`; ops at or above `1 << 42` belong to cluster front-ends).
+const MERGE_NAMESPACE_BASES: [usize; 3] = [0, 1 << 40, 1 << 41];
+const MERGE_CLUSTER_BASE: usize = 1 << 42;
+/// Per-shard op stride inside each namespace: shards stay disjoint as
+/// long as one shard emits fewer than 2^32 spans per namespace.
+const MERGE_SHARD_STRIDE: usize = 1 << 32;
+
+/// Merge per-shard serve traces into one cluster trace.
+///
+/// Each shard's span ops are re-based within their namespace by
+/// `shard_index * 2^32`, so job/reject/alert ops from different shards
+/// never collide while labels (and therefore [`job_span_stats`]) are
+/// untouched — the merged trace's latency samples are exactly the
+/// concatenation of the shards'. `extra` carries cluster-level spans
+/// (cross-node transfers, re-route marks) whose ops must already live
+/// in the cluster namespace (`>= 2^42`); they pass through unchanged.
+/// Spans sort by `(ready, op)`, matching a single scheduler's output.
+pub fn merge_shard_traces(shard_traces: &[Trace], extra: Vec<SpanRecord>) -> Trace {
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    for (shard, trace) in shard_traces.iter().enumerate() {
+        for span in trace.spans() {
+            let mut s = span.clone();
+            if s.op < MERGE_CLUSTER_BASE {
+                let base = MERGE_NAMESPACE_BASES
+                    .iter()
+                    .rev()
+                    .find(|&&b| s.op >= b)
+                    .copied()
+                    .unwrap_or(0);
+                s.op = base + shard * MERGE_SHARD_STRIDE + (s.op - base);
+            }
+            spans.push(s);
+        }
+    }
+    for s in &extra {
+        debug_assert!(
+            s.op >= MERGE_CLUSTER_BASE,
+            "cluster span op {} below the cluster namespace",
+            s.op
+        );
+    }
+    spans.extend(extra);
+    spans.sort_by_key(|s| (s.ready, s.op));
+    Trace::from_spans(spans)
+}
+
 /// Total time alloc/free ops spent queued behind the shared runtime lock
 /// after their data dependencies were satisfied — the paper §III-B
 /// allocator-contention cost that the CMM eliminates (CMM schedules emit

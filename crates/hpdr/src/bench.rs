@@ -412,11 +412,12 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport> {
 }
 
 impl BenchReport {
-    /// Hand-rolled JSON document (schema [`BENCH_SCHEMA`]).
+    /// Hand-rolled JSON document (schema [`BENCH_SCHEMA`]), wrapped in
+    /// the shared `hpdr-verify` envelope header. A report only
+    /// serializes after every measurement succeeded, so `ok` is true.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{");
-        let _ = write!(s, "\"schema\":\"{BENCH_SCHEMA}\"");
-        let _ = write!(s, ",\"label\":\"{}\"", self.label);
+        let mut s = String::new();
+        let _ = write!(s, "\"label\":\"{}\"", self.label);
         let _ = write!(s, ",\"quick\":{}", self.quick);
         let _ = write!(s, ",\"threads\":{}", self.threads);
         let _ = write!(s, ",\"simd\":\"{}\"", self.simd);
@@ -463,8 +464,8 @@ impl BenchReport {
                 r.decompress.gbps
             );
         }
-        s.push_str("]}");
-        s
+        s.push(']');
+        hpdr_verify::envelope::wrap(BENCH_SCHEMA, true, &s)
     }
 
     /// Human-readable table.

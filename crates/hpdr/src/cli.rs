@@ -117,6 +117,15 @@ pub enum Command {
         json: bool,
         out: Option<String>,
     },
+    /// Sharded cross-node serving: drive the seeded loadgen workload
+    /// through N scheduler shards behind one logical queue, with
+    /// locality-aware placement, cost-accounted cross-node fetches and
+    /// optional mid-run node-failure injection.
+    Cluster {
+        opts: hpdr_shard::ClusterLoadOptions,
+        json: bool,
+        out: Option<String>,
+    },
     Help,
 }
 
@@ -140,12 +149,14 @@ USAGE:
                   [--jobs <file|->] [--json] [--out <file>]
   hpdr loadgen    [--rps <r>] [--duration <s>] [--tenants <t>]
                   [--open|--closed] [--seed <n>] [--devices <n>]
-                  [--quick] [--json] [--out <file>]
+                  [--nodes <n>] [--quick] [--json] [--out <file>]
                   [--metrics] [--expo <file>]
   hpdr top        [loadgen flags] [--tail <n>]
   hpdr slo        [--report <file>] | [loadgen flags]
   hpdr retrieve   [--side <n>] [--tolerance <rel>] [--refine <rel>]
                   [--json] [--out <file>]
+  hpdr cluster    [loadgen flags] [--nodes <n>] [--policy locality|random]
+                  [--fail-node <id>@<t_us>] [--json] [--out <file>]
 
 Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
 --rate applies to zfp (fixed-rate bits per value).
@@ -243,8 +254,26 @@ only the minimal component set for --tolerance (relative to the data
 range; greedy by error-contribution per byte) and reports bytes
 fetched vs the full container plus the measured max error. --refine
 retrieves again at a tighter tolerance, fetching strictly the delta
-components (zero re-fetches, asserted). --json emits the
-hpdr-progressive/v1 document (--out writes it to a file).";
+components (zero re-fetches, asserted). Component fetches are charged
+through the Summit-GPFS filesystem cost model and the accumulated
+virtual I/O time is reported (io_model_ns). --json emits the
+hpdr-progressive/v1 document (--out writes it to a file).
+
+`hpdr cluster` drives the seeded loadgen workload through --nodes
+independent scheduler shards (one simulated node each) behind a single
+logical queue on one virtual clock. --policy locality (default) places
+by rendezvous hashing on the job's data key so consumers of one stored
+object land where it lives; --policy random is the seeded scatter
+baseline. Off-home fetches cost virtual transfer time through the
+hpdr-io filesystem model and appear as xfer spans; admission
+backpressure spills to the byte-weighted least-loaded survivor.
+--fail-node <id>@<t_us> kills a shard mid-run: its queued and in-flight
+jobs re-route to survivors under a bounded retry budget, and the report
+enforces zero lost jobs (non-zero exit otherwise). The hpdr-shard/v1
+report (default CLUSTER.json) aggregates per-shard hpdr-serve/v1
+reports with merged latency quantiles, placement / steal / retry
+counters and per-shard cache hit rates; identical flags and seed are
+byte-identical. `hpdr loadgen --nodes <n>` with n > 1 routes here.";
 
 /// Parse `AxBxC` into a shape.
 pub fn parse_shape(s: &str) -> Result<Shape> {
@@ -347,6 +376,48 @@ fn parse_loadgen_opts(args: &[String]) -> Result<hpdr_serve::LoadgenOptions> {
     Ok(opts)
 }
 
+/// Parse `--fail-node <id>@<t_us>`: kill shard `id` at virtual
+/// microsecond `t_us`.
+fn parse_fail_node(s: &str) -> Result<(usize, hpdr_sim::Ns)> {
+    let (id, at) = s
+        .split_once('@')
+        .ok_or_else(|| HpdrError::invalid("--fail-node wants <id>@<t_us>"))?;
+    let id = id
+        .parse::<usize>()
+        .map_err(|_| HpdrError::invalid("bad --fail-node shard id"))?;
+    let us = at
+        .parse::<u64>()
+        .map_err(|_| HpdrError::invalid("bad --fail-node instant (microseconds)"))?;
+    Ok((id, hpdr_sim::Ns::from_micros(us)))
+}
+
+/// Parse the cluster flags shared by `hpdr cluster` and
+/// `hpdr loadgen --nodes`: the loadgen workload plus placement policy,
+/// node count and optional failure injection.
+fn parse_cluster_opts(args: &[String]) -> Result<hpdr_shard::ClusterLoadOptions> {
+    let mut base = parse_loadgen_opts(args)?;
+    base.metrics = false; // per-shard registries are not merged; cluster counters live in the report
+    Ok(hpdr_shard::ClusterLoadOptions {
+        base,
+        nodes: get_flag(args, "--nodes")
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| HpdrError::invalid("bad --nodes"))
+            })
+            .transpose()?
+            .unwrap_or(4)
+            .max(1),
+        policy: match get_flag(args, "--policy") {
+            None => hpdr_shard::PlacementPolicy::Locality,
+            Some(p) => hpdr_shard::PlacementPolicy::parse(p)
+                .ok_or_else(|| HpdrError::invalid(format!("unknown placement policy '{p}'")))?,
+        },
+        fail: get_flag(args, "--fail-node")
+            .map(parse_fail_node)
+            .transpose()?,
+    })
+}
+
 /// Parse an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command> {
     match args.first().map(String::as_str) {
@@ -429,6 +500,15 @@ pub fn parse(args: &[String]) -> Result<Command> {
             out: get_flag(args, "--out").map(str::to_string),
         }),
         Some("loadgen") => {
+            // --nodes <n> with n > 1 routes the workload through the
+            // sharded cluster front-end.
+            if get_flag(args, "--nodes").is_some_and(|v| v.parse::<usize>().unwrap_or(0) > 1) {
+                return Ok(Command::Cluster {
+                    opts: parse_cluster_opts(args)?,
+                    json: args.iter().any(|a| a == "--json"),
+                    out: get_flag(args, "--out").map(str::to_string),
+                });
+            }
             let expo = get_flag(args, "--expo").map(str::to_string);
             let mut opts = parse_loadgen_opts(args)?;
             opts.metrics |= expo.is_some();
@@ -439,6 +519,11 @@ pub fn parse(args: &[String]) -> Result<Command> {
                 expo,
             })
         }
+        Some("cluster") => Ok(Command::Cluster {
+            opts: parse_cluster_opts(args)?,
+            json: args.iter().any(|a| a == "--json"),
+            out: get_flag(args, "--out").map(str::to_string),
+        }),
         Some("top") => {
             let mut opts = parse_loadgen_opts(args)?;
             opts.metrics = true;
@@ -539,6 +624,7 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
             json,
             out,
         } => retrieve_command(side, tolerance, refine, json, out.as_deref()),
+        Command::Cluster { opts, json, out } => cluster_command(opts, json, out.as_deref()),
         Command::Compress {
             codec,
             shape,
@@ -677,6 +763,28 @@ fn loadgen_command(
         std::fs::write(expo_path, reg.exposition().as_bytes())?;
         lines.push(format!("wrote {expo_path}"));
     }
+    Ok(lines)
+}
+
+/// `hpdr cluster`: the seeded loadgen workload through the sharded
+/// cross-node front-end; writes the validated hpdr-shard/v1 report.
+/// Exits non-zero when the report loses jobs (the zero-lost-jobs
+/// invariant) or any shard's own report is unsound.
+fn cluster_command(
+    opts: hpdr_shard::ClusterLoadOptions,
+    json: bool,
+    out: Option<&str>,
+) -> Result<Vec<String>> {
+    let report = hpdr_shard::run_cluster_loadgen(&opts).map_err(HpdrError::from)?;
+    let doc = report.to_json();
+    let path = out
+        .map(str::to_string)
+        .unwrap_or_else(|| "CLUSTER.json".to_string());
+    std::fs::write(&path, doc.as_bytes())?;
+    hpdr_shard::validate_cluster_json(&doc)
+        .map_err(|e| HpdrError::invalid(format!("cluster report failed validation: {e}")))?;
+    let mut lines = if json { vec![doc] } else { report.render() };
+    lines.push(format!("wrote {path}"));
     Ok(lines)
 }
 
@@ -819,6 +927,7 @@ fn retrieve_command(
                     rel, abs, r.fetched_bytes, r.fetched_components, r.bound, rerr,
                 ));
             }
+            doc.push_str(&format!(",\"io_model_ns\":{}", reader.io_time().0));
             doc.push('}');
             lines = vec![doc];
         } else {
@@ -839,6 +948,10 @@ fn retrieve_command(
                     r.fetched_bytes, r.fetched_components, r.bound
                 ));
             }
+            lines.push(format!(
+                "  modeled I/O time (Summit GPFS): {}",
+                reader.io_time()
+            ));
         }
         if let Some(path) = out {
             let doc = if json {
@@ -852,7 +965,9 @@ fn retrieve_command(
         Ok(lines)
     };
 
-    let result = ProgressiveReader::open(&dir).and_then(|mut reader| run(&mut reader));
+    let result = ProgressiveReader::open(&dir)
+        .map(|r| r.with_cost_model(hpdr_io::FetchCostModel::new(hpdr_io::summit_gpfs(), 4)))
+        .and_then(|mut reader| run(&mut reader));
     let _ = std::fs::remove_dir_all(&dir);
     result
 }
@@ -1595,6 +1710,52 @@ mod tests {
         }
         assert!(parse(&argv("loadgen --rps 0")).is_err());
         assert!(parse(&argv("loadgen --duration -1")).is_err());
+    }
+
+    #[test]
+    fn parse_cluster_command() {
+        match parse(&argv(
+            "cluster --quick --nodes 3 --policy random --fail-node 1@250 --json --out c.json",
+        ))
+        .unwrap()
+        {
+            Command::Cluster { opts, json, out } => {
+                assert_eq!(opts.nodes, 3);
+                assert_eq!(opts.policy, hpdr_shard::PlacementPolicy::Random);
+                assert_eq!(opts.fail, Some((1, hpdr_sim::Ns::from_micros(250))));
+                assert_eq!(opts.base.seed, hpdr_serve::LoadgenOptions::quick().seed);
+                assert!(
+                    !opts.base.metrics,
+                    "cluster runs never install the registry"
+                );
+                assert!(json);
+                assert_eq!(out.as_deref(), Some("c.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: 4 nodes, locality, no failure.
+        match parse(&argv("cluster --quick")).unwrap() {
+            Command::Cluster { opts, .. } => {
+                assert_eq!(opts.nodes, 4);
+                assert_eq!(opts.policy, hpdr_shard::PlacementPolicy::Locality);
+                assert_eq!(opts.fail, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("cluster --policy round-robin")).is_err());
+        assert!(parse(&argv("cluster --fail-node 1")).is_err());
+        assert!(parse(&argv("cluster --fail-node one@5")).is_err());
+
+        // loadgen --nodes n>1 routes through the cluster front-end;
+        // --nodes 1 stays a plain loadgen run.
+        match parse(&argv("loadgen --quick --nodes 2")).unwrap() {
+            Command::Cluster { opts, .. } => assert_eq!(opts.nodes, 2),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("loadgen --quick --nodes 1")).unwrap(),
+            Command::Loadgen { .. }
+        ));
     }
 
     #[test]

@@ -80,6 +80,23 @@ cmp target/METRICS_1.prom target/METRICS_2.prom
 grep -q '"schema": "hpdr-metrics/v1"' target/LOADGEN_m1.json
 grep -q '# TYPE serve_queue_jobs gauge' target/METRICS_1.prom
 
+echo "==> hpdr cluster --quick (sharded serving: deterministic, zero lost jobs)"
+# The command itself validates the hpdr-shard/v1 report and exits
+# non-zero on any lost job; here additionally pin byte-determinism
+# across two same-seed runs and the failure-injection zero-loss case.
+cargo run --release -p hpdr --bin hpdr -- cluster --quick --json \
+  --out target/CLUSTER_ci.json > /dev/null
+test -s target/CLUSTER_ci.json
+grep -q '"schema":"hpdr-shard/v1"' target/CLUSTER_ci.json
+grep -q '"lost": 0' target/CLUSTER_ci.json
+cargo run --release -p hpdr --bin hpdr -- cluster --quick --json \
+  --out target/CLUSTER_ci2.json > /dev/null
+cmp target/CLUSTER_ci.json target/CLUSTER_ci2.json
+cargo run --release -p hpdr --bin hpdr -- cluster --quick \
+  --fail-node 0@125000 --json --out target/CLUSTER_fail.json > /dev/null
+grep -q '"lost": 0' target/CLUSTER_fail.json
+grep -q '"rerouted"' target/CLUSTER_fail.json
+
 echo "==> hpdr slo --report (per-tenant SLO attainment from the metered run)"
 # Plain grep (not -q): -q closes the pipe at first match and the tool's
 # remaining prints die with SIGPIPE under pipefail.

@@ -1,0 +1,114 @@
+//! Cross-crate integration tests of the sharded cluster front-end:
+//! seeded byte-reproducibility, single-shard equivalence with the plain
+//! serving loadgen, the locality-vs-random placement gap, and the
+//! multi-shard goodput scaling acceptance.
+
+use hpdr_serve::{run_loadgen, LoadgenOptions};
+use hpdr_shard::{run_cluster_loadgen, validate_cluster_json, ClusterLoadOptions, PlacementPolicy};
+
+#[test]
+fn seeded_cluster_report_is_byte_identical() {
+    let opts = ClusterLoadOptions::quick();
+    let a = run_cluster_loadgen(&opts).unwrap();
+    let b = run_cluster_loadgen(&opts).unwrap();
+    assert_eq!(a.to_json(), b.to_json(), "same seed must be byte-identical");
+    assert_eq!(a.lost, 0);
+    assert!(a.ok());
+    validate_cluster_json(&a.to_json()).unwrap();
+}
+
+#[test]
+fn single_shard_cluster_matches_plain_loadgen_outcomes() {
+    // One node means every data key is home and no transfer is ever
+    // modeled, so the cluster must serve the exact per-job outcomes the
+    // plain loadgen serves — placement is a no-op at nodes=1.
+    let base = LoadgenOptions::quick();
+    assert!(
+        !base.metrics,
+        "plain run must match the shard config (no registry)"
+    );
+    let plain = run_loadgen(base).unwrap();
+    let cluster = run_cluster_loadgen(&ClusterLoadOptions {
+        base,
+        nodes: 1,
+        ..ClusterLoadOptions::quick()
+    })
+    .unwrap();
+
+    assert_eq!(
+        cluster.remote_fetches, 0,
+        "nodes=1 must never fetch remotely"
+    );
+    assert_eq!(cluster.shards.len(), 1);
+    let shard = &cluster.shards[0].report;
+    assert_eq!(shard.records.len(), plain.serve.records.len());
+    for (c, p) in shard.records.iter().zip(&plain.serve.records) {
+        assert_eq!(c.tenant, p.tenant);
+        assert_eq!(c.kind, p.kind);
+        assert_eq!(c.outcome, p.outcome, "job {:?} diverged", c.id);
+        assert_eq!(
+            c.finished, p.finished,
+            "job {:?} finished at a different instant",
+            c.id
+        );
+    }
+    assert_eq!(shard.completed_bytes, plain.serve.completed_bytes);
+    assert_eq!(shard.makespan, plain.serve.makespan);
+}
+
+#[test]
+fn locality_placement_strictly_beats_random_hit_rate() {
+    let locality = run_cluster_loadgen(&ClusterLoadOptions::quick()).unwrap();
+    let random = run_cluster_loadgen(&ClusterLoadOptions {
+        policy: PlacementPolicy::Random,
+        ..ClusterLoadOptions::quick()
+    })
+    .unwrap();
+    assert_eq!(locality.lost, 0);
+    assert_eq!(random.lost, 0);
+    assert!(
+        locality.cache_hit_rate > random.cache_hit_rate,
+        "locality hit rate {} must strictly beat random {}",
+        locality.cache_hit_rate,
+        random.cache_hit_rate
+    );
+    // Under locality every data job lands on its key's home (or gets the
+    // object shipped once); random scatters consumers across shards.
+    assert!(locality.remote_fetches < random.remote_fetches);
+}
+
+#[test]
+fn four_shards_sustain_at_least_twice_single_shard_goodput() {
+    // Saturate one single-device shard, then offer the identical open-loop
+    // arrival stream to four shards: goodput (completed uncompressed
+    // bytes per virtual second) must at least double.
+    // At 64Ki rps a single-device shard is far past capacity: admission
+    // rejects most of the offered stream, capping its completed bytes,
+    // while four shards absorb nearly everything.
+    let base = LoadgenOptions {
+        rps: 65536.0,
+        duration_s: 0.1,
+        devices: 1,
+        ..LoadgenOptions::quick()
+    };
+    let one = run_cluster_loadgen(&ClusterLoadOptions {
+        base,
+        nodes: 1,
+        ..ClusterLoadOptions::quick()
+    })
+    .unwrap();
+    let four = run_cluster_loadgen(&ClusterLoadOptions {
+        base,
+        nodes: 4,
+        ..ClusterLoadOptions::quick()
+    })
+    .unwrap();
+    assert_eq!(one.lost, 0);
+    assert_eq!(four.lost, 0);
+    assert!(
+        four.goodput_gbps >= 2.0 * one.goodput_gbps,
+        "4-shard goodput {:.3} GB/s must be >= 2x single-shard {:.3} GB/s",
+        four.goodput_gbps,
+        one.goodput_gbps
+    );
+}

@@ -1,5 +1,6 @@
 //! Failure injection: corrupted, truncated and mismatched inputs must
-//! produce `Err`, never panics or wrong silent output.
+//! produce `Err`, never panics or wrong silent output — and a cluster
+//! node dying mid-run must never lose a non-cancelled job.
 
 use hpdr::{Codec, MgardConfig, SzConfig, ZfpConfig};
 use hpdr_core::{ArrayMeta, CpuParallelAdapter, DType, SerialAdapter};
@@ -117,6 +118,43 @@ fn empty_and_garbage_inputs() {
     assert!(hpdr::decompress(&adapter, &[]).is_err());
     assert!(hpdr::decompress(&adapter, b"not a stream at all").is_err());
     assert!(Container::from_bytes(b"junk").is_err());
+}
+
+#[test]
+fn killing_a_cluster_node_mid_run_loses_no_jobs() {
+    use hpdr_serve::LoadgenOptions;
+    use hpdr_shard::{run_cluster_loadgen, validate_cluster_json, ClusterLoadOptions};
+
+    // Saturate single-device shards so the victim has queued and
+    // in-flight work when it dies, then kill shard 0 mid-run: its jobs
+    // must re-route to the three survivors and every logically
+    // submitted job must still reach a terminal state.
+    let opts = ClusterLoadOptions {
+        base: LoadgenOptions {
+            rps: 65536.0,
+            duration_s: 0.1,
+            devices: 1,
+            ..LoadgenOptions::quick()
+        },
+        fail: Some((0, hpdr_sim::Ns::from_millis(50))),
+        ..ClusterLoadOptions::quick()
+    };
+    let report = run_cluster_loadgen(&opts).unwrap();
+    assert_eq!(report.lost, 0, "node failure lost {} job(s)", report.lost);
+    assert!(report.ok());
+    assert!(!report.shards[0].alive, "the killed shard must report dead");
+    assert!(report.shards.iter().skip(1).all(|s| s.alive));
+    // The failure actually hit live work, and every drained survivor
+    // was either re-routed or exhausted its retry budget — accounted,
+    // never dropped.
+    assert!(report.drained > 0, "kill instant must catch in-flight work");
+    assert!(report.rerouted > 0);
+    assert_eq!(report.rerouted + report.retries_exhausted, report.drained);
+    validate_cluster_json(&report.to_json()).unwrap();
+
+    // Determinism holds under failure injection too.
+    let again = run_cluster_loadgen(&opts).unwrap();
+    assert_eq!(report.to_json(), again.to_json());
 }
 
 #[test]
