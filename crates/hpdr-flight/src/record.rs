@@ -1,0 +1,336 @@
+//! Trace contexts, typed job lifecycle events, and the fixed-capacity
+//! flight recorder.
+//!
+//! Every [`JobEvent`] is stamped with virtual time, so recording is
+//! deterministic: the same seed and job stream produce byte-identical
+//! event streams. The recorder is a bounded ring — under overload it
+//! overwrites the oldest events and counts the loss instead of growing,
+//! which is what makes it safe to leave on in production serving.
+
+use hpdr_sim::Ns;
+
+/// Per-job causal trace context carried on every `JobRequest`.
+///
+/// `trace` names the job across shards, transfers and re-routes;
+/// `parent` is the causal predecessor (the same trace id for retry
+/// hops — a re-route continues the job, it does not fork it); `hop`
+/// counts re-route generations (0 = the original placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace: u64,
+    pub parent: u64,
+    pub hop: u32,
+}
+
+impl TraceContext {
+    /// A request that no recorder has claimed yet. Schedulers assign a
+    /// root context at submission when flight recording is on.
+    pub const UNASSIGNED: TraceContext = TraceContext {
+        trace: u64::MAX,
+        parent: u64::MAX,
+        hop: 0,
+    };
+
+    /// Root context of a newly submitted job.
+    pub fn root(trace: u64) -> TraceContext {
+        TraceContext {
+            trace,
+            parent: trace,
+            hop: 0,
+        }
+    }
+
+    pub fn is_assigned(&self) -> bool {
+        self.trace != u64::MAX
+    }
+
+    /// The context of the next re-route hop: same trace id, causal
+    /// parent pinned to the originating context, hop incremented.
+    pub fn retry(self) -> TraceContext {
+        TraceContext {
+            trace: self.trace,
+            parent: self.trace,
+            hop: self.hop + 1,
+        }
+    }
+}
+
+impl Default for TraceContext {
+    fn default() -> Self {
+        TraceContext::UNASSIGNED
+    }
+}
+
+/// Lifecycle transition of one job. The variants carry only the data
+/// the causal analyzer cannot recover from neighbouring events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEventKind {
+    /// Popped from the logical source (cluster) or handed to a
+    /// single-node scheduler with no context assigned yet.
+    Submit,
+    /// Admission control accepted the job into a shard's queue.
+    Admit,
+    /// Admission control turned the job away (terminal).
+    Reject,
+    /// Placement decision: `target` won, `preferred` was the policy's
+    /// first choice, `steal` marks a spill-over past backpressure.
+    Place {
+        target: u32,
+        preferred: u32,
+        steal: bool,
+    },
+    /// Off-home container fetch started (`xfer_ns`/`metadata_ns` split
+    /// from the `hpdr-io` filesystem cost model).
+    XferStart {
+        bytes: u64,
+        xfer_ns: u64,
+        metadata_ns: u64,
+    },
+    /// The fetched container became resident; the job joined the queue.
+    XferReady,
+    /// Node failure drained the job; attempt `attempt` re-places it.
+    Reroute {
+        attempt: u32,
+    },
+    /// Batched launch on `device`; `overhead_ns` is the launch +
+    /// context-setup cost charged before service starts.
+    Dispatch {
+        device: u32,
+        overhead_ns: u64,
+    },
+    Complete,
+    TimedOut,
+    Cancelled,
+    Failed,
+}
+
+impl JobEventKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobEventKind::Submit => "submit",
+            JobEventKind::Admit => "admit",
+            JobEventKind::Reject => "reject",
+            JobEventKind::Place { .. } => "place",
+            JobEventKind::XferStart { .. } => "xfer_start",
+            JobEventKind::XferReady => "xfer_ready",
+            JobEventKind::Reroute { .. } => "reroute",
+            JobEventKind::Dispatch { .. } => "dispatch",
+            JobEventKind::Complete => "complete",
+            JobEventKind::TimedOut => "timed_out",
+            JobEventKind::Cancelled => "cancelled",
+            JobEventKind::Failed => "failed",
+        }
+    }
+
+    /// Whether this kind ends a job's life on its current hop.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobEventKind::Reject
+                | JobEventKind::Complete
+                | JobEventKind::TimedOut
+                | JobEventKind::Cancelled
+                | JobEventKind::Failed
+        )
+    }
+
+    /// Same-instant ordering rank: causally earlier transitions sort
+    /// first when several events share one virtual instant, so the
+    /// merged stream reads like the job actually progressed.
+    pub fn rank(&self) -> u8 {
+        match self {
+            JobEventKind::Submit => 0,
+            JobEventKind::Reroute { .. } => 1,
+            JobEventKind::Place { .. } => 2,
+            JobEventKind::XferStart { .. } => 3,
+            JobEventKind::XferReady => 4,
+            JobEventKind::Admit => 5,
+            JobEventKind::Reject => 6,
+            JobEventKind::Dispatch { .. } => 7,
+            JobEventKind::Complete
+            | JobEventKind::TimedOut
+            | JobEventKind::Cancelled
+            | JobEventKind::Failed => 8,
+        }
+    }
+}
+
+/// One recorded lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobEvent {
+    /// Virtual instant of the transition.
+    pub at: Ns,
+    pub trace: u64,
+    pub hop: u32,
+    /// Shard that recorded the event (`u32::MAX` for cluster-level
+    /// events with no target shard).
+    pub shard: u32,
+    pub tenant: u32,
+    pub kind: JobEventKind,
+}
+
+/// Sort a merged event stream deterministically: by instant, then
+/// trace, then hop, then the causal rank of the transition. The result
+/// is independent of which recorder the events came from.
+pub fn sort_events(events: &mut [JobEvent]) {
+    events.sort_by_key(|e| (e.at, e.trace, e.hop, e.kind.rank()));
+}
+
+/// Flight-recorder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// Ring capacity in events; the oldest events are overwritten (and
+    /// counted in [`FlightLog::dropped`]) past this.
+    pub capacity: usize,
+    /// Seeded 1-in-N baseline sampling of uninteresting jobs.
+    pub sample_every: u64,
+    /// Latency samples the streaming sketch must see before the p99
+    /// outlier rule arms (early jobs have no stable quantile to beat).
+    pub outlier_min_count: u64,
+    /// Seed of the baseline sampler hash.
+    pub seed: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 1 << 16,
+            sample_every: 16,
+            outlier_min_count: 32,
+            seed: 7,
+        }
+    }
+}
+
+/// The drained contents of one recorder: events in record order plus
+/// the overwrite count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightLog {
+    pub events: Vec<JobEvent>,
+    pub dropped: u64,
+}
+
+impl FlightLog {
+    /// Merge another log into this one (shard logs into a cluster log).
+    pub fn merge(&mut self, other: FlightLog) {
+        self.events.extend(other.events);
+        self.dropped += other.dropped;
+    }
+}
+
+/// Fixed-capacity ring-buffer event recorder (one per shard).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    ring: std::collections::VecDeque<JobEvent>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(cfg: FlightConfig) -> FlightRecorder {
+        FlightRecorder {
+            ring: std::collections::VecDeque::with_capacity(cfg.capacity.max(1)),
+            cfg,
+            dropped: 0,
+        }
+    }
+
+    pub fn config(&self) -> &FlightConfig {
+        &self.cfg
+    }
+
+    /// Record one event, overwriting the oldest past capacity.
+    pub fn record(&mut self, event: JobEvent) {
+        if self.ring.len() >= self.cfg.capacity.max(1) {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+
+    /// Copy the ring as it stands — the black-box dump taken at the
+    /// instant a node dies.
+    pub fn snapshot(&self) -> FlightLog {
+        FlightLog {
+            events: self.ring.iter().copied().collect(),
+            dropped: self.dropped,
+        }
+    }
+
+    /// Drain the recorder into its final log.
+    pub fn into_log(self) -> FlightLog {
+        FlightLog {
+            events: self.ring.into_iter().collect(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, trace: u64, kind: JobEventKind) -> JobEvent {
+        JobEvent {
+            at: Ns(at),
+            trace,
+            hop: 0,
+            shard: 0,
+            tenant: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn context_assignment_and_retry_hops() {
+        let c = TraceContext::UNASSIGNED;
+        assert!(!c.is_assigned());
+        let r = TraceContext::root(7);
+        assert!(r.is_assigned());
+        assert_eq!(r.parent, 7);
+        assert_eq!(r.hop, 0);
+        let again = r.retry().retry();
+        assert_eq!(again.trace, 7);
+        assert_eq!(again.hop, 2);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut rec = FlightRecorder::new(FlightConfig {
+            capacity: 3,
+            ..FlightConfig::default()
+        });
+        for i in 0..5 {
+            rec.record(ev(i, i, JobEventKind::Submit));
+        }
+        let log = rec.into_log();
+        assert_eq!(log.dropped, 2);
+        assert_eq!(
+            log.events.iter().map(|e| e.at.0).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn sort_orders_same_instant_events_causally() {
+        let mut events = vec![
+            ev(10, 1, JobEventKind::Admit),
+            ev(10, 1, JobEventKind::Submit),
+            ev(
+                10,
+                1,
+                JobEventKind::Place {
+                    target: 0,
+                    preferred: 0,
+                    steal: false,
+                },
+            ),
+            ev(5, 2, JobEventKind::Submit),
+        ];
+        sort_events(&mut events);
+        assert_eq!(events[0].trace, 2);
+        assert_eq!(events[1].kind.name(), "submit");
+        assert_eq!(events[2].kind.name(), "place");
+        assert_eq!(events[3].kind.name(), "admit");
+    }
+}

@@ -74,6 +74,19 @@ impl FetchCostModel {
     pub fn fetch_time(&self, bytes: u64, blocks: u64) -> Ns {
         self.fs.read_time(bytes, self.readers.max(1), blocks.max(1))
     }
+
+    /// The `(transfer, metadata)` split of [`fetch_time`](Self::fetch_time):
+    /// the bandwidth-bound byte movement and the fixed per-block
+    /// metadata cost, separately. `fetch_detail(b, n).0 + .1 ==
+    /// fetch_time(b, n)`, so flight-recorder transfer events attribute
+    /// the same total the cost model charges.
+    pub fn fetch_detail(&self, bytes: u64, blocks: u64) -> (Ns, Ns) {
+        let readers = self.readers.max(1);
+        let bw = self.fs.effective_gbps(readers) * self.fs.read_efficiency;
+        let xfer = (bytes as f64 / bw).round() as u64;
+        let md = self.fs.metadata_op.0 * blocks.max(1).div_ceil(readers as u64);
+        (Ns(xfer), Ns(md))
+    }
 }
 
 /// Summit's GPFS (Alpine): 2.5 TB/s peak.
@@ -135,6 +148,19 @@ mod tests {
         let fs = frontier_lustre();
         let bytes = 10u64 << 30;
         assert!(fs.read_time(bytes, 100, 100) > fs.write_time(bytes, 100, 100));
+    }
+
+    #[test]
+    fn fetch_detail_splits_sum_to_fetch_time() {
+        let model = FetchCostModel::new(summit_gpfs(), 4);
+        for (bytes, blocks) in [(0u64, 0u64), (1 << 20, 3), (10 << 30, 4096), (123, 1)] {
+            let (xfer, md) = model.fetch_detail(bytes, blocks);
+            assert_eq!(
+                Ns(xfer.0 + md.0),
+                model.fetch_time(bytes, blocks),
+                "bytes={bytes} blocks={blocks}"
+            );
+        }
     }
 
     #[test]

@@ -78,6 +78,9 @@ struct Instrument {
     name: String,
     value: Value,
     volatile: bool,
+    /// `(sample, trace)` of the worst histogram sample recorded with an
+    /// exemplar: the flight-recorder trace id a latency spike links to.
+    exemplar: Option<(u64, u64)>,
 }
 
 /// A stable handle to one instrument. Updating through a handle is a
@@ -138,6 +141,7 @@ impl Registry {
                     name: name.to_string(),
                     value: default,
                     volatile,
+                    exemplar: None,
                 });
                 self.index.insert(name.to_string(), i);
                 i
@@ -195,6 +199,30 @@ impl Registry {
         } else {
             debug_assert!(false, "instrument '{}' is not a histogram", inst.name);
         }
+    }
+
+    /// O(1) histogram sample with an exemplar: when `sample` is the
+    /// worst the instrument has seen, `trace` becomes its exemplar, so
+    /// the histogram's tail always names a concrete flight trace id.
+    pub fn hist_record_exemplar_id(&mut self, id: InstrumentId, sample: u64, trace: u64) {
+        let inst = &mut self.instruments[id.0];
+        if let Value::Hist(h) = &mut inst.value {
+            h.record(sample);
+            let worst_so_far = match inst.exemplar {
+                Some((v, _)) => v,
+                None => 0,
+            };
+            if sample >= worst_so_far {
+                inst.exemplar = Some((sample, trace));
+            }
+        } else {
+            debug_assert!(false, "instrument '{}' is not a histogram", inst.name);
+        }
+    }
+
+    /// The `(sample, trace)` exemplar of a histogram instrument.
+    pub fn exemplar(&self, name: &str) -> Option<(u64, u64)> {
+        self.lookup(name)?.exemplar
     }
 
     /// Add to a monotonic counter (created at 0 on first use).
@@ -407,6 +435,16 @@ impl Registry {
                     out.push_str(&format!("{} {} {ts}\n", suffixed("_count"), h.count()));
                     out.push_str(&format!("{} {} {ts}\n", suffixed("_sum"), h.sum()));
                     out.push_str(&format!("{} {} {ts}\n", suffixed("_max"), h.max()));
+                    if let Some((v, trace)) = inst.exemplar {
+                        out.push_str(&format!(
+                            "{} {v} {ts}\n",
+                            with_label(
+                                &format!("{family}_exemplar"),
+                                labels,
+                                &format!("trace=\"{trace}\"")
+                            )
+                        ));
+                    }
                 }
             }
         }
@@ -438,17 +476,22 @@ impl Registry {
             match &inst.value {
                 Value::Counter(v) => counters.push(format!("{key}: {v}")),
                 Value::Gauge(v) => gauges.push(format!("{key}: {v:.6}")),
-                Value::Hist(h) => hists.push(format!(
-                    "{key}: {{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\
-                     \"p99\":{},\"max\":{}}}",
-                    h.count(),
-                    h.sum(),
-                    h.mean(),
-                    h.quantile(0.5),
-                    h.quantile(0.95),
-                    h.quantile(0.99),
-                    h.max()
-                )),
+                Value::Hist(h) => {
+                    let ex = inst.exemplar.map_or(String::new(), |(v, t)| {
+                        format!(",\"exemplar\":{{\"value\":{v},\"trace\":{t}}}")
+                    });
+                    hists.push(format!(
+                        "{key}: {{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\
+                         \"p99\":{},\"max\":{}{ex}}}",
+                        h.count(),
+                        h.sum(),
+                        h.mean(),
+                        h.quantile(0.5),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                        h.max()
+                    ))
+                }
             }
         }
         let obj = |items: Vec<String>| {
@@ -770,6 +813,27 @@ mod tests {
         // More series points than scrapes is inconsistent.
         let bad = good.replace("\"scrapes\": 1", "\"scrapes\": 0");
         assert!(validate_metrics_json(&bad).is_err());
+    }
+
+    #[test]
+    fn exemplar_tracks_worst_sample_and_serializes() {
+        let mut r = reg();
+        let h = r.hist_handle("lat_ns");
+        r.hist_record_exemplar_id(h, 100, 1);
+        r.hist_record_exemplar_id(h, 900, 2);
+        r.hist_record_exemplar_id(h, 300, 3);
+        assert_eq!(r.exemplar("lat_ns"), Some((900, 2)));
+        assert_eq!(r.histogram("lat_ns").unwrap().count(), 3);
+        r.flush(Ns(100));
+        assert!(r
+            .exposition()
+            .contains("lat_ns_exemplar{trace=\"2\"} 900 100"));
+        let json = r.to_json();
+        assert!(json.contains("\"exemplar\":{\"value\":900,\"trace\":2}"));
+        validate_metrics_json(&json).unwrap();
+        // Plain recording leaves no exemplar behind.
+        r.hist_record("plain", 5);
+        assert_eq!(r.exemplar("plain"), None);
     }
 
     #[test]

@@ -227,6 +227,9 @@ pub struct JobRequest {
     pub cancel_at: Option<Ns>,
     pub payload: JobPayload,
     pub cancel: CancelToken,
+    /// Causal flight-recorder context. Unassigned until a recorder
+    /// claims the job; survives cluster re-routes and retries.
+    pub trace: hpdr_flight::TraceContext,
 }
 
 impl JobRequest {
@@ -245,6 +248,7 @@ impl JobRequest {
             cancel_at: None,
             payload,
             cancel: CancelToken::new(),
+            trace: hpdr_flight::TraceContext::UNASSIGNED,
         }
     }
 

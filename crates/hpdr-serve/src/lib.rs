@@ -55,3 +55,7 @@ pub use script::{parse_script, parse_script_with, CacheStats, PayloadCache, DEMO
 pub use hpdr_metrics::{
     validate_metrics_json, MetricsConfig, Registry, SloAlert, SloConfig, METRICS_SCHEMA,
 };
+
+// Flight-recorder types callers need to configure `ServeConfig::flight`
+// and consume `ServeOutcome::flight` without a direct hpdr-flight dep.
+pub use hpdr_flight::{FlightConfig, FlightLog, TraceContext};

@@ -40,6 +40,9 @@ pub struct LoadgenOptions {
     /// Install a metrics registry (default cadence + SLO) on the main
     /// serve run. The microbench replays always run metrics-free.
     pub metrics: bool,
+    /// Install a flight recorder (default config) on the main serve
+    /// run. The microbench replays always run recorder-free.
+    pub flight: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -52,6 +55,7 @@ impl Default for LoadgenOptions {
             seed: 7,
             closed: false,
             metrics: false,
+            flight: false,
         }
     }
 }
@@ -67,6 +71,7 @@ impl LoadgenOptions {
             seed: 7,
             closed: false,
             metrics: false,
+            flight: false,
         }
     }
 }
@@ -260,6 +265,10 @@ pub struct LoadgenReport {
     pub serial_goodput_gbps: f64,
     /// `batched / serial` — continuous batching's win.
     pub batching_speedup: f64,
+    /// Causal flight analysis of the main run (present iff
+    /// `LoadgenOptions::flight`). Not embedded in [`to_json`](Self::to_json):
+    /// the CLI writes it as a standalone `hpdr-flight/v1` document.
+    pub flight: Option<hpdr_flight::FlightReport>,
 }
 
 impl LoadgenReport {
@@ -345,8 +354,9 @@ fn replay_goodput(
             max_queued_jobs: jobs.len().max(1),
             max_queued_bytes: u64::MAX,
         },
-        // The microbench compares raw goodput; never meter it.
+        // The microbench compares raw goodput; never meter or trace it.
         metrics: None,
+        flight: None,
         ..base.clone()
     };
     let mut source = VecSource::new(jobs);
@@ -397,6 +407,7 @@ pub fn run_loadgen(opts: LoadgenOptions) -> Result<LoadgenReport, ServeError> {
             slo: Some(hpdr_metrics::SloConfig::default()),
             ..hpdr_metrics::MetricsConfig::default()
         }),
+        flight: opts.flight.then(hpdr_flight::FlightConfig::default),
         ..ServeConfig::default()
     };
 
@@ -419,6 +430,13 @@ pub fn run_loadgen(opts: LoadgenOptions) -> Result<LoadgenReport, ServeError> {
         set_cache_gauges(&mut sched, &cache);
         (sched.run(&mut source), prefix)
     };
+    let mut outcome = outcome;
+    // ServeReport::build consumes the outcome; the flight log leaves it
+    // first and is analyzed under the same (default) recorder config.
+    let flight = outcome
+        .flight
+        .take()
+        .map(|log| hpdr_flight::analyze(&log, &hpdr_flight::FlightConfig::default(), None));
     let mut serve_report = ServeReport::build(cfg.policy, outcome);
     serve_report.payload_cache = Some(cache.stats());
 
@@ -432,6 +450,7 @@ pub fn run_loadgen(opts: LoadgenOptions) -> Result<LoadgenReport, ServeError> {
         batched_goodput_gbps: batched,
         serial_goodput_gbps: serial,
         batching_speedup: speedup,
+        flight,
     })
 }
 

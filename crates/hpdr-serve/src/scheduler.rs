@@ -27,6 +27,10 @@ use crate::admission::{Admission, AdmissionConfig};
 use crate::error::ServeError;
 use crate::job::{JobId, JobOutcome, JobRecord, JobRequest, TenantId};
 use hpdr_core::{ContextCache, DeviceAdapter, PoolStats, WorkerPool};
+use hpdr_flight::{
+    FlightConfig, FlightLog, FlightRecorder, JobEvent as FlightEvent,
+    JobEventKind as FlightEventKind, TraceContext,
+};
 use hpdr_metrics::{
     record_batch_trace, record_pool_stats, BatchTraceIds, InstrumentId, MetricsConfig, Registry,
 };
@@ -91,6 +95,9 @@ pub struct ServeConfig {
     /// Install a metrics registry (scrape cadence, SLO objective).
     /// `None` keeps the hot path metrics-free.
     pub metrics: Option<MetricsConfig>,
+    /// Install a flight recorder: per-job lifecycle events into a
+    /// fixed-capacity ring. `None` keeps the hot path recorder-free.
+    pub flight: Option<FlightConfig>,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +114,7 @@ impl Default for ServeConfig {
             cmm_capacity: 128,
             pipeline: PipelineOptions::fixed(32 * 1024),
             metrics: None,
+            flight: None,
         }
     }
 }
@@ -192,6 +200,7 @@ struct MeterIds {
     batch_jobs: Option<InstrumentId>,
     batch_bytes: Option<InstrumentId>,
     margin: Option<InstrumentId>,
+    latency: Option<InstrumentId>,
 }
 
 /// Per-tenant counter handles, created together on the tenant's first
@@ -281,6 +290,10 @@ pub struct ServeOutcome {
     /// The metrics registry, flushed at the makespan (present iff
     /// `ServeConfig::metrics` was set).
     pub metrics: Option<Registry>,
+    /// The drained flight recorder (present iff `ServeConfig::flight`
+    /// was set). Events carry shard id 0; a cluster front-end rewrites
+    /// that to the shard's index before merging.
+    pub flight: Option<FlightLog>,
 }
 
 /// The scheduler. Owns the virtual clock, queue, device horizons and
@@ -304,6 +317,8 @@ pub struct Scheduler {
     ids: MeterIds,
     reject_seq: usize,
     alert_seq: usize,
+    recorder: Option<FlightRecorder>,
+    next_trace: u64,
 }
 
 impl Scheduler {
@@ -318,6 +333,7 @@ impl Scheduler {
                 .map(|_| ContextCache::new(cfg.cmm_capacity))
                 .collect(),
             registry: cfg.metrics.map(Registry::new),
+            recorder: cfg.flight.map(FlightRecorder::new),
             ids: MeterIds {
                 devices: vec![None; devices],
                 batch_trace: vec![BatchTraceIds::default(); devices],
@@ -334,6 +350,7 @@ impl Scheduler {
             spans: Vec::new(),
             reject_seq: 0,
             alert_seq: 0,
+            next_trace: 1,
         }
     }
 
@@ -372,9 +389,43 @@ impl Scheduler {
         &self.cmm[device]
     }
 
+    /// Copy the flight recorder's ring as it stands — the black-box dump
+    /// a cluster front-end takes right after [`fail`](Self::fail).
+    pub fn flight_snapshot(&self) -> Option<FlightLog> {
+        self.recorder.as_ref().map(FlightRecorder::snapshot)
+    }
+
+    /// Record one lifecycle event for `req` when a recorder is installed
+    /// and the request carries an assigned trace context. Events are
+    /// stamped with shard id 0; cluster front-ends rewrite it on merge.
+    fn flight_event(&mut self, at: Ns, req: &JobRequest, kind: FlightEventKind) {
+        if let Some(rec) = self.recorder.as_mut() {
+            if req.trace.is_assigned() {
+                rec.record(FlightEvent {
+                    at,
+                    trace: req.trace.trace,
+                    hop: req.trace.hop,
+                    shard: 0,
+                    tenant: req.tenant.0,
+                    kind,
+                });
+            }
+        }
+    }
+
     /// Submit one job at its arrival instant. Typed backpressure: a
     /// full queue rejects immediately with [`ServeError`].
     pub fn try_submit(&mut self, req: JobRequest) -> Result<JobId, ServeError> {
+        let mut req = req;
+        // Whoever assigns the trace context records the submission: a
+        // cluster front-end assigns (and records) at its own queue, a
+        // standalone scheduler claims unassigned requests here.
+        if self.recorder.is_some() && !req.trace.is_assigned() {
+            req.trace = TraceContext::root(self.next_trace);
+            self.next_trace += 1;
+            self.flight_event(self.clock.max(req.arrival), &req, FlightEventKind::Submit);
+        }
+        let now = self.clock.max(req.arrival);
         let tenant_id = req.tenant.0;
         let tenant = self.tenants.entry(tenant_id).or_default();
         tenant.submitted += 1;
@@ -394,6 +445,7 @@ impl Scheduler {
             self.tenants.entry(tenant_id).or_default().rejected += 1;
             self.admission.reject_invalid();
             self.push_reject_span(&req, bytes);
+            self.flight_event(now, &req, FlightEventKind::Reject);
             return Err(ServeError::InvalidJob("empty payload".into()));
         }
         match self.admission.try_admit(bytes) {
@@ -420,6 +472,7 @@ impl Scheduler {
                     0,
                     false,
                 ));
+                self.flight_event(now, &req, FlightEventKind::Admit);
                 self.queue.push(QueuedJob { id, req, bytes });
                 Ok(id)
             }
@@ -427,6 +480,7 @@ impl Scheduler {
                 let tenant = self.tenants.entry(tenant_id).or_default();
                 tenant.rejected += 1;
                 self.push_reject_span(&req, bytes);
+                self.flight_event(now, &req, FlightEventKind::Reject);
                 Err(e)
             }
         }
@@ -892,6 +946,17 @@ impl Scheduler {
         let service = self.cfg.launch_overhead + setup + makespan;
         let (start, end) = self.horizons[d].schedule(now, service);
         debug_assert_eq!(start, now, "device was checked free");
+        let dispatch_overhead = (self.cfg.launch_overhead + setup).0;
+        for q in &live {
+            self.flight_event(
+                start,
+                &q.req,
+                FlightEventKind::Dispatch {
+                    device: d as u32,
+                    overhead_ns: dispatch_overhead,
+                },
+            );
+        }
         self.device_jobs[d].0 += 1;
         self.device_jobs[d].1 += live.len() as u64;
         self.in_flight_jobs[d] += live.len() as u64;
@@ -977,6 +1042,32 @@ impl Scheduler {
             let t = self.tenants.entry(req.tenant.0).or_default();
             t.completed += 1;
             t.bytes += bytes;
+        }
+        self.flight_event(
+            finished,
+            req,
+            match &outcome {
+                JobOutcome::Completed => FlightEventKind::Complete,
+                JobOutcome::TimedOut => FlightEventKind::TimedOut,
+                JobOutcome::Cancelled => FlightEventKind::Cancelled,
+                JobOutcome::Failed(_) => FlightEventKind::Failed,
+            },
+        );
+        // Exemplar attachment: with both metering and flight recording
+        // on, terminal latencies feed a histogram whose worst sample
+        // carries its trace id — a metric spike links to a trace.
+        if self.recorder.is_some() && req.trace.is_assigned() {
+            if let Some(reg) = self.registry.as_mut() {
+                let l = *self
+                    .ids
+                    .latency
+                    .get_or_insert_with(|| reg.hist_handle("serve_latency_ns"));
+                reg.hist_record_exemplar_id(
+                    l,
+                    finished.saturating_sub(req.arrival).0,
+                    req.trace.trace,
+                );
+            }
         }
         if let Some(reg) = self.registry.as_mut() {
             let ids = &mut self.ids;
@@ -1105,6 +1196,7 @@ impl Scheduler {
             in_flight_end: self.in_flight_jobs.iter().sum(),
             pool_jobs: pool_delta.jobs,
             metrics: self.registry,
+            flight: self.recorder.map(FlightRecorder::into_log),
         }
     }
 }

@@ -34,6 +34,10 @@ use crate::placement::{
     data_key, home_of, hrw_pick, placement_bytes, random_pick, DataKey, PlacementPolicy,
 };
 use hpdr_core::{DeviceAdapter, PoolStats};
+use hpdr_flight::{
+    analyze, Blackbox, FlightConfig, FlightRecorder, FlightReport, JobEvent as FlightEvent,
+    JobEventKind as FlightEventKind, TraceContext,
+};
 use hpdr_io::{summit_gpfs, FetchCostModel};
 use hpdr_serve::{
     JobPayload, JobRequest, JobSource, PayloadCache, Scheduler, ServeConfig, ServeReport, VecSource,
@@ -65,6 +69,11 @@ pub struct ClusterConfig {
     pub max_retries: u32,
     /// Seed for the random placement policy (and echoed in reports).
     pub seed: u64,
+    /// Flight-recorder configuration (`None` disables causal tracing).
+    /// [`Cluster::new`] copies it into each shard's own `flight`
+    /// setting, so per-shard lifecycle events and cluster-level
+    /// placement/transfer/re-route events land in one merged log.
+    pub flight: Option<FlightConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -77,6 +86,7 @@ impl Default for ClusterConfig {
             fail: None,
             max_retries: 3,
             seed: 7,
+            flight: Some(FlightConfig::default()),
         }
     }
 }
@@ -119,6 +129,8 @@ pub struct ClusterOutcome {
     pub failure: Option<(usize, Ns)>,
     /// Cluster-level spans (`xfer`, `reroute`) for the merged trace.
     pub extra_spans: Vec<SpanRecord>,
+    /// Causal flight analysis of the merged cluster + shard event logs.
+    pub flight: Option<FlightReport>,
 }
 
 /// The cluster front-end. Owns the shards, their residency caches, the
@@ -147,12 +159,17 @@ pub struct Cluster {
     span_seq: usize,
     place_seq: u64,
     fired: bool,
+    /// Cluster-level flight recorder (placement, transfers, re-routes).
+    recorder: Option<FlightRecorder>,
+    /// The dead shard's ring buffer, dumped at the failure instant.
+    blackbox: Option<Blackbox>,
 }
 
 impl Cluster {
     pub fn new(mut cfg: ClusterConfig, work: Arc<dyn DeviceAdapter>) -> Cluster {
         cfg.nodes = cfg.nodes.max(1);
         cfg.shard.metrics = None;
+        cfg.shard.flight = cfg.flight;
         let shards: Vec<Scheduler> = (0..cfg.nodes)
             .map(|_| Scheduler::new(cfg.shard.clone(), Arc::clone(&work)))
             .collect();
@@ -178,7 +195,27 @@ impl Cluster {
             span_seq: 0,
             place_seq: 0,
             fired: false,
+            recorder: cfg.flight.map(FlightRecorder::new),
+            blackbox: None,
             cfg,
+        }
+    }
+
+    /// Record a cluster-level flight event for `req` (no-op when
+    /// recording is off; `shard` is `u32::MAX` for events with no
+    /// target shard).
+    fn flight_event(&mut self, at: Ns, shard: u32, req: &JobRequest, kind: FlightEventKind) {
+        if let Some(rec) = self.recorder.as_mut() {
+            if req.trace.is_assigned() {
+                rec.record(FlightEvent {
+                    at,
+                    trace: req.trace.trace,
+                    hop: req.trace.hop,
+                    shard,
+                    tenant: req.tenant.0,
+                    kind,
+                });
+            }
         }
     }
 
@@ -195,8 +232,13 @@ impl Cluster {
                 }
             }
             self.deliver_due();
-            for req in source.pop_ready(self.clock) {
+            for mut req in source.pop_ready(self.clock) {
                 self.logical_submitted += 1;
+                if self.recorder.is_some() {
+                    // The cluster assigns trace ids: 1-based pop order.
+                    req.trace = TraceContext::root(self.logical_submitted);
+                    self.flight_event(self.clock, u32::MAX, &req, FlightEventKind::Submit);
+                }
                 self.place_and_submit(req, 0);
             }
             for s in 0..self.shards.len() {
@@ -266,16 +308,35 @@ impl Cluster {
             }
         }
         let survivors = self.shards[node].fail(self.clock);
+        // Black-box dump: the dying shard's ring buffer as it stood
+        // when the failure fired (drain terminals included).
+        if let Some(mut log) = self.shards[node].flight_snapshot() {
+            for e in &mut log.events {
+                e.shard = node as u32;
+            }
+            self.blackbox = Some(Blackbox {
+                shard: node as u32,
+                log,
+            });
+        }
         self.drained += survivors.len() as u64;
         for (id, req) in survivors {
             let attempt = self.attempts.remove(&(node, id.0)).unwrap_or(0) + 1;
             to_place.push((req, attempt));
         }
-        for (req, attempt) in to_place {
+        for (mut req, attempt) in to_place {
             if attempt > self.cfg.max_retries || self.live().is_empty() {
                 self.retries_exhausted += 1;
+                self.flight_event(self.clock, u32::MAX, &req, FlightEventKind::Failed);
             } else {
                 self.rerouted += 1;
+                req.trace = req.trace.retry();
+                self.flight_event(
+                    self.clock,
+                    u32::MAX,
+                    &req,
+                    FlightEventKind::Reroute { attempt },
+                );
                 self.push_reroute_span(&req, attempt);
                 self.place_and_submit(req, attempt);
             }
@@ -301,7 +362,9 @@ impl Cluster {
             if let Some((req, _)) = tr.jobs.first() {
                 admit(&mut self.caches[shard], &key, req);
             }
+            let ready = tr.ready;
             for (req, attempt) in tr.jobs {
+                self.flight_event(ready, shard as u32, &req, FlightEventKind::XferReady);
                 self.submit_now(shard, req, attempt);
             }
         }
@@ -313,6 +376,7 @@ impl Cluster {
         let live = self.live();
         if live.is_empty() {
             self.retries_exhausted += 1;
+            self.flight_event(self.clock, u32::MAX, &req, FlightEventKind::Failed);
             return;
         }
         let bytes = req.payload.raw_bytes();
@@ -346,6 +410,16 @@ impl Cluster {
             }
         };
         self.placed[target] += 1;
+        self.flight_event(
+            self.clock,
+            u32::MAX,
+            &req,
+            FlightEventKind::Place {
+                target: target as u32,
+                preferred: preferred as u32,
+                steal: target != preferred,
+            },
+        );
         let Some(key) = data_key(&req) else {
             self.submit_now(target, req, attempt);
             return;
@@ -365,6 +439,18 @@ impl Cluster {
             self.submit_now(target, req, attempt);
         } else {
             self.misses[target] += 1;
+            let (fb, blk) = fetch_size(&req.payload);
+            let (xfer, md) = self.cfg.fetch.fetch_detail(fb, blk);
+            self.flight_event(
+                self.clock,
+                target as u32,
+                &req,
+                FlightEventKind::XferStart {
+                    bytes: fb,
+                    xfer_ns: xfer.0,
+                    metadata_ns: md.0,
+                },
+            );
             match self.transfers.get_mut(&(target, key.clone())) {
                 Some(tr) => tr.jobs.push((req, attempt)),
                 None => {
@@ -452,11 +538,29 @@ impl Cluster {
     fn finish(self) -> ClusterOutcome {
         debug_assert!(self.transfers.is_empty(), "undelivered transfers at end");
         let policy = self.cfg.shard.policy;
-        let reports: Vec<ServeReport> = self
-            .shards
-            .into_iter()
-            .map(|s| ServeReport::build(policy, s.into_outcome(PoolStats::default())))
-            .collect();
+        // Merge each shard's flight log into the cluster-level one,
+        // re-stamping shard-recorded events (shard id 0 inside a
+        // scheduler) with the shard's cluster index.
+        let mut flight_log = self.recorder.map(FlightRecorder::into_log);
+        let mut reports: Vec<ServeReport> = Vec::with_capacity(self.shards.len());
+        for (s, shard) in self.shards.into_iter().enumerate() {
+            let mut outcome = shard.into_outcome(PoolStats::default());
+            if let (Some(cluster_log), Some(mut log)) = (flight_log.as_mut(), outcome.flight.take())
+            {
+                for e in &mut log.events {
+                    e.shard = s as u32;
+                }
+                cluster_log.merge(log);
+            }
+            reports.push(ServeReport::build(policy, outcome));
+        }
+        let flight = flight_log.map(|log| {
+            analyze(
+                &log,
+                &self.cfg.flight.unwrap_or_default(),
+                self.blackbox.clone(),
+            )
+        });
         ClusterOutcome {
             nodes: self.cfg.nodes,
             policy: self.cfg.policy,
@@ -477,6 +581,7 @@ impl Cluster {
             remote_fetch_ns: self.remote_fetch_ns,
             failure: if self.fired { self.cfg.fail } else { None },
             extra_spans: self.extra_spans,
+            flight,
         }
     }
 }

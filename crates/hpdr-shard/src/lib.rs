@@ -40,3 +40,7 @@ pub use cluster::{run_cluster, Cluster, ClusterConfig, ClusterOutcome};
 pub use loadgen::{cluster_config, run_cluster_loadgen, ClusterLoadOptions};
 pub use placement::{data_key, home_of, hrw_pick, DataKey, PlacementPolicy};
 pub use report::{validate_cluster_json, ClusterReport, ShardRow, CLUSTER_SCHEMA};
+
+// Flight-recorder surface cluster callers need (the full API lives in
+// `hpdr_flight`).
+pub use hpdr_flight::{explain_lines, validate_flight_json, FlightConfig, FlightReport};

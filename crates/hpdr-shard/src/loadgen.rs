@@ -66,6 +66,10 @@ pub fn cluster_config(opts: &ClusterLoadOptions) -> ClusterConfig {
         fail: opts.fail,
         max_retries: 3,
         seed: opts.base.seed,
+        flight: Some(hpdr_flight::FlightConfig {
+            seed: opts.base.seed,
+            ..hpdr_flight::FlightConfig::default()
+        }),
     }
 }
 

@@ -74,6 +74,9 @@ pub struct ClusterReport {
     pub shards: Vec<ShardRow>,
     /// Merged trace: shard spans re-based per namespace + cluster spans.
     pub trace: Trace,
+    /// Causal flight analysis (embedded as a nested `hpdr-flight/v1`
+    /// document; `null` when tracing was off).
+    pub flight: Option<hpdr_flight::FlightReport>,
 }
 
 impl ClusterReport {
@@ -182,6 +185,7 @@ impl ClusterReport {
             failure: outcome.failure,
             shards,
             trace,
+            flight: outcome.flight,
         }
     }
 
@@ -236,6 +240,17 @@ impl ClusterReport {
             self.latency.p50 as f64 / 1e6,
             self.latency.p99 as f64 / 1e6
         ));
+        if let Some(f) = &self.flight {
+            let worst: Vec<String> = f.exemplars(3).iter().map(u64::to_string).collect();
+            out.push(format!(
+                "flight: {} jobs traced, {} sampled, {} events dropped; \
+                 worst sampled traces [{}] — `hpdr explain` breaks them down",
+                f.total_jobs,
+                f.sampled,
+                f.dropped,
+                worst.join(", ")
+            ));
+        }
         for s in &self.shards {
             out.push(format!(
                 "shard {:>2}{}: {:>4} placed, cache {}/{} hit/miss ({:.1}%), \
@@ -331,7 +346,15 @@ impl ClusterReport {
             s.push_str(&report.trim_end().replace('\n', "\n      "));
             s.push_str("\n    }");
         }
-        s.push_str("\n  ]\n");
+        s.push_str("\n  ],\n");
+        match &self.flight {
+            Some(f) => {
+                s.push_str("  \"flight\": ");
+                s.push_str(&hpdr_flight::to_json(f).trim_end().replace('\n', "\n  "));
+                s.push('\n');
+            }
+            None => s.push_str("  \"flight\": null\n"),
+        }
         let mut doc = hpdr_verify::envelope::wrap(CLUSTER_SCHEMA, self.ok(), &s);
         doc.push('\n');
         doc
@@ -370,6 +393,11 @@ pub fn validate_cluster_json(json: &str) -> Result<(), String> {
     let lost = json_i64(json, "lost").ok_or("missing field 'lost'")?;
     if lost != 0 {
         return Err(format!("cluster lost {lost} jobs"));
+    }
+    // When the cluster ran with flight recording on, the embedded
+    // hpdr-flight/v1 document must satisfy its own invariants too.
+    if hpdr_flight::flight_section(json).is_some() {
+        hpdr_flight::validate_flight_json(json).map_err(|e| format!("embedded flight: {e}"))?;
     }
     Ok(())
 }

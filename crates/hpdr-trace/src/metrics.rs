@@ -633,4 +633,115 @@ mod tests {
         let trace = Trace::from_spans(vec![a, b]);
         assert_eq!(alloc_contention(&trace), Ns(10));
     }
+
+    #[test]
+    fn merge_handles_empty_shard_traces() {
+        // An empty shard still occupies its index: the shard after it
+        // keeps its own stride slot instead of sliding down into the
+        // empty one's.
+        let empty = Trace::from_spans(vec![]);
+        let busy = Trace::from_spans(vec![span(
+            3,
+            Engine::Compute(d0()),
+            0,
+            10,
+            OpKind::Kernel,
+            None,
+        )]);
+        let merged = merge_shard_traces(&[empty, busy], vec![]);
+        assert_eq!(merged.spans().len(), 1);
+        assert_eq!(merged.spans()[0].op, MERGE_SHARD_STRIDE + 3);
+        assert!(merge_shard_traces(&[], vec![]).spans().is_empty());
+    }
+
+    #[test]
+    fn merge_of_a_single_shard_is_the_identity() {
+        // Shard 0's re-base is `base + 0·stride + (op − base)` in every
+        // namespace, so a one-shard cluster trace is span-for-span the
+        // shard's own trace.
+        let spans = vec![
+            span(0, Engine::Compute(d0()), 0, 10, OpKind::Kernel, None),
+            span(7, Engine::Compute(d0()), 10, 20, OpKind::Kernel, None),
+            span(
+                (1 << 40) + 1,
+                Engine::Compute(d0()),
+                20,
+                21,
+                OpKind::Kernel,
+                None,
+            ),
+            span(
+                (1 << 41) + 2,
+                Engine::Compute(d0()),
+                21,
+                22,
+                OpKind::Kernel,
+                None,
+            ),
+        ];
+        let merged = merge_shard_traces(&[Trace::from_spans(spans.clone())], vec![]);
+        assert_eq!(merged.spans().len(), spans.len());
+        for (m, s) in merged.spans().iter().zip(&spans) {
+            assert_eq!(m.op, s.op);
+            assert_eq!(m.label, s.label);
+            assert_eq!((m.start, m.end), (s.start, s.end));
+        }
+    }
+
+    #[test]
+    fn merge_rebase_at_the_stride_boundary() {
+        // The per-shard namespaces are disjoint only while a shard emits
+        // fewer than 2^32 spans per namespace: op `stride − 1` is shard
+        // 0's last private slot, and op `stride` lands exactly on shard
+        // 1's slot 0. The merge keeps both colliding spans (it never
+        // dedupes by op) — the collision is an aliasing hazard for op
+        // lookups, not data loss.
+        let s0 = Trace::from_spans(vec![
+            span(
+                MERGE_SHARD_STRIDE - 1,
+                Engine::Compute(d0()),
+                0,
+                1,
+                OpKind::Kernel,
+                None,
+            ),
+            span(
+                MERGE_SHARD_STRIDE,
+                Engine::Compute(d0()),
+                1,
+                2,
+                OpKind::Kernel,
+                None,
+            ),
+        ]);
+        let s1 = Trace::from_spans(vec![span(
+            0,
+            Engine::Compute(d0()),
+            2,
+            3,
+            OpKind::Kernel,
+            None,
+        )]);
+        let merged = merge_shard_traces(&[s0, s1], vec![]);
+        let ops: Vec<usize> = merged.spans().iter().map(|s| s.op).collect();
+        assert_eq!(merged.spans().len(), 3, "collision must not drop spans");
+        assert!(ops.contains(&(MERGE_SHARD_STRIDE - 1)), "{ops:?}");
+        assert_eq!(
+            ops.iter().filter(|&&o| o == MERGE_SHARD_STRIDE).count(),
+            2,
+            "op `stride` from shard 0 aliases shard 1's op 0: {ops:?}"
+        );
+        // Cluster-namespace ops pass through un-rebased even when they
+        // arrive inside a shard trace.
+        let cluster = Trace::from_spans(vec![span(
+            MERGE_CLUSTER_BASE + 5,
+            Engine::Compute(d0()),
+            0,
+            1,
+            OpKind::Kernel,
+            None,
+        )]);
+        let merged = merge_shard_traces(&[Trace::from_spans(vec![]), cluster], vec![]);
+        assert_eq!(merged.spans()[0].op, MERGE_CLUSTER_BASE + 5);
+    }
 }

@@ -141,6 +141,10 @@ pub struct BenchReport {
     pub simd: String,
     pub pool: PoolBench,
     pub serve: ServeOverhead,
+    /// Flight-recorder overhead, measured with the same paired
+    /// methodology as `serve` (recorder off vs on, metrics off on both
+    /// sides so the two budgets don't confound each other).
+    pub flight: ServeOverhead,
     pub results: Vec<CodecResult>,
 }
 
@@ -253,15 +257,10 @@ fn pool_microbench(quick: bool) -> PoolBench {
     }
 }
 
-/// Paired metering-overhead microbench: serve one deterministic job
-/// stream with and without the metrics registry, interleaving the two
-/// sides rep by rep so cache state and machine noise hit both equally.
-fn serve_overhead_bench(quick: bool) -> ServeOverhead {
-    use std::sync::Arc;
-
-    let njobs = if quick { 48 } else { 96 };
+/// The deterministic job stream both paired serving benches run.
+fn overhead_bench_jobs(njobs: usize) -> Vec<hpdr_serve::JobRequest> {
     let mut cache = hpdr_serve::PayloadCache::new();
-    let jobs: Vec<hpdr_serve::JobRequest> = (0..njobs)
+    (0..njobs)
         .map(|i| {
             let (input, meta) = cache.input(16);
             hpdr_serve::JobRequest::new(
@@ -271,7 +270,58 @@ fn serve_overhead_bench(quick: bool) -> ServeOverhead {
                 hpdr_serve::JobPayload::Compress { input, meta },
             )
         })
-        .collect();
+        .collect()
+}
+
+/// Paired on/off measurement engine shared by the metering and flight
+/// overhead benches: interleave the two sides rep by rep so cache state
+/// and machine noise hit both equally, alternating which side runs
+/// first within each pair so slow drift in machine load cancels instead
+/// of biasing one side.
+fn paired_overhead(njobs: usize, reps: usize, warmup: usize, run: impl Fn(bool)) -> ServeOverhead {
+    for _ in 0..warmup {
+        run(false);
+        run(true);
+    }
+    let mut off_samples = Vec::with_capacity(reps);
+    let mut on_samples = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let first_on = i % 2 == 1;
+        let t0 = Instant::now();
+        run(first_on);
+        let d0 = t0.elapsed();
+        let t1 = Instant::now();
+        run(!first_on);
+        let d1 = t1.elapsed();
+        let (off_d, on_d) = if first_on { (d1, d0) } else { (d0, d1) };
+        ratios.push(on_d.as_secs_f64() / off_d.as_secs_f64().max(1e-12) - 1.0);
+        off_samples.push(off_d);
+        on_samples.push(on_d);
+    }
+    let off = off_samples.into_iter().min().expect("reps >= 1");
+    let on = on_samples.into_iter().min().expect("reps >= 1");
+    // Trimmed mean of per-pair ratios: see the `ServeOverhead::overhead`
+    // docs for why this beats a ratio of minimums here.
+    ratios.sort_by(f64::total_cmp);
+    let keep = &ratios[reps / 4..reps - reps / 4];
+    let overhead = keep.iter().sum::<f64>() / keep.len() as f64;
+    ServeOverhead {
+        jobs: njobs,
+        reps,
+        off,
+        on,
+        overhead,
+    }
+}
+
+/// Paired metering-overhead microbench: serve one deterministic job
+/// stream with and without the metrics registry.
+fn serve_overhead_bench(quick: bool) -> ServeOverhead {
+    use std::sync::Arc;
+
+    let njobs = if quick { 48 } else { 96 };
+    let jobs = overhead_bench_jobs(njobs);
     let run = |metered: bool| {
         let cfg = hpdr_serve::ServeConfig {
             devices: 2,
@@ -292,42 +342,38 @@ fn serve_overhead_bench(quick: bool) -> ServeOverhead {
         std::hint::black_box(outcome.makespan);
     };
     let (reps, warmup) = if quick { (150, 3) } else { (200, 3) };
-    for _ in 0..warmup {
-        run(false);
-        run(true);
-    }
-    let mut off_samples = Vec::with_capacity(reps);
-    let mut on_samples = Vec::with_capacity(reps);
-    let mut ratios = Vec::with_capacity(reps);
-    for i in 0..reps {
-        // Alternate which side runs first within each pair so slow
-        // drift in machine load cancels instead of biasing one side.
-        let first_metered = i % 2 == 1;
-        let t0 = Instant::now();
-        run(first_metered);
-        let d0 = t0.elapsed();
-        let t1 = Instant::now();
-        run(!first_metered);
-        let d1 = t1.elapsed();
-        let (off_d, on_d) = if first_metered { (d1, d0) } else { (d0, d1) };
-        ratios.push(on_d.as_secs_f64() / off_d.as_secs_f64().max(1e-12) - 1.0);
-        off_samples.push(off_d);
-        on_samples.push(on_d);
-    }
-    let off = off_samples.into_iter().min().expect("reps >= 1");
-    let on = on_samples.into_iter().min().expect("reps >= 1");
-    // Trimmed mean of per-pair ratios: see the `ServeOverhead::overhead`
-    // docs for why this beats a ratio of minimums here.
-    ratios.sort_by(f64::total_cmp);
-    let keep = &ratios[reps / 4..reps - reps / 4];
-    let overhead = keep.iter().sum::<f64>() / keep.len() as f64;
-    ServeOverhead {
-        jobs: njobs,
-        reps,
-        off,
-        on,
-        overhead,
-    }
+    paired_overhead(njobs, reps, warmup, run)
+}
+
+/// Paired flight-recorder overhead microbench: the same stream served
+/// with the causal trace recorder off and on. Metrics stay off on both
+/// sides so the flight number isolates the recorder's own cost — the
+/// per-event ring-buffer pushes plus the end-of-run analysis.
+fn flight_overhead_bench(quick: bool) -> ServeOverhead {
+    use std::sync::Arc;
+
+    let njobs = if quick { 48 } else { 96 };
+    let jobs = overhead_bench_jobs(njobs);
+    let run = |traced: bool| {
+        let cfg = hpdr_serve::ServeConfig {
+            devices: 2,
+            flight: traced.then(hpdr_serve::FlightConfig::default),
+            ..hpdr_serve::ServeConfig::default()
+        };
+        let work: Arc<dyn DeviceAdapter> = Arc::new(hpdr_core::SerialAdapter::new());
+        let mut source = hpdr_serve::VecSource::new(jobs.clone());
+        let mut outcome = hpdr_serve::serve(cfg, work, &mut source);
+        assert_eq!(outcome.records.len(), njobs, "bench stream must drain");
+        // The traced side pays for the analysis too: that is part of
+        // what `--flight-out` costs a serving run.
+        if let Some(log) = outcome.flight.take() {
+            let report = hpdr_flight::analyze(&log, &hpdr_flight::FlightConfig::default(), None);
+            std::hint::black_box(report.total_jobs);
+        }
+        std::hint::black_box(outcome.makespan);
+    };
+    let (reps, warmup) = if quick { (150, 3) } else { (200, 3) };
+    paired_overhead(njobs, reps, warmup, run)
 }
 
 /// Run the full benchmark matrix: size axis 16³ (4 KiB-class) → 32³ →
@@ -407,6 +453,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport> {
         simd: hpdr_kernels::kernels().tier.name().to_string(),
         pool: pool_microbench(opts.quick),
         serve: serve_overhead_bench(opts.quick),
+        flight: flight_overhead_bench(opts.quick),
         results,
     })
 }
@@ -438,6 +485,16 @@ impl BenchReport {
             self.serve.off.as_nanos(),
             self.serve.on.as_nanos(),
             self.serve.overhead
+        );
+        let _ = write!(
+            s,
+            ",\"flight_overhead\":{{\"jobs\":{},\"reps\":{},\"off_ns\":{},\"on_ns\":{},\
+             \"overhead\":{:.4}}}",
+            self.flight.jobs,
+            self.flight.reps,
+            self.flight.off.as_nanos(),
+            self.flight.on.as_nanos(),
+            self.flight.overhead
         );
         s.push_str(",\"results\":[");
         for (i, r) in self.results.iter().enumerate() {
@@ -490,6 +547,15 @@ impl BenchReport {
             self.serve.overhead * 100.0,
             self.serve.off,
             self.serve.on
+        ));
+        out.push(format!(
+            "flight recorder overhead over {} jobs x {} reps (paired): \
+             {:+.2}% (off {:?}, on {:?})",
+            self.flight.jobs,
+            self.flight.reps,
+            self.flight.overhead * 100.0,
+            self.flight.off,
+            self.flight.on
         ));
         out.push(format!(
             "{:10} {:8} {:>4} {:>3} {:>10} {:>14} {:>14} {:>8}",
@@ -634,6 +700,13 @@ fn scan_serve_overhead(doc: &str) -> Option<f64> {
     scan_num(&doc[at..], "overhead")
 }
 
+/// Extract `"overhead":<num>` from a document's `flight_overhead`
+/// block. Absent from documents that predate the flight recorder.
+fn scan_flight_overhead(doc: &str) -> Option<f64> {
+    let at = doc.find("\"flight_overhead\":")?;
+    scan_num(&doc[at..], "overhead")
+}
+
 /// `hpdr bench --compare A.json B.json`: diff two bench documents and
 /// flag regressions beyond `threshold` (fractional, e.g. 0.10 = 10%).
 ///
@@ -749,6 +822,22 @@ pub fn compare_command(a_path: &str, b_path: &str, threshold: f64) -> Result<Vec
         )),
         None => lines.push("candidate carries no serve_overhead section".to_string()),
     }
+    // The flight recorder shares the 2% paired-overhead budget. Old
+    // baselines predate the section, so only the candidate is gated and
+    // its absence there is informational, not an error.
+    match scan_flight_overhead(&b_doc) {
+        Some(ov) if ov > METERING_OVERHEAD_CEILING => regressions.push(format!(
+            "flight recorder overhead {:.2}% exceeds the {:.0}% paired-overhead budget",
+            ov * 100.0,
+            METERING_OVERHEAD_CEILING * 100.0
+        )),
+        Some(ov) => lines.push(format!(
+            "flight recorder overhead {:+.2}% (paired, budget {:.0}%)",
+            ov * 100.0,
+            METERING_OVERHEAD_CEILING * 100.0
+        )),
+        None => lines.push("candidate carries no flight_overhead section".to_string()),
+    }
     if regressions.is_empty() {
         lines.push(format!(
             "{matched} row(s) compared, no regression beyond {:.1}%",
@@ -813,6 +902,13 @@ mod tests {
                 on: Duration::from_millis(10),
                 overhead: 0.001,
             },
+            flight: ServeOverhead {
+                jobs: 48,
+                reps: 5,
+                off: Duration::from_millis(10),
+                on: Duration::from_millis(10),
+                overhead: 0.002,
+            },
             results: vec![CodecResult {
                 codec: "lz4".into(),
                 adapter: "serial".into(),
@@ -850,13 +946,22 @@ mod tests {
         assert!(validate_bench_json(&doc.replace("\"gbps\":0.8", "\"gbps\":0.0")).is_err());
         // Damage: missing serve-overhead section.
         assert!(validate_bench_json(&doc.replace("\"serve_overhead\"", "\"x\"")).is_err());
+        // The flight section is emitted but stays optional to the
+        // validator: committed baselines predate it and must keep
+        // validating.
+        assert!(doc.contains("\"flight_overhead\":"));
+        validate_bench_json(&doc.replace("\"flight_overhead\"", "\"x\""))
+            .expect("documents without a flight section stay valid");
     }
 
     #[test]
     fn compare_gates_on_paired_metering_overhead() {
         let dir = std::env::temp_dir().join(format!("hpdr-cmp-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let mk = |name: &str, overhead: &str| {
+        // The two sections' placeholder overheads must be distinct:
+        // `str::replace` rewrites every match, so each section needs its
+        // own needle.
+        let mk = |name: &str, overhead: &str, flight: &str| {
             let doc = BenchReport {
                 label: name.into(),
                 quick: true,
@@ -874,6 +979,13 @@ mod tests {
                     off: Duration::from_millis(10),
                     on: Duration::from_millis(10),
                     overhead: 0.0,
+                },
+                flight: ServeOverhead {
+                    jobs: 48,
+                    reps: 5,
+                    off: Duration::from_millis(10),
+                    on: Duration::from_millis(10),
+                    overhead: 0.0005,
                 },
                 results: vec![CodecResult {
                     codec: "lz4".into(),
@@ -894,23 +1006,37 @@ mod tests {
                 }],
             }
             .to_json()
-            .replace("\"overhead\":0.0000", &format!("\"overhead\":{overhead}"));
+            .replace("\"overhead\":0.0000", &format!("\"overhead\":{overhead}"))
+            .replace("\"overhead\":0.0005", &format!("\"overhead\":{flight}"));
             let p = dir.join(format!("{name}.json"));
             std::fs::write(&p, doc).unwrap();
             p.display().to_string()
         };
-        let base = mk("base", "0.0010");
-        let ok = mk("ok", "0.0150");
-        let bad = mk("bad", "0.0500");
-        // Identical throughput rows, overhead within budget: passes.
+        let base = mk("base", "0.0010", "0.0010");
+        let ok = mk("ok", "0.0150", "0.0120");
+        let bad = mk("bad", "0.0500", "0.0010");
+        let badflight = mk("badflight", "0.0010", "0.0500");
+        // Identical throughput rows, both overheads within budget:
+        // passes and reports each.
         let lines = compare_command(&base, &ok, 0.10).unwrap();
         assert!(
             lines.iter().any(|l| l.contains("metering overhead +1.50%")),
             "{lines:?}"
         );
-        // Overhead past the 2% ceiling fails even with clean rows.
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("flight recorder overhead +1.20%")),
+            "{lines:?}"
+        );
+        // Either overhead past the 2% ceiling fails even with clean rows.
         let err = compare_command(&base, &bad, 0.10).unwrap_err();
         assert!(err.to_string().contains("zero-overhead-when-off"), "{err}");
+        let err = compare_command(&base, &badflight, 0.10).unwrap_err();
+        assert!(
+            err.to_string().contains("flight recorder overhead"),
+            "{err}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

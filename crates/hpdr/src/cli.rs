@@ -79,6 +79,9 @@ pub enum Command {
         jobs: Option<String>,
         json: bool,
         out: Option<String>,
+        /// Enable the flight recorder and write the standalone
+        /// `hpdr-flight/v1` causal-trace report here.
+        flight_out: Option<String>,
     },
     /// Deterministic seeded load generation against the serving layer,
     /// reporting latency percentiles, goodput and rejection rate.
@@ -89,6 +92,9 @@ pub enum Command {
         /// Also write the Prometheus-style exposition text here
         /// (implies --metrics).
         expo: Option<String>,
+        /// Also write the `hpdr-flight/v1` causal-trace report here
+        /// (implies the flight recorder).
+        flight_out: Option<String>,
     },
     /// Live metrics view: run a seeded loadgen workload with the
     /// registry installed and print the latest-scrape instrument table.
@@ -125,6 +131,17 @@ pub enum Command {
         opts: hpdr_shard::ClusterLoadOptions,
         json: bool,
         out: Option<String>,
+        /// Also write the standalone `hpdr-flight/v1` causal-trace
+        /// report here (cluster runs always record flight events).
+        flight_out: Option<String>,
+    },
+    /// Latency root-cause explanation from a saved report carrying an
+    /// `hpdr-flight/v1` section (standalone or embedded in a cluster
+    /// document): one job's breakdown + timeline, or the worst N.
+    Explain {
+        report: String,
+        job: Option<u64>,
+        worst: usize,
     },
     Help,
 }
@@ -147,16 +164,19 @@ USAGE:
   hpdr bench      --compare <a.json> <b.json> [--threshold <frac>]
   hpdr serve      [--devices <n>] [--policy serial|batched]
                   [--jobs <file|->] [--json] [--out <file>]
+                  [--flight-out <file>]
   hpdr loadgen    [--rps <r>] [--duration <s>] [--tenants <t>]
                   [--open|--closed] [--seed <n>] [--devices <n>]
                   [--nodes <n>] [--quick] [--json] [--out <file>]
-                  [--metrics] [--expo <file>]
+                  [--metrics] [--expo <file>] [--flight-out <file>]
   hpdr top        [loadgen flags] [--tail <n>]
   hpdr slo        [--report <file>] | [loadgen flags]
   hpdr retrieve   [--side <n>] [--tolerance <rel>] [--refine <rel>]
                   [--json] [--out <file>]
   hpdr cluster    [loadgen flags] [--nodes <n>] [--policy locality|random]
                   [--fail-node <id>@<t_us>] [--json] [--out <file>]
+                  [--flight-out <file>]
+  hpdr explain    --report <file> [--job <trace>] [--worst <n>]
 
 Codec parameters: --rel-eb / --abs-eb apply to mgard and sz;
 --rate applies to zfp (fixed-rate bits per value).
@@ -273,7 +293,21 @@ enforces zero lost jobs (non-zero exit otherwise). The hpdr-shard/v1
 report (default CLUSTER.json) aggregates per-shard hpdr-serve/v1
 reports with merged latency quantiles, placement / steal / retry
 counters and per-shard cache hit rates; identical flags and seed are
-byte-identical. `hpdr loadgen --nodes <n>` with n > 1 routes here.";
+byte-identical. `hpdr loadgen --nodes <n>` with n > 1 routes here.
+Cluster runs always record per-job causal flight events; the report
+embeds the `hpdr-flight/v1` analysis and `--flight-out` also writes it
+standalone.
+
+`hpdr explain` answers \"why was this job slow\": it reads a saved
+report carrying an hpdr-flight/v1 section (a cluster report, or the
+document `--flight-out` wrote) and prints each job's additive latency
+breakdown — queue / placement / transfer / batch / service / retry
+components that sum exactly to the end-to-end virtual-time latency —
+plus, for tail-sampled jobs (p99 outliers, failures, re-routes, and a
+seeded 1-in-N baseline), the full event timeline. --worst N (default 3)
+ranks the true N worst-latency jobs; --job <trace> explains one job by
+its trace id, as linked from metric exemplars and cluster render
+lines.";
 
 /// Parse `AxBxC` into a shape.
 pub fn parse_shape(s: &str) -> Result<Shape> {
@@ -369,6 +403,7 @@ fn parse_loadgen_opts(args: &[String]) -> Result<hpdr_serve::LoadgenOptions> {
             args.iter().any(|a| a == "--closed") || base.closed
         },
         metrics: args.iter().any(|a| a == "--metrics") || base.metrics,
+        flight: args.iter().any(|a| a == "--flight-out") || base.flight,
     };
     if opts.rps <= 0.0 || opts.duration_s <= 0.0 {
         return Err(HpdrError::invalid("--rps and --duration must be positive"));
@@ -498,6 +533,7 @@ pub fn parse(args: &[String]) -> Result<Command> {
             jobs: get_flag(args, "--jobs").map(str::to_string),
             json: args.iter().any(|a| a == "--json"),
             out: get_flag(args, "--out").map(str::to_string),
+            flight_out: get_flag(args, "--flight-out").map(str::to_string),
         }),
         Some("loadgen") => {
             // --nodes <n> with n > 1 routes the workload through the
@@ -507,6 +543,7 @@ pub fn parse(args: &[String]) -> Result<Command> {
                     opts: parse_cluster_opts(args)?,
                     json: args.iter().any(|a| a == "--json"),
                     out: get_flag(args, "--out").map(str::to_string),
+                    flight_out: get_flag(args, "--flight-out").map(str::to_string),
                 });
             }
             let expo = get_flag(args, "--expo").map(str::to_string);
@@ -517,12 +554,31 @@ pub fn parse(args: &[String]) -> Result<Command> {
                 json: args.iter().any(|a| a == "--json"),
                 out: get_flag(args, "--out").map(str::to_string),
                 expo,
+                flight_out: get_flag(args, "--flight-out").map(str::to_string),
             })
         }
         Some("cluster") => Ok(Command::Cluster {
             opts: parse_cluster_opts(args)?,
             json: args.iter().any(|a| a == "--json"),
             out: get_flag(args, "--out").map(str::to_string),
+            flight_out: get_flag(args, "--flight-out").map(str::to_string),
+        }),
+        Some("explain") => Ok(Command::Explain {
+            report: require_flag(args, "--report")?.to_string(),
+            job: get_flag(args, "--job")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| HpdrError::invalid("bad --job (wants a trace id)"))
+                })
+                .transpose()?,
+            worst: get_flag(args, "--worst")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| HpdrError::invalid("bad --worst"))
+                })
+                .transpose()?
+                .unwrap_or(3)
+                .max(1),
         }),
         Some("top") => {
             let mut opts = parse_loadgen_opts(args)?;
@@ -608,13 +664,28 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
             jobs,
             json,
             out,
-        } => serve_command(devices, policy, jobs.as_deref(), json, out.as_deref()),
+            flight_out,
+        } => serve_command(
+            devices,
+            policy,
+            jobs.as_deref(),
+            json,
+            out.as_deref(),
+            flight_out.as_deref(),
+        ),
         Command::Loadgen {
             opts,
             json,
             out,
             expo,
-        } => loadgen_command(opts, json, out.as_deref(), expo.as_deref()),
+            flight_out,
+        } => loadgen_command(
+            opts,
+            json,
+            out.as_deref(),
+            expo.as_deref(),
+            flight_out.as_deref(),
+        ),
         Command::Top { opts, tail } => top_command(opts, tail),
         Command::Slo { opts, report } => slo_command(opts, report.as_deref()),
         Command::Retrieve {
@@ -624,7 +695,13 @@ pub fn run(cmd: Command) -> Result<Vec<String>> {
             json,
             out,
         } => retrieve_command(side, tolerance, refine, json, out.as_deref()),
-        Command::Cluster { opts, json, out } => cluster_command(opts, json, out.as_deref()),
+        Command::Cluster {
+            opts,
+            json,
+            out,
+            flight_out,
+        } => cluster_command(opts, json, out.as_deref(), flight_out.as_deref()),
+        Command::Explain { report, job, worst } => explain_command(&report, job, worst),
         Command::Compress {
             codec,
             shape,
@@ -697,6 +774,7 @@ fn serve_command(
     jobs: Option<&str>,
     json: bool,
     out: Option<&str>,
+    flight_out: Option<&str>,
 ) -> Result<Vec<String>> {
     use std::io::Read as _;
     use std::sync::Arc;
@@ -708,24 +786,34 @@ fn serve_command(
             std::io::stdin().read_to_string(&mut buf)?;
             buf
         }
-        Some(path) => std::fs::read_to_string(path)?,
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| HpdrError::invalid(format!("{path}: {e}")))?
+        }
     };
     let work: Arc<dyn hpdr_core::DeviceAdapter> = Arc::new(CpuParallelAdapter::with_defaults());
     let mut cache = hpdr_serve::PayloadCache::new();
     let requests = hpdr_serve::parse_script_with(&script, work.as_ref(), &mut cache)
         .map_err(HpdrError::from)?;
+    let flight_cfg = hpdr_flight::FlightConfig::default();
     let cfg = hpdr_serve::ServeConfig {
         devices,
         policy,
+        flight: flight_out.map(|_| flight_cfg),
         ..hpdr_serve::ServeConfig::default()
     };
     let mut source = hpdr_serve::VecSource::new(requests);
-    let outcome = hpdr_serve::serve(cfg, work, &mut source);
+    let mut outcome = hpdr_serve::serve(cfg, work, &mut source);
+    let flight = outcome
+        .flight
+        .take()
+        .map(|log| hpdr_flight::analyze(&log, &flight_cfg, None));
     let mut report = hpdr_serve::ServeReport::build(policy, outcome);
     report.payload_cache = Some(cache.stats());
     let doc = report.to_json();
-    hpdr_serve::validate_serve_json(&doc)
-        .map_err(|e| HpdrError::invalid(format!("serve report failed validation: {e}")))?;
+    hpdr_serve::validate_serve_json(&doc).map_err(|e| {
+        let target = out.unwrap_or("<stdout>");
+        HpdrError::invalid(format!("{target}: serve report failed validation: {e}"))
+    })?;
     let mut lines = if json {
         vec![doc.clone()]
     } else {
@@ -735,7 +823,35 @@ fn serve_command(
         std::fs::write(path, doc.as_bytes())?;
         lines.push(format!("wrote {path}"));
     }
+    if let Some(path) = flight_out {
+        let f = flight.expect("flight recording is on when --flight-out is given");
+        write_flight_doc(path, &f, &mut lines)?;
+    }
     Ok(lines)
+}
+
+/// Serialize, validate and write a standalone `hpdr-flight/v1` report.
+fn write_flight_doc(
+    path: &str,
+    report: &hpdr_flight::FlightReport,
+    lines: &mut Vec<String>,
+) -> Result<()> {
+    let mut doc = hpdr_flight::to_json(report);
+    doc.push('\n');
+    hpdr_flight::validate_flight_json(&doc)
+        .map_err(|e| HpdrError::invalid(format!("{path}: flight report failed validation: {e}")))?;
+    std::fs::write(path, doc.as_bytes())?;
+    lines.push(format!("wrote {path}"));
+    Ok(())
+}
+
+/// `hpdr explain`: render latency root-cause breakdowns from a saved
+/// report document carrying an `hpdr-flight/v1` section.
+fn explain_command(report: &str, job: Option<u64>, worst: usize) -> Result<Vec<String>> {
+    let doc = std::fs::read_to_string(report)
+        .map_err(|e| HpdrError::invalid(format!("{report}: {e}")))?;
+    hpdr_flight::explain_lines(&doc, job, worst)
+        .map_err(|e| HpdrError::invalid(format!("{report}: {e}")))
 }
 
 /// `hpdr loadgen`: deterministic seeded workload against the serving
@@ -745,14 +861,16 @@ fn loadgen_command(
     json: bool,
     out: Option<&str>,
     expo: Option<&str>,
+    flight_out: Option<&str>,
 ) -> Result<Vec<String>> {
     let report = hpdr_serve::run_loadgen(opts).map_err(HpdrError::from)?;
     let doc = report.to_json();
-    hpdr_serve::validate_loadgen_json(&doc)
-        .map_err(|e| HpdrError::invalid(format!("loadgen report failed validation: {e}")))?;
     let path = out
         .map(str::to_string)
         .unwrap_or_else(|| "LOADGEN.json".to_string());
+    hpdr_serve::validate_loadgen_json(&doc).map_err(|e| {
+        HpdrError::invalid(format!("{path}: loadgen report failed validation: {e}"))
+    })?;
     std::fs::write(&path, doc.as_bytes())?;
     let mut lines = if json { vec![doc] } else { report.render() };
     lines.push(format!("wrote {path}"));
@@ -762,6 +880,12 @@ fn loadgen_command(
         })?;
         std::fs::write(expo_path, reg.exposition().as_bytes())?;
         lines.push(format!("wrote {expo_path}"));
+    }
+    if let Some(fpath) = flight_out {
+        let f = report.flight.as_ref().ok_or_else(|| {
+            HpdrError::invalid("--flight-out requires the flight recorder on the loadgen run")
+        })?;
+        write_flight_doc(fpath, f, &mut lines)?;
     }
     Ok(lines)
 }
@@ -774,6 +898,7 @@ fn cluster_command(
     opts: hpdr_shard::ClusterLoadOptions,
     json: bool,
     out: Option<&str>,
+    flight_out: Option<&str>,
 ) -> Result<Vec<String>> {
     let report = hpdr_shard::run_cluster_loadgen(&opts).map_err(HpdrError::from)?;
     let doc = report.to_json();
@@ -781,10 +906,17 @@ fn cluster_command(
         .map(str::to_string)
         .unwrap_or_else(|| "CLUSTER.json".to_string());
     std::fs::write(&path, doc.as_bytes())?;
-    hpdr_shard::validate_cluster_json(&doc)
-        .map_err(|e| HpdrError::invalid(format!("cluster report failed validation: {e}")))?;
+    hpdr_shard::validate_cluster_json(&doc).map_err(|e| {
+        HpdrError::invalid(format!("{path}: cluster report failed validation: {e}"))
+    })?;
     let mut lines = if json { vec![doc] } else { report.render() };
     lines.push(format!("wrote {path}"));
+    if let Some(fpath) = flight_out {
+        let f = report.flight.as_ref().ok_or_else(|| {
+            HpdrError::invalid("cluster run recorded no flight events (tracing disabled)")
+        })?;
+        write_flight_doc(fpath, f, &mut lines)?;
+    }
     Ok(lines)
 }
 
@@ -816,13 +948,18 @@ fn top_command(opts: hpdr_serve::LoadgenOptions, tail: usize) -> Result<Vec<Stri
 /// Exits non-zero when any burn-rate alert fired.
 fn slo_command(opts: hpdr_serve::LoadgenOptions, report: Option<&str>) -> Result<Vec<String>> {
     let doc = match report {
-        Some(path) => std::fs::read_to_string(path)?,
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| HpdrError::invalid(format!("{path}: {e}")))?
+        }
         None => {
             let report = hpdr_serve::run_loadgen(opts).map_err(HpdrError::from)?;
             report.to_json()
         }
     };
-    let (lines, alerts) = crate::slo::render_slo_report(&doc).map_err(HpdrError::invalid)?;
+    let (lines, alerts) = crate::slo::render_slo_report(&doc).map_err(|e| match report {
+        Some(path) => HpdrError::invalid(format!("{path}: {e}")),
+        None => HpdrError::invalid(e),
+    })?;
     if alerts > 0 {
         return Err(HpdrError::invalid(format!(
             "{alerts} burn-rate alert(s) fired:\n{}",
@@ -1667,12 +1804,14 @@ mod tests {
                 jobs,
                 json,
                 out,
+                flight_out,
             } => {
                 assert_eq!(devices, 3);
                 assert_eq!(policy, hpdr_serve::Policy::Serial);
                 assert_eq!(jobs.as_deref(), Some("q.txt"));
                 assert!(json);
                 assert_eq!(out, None);
+                assert_eq!(flight_out, None);
             }
             other => panic!("{other:?}"),
         }
@@ -1689,13 +1828,16 @@ mod tests {
                 json,
                 out,
                 expo,
+                flight_out,
             } => {
                 assert_eq!(opts.seed, 11);
                 assert!(opts.closed);
                 assert!(!opts.metrics);
+                assert!(!opts.flight);
                 assert!(!json);
                 assert_eq!(out, None);
                 assert_eq!(expo, None);
+                assert_eq!(flight_out, None);
                 // --quick preset survives the overrides it doesn't name.
                 assert_eq!(
                     opts,
@@ -1719,7 +1861,12 @@ mod tests {
         ))
         .unwrap()
         {
-            Command::Cluster { opts, json, out } => {
+            Command::Cluster {
+                opts,
+                json,
+                out,
+                flight_out,
+            } => {
                 assert_eq!(opts.nodes, 3);
                 assert_eq!(opts.policy, hpdr_shard::PlacementPolicy::Random);
                 assert_eq!(opts.fail, Some((1, hpdr_sim::Ns::from_micros(250))));
@@ -1730,6 +1877,7 @@ mod tests {
                 );
                 assert!(json);
                 assert_eq!(out.as_deref(), Some("c.json"));
+                assert_eq!(flight_out, None);
             }
             other => panic!("{other:?}"),
         }
@@ -1756,6 +1904,59 @@ mod tests {
             parse(&argv("loadgen --quick --nodes 1")).unwrap(),
             Command::Loadgen { .. }
         ));
+    }
+
+    #[test]
+    fn parse_flight_out_and_explain_commands() {
+        match parse(&argv("serve --devices 2 --flight-out f.json")).unwrap() {
+            Command::Serve { flight_out, .. } => {
+                assert_eq!(flight_out.as_deref(), Some("f.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // --flight-out turns the recorder on for the loadgen run.
+        match parse(&argv("loadgen --quick --flight-out f.json")).unwrap() {
+            Command::Loadgen {
+                opts, flight_out, ..
+            } => {
+                assert!(opts.flight, "--flight-out must enable the recorder");
+                assert_eq!(flight_out.as_deref(), Some("f.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("cluster --quick --flight-out f.json")).unwrap() {
+            Command::Cluster { flight_out, .. } => {
+                assert_eq!(flight_out.as_deref(), Some("f.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // loadgen routed through the cluster keeps the flag.
+        match parse(&argv("loadgen --quick --nodes 2 --flight-out f.json")).unwrap() {
+            Command::Cluster { flight_out, .. } => {
+                assert_eq!(flight_out.as_deref(), Some("f.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        match parse(&argv("explain --report c.json --job 7 --worst 5")).unwrap() {
+            Command::Explain { report, job, worst } => {
+                assert_eq!(report, "c.json");
+                assert_eq!(job, Some(7));
+                assert_eq!(worst, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: worst 3, no single-job filter; --report is required.
+        match parse(&argv("explain --report c.json")).unwrap() {
+            Command::Explain { report, job, worst } => {
+                assert_eq!(report, "c.json");
+                assert_eq!(job, None);
+                assert_eq!(worst, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("explain")).is_err());
+        assert!(parse(&argv("explain --report c.json --job seven")).is_err());
     }
 
     #[test]

@@ -85,17 +85,29 @@ echo "==> hpdr cluster --quick (sharded serving: deterministic, zero lost jobs)"
 # non-zero on any lost job; here additionally pin byte-determinism
 # across two same-seed runs and the failure-injection zero-loss case.
 cargo run --release -p hpdr --bin hpdr -- cluster --quick --json \
-  --out target/CLUSTER_ci.json > /dev/null
+  --out target/CLUSTER_ci.json --flight-out target/FLIGHT_ci.json > /dev/null
 test -s target/CLUSTER_ci.json
 grep -q '"schema":"hpdr-shard/v1"' target/CLUSTER_ci.json
 grep -q '"lost": 0' target/CLUSTER_ci.json
+test -s target/FLIGHT_ci.json
+grep -q '"schema":"hpdr-flight/v1"' target/FLIGHT_ci.json
 cargo run --release -p hpdr --bin hpdr -- cluster --quick --json \
-  --out target/CLUSTER_ci2.json > /dev/null
+  --out target/CLUSTER_ci2.json --flight-out target/FLIGHT_ci2.json > /dev/null
 cmp target/CLUSTER_ci.json target/CLUSTER_ci2.json
+cmp target/FLIGHT_ci.json target/FLIGHT_ci2.json
 cargo run --release -p hpdr --bin hpdr -- cluster --quick \
-  --fail-node 0@125000 --json --out target/CLUSTER_fail.json > /dev/null
+  --fail-node 0@125000 --json --out target/CLUSTER_fail.json \
+  --flight-out target/FLIGHT_fail.json > /dev/null
 grep -q '"lost": 0' target/CLUSTER_fail.json
 grep -q '"rerouted"' target/CLUSTER_fail.json
+# The dead node's ring buffer must surface as the black-box dump.
+grep -q '"blackbox": {"shard":0,' target/FLIGHT_fail.json
+
+echo "==> hpdr explain (latency root-cause smoke over the cluster report)"
+# Plain grep (not -q): -q closes the pipe at first match and the tool's
+# remaining prints die with SIGPIPE under pipefail.
+cargo run --release -p hpdr --bin hpdr -- explain --report target/CLUSTER_ci.json \
+  --worst 3 | grep "flight report:" > /dev/null
 
 echo "==> hpdr slo --report (per-tenant SLO attainment from the metered run)"
 # Plain grep (not -q): -q closes the pipe at first match and the tool's
@@ -103,12 +115,13 @@ echo "==> hpdr slo --report (per-tenant SLO attainment from the metered run)"
 cargo run --release -p hpdr --bin hpdr -- slo --report target/LOADGEN_m1.json \
   | grep "latency target" > /dev/null
 
-echo "==> hpdr bench --compare (paired metering overhead within 2%)"
+echo "==> hpdr bench --compare (paired metering + flight overhead within 2%)"
 # Row threshold is deliberately loose: cross-run quick-bench wall-clock
 # noise reaches ~30% on a loaded machine, so per-codec throughput rows
 # only catch order-of-magnitude regressions here. The real contract is
-# the *paired* serve-metering gate built into compare (2% ceiling),
-# which is measured within one process and is immune to that noise.
+# the *paired* gates built into compare (2% ceiling on the candidate's
+# serve-metering and flight-recorder overheads), which are measured
+# within one process and are immune to that noise.
 cargo run --release -p hpdr --bin hpdr -- bench --compare \
   BENCH_baseline.json target/BENCH_ci.json --threshold 0.5
 

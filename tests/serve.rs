@@ -230,6 +230,7 @@ fn acceptance_loadgen_loses_no_jobs_and_batching_wins() {
         seed: 7,
         closed: false,
         metrics: false,
+        flight: false,
     };
     let report = run_loadgen(opts).expect("loadgen runs");
     let s = &report.serve;
@@ -264,6 +265,7 @@ fn closed_loop_loadgen_balances_too() {
         seed: 11,
         closed: true,
         metrics: false,
+        flight: false,
     };
     let report = run_loadgen(opts).expect("closed-loop loadgen runs");
     let s = &report.serve;
